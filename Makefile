@@ -1,0 +1,39 @@
+# Convenience targets for the AtomFS + CRL-H reproduction.
+
+GO ?= go
+
+.PHONY: all build test race verify bench figures conform interdep loc clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full verification story: scenarios, sweeps, stress, explorer.
+verify: build
+	$(GO) run ./cmd/fscheck
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/fsbench -fig all
+
+conform:
+	$(GO) run ./cmd/conform
+
+interdep:
+	$(GO) run ./cmd/interdep
+
+loc:
+	$(GO) run ./cmd/loc
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,240 @@
+// Benchmarks regenerating the paper's evaluation (§7), one per figure:
+//
+//   - BenchmarkFig10/... — Figure 10, application workloads on each file
+//     system (single-threaded running time; compare with `fsbench -fig 10`);
+//   - BenchmarkFig11.../sim — Figure 11(a)(b) on the virtual 16-core
+//     simulator (reports speedup_16x as a custom metric);
+//   - BenchmarkFig11.../real — the same personalities executed for real
+//     at GOMAXPROCS parallelism;
+//   - BenchmarkMonitorOverhead — ablation: the cost of running AtomFS
+//     under the CRL-H runtime monitor;
+//   - BenchmarkOps — per-operation microbenchmarks across the variants
+//     (the substrate numbers behind Figure 10's shape).
+package atomfs_test
+
+import (
+	"fmt"
+	"testing"
+
+	atomfs "repro"
+	iatomfs "repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/multicore"
+	"repro/internal/retryfs"
+	"repro/internal/slowfs"
+	"repro/internal/workload"
+)
+
+func systems() []struct {
+	name string
+	mk   func() fsapi.FS
+} {
+	return []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"dfscq~slowfs", func() fsapi.FS { return slowfs.New(iatomfs.New()) }},
+		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
+		{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }},
+		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: each iteration runs one complete
+// application workload on a fresh file system.
+func BenchmarkFig10(b *testing.B) {
+	workloads := []struct {
+		name string
+		run  func(fsapi.FS) workload.Result
+	}{
+		{"largefile", workload.Largefile},
+		{"smallfile", workload.Smallfile},
+		{"git-clone", workload.GitClone},
+		{"make-xv6", workload.MakeXv6},
+		{"cp-qemu", workload.CpQemu},
+		{"ripgrep", workload.Ripgrep},
+	}
+	for _, w := range workloads {
+		for _, s := range systems() {
+			b.Run(w.name+"/"+s.name, func(b *testing.B) {
+				var ops int64
+				for i := 0; i < b.N; i++ {
+					fs := s.mk()
+					ops += w.run(fs).Ops
+				}
+				b.ReportMetric(float64(ops)/float64(b.N), "fsops/run")
+			})
+		}
+	}
+}
+
+// benchFig11Sim reports the simulated 16-core speedup for one design.
+func benchFig11Sim(b *testing.B, personality string, d multicore.Design) {
+	costs := multicore.DefaultCosts()
+	mkSrc := func() multicore.TraceSource {
+		if personality == "fileserver" {
+			return costs.FileserverSource(d, 526, 10000, 4)
+		}
+		return costs.WebproxySource(d, 1000, 2)
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		src := mkSrc()
+		base := multicore.Run(1, 2000, src).Throughput()
+		speedup = multicore.Run(16, 2000, src).Throughput() / base
+	}
+	b.ReportMetric(speedup, "speedup_16x")
+}
+
+// BenchmarkFig11Fileserver regenerates Figure 11(a).
+func BenchmarkFig11Fileserver(b *testing.B) {
+	b.Run("sim/atomfs", func(b *testing.B) { benchFig11Sim(b, "fileserver", multicore.DesignAtomFS) })
+	b.Run("sim/atomfs-biglock", func(b *testing.B) { benchFig11Sim(b, "fileserver", multicore.DesignBigLock) })
+	b.Run("sim/ext4~retryfs", func(b *testing.B) { benchFig11Sim(b, "fileserver", multicore.DesignRetryFS) })
+	for _, s := range []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
+		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
+	} {
+		b.Run("real/"+s.name, func(b *testing.B) {
+			cfg := workload.FileserverConfig{Dirs: 64, Files: 1000, FileSize: 4 << 10, AppendLen: 1 << 10, OpsPerThd: 500}
+			for i := 0; i < b.N; i++ {
+				fs := s.mk()
+				workload.PrepareFileserver(fs, cfg)
+				res := workload.Fileserver(fs, cfg, 4)
+				b.ReportMetric(float64(res.Ops), "fsops/run")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Webproxy regenerates Figure 11(b).
+func BenchmarkFig11Webproxy(b *testing.B) {
+	b.Run("sim/atomfs", func(b *testing.B) { benchFig11Sim(b, "webproxy", multicore.DesignAtomFS) })
+	b.Run("sim/atomfs-biglock", func(b *testing.B) { benchFig11Sim(b, "webproxy", multicore.DesignBigLock) })
+	b.Run("sim/ext4~retryfs", func(b *testing.B) { benchFig11Sim(b, "webproxy", multicore.DesignRetryFS) })
+	for _, s := range []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
+		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
+	} {
+		b.Run("real/"+s.name, func(b *testing.B) {
+			cfg := workload.WebproxyConfig{Files: 500, FileSize: 4 << 10, OpsPerThd: 500}
+			for i := 0; i < b.N; i++ {
+				fs := s.mk()
+				workload.PrepareWebproxy(fs, cfg)
+				res := workload.Webproxy(fs, cfg, 4)
+				b.ReportMetric(float64(res.Ops), "fsops/run")
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorOverhead is the verification-cost ablation: the same
+// operation mix with and without the CRL-H monitor attached.
+func BenchmarkMonitorOverhead(b *testing.B) {
+	run := func(b *testing.B, fs fsapi.FS) {
+		if err := fs.Mkdir("/d"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := fmt.Sprintf("/d/f%d", i)
+			fs.Mknod(p)
+			fs.Write(p, 0, []byte("0123456789abcdef"))
+			fs.Stat(p)
+			fs.Read(p, 0, 16)
+			fs.Unlink(p)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, iatomfs.New()) })
+	b.Run("monitored", func(b *testing.B) {
+		mon := core.NewMonitor(core.Config{})
+		run(b, iatomfs.New(iatomfs.WithMonitor(mon)))
+		if vs := mon.Violations(); len(vs) > 0 {
+			b.Fatalf("violations: %v", vs)
+		}
+	})
+	b.Run("monitored+goodafs", func(b *testing.B) {
+		mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+		run(b, iatomfs.New(iatomfs.WithMonitor(mon)))
+	})
+}
+
+// BenchmarkOps measures the primitive operations on each variant.
+func BenchmarkOps(b *testing.B) {
+	for _, s := range systems() {
+		s := s
+		b.Run("stat/"+s.name, func(b *testing.B) {
+			fs := s.mk()
+			fs.Mkdir("/d")
+			fs.Mknod("/d/f")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Stat("/d/f"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("create-unlink/"+s.name, func(b *testing.B) {
+			fs := s.mk()
+			fs.Mkdir("/d")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs.Mknod("/d/f")
+				fs.Unlink("/d/f")
+			}
+		})
+		b.Run("rename/"+s.name, func(b *testing.B) {
+			fs := s.mk()
+			fs.Mkdir("/d1")
+			fs.Mkdir("/d2")
+			fs.Mknod("/d1/f")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs.Rename("/d1/f", "/d2/f")
+				fs.Rename("/d2/f", "/d1/f")
+			}
+		})
+		b.Run("write4k/"+s.name, func(b *testing.B) {
+			fs := s.mk()
+			fs.Mknod("/f")
+			buf := make([]byte, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Write("/f", 0, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMountedOps measures the FUSE-like dispatch overhead: the same
+// stat through the in-process mount vs direct calls.
+func BenchmarkMountedOps(b *testing.B) {
+	fs := iatomfs.New()
+	fs.Mkdir("/d")
+	fs.Mknod("/d/f")
+	client, cleanup := atomfs.Mount(fs)
+	defer cleanup()
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs.Stat("/d/f")
+		}
+	})
+	b.Run("mounted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			client.Stat("/d/f")
+		}
+	})
+}

@@ -1,0 +1,85 @@
+// Command atomfsd serves an AtomFS instance over the FUSE-like binary
+// protocol (internal/fuse) on a TCP address — the userspace-daemon role
+// AtomFS plays under FUSE in the paper. Any number of clients (fuse.Dial,
+// or the atomfs.Dial public API) can mount it concurrently; the daemon
+// can optionally run under the CRL-H monitor and report violations on
+// shutdown.
+//
+// Usage:
+//
+//	atomfsd -addr 127.0.0.1:7433
+//	atomfsd -addr :7433 -monitor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/fuse"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "TCP listen address")
+	unix := flag.String("unix", "", "listen on a unix socket path instead of TCP")
+	monitored := flag.Bool("monitor", false, "run under the CRL-H monitor")
+	blocks := flag.Int("blocks", 1<<18, "ramdisk size in 4KiB blocks")
+	flag.Parse()
+
+	opts := []atomfs.Option{atomfs.WithBlocks(*blocks)}
+	var mon *core.Monitor
+	if *monitored {
+		mon = core.NewMonitor(core.Config{CheckGoodAFS: false})
+		opts = append(opts, atomfs.WithMonitor(mon))
+		// Surface stuck operations (deadlocks, leaked sessions) with the
+		// ghost state that explains them.
+		stop := mon.Watchdog(time.Second, 10*time.Second, func(age time.Duration, dump string) {
+			fmt.Fprintf(os.Stderr, "atomfsd: operation pending for %v\n%s", age.Round(time.Second), dump)
+		})
+		defer stop()
+	}
+	fs := atomfs.New(opts...)
+
+	network, bind := "tcp", *addr
+	if *unix != "" {
+		network, bind = "unix", *unix
+		os.Remove(bind) // stale socket from a previous run
+	}
+	lis, err := net.Listen(network, bind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := fuse.NewServer(fs)
+	fmt.Printf("atomfsd: serving on %s (monitor=%v, ramdisk=%d MiB)\n",
+		lis.Addr(), *monitored, *blocks*4/1024)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("atomfsd: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if mon != nil {
+		vs := mon.Violations()
+		fmt.Printf("atomfsd: %d CRL-H violations recorded\n", len(vs))
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v)
+		}
+		if len(vs) > 0 {
+			os.Exit(1)
+		}
+	}
+}

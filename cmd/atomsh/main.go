@@ -1,0 +1,306 @@
+// Command atomsh is an interactive shell over an AtomFS instance — either
+// a fresh in-memory one or a remote daemon served by atomfsd. It reads
+// commands from stdin (or -c "cmd; cmd"), one per line:
+//
+//	ls [path]          list a directory
+//	tree [path]        recursive listing
+//	mkdir <path>       create a directory
+//	touch <path>       create an empty file
+//	write <path> <txt> overwrite a file with text
+//	append <path> <txt>
+//	cat <path>         print a file
+//	mv <src> <dst>     rename
+//	rm <path>          unlink a file
+//	rmdir <path>       remove an empty directory
+//	stat <path>        kind and size
+//	save <hostfile>    serialize the tree to a host file (creation trace)
+//	load <hostfile>    replay a saved trace into the tree
+//	help               this text
+//	exit
+//
+// Example:
+//
+//	atomsh -c "mkdir /a; write /a/f hello; tree /"
+//	atomsh -connect 127.0.0.1:7433
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/atomfs"
+	"repro/internal/fsapi"
+	"repro/internal/fuse"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	connect := flag.String("connect", "", "atomfsd address to mount: host:port, or a unix socket path (default: fresh in-memory FS)")
+	script := flag.String("c", "", "semicolon-separated commands to run instead of reading stdin")
+	flag.Parse()
+
+	var fs fsapi.FS
+	if *connect != "" {
+		network := "tcp"
+		if strings.Contains(*connect, "/") {
+			network = "unix"
+		}
+		client, err := fuse.DialNetwork(network, *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		fs = client
+		fmt.Printf("mounted %s\n", *connect)
+	} else {
+		fs = atomfs.New()
+	}
+
+	sh := &shell{fs: fs, out: os.Stdout}
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			if !sh.exec(strings.TrimSpace(line)) {
+				break
+			}
+		}
+		if sh.failed {
+			os.Exit(1)
+		}
+		return
+	}
+	sh.repl(os.Stdin)
+	if sh.failed {
+		os.Exit(1)
+	}
+}
+
+type shell struct {
+	fs     fsapi.FS
+	out    io.Writer
+	failed bool
+}
+
+func (sh *shell) repl(in io.Reader) {
+	scanner := bufio.NewScanner(in)
+	fmt.Fprint(sh.out, "atomsh> ")
+	for scanner.Scan() {
+		if !sh.exec(strings.TrimSpace(scanner.Text())) {
+			return
+		}
+		fmt.Fprint(sh.out, "atomsh> ")
+	}
+}
+
+// exec runs one command line; false means quit.
+func (sh *shell) exec(line string) bool {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return true
+	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+			sh.failed = true
+		}
+	}
+	need := func(n int) bool {
+		if len(args) < n {
+			fmt.Fprintf(sh.out, "usage: %s needs %d argument(s)\n", cmd, n)
+			sh.failed = true
+			return false
+		}
+		return true
+	}
+	switch cmd {
+	case "exit", "quit":
+		return false
+	case "help":
+		fmt.Fprintln(sh.out, "ls tree mkdir touch write append cat mv rm rmdir stat save load help exit")
+	case "ls":
+		path := "/"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		names, err := sh.fs.Readdir(path)
+		if err != nil {
+			fail(err)
+			break
+		}
+		for _, n := range names {
+			info, err := sh.fs.Stat(join(path, n))
+			if err != nil {
+				continue
+			}
+			marker := ""
+			if info.Kind == spec.KindDir {
+				marker = "/"
+			}
+			fmt.Fprintf(sh.out, "%s%s\t%d\n", n, marker, info.Size)
+		}
+	case "tree":
+		path := "/"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		fail(sh.tree(path, ""))
+	case "mkdir":
+		if need(1) {
+			fail(sh.fs.Mkdir(args[0]))
+		}
+	case "touch":
+		if need(1) {
+			fail(sh.fs.Mknod(args[0]))
+		}
+	case "write":
+		if need(2) {
+			text := strings.Join(args[1:], " ")
+			// Like shell redirection: create the file if absent.
+			if _, err := sh.fs.Stat(args[0]); err != nil {
+				if err := sh.fs.Mknod(args[0]); err != nil {
+					fail(err)
+					break
+				}
+			}
+			if err := sh.fs.Truncate(args[0], 0); err != nil {
+				fail(err)
+				break
+			}
+			_, err := sh.fs.Write(args[0], 0, []byte(text))
+			fail(err)
+		}
+	case "append":
+		if need(2) {
+			info, err := sh.fs.Stat(args[0])
+			if err != nil {
+				fail(err)
+				break
+			}
+			_, err = sh.fs.Write(args[0], info.Size, []byte(strings.Join(args[1:], " ")))
+			fail(err)
+		}
+	case "cat":
+		if need(1) {
+			info, err := sh.fs.Stat(args[0])
+			if err != nil {
+				fail(err)
+				break
+			}
+			data, err := sh.fs.Read(args[0], 0, int(info.Size))
+			if err != nil {
+				fail(err)
+				break
+			}
+			fmt.Fprintf(sh.out, "%s\n", data)
+		}
+	case "mv":
+		if need(2) {
+			fail(sh.fs.Rename(args[0], args[1]))
+		}
+	case "rm":
+		if need(1) {
+			fail(sh.fs.Unlink(args[0]))
+		}
+	case "rmdir":
+		if need(1) {
+			fail(sh.fs.Rmdir(args[0]))
+		}
+	case "stat":
+		if need(1) {
+			info, err := sh.fs.Stat(args[0])
+			if err != nil {
+				fail(err)
+				break
+			}
+			fmt.Fprintf(sh.out, "%s: %s, size %d\n", args[0], info.Kind, info.Size)
+		}
+	case "save":
+		if need(1) {
+			fail(sh.save(args[0]))
+		}
+	case "load":
+		if need(1) {
+			fail(sh.load(args[0]))
+		}
+	default:
+		fmt.Fprintf(sh.out, "unknown command %q (try help)\n", cmd)
+		sh.failed = true
+	}
+	return true
+}
+
+// save serializes the whole tree to a host file as a creation trace.
+// Only available when the shell runs over a local AtomFS (a remote mount
+// has no snapshot access).
+func (sh *shell) save(hostPath string) error {
+	snapper, ok := sh.fs.(interface{ Snapshot() *spec.AFS })
+	if !ok {
+		return fmt.Errorf("save requires a local file system")
+	}
+	f, err := os.Create(hostPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries := trace.FromState(snapper.Snapshot())
+	if err := trace.Write(f, entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "saved %d entries to %s\n", len(entries), hostPath)
+	return nil
+}
+
+// load replays a creation trace from a host file into the current tree.
+func (sh *shell) load(hostPath string) error {
+	f, err := os.Open(hostPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := trace.Parse(f)
+	if err != nil {
+		return err
+	}
+	res, err := trace.Replay(sh.fs, nil, entries)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "loaded %d entries (%d errors)\n", res.Applied, res.Errors)
+	return nil
+}
+
+func (sh *shell) tree(path, indent string) error {
+	names, err := sh.fs.Readdir(path)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		p := join(path, n)
+		info, err := sh.fs.Stat(p)
+		if err != nil {
+			continue
+		}
+		if info.Kind == spec.KindDir {
+			fmt.Fprintf(sh.out, "%s%s/\n", indent, n)
+			if err := sh.tree(p, indent+"  "); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(sh.out, "%s%s (%d bytes)\n", indent, n, info.Size)
+		}
+	}
+	return nil
+}
+
+func join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atomfs"
+)
+
+func runScript(t *testing.T, script string) (string, bool) {
+	t.Helper()
+	var b strings.Builder
+	sh := &shell{fs: atomfs.New(), out: &b}
+	for _, line := range strings.Split(script, ";") {
+		if !sh.exec(strings.TrimSpace(line)) {
+			break
+		}
+	}
+	return b.String(), sh.failed
+}
+
+func TestShellBasics(t *testing.T) {
+	out, failed := runScript(t, "mkdir /a; touch /a/f; write /a/f hi; cat /a/f; stat /a/f; ls /a")
+	if failed {
+		t.Fatalf("script failed:\n%s", out)
+	}
+	for _, want := range []string{"hi\n", "file, size 2", "f\t2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellTreeAndMv(t *testing.T) {
+	out, failed := runScript(t, "mkdir /a; mkdir /a/b; touch /a/b/f; mv /a /z; tree /")
+	if failed {
+		t.Fatalf("script failed:\n%s", out)
+	}
+	if !strings.Contains(out, "z/") || !strings.Contains(out, "f (0 bytes)") {
+		t.Errorf("tree output wrong:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	out, failed := runScript(t, "cat /missing")
+	if !failed || !strings.Contains(out, "error:") {
+		t.Errorf("missing-file error not surfaced:\n%s", out)
+	}
+	out, failed = runScript(t, "frobnicate /x")
+	if !failed || !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not flagged:\n%s", out)
+	}
+	out, failed = runScript(t, "mv /only-one-arg")
+	if !failed || !strings.Contains(out, "usage:") {
+		t.Errorf("arity error not flagged:\n%s", out)
+	}
+}
+
+func TestShellRemoveAndOverwrite(t *testing.T) {
+	out, failed := runScript(t,
+		"mkdir /d; touch /d/f; write /d/f one; write /d/f two; cat /d/f; rm /d/f; rmdir /d; ls /")
+	if failed {
+		t.Fatalf("script failed:\n%s", out)
+	}
+	if !strings.Contains(out, "two\n") {
+		t.Errorf("overwrite failed:\n%s", out)
+	}
+	if strings.Contains(out, "one") {
+		t.Errorf("truncate-before-write did not happen:\n%s", out)
+	}
+}
+
+func TestShellQuit(t *testing.T) {
+	var b strings.Builder
+	sh := &shell{fs: atomfs.New(), out: &b}
+	if sh.exec("exit") {
+		t.Error("exit did not stop the shell")
+	}
+	if !sh.exec("# a comment") || !sh.exec("") {
+		t.Error("comments/blank lines must not stop the shell")
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/state.trace"
+	out, failed := runScript(t, "mkdir /a; touch /a/f; write /a/f snapshot me; save "+path)
+	if failed {
+		t.Fatalf("save failed:\n%s", out)
+	}
+	out, failed = runScript(t, "load "+path+"; cat /a/f")
+	if failed || !strings.Contains(out, "snapshot me\n") {
+		t.Fatalf("load failed:\n%s", out)
+	}
+}
+
+func TestShellWriteCreates(t *testing.T) {
+	out, failed := runScript(t, "write /fresh hello; cat /fresh")
+	if failed || !strings.Contains(out, "hello\n") {
+		t.Fatalf("write did not auto-create:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+// Command conform runs the xfstests-analogue conformance suite against
+// every file system implementation, reproducing the shape of the paper's
+// §6 result: AtomFS passes 418 of 451 xfstests cases, with all failures
+// caused by deliberately unimplemented functionality (hard links,
+// symlinks, permissions, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atomfs"
+	"repro/internal/conform"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/retryfs"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every case")
+	monitored := flag.Bool("monitored", true, "also run AtomFS under the CRL-H monitor")
+	flag.Parse()
+
+	variants := []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return atomfs.New() }},
+		{"atomfs-biglock", func() fsapi.FS { return atomfs.New(atomfs.WithBigLock()) }},
+		{"retryfs", func() fsapi.FS { return retryfs.New() }},
+		{"memfs", func() fsapi.FS { return memfs.New() }},
+	}
+	exit := 0
+	for _, v := range variants {
+		s := conform.Run(v.name, v.mk)
+		fmt.Println(s)
+		if *verbose {
+			for _, r := range s.Results {
+				status := "pass"
+				if !r.Passed {
+					status = "FAIL"
+					if r.Case.Unsupported {
+						status = "fail (unsupported feature)"
+					}
+				}
+				fmt.Printf("  %-14s %-28s %s\n", r.Case.Group, r.Case.Name, status)
+			}
+		}
+		for _, f := range s.FailedCases() {
+			fmt.Printf("  GENUINE FAILURE: %s\n", f)
+			exit = 1
+		}
+	}
+
+	if *monitored {
+		var monitors []*core.Monitor
+		s := conform.Run("atomfs+monitor", func() fsapi.FS {
+			mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+			monitors = append(monitors, mon)
+			return atomfs.New(atomfs.WithMonitor(mon))
+		})
+		fmt.Println(s)
+		for _, f := range s.FailedCases() {
+			fmt.Printf("  GENUINE FAILURE: %s\n", f)
+			exit = 1
+		}
+		violations := 0
+		for _, mon := range monitors {
+			violations += len(mon.Violations())
+		}
+		fmt.Printf("  CRL-H violations across all cases: %d\n", violations)
+		if violations > 0 {
+			exit = 1
+		}
+	}
+	fmt.Println("\n(paper: 418/451 xfstests cases pass; every failure is missing functionality, not a bug)")
+	os.Exit(exit)
+}

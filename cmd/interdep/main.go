@@ -1,0 +1,49 @@
+// Command interdep regenerates the §3.2 generality study of the AtomFS
+// paper: for every combination of rename + {create, unlink, mkdir, rmdir,
+// rename}, it detects whether the file system lets the rename complete
+// while the other operation is inside its critical section on a path the
+// rename modifies (the path inter-dependency phenomenon).
+//
+// The paper found the phenomenon in all nine tested production file
+// systems; here the fine-grained subjects (atomfs, retryfs) exhibit it in
+// every combination while the coarse-grained baselines (atomfs-biglock,
+// memfs) cannot.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/interdep"
+)
+
+func main() {
+	table := interdep.Study(interdep.Subjects())
+	table.Render(os.Stdout)
+	fmt.Println()
+	problems := 0
+	for _, v := range table.Verdicts {
+		if v.OpErr != nil {
+			fmt.Printf("note: %s/%s op error: %v\n", v.Subject, v.Op, v.OpErr)
+			problems++
+		}
+		if v.RenameErr != nil {
+			fmt.Printf("note: %s/%s rename error: %v\n", v.Subject, v.Op, v.RenameErr)
+			problems++
+		}
+	}
+	fine := []string{"atomfs", "retryfs"}
+	for _, s := range fine {
+		for _, op := range interdep.OpNames {
+			if v, ok := table.Get(s, op); !ok || !v.Interdep {
+				fmt.Printf("UNEXPECTED: fine-grained %s shows no inter-dependency for %s\n", s, op)
+				problems++
+			}
+		}
+	}
+	fmt.Println("conclusion: path inter-dependency is inherent to fine-grained locking (paper §3.2);")
+	fmt.Println("coarse-grained designs avoid it only by serializing every operation.")
+	if problems > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command loc regenerates Table 2 of the AtomFS paper — the lines of
+// specifications, implementations, and proofs — for this reproduction, by
+// scanning the repository and mapping each package onto the paper's
+// categories:
+//
+//	Abstraction and Aops  -> the abstract specification (internal/spec)
+//	Invariants            -> the invariant checkers and ghost state
+//	R-G conditions        -> the monitor's transition checking
+//	Verified code         -> the AtomFS implementation itself
+//	Proof                 -> the executable verification machinery
+//	                         (history, lincheck, scenarios, tests)
+//
+// The absolute numbers are incomparable to Coq (runtime checking is far
+// cheaper than mechanized proof — the paper's Proof row alone is 60k
+// lines); the table documents where this reproduction's verification
+// effort lives.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type category struct {
+	name     string
+	paperLoC int
+	match    func(path string) bool
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	categories := []category{
+		{"Abstraction and Aops", 344, func(p string) bool {
+			return strings.Contains(p, "internal/spec/") && !strings.HasSuffix(p, "_test.go")
+		}},
+		{"Invariants", 1397, func(p string) bool {
+			return (strings.Contains(p, "internal/core/helper.go") ||
+				strings.Contains(p, "internal/core/violation.go") ||
+				strings.Contains(p, "internal/core/ghost.go"))
+		}},
+		{"R-G conditions", 451, func(p string) bool {
+			return strings.Contains(p, "internal/core/monitor.go")
+		}},
+		{"Verified code", 673, func(p string) bool {
+			return strings.Contains(p, "internal/atomfs/") && !strings.HasSuffix(p, "_test.go")
+		}},
+		{"Proof (runtime checking)", 60324, func(p string) bool {
+			return strings.HasSuffix(p, "_test.go") ||
+				strings.Contains(p, "internal/history/") ||
+				strings.Contains(p, "internal/lincheck/") ||
+				strings.Contains(p, "internal/scenario/") ||
+				strings.Contains(p, "internal/conform/") ||
+				strings.Contains(p, "internal/explore/") ||
+				strings.Contains(p, "internal/sweep/") ||
+				strings.Contains(p, "internal/fstest/")
+		}},
+	}
+
+	counts := make([]int, len(categories))
+	other := 0
+	total := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		n, err := countLines(path)
+		if err != nil {
+			return err
+		}
+		total += n
+		for i, c := range categories {
+			if c.match(path) {
+				counts[i] += n
+				return nil
+			}
+		}
+		other += n
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 2: lines of specifications, implementations, and checking code")
+	fmt.Printf("%-26s %12s %14s\n", "Component", "this repo", "paper (Coq)")
+	fmt.Println(strings.Repeat("-", 54))
+	for i, c := range categories {
+		fmt.Printf("%-26s %12d %14d\n", c.name, counts[i], c.paperLoC)
+	}
+	fmt.Printf("%-26s %12d %14s\n", "Substrates and harness", other, "-")
+	fmt.Println(strings.Repeat("-", 54))
+	fmt.Printf("%-26s %12d %14d\n", "Total", total, 63099)
+
+	// Per-package breakdown for the curious.
+	pkgs := map[string]int{}
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		n, _ := countLines(path)
+		pkgs[filepath.Dir(path)] += n
+		return nil
+	})
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	fmt.Println("\nPer-package breakdown:")
+	for _, p := range names {
+		fmt.Printf("  %-32s %6d\n", p, pkgs[p])
+	}
+}
+
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}

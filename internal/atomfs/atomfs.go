@@ -1,0 +1,305 @@
+// Package atomfs implements AtomFS: the fine-grained, lock-coupling,
+// linearizable, in-memory concurrent file system of the paper (§5, §6).
+//
+// Design, following the paper:
+//
+//   - one lock per inode (internal/ilock), directories as hash tables of
+//     linked lists (internal/dir), file data as fixed-size arrays of block
+//     indexes over a ramdisk (internal/file, internal/block);
+//   - path traversal uses lock coupling — the next inode's lock is always
+//     acquired before the current inode's lock is released — which makes
+//     AtomFS satisfy the non-bypassable criterion of §5.1 by construction;
+//   - rename first traverses (hand-over-hand) to the last common ancestor
+//     of source and destination, and releases its lock only after both the
+//     source and destination directories are locked (§5.2), which keeps
+//     LockPaths acyclic and the traversal deadlock-free;
+//   - every lock acquisition/release and every linearization point reports
+//     to an attached CRL-H monitor (internal/core), with rename using the
+//     helper LP (linothers) on its success path.
+//
+// Options provide the paper's evaluation variants: WithBigLock builds the
+// coarse-grained AtomFS-biglock baseline of §7.3, and WithUnsafeTraversal
+// deliberately breaks lock coupling (release-then-lock) to demonstrate the
+// non-bypassable violations of Figure 8.
+package atomfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/file"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/ilock"
+	"repro/internal/spec"
+)
+
+// HookPoint identifies an instrumentation point for deterministic
+// interleaving tests.
+type HookPoint uint8
+
+// Hook points.
+const (
+	// HookLocked fires immediately after a traversal locks an inode.
+	HookLocked HookPoint = iota + 1
+	// HookBeforeLP fires just before an operation's linearization point.
+	HookBeforeLP
+	// HookAfterLP fires just after it.
+	HookAfterLP
+	// HookUnsafeWindow fires, under WithUnsafeTraversal only, in the
+	// window where the traversal holds no lock: after releasing the
+	// parent and before acquiring the child (Figure 8's bypass window).
+	HookUnsafeWindow
+	// HookStepped fires after a coupled traversal step completes (child
+	// locked, parent released); the operation holds exactly the child.
+	HookStepped
+)
+
+// HookEvent describes one hook firing.
+type HookEvent struct {
+	Point HookPoint
+	Op    spec.Op
+	Tid   uint64
+	Name  string    // entry name just locked (HookLocked)
+	Ino   spec.Inum // inode just locked (HookLocked)
+}
+
+// HookFunc receives hook events; it runs on the operation's goroutine, so
+// blocking in it pauses the operation — which is exactly how the scenario
+// tests build precise interleavings.
+type HookFunc func(HookEvent)
+
+// node is a concrete inode.
+type node struct {
+	ino  spec.Inum
+	kind spec.Kind
+	lk   ilock.Mutex
+	dir  *dir.Table[*node] // directories
+	data *file.Data        // files
+	ref  refState          // §5.4 FD support: pin count + unlinked flag
+}
+
+// FS is an AtomFS instance. It implements fsapi.FS.
+type FS struct {
+	root    *node
+	store   *block.Store
+	mon     *core.Monitor
+	hook    atomic.Pointer[HookFunc]
+	nextIno atomic.Int64
+	nextTid atomic.Uint64
+
+	bigLock bool
+	big     ilock.Mutex
+	unsafe  bool
+
+	regMu    sync.RWMutex
+	registry map[spec.Inum]*node
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// Option configures New.
+type Option func(*FS)
+
+// WithMonitor attaches a CRL-H monitor. Incompatible with WithBigLock
+// (the big-lock variant takes no per-inode locks for the monitor to
+// observe).
+func WithMonitor(m *core.Monitor) Option { return func(fs *FS) { fs.mon = m } }
+
+// WithBigLock builds the coarse-grained baseline of §7.3: every operation
+// holds one global lock for its whole duration.
+func WithBigLock() Option { return func(fs *FS) { fs.bigLock = true } }
+
+// WithUnsafeTraversal replaces lock coupling with release-then-acquire
+// traversal, opening the bypass window of Figure 8. For demonstrations
+// only.
+func WithUnsafeTraversal() Option { return func(fs *FS) { fs.unsafe = true } }
+
+// WithHook installs an instrumentation hook.
+func WithHook(h HookFunc) Option { return func(fs *FS) { fs.SetHook(h) } }
+
+// WithBlocks sizes the ramdisk in blocks (default 1<<18 blocks = 1 GiB).
+func WithBlocks(n int) Option {
+	return func(fs *FS) { fs.store = block.NewStore(n) }
+}
+
+// New creates an empty AtomFS.
+func New(opts ...Option) *FS {
+	fs := &FS{registry: map[spec.Inum]*node{}}
+	for _, o := range opts {
+		o(fs)
+	}
+	if fs.store == nil {
+		fs.store = block.NewStore(1 << 18)
+	}
+	if fs.bigLock && fs.mon != nil {
+		panic("atomfs: WithBigLock cannot be monitored")
+	}
+	fs.root = &node{ino: spec.RootIno, kind: spec.KindDir, dir: dir.New[*node]()}
+	fs.nextIno.Store(int64(spec.RootIno) + 1)
+	fs.registry[spec.RootIno] = fs.root
+	if fs.mon != nil {
+		fs.mon.AttachView((*view)(fs))
+	}
+	return fs
+}
+
+// Name identifies the variant in benchmark tables.
+func (fs *FS) Name() string {
+	switch {
+	case fs.bigLock:
+		return "atomfs-biglock"
+	case fs.unsafe:
+		return "atomfs-unsafe"
+	default:
+		return "atomfs"
+	}
+}
+
+func (fs *FS) newNode(kind spec.Kind) *node {
+	n := &node{ino: spec.Inum(fs.nextIno.Add(1) - 1), kind: kind}
+	if kind == spec.KindDir {
+		n.dir = dir.New[*node]()
+	} else {
+		n.data = file.New(fs.store)
+	}
+	fs.regMu.Lock()
+	fs.registry[n.ino] = n
+	fs.regMu.Unlock()
+	return n
+}
+
+// op carries one operation's context down the traversal helpers.
+type op struct {
+	fs   *FS
+	s    *core.Session // nil when unmonitored
+	tid  uint64
+	kind spec.Op
+}
+
+func (fs *FS) begin(kind spec.Op, args spec.Args) *op {
+	o := &op{fs: fs, kind: kind}
+	if fs.mon != nil {
+		o.s = fs.mon.Begin(kind, args)
+		o.tid = o.s.Tid()
+	} else {
+		o.tid = fs.nextTid.Add(1) | 1<<32
+	}
+	if fs.bigLock {
+		fs.big.Lock(o.tid)
+	}
+	return o
+}
+
+// end closes the operation and converts the result.
+func (o *op) end(ret spec.Ret) spec.Ret {
+	if o.fs.bigLock {
+		o.fs.big.Unlock(o.tid)
+	}
+	o.s.End(ret)
+	return ret
+}
+
+// SetHook installs (or, with nil, removes) the instrumentation hook.
+// Scenario tests set it after building their initial tree so that setup
+// operations do not fire it.
+func (fs *FS) SetHook(h HookFunc) {
+	if h == nil {
+		fs.hook.Store(nil)
+		return
+	}
+	fs.hook.Store(&h)
+}
+
+func (o *op) fire(p HookPoint, name string, ino spec.Inum) {
+	if h := o.fs.hook.Load(); h != nil {
+		(*h)(HookEvent{Point: p, Op: o.kind, Tid: o.tid, Name: name, Ino: ino})
+	}
+}
+
+// lock acquires n's lock (a no-op under the big lock) and reports it.
+func (o *op) lock(branch core.Branch, name string, n *node) {
+	if !o.fs.bigLock {
+		n.lk.Lock(o.tid)
+	}
+	o.s.Lock(branch, name, n.ino)
+	o.fire(HookLocked, name, n.ino)
+}
+
+func (o *op) unlock(n *node) {
+	if !o.fs.bigLock {
+		n.lk.Unlock(o.tid)
+	}
+	o.s.Unlock(n.ino)
+}
+
+// lp fires the operation's fixed linearization point.
+func (o *op) lp() {
+	o.fire(HookBeforeLP, "", 0)
+	o.s.LP()
+	o.fire(HookAfterLP, "", 0)
+}
+
+// renameLP fires rename's helper linearization point.
+func (o *op) renameLP() {
+	o.fire(HookBeforeLP, "", 0)
+	o.s.RenameLP()
+	o.fire(HookAfterLP, "", 0)
+}
+
+// walk traverses parts starting from locked cur with lock coupling. keep,
+// when non-nil, is a node whose lock must survive the walk (rename's
+// common ancestor): it is never released even when the walk moves past
+// it. On success the final node is locked (plus keep and extras); on error
+// the operation is linearized at the failure point and every held lock —
+// the current node, keep, and the extras — is released.
+func (o *op) walk(branch core.Branch, cur *node, parts []string, keep *node, extras ...*node) (*node, error) {
+	for _, name := range parts {
+		prev := cur
+		next, err := o.stepKeeping(branch, cur, name, keep)
+		if err != nil {
+			o.lp()
+			o.unlockSet(append([]*node{prev, keep}, extras...)...)
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// stepKeeping moves the traversal from locked cur to its child name,
+// following the coupling discipline (acquire child, then release cur) or,
+// under WithUnsafeTraversal, the Figure-8 variant (release cur, then
+// acquire child — opening the bypass window). keep is never released. On
+// failure cur remains locked; the caller owns the LP placement.
+func (o *op) stepKeeping(branch core.Branch, cur *node, name string, keep *node) (*node, error) {
+	if cur.kind != spec.KindDir {
+		return nil, fserr.ErrNotDir
+	}
+	child, ok := cur.dir.Lookup(name)
+	if !ok {
+		return nil, fserr.ErrNotExist
+	}
+	if o.fs.unsafe && cur != keep {
+		o.unlock(cur)
+		o.fire(HookUnsafeWindow, name, child.ino)
+		o.lock(branch, name, child)
+		return child, nil
+	}
+	o.lock(branch, name, child)
+	if cur != keep {
+		o.unlock(cur)
+		o.fire(HookStepped, name, child.ino)
+	}
+	return child, nil
+}
+
+// traverse locks the root and walks parts; on success the final node is
+// locked.
+func (o *op) traverse(branch core.Branch, parts []string) (*node, error) {
+	o.lock(branch, "", o.fs.root)
+	return o.walk(branch, o.fs.root, parts, nil)
+}

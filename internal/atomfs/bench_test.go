@@ -1,0 +1,159 @@
+package atomfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fstest"
+)
+
+// The microbenchmarks below ground the virtual-tick cost model of
+// internal/multicore in measured behaviour: the per-step cost of coupled
+// traversal (depth sweep) and the entry-count dependence of directory
+// critical sections (width sweep) are the two quantities the Figure-11
+// simulator parameterizes as RootStep/DirStep and EntryCost.
+
+// BenchmarkTraversalDepth: stat cost as a function of path depth — each
+// extra component adds one lock/unlock pair plus one hash lookup.
+func BenchmarkTraversalDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			fs := New()
+			path := ""
+			for i := 0; i < depth; i++ {
+				path = fmt.Sprintf("%s/d%d", path, i)
+				if err := fs.Mkdir(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Stat(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDirectoryWidth: lookup cost as a function of directory size —
+// the fixed-width hash table's chains grow linearly with entries, which
+// is the multicore model's EntryCost.
+func BenchmarkDirectoryWidth(b *testing.B) {
+	for _, width := range []int{16, 256, 4096, 16384} {
+		b.Run(fmt.Sprintf("entries-%d", width), func(b *testing.B) {
+			fs := New()
+			if err := fs.Mkdir("/d"); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < width; i++ {
+				if err := fs.Mknod(fmt.Sprintf("/d/f%06d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			target := fmt.Sprintf("/d/f%06d", width/2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Stat(target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRenameShapes: rename cost by structural relationship between
+// source and destination (same dir, siblings, cross-subtree, deep).
+func BenchmarkRenameShapes(b *testing.B) {
+	shapes := []struct {
+		name     string
+		src, dst string
+		setup    []string
+	}{
+		{"same-dir", "/d/a", "/d/b", []string{"/d"}},
+		{"siblings", "/p/x/f", "/p/y/f", []string{"/p", "/p/x", "/p/y"}},
+		{"cross-root", "/l/f", "/r/f", []string{"/l", "/r"}},
+		{"deep", "/q/1/2/3/f", "/w/1/2/3/f", []string{"/q", "/q/1", "/q/1/2", "/q/1/2/3", "/w", "/w/1", "/w/1/2", "/w/1/2/3"}},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			fs := New()
+			for _, d := range sh.setup {
+				if err := fs.Mkdir(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := fs.Mknod(sh.src); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fs.Rename(sh.src, sh.dst); err != nil {
+					b.Fatal(err)
+				}
+				if err := fs.Rename(sh.dst, sh.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnsafeVsCoupled: the raw cost difference between coupled and
+// release-then-acquire traversal (the broken variant is marginally
+// cheaper — the price of correctness is small, which is the point).
+func BenchmarkUnsafeVsCoupled(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		mk   func() *FS
+	}{
+		{"coupled", func() *FS { return New() }},
+		{"unsafe", func() *FS { return New(WithUnsafeTraversal()) }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			fs := variant.mk()
+			path := fstest.DeepTree(b, fs, 8)
+			if err := fs.Mknod(path + "/f"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs.Stat(path + "/f")
+			}
+		})
+	}
+}
+
+// BenchmarkRefFDVsPath: the §5.4 trade — FD-direct data access skips the
+// whole traversal.
+func BenchmarkRefFDVsPath(b *testing.B) {
+	fs := New()
+	path := fstest.DeepTree(b, fs, 6) + "/f"
+	if err := fs.Mknod(path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fs.Write(path, 0, make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.Run("path-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.Read(path, 0, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reffd-read", func(b *testing.B) {
+		fd, err := fs.OpenRef(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fd.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.ReadAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

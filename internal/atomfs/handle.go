@@ -1,0 +1,86 @@
+package atomfs
+
+import (
+	"repro/internal/core"
+	"repro/internal/fserr"
+	"repro/internal/pathname"
+	"repro/internal/spec"
+)
+
+// Handle is a direct (FD-style) reference to an inode, resolved once at
+// open time. Operations through a Handle lock only the target inode and
+// skip the path traversal — the behaviour of naive FD-based interfaces
+// that §5.4 shows to be non-linearizable: a Handle operation can bypass a
+// helped path-based operation (Figure 9).
+//
+// AtomFS proper therefore routes FD-based interfaces through full path
+// traversal (see internal/vfs); Handle exists to demonstrate why.
+type Handle struct {
+	fs   *FS
+	n    *node
+	path string
+}
+
+// OpenDirect resolves path once and returns a direct handle to the inode.
+// The resolution itself is an ordinary (linearizable) stat-like traversal.
+func (fs *FS) OpenDirect(path string) (*Handle, error) {
+	o := fs.begin(spec.OpStat, spec.Args{Path: path})
+	parts, err := pathname.Split(path)
+	if err != nil {
+		o.end(spec.ErrRet(err))
+		return nil, err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		o.end(spec.ErrRet(err))
+		return nil, err
+	}
+	ret := spec.Ret{Kind: n.kind}
+	if n.kind == spec.KindFile {
+		ret.Size = n.data.Size()
+	} else {
+		ret.Size = int64(n.dir.Len())
+	}
+	o.lp()
+	o.unlock(n)
+	o.end(ret)
+	return &Handle{fs: fs, n: n, path: path}, nil
+}
+
+// Readdir lists the directory through the direct reference: it locks only
+// the target inode, bypassing every lock on the path. Against concurrent
+// renames this is NOT linearizable; the attached monitor reports the
+// refinement violation (Figure 9).
+func (h *Handle) Readdir() ([]string, error) {
+	fs := h.fs
+	o := fs.begin(spec.OpReaddir, spec.Args{Path: h.path})
+	if h.n.kind != spec.KindDir {
+		return nil, o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	o.lock(core.BranchBoth, "", h.n) // direct: no traversal
+	ret := spec.Ret{Names: h.n.dir.Names()}
+	o.lp()
+	o.unlock(h.n)
+	o.end(ret)
+	return ret.Names, nil
+}
+
+// Read reads through the direct reference (same caveats as Readdir).
+func (h *Handle) Read(off int64, size int) ([]byte, error) {
+	fs := h.fs
+	o := fs.begin(spec.OpRead, spec.Args{Path: h.path, Off: off, Size: size})
+	if off < 0 || size < 0 {
+		return nil, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+	}
+	if h.n.kind != spec.KindFile {
+		return nil, o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+	}
+	o.lock(core.BranchBoth, "", h.n)
+	buf := make([]byte, size)
+	rn, _ := h.n.data.ReadAt(buf, off)
+	ret := spec.Ret{Data: buf[:rn:rn], N: rn}
+	o.lp()
+	o.unlock(h.n)
+	o.end(ret)
+	return ret.Data, nil
+}

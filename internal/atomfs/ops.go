@@ -1,0 +1,396 @@
+package atomfs
+
+import (
+	"repro/internal/core"
+	"repro/internal/file"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/pathname"
+	"repro/internal/spec"
+)
+
+// The operations below mirror Figure 2 of the paper (with full error
+// handling) and place every linearization point inside the critical
+// section, exactly where the proofs require it:
+//
+//	ins: insert(parent, name, node); ▶ LP ◀; unlock
+//	del: delete(parent, name);       ▶ LP ◀; unlock; free
+//	rename: delete;delete;insert;    ▶ LP: linothers; RENAME ◀; unlock; free
+//
+// Failure paths linearize at the failing check, while the relevant lock is
+// still held, so the abstract state agrees with what the concrete
+// operation observed. Error precedence matches spec.Apply exactly; the
+// differential tests in conform enforce this.
+
+// unlockSet releases a set of nodes, ignoring nils and duplicates. The
+// set is tiny (at most four nodes on rename's unlock path), so a linear
+// scan beats a map allocation on this hot path.
+func (o *op) unlockSet(nodes ...*node) {
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		dup := false
+		for _, m := range nodes[:i] {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			o.unlock(n)
+		}
+	}
+}
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string) error { return fs.ins(spec.OpMknod, spec.KindFile, path) }
+
+// Mkdir creates an empty directory.
+func (fs *FS) Mkdir(path string) error { return fs.ins(spec.OpMkdir, spec.KindDir, path) }
+
+func (fs *FS) ins(opKind spec.Op, kind spec.Kind, path string) error {
+	o := fs.begin(opKind, spec.Args{Path: path})
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	parent, err := o.traverse(core.BranchBoth, dirParts)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	if parent.kind != spec.KindDir {
+		o.lp()
+		o.unlock(parent)
+		return o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	if _, exists := parent.dir.Lookup(name); exists {
+		o.lp()
+		o.unlock(parent)
+		return o.end(spec.ErrRet(fserr.ErrExist)).Err
+	}
+	child := fs.newNode(kind)
+	parent.dir.Insert(name, child)
+	o.lp() // ▶ LP: INS ◀
+	o.unlock(parent)
+	return o.end(spec.OkRet()).Err
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error { return fs.del(spec.OpRmdir, spec.KindDir, path) }
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string) error { return fs.del(spec.OpUnlink, spec.KindFile, path) }
+
+func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
+	o := fs.begin(opKind, spec.Args{Path: path})
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	parent, err := o.traverse(core.BranchBoth, dirParts)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	if parent.kind != spec.KindDir {
+		o.lp()
+		o.unlock(parent)
+		return o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	child, ok := parent.dir.Lookup(name)
+	if !ok {
+		o.lp()
+		o.unlock(parent)
+		return o.end(spec.ErrRet(fserr.ErrNotExist)).Err
+	}
+	o.lock(core.BranchBoth, name, child)
+	if kind == spec.KindDir {
+		if child.kind != spec.KindDir {
+			o.lp()
+			o.unlockSet(child, parent)
+			return o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+		}
+		if child.dir.Len() != 0 {
+			o.lp()
+			o.unlockSet(child, parent)
+			return o.end(spec.ErrRet(fserr.ErrNotEmpty)).Err
+		}
+	} else if child.kind == spec.KindDir {
+		o.lp()
+		o.unlockSet(child, parent)
+		return o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+	}
+	parent.dir.Delete(name)
+	child.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
+	o.lp()                         // ▶ LP: DEL ◀
+	o.unlockSet(child, parent)
+	fs.maybeFree(child)
+	return o.end(spec.OkRet()).Err
+}
+
+// Stat reports an inode's kind and size.
+func (fs *FS) Stat(path string) (fsapi.Info, error) {
+	o := fs.begin(spec.OpStat, spec.Args{Path: path})
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
+	}
+	ret := spec.Ret{Kind: n.kind}
+	if n.kind == spec.KindFile {
+		ret.Size = n.data.Size()
+	} else {
+		ret.Size = int64(n.dir.Len())
+	}
+	o.lp() // ▶ LP: STAT ◀
+	o.unlock(n)
+	o.end(ret)
+	return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, nil
+}
+
+// Read returns up to size bytes at off.
+func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
+	o := fs.begin(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
+	if off < 0 || size < 0 {
+		return nil, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	if n.kind == spec.KindDir {
+		o.lp()
+		o.unlock(n)
+		return nil, o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+	}
+	buf := make([]byte, size)
+	rn, _ := n.data.ReadAt(buf, off)
+	ret := spec.Ret{Data: buf[:rn:rn], N: rn}
+	o.lp() // ▶ LP: READ ◀
+	o.unlock(n)
+	o.end(ret)
+	return ret.Data, nil
+}
+
+// Write stores data at off, growing the file as needed.
+func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+	o := fs.begin(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
+	if off < 0 {
+		return 0, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+	}
+	if off+int64(len(data)) > file.MaxSize {
+		return 0, o.end(spec.ErrRet(fserr.ErrNoSpace)).Err
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return 0, o.end(spec.ErrRet(err)).Err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		return 0, o.end(spec.ErrRet(err)).Err
+	}
+	if n.kind == spec.KindDir {
+		o.lp()
+		o.unlock(n)
+		return 0, o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+	}
+	wn, werr := n.data.WriteAt(data, off, o.tid)
+	var ret spec.Ret
+	if werr != nil {
+		ret = spec.ErrRet(werr) // ramdisk exhausted mid-write
+	} else {
+		ret = spec.Ret{N: wn}
+	}
+	o.lp() // ▶ LP: WRITE ◀
+	o.unlock(n)
+	o.end(ret)
+	return wn, werr
+}
+
+// Truncate resizes a file.
+func (fs *FS) Truncate(path string, size int64) error {
+	o := fs.begin(spec.OpTruncate, spec.Args{Path: path, Off: size})
+	if size < 0 || size > file.MaxSize {
+		return o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	if n.kind == spec.KindDir {
+		o.lp()
+		o.unlock(n)
+		return o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+	}
+	terr := n.data.Truncate(size, o.tid)
+	var ret spec.Ret
+	if terr != nil {
+		ret = spec.ErrRet(terr)
+	} else {
+		ret = spec.OkRet()
+	}
+	o.lp() // ▶ LP: TRUNCATE ◀
+	o.unlock(n)
+	return o.end(ret).Err
+}
+
+// Readdir lists a directory's entry names in sorted order.
+func (fs *FS) Readdir(path string) ([]string, error) {
+	o := fs.begin(spec.OpReaddir, spec.Args{Path: path})
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	n, err := o.traverse(core.BranchBoth, parts)
+	if err != nil {
+		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	if n.kind != spec.KindDir {
+		o.lp()
+		o.unlock(n)
+		return nil, o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	ret := spec.Ret{Names: n.dir.Names()}
+	o.lp() // ▶ LP: READDIR ◀
+	o.unlock(n)
+	o.end(ret)
+	return ret.Names, nil
+}
+
+// Rename moves src to dst with POSIX overwrite semantics. This is the
+// paper's §5.2 protocol: hand-over-hand to the last common ancestor, which
+// stays locked until both the source and destination directories are
+// locked; then victim locks; then the three link mutations; then the
+// helper linearization point.
+func (fs *FS) Rename(src, dst string) error {
+	o := fs.begin(spec.OpRename, spec.Args{Path: src, Path2: dst})
+	sdirParts, sn, err := pathname.SplitDir(src)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	ddirParts, dn, err := pathname.SplitDir(dst)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+	srcParts := append(append([]string{}, sdirParts...), sn)
+	dstParts := append(append([]string{}, ddirParts...), dn)
+
+	// Hand-over-hand down the common prefix of the two parent paths.
+	commonLen := pathname.CommonPrefixLen(sdirParts, ddirParts)
+	o.lock(core.BranchBoth, "", fs.root)
+	lca, err := o.walk(core.BranchBoth, fs.root, sdirParts[:commonLen], nil)
+	if err != nil {
+		return o.end(spec.ErrRet(err)).Err
+	}
+
+	// Source branch; the LCA lock survives the walk.
+	sdir := lca
+	if len(sdirParts) > commonLen {
+		sdir, err = o.walk(core.BranchSrc, lca, sdirParts[commonLen:], lca)
+		if err != nil {
+			return o.end(spec.ErrRet(err)).Err
+		}
+	}
+	if sdir.kind != spec.KindDir {
+		o.lp()
+		o.unlockSet(sdir, lca)
+		return o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	snode, ok := sdir.dir.Lookup(sn)
+	if !ok {
+		o.lp()
+		o.unlockSet(sdir, lca)
+		return o.end(spec.ErrRet(fserr.ErrNotExist)).Err
+	}
+	if samePath(srcParts, dstParts) {
+		o.lp()
+		o.unlockSet(sdir, lca)
+		return o.end(spec.OkRet()).Err
+	}
+	if pathname.IsPrefix(srcParts, dstParts) {
+		o.lp()
+		o.unlockSet(sdir, lca)
+		return o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+	}
+
+	// Destination branch; both the LCA and sdir stay locked.
+	ddir := lca
+	if len(ddirParts) > commonLen {
+		ddir, err = o.walk(core.BranchDst, lca, ddirParts[commonLen:], lca, sdir)
+		if err != nil {
+			return o.end(spec.ErrRet(err)).Err
+		}
+	}
+	if ddir.kind != spec.KindDir {
+		o.lp()
+		o.unlockSet(ddir, sdir, lca)
+		return o.end(spec.ErrRet(fserr.ErrNotDir)).Err
+	}
+	// Both parent directories are locked; the LCA lock may now be
+	// released (§5.2 deadlock-freedom rule).
+	if lca != sdir && lca != ddir {
+		o.unlock(lca)
+	}
+
+	var dnode *node
+	if d, exists := ddir.dir.Lookup(dn); exists {
+		dnode = d
+		// dnode == sdir happens when dst names the source's own parent
+		// (rename(/a/b/s, /a/b)); it is already locked then.
+		if dnode != sdir {
+			o.lock(core.BranchDst, dn, dnode)
+		}
+		var verr error
+		if snode.kind == spec.KindDir {
+			if dnode.kind != spec.KindDir {
+				verr = fserr.ErrNotDir
+			} else if dnode.dir.Len() != 0 {
+				verr = fserr.ErrNotEmpty
+			}
+		} else if dnode.kind == spec.KindDir {
+			verr = fserr.ErrIsDir
+		}
+		if verr != nil {
+			o.lp()
+			o.unlockSet(dnode, sdir, ddir)
+			return o.end(spec.ErrRet(verr)).Err
+		}
+	}
+	o.lock(core.BranchSrc, sn, snode)
+
+	if dnode != nil {
+		ddir.dir.Delete(dn)
+		dnode.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
+	}
+	sdir.dir.Delete(sn)
+	ddir.dir.Insert(dn, snode)
+	o.renameLP() // ▶ LP: linothers(t); RENAME ◀
+	o.unlockSet(snode, dnode, sdir, ddir)
+	if dnode != nil && dnode != sdir {
+		fs.maybeFree(dnode)
+	}
+	return o.end(spec.OkRet()).Err
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package atomfs
+
+import (
+	"repro/internal/core"
+	"repro/internal/ilock"
+	"repro/internal/spec"
+)
+
+// view adapts an FS to the monitor's core.View interface, giving the
+// CRL-H invariant checks a window into the concrete state.
+type view FS
+
+var _ core.View = (*view)(nil)
+
+// LockOwner returns the holder of ino's lock, or 0.
+func (v *view) LockOwner(ino spec.Inum) uint64 {
+	v.regMu.RLock()
+	n := v.registry[ino]
+	v.regMu.RUnlock()
+	if n == nil {
+		return ilock.NoOwner
+	}
+	return n.lk.Owner()
+}
+
+// LockedInodes returns the inodes whose locks are currently held. Advisory
+// under concurrency; the monitor calls it at gate points or quiescence.
+func (v *view) LockedInodes() map[spec.Inum]bool {
+	v.regMu.RLock()
+	defer v.regMu.RUnlock()
+	out := map[spec.Inum]bool{}
+	for ino, n := range v.registry {
+		if n.lk.Owner() != ilock.NoOwner {
+			out[ino] = true
+		}
+	}
+	return out
+}
+
+// Snapshot renders the concrete tree as an abstract state with the same
+// inode numbers. It takes no locks: callers guarantee quiescence, or
+// tolerate skipped (locked) regions via the relaxed mapping.
+func (v *view) Snapshot() *spec.AFS {
+	fs := (*FS)(v)
+	afs := &spec.AFS{Imap: map[spec.Inum]*spec.ANode{}, Root: fs.root.ino}
+	var walkNode func(n *node)
+	walkNode = func(n *node) {
+		if _, done := afs.Imap[n.ino]; done {
+			return
+		}
+		an := &spec.ANode{Kind: n.kind}
+		afs.Imap[n.ino] = an
+		if n.kind == spec.KindFile {
+			an.Data = n.data.Bytes()
+			return
+		}
+		an.Links = map[string]spec.Inum{}
+		type pair struct {
+			name  string
+			child *node
+		}
+		var children []pair
+		n.dir.Range(func(name string, child *node) bool {
+			children = append(children, pair{name, child})
+			return true
+		})
+		for _, c := range children {
+			an.Links[c.name] = c.child.ino
+			walkNode(c.child)
+		}
+	}
+	walkNode(fs.root)
+	return afs
+}
+
+// Check verifies the concrete tree's structural sanity directly (an fsck):
+// it renders a snapshot and runs the GoodAFS judgement on it. Only valid
+// at quiescence.
+func (fs *FS) Check() error {
+	return (*view)(fs).Snapshot().GoodAFS()
+}
+
+// BlocksInUse reports allocated ramdisk blocks (leak detection in tests).
+func (fs *FS) BlocksInUse() int { return fs.store.InUse() }
+
+// SnapshotKey renders the canonical key of the current tree (quiescent
+// callers only); used by state-level differential tests.
+func (fs *FS) SnapshotKey() string { return (*view)(fs).Snapshot().Key() }
+
+// Snapshot renders the tree as an abstract state (quiescent callers
+// only); trace.FromState uses it to serialize a live file system.
+func (fs *FS) Snapshot() *spec.AFS { return (*view)(fs).Snapshot() }
+
+// Usage summarizes the file system's resource consumption.
+type Usage struct {
+	Inodes int // live inodes (including the root)
+	Dirs   int
+	Files  int
+	Blocks int // allocated ramdisk blocks
+}
+
+// Usage reports resource counters (quiescent callers only).
+func (fs *FS) Usage() Usage {
+	fs.regMu.RLock()
+	defer fs.regMu.RUnlock()
+	u := Usage{Inodes: len(fs.registry), Blocks: fs.store.InUse()}
+	for _, n := range fs.registry {
+		if n.kind == spec.KindDir {
+			u.Dirs++
+		} else {
+			u.Files++
+		}
+	}
+	return u
+}

@@ -1,0 +1,204 @@
+// Package benchutil provides measurement and reporting helpers for the
+// benchmark harness: wall-clock timing, throughput series over thread
+// counts, speedup computation, and fixed-width table/series rendering
+// that mirrors the layout of the paper's Figure 10 (grouped bars, reported
+// as running times) and Figure 11 (speedup-vs-threads curves).
+package benchutil
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measurement is one timed run.
+type Measurement struct {
+	Name    string
+	System  string
+	Elapsed time.Duration
+	Ops     int64
+}
+
+// Throughput returns operations per second.
+func (m Measurement) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / m.Elapsed.Seconds()
+}
+
+// Time runs fn and returns the measurement.
+func Time(name, system string, fn func() int64) Measurement {
+	start := time.Now()
+	ops := fn()
+	return Measurement{Name: name, System: system, Elapsed: time.Since(start), Ops: ops}
+}
+
+// Table accumulates workload x system -> duration results (Figure 10).
+type Table struct {
+	rows    map[string]map[string]Measurement
+	rowIdx  []string
+	systems []string
+}
+
+// NewTable creates an empty table with a fixed system (column) order.
+func NewTable(systems ...string) *Table {
+	return &Table{rows: map[string]map[string]Measurement{}, systems: systems}
+}
+
+// Add records one measurement.
+func (t *Table) Add(m Measurement) {
+	if _, ok := t.rows[m.Name]; !ok {
+		t.rows[m.Name] = map[string]Measurement{}
+		t.rowIdx = append(t.rowIdx, m.Name)
+	}
+	t.rows[m.Name][m.System] = m
+}
+
+// Get returns the measurement for (workload, system).
+func (t *Table) Get(name, system string) (Measurement, bool) {
+	m, ok := t.rows[name][system]
+	return m, ok
+}
+
+// Ratio returns elapsed(a)/elapsed(b) for one workload.
+func (t *Table) Ratio(name, a, b string) float64 {
+	ma, oka := t.Get(name, a)
+	mb, okb := t.Get(name, b)
+	if !oka || !okb || mb.Elapsed == 0 {
+		return 0
+	}
+	return ma.Elapsed.Seconds() / mb.Elapsed.Seconds()
+}
+
+// Render writes the table: one row per workload, one column per system,
+// cells in seconds.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-14s", "workload")
+	for _, s := range t.systems {
+		fmt.Fprintf(w, " %14s", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 14+15*len(t.systems)))
+	for _, name := range t.rowIdx {
+		fmt.Fprintf(w, "%-14s", name)
+		for _, s := range t.systems {
+			if m, ok := t.rows[name][s]; ok {
+				fmt.Fprintf(w, " %13.3fs", m.Elapsed.Seconds())
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Series is a speedup-vs-threads curve set (Figure 11): for each system,
+// throughput at each thread count, normalized to the 1-thread baseline of
+// the same system.
+type Series struct {
+	Title   string
+	systems []string
+	points  map[string]map[int]Measurement // system -> threads -> m
+	threads map[int]bool
+}
+
+// NewSeries creates an empty curve set.
+func NewSeries(title string, systems ...string) *Series {
+	return &Series{Title: title, systems: systems,
+		points: map[string]map[int]Measurement{}, threads: map[int]bool{}}
+}
+
+// Add records the measurement for (system, threads).
+func (s *Series) Add(system string, threads int, m Measurement) {
+	if _, ok := s.points[system]; !ok {
+		s.points[system] = map[int]Measurement{}
+	}
+	s.points[system][threads] = m
+	s.threads[threads] = true
+}
+
+// Speedup returns throughput(threads)/throughput(1) for a system.
+func (s *Series) Speedup(system string, threads int) float64 {
+	base, okb := s.points[system][1]
+	m, okm := s.points[system][threads]
+	if !okb || !okm || base.Throughput() == 0 {
+		return 0
+	}
+	return m.Throughput() / base.Throughput()
+}
+
+// Throughput returns the raw ops/s for (system, threads).
+func (s *Series) Throughput(system string, threads int) float64 {
+	return s.points[system][threads].Throughput()
+}
+
+// ThreadCounts returns the measured thread counts in ascending order.
+func (s *Series) ThreadCounts() []int {
+	out := make([]int, 0, len(s.threads))
+	for t := range s.threads {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Render writes the speedup curves: one row per thread count, one column
+// per system.
+func (s *Series) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s (speedup over 1 thread)\n", s.Title)
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, sys := range s.systems {
+		fmt.Fprintf(w, " %18s", sys)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 8+19*len(s.systems)))
+	for _, th := range s.ThreadCounts() {
+		fmt.Fprintf(w, "%-8d", th)
+		for _, sys := range s.systems {
+			fmt.Fprintf(w, " %10.2fx %6.0f", s.Speedup(sys, th), s.Throughput(sys, th)/1000)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(each cell: speedup, then kops/s)\n")
+}
+
+// RenderCSV writes the table as CSV (workload, then one column per
+// system, seconds) for external plotting.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "workload")
+	for _, s := range t.systems {
+		fmt.Fprintf(w, ",%s", s)
+	}
+	fmt.Fprintln(w)
+	for _, name := range t.rowIdx {
+		fmt.Fprintf(w, "%s", name)
+		for _, s := range t.systems {
+			if m, ok := t.rows[name][s]; ok {
+				fmt.Fprintf(w, ",%.6f", m.Elapsed.Seconds())
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderCSV writes the speedup series as CSV (threads, then speedup and
+// kops/s per system) for external plotting.
+func (s *Series) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "threads")
+	for _, sys := range s.systems {
+		fmt.Fprintf(w, ",%s_speedup,%s_kops", sys, sys)
+	}
+	fmt.Fprintln(w)
+	for _, th := range s.ThreadCounts() {
+		fmt.Fprintf(w, "%d", th)
+		for _, sys := range s.systems {
+			fmt.Fprintf(w, ",%.3f,%.1f", s.Speedup(sys, th), s.Throughput(sys, th)/1000)
+		}
+		fmt.Fprintln(w)
+	}
+}

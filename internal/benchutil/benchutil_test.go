@@ -1,0 +1,80 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasurementThroughput(t *testing.T) {
+	m := Measurement{Ops: 1000, Elapsed: time.Second}
+	if m.Throughput() != 1000 {
+		t.Fatalf("throughput = %f", m.Throughput())
+	}
+	if (Measurement{Ops: 5}).Throughput() != 0 {
+		t.Fatal("zero-duration throughput should be 0")
+	}
+}
+
+func TestTime(t *testing.T) {
+	m := Time("w", "s", func() int64 { return 42 })
+	if m.Ops != 42 || m.Name != "w" || m.System != "s" || m.Elapsed < 0 {
+		t.Fatalf("m = %+v", m)
+	}
+}
+
+func TestTableRatioAndRender(t *testing.T) {
+	tab := NewTable("fast", "slow")
+	tab.Add(Measurement{Name: "w1", System: "fast", Elapsed: time.Second, Ops: 10})
+	tab.Add(Measurement{Name: "w1", System: "slow", Elapsed: 2 * time.Second, Ops: 10})
+	if r := tab.Ratio("w1", "slow", "fast"); r != 2 {
+		t.Fatalf("ratio = %f", r)
+	}
+	if r := tab.Ratio("missing", "slow", "fast"); r != 0 {
+		t.Fatalf("missing ratio = %f", r)
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "w1") || !strings.Contains(out, "1.000s") || !strings.Contains(out, "2.000s") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSeriesSpeedup(t *testing.T) {
+	s := NewSeries("scal", "sys")
+	s.Add("sys", 1, Measurement{Ops: 100, Elapsed: time.Second})
+	s.Add("sys", 4, Measurement{Ops: 300, Elapsed: time.Second})
+	if sp := s.Speedup("sys", 4); sp != 3 {
+		t.Fatalf("speedup = %f", sp)
+	}
+	if sp := s.Speedup("sys", 1); sp != 1 {
+		t.Fatalf("base speedup = %f", sp)
+	}
+	if got := s.ThreadCounts(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("threads = %v", got)
+	}
+	var b strings.Builder
+	s.Render(&b)
+	if !strings.Contains(b.String(), "scal") || !strings.Contains(b.String(), "3.00x") {
+		t.Fatalf("render:\n%s", b.String())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := NewTable("sysA")
+	tab.Add(Measurement{Name: "w", System: "sysA", Elapsed: time.Second, Ops: 5})
+	var b strings.Builder
+	tab.RenderCSV(&b)
+	if !strings.Contains(b.String(), "workload,sysA") || !strings.Contains(b.String(), "w,1.000000") {
+		t.Fatalf("csv:\n%s", b.String())
+	}
+	s := NewSeries("x", "sysA")
+	s.Add("sysA", 1, Measurement{Ops: 100, Elapsed: time.Second})
+	s.Add("sysA", 2, Measurement{Ops: 150, Elapsed: time.Second})
+	b.Reset()
+	s.RenderCSV(&b)
+	if !strings.Contains(b.String(), "threads,sysA_speedup") || !strings.Contains(b.String(), "2,1.500") {
+		t.Fatalf("csv:\n%s", b.String())
+	}
+}

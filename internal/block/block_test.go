@@ -1,0 +1,134 @@
+package block
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fserr"
+)
+
+func TestAllocFree(t *testing.T) {
+	s := NewStore(4)
+	var got []Index
+	for i := 0; i < 4; i++ {
+		idx, err := s.Alloc(0)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		got = append(got, idx)
+	}
+	if _, err := s.Alloc(0); !errors.Is(err, fserr.ErrNoSpace) {
+		t.Fatalf("alloc past capacity: err = %v, want ENOSPC", err)
+	}
+	s.Free(got[2], 0)
+	idx, err := s.Alloc(0)
+	if err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if idx != got[2] {
+		t.Fatalf("expected recycled block %d, got %d", got[2], idx)
+	}
+}
+
+func TestAllocZeroes(t *testing.T) {
+	s := NewStore(2)
+	idx, _ := s.Alloc(0)
+	copy(s.Data(idx), []byte("dirty"))
+	s.Free(idx, 0)
+	idx2, _ := s.Alloc(0)
+	for i, b := range s.Data(idx2) {
+		if b != 0 {
+			t.Fatalf("recycled block not zeroed at byte %d", i)
+		}
+	}
+}
+
+func TestFreeNoBlock(t *testing.T) {
+	s := NewStore(1)
+	s.Free(NoBlock, 0) // must not panic
+}
+
+func TestDoubleUseDetection(t *testing.T) {
+	s := NewStore(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Data on unallocated block did not panic")
+		}
+	}()
+	s.Data(0)
+}
+
+func TestInUse(t *testing.T) {
+	s := NewStore(10)
+	if s.InUse() != 0 {
+		t.Fatal("fresh store in use")
+	}
+	a, _ := s.Alloc(0)
+	b, _ := s.Alloc(1)
+	if s.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", s.InUse())
+	}
+	s.Free(a, 0)
+	s.Free(b, 5)
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", s.InUse())
+	}
+}
+
+func TestConcurrentAllocNoDoubleHandout(t *testing.T) {
+	const blocks = 512
+	s := NewStore(blocks)
+	var mu sync.Mutex
+	seen := make(map[Index]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(hint uint64) {
+			defer wg.Done()
+			for {
+				idx, err := s.Alloc(hint)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[idx] {
+					t.Errorf("block %d handed out twice", idx)
+				}
+				seen[idx] = true
+				mu.Unlock()
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if len(seen) != blocks {
+		t.Fatalf("allocated %d blocks, want %d", len(seen), blocks)
+	}
+}
+
+func TestPropertyAllocFreeBalance(t *testing.T) {
+	f := func(ops []bool, hint uint64) bool {
+		s := NewStore(32)
+		var held []Index
+		for _, alloc := range ops {
+			if alloc {
+				idx, err := s.Alloc(hint)
+				if err != nil {
+					if len(held) < 32 {
+						return false // spurious ENOSPC
+					}
+					continue
+				}
+				held = append(held, idx)
+			} else if len(held) > 0 {
+				s.Free(held[len(held)-1], hint)
+				held = held[:len(held)-1]
+			}
+		}
+		return s.InUse() == len(held)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// DumpGhost writes a human-readable rendering of the monitor's ghost
+// state — the ThreadPool descriptors with their LockPaths, AopStates,
+// FutLockPaths and effects, plus the Helplist — for diagnosing violations
+// (cmd/fscheck -v prints it on failure).
+func (m *Monitor) DumpGhost(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "ghost state: %d registered operation(s), helplist %v\n", len(m.pool), m.helplist)
+	tids := make([]uint64, 0, len(m.pool))
+	for tid := range m.pool {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		d := m.pool[tid]
+		state := "pending"
+		if d.state == AopDone {
+			if d.helper != d.tid {
+				state = fmt.Sprintf("done (helped by t%d) -> %s", d.helper, d.ret)
+			} else {
+				state = fmt.Sprintf("done -> %s", d.ret)
+			}
+		}
+		fmt.Fprintf(w, "  t%d %s %s: %s\n", d.tid, d.op, d.args, state)
+		labels := []string{"lockpath", "dst-lockpath"}
+		for i, wk := range d.walks {
+			var parts []string
+			for _, rec := range wk.path {
+				name := rec.name
+				if name == "" {
+					name = "/"
+				}
+				parts = append(parts, fmt.Sprintf("%s#%d@%d", name, rec.ino, rec.seq))
+			}
+			line := fmt.Sprintf("    %s: [%s]", labels[min(i, 1)], strings.Join(parts, " "))
+			if len(wk.future) > 0 {
+				line += fmt.Sprintf(" future=%v", wk.future)
+			}
+			fmt.Fprintln(w, line)
+		}
+		if len(d.held) > 0 {
+			held := make([]spec.Inum, 0, len(d.held))
+			for ino := range d.held {
+				held = append(held, ino)
+			}
+			sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+			fmt.Fprintf(w, "    holds: %v\n", held)
+		}
+		if len(d.effects) > 0 {
+			var effs []string
+			for _, e := range d.effects {
+				effs = append(effs, e.String())
+			}
+			fmt.Fprintf(w, "    effects: %s\n", strings.Join(effs, ", "))
+		}
+	}
+}
+
+// Watchdog starts a background scanner that reports operations registered
+// longer than maxAge (likely deadlocked or leaked sessions) through
+// onStuck, passing a rendered ghost-state snapshot. It returns a stop
+// function. The scanner is advisory: it never mutates monitor state.
+func (m *Monitor) Watchdog(interval, maxAge time.Duration, onStuck func(age time.Duration, dump string)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				m.mu.Lock()
+				var oldest time.Time
+				for _, d := range m.pool {
+					if oldest.IsZero() || d.started.Before(oldest) {
+						oldest = d.started
+					}
+				}
+				m.mu.Unlock()
+				if oldest.IsZero() {
+					continue
+				}
+				if age := time.Since(oldest); age > maxAge {
+					var b strings.Builder
+					m.DumpGhost(&b)
+					onStuck(age, b.String())
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pathname"
+	"repro/internal/spec"
+)
+
+// Branch tells the monitor which traversal a lock acquisition belongs to.
+// Ordinary operations have a single walk; rename has a source walk and a
+// destination walk that share their common-ancestor prefix (the paper's
+// "pair of paths" LockPath, §5.2).
+type Branch uint8
+
+// Branches.
+const (
+	BranchBoth Branch = iota // common prefix (and the only branch of non-rename ops)
+	BranchSrc
+	BranchDst
+)
+
+// AopState mirrors §4.3: an operation is pending ("(aop, args)") until it is
+// linearized — by itself at a fixed LP or by a helper at an external LP —
+// after which it is done ("(end, ret)").
+type AopState uint8
+
+// Aop states.
+const (
+	AopPending AopState = iota
+	AopDone
+)
+
+// lockRec is one LockPath entry: the concrete inode locked, the directory
+// entry name through which the traversal reached it ("" for the root), and
+// the global acquisition sequence number used to derive helping order.
+type lockRec struct {
+	ino  spec.Inum
+	name string
+	seq  uint64
+}
+
+// walk is one traversal's ghost record. path is the LockPath (acquired
+// locks, including released ones); expect is the full name sequence the
+// traversal is expected to lock, derived from the operation's arguments;
+// future is the FutLockPath suffix recorded when the operation is helped.
+type walk struct {
+	path   []lockRec
+	expect []string
+	future []string // names still to be locked, set at help time
+}
+
+func (w *walk) last() (lockRec, bool) {
+	if len(w.path) == 0 {
+		return lockRec{}, false
+	}
+	return w.path[len(w.path)-1], true
+}
+
+// consumed returns how many expected names the walk has locked through
+// (excluding the root).
+func (w *walk) consumed() int {
+	if len(w.path) == 0 {
+		return 0
+	}
+	return len(w.path) - 1
+}
+
+// inoSeq returns the acquisition seq of ino within the walk, latest
+// occurrence, and whether it appears.
+func (w *walk) inoSeq(ino spec.Inum) (uint64, bool) {
+	for i := len(w.path) - 1; i >= 0; i-- {
+		if w.path[i].ino == ino {
+			return w.path[i].seq, true
+		}
+	}
+	return 0, false
+}
+
+// namesAfter returns the entry names the walk consumed strictly after its
+// latest acquisition of anchor, or ok=false if anchor is not in the walk.
+func (w *walk) namesAfter(anchor spec.Inum) ([]string, bool) {
+	for i := len(w.path) - 1; i >= 0; i-- {
+		if w.path[i].ino == anchor {
+			names := make([]string, 0, len(w.path)-i-1)
+			for _, rec := range w.path[i+1:] {
+				names = append(names, rec.name)
+			}
+			return names, true
+		}
+	}
+	return nil, false
+}
+
+func (w *walk) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, rec := range w.path {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", rec.ino)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Descriptor is the per-thread helper metadata of §4.3 and §5.2: the
+// operation's Aop and arguments, its AopState, its LockPath(s), the
+// FutLockPath initialized at help time, and the Effects its Aop applied at
+// the abstract level (for the roll-back mechanism).
+type Descriptor struct {
+	tid     uint64
+	op      spec.Op
+	args    spec.Args
+	state   AopState
+	ret     spec.Ret
+	helper  uint64
+	walks   []*walk // 1 for ordinary ops, 2 for rename (src, dst)
+	effects []spec.Effect
+	held    map[spec.Inum]int // currently held locks (count, for re-grants)
+	started time.Time         // registration time (watchdog)
+}
+
+func (d *Descriptor) isRename() bool { return d.op == spec.OpRename }
+
+// srcWalk and dstWalk; ordinary operations only have srcWalk.
+func (d *Descriptor) srcWalk() *walk { return d.walks[0] }
+func (d *Descriptor) dstWalk() *walk {
+	if len(d.walks) > 1 {
+		return d.walks[1]
+	}
+	return nil
+}
+
+// expectedNames computes, per walk, the full sequence of entry names the
+// operation's traversal will lock through, from its arguments:
+//
+//   - ins (mknod/mkdir) locks the parent chain only — the new node is
+//     created inside the parent's critical section;
+//   - del (rmdir/unlink) locks the parent chain plus the victim;
+//   - read-path operations lock every component;
+//   - rename locks parent chain + victim on both the source and the
+//     destination side.
+//
+// A parse failure yields nil walks; the operation will fail before locking
+// anything beyond the root.
+func expectedNames(op spec.Op, args spec.Args) (src, dst []string, ok bool) {
+	switch op {
+	case spec.OpMknod, spec.OpMkdir:
+		dirParts, _, err := pathname.SplitDir(args.Path)
+		if err != nil {
+			return nil, nil, false
+		}
+		return dirParts, nil, true
+	case spec.OpRmdir, spec.OpUnlink:
+		parts, err := pathname.Split(args.Path)
+		if err != nil {
+			return nil, nil, false
+		}
+		return parts, nil, true
+	case spec.OpRename:
+		sdir, sn, err := pathname.SplitDir(args.Path)
+		if err != nil {
+			return nil, nil, false
+		}
+		ddir, dn, err2 := pathname.SplitDir(args.Path2)
+		if err2 != nil {
+			return nil, nil, false
+		}
+		return append(append([]string{}, sdir...), sn), append(append([]string{}, ddir...), dn), true
+	default:
+		parts, err := pathname.Split(args.Path)
+		if err != nil {
+			return nil, nil, false
+		}
+		return parts, nil, true
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// This file implements the helper mechanism of §3.4/§5.2 — the
+// linearize-before relations, the help-set computation with recursive
+// search, the helping-order derivation, and the linothers primitive — plus
+// the Table-1 invariant checks that involve the ghost state.
+
+// srcPrefixOf reports whether r's source LockPath (root..sdir, snode — the
+// paper's SrcPath) is a strict prefix of some walk of t: the SrcPrefix
+// relation, meaning r is about to break t's path integrity, so t must
+// linearize before r.
+func srcPrefixOf(r, t *Descriptor) bool {
+	src := r.srcWalk().path
+	if len(src) == 0 {
+		return false
+	}
+	for _, w := range t.walks {
+		if len(w.path) <= len(src) {
+			continue
+		}
+		match := true
+		for i := range src {
+			if w.path[i].ino != src[i].ino {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// helpSet computes the set of threads the rename r must help: first every
+// pending thread with the SrcPrefix relation on r (Step-1: Init), then,
+// recursively, for every rename already in the set, every pending thread
+// with the SrcPrefix relation on *it* (Step-2: Recursive search) — the
+// paper's recursive path inter-dependency. Caller holds m.mu.
+func (m *Monitor) helpSet(r *Descriptor) []*Descriptor {
+	inSet := map[uint64]bool{}
+	var set []*Descriptor
+	add := func(of *Descriptor) {
+		for _, t := range m.pool {
+			if t.tid == r.tid || t.state != AopPending || inSet[t.tid] {
+				continue
+			}
+			if srcPrefixOf(of, t) {
+				inSet[t.tid] = true
+				set = append(set, t)
+			}
+		}
+	}
+	add(r)
+	for i := 0; i < len(set); i++ {
+		if set[i].isRename() {
+			add(set[i])
+		}
+	}
+	return set
+}
+
+// interactionOrder decides, for two threads in the help set, who linearizes
+// first, by comparing lock-acquisition sequence numbers at their most
+// recent shared inode. Lock coupling forbids overtaking along a shared
+// route, so acquisition order at the deepest interaction point is the
+// order in which the two operations observed each other's region of the
+// tree. Returns -1 if u before v, +1 if v before u, 0 if they never
+// interacted (commutative; any order works).
+func interactionOrder(u, v *Descriptor) int {
+	bestSum := uint64(0)
+	res := 0
+	for _, uw := range u.walks {
+		for _, rec := range uw.path {
+			useq := rec.seq
+			for _, vw := range v.walks {
+				if vseq, ok := vw.inoSeq(rec.ino); ok {
+					if s := useq + vseq; s > bestSum {
+						bestSum = s
+						if useq < vseq {
+							res = -1
+						} else {
+							res = 1
+						}
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// helpOrder topologically sorts the help set under the pairwise
+// linearize-before constraints. A cycle violates the Lockpath-wellformed
+// invariant (the LockPathPrefix relation must be acyclic) and is reported;
+// the remaining elements are appended in registration order so the monitor
+// can continue. Caller holds m.mu.
+func (m *Monitor) helpOrder(r *Descriptor, set []*Descriptor) []*Descriptor {
+	n := len(set)
+	if n <= 1 {
+		return set
+	}
+	// Deterministic base order.
+	sort.Slice(set, func(i, j int) bool { return set[i].tid < set[j].tid })
+	succ := make([][]int, n)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch interactionOrder(set[i], set[j]) {
+			case -1:
+				succ[i] = append(succ[i], j)
+				indeg[j]++
+			case 1:
+				succ[j] = append(succ[j], i)
+				indeg[i]++
+			}
+		}
+	}
+	order := make([]*Descriptor, 0, n)
+	ready := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, set[i])
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != n {
+		m.violate(ViolLockPathCycle, r.tid,
+			"linearize-before constraints among %d helped threads form a cycle", n)
+		seen := map[uint64]bool{}
+		for _, d := range order {
+			seen[d.tid] = true
+		}
+		for _, d := range set {
+			if !seen[d.tid] {
+				order = append(order, d)
+			}
+		}
+	}
+	return order
+}
+
+// linothers is the Figure-5 primitive: at rename r's LP, find every thread
+// that must linearize before r, order them, and execute their Aops on the
+// abstract state (external linearization points). Caller holds m.mu.
+func (m *Monitor) linothers(r *Descriptor) {
+	set := m.helpSet(r)
+	if len(set) > m.stats.MaxHelpSet {
+		m.stats.MaxHelpSet = len(set)
+	}
+	for _, t := range m.helpOrder(r, set) {
+		m.linearize(t, r.tid)
+	}
+}
+
+// --- Invariant checks -------------------------------------------------
+
+// checkLastLocked enforces Last-locked-lockpath: the most recently locked
+// inode of each of d's walks must currently be held by d in the concrete
+// file system. Only d's own walks are checked (d's thread is inside the
+// hook, so its concrete lock state is stable). Skipped after the LP, when
+// the unlock phase legitimately retires walk tails. Caller holds m.mu.
+func (m *Monitor) checkLastLocked(d *Descriptor) {
+	if d.state != AopPending {
+		return
+	}
+	for _, w := range d.walks {
+		last, ok := w.last()
+		if !ok {
+			continue
+		}
+		if d.held[last.ino] == 0 {
+			m.violate(ViolLastLocked, d.tid,
+				"%s %s: last LockPath inode %d not held", d.op, d.args, last.ino)
+			continue
+		}
+		if m.view != nil {
+			if owner := m.view.LockOwner(last.ino); owner != d.tid {
+				m.violate(ViolLastLocked, d.tid,
+					"%s %s: inode %d concretely owned by %d", d.op, d.args, last.ino, owner)
+			}
+		}
+	}
+}
+
+// checkFutureLockPath enforces Future-lockpath-validness: once helped, d's
+// further acquisitions must consume exactly the names recorded in its
+// FutLockPath. Caller holds m.mu.
+func (m *Monitor) checkFutureLockPath(d *Descriptor, branch Branch, name string, ino spec.Inum) {
+	if d.state != AopDone || d.helper == d.tid {
+		return
+	}
+	ws := d.walks
+	switch branch {
+	case BranchSrc:
+		ws = ws[:1]
+	case BranchDst:
+		if d.dstWalk() == nil {
+			return
+		}
+		ws = ws[1:]
+	}
+	for _, w := range ws {
+		if len(w.future) == 0 {
+			m.violate(ViolFutLockPath, d.tid,
+				"helped %s %s locked %d (%q) beyond its FutLockPath", d.op, d.args, ino, name)
+			continue
+		}
+		if w.future[0] != name {
+			m.violate(ViolFutLockPath, d.tid,
+				"helped %s %s locked %q, FutLockPath expects %q", d.op, d.args, name, w.future[0])
+		}
+		w.future = w.future[1:]
+	}
+}
+
+// checkBypass enforces the two non-bypassable invariants (§5.1, Table 1):
+// when d acquires ino, no helped thread h may have ino on its FutLockPath
+// reachable from h's anchor through the same names d just walked — unless
+// d itself was helped *before* h, in which case d legitimately precedes h.
+// Caller holds m.mu.
+func (m *Monitor) checkBypass(d *Descriptor, ino spec.Inum) {
+	for _, h := range m.pool {
+		if h.tid == d.tid || h.state != AopDone {
+			continue
+		}
+		for _, hw := range h.walks {
+			if len(hw.future) == 0 {
+				continue
+			}
+			anchor, ok := hw.last()
+			if !ok {
+				continue
+			}
+			for _, dw := range d.walks {
+				names, ok := dw.namesAfter(anchor.ino)
+				if !ok || len(names) == 0 || len(names) > len(hw.future) {
+					continue
+				}
+				onPath := true
+				for i, n := range names {
+					if hw.future[i] != n {
+						onPath = false
+						break
+					}
+				}
+				if !onPath {
+					continue
+				}
+				if d.state == AopDone && m.helpedBefore(d.tid, h.tid) {
+					continue // d linearizes first; not a bypass
+				}
+				if d.state == AopDone {
+					m.violate(ViolHelpedBypass, d.tid,
+						"helped %s %s bypassed earlier-helped t%d (%s %s) at inode %d",
+						d.op, d.args, h.tid, h.op, h.args, ino)
+				} else {
+					m.violate(ViolUnhelpedBypass, d.tid,
+						"unhelped %s %s bypassed helped t%d (%s %s) at inode %d",
+						d.op, d.args, h.tid, h.op, h.args, ino)
+				}
+			}
+		}
+	}
+}
+
+// helpedBefore reports whether a precedes b in the Helplist.
+func (m *Monitor) helpedBefore(a, b uint64) bool {
+	for _, t := range m.helplist {
+		if t == a {
+			return true
+		}
+		if t == b {
+			return false
+		}
+	}
+	return false
+}
+
+// checkHelplistConsistency enforces Helplist-consistency: a registered
+// operation is externally linearized iff its thread ID is in the Helplist.
+// Caller holds m.mu.
+func (m *Monitor) checkHelplistConsistency() {
+	inList := map[uint64]bool{}
+	for _, t := range m.helplist {
+		if inList[t] {
+			m.violate(ViolHelplist, t, "thread listed twice in Helplist")
+		}
+		inList[t] = true
+		d := m.pool[t]
+		if d == nil {
+			m.violate(ViolHelplist, t, "Helplist entry for unregistered thread")
+			continue
+		}
+		if d.state != AopDone || d.helper == d.tid {
+			m.violate(ViolHelplist, t, "Helplist entry for unhelped thread")
+		}
+	}
+	for tid, d := range m.pool {
+		if d.state == AopDone && d.helper != d.tid && !inList[tid] {
+			m.violate(ViolHelplist, tid, "helped thread missing from Helplist")
+		}
+	}
+}

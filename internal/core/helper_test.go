@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// mkDesc builds a synthetic descriptor with the given walks; each walk is
+// a sequence of (ino, seq) pairs.
+func mkDesc(tid uint64, op spec.Op, walks ...[]lockRec) *Descriptor {
+	d := &Descriptor{tid: tid, op: op, held: map[spec.Inum]int{}}
+	for _, w := range walks {
+		d.walks = append(d.walks, &walk{path: w})
+	}
+	if len(d.walks) == 0 {
+		d.walks = []*walk{{}}
+	}
+	return d
+}
+
+func recs(pairs ...int64) []lockRec {
+	out := make([]lockRec, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, lockRec{ino: spec.Inum(pairs[i]), seq: uint64(pairs[i+1])})
+	}
+	return out
+}
+
+// TestSrcPrefixOf covers the SrcPrefix relation directly.
+func TestSrcPrefixOf(t *testing.T) {
+	// rename's src walk: root(1) -> a(2): SrcPath (1,2).
+	r := mkDesc(1, spec.OpRename, recs(1, 1, 2, 2), recs(1, 1))
+	cases := []struct {
+		name string
+		t    *Descriptor
+		want bool
+	}{
+		{"strictly beyond", mkDesc(2, spec.OpMkdir, recs(1, 3, 2, 4, 5, 5)), true},
+		{"exactly equal", mkDesc(3, spec.OpMkdir, recs(1, 3, 2, 4)), false},
+		{"diverges", mkDesc(4, spec.OpMkdir, recs(1, 3, 7, 4, 8, 5)), false},
+		{"empty walk", mkDesc(5, spec.OpMkdir), false},
+		{"shallower", mkDesc(6, spec.OpMkdir, recs(1, 3)), false},
+	}
+	for _, c := range cases {
+		if got := srcPrefixOf(r, c.t); got != c.want {
+			t.Errorf("%s: srcPrefixOf = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestHelpSetRecursive reproduces the Figure-4(c) ghost configuration at
+// the unit level: t1's src covers t2's dst walk, and t2's src covers t3.
+func TestHelpSetRecursive(t *testing.T) {
+	m := NewMonitor(Config{})
+	// inode numbering: root=1, b=2, c=3, d=4 (t1 renames /b/c);
+	// a=5, e=6, f=7 (t2 renames /a/e; t3 stats /a/e/f).
+	t1 := mkDesc(1, spec.OpRename, recs(1, 10, 2, 11, 3, 12), recs(1, 10, 2, 11))
+	t2 := mkDesc(2, spec.OpRename, recs(1, 5, 5, 6, 6, 9), recs(1, 5, 2, 6, 3, 7, 4, 8))
+	t3 := mkDesc(3, spec.OpStat, recs(1, 1, 5, 2, 6, 3, 7, 4))
+	other := mkDesc(4, spec.OpMkdir, recs(1, 13, 9, 14)) // unrelated
+	for _, d := range []*Descriptor{t1, t2, t3, other} {
+		m.pool[d.tid] = d
+	}
+	set := m.helpSet(t1)
+	if len(set) != 2 {
+		t.Fatalf("helpSet = %d members, want 2", len(set))
+	}
+	order := m.helpOrder(t1, set)
+	if order[0].tid != 3 || order[1].tid != 2 {
+		t.Fatalf("help order = [%d %d], want [3 2] (stat before inner rename)", order[0].tid, order[1].tid)
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations: %v", m.Violations())
+	}
+}
+
+// TestHelpSetIgnoresDoneThreads: already-linearized operations are not
+// helped again.
+func TestHelpSetIgnoresDoneThreads(t *testing.T) {
+	m := NewMonitor(Config{})
+	r := mkDesc(1, spec.OpRename, recs(1, 10, 2, 11), recs(1, 10))
+	done := mkDesc(2, spec.OpMkdir, recs(1, 1, 2, 2, 3, 3))
+	done.state = AopDone
+	m.pool[r.tid] = r
+	m.pool[done.tid] = done
+	if set := m.helpSet(r); len(set) != 0 {
+		t.Fatalf("helpSet included a done thread: %d members", len(set))
+	}
+}
+
+// TestInteractionOrder: the deepest (latest) shared inode decides.
+func TestInteractionOrder(t *testing.T) {
+	u := mkDesc(1, spec.OpMkdir, recs(1, 1, 2, 5, 3, 9))
+	v := mkDesc(2, spec.OpMkdir, recs(1, 2, 2, 6, 3, 10))
+	if got := interactionOrder(u, v); got != -1 {
+		t.Fatalf("u locked everything earlier; order = %d, want -1", got)
+	}
+	if got := interactionOrder(v, u); got != 1 {
+		t.Fatalf("reversed; order = %d, want 1", got)
+	}
+	// Disjoint (beyond nothing shared): 0.
+	w := mkDesc(3, spec.OpMkdir, recs(7, 3, 8, 4))
+	if got := interactionOrder(u, w); got != 0 {
+		t.Fatalf("disjoint order = %d, want 0", got)
+	}
+	// The latest interaction wins over earlier ones: u earlier at inode 1,
+	// later at inode 9.
+	a := mkDesc(4, spec.OpMkdir, recs(1, 1, 9, 20))
+	b := mkDesc(5, spec.OpMkdir, recs(1, 2, 9, 15))
+	if got := interactionOrder(a, b); got != 1 {
+		t.Fatalf("latest-interaction order = %d, want 1 (b locked 9 first)", got)
+	}
+}
+
+// TestHelpOrderCycleDetected: contradictory pairwise constraints among
+// three helped threads must trip the Lockpath-wellformed invariant
+// (possible only with ghost states lock coupling cannot produce; the
+// monitor must still not loop or crash).
+func TestHelpOrderCycleDetected(t *testing.T) {
+	m := NewMonitor(Config{})
+	r := mkDesc(0, spec.OpRename, recs(100, 1), recs(100, 1))
+	// a before b (shared inode 10), b before c (shared 11), c before a
+	// (shared 12) — a rock-paper-scissors cycle.
+	a := mkDesc(1, spec.OpMkdir, recs(10, 1, 12, 8))
+	b := mkDesc(2, spec.OpMkdir, recs(10, 2, 11, 3))
+	c := mkDesc(3, spec.OpMkdir, recs(11, 4, 12, 7))
+	set := []*Descriptor{a, b, c}
+	order := m.helpOrder(r, set)
+	if len(order) != 3 {
+		t.Fatalf("order lost members: %d", len(order))
+	}
+	found := false
+	for _, v := range m.Violations() {
+		if v.Kind == ViolLockPathCycle {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cycle not reported: %v", m.Violations())
+	}
+}
+
+// TestFutLockPathViolation: a helped thread wandering off its promised
+// future path is flagged.
+func TestFutLockPathViolation(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	// Abstract /a and /a/b exist.
+	for _, p := range []string{"/a", "/a/b"} {
+		mkdirSetup(m, v, p)
+	}
+	const aIno, bIno = 20, 21
+	// t2 heads for /a/b/c/d and has reached /a/b (strictly beyond the
+	// rename's SrcPath, so it will be helped; FutLockPath = ["c"]).
+	t2 := m.Begin(spec.OpMkdir, spec.Args{Path: "/a/b/c/d"})
+	d2 := &sessionDriver{s: t2, view: v}
+	d2.lock(BranchBoth, "", spec.RootIno)
+	d2.lock(BranchBoth, "a", aIno)
+	d2.unlock(spec.RootIno)
+	d2.lock(BranchBoth, "b", bIno)
+	d2.unlock(aIno)
+
+	// t1 renames /a away and helps t2.
+	t1 := m.Begin(spec.OpRename, spec.Args{Path: "/a", Path2: "/z"})
+	d1 := &sessionDriver{s: t1, view: v}
+	d1.lock(BranchBoth, "", spec.RootIno)
+	d1.lock(BranchSrc, "a", aIno)
+	t1.RenameLP()
+	d1.unlock(aIno)
+	d1.unlock(spec.RootIno)
+	t1.End(spec.OkRet())
+
+	// t2 resumes but locks the WRONG child name ("x" instead of "c").
+	d2.lock(BranchBoth, "x", 22)
+	requireViolation(t, m, ViolFutLockPath)
+	d2.unlock(22)
+	d2.unlock(bIno)
+	t2.LP()
+	t2.End(spec.OkRet())
+}
+
+// TestHelpedBypassViolation exercises the Helped-non-bypassable invariant:
+// two operations helped by the same rename, where the one helped LATER
+// overtakes the one helped earlier on its promised future path.
+func TestHelpedBypassViolation(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	for _, p := range []string{"/a", "/a/b"} {
+		mkdirSetup(m, v, p)
+	}
+	const aIno, bIno = 40, 41
+	// Two pending mkdirs heading into /a/b/c...; both paused at /a/b.
+	// (The fake view lets both "hold" b; a real coupled FS cannot, which
+	// is exactly why the invariant needs checking only in ghost states
+	// produced by broken implementations.)
+	t2 := m.Begin(spec.OpMkdir, spec.Args{Path: "/a/b/c/d"})
+	d2 := &sessionDriver{s: t2, view: v}
+	d2.lock(BranchBoth, "", spec.RootIno)
+	d2.lock(BranchBoth, "a", aIno)
+	d2.unlock(spec.RootIno)
+	d2.lock(BranchBoth, "b", bIno)
+	d2.unlock(aIno)
+	d2.unlock(bIno) // broken: releases its hold, like unsafe traversal
+
+	t3 := m.Begin(spec.OpMkdir, spec.Args{Path: "/a/b/c/e"})
+	d3 := &sessionDriver{s: t3, view: v}
+	d3.lock(BranchBoth, "", spec.RootIno)
+	d3.lock(BranchBoth, "a", aIno)
+	d3.unlock(spec.RootIno)
+	d3.lock(BranchBoth, "b", bIno)
+	d3.unlock(aIno)
+	d3.unlock(bIno)
+
+	// The rename helps t2 first (lower tid), then t3.
+	t1 := m.Begin(spec.OpRename, spec.Args{Path: "/a", Path2: "/z"})
+	d1 := &sessionDriver{s: t1, view: v}
+	d1.lock(BranchBoth, "", spec.RootIno)
+	d1.lock(BranchSrc, "a", aIno)
+	t1.RenameLP()
+	d1.unlock(aIno)
+	d1.unlock(spec.RootIno)
+	t1.End(spec.OkRet())
+	m.ResetViolations() // discard the last-locked noise from the broken walks
+
+	// t3 (helped AFTER t2) proceeds first through the shared anchor b into
+	// the future path "c" — overtaking t2: Helped-non-bypassable.
+	d3.lock(BranchBoth, "c", 42)
+	requireViolation(t, m, ViolHelpedBypass)
+
+	d3.unlock(42)
+	t3.LP()
+	t3.End(spec.ErrRet(fserr.ErrNotExist))
+	t2.LP()
+	t2.End(spec.ErrRet(fserr.ErrNotExist))
+}

@@ -1,0 +1,489 @@
+// Package core is the CRL-H framework of the AtomFS paper, recast as a
+// runtime verification monitor (the executable analogue of the Coq proofs;
+// see DESIGN.md for the substitution argument).
+//
+// A Monitor attaches to an instrumented concurrent file system and
+// maintains, under a single internal lock (the "atomic block" in which
+// ghost updates are grouped with program steps, §3.4):
+//
+//   - the abstract file system state (internal/spec, Figure 6);
+//   - the helper metadata ghost state: a ThreadPool of Descriptors and the
+//     Helplist (§4.3);
+//   - the linearize-before relations derived from LockPaths (§5.2), the
+//     help-set computation with recursive search, and the linothers
+//     primitive (Figure 5) that executes helped Aops at rename's external
+//     linearization point;
+//   - the eight Table-1 invariants, checked on every transition that can
+//     affect them, with failures reported as Violations;
+//   - the abstraction relation with relaxed consistency mapping and the
+//     roll-back mechanism (§4.4).
+//
+// In ModeFixedLP helping is disabled, every operation linearizes at its own
+// fixed LP, and the Figure-1 phenomenon — a legal interleaving whose
+// fixed-LP sequential history is illegal — surfaces as refinement
+// violations.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Mode selects the linearization-point strategy.
+type Mode uint8
+
+// Modes.
+const (
+	// ModeHelpers is the paper's CRL-H: rename performs linothers at its LP.
+	ModeHelpers Mode = iota
+	// ModeFixedLP disables helping; used to demonstrate Figure 1.
+	ModeFixedLP
+)
+
+// View is the monitor's window into the concrete file system, used by the
+// invariant checks that relate ghost state to concrete state.
+type View interface {
+	// LockOwner returns the ID currently holding the inode's lock, or 0.
+	LockOwner(ino spec.Inum) uint64
+	// Snapshot renders the concrete tree as an abstract state. Callers
+	// ensure quiescence or hold enough locks for a consistent walk.
+	Snapshot() *spec.AFS
+	// LockedInodes returns the inodes whose locks are currently held, for
+	// the relaxed consistency mapping.
+	LockedInodes() map[spec.Inum]bool
+}
+
+// Config configures a Monitor.
+type Config struct {
+	Mode Mode
+	// Recorder, when set, receives invoke/lin/return events for offline
+	// linearizability checking.
+	Recorder *history.Recorder
+	// CheckGoodAFS enables the (O(tree)) GoodAFS check after every abstract
+	// transition. On by default in tests; costs little on small trees.
+	CheckGoodAFS bool
+	// MaxViolations bounds collected violations (0 = 1024).
+	MaxViolations int
+}
+
+// Monitor is the CRL-H runtime verifier.
+type Monitor struct {
+	mu   sync.Mutex
+	cfg  Config
+	afs  *spec.AFS
+	view View
+
+	pool     map[uint64]*Descriptor // the ThreadPool ghost state
+	helplist []uint64               // helped, not yet concretely finished
+	nextTid  uint64
+	lockSeq  uint64
+
+	stats      Stats
+	violations []Violation
+}
+
+// NewMonitor creates a monitor over a fresh (root-only) abstract state.
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = 1024
+	}
+	return &Monitor{
+		cfg:  cfg,
+		afs:  spec.New(),
+		pool: map[uint64]*Descriptor{},
+	}
+}
+
+// AttachView wires the concrete-state window; the file system calls this
+// once at construction.
+func (m *Monitor) AttachView(v View) {
+	m.mu.Lock()
+	m.view = v
+	m.mu.Unlock()
+}
+
+// Mode returns the configured linearization mode.
+func (m *Monitor) Mode() Mode { return m.cfg.Mode }
+
+// Violations returns the violations collected so far.
+func (m *Monitor) Violations() []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Violation(nil), m.violations...)
+}
+
+// ResetViolations clears collected violations (between stress rounds).
+func (m *Monitor) ResetViolations() {
+	m.mu.Lock()
+	m.violations = nil
+	m.mu.Unlock()
+}
+
+func (m *Monitor) violate(kind ViolationKind, tid uint64, format string, args ...any) {
+	if len(m.violations) >= m.cfg.MaxViolations {
+		return
+	}
+	m.violations = append(m.violations, Violation{Kind: kind, Tid: tid, Msg: fmt.Sprintf(format, args...)})
+}
+
+// AbstractState returns a deep copy of the current abstract state.
+func (m *Monitor) AbstractState() *spec.AFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.afs.Clone()
+}
+
+// Session is the per-operation handle through which the instrumented file
+// system reports its steps. A nil *Session is valid and ignores all calls,
+// so unmonitored file systems pay only a nil check.
+type Session struct {
+	m    *Monitor
+	d    *Descriptor
+	done bool
+}
+
+// Begin registers an operation in the ThreadPool and returns its session.
+func (m *Monitor) Begin(op spec.Op, args spec.Args) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTid++
+	tid := m.nextTid
+	d := &Descriptor{
+		tid:     tid,
+		op:      op,
+		args:    args,
+		held:    map[spec.Inum]int{},
+		started: time.Now(),
+	}
+	src, dst, ok := expectedNames(op, args)
+	d.walks = []*walk{{expect: src}}
+	if op == spec.OpRename {
+		d.walks = append(d.walks, &walk{expect: dst})
+	}
+	_ = ok
+	m.pool[tid] = d
+	if m.cfg.Recorder != nil {
+		m.cfg.Recorder.Invoke(tid, op, args)
+	}
+	return &Session{m: m, d: d}
+}
+
+// Tid returns the session's thread ID (0 for a nil session).
+func (s *Session) Tid() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.d.tid
+}
+
+// Lock records that the session acquired the lock of ino, reached through
+// directory entry name ("" for the root), on the given traversal branch.
+// Called by the file system immediately after the acquisition, while still
+// holding the lock.
+func (s *Session) Lock(branch Branch, name string, ino spec.Inum) {
+	if s == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lockSeq++
+	rec := lockRec{ino: ino, name: name, seq: m.lockSeq}
+	d := s.d
+	switch {
+	case branch == BranchBoth:
+		for _, w := range d.walks {
+			w.path = append(w.path, rec)
+		}
+	case branch == BranchSrc:
+		d.srcWalk().path = append(d.srcWalk().path, rec)
+	case branch == BranchDst && d.dstWalk() != nil:
+		d.dstWalk().path = append(d.dstWalk().path, rec)
+	default:
+		m.violate(ViolProtocol, d.tid, "lock on branch %d without matching walk", branch)
+		return
+	}
+	d.held[ino]++
+
+	m.checkLastLocked(d)
+	m.checkFutureLockPath(d, branch, name, ino)
+	m.checkBypass(d, ino)
+}
+
+// Unlock records a lock release.
+func (s *Session) Unlock(ino spec.Inum) {
+	if s == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if d.held[ino] == 0 {
+		m.violate(ViolProtocol, d.tid, "unlock of inode %d not held", ino)
+		return
+	}
+	d.held[ino]--
+	if d.held[ino] == 0 {
+		delete(d.held, ino)
+	}
+	if d.state == AopPending {
+		m.checkLastLocked(d)
+	}
+}
+
+// LP is the fixed linearization point of a non-helping operation: if the
+// operation has not been helped, its Aop executes on the abstract state
+// here; if it has, the stored result stands and nothing happens (the
+// operation's LP was external, inside some rename).
+func (s *Session) LP() {
+	if s == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if d.state == AopDone {
+		return // externally linearized by a helper
+	}
+	// The shared-data protocol (§4.5): an LP publishes an effect on shared
+	// state, so it must execute inside a critical section. (Operations
+	// that fail before acquiring any lock linearize at End instead.)
+	if len(d.held) == 0 {
+		m.violate(ViolProtocol, d.tid, "%s %s: LP outside any critical section", d.op, d.args)
+	}
+	m.linearize(d, d.tid)
+}
+
+// RenameLP is rename's linearization point. In ModeHelpers it runs
+// linothers (Figure 5) first — finding every thread with a (recursive) path
+// inter-dependency on this rename, ordering them by the linearize-before
+// relation, and executing their Aops — then rename's own Aop. SrcPath is
+// taken from the session's source walk.
+func (s *Session) RenameLP() {
+	if s == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if d.state == AopDone {
+		// This rename was itself helped (recursive path inter-dependency,
+		// Figure 4(c)). Every thread that had to linearize before it was
+		// helped by the same linothers call, and no new dependent can have
+		// arisen since: the rename's remaining traversal is protected by
+		// the locks it already holds (§5.2). Nothing to do here.
+		return
+	}
+	if len(d.held) == 0 {
+		m.violate(ViolProtocol, d.tid, "rename %s: LP outside any critical section", d.args)
+	}
+	if m.cfg.Mode == ModeHelpers {
+		m.linothers(d)
+	}
+	m.linearize(d, d.tid)
+}
+
+// End closes the operation: the concrete result is checked against the
+// abstract result fixed at the LP (the simulation's return-value
+// obligation), the descriptor leaves the ThreadPool, and helped entries
+// leave the Helplist.
+func (s *Session) End(concrete spec.Ret) {
+	if s == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if s.done {
+		m.violate(ViolProtocol, d.tid, "session ended twice")
+		return
+	}
+	s.done = true
+	if d.state != AopDone {
+		// An operation that fails before reaching a lock-protected LP
+		// (e.g. a path parse error) linearizes at its return.
+		m.linearize(d, d.tid)
+	}
+	if !concrete.Equal(d.ret) {
+		m.violate(ViolRefinement, d.tid,
+			"%s %s: concrete returned %s, abstract %s (helper t%d)",
+			d.op, d.args, concrete, d.ret, d.helper)
+	}
+	m.removeFromHelplist(d.tid)
+	delete(m.pool, d.tid)
+	m.checkHelplistConsistency()
+	if m.cfg.Recorder != nil {
+		m.cfg.Recorder.Return(d.tid, concrete)
+	}
+}
+
+// linearize executes d's Aop on the abstract state and marks it done.
+// helper is the thread performing the linearization (== d.tid at a fixed
+// LP). Caller holds m.mu.
+func (m *Monitor) linearize(d *Descriptor, helper uint64) {
+	ret, effects := m.afs.Apply(d.op, d.args)
+	d.state = AopDone
+	d.ret = ret
+	d.helper = helper
+	d.effects = effects
+	m.stats.Linearized++
+	if helper != d.tid {
+		m.stats.Helped++
+		// External LP: record the Helplist entry and initialize the
+		// FutLockPath from the names not yet traversed.
+		m.helplist = append(m.helplist, d.tid)
+		for _, w := range d.walks {
+			if n := w.consumed(); n < len(w.expect) {
+				w.future = append([]string(nil), w.expect[n:]...)
+			}
+		}
+		m.checkHelplistConsistency()
+	}
+	if m.cfg.CheckGoodAFS {
+		if err := m.afs.GoodAFS(); err != nil {
+			m.violate(ViolGoodAFS, d.tid, "after %s %s: %v", d.op, d.args, err)
+		}
+	}
+	if m.cfg.Recorder != nil {
+		m.cfg.Recorder.Lin(d.tid, helper, d.op, ret)
+	}
+}
+
+func (m *Monitor) removeFromHelplist(tid uint64) {
+	for i, t := range m.helplist {
+		if t == tid {
+			m.helplist = append(m.helplist[:i], m.helplist[i+1:]...)
+			return
+		}
+	}
+}
+
+// Quiesce verifies end-of-campaign conditions: no pending descriptors and,
+// when a View is attached, the abstract-concrete relation in its quiescent
+// form (full structural equality after rolling back any helped effects).
+func (m *Monitor) Quiesce() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pool) != 0 {
+		return fmt.Errorf("core: %d operations still registered", len(m.pool))
+	}
+	if len(m.helplist) != 0 {
+		return fmt.Errorf("core: helplist not empty at quiescence")
+	}
+	if m.view != nil {
+		if err := m.checkRelationLocked(); err != nil {
+			m.violate(ViolRelation, 0, "%v", err)
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckRelation runs the abstraction-relation check now, using the relaxed
+// consistency mapping (locked inodes are exempt) and the roll-back
+// mechanism for helped-but-unfinished operations. Deterministic scenario
+// tests call it at gate points.
+func (m *Monitor) CheckRelation() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.view == nil {
+		return fmt.Errorf("core: no view attached")
+	}
+	if err := m.checkRelationLocked(); err != nil {
+		m.violate(ViolRelation, 0, "%v", err)
+		return err
+	}
+	return nil
+}
+
+// helpedEffects gathers effects of helped-pending ops in Helplist order.
+func (m *Monitor) helpedEffects() []spec.Effect {
+	var all []spec.Effect
+	for _, tid := range m.helplist {
+		if d := m.pool[tid]; d != nil {
+			all = append(all, d.effects...)
+		}
+	}
+	return all
+}
+
+func (m *Monitor) checkRelationLocked() error {
+	concrete := m.view.Snapshot()
+	if concrete == nil {
+		return nil // view cannot produce a snapshot right now
+	}
+	rolled := spec.Rollback(m.afs, m.helpedEffects())
+	locked := m.view.LockedInodes()
+	return compareRelaxed(rolled, concrete, locked)
+}
+
+// compareRelaxed walks the abstract (rolled-back) and concrete trees in
+// lockstep. A concrete inode whose lock is held is exempt from the content
+// check and its subtree is skipped — the paper's relaxed consistency
+// mapping, which only constrains unlocked inodes.
+func compareRelaxed(abs, con *spec.AFS, lockedCon map[spec.Inum]bool) error {
+	var walkCmp func(path string, a, c spec.Inum) error
+	walkCmp = func(path string, a, c spec.Inum) error {
+		if path == "" {
+			path = "/"
+		}
+		if lockedCon[c] {
+			return nil // relaxed: locked inodes unconstrained
+		}
+		an, cn := abs.Imap[a], con.Imap[c]
+		if an == nil || cn == nil {
+			return fmt.Errorf("relation: missing inode at %s (abs=%v con=%v)", path, an != nil, cn != nil)
+		}
+		if an.Kind != cn.Kind {
+			return fmt.Errorf("relation: kind mismatch at %s: abs %s, con %s", path, an.Kind, cn.Kind)
+		}
+		if an.Kind == spec.KindFile {
+			if string(an.Data) != string(cn.Data) {
+				return fmt.Errorf("relation: content mismatch at %s: abs %d bytes, con %d bytes", path, len(an.Data), len(cn.Data))
+			}
+			return nil
+		}
+		if len(an.Links) != len(cn.Links) {
+			return fmt.Errorf("relation: entry count mismatch at %s: abs %d, con %d", path, len(an.Links), len(cn.Links))
+		}
+		for name, achild := range an.Links {
+			cchild, ok := cn.Links[name]
+			if !ok {
+				return fmt.Errorf("relation: entry %q at %s missing concretely", name, path)
+			}
+			child := path + "/" + name
+			if path == "/" {
+				child = "/" + name
+			}
+			if err := walkCmp(child, achild, cchild); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walkCmp("", abs.Root, con.Root)
+}
+
+// Stats summarizes the monitor's activity: how many operations were
+// linearized, how many at external LPs (helped), and the largest help set
+// any single linothers call processed.
+type Stats struct {
+	Linearized int
+	Helped     int
+	MaxHelpSet int
+}
+
+// Stats returns the activity counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,213 @@
+// Package dcache is a lookup cache layered over any path-based file
+// system, modelling the VFS/dentry caching the paper places in AtomFS's
+// trusted computing base (§6: VFS "could directly serve some read-only
+// operations (e.g., read) from the cache without entering AtomFS.
+// Therefore, the functional correctness relies on that the cache
+// coherence protocols of VFS and FUSE are correct"). This package is that
+// coherence protocol, built so it can be checked rather than trusted:
+//
+//   - read-only results (stat, read, readdir) are cached per path;
+//   - an epoch counter is bumped BEFORE and AFTER every mutating
+//     operation ("odd while a writer is in flight" in aggregate), and a
+//     cached entry is served only when the epoch both matches the entry's
+//     fill epoch and is observed stable across the hit — so a hit proves
+//     no mutation completed since the entry was filled, which makes
+//     serving it linearizable (the read can be assigned the fill-time
+//     point or any later pre-mutation point);
+//   - any mutation invalidates the whole cache (epoch bump), trading hit
+//     rate for an easily-argued protocol, exactly the kind of simplicity
+//     a verified stack wants.
+//
+// The differential and stress tests treat the cached file system as just
+// another implementation that must be indistinguishable from the spec.
+package dcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+)
+
+type entry struct {
+	epoch uint64
+	info  fsapi.Info
+	names []string
+	data  []byte
+	off   int64
+	size  int
+	err   error
+}
+
+// FS wraps an inner file system with the cache.
+type FS struct {
+	inner fsapi.FS
+	// epoch is even when no mutation is in flight; mutations bump it on
+	// entry and exit.
+	epoch atomic.Uint64
+
+	mu    sync.Mutex
+	stats map[string]*entry
+	dirs  map[string]*entry
+	reads map[string]*entry // keyed by path; caches the last read window
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// New wraps inner.
+func New(inner fsapi.FS) *FS {
+	return &FS{
+		inner: inner,
+		stats: map[string]*entry{},
+		dirs:  map[string]*entry{},
+		reads: map[string]*entry{},
+	}
+}
+
+// Name identifies the implementation in benchmark tables.
+func (fs *FS) Name() string { return "dcache(" + fsapi.Name(fs.inner) + ")" }
+
+// HitRate returns cache hits / lookups (observability for benches).
+func (fs *FS) HitRate() (hits, misses int64) { return fs.hits.Load(), fs.misses.Load() }
+
+// beginMutate/endMutate bracket every mutating operation.
+func (fs *FS) beginMutate() { fs.epoch.Add(1) }
+func (fs *FS) endMutate()   { fs.epoch.Add(1) }
+
+// stableEpoch returns the current epoch if no mutation is in flight.
+func (fs *FS) stableEpoch() (uint64, bool) {
+	e := fs.epoch.Load()
+	return e, e%2 == 0
+}
+
+// lookup serves a cached entry if it was filled in the still-current
+// stable epoch.
+func (fs *FS) lookup(table map[string]*entry, path string) (*entry, bool) {
+	e1, stable := fs.stableEpoch()
+	if !stable {
+		fs.misses.Add(1)
+		return nil, false
+	}
+	fs.mu.Lock()
+	ent := table[path]
+	fs.mu.Unlock()
+	if ent == nil || ent.epoch != e1 || !fsValidate(fs, e1) {
+		fs.misses.Add(1)
+		return nil, false
+	}
+	fs.hits.Add(1)
+	return ent, true
+}
+
+func fsValidate(fs *FS, e uint64) bool { return fs.epoch.Load() == e }
+
+// fill stores an entry computed while the epoch stayed stable; a
+// concurrent mutation voids the fill (the entry would be stamped with a
+// stale epoch and never served).
+func (fs *FS) fill(table map[string]*entry, path string, pre uint64, ent *entry) {
+	if !fsValidate(fs, pre) {
+		return
+	}
+	ent.epoch = pre
+	fs.mu.Lock()
+	table[path] = ent
+	fs.mu.Unlock()
+}
+
+// --- mutating operations: write-through with global invalidation ---
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Mknod(path)
+}
+
+// Mkdir creates an empty directory.
+func (fs *FS) Mkdir(path string) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Mkdir(path)
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Rmdir(path)
+}
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Unlink(path)
+}
+
+// Rename moves src to dst.
+func (fs *FS) Rename(src, dst string) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Rename(src, dst)
+}
+
+// Write stores data at off.
+func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Write(path, off, data)
+}
+
+// Truncate resizes a file.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.beginMutate()
+	defer fs.endMutate()
+	return fs.inner.Truncate(path, size)
+}
+
+// --- read-only operations: served from cache when provably fresh ---
+
+// Stat reports kind and size, from cache when possible.
+func (fs *FS) Stat(path string) (fsapi.Info, error) {
+	if ent, ok := fs.lookup(fs.stats, path); ok {
+		return ent.info, ent.err
+	}
+	pre, stable := fs.stableEpoch()
+	info, err := fs.inner.Stat(path)
+	if stable {
+		fs.fill(fs.stats, path, pre, &entry{info: info, err: err})
+	}
+	return info, err
+}
+
+// Readdir lists entries, from cache when possible.
+func (fs *FS) Readdir(path string) ([]string, error) {
+	if ent, ok := fs.lookup(fs.dirs, path); ok {
+		return append([]string(nil), ent.names...), ent.err
+	}
+	pre, stable := fs.stableEpoch()
+	names, err := fs.inner.Readdir(path)
+	if stable {
+		fs.fill(fs.dirs, path, pre, &entry{names: append([]string(nil), names...), err: err})
+	}
+	return names, err
+}
+
+// Read returns up to size bytes at off; repeated reads of the same window
+// (the ripgrep/make pattern) hit the cache.
+func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
+	if ent, ok := fs.lookup(fs.reads, path); ok && ent.off == off && ent.size == size {
+		return append([]byte(nil), ent.data...), ent.err
+	}
+	pre, stable := fs.stableEpoch()
+	data, err := fs.inner.Read(path, off, size)
+	if stable {
+		fs.fill(fs.reads, path, pre, &entry{
+			data: append([]byte(nil), data...), off: off, size: size, err: err,
+		})
+	}
+	return data, err
+}

@@ -1,0 +1,183 @@
+package dcache
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/fstest"
+	"repro/internal/memfs"
+	"repro/internal/workload"
+)
+
+func TestFunctional(t *testing.T) {
+	fstest.Functional(t, New(atomfs.New()))
+}
+
+func TestDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fstest.Differential(t, New(atomfs.New()), seed, 500)
+	}
+}
+
+func TestCacheActuallyHits(t *testing.T) {
+	fs := New(memfs.New())
+	fs.Mkdir("/d")
+	fs.Mknod("/d/f")
+	fs.Write("/d/f", 0, []byte("content"))
+	for i := 0; i < 10; i++ {
+		fs.Stat("/d/f")
+		fs.Read("/d/f", 0, 7)
+		fs.Readdir("/d")
+	}
+	hits, _ := fs.HitRate()
+	if hits < 24 { // 9 repeats x 3 op kinds, first each misses
+		t.Fatalf("hits = %d, cache is not caching", hits)
+	}
+}
+
+func TestInvalidationOnEveryMutation(t *testing.T) {
+	fs := New(memfs.New())
+	fs.Mknod("/f")
+	fs.Write("/f", 0, []byte("v1"))
+	if data, _ := fs.Read("/f", 0, 2); string(data) != "v1" {
+		t.Fatalf("read = %q", data)
+	}
+	fs.Read("/f", 0, 2) // cached now
+	fs.Write("/f", 0, []byte("v2"))
+	if data, _ := fs.Read("/f", 0, 2); string(data) != "v2" {
+		t.Fatalf("stale read after write: %q", data)
+	}
+	// Structural mutations invalidate stats and dirs too.
+	info, _ := fs.Stat("/f")
+	if info.Size != 2 {
+		t.Fatalf("size = %d", info.Size)
+	}
+	fs.Truncate("/f", 0)
+	info, _ = fs.Stat("/f")
+	if info.Size != 0 {
+		t.Fatalf("stale stat after truncate: %+v", info)
+	}
+	names, _ := fs.Readdir("/")
+	fs.Unlink("/f")
+	names2, _ := fs.Readdir("/")
+	if len(names) != 1 || len(names2) != 0 {
+		t.Fatalf("readdir staleness: %v then %v", names, names2)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	fs := New(memfs.New())
+	if _, err := fs.Stat("/ghost"); err == nil {
+		t.Fatal("ghost exists?")
+	}
+	if _, err := fs.Stat("/ghost"); err == nil { // cached negative
+		t.Fatal("cached ghost exists?")
+	}
+	fs.Mknod("/ghost")
+	if _, err := fs.Stat("/ghost"); err != nil {
+		t.Fatalf("negative entry survived creation: %v", err)
+	}
+}
+
+// TestConcurrentCoherence: readers hammer cached paths while a writer
+// mutates them; every read must be consistent with the monitored inner
+// file system (no monitor violations, and no reader may observe a value
+// that never existed).
+func TestConcurrentCoherence(t *testing.T) {
+	mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+	inner := atomfs.New(atomfs.WithMonitor(mon))
+	fs := New(inner)
+	fs.Mknod("/flag")
+	counter := func(v uint64) []byte {
+		return binary.BigEndian.AppendUint64(nil, v)
+	}
+	fs.Write("/flag", 0, counter(0))
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.Write("/flag", 0, counter(v))
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			last := uint64(0)
+			for i := 0; i < 3000; i++ {
+				data, err := fs.Read("/flag", 0, 8)
+				if err != nil || len(data) != 8 {
+					t.Errorf("read = %v %v", data, err)
+					return
+				}
+				// The counter only moves forward; a backward observation
+				// would be a stale cache hit after a completed write.
+				v := binary.BigEndian.Uint64(data)
+				if v < last {
+					t.Errorf("stale read: %d after %d", v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+	for _, v := range mon.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	if err := mon.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStress: the cached FS under the generic concurrent stressor.
+func TestStress(t *testing.T) {
+	fstest.Stress(t, New(atomfs.New()), 6, 300, 77)
+}
+
+// TestRipgrepHitRate: the read-heavy search workload is the cache's
+// raison d'être.
+func TestRipgrepHitRate(t *testing.T) {
+	fs := New(atomfs.New())
+	workload.Ripgrep(fs)
+	hits, misses := fs.HitRate()
+	if hits == 0 {
+		t.Fatalf("no hits over ripgrep (misses=%d)", misses)
+	}
+	t.Logf("ripgrep: %d hits, %d misses (%.0f%% hit rate)",
+		hits, misses, 100*float64(hits)/float64(hits+misses))
+}
+
+func BenchmarkCachedVsUncachedStat(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		fs := atomfs.New()
+		fs.Mkdir("/d")
+		fs.Mknod("/d/f")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs.Stat("/d/f")
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		fs := New(atomfs.New())
+		fs.Mkdir("/d")
+		fs.Mknod("/d/f")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs.Stat("/d/f")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+// Package dir implements the directory representation used by AtomFS:
+// a hash table whose buckets are singly linked lists of entries (paper §6,
+// "a hash table followed by linked lists for directory lookups").
+//
+// A Table maps entry names to values of any type (the concurrent file
+// systems store inode pointers; the reference model stores inode numbers).
+// Tables are NOT internally synchronized: in AtomFS each table is protected
+// by its owning inode's lock, which is exactly the paper's per-inode locking
+// discipline, so adding another lock here would hide bugs the monitor is
+// supposed to catch.
+package dir
+
+import "sort"
+
+const (
+	// nBuckets is the fixed hash-table width. The paper's prototype uses a
+	// simple fixed-size table; resizing is deliberately absent.
+	nBuckets = 64
+)
+
+type entry[V any] struct {
+	name string
+	val  V
+	next *entry[V]
+}
+
+// Table is a name -> value map with deterministic, sorted enumeration.
+// The zero value is not usable; call New.
+type Table[V any] struct {
+	buckets [nBuckets]*entry[V]
+	n       int
+}
+
+// New creates an empty directory table.
+func New[V any]() *Table[V] { return &Table[V]{} }
+
+// fnv1a hashes a name without allocating.
+func fnv1a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func bucketOf(name string) int { return int(fnv1a(name) % nBuckets) }
+
+// Lookup returns the value bound to name.
+func (t *Table[V]) Lookup(name string) (V, bool) {
+	for e := t.buckets[bucketOf(name)]; e != nil; e = e.next {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert binds name to val. It reports false (and changes nothing) if name
+// is already present: the file systems check existence and insert under one
+// inode lock, so a duplicate insert is a caller bug surfaced as a failure.
+func (t *Table[V]) Insert(name string, val V) bool {
+	b := bucketOf(name)
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.name == name {
+			return false
+		}
+	}
+	t.buckets[b] = &entry[V]{name: name, val: val, next: t.buckets[b]}
+	t.n++
+	return true
+}
+
+// Delete removes name, returning its value and whether it was present.
+func (t *Table[V]) Delete(name string) (V, bool) {
+	b := bucketOf(name)
+	var prev *entry[V]
+	for e := t.buckets[b]; e != nil; prev, e = e, e.next {
+		if e.name != name {
+			continue
+		}
+		if prev == nil {
+			t.buckets[b] = e.next
+		} else {
+			prev.next = e.next
+		}
+		t.n--
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Names returns all entry names in sorted order (readdir's enumeration
+// order, kept deterministic so concrete results compare equal to the
+// abstract specification's).
+func (t *Table[V]) Names() []string {
+	names := make([]string, 0, t.n)
+	for i := range t.buckets {
+		for e := t.buckets[i]; e != nil; e = e.next {
+			names = append(names, e.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order is
+// unspecified.
+func (t *Table[V]) Range(fn func(name string, val V) bool) {
+	for i := range t.buckets {
+		for e := t.buckets[i]; e != nil; e = e.next {
+			if !fn(e.name, e.val) {
+				return
+			}
+		}
+	}
+}

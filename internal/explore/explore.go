@@ -1,0 +1,250 @@
+// Package explore is a randomized interleaving explorer for the monitored
+// AtomFS — a lightweight stand-in for the exhaustive case analysis a
+// mechanized proof performs. Operations running on separate goroutines
+// are intercepted at every instrumentation point (lock acquisitions,
+// traversal steps, linearization points) and, with a seeded probability,
+// parked; a controller releases parked operations in random order. This
+// forces schedules — operations suspended mid-traversal while renames
+// commit around them — that free-running goroutines on a few CPUs would
+// almost never produce, and every run is checked three ways:
+//
+//  1. the CRL-H monitor's invariants and refinement obligations, live;
+//  2. the quiescent abstract-concrete relation (roll-back mechanism);
+//  3. the offline linearizability checker over the recorded history,
+//     plus a replay of the monitor's claimed linearization order.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/fstest"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+// Config parameterizes one exploration run.
+type Config struct {
+	Seed         int64
+	Threads      int     // concurrent operations sources
+	OpsPerThread int     // operations per source (keep Threads*Ops <= ~16 for the checker)
+	ParkProb     float64 // probability of parking at an instrumentation point
+	// Mix selects the op stream: "rename-heavy" (default) biases toward
+	// the operations that exercise helping; "uniform" uses the fstest mix.
+	Mix string
+	// Mode selects the monitor's LP strategy; ModeFixedLP re-introduces
+	// the Figure-1 bug for negative testing of the checker itself.
+	Mode core.Mode
+	// Unsafe disables lock coupling (Figure-8 bug) for negative testing.
+	Unsafe bool
+}
+
+// DefaultConfig returns a rename-heavy exploration.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Threads: 3, OpsPerThread: 4, ParkProb: 0.4, Mix: "rename-heavy"}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Violations   []core.Violation
+	Linearizable bool
+	OrderLegal   bool
+	Helped       int
+	Ops          int
+	Parks        int
+	QuiesceErr   error
+}
+
+// Ok reports a fully clean run.
+func (r Result) Ok() bool {
+	return len(r.Violations) == 0 && r.Linearizable && r.OrderLegal && r.QuiesceErr == nil
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d parks=%d helped=%d violations=%d linearizable=%v orderLegal=%v quiesce=%v",
+		r.Ops, r.Parks, r.Helped, len(r.Violations), r.Linearizable, r.OrderLegal, r.QuiesceErr)
+}
+
+// controller parks and releases operations.
+type controller struct {
+	mu     sync.Mutex
+	r      *rand.Rand
+	prob   float64
+	queue  []chan struct{}
+	parked int
+	off    bool
+}
+
+// maybePark blocks the calling operation with probability prob until the
+// scheduler goroutine releases it.
+func (c *controller) maybePark() {
+	c.mu.Lock()
+	if c.off || c.r.Float64() >= c.prob {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	c.queue = append(c.queue, ch)
+	c.parked++
+	c.mu.Unlock()
+	<-ch
+}
+
+// releaseOne releases a random parked operation, reporting whether one
+// was found.
+func (c *controller) releaseOne() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return false
+	}
+	i := c.r.Intn(len(c.queue))
+	close(c.queue[i])
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	return true
+}
+
+// drain releases everything (end of run).
+func (c *controller) drain() {
+	c.mu.Lock()
+	c.off = true
+	for _, ch := range c.queue {
+		close(ch)
+	}
+	c.queue = nil
+	c.mu.Unlock()
+}
+
+// renameHeavy generates the op mix that exercises helping: renames of
+// shallow directories interleaved with deep creates/stats/deletes.
+func renameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
+	dirs := []string{"/a", "/a/b", "/c"}
+	deep := func() string {
+		return fmt.Sprintf("%s/n%d", dirs[r.Intn(len(dirs))], r.Intn(3))
+	}
+	switch r.Intn(6) {
+	case 0, 1:
+		tops := []string{"/a", "/c", "/d", "/a/b"}
+		return spec.OpRename, spec.Args{Path: tops[r.Intn(len(tops))], Path2: tops[r.Intn(len(tops))]}
+	case 2:
+		return spec.OpMkdir, spec.Args{Path: deep()}
+	case 3:
+		return spec.OpMknod, spec.Args{Path: deep()}
+	case 4:
+		return spec.OpStat, spec.Args{Path: deep()}
+	default:
+		return spec.OpRmdir, spec.Args{Path: deep()}
+	}
+}
+
+// Run executes one exploration.
+func Run(cfg Config) Result {
+	rec := history.NewRecorder()
+	mon := core.NewMonitor(core.Config{Mode: cfg.Mode, Recorder: rec, CheckGoodAFS: true})
+	ctl := &controller{r: rand.New(rand.NewSource(cfg.Seed)), prob: cfg.ParkProb}
+	opts := []atomfs.Option{atomfs.WithMonitor(mon)}
+	if cfg.Unsafe {
+		opts = append(opts, atomfs.WithUnsafeTraversal())
+	}
+	fs := atomfs.New(opts...)
+	for _, d := range []string{"/a", "/a/b", "/c"} {
+		if err := fs.Mkdir(d); err != nil {
+			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
+		}
+	}
+	pre := mon.AbstractState()
+	cut := rec.Len()
+
+	fs.SetHook(func(ev atomfs.HookEvent) { ctl.maybePark() })
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed*7919 + int64(w)))
+			stream := fstest.NewOpStream(cfg.Seed*104729 + int64(w))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				var op spec.Op
+				var args spec.Args
+				if cfg.Mix == "uniform" {
+					op, args = stream.Next()
+				} else {
+					op, args = renameHeavy(r)
+				}
+				fstest.ApplyFS(fs, op, args)
+			}
+		}(w)
+	}
+
+	// Scheduler: keep releasing parked operations until the workers are
+	// done; the timeout guards against a genuine deadlock (which would be
+	// a bug worth knowing about).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.After(30 * time.Second)
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case <-deadline:
+			ctl.drain()
+			<-done
+			return Result{QuiesceErr: fmt.Errorf("explore: run deadlocked")}
+		default:
+			if !ctl.releaseOne() {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	ctl.drain()
+	fs.SetHook(nil)
+
+	res := Result{Violations: mon.Violations(), Parks: ctl.parked}
+	res.QuiesceErr = mon.Quiesce()
+	events := rec.Events()[cut:]
+	ops, pending, err := history.Complete(events)
+	if err != nil || len(pending) != 0 {
+		if res.QuiesceErr == nil {
+			res.QuiesceErr = fmt.Errorf("history incomplete: %v (%d pending)", err, len(pending))
+		}
+		return res
+	}
+	res.Ops = len(ops)
+	lres, err := lincheck.CheckOps(pre, ops)
+	if err != nil {
+		res.QuiesceErr = err
+		return res
+	}
+	res.Linearizable = lres.Linearizable
+	if order, err := lincheck.LinOrder(ops); err == nil {
+		res.OrderLegal = lincheck.Replay(pre, ops, order) == nil
+	}
+	for _, e := range events {
+		if e.Kind == history.EvLin && e.Helper != e.Tid {
+			res.Helped++
+		}
+	}
+	return res
+}
+
+// Campaign runs many seeds and returns the first failing result, if any,
+// plus aggregate statistics.
+func Campaign(seeds int, mk func(seed int64) Config) (failures []Result, helped, parks, totalOps int) {
+	for s := 0; s < seeds; s++ {
+		res := Run(mk(int64(s + 1)))
+		helped += res.Helped
+		parks += res.Parks
+		totalOps += res.Ops
+		if !res.Ok() {
+			failures = append(failures, res)
+		}
+	}
+	return failures, helped, parks, totalOps
+}

@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCampaignClean: many randomized schedules, all three verdicts clean
+// on every one. This is the workhorse verification test of the repo: it
+// routinely drives operations into helped (external-LP) states.
+func TestCampaignClean(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	failures, helped, parks, ops := Campaign(seeds, DefaultConfig)
+	for _, f := range failures {
+		t.Errorf("failing run: %s", f)
+		for _, v := range f.Violations {
+			t.Errorf("  violation: %s", v)
+		}
+	}
+	t.Logf("seeds=%d ops=%d parks=%d helped=%d", seeds, ops, parks, helped)
+	if parks == 0 {
+		t.Error("no operation was ever parked; the explorer is not exploring")
+	}
+	if helped == 0 {
+		t.Error("no operation was ever helped; the schedules never exercised external LPs")
+	}
+}
+
+// TestUniformMix also explores with the uniform op stream (writes,
+// truncates, readdirs included).
+func TestUniformMix(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Mix = "uniform"
+		res := Run(cfg)
+		if !res.Ok() {
+			t.Fatalf("seed %d: %s (violations %v)", seed, res, res.Violations)
+		}
+	}
+}
+
+// TestHighContention: maximum park probability, more threads, shorter
+// streams — the adversarial end of the schedule space.
+func TestHighContention(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := Config{Seed: seed, Threads: 4, OpsPerThread: 3, ParkProb: 0.8, Mix: "rename-heavy"}
+		res := Run(cfg)
+		if !res.Ok() {
+			t.Fatalf("seed %d: %s (violations %v)", seed, res, res.Violations)
+		}
+	}
+}
+
+// TestDeterministicResultShape: the same seed yields the same number of
+// operations (the op streams are seeded; scheduling may differ, so only
+// the op count is pinned).
+func TestDeterministicResultShape(t *testing.T) {
+	a := Run(DefaultConfig(5))
+	b := Run(DefaultConfig(5))
+	if a.Ops != b.Ops {
+		t.Fatalf("op counts differ: %d vs %d", a.Ops, b.Ops)
+	}
+}
+
+// TestFixedLPModeIsCaught: with helping disabled (the Figure-1 bug class)
+// the explorer's campaigns must flag at least one run — otherwise the
+// verification machinery has no teeth.
+func TestFixedLPModeIsCaught(t *testing.T) {
+	caught := 0
+	for seed := int64(1); seed <= 60 && caught == 0; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Mode = core.ModeFixedLP
+		res := Run(cfg)
+		if !res.Ok() {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("60 fixed-LP seeds ran clean; the checker failed to catch the Figure-1 bug class")
+	}
+}
+
+// TestUnsafeTraversalIsCaught: with lock coupling disabled (the Figure-8
+// bug class) the campaigns must flag violations.
+func TestUnsafeTraversalIsCaught(t *testing.T) {
+	caught := 0
+	for seed := int64(1); seed <= 60 && caught == 0; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Unsafe = true
+		res := Run(cfg)
+		if !res.Ok() {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("60 unsafe-traversal seeds ran clean; the checker failed to catch the Figure-8 bug class")
+	}
+}

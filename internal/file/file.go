@@ -1,0 +1,143 @@
+// Package file implements file data storage for the AtomFS reproduction: a
+// bounded array of block indexes over the ramdisk block store (paper §6,
+// "a fixed-size array of indexes for file data storage").
+//
+// A Data is not internally synchronized; it is protected by its owning
+// inode's lock, following the paper's per-inode locking discipline.
+package file
+
+import (
+	"repro/internal/block"
+	"repro/internal/fserr"
+)
+
+// MaxBlocks bounds the index array, fixing the maximum file size at
+// MaxBlocks * block.Size bytes (16 MiB), comfortably above the 10 MB
+// largefile benchmark from the paper's Figure 10.
+const MaxBlocks = 4096
+
+// MaxSize is the maximum file size in bytes.
+const MaxSize = MaxBlocks * block.Size
+
+// Data holds one file's contents as block indexes into a Store.
+type Data struct {
+	store *block.Store
+	idx   []block.Index // grows up to MaxBlocks; holes are NoBlock
+	size  int64
+}
+
+// New creates an empty file over store.
+func New(store *block.Store) *Data {
+	return &Data{store: store}
+}
+
+// Size returns the file length in bytes.
+func (d *Data) Size() int64 { return d.size }
+
+// ReadAt reads up to len(p) bytes starting at off, returning the byte
+// count. Reads beyond EOF return 0 bytes; reads within a hole return
+// zeroes, like a sparse file.
+func (d *Data) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fserr.ErrInvalid
+	}
+	if off >= d.size {
+		return 0, nil
+	}
+	if max := d.size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n := 0
+	for n < len(p) {
+		bi := int((off + int64(n)) / block.Size)
+		bo := int((off + int64(n)) % block.Size)
+		want := min(len(p)-n, block.Size-bo)
+		if bi >= len(d.idx) || d.idx[bi] == block.NoBlock {
+			clear(p[n : n+want])
+		} else {
+			copy(p[n:n+want], d.store.Data(d.idx[bi])[bo:bo+want])
+		}
+		n += want
+	}
+	return n, nil
+}
+
+// WriteAt writes p at off, allocating blocks as needed, and returns the
+// byte count. Writes extending past MaxSize fail with ErrNoSpace before
+// modifying anything; allocation failure mid-write returns the partial
+// count with the error.
+func (d *Data) WriteAt(p []byte, off int64, hint uint64) (int, error) {
+	if off < 0 {
+		return 0, fserr.ErrInvalid
+	}
+	if off+int64(len(p)) > MaxSize {
+		return 0, fserr.ErrNoSpace
+	}
+	n := 0
+	for n < len(p) {
+		bi := int((off + int64(n)) / block.Size)
+		bo := int((off + int64(n)) % block.Size)
+		want := min(len(p)-n, block.Size-bo)
+		for bi >= len(d.idx) {
+			d.idx = append(d.idx, block.NoBlock)
+		}
+		if d.idx[bi] == block.NoBlock {
+			b, err := d.store.Alloc(hint)
+			if err != nil {
+				d.growSize(off + int64(n))
+				return n, err
+			}
+			d.idx[bi] = b
+		}
+		copy(d.store.Data(d.idx[bi])[bo:bo+want], p[n:n+want])
+		n += want
+	}
+	d.growSize(off + int64(n))
+	return n, nil
+}
+
+func (d *Data) growSize(end int64) {
+	if end > d.size {
+		d.size = end
+	}
+}
+
+// Truncate sets the file length to size, freeing blocks past the end and
+// zeroing the tail of the boundary block so later extension reads zeroes.
+func (d *Data) Truncate(size int64, hint uint64) error {
+	if size < 0 || size > MaxSize {
+		return fserr.ErrInvalid
+	}
+	keep := int((size + block.Size - 1) / block.Size)
+	for i := keep; i < len(d.idx); i++ {
+		d.store.Free(d.idx[i], hint)
+		d.idx[i] = block.NoBlock
+	}
+	if len(d.idx) > keep {
+		d.idx = d.idx[:keep]
+	}
+	if bo := int(size % block.Size); bo != 0 && keep-1 < len(d.idx) && keep >= 1 && d.idx[keep-1] != block.NoBlock {
+		clear(d.store.Data(d.idx[keep-1])[bo:])
+	}
+	d.size = size
+	return nil
+}
+
+// Release frees all blocks; the Data must not be used afterwards. Called
+// when an inode is unlinked and its storage reclaimed.
+func (d *Data) Release(hint uint64) {
+	for i, b := range d.idx {
+		d.store.Free(b, hint)
+		d.idx[i] = block.NoBlock
+	}
+	d.idx = nil
+	d.size = 0
+}
+
+// Bytes returns a copy of the whole contents; used by the monitor's
+// abstract-concrete relation check and by tests.
+func (d *Data) Bytes() []byte {
+	p := make([]byte, d.size)
+	_, _ = d.ReadAt(p, 0)
+	return p
+}

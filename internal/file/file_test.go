@@ -1,0 +1,216 @@
+package file
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/fserr"
+)
+
+func newData(t *testing.T, nblocks int) (*Data, *block.Store) {
+	t.Helper()
+	s := block.NewStore(nblocks)
+	return New(s), s
+}
+
+func TestWriteRead(t *testing.T) {
+	d, _ := newData(t, 16)
+	msg := []byte("hello, atomfs")
+	n, err := d.WriteAt(msg, 0, 0)
+	if err != nil || n != len(msg) {
+		t.Fatalf("WriteAt = %d %v", n, err)
+	}
+	if d.Size() != int64(len(msg)) {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	got := make([]byte, len(msg))
+	n, err = d.ReadAt(got, 0)
+	if err != nil || n != len(msg) || !bytes.Equal(got, msg) {
+		t.Fatalf("ReadAt = %q %d %v", got, n, err)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	d, _ := newData(t, 4)
+	d.WriteAt([]byte("abc"), 0, 0)
+	buf := make([]byte, 10)
+	n, err := d.ReadAt(buf, 100)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF = %d %v", n, err)
+	}
+	n, err = d.ReadAt(buf, 1)
+	if err != nil || n != 2 || string(buf[:n]) != "bc" {
+		t.Fatalf("partial read = %d %q %v", n, buf[:n], err)
+	}
+}
+
+func TestSparseHoleReadsZero(t *testing.T) {
+	d, _ := newData(t, 16)
+	// Write one byte far out, leaving a hole.
+	off := int64(3*block.Size + 5)
+	if _, err := d.WriteAt([]byte{0xFF}, off, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, block.Size)
+	n, err := d.ReadAt(buf, block.Size)
+	if err != nil || n != block.Size {
+		t.Fatalf("hole read = %d %v", n, err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestCrossBlockWrite(t *testing.T) {
+	d, _ := newData(t, 16)
+	payload := make([]byte, 3*block.Size)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	off := int64(block.Size/2 + 7)
+	if _, err := d.WriteAt(payload, off, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := d.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cross-block content mismatch")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d, s := newData(t, 16)
+	payload := make([]byte, 3*block.Size)
+	for i := range payload {
+		payload[i] = 0xAB
+	}
+	d.WriteAt(payload, 0, 0)
+	inUse := s.InUse()
+	if err := d.Truncate(block.Size+10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != int64(block.Size+10) {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if s.InUse() >= inUse {
+		t.Fatalf("truncate freed nothing: %d -> %d", inUse, s.InUse())
+	}
+	// Extend again; the tail past the old length must read zero.
+	if err := d.Truncate(2*block.Size, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, block.Size-10)
+	d.ReadAt(buf, block.Size+10)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("post-truncate byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestWriteBounds(t *testing.T) {
+	d, _ := newData(t, 4)
+	if _, err := d.WriteAt([]byte("x"), -1, 0); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("negative offset err = %v", err)
+	}
+	if _, err := d.WriteAt([]byte("x"), MaxSize, 0); !errors.Is(err, fserr.ErrNoSpace) {
+		t.Fatalf("past-max write err = %v", err)
+	}
+	if _, err := d.ReadAt([]byte{0}, -5); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("negative read err = %v", err)
+	}
+}
+
+func TestWriteOutOfSpace(t *testing.T) {
+	d, _ := newData(t, 2)
+	payload := make([]byte, 3*block.Size)
+	n, err := d.WriteAt(payload, 0, 0)
+	if !errors.Is(err, fserr.ErrNoSpace) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 2*block.Size {
+		t.Fatalf("partial write n = %d, want %d", n, 2*block.Size)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	d, s := newData(t, 8)
+	d.WriteAt(make([]byte, 4*block.Size), 0, 0)
+	d.Release(0)
+	if s.InUse() != 0 {
+		t.Fatalf("InUse after release = %d", s.InUse())
+	}
+	if d.Size() != 0 {
+		t.Fatalf("Size after release = %d", d.Size())
+	}
+}
+
+// TestPropertyVsByteSlice compares Data against a plain byte-slice model
+// under random writes, reads and truncates.
+func TestPropertyVsByteSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := block.NewStore(256)
+		d := New(s)
+		var model []byte
+		const maxOff = 8 * block.Size
+		for i := 0; i < 60; i++ {
+			switch r.Intn(3) {
+			case 0: // write
+				off := int64(r.Intn(maxOff))
+				n := r.Intn(2*block.Size) + 1
+				p := make([]byte, n)
+				r.Read(p)
+				if _, err := d.WriteAt(p, off, 0); err != nil {
+					return false
+				}
+				end := off + int64(n)
+				for int64(len(model)) < end {
+					model = append(model, 0)
+				}
+				copy(model[off:end], p)
+			case 1: // read
+				off := int64(r.Intn(maxOff))
+				n := r.Intn(2 * block.Size)
+				got := make([]byte, n)
+				gn, err := d.ReadAt(got, off)
+				if err != nil {
+					return false
+				}
+				var want []byte
+				if off < int64(len(model)) {
+					end := min(off+int64(n), int64(len(model)))
+					want = model[off:end]
+				}
+				if gn != len(want) || !bytes.Equal(got[:gn], want) {
+					return false
+				}
+			case 2: // truncate
+				size := int64(r.Intn(maxOff))
+				if err := d.Truncate(size, 0); err != nil {
+					return false
+				}
+				if size <= int64(len(model)) {
+					model = model[:size]
+				} else {
+					model = append(model, make([]byte, size-int64(len(model)))...)
+				}
+			}
+			if d.Size() != int64(len(model)) {
+				return false
+			}
+		}
+		return bytes.Equal(d.Bytes(), model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package fsapi defines the path-based POSIX-like interface shared by
+// every file system implementation in this repository (AtomFS, its
+// big-lock variant, the traversal-retry baseline, and the tmpfs stand-in),
+// so that workloads, conformance suites and benchmarks are generic over
+// the implementation.
+package fsapi
+
+import "repro/internal/spec"
+
+// Info is a stat result: the inode kind and its size (bytes for files,
+// entry count for directories).
+type Info struct {
+	Kind spec.Kind
+	Size int64
+}
+
+// FS is the path-based file system interface of the paper's §3.1 (mknod,
+// mkdir, rmdir, unlink, rename, stat) plus the data-plane operations the
+// evaluation workloads need. All methods are safe for concurrent use.
+type FS interface {
+	Mknod(path string) error
+	Mkdir(path string) error
+	Rmdir(path string) error
+	Unlink(path string) error
+	Rename(src, dst string) error
+	Stat(path string) (Info, error)
+	Read(path string, off int64, size int) ([]byte, error)
+	Write(path string, off int64, data []byte) (int, error)
+	Truncate(path string, size int64) error
+	Readdir(path string) ([]string, error)
+}
+
+// Name returns a short implementation name when the FS provides one.
+func Name(fs FS) string {
+	if n, ok := fs.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return "fs"
+}

@@ -1,0 +1,119 @@
+// Package fserr defines the POSIX-style error values shared by every file
+// system implementation in this repository.
+//
+// The values mirror the errno names used by the AtomFS paper's interfaces
+// (mknod, mkdir, rmdir, unlink, rename, stat, ...). They are plain sentinel
+// errors so callers can compare with errors.Is, plus a small errno mapping
+// used by the FUSE-like wire protocol.
+package fserr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Each corresponds to a POSIX errno of the same name.
+var (
+	ErrNotExist     = errors.New("no such file or directory") // ENOENT
+	ErrExist        = errors.New("file exists")               // EEXIST
+	ErrNotDir       = errors.New("not a directory")           // ENOTDIR
+	ErrIsDir        = errors.New("is a directory")            // EISDIR
+	ErrNotEmpty     = errors.New("directory not empty")       // ENOTEMPTY
+	ErrInvalid      = errors.New("invalid argument")          // EINVAL
+	ErrBadFD        = errors.New("bad file descriptor")       // EBADF
+	ErrNoSpace      = errors.New("no space left on device")   // ENOSPC
+	ErrNameTooLong  = errors.New("file name too long")        // ENAMETOOLONG
+	ErrBusy         = errors.New("device or resource busy")   // EBUSY
+	ErrCrossDevice  = errors.New("invalid cross-device link") // EXDEV
+	ErrPermission   = errors.New("operation not permitted")   // EPERM
+	ErrTooManyFiles = errors.New("too many open files")       // EMFILE
+)
+
+// Errno numbers (Linux x86-64 values) used on the wire by internal/fuse.
+const (
+	ENOENT       = 2
+	EPERM        = 1
+	EBADF        = 9
+	EBUSY        = 16
+	EEXIST       = 17
+	EXDEV        = 18
+	ENOTDIR      = 20
+	EISDIR       = 21
+	EINVAL       = 22
+	EMFILE       = 24
+	ENOSPC       = 28
+	ENAMETOOLONG = 36
+	ENOTEMPTY    = 39
+)
+
+var toErrno = map[error]int32{
+	ErrNotExist:     ENOENT,
+	ErrExist:        EEXIST,
+	ErrNotDir:       ENOTDIR,
+	ErrIsDir:        EISDIR,
+	ErrNotEmpty:     ENOTEMPTY,
+	ErrInvalid:      EINVAL,
+	ErrBadFD:        EBADF,
+	ErrNoSpace:      ENOSPC,
+	ErrNameTooLong:  ENAMETOOLONG,
+	ErrBusy:         EBUSY,
+	ErrCrossDevice:  EXDEV,
+	ErrPermission:   EPERM,
+	ErrTooManyFiles: EMFILE,
+}
+
+var fromErrno = func() map[int32]error {
+	m := make(map[int32]error, len(toErrno))
+	for err, no := range toErrno {
+		m[no] = err
+	}
+	return m
+}()
+
+// Errno converts err to its errno value. A nil error maps to 0; an error
+// that wraps one of the sentinels maps to that sentinel's errno; anything
+// else maps to EINVAL.
+func Errno(err error) int32 {
+	if err == nil {
+		return 0
+	}
+	for sentinel, no := range toErrno {
+		if errors.Is(err, sentinel) {
+			return no
+		}
+	}
+	return EINVAL
+}
+
+// FromErrno converts a wire errno back to the corresponding sentinel error.
+// 0 maps to nil; an unknown errno yields a descriptive opaque error.
+func FromErrno(no int32) error {
+	if no == 0 {
+		return nil
+	}
+	if err, ok := fromErrno[no]; ok {
+		return err
+	}
+	return fmt.Errorf("errno %d", no)
+}
+
+// A PathError annotates an error with the operation and path that caused
+// it, in the manner of os.PathError.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap supports errors.Is against the wrapped sentinel.
+func (e *PathError) Unwrap() error { return e.Err }
+
+// Wrap returns err annotated with op and path, or nil if err is nil.
+func Wrap(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PathError{Op: op, Path: path, Err: err}
+}

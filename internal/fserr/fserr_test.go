@@ -1,0 +1,62 @@
+package fserr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestErrnoRoundTrip(t *testing.T) {
+	sentinels := []error{
+		ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrInvalid,
+		ErrBadFD, ErrNoSpace, ErrNameTooLong, ErrBusy, ErrCrossDevice,
+		ErrPermission, ErrTooManyFiles,
+	}
+	for _, err := range sentinels {
+		no := Errno(err)
+		if no == 0 {
+			t.Errorf("Errno(%v) = 0", err)
+		}
+		back := FromErrno(no)
+		if back != err {
+			t.Errorf("FromErrno(Errno(%v)) = %v", err, back)
+		}
+	}
+}
+
+func TestErrnoNil(t *testing.T) {
+	if Errno(nil) != 0 {
+		t.Error("Errno(nil) != 0")
+	}
+	if FromErrno(0) != nil {
+		t.Error("FromErrno(0) != nil")
+	}
+}
+
+func TestErrnoWrapped(t *testing.T) {
+	err := Wrap("mkdir", "/a/b", ErrNotExist)
+	if Errno(err) != ENOENT {
+		t.Errorf("Errno(wrapped) = %d, want ENOENT", Errno(err))
+	}
+	if !errors.Is(err, ErrNotExist) {
+		t.Error("wrapped error does not match sentinel")
+	}
+	want := "mkdir /a/b: no such file or directory"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestErrnoUnknown(t *testing.T) {
+	if Errno(errors.New("mystery")) != EINVAL {
+		t.Error("unknown error should map to EINVAL")
+	}
+	if FromErrno(9999) == nil {
+		t.Error("unknown errno should produce an error")
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap("op", "/p", nil) != nil {
+		t.Error("Wrap(nil) should be nil")
+	}
+}

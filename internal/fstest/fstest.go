@@ -1,0 +1,278 @@
+// Package fstest is a reusable test kit applied to every file system
+// implementation in this repository: a functional suite, a differential
+// tester that drives an implementation and the abstract specification with
+// identical random operation streams, and concurrency stressors.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// Functional runs a deterministic correctness suite over fs.
+func Functional(t *testing.T, fs fsapi.FS) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantErr := func(err, want error) {
+		t.Helper()
+		if !errors.Is(err, want) {
+			t.Fatalf("err = %v, want %v", err, want)
+		}
+	}
+
+	must(fs.Mkdir("/a"))
+	must(fs.Mkdir("/a/b"))
+	must(fs.Mknod("/a/b/f"))
+	wantErr(fs.Mkdir("/a"), fserr.ErrExist)
+	wantErr(fs.Mknod("/a/b/f"), fserr.ErrExist)
+	wantErr(fs.Mkdir("/missing/x"), fserr.ErrNotExist)
+	wantErr(fs.Mkdir("/a/b/f/x"), fserr.ErrNotDir)
+
+	// Data plane.
+	n, err := fs.Write("/a/b/f", 0, []byte("hello world"))
+	must(err)
+	if n != 11 {
+		t.Fatalf("write n = %d", n)
+	}
+	data, err := fs.Read("/a/b/f", 6, 5)
+	must(err)
+	if string(data) != "world" {
+		t.Fatalf("read = %q", data)
+	}
+	info, err := fs.Stat("/a/b/f")
+	must(err)
+	if info.Kind != spec.KindFile || info.Size != 11 {
+		t.Fatalf("stat = %+v", info)
+	}
+	must(fs.Truncate("/a/b/f", 5))
+	data, err = fs.Read("/a/b/f", 0, 100)
+	must(err)
+	if string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	// Sparse write.
+	_, err = fs.Write("/a/b/f", 100, []byte("tail"))
+	must(err)
+	data, err = fs.Read("/a/b/f", 50, 10)
+	must(err)
+	if !bytes.Equal(data, make([]byte, 10)) {
+		t.Fatalf("hole not zero: %v", data)
+	}
+
+	// Readdir.
+	must(fs.Mknod("/a/b/zz"))
+	names, err := fs.Readdir("/a/b")
+	must(err)
+	if len(names) != 2 || names[0] != "f" || names[1] != "zz" {
+		t.Fatalf("readdir = %v", names)
+	}
+	wantErr(func() error { _, err := fs.Readdir("/a/b/f"); return err }(), fserr.ErrNotDir)
+
+	// Deletion.
+	wantErr(fs.Rmdir("/a"), fserr.ErrNotEmpty)
+	wantErr(fs.Unlink("/a"), fserr.ErrIsDir)
+	wantErr(fs.Rmdir("/a/b/f"), fserr.ErrNotDir)
+	must(fs.Unlink("/a/b/f"))
+	wantErr(fs.Unlink("/a/b/f"), fserr.ErrNotExist)
+
+	// Rename.
+	must(fs.Rename("/a/b", "/c"))
+	if _, err := fs.Stat("/a/b"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("source survived rename: %v", err)
+	}
+	if _, err := fs.Stat("/c/zz"); err != nil {
+		t.Fatalf("moved child missing: %v", err)
+	}
+	wantErr(fs.Rename("/c", "/c/sub"), fserr.ErrInvalid)
+	must(fs.Rename("/c", "/c"))
+	wantErr(fs.Rename("/nope", "/x"), fserr.ErrNotExist)
+
+	// Overwrite semantics.
+	must(fs.Mknod("/t1"))
+	must(fs.Mknod("/t2"))
+	_, err = fs.Write("/t1", 0, []byte("one"))
+	must(err)
+	must(fs.Rename("/t1", "/t2"))
+	data, err = fs.Read("/t2", 0, 10)
+	must(err)
+	if string(data) != "one" {
+		t.Fatalf("overwrite lost data: %q", data)
+	}
+	must(fs.Mkdir("/e1"))
+	must(fs.Mkdir("/e2"))
+	must(fs.Mknod("/e2/inner"))
+	wantErr(fs.Rename("/e1", "/e2"), fserr.ErrNotEmpty)
+	wantErr(fs.Rename("/e1", "/t2"), fserr.ErrNotDir)
+	wantErr(fs.Rename("/t2", "/e1"), fserr.ErrIsDir)
+	must(fs.Unlink("/e2/inner"))
+	must(fs.Rename("/e1", "/e2"))
+
+	// Root is special.
+	wantErr(fs.Mkdir("/"), fserr.ErrInvalid)
+	wantErr(fs.Rmdir("/"), fserr.ErrInvalid)
+	wantErr(fs.Rename("/", "/r"), fserr.ErrInvalid)
+	wantErr(fs.Rename("/e2", "/"), fserr.ErrInvalid)
+	if _, err := fs.Stat("/"); err != nil {
+		t.Fatalf("stat root: %v", err)
+	}
+}
+
+// OpStream generates a reproducible random operation stream over a small
+// namespace, shared by the differential testers.
+type OpStream struct {
+	r     *rand.Rand
+	names []string
+}
+
+// NewOpStream creates a stream from seed.
+func NewOpStream(seed int64) *OpStream {
+	return &OpStream{
+		r:     rand.New(rand.NewSource(seed)),
+		names: []string{"a", "b", "c", "d", "e"},
+	}
+}
+
+// Next produces the next random operation.
+func (s *OpStream) Next() (spec.Op, spec.Args) {
+	path := func() string {
+		depth := 1 + s.r.Intn(3)
+		p := ""
+		for i := 0; i < depth; i++ {
+			p += "/" + s.names[s.r.Intn(len(s.names))]
+		}
+		return p
+	}
+	switch s.r.Intn(11) {
+	case 0:
+		return spec.OpMkdir, spec.Args{Path: path()}
+	case 1:
+		return spec.OpMknod, spec.Args{Path: path()}
+	case 2:
+		return spec.OpRmdir, spec.Args{Path: path()}
+	case 3:
+		return spec.OpUnlink, spec.Args{Path: path()}
+	case 4, 5:
+		return spec.OpRename, spec.Args{Path: path(), Path2: path()}
+	case 6:
+		return spec.OpStat, spec.Args{Path: path()}
+	case 7:
+		data := make([]byte, 1+s.r.Intn(32))
+		s.r.Read(data)
+		return spec.OpWrite, spec.Args{Path: path(), Off: int64(s.r.Intn(16)), Data: data}
+	case 8:
+		return spec.OpRead, spec.Args{Path: path(), Off: int64(s.r.Intn(16)), Size: 1 + s.r.Intn(32)}
+	case 9:
+		return spec.OpTruncate, spec.Args{Path: path(), Off: int64(s.r.Intn(48))}
+	default:
+		return spec.OpReaddir, spec.Args{Path: path()}
+	}
+}
+
+// ApplyFS drives one operation against a concrete FS and renders the
+// result in the specification's Ret form.
+func ApplyFS(fs fsapi.FS, op spec.Op, args spec.Args) spec.Ret {
+	switch op {
+	case spec.OpMknod:
+		return spec.ErrRet(fs.Mknod(args.Path))
+	case spec.OpMkdir:
+		return spec.ErrRet(fs.Mkdir(args.Path))
+	case spec.OpRmdir:
+		return spec.ErrRet(fs.Rmdir(args.Path))
+	case spec.OpUnlink:
+		return spec.ErrRet(fs.Unlink(args.Path))
+	case spec.OpRename:
+		return spec.ErrRet(fs.Rename(args.Path, args.Path2))
+	case spec.OpStat:
+		info, err := fs.Stat(args.Path)
+		if err != nil {
+			return spec.ErrRet(err)
+		}
+		return spec.Ret{Kind: info.Kind, Size: info.Size}
+	case spec.OpRead:
+		data, err := fs.Read(args.Path, args.Off, args.Size)
+		if err != nil {
+			return spec.ErrRet(err)
+		}
+		return spec.Ret{Data: data, N: len(data)}
+	case spec.OpWrite:
+		n, err := fs.Write(args.Path, args.Off, args.Data)
+		if err != nil {
+			return spec.ErrRet(err)
+		}
+		return spec.Ret{N: n}
+	case spec.OpTruncate:
+		return spec.ErrRet(fs.Truncate(args.Path, args.Off))
+	case spec.OpReaddir:
+		names, err := fs.Readdir(args.Path)
+		if err != nil {
+			return spec.ErrRet(err)
+		}
+		return spec.Ret{Names: names}
+	default:
+		panic("fstest: unknown op")
+	}
+}
+
+// Differential drives fs and the abstract specification with the same
+// random single-threaded stream and requires identical results throughout:
+// the concrete implementation sequentially refines the spec.
+func Differential(t *testing.T, fs fsapi.FS, seed int64, steps int) {
+	t.Helper()
+	model := spec.New()
+	stream := NewOpStream(seed)
+	for i := 0; i < steps; i++ {
+		op, args := stream.Next()
+		want, _ := model.Apply(op, args)
+		got := ApplyFS(fs, op, args)
+		if !got.Equal(want) {
+			t.Fatalf("seed %d step %d: %s %s: concrete %s, spec %s", seed, i, op, args, got, want)
+		}
+	}
+}
+
+// Stress runs nWorkers goroutines, each performing steps random operations
+// over a shared namespace. It returns after all workers finish; the caller
+// checks invariants (monitor violations, tree sanity) afterwards.
+func Stress(t *testing.T, fs fsapi.FS, nWorkers, steps int, seed int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := NewOpStream(seed + int64(w)*7919)
+			for i := 0; i < steps; i++ {
+				op, args := stream.Next()
+				ApplyFS(fs, op, args)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// DeepTree builds a directory chain /d0/d1/.../d{depth-1} and returns its
+// path.
+func DeepTree(t testing.TB, fs fsapi.FS, depth int) string {
+	t.Helper()
+	path := ""
+	for i := 0; i < depth; i++ {
+		path = fmt.Sprintf("%s/d%d", path, i)
+		if err := fs.Mkdir(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}

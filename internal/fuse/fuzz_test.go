@@ -1,0 +1,47 @@
+package fuse
+
+import "testing"
+
+// FuzzDecodeRequest: arbitrary bytes never panic the request decoder, and
+// whatever decodes successfully re-encodes and re-decodes to the same
+// request.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(encodeRequest(&request{ID: 1, Op: 2, Path: "/a", Path2: "/b", Off: 3, Size: 4, Data: []byte("x")}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeRequest(encodeRequest(req))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.ID != req.ID || again.Op != req.Op || again.Path != req.Path ||
+			again.Path2 != req.Path2 || again.Off != req.Off || again.Size != req.Size ||
+			string(again.Data) != string(req.Data) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeReply mirrors FuzzDecodeRequest for the reply side.
+func FuzzDecodeReply(f *testing.F) {
+	body, _ := encodeReply(&reply{ID: 9, Errno: 2, Kind: 1, Size: 8, N: 3, Data: []byte("d"), Names: []string{"n"}})
+	f.Add(body)
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeReply(data)
+		if err != nil {
+			return
+		}
+		enc, err := encodeReply(rep)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := decodeReply(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

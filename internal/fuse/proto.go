@@ -1,0 +1,222 @@
+// Package fuse is the userspace-file-system dispatch layer of the
+// reproduction: AtomFS in the paper runs under FUSE, with requests
+// marshalled through the kernel to a userspace daemon. Here the daemon is
+// a TCP (or in-process pipe) server speaking a compact binary protocol;
+// the client side implements fsapi.FS, so applications are oblivious to
+// whether they run against an in-process file system or a remote daemon
+// (cmd/atomfsd).
+//
+// Like FUSE, the server processes requests from one connection
+// concurrently and replies may be delivered out of order; request IDs
+// correlate them. All encoding uses the standard library only.
+package fuse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/spec"
+)
+
+// MaxPayload bounds any single request/reply body (64 MiB).
+const MaxPayload = 64 << 20
+
+// request is the wire form of one operation.
+type request struct {
+	ID    uint64
+	Op    spec.Op
+	Path  string
+	Path2 string
+	Off   int64
+	Size  int32
+	Data  []byte
+}
+
+// reply is the wire form of one result.
+type reply struct {
+	ID    uint64
+	Errno int32
+	Kind  uint8
+	Size  int64
+	N     int32
+	Data  []byte
+	Names []string
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxPayload {
+		return fmt.Errorf("fuse: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("fuse: oversized frame (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// enc is a tiny append-based encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *enc) str(s string) { e.bytes([]byte(s)) }
+
+// dec is the matching decoder.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("fuse: truncated message")
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.b)) || n > MaxPayload {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func encodeRequest(r *request) []byte {
+	var e enc
+	e.u64(r.ID)
+	e.u8(uint8(r.Op))
+	e.str(r.Path)
+	e.str(r.Path2)
+	e.i64(r.Off)
+	e.i32(r.Size)
+	e.bytes(r.Data)
+	return e.b
+}
+
+func decodeRequest(b []byte) (*request, error) {
+	d := dec{b: b}
+	r := &request{
+		ID:    d.u64(),
+		Op:    spec.Op(d.u8()),
+		Path:  d.str(),
+		Path2: d.str(),
+		Off:   d.i64(),
+		Size:  d.i32(),
+	}
+	r.Data = append([]byte(nil), d.bytes()...)
+	if d.err == nil && len(d.b) != 0 {
+		d.err = fmt.Errorf("fuse: %d trailing bytes in request", len(d.b))
+	}
+	return r, d.err
+}
+
+func encodeReply(r *reply) ([]byte, error) {
+	if len(r.Names) > math.MaxInt32 {
+		return nil, fmt.Errorf("fuse: too many names")
+	}
+	var e enc
+	e.u64(r.ID)
+	e.i32(r.Errno)
+	e.u8(r.Kind)
+	e.i64(r.Size)
+	e.i32(r.N)
+	e.bytes(r.Data)
+	e.u32(uint32(len(r.Names)))
+	for _, n := range r.Names {
+		e.str(n)
+	}
+	return e.b, nil
+}
+
+func decodeReply(b []byte) (*reply, error) {
+	d := dec{b: b}
+	r := &reply{
+		ID:    d.u64(),
+		Errno: d.i32(),
+		Kind:  d.u8(),
+		Size:  d.i64(),
+		N:     d.i32(),
+	}
+	r.Data = append([]byte(nil), d.bytes()...)
+	n := d.u32()
+	if d.err == nil && uint64(n) > uint64(len(d.b)) {
+		d.fail()
+	}
+	if d.err == nil && n > 0 {
+		r.Names = make([]string, 0, n)
+		for i := uint32(0); i < n; i++ {
+			r.Names = append(r.Names, d.str())
+		}
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.err = fmt.Errorf("fuse: %d trailing bytes in reply", len(d.b))
+	}
+	return r, d.err
+}

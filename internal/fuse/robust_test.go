@@ -1,0 +1,160 @@
+package fuse
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/spec"
+)
+
+// TestDecodeNeverPanics: arbitrary bytes fed to the decoders must produce
+// errors, never panics.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decodeRequest panicked on %v: %v", data, p)
+				}
+			}()
+			decodeRequest(data)
+		}()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decodeReply panicked on %v: %v", data, p)
+				}
+			}()
+			decodeReply(data)
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeMutatedRoundTrips: take valid encodings, flip random bytes,
+// and require clean error-or-success behaviour.
+func TestDecodeMutatedRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	base := encodeRequest(&request{
+		ID: 1, Op: spec.OpRename, Path: "/some/path", Path2: "/other",
+		Off: 12345, Size: 99, Data: []byte("data payload"),
+	})
+	for i := 0; i < 500; i++ {
+		mut := append([]byte(nil), base...)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		if r.Intn(3) == 0 {
+			mut = mut[:r.Intn(len(mut))]
+		}
+		decodeRequest(mut) // must not panic; error or garbage both fine
+	}
+}
+
+// TestServerSurvivesGarbageConnection: a client writing junk must not
+// take the server down; well-formed clients keep working.
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(memfs.New())
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	// Garbage connection.
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0x00, 0x00, 0x00, 0x04, 0xde, 0xad, 0xbe, 0xef})
+	conn.Write([]byte("trailing nonsense that is not a frame"))
+	conn.Close()
+
+	// Oversized frame header.
+	conn2, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	conn2.Close()
+
+	time.Sleep(10 * time.Millisecond)
+
+	// A real client still works.
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Mkdir("/alive"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stat("/alive"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargePayloadRoundTrip pushes a multi-megabyte write through the
+// wire protocol.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	client, srv := Pipe(memfs.New())
+	defer srv.Close()
+	defer client.Close()
+	if err := client.Mknod("/big"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	n, err := client.Write("/big", 0, payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write = %d %v", n, err)
+	}
+	got, err := client.Read("/big", 1<<20, 1<<20)
+	if err != nil || len(got) != 1<<20 {
+		t.Fatalf("read = %d %v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != payload[1<<20+i] {
+			t.Fatalf("byte %d mismatched", i)
+		}
+	}
+}
+
+// TestServerCloseUnblocksClients: closing the server fails outstanding
+// and future calls promptly.
+func TestServerCloseUnblocksClients(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(memfs.New())
+	go srv.Serve(lis)
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Mkdir("/x"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	done := make(chan error, 1)
+	go func() { done <- client.Mkdir("/y") }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call after server close succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call after server close hung")
+	}
+}

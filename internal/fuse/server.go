@@ -1,0 +1,380 @@
+package fuse
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// Server dispatches protocol requests to a file system. Each request runs
+// on its own goroutine (bounded by a semaphore), matching FUSE's
+// multi-threaded daemon loop, so independent operations proceed in
+// parallel even over one connection.
+type Server struct {
+	fs fsapi.FS
+	// MaxInflight bounds concurrent requests per connection.
+	maxInflight int
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server over fs.
+func NewServer(fs fsapi.FS) *Server {
+	return &Server{fs: fs, maxInflight: 64, conns: map[net.Conn]bool{}}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the server and its connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ServeConn processes one connection synchronously (exported so tests and
+// in-process transports can drive a net.Pipe end directly).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var inflight sync.WaitGroup
+	sem := make(chan struct{}, s.maxInflight)
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			break // EOF or broken connection
+		}
+		req, err := decodeRequest(frame)
+		if err != nil {
+			break // protocol violation; drop the connection
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			rep := s.handle(req)
+			body, err := encodeReply(rep)
+			if err != nil {
+				return
+			}
+			writeMu.Lock()
+			writeFrame(conn, body) //nolint:errcheck // connection teardown is handled by the read loop
+			writeMu.Unlock()
+		}()
+	}
+	inflight.Wait()
+}
+
+func (s *Server) handle(req *request) *reply {
+	rep := &reply{ID: req.ID}
+	fail := func(err error) *reply {
+		rep.Errno = fserr.Errno(err)
+		return rep
+	}
+	switch req.Op {
+	case spec.OpMknod:
+		if err := s.fs.Mknod(req.Path); err != nil {
+			return fail(err)
+		}
+	case spec.OpMkdir:
+		if err := s.fs.Mkdir(req.Path); err != nil {
+			return fail(err)
+		}
+	case spec.OpRmdir:
+		if err := s.fs.Rmdir(req.Path); err != nil {
+			return fail(err)
+		}
+	case spec.OpUnlink:
+		if err := s.fs.Unlink(req.Path); err != nil {
+			return fail(err)
+		}
+	case spec.OpRename:
+		if err := s.fs.Rename(req.Path, req.Path2); err != nil {
+			return fail(err)
+		}
+	case spec.OpStat:
+		info, err := s.fs.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Kind = uint8(info.Kind)
+		rep.Size = info.Size
+	case spec.OpRead:
+		data, err := s.fs.Read(req.Path, req.Off, int(req.Size))
+		if err != nil {
+			return fail(err)
+		}
+		rep.Data = data
+		rep.N = int32(len(data))
+	case spec.OpWrite:
+		n, err := s.fs.Write(req.Path, req.Off, req.Data)
+		if err != nil {
+			return fail(err)
+		}
+		rep.N = int32(n)
+	case spec.OpTruncate:
+		if err := s.fs.Truncate(req.Path, req.Off); err != nil {
+			return fail(err)
+		}
+	case spec.OpReaddir:
+		names, err := s.fs.Readdir(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Names = names
+	default:
+		return fail(fserr.ErrInvalid)
+	}
+	return rep
+}
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("fuse: client closed")
+
+// Client implements fsapi.FS over a protocol connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *reply
+	err     error
+	done    chan struct{}
+}
+
+var _ fsapi.FS = (*Client)(nil)
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: map[uint64]chan *reply{}, done: make(chan struct{})}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a TCP server address.
+func Dial(addr string) (*Client, error) { return DialNetwork("tcp", addr) }
+
+// DialNetwork connects over an arbitrary network ("tcp", "unix", ...).
+func DialNetwork(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Name identifies the implementation in benchmark tables.
+func (c *Client) Name() string { return "fuse-client" }
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	var loopErr error
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		rep, err := decodeReply(frame)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[rep.ID]
+		delete(c.pending, rep.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+	if loopErr == nil || errors.Is(loopErr, io.EOF) {
+		loopErr = ErrClientClosed
+	}
+	c.mu.Lock()
+	c.err = loopErr
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+func (c *Client) call(req *request) (*reply, error) {
+	ch := make(chan *reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, encodeRequest(req))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	rep, ok := <-ch
+	if !ok {
+		return nil, ErrClientClosed
+	}
+	if rep.Errno != 0 {
+		return rep, fserr.FromErrno(rep.Errno)
+	}
+	return rep, nil
+}
+
+// Mknod creates an empty file.
+func (c *Client) Mknod(path string) error {
+	_, err := c.call(&request{Op: spec.OpMknod, Path: path})
+	return err
+}
+
+// Mkdir creates an empty directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(&request{Op: spec.OpMkdir, Path: path})
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	_, err := c.call(&request{Op: spec.OpRmdir, Path: path})
+	return err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string) error {
+	_, err := c.call(&request{Op: spec.OpUnlink, Path: path})
+	return err
+}
+
+// Rename moves src to dst.
+func (c *Client) Rename(src, dst string) error {
+	_, err := c.call(&request{Op: spec.OpRename, Path: src, Path2: dst})
+	return err
+}
+
+// Stat reports an inode's kind and size.
+func (c *Client) Stat(path string) (fsapi.Info, error) {
+	rep, err := c.call(&request{Op: spec.OpStat, Path: path})
+	if err != nil {
+		return fsapi.Info{}, err
+	}
+	return fsapi.Info{Kind: spec.Kind(rep.Kind), Size: rep.Size}, nil
+}
+
+// Read returns up to size bytes at off.
+func (c *Client) Read(path string, off int64, size int) ([]byte, error) {
+	rep, err := c.call(&request{Op: spec.OpRead, Path: path, Off: off, Size: int32(size)})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Write stores data at off.
+func (c *Client) Write(path string, off int64, data []byte) (int, error) {
+	rep, err := c.call(&request{Op: spec.OpWrite, Path: path, Off: off, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return int(rep.N), nil
+}
+
+// Truncate resizes a file.
+func (c *Client) Truncate(path string, size int64) error {
+	_, err := c.call(&request{Op: spec.OpTruncate, Path: path, Off: size})
+	return err
+}
+
+// Readdir lists entries in sorted order.
+func (c *Client) Readdir(path string) ([]string, error) {
+	rep, err := c.call(&request{Op: spec.OpReaddir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Names == nil {
+		return []string{}, nil
+	}
+	return rep.Names, nil
+}
+
+// Pipe returns a connected in-process client/server pair over net.Pipe
+// (the "mount" used by tests and the quickstart example).
+func Pipe(fs fsapi.FS) (*Client, *Server) {
+	srv := NewServer(fs)
+	c1, c2 := net.Pipe()
+	srv.mu.Lock()
+	srv.conns[c2] = true
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	go func() {
+		defer srv.wg.Done()
+		srv.ServeConn(c2)
+	}()
+	return NewClient(c1), srv
+}

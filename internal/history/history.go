@@ -1,0 +1,176 @@
+// Package history records concurrent execution histories of file system
+// operations: invocation and response events in real-time order, plus the
+// linearization events claimed by the CRL-H monitor (including external
+// linearization points performed by helpers).
+//
+// Histories feed two consumers: the offline linearizability checker
+// (internal/lincheck), which searches for *any* legal sequential witness,
+// and the monitor's refinement check, which validates the *specific*
+// sequential order claimed by the helper mechanism.
+package history
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// EventKind discriminates history events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvInvoke EventKind = iota + 1 // operation invoked
+	EvReturn                      // operation returned to the client
+	EvLin                         // operation linearized (abstract Aop executed)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInvoke:
+		return "invoke"
+	case EvReturn:
+		return "return"
+	case EvLin:
+		return "lin"
+	default:
+		return "?"
+	}
+}
+
+// Event is one history entry. Seq is the global real-time position assigned
+// by the recorder. For EvLin, Helper identifies the thread that executed the
+// abstract operation: equal to Tid for a fixed LP, different for an external
+// LP (the paper's helped operations).
+type Event struct {
+	Kind   EventKind
+	Seq    int
+	Tid    uint64
+	Op     spec.Op
+	Args   spec.Args
+	Ret    spec.Ret
+	Helper uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvInvoke:
+		return fmt.Sprintf("[%d] t%d invoke %s %s", e.Seq, e.Tid, e.Op, e.Args)
+	case EvReturn:
+		return fmt.Sprintf("[%d] t%d return %s", e.Seq, e.Tid, e.Ret)
+	default:
+		if e.Helper != e.Tid {
+			return fmt.Sprintf("[%d] t%d lin %s (helped by t%d) -> %s", e.Seq, e.Tid, e.Op, e.Helper, e.Ret)
+		}
+		return fmt.Sprintf("[%d] t%d lin %s -> %s", e.Seq, e.Tid, e.Op, e.Ret)
+	}
+}
+
+// Recorder accumulates events from concurrent operations.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Invoke records the start of an operation by thread tid.
+func (r *Recorder) Invoke(tid uint64, op spec.Op, args spec.Args) {
+	r.add(Event{Kind: EvInvoke, Tid: tid, Op: op, Args: args})
+}
+
+// Return records the completion of thread tid's current operation.
+func (r *Recorder) Return(tid uint64, ret spec.Ret) {
+	r.add(Event{Kind: EvReturn, Tid: tid, Ret: ret})
+}
+
+// Lin records the (possibly external) linearization of tid's operation
+// op, performed by helper, with the abstract result ret.
+func (r *Recorder) Lin(tid, helper uint64, op spec.Op, ret spec.Ret) {
+	r.add(Event{Kind: EvLin, Tid: tid, Helper: helper, Op: op, Ret: ret})
+}
+
+// Events returns a snapshot of all recorded events in real-time order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Operation is a completed operation extracted from a history: one
+// invocation matched with its response, with the real-time window
+// [InvokeSeq, ReturnSeq] and the claimed linearization position (LinSeq < 0
+// when no lin event was recorded).
+type Operation struct {
+	Tid       uint64
+	Op        spec.Op
+	Args      spec.Args
+	Ret       spec.Ret
+	InvokeSeq int
+	ReturnSeq int
+	LinSeq    int
+	Helper    uint64
+}
+
+func (o Operation) String() string {
+	return fmt.Sprintf("t%d %s %s -> %s [%d,%d]", o.Tid, o.Op, o.Args, o.Ret, o.InvokeSeq, o.ReturnSeq)
+}
+
+// Complete pairs invocations with responses and returns the completed
+// operations in invocation order. Pending operations (invoked, never
+// returned) are returned separately; the linearizability checker may treat
+// them as either taken or not taken.
+func Complete(events []Event) (done []Operation, pending []Operation, err error) {
+	open := map[uint64]*Operation{}
+	for _, e := range events {
+		switch e.Kind {
+		case EvInvoke:
+			if open[e.Tid] != nil {
+				return nil, nil, fmt.Errorf("history: thread %d invoked twice without returning", e.Tid)
+			}
+			open[e.Tid] = &Operation{
+				Tid: e.Tid, Op: e.Op, Args: e.Args,
+				InvokeSeq: e.Seq, ReturnSeq: -1, LinSeq: -1,
+			}
+		case EvLin:
+			o := open[e.Tid]
+			if o == nil {
+				return nil, nil, fmt.Errorf("history: lin event for idle thread %d", e.Tid)
+			}
+			if o.LinSeq >= 0 {
+				return nil, nil, fmt.Errorf("history: thread %d linearized twice", e.Tid)
+			}
+			o.LinSeq = e.Seq
+			o.Helper = e.Helper
+		case EvReturn:
+			o := open[e.Tid]
+			if o == nil {
+				return nil, nil, fmt.Errorf("history: return event for idle thread %d", e.Tid)
+			}
+			o.Ret = e.Ret
+			o.ReturnSeq = e.Seq
+			done = append(done, *o)
+			delete(open, e.Tid)
+		}
+	}
+	for _, o := range open {
+		pending = append(pending, *o)
+	}
+	return done, pending, nil
+}

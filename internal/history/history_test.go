@@ -1,0 +1,123 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+func TestCompletePairsEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/a"})
+	r.Invoke(2, spec.OpStat, spec.Args{Path: "/a"})
+	r.Lin(1, 1, spec.OpMkdir, spec.OkRet())
+	r.Return(1, spec.OkRet())
+	r.Lin(2, 2, spec.OpStat, spec.ErrRet(fserr.ErrNotExist))
+	r.Return(2, spec.ErrRet(fserr.ErrNotExist))
+
+	done, pending, err := Complete(r.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || len(pending) != 0 {
+		t.Fatalf("done=%d pending=%d", len(done), len(pending))
+	}
+	if done[0].Tid != 1 || done[0].Op != spec.OpMkdir || done[0].LinSeq != 2 {
+		t.Fatalf("op0 = %+v", done[0])
+	}
+	if done[1].Tid != 2 || done[1].Ret.Err == nil {
+		t.Fatalf("op1 = %+v", done[1])
+	}
+	if done[0].InvokeSeq != 0 || done[0].ReturnSeq != 3 {
+		t.Fatalf("op0 window = [%d,%d]", done[0].InvokeSeq, done[0].ReturnSeq)
+	}
+}
+
+func TestCompletePending(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/a"})
+	r.Invoke(2, spec.OpMkdir, spec.Args{Path: "/b"})
+	r.Return(1, spec.OkRet())
+	done, pending, err := Complete(r.Events())
+	if err != nil || len(done) != 1 || len(pending) != 1 {
+		t.Fatalf("done=%d pending=%d err=%v", len(done), len(pending), err)
+	}
+	if pending[0].Tid != 2 {
+		t.Fatalf("pending = %+v", pending[0])
+	}
+}
+
+func TestCompleteMalformed(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/a"})
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/b"})
+	if _, _, err := Complete(r.Events()); err == nil {
+		t.Error("double invoke not rejected")
+	}
+	r2 := NewRecorder()
+	r2.Return(5, spec.OkRet())
+	if _, _, err := Complete(r2.Events()); err == nil {
+		t.Error("orphan return not rejected")
+	}
+	r3 := NewRecorder()
+	r3.Lin(5, 5, spec.OpMkdir, spec.OkRet())
+	if _, _, err := Complete(r3.Events()); err == nil {
+		t.Error("orphan lin not rejected")
+	}
+}
+
+func TestThreadReuse(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 3; i++ {
+		r.Invoke(1, spec.OpStat, spec.Args{Path: "/"})
+		r.Lin(1, 1, spec.OpStat, spec.Ret{Kind: spec.KindDir})
+		r.Return(1, spec.Ret{Kind: spec.KindDir})
+	}
+	done, pending, err := Complete(r.Events())
+	if err != nil || len(done) != 3 || len(pending) != 0 {
+		t.Fatalf("done=%d pending=%d err=%v", len(done), len(pending), err)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 1; g <= 8; g++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Invoke(tid, spec.OpStat, spec.Args{Path: "/"})
+				r.Return(tid, spec.OkRet())
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	events := r.Events()
+	if len(events) != 1600 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	done, pending, err := Complete(events)
+	if err != nil || len(done) != 800 || len(pending) != 0 {
+		t.Fatalf("done=%d pending=%d err=%v", len(done), len(pending), err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: EvLin, Tid: 2, Helper: 1, Seq: 4}
+	if !strings.Contains(e.String(), "helped by t1") {
+		t.Errorf("external lin not rendered: %s", e)
+	}
+	e2 := Event{Kind: EvLin, Tid: 2, Helper: 2}
+	if strings.Contains(e2.String(), "helped") {
+		t.Errorf("fixed lin rendered as helped: %s", e2)
+	}
+}

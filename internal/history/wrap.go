@@ -1,0 +1,131 @@
+package history
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/spec"
+)
+
+// WrappedFS records invocation/response events for every operation passing
+// through it, assigning a fresh thread ID per call. It turns ANY fsapi.FS
+// into a black-box subject for the offline linearizability checker — no
+// monitor instrumentation required — which is how the traversal-retry and
+// cached baselines get their linearizability checked.
+type WrappedFS struct {
+	inner fsapi.FS
+	rec   *Recorder
+	next  atomic.Uint64
+}
+
+var _ fsapi.FS = (*WrappedFS)(nil)
+
+// WrapFS wraps inner so its operations are recorded into rec.
+func WrapFS(inner fsapi.FS, rec *Recorder) *WrappedFS {
+	return &WrappedFS{inner: inner, rec: rec}
+}
+
+// Name identifies the wrapper in benchmark tables.
+func (w *WrappedFS) Name() string { return "recorded(" + fsapi.Name(w.inner) + ")" }
+
+func (w *WrappedFS) begin(op spec.Op, args spec.Args) uint64 {
+	tid := w.next.Add(1)
+	w.rec.Invoke(tid, op, args)
+	return tid
+}
+
+// Mknod creates an empty file.
+func (w *WrappedFS) Mknod(path string) error {
+	tid := w.begin(spec.OpMknod, spec.Args{Path: path})
+	err := w.inner.Mknod(path)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Mkdir creates an empty directory.
+func (w *WrappedFS) Mkdir(path string) error {
+	tid := w.begin(spec.OpMkdir, spec.Args{Path: path})
+	err := w.inner.Mkdir(path)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (w *WrappedFS) Rmdir(path string) error {
+	tid := w.begin(spec.OpRmdir, spec.Args{Path: path})
+	err := w.inner.Rmdir(path)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Unlink removes a file.
+func (w *WrappedFS) Unlink(path string) error {
+	tid := w.begin(spec.OpUnlink, spec.Args{Path: path})
+	err := w.inner.Unlink(path)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Rename moves src to dst.
+func (w *WrappedFS) Rename(src, dst string) error {
+	tid := w.begin(spec.OpRename, spec.Args{Path: src, Path2: dst})
+	err := w.inner.Rename(src, dst)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Stat reports kind and size.
+func (w *WrappedFS) Stat(path string) (fsapi.Info, error) {
+	tid := w.begin(spec.OpStat, spec.Args{Path: path})
+	info, err := w.inner.Stat(path)
+	if err != nil {
+		w.rec.Return(tid, spec.ErrRet(err))
+	} else {
+		w.rec.Return(tid, spec.Ret{Kind: info.Kind, Size: info.Size})
+	}
+	return info, err
+}
+
+// Read returns up to size bytes at off.
+func (w *WrappedFS) Read(path string, off int64, size int) ([]byte, error) {
+	tid := w.begin(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
+	data, err := w.inner.Read(path, off, size)
+	if err != nil {
+		w.rec.Return(tid, spec.ErrRet(err))
+	} else {
+		w.rec.Return(tid, spec.Ret{Data: data, N: len(data)})
+	}
+	return data, err
+}
+
+// Write stores data at off.
+func (w *WrappedFS) Write(path string, off int64, data []byte) (int, error) {
+	tid := w.begin(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
+	n, err := w.inner.Write(path, off, data)
+	if err != nil {
+		w.rec.Return(tid, spec.ErrRet(err))
+	} else {
+		w.rec.Return(tid, spec.Ret{N: n})
+	}
+	return n, err
+}
+
+// Truncate resizes a file.
+func (w *WrappedFS) Truncate(path string, size int64) error {
+	tid := w.begin(spec.OpTruncate, spec.Args{Path: path, Off: size})
+	err := w.inner.Truncate(path, size)
+	w.rec.Return(tid, spec.ErrRet(err))
+	return err
+}
+
+// Readdir lists entries.
+func (w *WrappedFS) Readdir(path string) ([]string, error) {
+	tid := w.begin(spec.OpReaddir, spec.Args{Path: path})
+	names, err := w.inner.Readdir(path)
+	if err != nil {
+		w.rec.Return(tid, spec.ErrRet(err))
+	} else {
+		w.rec.Return(tid, spec.Ret{Names: names})
+	}
+	return names, err
+}

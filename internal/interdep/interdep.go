@@ -1,0 +1,251 @@
+// Package interdep reproduces the §3.2 generality study of the AtomFS
+// paper: for every combination of rename + {create, unlink, mkdir, rmdir,
+// rename}, it tests whether the file system allows the rename to complete
+// while the other operation sits inside its critical section on a path the
+// rename modifies — the path inter-dependency phenomenon that makes
+// linearization points external.
+//
+// The paper ran this against nine production file systems and found the
+// phenomenon in all of them. Here the subjects are this repository's
+// implementations: AtomFS and retryfs (both fine-grained) exhibit it for
+// every combination, while the coarse-grained memfs and AtomFS-biglock
+// cannot (their critical sections serialize everything) — confirming that
+// the phenomenon is a property of fine-grained locking, not of one
+// implementation.
+package interdep
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/retryfs"
+	"repro/internal/spec"
+)
+
+// OpNames are the probed operations, in the paper's order.
+var OpNames = []string{"create", "unlink", "mkdir", "rmdir", "rename"}
+
+// Subject is a file system that can pause an operation inside its
+// critical section.
+type Subject struct {
+	Name string
+	// Make builds a fresh instance plus an arm function: arm(op) installs
+	// a one-shot pause for the next operation of that kind, returning a
+	// channel that closes when the operation is paused and a release
+	// function.
+	Make func() (fsapi.FS, func(op spec.Op) (<-chan struct{}, func()))
+}
+
+// Subjects returns the default study subjects.
+func Subjects() []Subject {
+	return []Subject{
+		{Name: "atomfs", Make: makeAtomFS(false)},
+		{Name: "atomfs-biglock", Make: makeAtomFS(true)},
+		{Name: "retryfs", Make: makeRetryFS},
+		{Name: "memfs", Make: makeMemFS},
+	}
+}
+
+func makeAtomFS(biglock bool) func() (fsapi.FS, func(op spec.Op) (<-chan struct{}, func())) {
+	return func() (fsapi.FS, func(op spec.Op) (<-chan struct{}, func())) {
+		var opts []atomfs.Option
+		if biglock {
+			opts = append(opts, atomfs.WithBigLock())
+		}
+		fs := atomfs.New(opts...)
+		arm := func(op spec.Op) (<-chan struct{}, func()) {
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			fs.SetHook(func(ev atomfs.HookEvent) {
+				if ev.Op == op && ev.Point == atomfs.HookBeforeLP {
+					fs.SetHook(nil)
+					close(entered)
+					<-release
+				}
+			})
+			return entered, func() { close(release) }
+		}
+		return fs, arm
+	}
+}
+
+func makeRetryFS() (fsapi.FS, func(op spec.Op) (<-chan struct{}, func())) {
+	fs := retryfs.New()
+	arm := func(op spec.Op) (<-chan struct{}, func()) {
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		fs.SetHook(func(got spec.Op, path string) {
+			if got == op {
+				fs.SetHook(nil)
+				close(entered)
+				<-release
+			}
+		})
+		return entered, func() { close(release) }
+	}
+	return fs, arm
+}
+
+func makeMemFS() (fsapi.FS, func(op spec.Op) (<-chan struct{}, func())) {
+	fs := memfs.New()
+	arm := func(op spec.Op) (<-chan struct{}, func()) {
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		fs.SetHook(func(got spec.Op, path string) {
+			if got == op {
+				fs.SetHook(nil)
+				close(entered)
+				<-release
+			}
+		})
+		return entered, func() { close(release) }
+	}
+	return fs, arm
+}
+
+// Verdict is one cell of the study table.
+type Verdict struct {
+	Subject   string
+	Op        string
+	Interdep  bool // rename completed during op's critical section
+	OpErr     error
+	RenameErr error
+}
+
+// Table is the full study result.
+type Table struct {
+	Verdicts []Verdict
+}
+
+// probeOp maps an op name to its spec.Op and the call to make. The op's
+// path lies under /a/b so that rename(/a, /z) modifies its traversed path.
+func probeOp(name string) (spec.Op, func(fs fsapi.FS) error, func(fs fsapi.FS) error) {
+	switch name {
+	case "create":
+		return spec.OpMknod, nil, func(fs fsapi.FS) error { return fs.Mknod("/a/b/x") }
+	case "unlink":
+		setup := func(fs fsapi.FS) error { return fs.Mknod("/a/b/victim") }
+		return spec.OpUnlink, setup, func(fs fsapi.FS) error { return fs.Unlink("/a/b/victim") }
+	case "mkdir":
+		return spec.OpMkdir, nil, func(fs fsapi.FS) error { return fs.Mkdir("/a/b/newdir") }
+	case "rmdir":
+		setup := func(fs fsapi.FS) error { return fs.Mkdir("/a/b/olddir") }
+		return spec.OpRmdir, setup, func(fs fsapi.FS) error { return fs.Rmdir("/a/b/olddir") }
+	case "rename":
+		setup := func(fs fsapi.FS) error { return fs.Mknod("/a/b/from") }
+		return spec.OpRename, setup, func(fs fsapi.FS) error { return fs.Rename("/a/b/from", "/a/b/to") }
+	default:
+		panic("interdep: unknown op " + name)
+	}
+}
+
+// renameTimeout bounds how long the probe waits for the concurrent rename
+// before declaring the file system serializing (no inter-dependency).
+const renameTimeout = 300 * time.Millisecond
+
+// Probe tests one (subject, op) combination.
+func Probe(sub Subject, opName string) Verdict {
+	fs, arm := sub.Make()
+	op, setup, run := probeOp(opName)
+	v := Verdict{Subject: sub.Name, Op: opName}
+	if err := fs.Mkdir("/a"); err != nil {
+		v.OpErr = err
+		return v
+	}
+	if err := fs.Mkdir("/a/b"); err != nil {
+		v.OpErr = err
+		return v
+	}
+	if setup != nil {
+		if err := setup(fs); err != nil {
+			v.OpErr = err
+			return v
+		}
+	}
+
+	entered, release := arm(op)
+	opDone := make(chan error, 1)
+	go func() { opDone <- run(fs) }()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		v.OpErr = fmt.Errorf("operation never reached its critical section")
+		release()
+		<-opDone
+		return v
+	}
+
+	// The probed op is paused inside its critical section; try the rename
+	// that breaks its traversed path.
+	renameDone := make(chan error, 1)
+	go func() { renameDone <- fs.Rename("/a", "/z") }()
+	select {
+	case err := <-renameDone:
+		v.Interdep = true
+		v.RenameErr = err
+		release()
+		v.OpErr = <-opDone
+	case <-time.After(renameTimeout):
+		// rename is blocked behind the paused op: serialized.
+		v.Interdep = false
+		release()
+		v.OpErr = <-opDone
+		v.RenameErr = <-renameDone
+	}
+	return v
+}
+
+// Study runs every combination for every subject.
+func Study(subjects []Subject) *Table {
+	t := &Table{}
+	for _, sub := range subjects {
+		for _, op := range OpNames {
+			t.Verdicts = append(t.Verdicts, Probe(sub, op))
+		}
+	}
+	return t
+}
+
+// Get returns the verdict for (subject, op).
+func (t *Table) Get(subject, op string) (Verdict, bool) {
+	for _, v := range t.Verdicts {
+		if v.Subject == subject && v.Op == op {
+			return v, true
+		}
+	}
+	return Verdict{}, false
+}
+
+// Render writes the study as the paper's rename+op matrix.
+func (t *Table) Render(w io.Writer) {
+	subjects := []string{}
+	seen := map[string]bool{}
+	for _, v := range t.Verdicts {
+		if !seen[v.Subject] {
+			seen[v.Subject] = true
+			subjects = append(subjects, v.Subject)
+		}
+	}
+	fmt.Fprintf(w, "path inter-dependency: rename + op (YES = op's path broken while in critical section)\n")
+	fmt.Fprintf(w, "%-12s", "op")
+	for _, s := range subjects {
+		fmt.Fprintf(w, " %16s", s)
+	}
+	fmt.Fprintln(w)
+	for _, op := range OpNames {
+		fmt.Fprintf(w, "%-12s", op)
+		for _, s := range subjects {
+			v, _ := t.Get(s, op)
+			cell := "no"
+			if v.Interdep {
+				cell = "YES"
+			}
+			fmt.Fprintf(w, " %16s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}

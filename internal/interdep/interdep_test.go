@@ -1,0 +1,68 @@
+package interdep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFineGrainedExhibitInterdependency: AtomFS and retryfs (fine-grained
+// locking) must show path inter-dependency for every rename+op
+// combination — the paper's §3.2 finding for all nine real file systems.
+func TestFineGrainedExhibitInterdependency(t *testing.T) {
+	for _, sub := range Subjects() {
+		if sub.Name != "atomfs" && sub.Name != "retryfs" {
+			continue
+		}
+		for _, op := range OpNames {
+			v := Probe(sub, op)
+			if !v.Interdep {
+				t.Errorf("%s: rename+%s shows no inter-dependency", sub.Name, op)
+			}
+			if v.OpErr != nil {
+				t.Errorf("%s: %s failed: %v", sub.Name, op, v.OpErr)
+			}
+			if v.RenameErr != nil {
+				t.Errorf("%s: rename failed: %v", sub.Name, v.RenameErr)
+			}
+		}
+	}
+}
+
+// TestCoarseGrainedSerialize: memfs and AtomFS-biglock serialize whole
+// operations, so the rename can never complete inside another operation's
+// critical section.
+func TestCoarseGrainedSerialize(t *testing.T) {
+	for _, sub := range Subjects() {
+		if sub.Name != "memfs" && sub.Name != "atomfs-biglock" {
+			continue
+		}
+		// One combination suffices per subject (each probe costs the
+		// rename timeout); the full matrix runs in cmd/interdep.
+		v := Probe(sub, "mkdir")
+		if v.Interdep {
+			t.Errorf("%s: coarse-grained FS exhibited inter-dependency", sub.Name)
+		}
+		if v.OpErr != nil || v.RenameErr != nil {
+			t.Errorf("%s: op=%v rename=%v", sub.Name, v.OpErr, v.RenameErr)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	sub := Subjects()[0] // atomfs only, for speed
+	tab := Study([]Subject{sub})
+	if len(tab.Verdicts) != len(OpNames) {
+		t.Fatalf("verdicts = %d", len(tab.Verdicts))
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, op := range OpNames {
+		if !strings.Contains(out, op) {
+			t.Errorf("render missing %s:\n%s", op, out)
+		}
+	}
+	if !strings.Contains(out, "YES") {
+		t.Errorf("no YES cells:\n%s", out)
+	}
+}

@@ -1,0 +1,138 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fstest"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// bruteForce decides linearizability by enumerating every permutation of
+// the operations, filtering those consistent with the real-time order,
+// and replaying each against the specification — the definitionally
+// correct (and exponential) decision procedure the optimized checker must
+// agree with.
+func bruteForce(init *spec.AFS, ops []history.Operation) bool {
+	n := len(ops)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == n {
+			return respectsRealTime(ops, perm) && Replay(init, ops, perm) == nil
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[depth] = i
+			if rec(depth + 1) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func respectsRealTime(ops []history.Operation, perm []int) bool {
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			// perm[j] comes after perm[i]; illegal if perm[j] returned
+			// before perm[i] was invoked.
+			if ops[perm[j]].ReturnSeq < ops[perm[i]].InvokeSeq {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// genHistory builds a random small history: random operations with random
+// overlapping windows, and results that come either from a consistent
+// sequential execution (usually linearizable) or from independent
+// executions (usually not).
+func genHistory(r *rand.Rand) (*spec.AFS, []history.Operation) {
+	init := spec.New()
+	init.Apply(spec.OpMkdir, spec.Args{Path: "/a"})
+	init.Apply(spec.OpMknod, spec.Args{Path: "/a/f"})
+
+	n := 2 + r.Intn(3) // 2..4 operations
+	stream := fstest.NewOpStream(r.Int63())
+	ops := make([]history.Operation, n)
+
+	// Random real-time windows over 2n slots: choose invoke times, then
+	// return times after them.
+	times := r.Perm(2 * n)
+	for i := range ops {
+		a, b := times[2*i], times[2*i+1]
+		if a > b {
+			a, b = b, a
+		}
+		op, args := stream.Next()
+		ops[i] = history.Operation{
+			Tid: uint64(i + 1), Op: op, Args: args,
+			InvokeSeq: a, ReturnSeq: b, LinSeq: -1,
+		}
+	}
+
+	if r.Intn(2) == 0 {
+		// Consistent mode: execute in a random order and record the
+		// results (window consistency not guaranteed, so the history may
+		// still be illegal — that's fine, brute force is the referee).
+		st := init.Clone()
+		for _, i := range r.Perm(n) {
+			ret, _ := st.Apply(ops[i].Op, ops[i].Args)
+			ops[i].Ret = ret
+		}
+	} else {
+		// Inconsistent mode: each op evaluated against the initial state
+		// independently.
+		for i := range ops {
+			st := init.Clone()
+			ret, _ := st.Apply(ops[i].Op, ops[i].Args)
+			ops[i].Ret = ret
+		}
+	}
+	return init, ops
+}
+
+// TestPropertyCheckerMatchesBruteForce: on random small histories the
+// optimized Wing & Gong search and the brute-force enumeration agree.
+func TestPropertyCheckerMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		init, ops := genHistory(r)
+		res, err := CheckOps(init, ops)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(init, ops)
+		if res.Linearizable != want {
+			t.Logf("seed %d: checker=%v brute=%v ops=%v", seed, res.Linearizable, want, ops)
+			return false
+		}
+		// When linearizable, the witness must itself replay legally and
+		// respect real time.
+		if res.Linearizable {
+			if !respectsRealTime(ops, res.Witness) {
+				t.Logf("seed %d: witness violates real time", seed)
+				return false
+			}
+			if Replay(init, ops, res.Witness) != nil {
+				t.Logf("seed %d: witness does not replay", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

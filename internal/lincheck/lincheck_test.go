@@ -1,0 +1,180 @@
+package lincheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fserr"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// op builds a completed operation with an explicit real-time window.
+func op(tid uint64, o spec.Op, args spec.Args, ret spec.Ret, inv, ret2 int) history.Operation {
+	return history.Operation{Tid: tid, Op: o, Args: args, Ret: ret, InvokeSeq: inv, ReturnSeq: ret2, LinSeq: -1}
+}
+
+func TestSequentialHistoryLegal(t *testing.T) {
+	ops := []history.Operation{
+		op(1, spec.OpMkdir, spec.Args{Path: "/a"}, spec.OkRet(), 0, 1),
+		op(1, spec.OpMkdir, spec.Args{Path: "/a/b"}, spec.OkRet(), 2, 3),
+		op(1, spec.OpStat, spec.Args{Path: "/a/b"}, spec.Ret{Kind: spec.KindDir}, 4, 5),
+	}
+	res, err := CheckOps(nil, ops)
+	if err != nil || !res.Linearizable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if len(res.Witness) != 3 || res.Witness[0] != 0 {
+		t.Fatalf("witness = %v", res.Witness)
+	}
+}
+
+func TestSequentialHistoryIllegal(t *testing.T) {
+	ops := []history.Operation{
+		op(1, spec.OpMkdir, spec.Args{Path: "/a"}, spec.OkRet(), 0, 1),
+		// stat of a path that must exist reports ENOENT: illegal.
+		op(1, spec.OpStat, spec.Args{Path: "/a"}, spec.ErrRet(fserr.ErrNotExist), 2, 3),
+	}
+	res, err := CheckOps(nil, ops)
+	if err != nil || res.Linearizable {
+		t.Fatalf("illegal history accepted: %+v err=%v", res, err)
+	}
+}
+
+func TestConcurrentReorderAllowed(t *testing.T) {
+	// Two overlapping mkdirs of the same path: one succeeds, one EEXIST.
+	// Both assignments of which-came-first are fine; the checker must find
+	// one.
+	ops := []history.Operation{
+		op(1, spec.OpMkdir, spec.Args{Path: "/a"}, spec.ErrRet(fserr.ErrExist), 0, 3),
+		op(2, spec.OpMkdir, spec.Args{Path: "/a"}, spec.OkRet(), 1, 2),
+	}
+	res, err := CheckOps(nil, ops)
+	if err != nil || !res.Linearizable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	// The witness must put t2 first.
+	if res.Ops[res.Witness[0]].Tid != 2 {
+		t.Fatalf("witness order wrong: %s", res.WitnessString())
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Non-overlapping: mkdir returns before stat is invoked, so stat MUST
+	// see the directory; ENOENT is non-linearizable even though a reorder
+	// would explain it.
+	ops := []history.Operation{
+		op(1, spec.OpMkdir, spec.Args{Path: "/a"}, spec.OkRet(), 0, 1),
+		op(2, spec.OpStat, spec.Args{Path: "/a"}, spec.ErrRet(fserr.ErrNotExist), 2, 3),
+	}
+	res, err := CheckOps(nil, ops)
+	if err != nil || res.Linearizable {
+		t.Fatal("real-time violation accepted")
+	}
+	// Overlapping version: now legal (stat may linearize first).
+	ops[1].InvokeSeq = 0
+	ops[1].ReturnSeq = 2
+	ops[0].InvokeSeq = 1
+	ops[0].ReturnSeq = 3
+	res, err = CheckOps(nil, ops)
+	if err != nil || !res.Linearizable {
+		t.Fatalf("overlapping version rejected: %+v err=%v", res, err)
+	}
+}
+
+// TestPaperFigure1 reproduces the paper's motivating example: interleaved
+// rename(/a, /e) and mkdir(/a/b/c) where both succeed. The history IS
+// linearizable (mkdir before rename), but replaying the fixed-LP order
+// (rename first, as its LP fires first) is illegal — exactly the paper's
+// argument for helpers.
+func TestPaperFigure1(t *testing.T) {
+	init := spec.New()
+	init.Apply(spec.OpMkdir, spec.Args{Path: "/a"})
+	init.Apply(spec.OpMkdir, spec.Args{Path: "/a/b"})
+
+	ops := []history.Operation{
+		// rename passes its (fixed) LP first: LinSeq 2.
+		{Tid: 1, Op: spec.OpRename, Args: spec.Args{Path: "/a", Path2: "/e"}, Ret: spec.OkRet(),
+			InvokeSeq: 0, ReturnSeq: 4, LinSeq: 2, Helper: 1},
+		{Tid: 2, Op: spec.OpMkdir, Args: spec.Args{Path: "/a/b/c"}, Ret: spec.OkRet(),
+			InvokeSeq: 1, ReturnSeq: 6, LinSeq: 3, Helper: 2},
+	}
+
+	res, err := CheckOps(init, ops)
+	if err != nil || !res.Linearizable {
+		t.Fatalf("figure-1 history must be linearizable: %+v err=%v", res, err)
+	}
+	if res.Ops[res.Witness[0]].Op != spec.OpMkdir {
+		t.Fatalf("witness must order mkdir first: %s", res.WitnessString())
+	}
+
+	// Fixed-LP order = order of LinSeq = rename ; mkdir. Replay must fail.
+	order, err := LinOrder(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Replay(init, ops, order); got == nil {
+		t.Fatal("fixed-LP order replayed cleanly; the paper says it must not")
+	} else if !strings.Contains(got.Error(), "mismatch") {
+		t.Fatalf("unexpected replay error: %v", got)
+	}
+
+	// Helper order (mkdir linearized before rename by the helper) replays.
+	if err := Replay(init, ops, []int{1, 0}); err != nil {
+		t.Fatalf("helper order rejected: %v", err)
+	}
+}
+
+func TestCheckFromRecorder(t *testing.T) {
+	r := history.NewRecorder()
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/a"})
+	r.Return(1, spec.OkRet())
+	r.Invoke(2, spec.OpMkdir, spec.Args{Path: "/a"})
+	r.Return(2, spec.ErrRet(fserr.ErrExist))
+	res, err := Check(nil, r.Events())
+	if err != nil || !res.Linearizable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestCheckRejectsPending(t *testing.T) {
+	r := history.NewRecorder()
+	r.Invoke(1, spec.OpMkdir, spec.Args{Path: "/a"})
+	if _, err := Check(nil, r.Events()); err == nil {
+		t.Fatal("pending operation not rejected")
+	}
+}
+
+func TestTooManyOps(t *testing.T) {
+	ops := make([]history.Operation, MaxOps+1)
+	for i := range ops {
+		ops[i] = op(uint64(i+1), spec.OpStat, spec.Args{Path: "/"}, spec.Ret{Kind: spec.KindDir}, i*2, i*2+1)
+	}
+	if _, err := CheckOps(nil, ops); err == nil {
+		t.Fatal("oversized history not rejected")
+	}
+}
+
+func TestWitnessStringIllegal(t *testing.T) {
+	res := Result{}
+	if res.WitnessString() != "<not linearizable>" {
+		t.Fatal("bad witness string")
+	}
+}
+
+// TestMemoization: many commuting operations would blow up without the
+// (done-set, state-key) memo; this completes quickly with it.
+func TestMemoization(t *testing.T) {
+	var ops []history.Operation
+	// 12 pairwise-overlapping stats of "/" — 12! orders without memo.
+	for i := 0; i < 12; i++ {
+		ops = append(ops, op(uint64(i+1), spec.OpStat, spec.Args{Path: "/"}, spec.Ret{Kind: spec.KindDir}, 0, 100))
+	}
+	res, err := CheckOps(nil, ops)
+	if err != nil || !res.Linearizable {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if res.Explored > 10000 {
+		t.Fatalf("memoization ineffective: explored %d states", res.Explored)
+	}
+}

@@ -1,0 +1,132 @@
+// Package memfs is a deliberately simple in-memory file system protected
+// by one global reader/writer lock. It stands in for tmpfs in the paper's
+// Figure-10/11 comparisons: minimal per-operation overhead, no fine-grained
+// concurrency for mutations (but concurrent readers), and trivially
+// linearizable because every operation is a critical section.
+//
+// It shares the abstract model (internal/spec) as its implementation,
+// which also makes it the reference oracle for differential tests.
+package memfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/spec"
+)
+
+// Hook observes an operation inside its critical section (the study in
+// cmd/interdep uses it to pause operations mid-flight).
+type Hook func(op spec.Op, path string)
+
+// FS is the global-RWMutex file system.
+type FS struct {
+	mu   sync.RWMutex
+	afs  *spec.AFS
+	hook atomic.Pointer[Hook]
+}
+
+// SetHook installs (or removes, with nil) the critical-section hook.
+func (fs *FS) SetHook(h Hook) {
+	if h == nil {
+		fs.hook.Store(nil)
+		return
+	}
+	fs.hook.Store(&h)
+}
+
+func (fs *FS) fire(op spec.Op, path string) {
+	if h := fs.hook.Load(); h != nil {
+		(*h)(op, path)
+	}
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// New creates an empty memfs.
+func New() *FS { return &FS{afs: spec.New()} }
+
+// Name identifies the implementation in benchmark tables.
+func (fs *FS) Name() string { return "memfs" }
+
+func (fs *FS) write(op spec.Op, args spec.Args) spec.Ret {
+	fs.mu.Lock()
+	fs.fire(op, args.Path)
+	ret, _ := fs.afs.Apply(op, args)
+	fs.mu.Unlock()
+	return ret
+}
+
+func (fs *FS) read(op spec.Op, args spec.Args) spec.Ret {
+	fs.mu.RLock()
+	fs.fire(op, args.Path)
+	// Read-only ops do not mutate the state, so Apply under RLock is safe.
+	ret, _ := fs.afs.Apply(op, args)
+	fs.mu.RUnlock()
+	return ret
+}
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string) error {
+	return fs.write(spec.OpMknod, spec.Args{Path: path}).Err
+}
+
+// Mkdir creates an empty directory.
+func (fs *FS) Mkdir(path string) error {
+	return fs.write(spec.OpMkdir, spec.Args{Path: path}).Err
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error {
+	return fs.write(spec.OpRmdir, spec.Args{Path: path}).Err
+}
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string) error {
+	return fs.write(spec.OpUnlink, spec.Args{Path: path}).Err
+}
+
+// Rename moves src to dst with POSIX overwrite semantics.
+func (fs *FS) Rename(src, dst string) error {
+	return fs.write(spec.OpRename, spec.Args{Path: src, Path2: dst}).Err
+}
+
+// Stat reports an inode's kind and size.
+func (fs *FS) Stat(path string) (fsapi.Info, error) {
+	ret := fs.read(spec.OpStat, spec.Args{Path: path})
+	if ret.Err != nil {
+		return fsapi.Info{}, ret.Err
+	}
+	return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, nil
+}
+
+// Read returns up to size bytes at off.
+func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
+	ret := fs.read(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
+	return ret.Data, ret.Err
+}
+
+// Write stores data at off.
+func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+	ret := fs.write(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
+	return ret.N, ret.Err
+}
+
+// Truncate resizes a file.
+func (fs *FS) Truncate(path string, size int64) error {
+	return fs.write(spec.OpTruncate, spec.Args{Path: path, Off: size}).Err
+}
+
+// Readdir lists entries in sorted order.
+func (fs *FS) Readdir(path string) ([]string, error) {
+	ret := fs.read(spec.OpReaddir, spec.Args{Path: path})
+	return ret.Names, ret.Err
+}
+
+// Snapshot returns a deep copy of the state (test support).
+func (fs *FS) Snapshot() *spec.AFS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.afs.Clone()
+}

@@ -1,0 +1,25 @@
+package memfs
+
+import (
+	"testing"
+
+	"repro/internal/fstest"
+)
+
+func TestFunctional(t *testing.T) {
+	fstest.Functional(t, New())
+}
+
+func TestDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fstest.Differential(t, New(), seed, 500)
+	}
+}
+
+func TestStress(t *testing.T) {
+	fs := New()
+	fstest.Stress(t, fs, 8, 300, 5)
+	if err := fs.Snapshot().GoodAFS(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package multicore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func uniform(work int64, lock LockID) TraceSource {
+	return func(thread, i int) OpTrace {
+		return OpTrace{{Lock: lock, Work: work}}
+	}
+}
+
+func TestSingleThreadMakespan(t *testing.T) {
+	res := Run(1, 100, uniform(10, NoLock))
+	if res.Makespan != 1000 || res.Ops != 100 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPerfectParallelism(t *testing.T) {
+	// Unlocked work scales linearly: same makespan regardless of threads.
+	r1 := Run(1, 100, uniform(10, NoLock))
+	r8 := Run(8, 100, uniform(10, NoLock))
+	if r8.Makespan != r1.Makespan {
+		t.Fatalf("parallel makespan %d != serial %d", r8.Makespan, r1.Makespan)
+	}
+	if r8.Throughput() < 7.9*r1.Throughput() {
+		t.Fatalf("throughput did not scale: %f vs %f", r8.Throughput(), r1.Throughput())
+	}
+}
+
+func TestGlobalLockSerializes(t *testing.T) {
+	// All work under one lock: total makespan is the sum, regardless of
+	// thread count.
+	r8 := Run(8, 100, uniform(10, LockID(5)))
+	if r8.Makespan != 8*100*10 {
+		t.Fatalf("makespan = %d, want %d", r8.Makespan, 8000)
+	}
+	if sp := r8.Throughput() / Run(1, 100, uniform(10, LockID(5))).Throughput(); sp > 1.01 {
+		t.Fatalf("speedup through a global lock = %f", sp)
+	}
+}
+
+func TestAmdahlMix(t *testing.T) {
+	// 90% parallel, 10% serialized: speedup at high thread counts must
+	// approach 10x and never exceed it.
+	src := func(thread, i int) OpTrace {
+		return OpTrace{{Lock: NoLock, Work: 90}, {Lock: LockID(1), Work: 10}}
+	}
+	base := Run(1, 200, src).Throughput()
+	sp32 := Run(32, 200, src).Throughput() / base
+	if sp32 > 10.01 {
+		t.Fatalf("speedup %f exceeds Amdahl bound", sp32)
+	}
+	if sp32 < 8 {
+		t.Fatalf("speedup %f too far below Amdahl bound 10", sp32)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	costs := DefaultCosts()
+	src := costs.FileserverSource(DesignAtomFS, 526, 10000, 4)
+	a := Run(8, 500, src)
+	b := Run(8, 500, src)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestFigure11Shape asserts the qualitative claims of the paper's Figure
+// 11 hold in the simulator: fine-grained beats big-lock, the retry design
+// beats both, Fileserver gains more from lock coupling than Webproxy.
+func TestFigure11Shape(t *testing.T) {
+	costs := DefaultCosts()
+	speedup := func(d Design, fileserver bool, threads int) float64 {
+		var src TraceSource
+		if fileserver {
+			src = costs.FileserverSource(d, 526, 10000, 4)
+		} else {
+			src = costs.WebproxySource(d, 1000, 2)
+		}
+		base := Run(1, 2000, src).Throughput()
+		return Run(threads, 2000, src).Throughput() / base
+	}
+	for _, fileserver := range []bool{true, false} {
+		atom := speedup(DesignAtomFS, fileserver, 16)
+		big := speedup(DesignBigLock, fileserver, 16)
+		retry := speedup(DesignRetryFS, fileserver, 16)
+		if atom <= big {
+			t.Errorf("fileserver=%v: atomfs (%.2f) not above biglock (%.2f)", fileserver, atom, big)
+		}
+		if retry <= atom {
+			t.Errorf("fileserver=%v: retry (%.2f) not above atomfs (%.2f)", fileserver, retry, atom)
+		}
+	}
+	fsGain := speedup(DesignAtomFS, true, 16) / speedup(DesignBigLock, true, 16)
+	wpGain := speedup(DesignAtomFS, false, 16) / speedup(DesignBigLock, false, 16)
+	if fsGain <= wpGain {
+		t.Errorf("fileserver gain (%.2f) not above webproxy gain (%.2f)", fsGain, wpGain)
+	}
+	// The paper's numbers: 1.46x and 1.16x. Accept a generous band.
+	if fsGain < 1.2 || fsGain > 1.8 {
+		t.Errorf("fileserver atomfs/biglock gain = %.2f, want ~1.46", fsGain)
+	}
+	if wpGain < 1.05 || wpGain > 1.4 {
+		t.Errorf("webproxy atomfs/biglock gain = %.2f, want ~1.16", wpGain)
+	}
+}
+
+// TestPropertyMakespanBounds: makespan is at least total-work/threads
+// (can't beat perfect parallelism) and at most total work (can't be worse
+// than fully serial on one core... per thread chains bound it).
+func TestPropertyMakespanBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		n := int(seed%7) + 1
+		ops := int(seed%13) + 1
+		work := seed%50 + 1
+		lock := LockID(seed % 3)
+		src := func(thread, i int) OpTrace {
+			return OpTrace{{Lock: lock, Work: work}, {Lock: NoLock, Work: work}}
+		}
+		res := Run(n, ops, src)
+		total := int64(n) * int64(ops) * 2 * work
+		perThread := int64(ops) * 2 * work
+		return res.Makespan >= perThread && res.Makespan <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVarmailShape: the extension personality's atomfs/biglock gain is
+// the smallest of the three — its single hot spool directory with tiny
+// files makes the directory critical section dominate even harder than
+// Webproxy's (which at least has a separate log directory).
+func TestVarmailShape(t *testing.T) {
+	costs := DefaultCosts()
+	gain := func(src func(Design) TraceSource) float64 {
+		base := Run(1, 2000, src(DesignAtomFS)).Throughput()
+		atom := Run(16, 2000, src(DesignAtomFS)).Throughput() / base
+		baseB := Run(1, 2000, src(DesignBigLock)).Throughput()
+		big := Run(16, 2000, src(DesignBigLock)).Throughput() / baseB
+		return atom / big
+	}
+	vm := gain(func(d Design) TraceSource { return costs.VarmailSource(d, 1000, 1) })
+	wp := gain(func(d Design) TraceSource { return costs.WebproxySource(d, 1000, 2) })
+	fs := gain(func(d Design) TraceSource { return costs.FileserverSource(d, 526, 10000, 4) })
+	if !(vm <= wp && wp <= fs) {
+		t.Fatalf("gain ordering broken: varmail %.2f, webproxy %.2f, fileserver %.2f", vm, wp, fs)
+	}
+}

@@ -1,0 +1,209 @@
+package multicore
+
+import "math/rand"
+
+// This file models the Figure-11 workloads as lock/work traces for the
+// three compared designs. Costs are virtual ticks; the shape of the
+// resulting curves — not absolute throughput — is the reproduction target.
+//
+// Lock namespace: lock 0 is the big-lock variant's global lock, lock 1 is
+// the root inode, locks dirBase+d are directory inodes, fileBase+f file
+// inodes.
+
+const (
+	lockGlobal LockID = 0
+	lockRoot   LockID = 1
+	dirBase    LockID = 100
+	fileBase   LockID = 1_000_000
+)
+
+// Design selects the locking architecture being simulated.
+type Design int
+
+// Designs under comparison.
+const (
+	DesignAtomFS  Design = iota // lock coupling, per-inode locks
+	DesignBigLock               // one global lock per operation
+	DesignRetryFS               // lock-free walk, leaf locks only (ext4/VFS)
+)
+
+// Costs calibrates the virtual-tick model.
+type Costs struct {
+	// VFS is per-operation work outside any file system lock: the
+	// VFS/FUSE path-lookup and dispatch overhead the paper credits for
+	// the big-lock variant's residual scalability ("AtomFS does not
+	// bypass the VFS-level path lookups").
+	VFS int64
+	// RootStep is the base cost of the root-inode critical section of a
+	// coupled traversal; the per-entry chain-scan cost is added on top
+	// (the root directory holds every top-level entry — 526 for
+	// Fileserver — so this section is the coupling bottleneck at high
+	// core counts).
+	RootStep int64
+	// DirStep is the directory-inode critical section (lookup + possible
+	// insert/delete).
+	DirStep int64
+	// LeafData is the per-4KiB-block cost of file data work under the
+	// file's lock.
+	LeafData int64
+	// Meta is fixed per-operation file system work (inode init etc.).
+	Meta int64
+	// EntryCost is the per-entry cost of scanning a directory's hash
+	// chains under its lock; large directories (Webproxy keeps thousands
+	// of files in two directories) make the directory section dominate.
+	EntryCost int64
+}
+
+// DefaultCosts is calibrated so the simulated 16-core ratios land near
+// the paper's: AtomFS ~1.4x biglock on Fileserver, ~1.1-1.2x on Webproxy,
+// with the retry design above both.
+func DefaultCosts() Costs {
+	return Costs{VFS: 5300, RootStep: 160, DirStep: 160, LeafData: 150, Meta: 100, EntryCost: 3}
+}
+
+// fsOpKind enumerates the personality flows' primitive steps.
+type fsOpKind int
+
+const (
+	opCreateWrite fsOpKind = iota
+	opAppend
+	opReadWhole
+	opStat
+	opDelete
+	opReaddir
+)
+
+// opTrace renders one primitive op for a design. dir and file identify
+// the inodes touched; dirEntries sizes the directory's hash chains;
+// blocks is the data size in 4 KiB blocks.
+func (c Costs) opTrace(d Design, dir, file int, rootEntries, dirEntries int64, kind fsOpKind, blocks int64) OpTrace {
+	dirLock := dirBase + LockID(dir)
+	fileLock := fileBase + LockID(file)
+	dataWork := c.LeafData * blocks
+	rootWork := c.RootStep + c.EntryCost*rootEntries
+	dirWork := c.DirStep + c.EntryCost*dirEntries
+	if kind == opCreateWrite || kind == opDelete {
+		dirWork += c.Meta // insert/delete under the directory lock
+	}
+	if kind == opReaddir {
+		// Enumeration holds the directory lock for the whole scan.
+		dirWork += 2*c.DirStep + 2*c.EntryCost*dirEntries
+	}
+	leafWork := c.Meta
+	switch kind {
+	case opCreateWrite, opReadWhole:
+		leafWork += dataWork
+	case opAppend:
+		leafWork += dataWork
+	case opStat:
+		leafWork = c.Meta / 2
+	case opDelete:
+		leafWork += c.Meta
+	case opReaddir:
+		leafWork = 0
+	}
+
+	switch d {
+	case DesignBigLock:
+		// One global section covering all file system work.
+		return OpTrace{
+			{Lock: NoLock, Work: c.VFS},
+			{Lock: lockGlobal, Work: rootWork + dirWork + leafWork},
+		}
+	case DesignRetryFS:
+		// Lock-free walk (modelled as unlocked work), then only the
+		// target inode's critical section. ext4 indexes directories with
+		// htrees, so its sections do not pay the per-entry chain scan.
+		tr := OpTrace{{Lock: NoLock, Work: c.VFS + c.RootStep}}
+		if kind == opCreateWrite || kind == opDelete || kind == opReaddir {
+			tr = append(tr, Segment{Lock: dirLock, Work: c.DirStep + c.Meta})
+		}
+		if leafWork > 0 {
+			tr = append(tr, Segment{Lock: fileLock, Work: leafWork})
+		}
+		return tr
+	default: // DesignAtomFS: coupled per-inode sections along the path
+		tr := OpTrace{
+			{Lock: NoLock, Work: c.VFS},
+			{Lock: lockRoot, Work: rootWork},
+			{Lock: dirLock, Work: dirWork},
+		}
+		if leafWork > 0 {
+			tr = append(tr, Segment{Lock: fileLock, Work: leafWork})
+		}
+		return tr
+	}
+}
+
+// FileserverSource models the Filebench Fileserver personality: the op
+// mix of internal/workload.Fileserver over many directories.
+func (c Costs) FileserverSource(d Design, dirs, files int, fileBlocks int64) TraceSource {
+	perDir := int64(files / dirs)
+	rootEntries := int64(dirs)
+	return func(thread, i int) OpTrace {
+		r := rand.New(rand.NewSource(int64(thread)<<32 | int64(i)))
+		dir := r.Intn(dirs)
+		file := r.Intn(files)
+		switch i % 6 {
+		case 0:
+			return c.opTrace(d, dir, file, rootEntries, perDir, opCreateWrite, fileBlocks)
+		case 1:
+			return c.opTrace(d, dir, file, rootEntries, perDir, opAppend, 1)
+		case 2:
+			return c.opTrace(d, dir, file, rootEntries, perDir, opReadWhole, fileBlocks)
+		case 3:
+			return c.opTrace(d, dir, file, rootEntries, perDir, opStat, 0)
+		case 4:
+			return c.opTrace(d, dir, file, rootEntries, perDir, opDelete, 0)
+		default:
+			return c.opTrace(d, dir, 0, rootEntries, perDir, opReaddir, 0)
+		}
+	}
+}
+
+// WebproxySource models the Webproxy personality: one huge cache
+// directory holding every object plus a log directory with a shared
+// append-only log — the paper's "only two directories, which cannot
+// leverage the benefit of multicore concurrency". Each flow is
+// delete + create + log-append + five whole-file reads.
+func (c Costs) WebproxySource(d Design, files int, fileBlocks int64) TraceSource {
+	entries := int64(files)
+	return func(thread, i int) OpTrace {
+		r := rand.New(rand.NewSource(int64(thread)<<40 | int64(i)))
+		file := r.Intn(files)
+		switch i % 8 {
+		case 0:
+			return c.opTrace(d, 0, file, 2, entries, opDelete, 0)
+		case 1:
+			return c.opTrace(d, 0, file, 2, entries, opCreateWrite, fileBlocks)
+		case 2:
+			// Append to the shared log file in the log directory.
+			return c.opTrace(d, 1, 0, 2, 1, opAppend, 1)
+		default:
+			return c.opTrace(d, 0, file, 2, entries, opReadWhole, fileBlocks)
+		}
+	}
+}
+
+// VarmailSource models the Varmail personality (extension beyond the
+// paper): one spool directory, a delete + create + read + append flow.
+// Its single hot directory serializes fine-grained designs harder than
+// Fileserver but the small files keep critical sections shorter than
+// Webproxy's.
+func (c Costs) VarmailSource(d Design, files int, fileBlocks int64) TraceSource {
+	entries := int64(files)
+	return func(thread, i int) OpTrace {
+		r := rand.New(rand.NewSource(int64(thread)<<48 | int64(i)))
+		file := r.Intn(files)
+		switch i % 4 {
+		case 0:
+			return c.opTrace(d, 0, file, 1, entries, opDelete, 0)
+		case 1:
+			return c.opTrace(d, 0, file, 1, entries, opCreateWrite, fileBlocks)
+		case 2:
+			return c.opTrace(d, 0, file, 1, entries, opReadWhole, fileBlocks)
+		default:
+			return c.opTrace(d, 0, file, 1, entries, opAppend, 1)
+		}
+	}
+}

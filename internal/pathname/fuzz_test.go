@@ -1,0 +1,37 @@
+package pathname
+
+import "testing"
+
+// FuzzSplit: the path parser never panics, and anything it accepts
+// round-trips through Join/Split stably.
+func FuzzSplit(f *testing.F) {
+	for _, seed := range []string{
+		"/", "/a", "/a/b/c", "//a//b/", "/..", "/./x", "", "a/b",
+		"/\x00", "/name with space/x", "/目录/ファイル", "/a/../../b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		parts, err := Split(path)
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if err := ValidName(p); err != nil {
+				t.Fatalf("Split(%q) produced invalid component %q: %v", path, p, err)
+			}
+		}
+		again, err := Split(Join(parts))
+		if err != nil {
+			t.Fatalf("Join(Split(%q)) unparseable: %v", path, err)
+		}
+		if len(again) != len(parts) {
+			t.Fatalf("round trip changed length: %v vs %v", parts, again)
+		}
+		for i := range parts {
+			if parts[i] != again[i] {
+				t.Fatalf("round trip changed component %d: %v vs %v", i, parts, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+// Package pathname implements path parsing and validation for the file
+// systems in this repository.
+//
+// Paths are absolute, slash-separated, and rooted at "/". Components are
+// validated against the usual POSIX constraints (no NUL, no '/', bounded
+// length). The parser is deliberately strict: "." and ".." are rejected so
+// that path traversal in the concurrent file systems is a pure top-down
+// walk, matching the AtomFS model where every lookup descends from the root.
+package pathname
+
+import (
+	"strings"
+
+	"repro/internal/fserr"
+)
+
+// MaxNameLen bounds a single path component, mirroring NAME_MAX.
+const MaxNameLen = 255
+
+// MaxPathLen bounds a whole path, mirroring PATH_MAX.
+const MaxPathLen = 4096
+
+// ValidName reports whether name is usable as a directory entry name.
+func ValidName(name string) error {
+	switch {
+	case name == "" || name == "." || name == "..":
+		return fserr.ErrInvalid
+	case len(name) > MaxNameLen:
+		return fserr.ErrNameTooLong
+	case strings.ContainsAny(name, "/\x00"):
+		return fserr.ErrInvalid
+	}
+	return nil
+}
+
+// Split parses an absolute path into its components. The root path "/"
+// yields an empty slice. Repeated slashes and a single trailing slash are
+// tolerated (as in POSIX pathname resolution); every component is validated
+// with ValidName.
+func Split(path string) ([]string, error) {
+	if len(path) > MaxPathLen {
+		return nil, fserr.ErrNameTooLong
+	}
+	if path == "" || path[0] != '/' {
+		return nil, fserr.ErrInvalid
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	raw := strings.Split(path[1:], "/")
+	parts := make([]string, 0, len(raw))
+	for i, c := range raw {
+		if c == "" {
+			// Tolerate "//" and a trailing "/".
+			if i == len(raw)-1 {
+				continue
+			}
+			continue
+		}
+		if err := ValidName(c); err != nil {
+			return nil, err
+		}
+		parts = append(parts, c)
+	}
+	return parts, nil
+}
+
+// SplitDir parses path into the components of its parent directory plus the
+// final name. It fails with ErrInvalid on the root path, which has no
+// parent.
+func SplitDir(path string) (dir []string, name string, err error) {
+	parts, err := Split(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fserr.ErrInvalid
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}
+
+// Join renders components back into an absolute path.
+func Join(parts []string) string {
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Clean parses and re-renders path in canonical form.
+func Clean(path string) (string, error) {
+	parts, err := Split(path)
+	if err != nil {
+		return "", err
+	}
+	return Join(parts), nil
+}
+
+// IsPrefix reports whether components a form a (non-strict) prefix of b.
+// It implements the path-containment test used by rename's subtree check
+// ("is dst inside src?") and by the linearize-before relations.
+func IsPrefix(a, b []string) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of a and
+// b. Rename uses it to find the last common ancestor of source and
+// destination.
+func CommonPrefixLen(a, b []string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

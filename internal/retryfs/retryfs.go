@@ -1,0 +1,500 @@
+// Package retryfs implements the traversal-retry design that Linux VFS
+// uses instead of lock coupling (paper §5.1, "Linux VFS study"): path
+// walks take no locks and are guarded by a global rename sequence counter;
+// an operation locks only its target inodes, then revalidates — if a
+// rename ran during the walk, the whole lookup is redone. Rename serializes
+// on a global rename mutex (the analogue of s_vfs_rename_mutex) and bumps
+// the sequence counter inside its critical section.
+//
+// retryfs is the ext4/VFS stand-in for the Figure 10/11 comparisons: its
+// lock-free walks scale better than AtomFS's lock coupling, at the price
+// of a far subtler correctness argument — which is the paper's point.
+package retryfs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/ilock"
+	"repro/internal/pathname"
+	"repro/internal/spec"
+)
+
+// node is an inode. Directory entries live in a sync.Map so that lock-free
+// walkers can read them while writers mutate under the inode lock (our
+// stand-in for VFS's RCU-protected dcache).
+type node struct {
+	kind    spec.Kind
+	lk      ilock.Mutex
+	dead    atomic.Bool // unlinked; operations that locked it must retry
+	entries sync.Map    // name -> *node (dirs)
+	nlinks  atomic.Int64
+	mu      sync.Mutex // file data lock (separate from lk for clarity)
+	data    []byte
+}
+
+// Hook observes an operation inside its critical section (after its locks
+// are held, before its mutation); cmd/interdep uses it to pause operations
+// mid-flight.
+type Hook func(op spec.Op, path string)
+
+// FS is the traversal-retry file system.
+type FS struct {
+	root     *node
+	renameMu sync.Mutex // serializes cross-directory renames (s_vfs_rename_mutex)
+	// seqMu serializes rename commit sections so the sequence counter
+	// keeps seqlock semantics (a reader never observes an even count
+	// mid-write).
+	seqMu     sync.Mutex
+	renameSeq ilock.SeqCount
+	nextTid   atomic.Uint64
+	hook      atomic.Pointer[Hook]
+}
+
+// SetHook installs (or removes, with nil) the critical-section hook.
+func (fs *FS) SetHook(h Hook) {
+	if h == nil {
+		fs.hook.Store(nil)
+		return
+	}
+	fs.hook.Store(&h)
+}
+
+func (fs *FS) fire(op spec.Op, path string) {
+	if h := fs.hook.Load(); h != nil {
+		(*h)(op, path)
+	}
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// New creates an empty retryfs.
+func New() *FS {
+	return &FS{root: &node{kind: spec.KindDir}}
+}
+
+// Name identifies the implementation in benchmark tables.
+func (fs *FS) Name() string { return "retryfs" }
+
+func (fs *FS) tid() uint64 { return fs.nextTid.Add(1) }
+
+// walk resolves parts without locks under a rename-sequence snapshot.
+// It returns the reached node, or an error that is only trustworthy if the
+// caller revalidates seq.
+func (fs *FS) walk(parts []string) (*node, uint64, error) {
+	seq := fs.renameSeq.Read()
+	cur := fs.root
+	for _, name := range parts {
+		if cur.kind != spec.KindDir {
+			return nil, seq, fserr.ErrNotDir
+		}
+		v, ok := cur.entries.Load(name)
+		if !ok {
+			return nil, seq, fserr.ErrNotExist
+		}
+		cur = v.(*node)
+	}
+	return cur, seq, nil
+}
+
+// resolveLocked resolves parts and returns the final node locked and
+// revalidated (no rename intervened, node not unlinked). It retries the
+// whole lookup on invalidation, exactly like VFS pathname resolution.
+func (fs *FS) resolveLocked(tid uint64, parts []string) (*node, error) {
+	for {
+		n, seq, err := fs.walk(parts)
+		if err != nil {
+			if fs.renameSeq.Validate(seq) {
+				return nil, err
+			}
+			continue // a rename raced the walk; the error may be spurious
+		}
+		n.lk.Lock(tid)
+		if n.dead.Load() || !fs.renameSeq.Validate(seq) {
+			n.lk.Unlock(tid)
+			continue
+		}
+		return n, nil
+	}
+}
+
+func entryCount(n *node) int64 { return n.nlinks.Load() }
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string) error { return fs.ins(path, spec.KindFile) }
+
+// Mkdir creates an empty directory.
+func (fs *FS) Mkdir(path string) error { return fs.ins(path, spec.KindDir) }
+
+func (fs *FS) ins(path string, kind spec.Kind) error {
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return err
+	}
+	tid := fs.tid()
+	parent, err := fs.resolveLocked(tid, dirParts)
+	if err != nil {
+		return err
+	}
+	defer parent.lk.Unlock(tid)
+	op := spec.OpMknod
+	if kind == spec.KindDir {
+		op = spec.OpMkdir
+	}
+	fs.fire(op, path)
+	if parent.kind != spec.KindDir {
+		return fserr.ErrNotDir
+	}
+	if _, exists := parent.entries.Load(name); exists {
+		return fserr.ErrExist
+	}
+	parent.entries.Store(name, &node{kind: kind})
+	parent.nlinks.Add(1)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error { return fs.del(path, spec.KindDir) }
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string) error { return fs.del(path, spec.KindFile) }
+
+func (fs *FS) del(path string, kind spec.Kind) error {
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return err
+	}
+	tid := fs.tid()
+	parent, err := fs.resolveLocked(tid, dirParts)
+	if err != nil {
+		return err
+	}
+	defer parent.lk.Unlock(tid)
+	op := spec.OpUnlink
+	if kind == spec.KindDir {
+		op = spec.OpRmdir
+	}
+	fs.fire(op, path)
+	if parent.kind != spec.KindDir {
+		return fserr.ErrNotDir
+	}
+	v, ok := parent.entries.Load(name)
+	if !ok {
+		return fserr.ErrNotExist
+	}
+	child := v.(*node)
+	child.lk.Lock(tid)
+	defer child.lk.Unlock(tid)
+	if kind == spec.KindDir {
+		if child.kind != spec.KindDir {
+			return fserr.ErrNotDir
+		}
+		if entryCount(child) != 0 {
+			return fserr.ErrNotEmpty
+		}
+	} else if child.kind == spec.KindDir {
+		return fserr.ErrIsDir
+	}
+	child.dead.Store(true)
+	parent.entries.Delete(name)
+	parent.nlinks.Add(-1)
+	return nil
+}
+
+// Stat reports an inode's kind and size.
+func (fs *FS) Stat(path string) (fsapi.Info, error) {
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return fsapi.Info{}, err
+	}
+	tid := fs.tid()
+	n, err := fs.resolveLocked(tid, parts)
+	if err != nil {
+		return fsapi.Info{}, err
+	}
+	defer n.lk.Unlock(tid)
+	if n.kind == spec.KindFile {
+		n.mu.Lock()
+		size := int64(len(n.data))
+		n.mu.Unlock()
+		return fsapi.Info{Kind: spec.KindFile, Size: size}, nil
+	}
+	return fsapi.Info{Kind: spec.KindDir, Size: entryCount(n)}, nil
+}
+
+// Read returns up to size bytes at off.
+func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
+	if off < 0 || size < 0 {
+		return nil, fserr.ErrInvalid
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return nil, err
+	}
+	tid := fs.tid()
+	n, err := fs.resolveLocked(tid, parts)
+	if err != nil {
+		return nil, err
+	}
+	defer n.lk.Unlock(tid)
+	if n.kind == spec.KindDir {
+		return nil, fserr.ErrIsDir
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if off >= int64(len(n.data)) {
+		return []byte{}, nil
+	}
+	end := off + int64(size)
+	if end > int64(len(n.data)) {
+		end = int64(len(n.data))
+	}
+	return append([]byte(nil), n.data[off:end]...), nil
+}
+
+// Write stores data at off.
+func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+	if off < 0 {
+		return 0, fserr.ErrInvalid
+	}
+	if off+int64(len(data)) > spec.MaxFileSize {
+		return 0, fserr.ErrNoSpace
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return 0, err
+	}
+	tid := fs.tid()
+	n, err := fs.resolveLocked(tid, parts)
+	if err != nil {
+		return 0, err
+	}
+	defer n.lk.Unlock(tid)
+	if n.kind == spec.KindDir {
+		return 0, fserr.ErrIsDir
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	end := off + int64(len(data))
+	if end > int64(len(n.data)) {
+		n.data = append(n.data, make([]byte, end-int64(len(n.data)))...)
+	}
+	copy(n.data[off:end], data)
+	return len(data), nil
+}
+
+// Truncate resizes a file.
+func (fs *FS) Truncate(path string, size int64) error {
+	if size < 0 || size > spec.MaxFileSize {
+		return fserr.ErrInvalid
+	}
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return err
+	}
+	tid := fs.tid()
+	n, err := fs.resolveLocked(tid, parts)
+	if err != nil {
+		return err
+	}
+	defer n.lk.Unlock(tid)
+	if n.kind == spec.KindDir {
+		return fserr.ErrIsDir
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if size <= int64(len(n.data)) {
+		n.data = n.data[:size:size]
+	} else {
+		n.data = append(n.data, make([]byte, size-int64(len(n.data)))...)
+	}
+	return nil
+}
+
+// Readdir lists entries in sorted order.
+func (fs *FS) Readdir(path string) ([]string, error) {
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return nil, err
+	}
+	tid := fs.tid()
+	n, err := fs.resolveLocked(tid, parts)
+	if err != nil {
+		return nil, err
+	}
+	defer n.lk.Unlock(tid)
+	if n.kind != spec.KindDir {
+		return nil, fserr.ErrNotDir
+	}
+	var names []string
+	n.entries.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename moves src to dst with POSIX overwrite semantics. It serializes
+// against other renames, locks both parents (ancestor first), locks the
+// victims, revalidates both lookups, and bumps the rename sequence inside
+// the critical section so in-flight walks retry.
+func (fs *FS) Rename(src, dst string) error {
+	sdirParts, sn, err := pathname.SplitDir(src)
+	if err != nil {
+		return err
+	}
+	ddirParts, dn, err := pathname.SplitDir(dst)
+	if err != nil {
+		return err
+	}
+	srcParts := append(append([]string{}, sdirParts...), sn)
+	dstParts := append(append([]string{}, ddirParts...), dn)
+	tid := fs.tid()
+
+	// Like VFS, only cross-directory renames take the global rename
+	// mutex; a same-directory rename needs just its parent's lock.
+	if !samePath(sdirParts, ddirParts) {
+		fs.renameMu.Lock()
+		defer fs.renameMu.Unlock()
+	}
+
+retry:
+	for {
+		// Resolve both parents without locks first.
+		sdir, seq, werr := fs.walk(sdirParts)
+		if werr != nil {
+			if fs.renameSeq.Validate(seq) {
+				return werr
+			}
+			continue
+		}
+		ddir, _, derr := fs.walk(ddirParts)
+
+		// Source-side checks mirror the specification's precedence.
+		lockOrder := orderParents(sdirParts, ddirParts, sdir, ddir)
+		for _, p := range lockOrder {
+			p.lk.Lock(tid)
+		}
+		unlockParents := func() {
+			for i := len(lockOrder) - 1; i >= 0; i-- {
+				lockOrder[i].lk.Unlock(tid)
+			}
+		}
+		if sdir.dead.Load() || (ddir != nil && ddir.dead.Load()) || !fs.renameSeq.Validate(seq) {
+			unlockParents()
+			continue retry
+		}
+		if sdir.kind != spec.KindDir {
+			unlockParents()
+			return fserr.ErrNotDir
+		}
+		sv, ok := sdir.entries.Load(sn)
+		if !ok {
+			unlockParents()
+			return fserr.ErrNotExist
+		}
+		snode := sv.(*node)
+		if samePath(srcParts, dstParts) {
+			unlockParents()
+			return nil
+		}
+		if pathname.IsPrefix(srcParts, dstParts) {
+			unlockParents()
+			return fserr.ErrInvalid
+		}
+		if derr != nil {
+			unlockParents()
+			return derr
+		}
+		if ddir.kind != spec.KindDir {
+			unlockParents()
+			return fserr.ErrNotDir
+		}
+
+		var dnode *node
+		if dv, exists := ddir.entries.Load(dn); exists {
+			dnode = dv.(*node)
+			if dnode != snode && dnode != sdir {
+				dnode.lk.Lock(tid)
+			}
+			var verr error
+			if snode.kind == spec.KindDir {
+				if dnode.kind != spec.KindDir {
+					verr = fserr.ErrNotDir
+				} else if entryCount(dnode) != 0 {
+					verr = fserr.ErrNotEmpty
+				}
+			} else if dnode.kind == spec.KindDir {
+				verr = fserr.ErrIsDir
+			}
+			if verr != nil {
+				if dnode != snode && dnode != sdir {
+					dnode.lk.Unlock(tid)
+				}
+				unlockParents()
+				return verr
+			}
+		}
+		if snode != sdir && snode != ddir {
+			snode.lk.Lock(tid)
+		}
+
+		fs.fire(spec.OpRename, src)
+		fs.seqMu.Lock()
+		fs.renameSeq.Begin()
+		if dnode != nil {
+			dnode.dead.Store(true)
+			ddir.entries.Delete(dn)
+			ddir.nlinks.Add(-1)
+		}
+		sdir.entries.Delete(sn)
+		sdir.nlinks.Add(-1)
+		ddir.entries.Store(dn, snode)
+		ddir.nlinks.Add(1)
+		fs.renameSeq.End()
+		fs.seqMu.Unlock()
+
+		if snode != sdir && snode != ddir {
+			snode.lk.Unlock(tid)
+		}
+		if dnode != nil && dnode != snode && dnode != sdir {
+			dnode.lk.Unlock(tid)
+		}
+		unlockParents()
+		return nil
+	}
+}
+
+// orderParents returns the distinct parent nodes in a deadlock-safe lock
+// order: an ancestor before its descendant, disjoint parents by path.
+func orderParents(sdirParts, ddirParts []string, sdir, ddir *node) []*node {
+	if ddir == nil || sdir == ddir {
+		return []*node{sdir}
+	}
+	switch {
+	case pathname.IsPrefix(sdirParts, ddirParts):
+		return []*node{sdir, ddir}
+	case pathname.IsPrefix(ddirParts, sdirParts):
+		return []*node{ddir, sdir}
+	case pathname.Join(sdirParts) < pathname.Join(ddirParts):
+		return []*node{sdir, ddir}
+	default:
+		return []*node{ddir, sdir}
+	}
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

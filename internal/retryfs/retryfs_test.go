@@ -1,0 +1,178 @@
+package retryfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/fstest"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+func TestFunctional(t *testing.T) {
+	fstest.Functional(t, New())
+}
+
+func TestDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fstest.Differential(t, New(), seed, 500)
+	}
+}
+
+func TestStress(t *testing.T) {
+	fstest.Stress(t, New(), 8, 400, 13)
+}
+
+// TestRenameRetriesWalkers: heavy rename traffic concurrent with lookups
+// must neither deadlock nor return spurious errors for paths that always
+// exist.
+func TestRenameRetriesWalkers(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/stable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mknod("/stable/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	renamerDone := make(chan struct{})
+	go func() {
+		defer close(renamerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Bounce a directory back and forth to churn the seqcount.
+			fs.Rename("/a", "/b")
+			fs.Rename("/b", "/a")
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 2000; i++ {
+				if _, err := fs.Stat("/stable/f"); err != nil {
+					t.Errorf("stable path vanished: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-renamerDone
+}
+
+// TestDeadNodeRetry: an operation that locked a node just as it was
+// unlinked must retry and observe ENOENT, not act on the corpse.
+func TestDeadNodeRetry(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d/x"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("err = %v, want ENOENT", err)
+	}
+}
+
+// TestRenameParentOrdering: renames whose parents are ancestor/descendant
+// or disjoint must all complete under concurrency (lock-order sanity).
+func TestRenameParentOrdering(t *testing.T) {
+	fs := New()
+	for _, d := range []string{"/p", "/p/q", "/p/q/r", "/z"} {
+		if err := fs.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fs.Mknod("/p/q/f")
+				fs.Rename("/p/q/f", "/z/f")   // descendant -> disjoint
+				fs.Rename("/z/f", "/p/q/r/f") // disjoint -> deeper
+				fs.Unlink("/p/q/r/f")
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestGatedInterleavingsLinearizable pauses operations inside retryfs's
+// critical sections while a path-breaking rename commits — the Figure-1
+// situation — and checks the recorded history offline. This is the
+// executable version of §5.1's claim that the traversal-retry design
+// "still obeys the non-bypassable criterion" and stays linearizable.
+func TestGatedInterleavingsLinearizable(t *testing.T) {
+	for _, probe := range []struct {
+		name string
+		op   spec.Op
+		run  func(fs fsapi.FS) error
+	}{
+		{"mkdir", spec.OpMkdir, func(fs fsapi.FS) error { return fs.Mkdir("/a/b/new") }},
+		{"unlink", spec.OpUnlink, func(fs fsapi.FS) error { return fs.Unlink("/a/b/f") }},
+		{"rename", spec.OpRename, func(fs fsapi.FS) error { return fs.Rename("/a/b/f", "/a/b/g") }},
+	} {
+		probe := probe
+		t.Run(probe.name, func(t *testing.T) {
+			fs := New()
+			rec := history.NewRecorder()
+			w := history.WrapFS(fs, rec)
+			w.Mkdir("/a")
+			w.Mkdir("/a/b")
+			w.Mknod("/a/b/f")
+
+			parked := make(chan struct{})
+			release := make(chan struct{})
+			fs.SetHook(func(op spec.Op, path string) {
+				if op == probe.op {
+					fs.SetHook(nil)
+					close(parked)
+					<-release
+				}
+			})
+			done := make(chan error, 1)
+			go func() { done <- probe.run(w) }()
+			select {
+			case <-parked:
+			case <-time.After(5 * time.Second):
+				t.Fatal("operation never reached its critical section")
+			}
+			// The rename completes while the probe sits in its critical
+			// section (the §3.2 inter-dependency window).
+			if err := w.Rename("/a", "/z"); err != nil {
+				t.Fatal(err)
+			}
+			close(release)
+			<-done
+
+			res, err := lincheck.Check(nil, rec.Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Linearizable {
+				for _, e := range rec.Events() {
+					t.Logf("%s", e)
+				}
+				t.Fatal("gated retryfs history not linearizable")
+			}
+		})
+	}
+}

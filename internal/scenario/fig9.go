@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/vfs"
+)
+
+// Fig9 reproduces Figure 9: a naive FD-based readdir dereferences its
+// inode directly, bypassing a helped ins, and observes an empty directory
+// that no sequential history can explain. The monitor reports the
+// refinement violation and the offline checker rejects the history.
+//
+// When fix is true, the same schedule runs the readdir through the VFS
+// layer (full path traversal per §5.4): the stale descriptor path reports
+// ENOENT consistently at both levels and the history is linearizable.
+func Fig9(fix bool) *Report {
+	name := "figure-9"
+	if fix {
+		name = "figure-9-fixed"
+	}
+	r := &Report{Name: name, Mode: core.ModeHelpers}
+	e := newEnv(core.ModeHelpers)
+	v := vfs.New(e.fs)
+	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+
+	// Open the directory before the race: a direct handle (bypass) or a
+	// VFS descriptor (path traversal).
+	var handle *atomfs.Handle
+	var fd vfs.FD
+	var err error
+	if fix {
+		fd, err = v.Open("/a/b/c")
+	} else {
+		handle, err = e.fs.OpenDirect("/a/b/c")
+	}
+	if err != nil {
+		r.Err = fmt.Errorf("open: %w", err)
+		return r
+	}
+	e.mark()
+
+	insAtB := newGate()
+	resume := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		// Pause ins right after its traversal step onto /a/b (it holds
+		// exactly b; c is not locked yet).
+		if ev.Op == spec.OpMknod && ev.Point == atomfs.HookStepped && ev.Name == "b" {
+			insAtB.open()
+			resume.wait()
+		}
+	})
+	var wg sync.WaitGroup
+	var insErr, renameErr, rdErr error
+	var names []string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insErr = e.fs.Mknod("/a/b/c/d")
+	}()
+	if err := insAtB.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("ins(/a/b/c, d) holds /a/b, has not reached /a/b/c")
+	renameErr = e.fs.Rename("/a", "/i")
+	r.step("rename(/a, /i) committed and helped ins: %v", errStr(renameErr))
+	if fix {
+		names, rdErr = v.ReaddirFD(fd)
+		r.step("readdir(fd:c) via path traversal: %v %v", names, errStr(rdErr))
+	} else {
+		names, rdErr = handle.Readdir()
+		r.step("readdir(fd:c) via direct inode: %v %v", names, errStr(rdErr))
+	}
+	resume.open()
+	wg.Wait()
+	r.step("ins committed: %v", errStr(insErr))
+
+	e.fs.SetHook(nil)
+	if insErr != nil || renameErr != nil {
+		r.Err = fmt.Errorf("concrete ops failed: ins=%v rename=%v", insErr, renameErr)
+	}
+	if fix {
+		if err := e.mon.Quiesce(); err != nil {
+			r.Err = err
+		}
+	} else {
+		_ = e.mon.Quiesce()
+	}
+	e.finish(r)
+	return r
+}

@@ -1,0 +1,422 @@
+// Package scenario reproduces, as deterministic interleavings, the
+// motivating figures of the AtomFS paper: Figure 1 (fixed LPs fail),
+// Figure 4(a) (fixed LPs suffice for disjoint operations), Figure 4(b)
+// (external LPs and helping order), Figure 4(c) (recursive path
+// inter-dependency), and Figure 8 (non-bypassable criterion violation).
+//
+// Each scenario builds a monitored AtomFS, drives a precise interleaving
+// using the file system's hook points, and returns a Report with the
+// monitor's violations and the offline linearizability verdicts. The same
+// scenarios back both the test suite and the cmd/fscheck tool.
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+// Report is a scenario's outcome.
+type Report struct {
+	Name  string
+	Mode  core.Mode
+	Steps []string // narrative, in execution order
+
+	Violations []core.Violation
+	// Linearizable is the offline checker's verdict on the recorded
+	// history.
+	Linearizable bool
+	// MonitorOrderLegal reports whether the sequential order claimed by
+	// the monitor's lin events replays legally against the spec.
+	MonitorOrderLegal bool
+	// HelpedTids lists threads linearized by a helper, in Helplist order.
+	HelpedTids []uint64
+	Events     []history.Event
+	Err        error
+}
+
+func (r *Report) step(format string, args ...any) {
+	r.Steps = append(r.Steps, fmt.Sprintf(format, args...))
+}
+
+// HasViolation reports whether a violation of the given kind was recorded.
+func (r *Report) HasViolation(kind core.ViolationKind) bool {
+	for _, v := range r.Violations {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// env bundles a monitored FS and its recorder.
+type env struct {
+	fs  *atomfs.FS
+	mon *core.Monitor
+	rec *history.Recorder
+	pre *spec.AFS // abstract state before the measured phase
+	cut int       // recorder length before the measured phase
+}
+
+func newEnv(mode core.Mode, opts ...atomfs.Option) *env {
+	rec := history.NewRecorder()
+	mon := core.NewMonitor(core.Config{Mode: mode, Recorder: rec, CheckGoodAFS: true})
+	fs := atomfs.New(append([]atomfs.Option{atomfs.WithMonitor(mon)}, opts...)...)
+	return &env{fs: fs, mon: mon, rec: rec}
+}
+
+// mark snapshots the pre-phase state; events before it are setup.
+func (e *env) mark() {
+	e.pre = e.mon.AbstractState()
+	e.cut = e.rec.Len()
+}
+
+// finish fills the report's verdict fields.
+func (e *env) finish(r *Report) {
+	r.Violations = e.mon.Violations()
+	events := e.rec.Events()[e.cut:]
+	r.Events = events
+	ops, pending, err := history.Complete(events)
+	if err != nil || len(pending) != 0 {
+		r.Err = fmt.Errorf("history incomplete: %v (%d pending)", err, len(pending))
+		return
+	}
+	res, err := lincheck.CheckOps(e.pre, ops)
+	if err != nil {
+		r.Err = err
+		return
+	}
+	r.Linearizable = res.Linearizable
+	if order, err := lincheck.LinOrder(ops); err == nil {
+		r.MonitorOrderLegal = lincheck.Replay(e.pre, ops, order) == nil
+	}
+	for _, ev := range events {
+		if ev.Kind == history.EvLin && ev.Helper != ev.Tid {
+			r.HelpedTids = append(r.HelpedTids, ev.Tid)
+		}
+	}
+}
+
+// gate is a reusable one-shot synchronization point.
+type gate chan struct{}
+
+func newGate() gate  { return make(chan struct{}) }
+func (g gate) open() { close(g) }
+func (g gate) wait() { <-g }
+func (g gate) waitTimeout() error {
+	select {
+	case <-g:
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("scenario: gate timed out (deadlock?)")
+	}
+}
+
+// Fig1 reproduces Figure 1: rename(/a, /e) interleaved with mkdir(/a/b/c),
+// where mkdir has already traversed into /a/b when rename commits. Under
+// ModeHelpers the monitor helps mkdir linearize before rename and the run
+// is clean; under ModeFixedLP the temporal order of fixed LPs yields the
+// illegal sequential history (rename ; mkdir), surfacing as a refinement
+// violation — the paper's argument for the helper mechanism.
+func Fig1(mode core.Mode) *Report {
+	r := &Report{Name: "figure-1", Mode: mode}
+	e := newEnv(mode)
+	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"))
+	e.mark()
+
+	reachedB := newGate()
+	renameDone := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		// Pause mkdir inside its critical section (it holds /a/b, has
+		// inserted c, and is about to linearize).
+		if ev.Op == spec.OpMkdir && ev.Point == atomfs.HookBeforeLP {
+			reachedB.open()
+			renameDone.wait()
+		}
+	})
+
+	var wg sync.WaitGroup
+	var mkdirErr, renameErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mkdirErr = e.fs.Mkdir("/a/b/c")
+	}()
+	if err := reachedB.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("mkdir(/a/b/c) traversed through /a and holds /a/b")
+	renameErr = e.fs.Rename("/a", "/e")
+	r.step("rename(/a, /e) committed: %v", errStr(renameErr))
+	renameDone.open()
+	wg.Wait()
+	r.step("mkdir(/a/b/c) committed: %v", errStr(mkdirErr))
+
+	e.fs.SetHook(nil)
+	if mkdirErr != nil || renameErr != nil {
+		r.Err = fmt.Errorf("concrete ops failed: mkdir=%v rename=%v", mkdirErr, renameErr)
+	}
+	if err := e.mon.Quiesce(); err != nil && mode == core.ModeHelpers {
+		r.Err = err
+	}
+	e.finish(r)
+	return r
+}
+
+// Fig4a reproduces Figure 4(a): two operations on disjoint paths — fixed
+// LPs suffice, no helping occurs, and the history is linearizable even in
+// ModeFixedLP.
+func Fig4a(mode core.Mode) *Report {
+	r := &Report{Name: "figure-4a", Mode: mode}
+	e := newEnv(mode)
+	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/b"), e.fs.Mknod("/b/victim"))
+	e.mark()
+
+	insReached := newGate()
+	delDone := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		// Pause ins inside its critical section, holding only /a.
+		if ev.Op == spec.OpMknod && ev.Point == atomfs.HookBeforeLP {
+			insReached.open()
+			delDone.wait()
+		}
+	})
+	var wg sync.WaitGroup
+	var insErr, delErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insErr = e.fs.Mknod("/a/c")
+	}()
+	if err := insReached.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("ins(/a, c) holds /a inside its critical section")
+	delErr = e.fs.Unlink("/b/victim")
+	r.step("del(/b, victim) committed concurrently: %v", errStr(delErr))
+	delDone.open()
+	wg.Wait()
+	r.step("ins(/a, c) committed: %v", errStr(insErr))
+
+	e.fs.SetHook(nil)
+	if insErr != nil || delErr != nil {
+		r.Err = fmt.Errorf("concrete ops failed: ins=%v del=%v", insErr, delErr)
+	}
+	if err := e.mon.Quiesce(); err != nil {
+		r.Err = err
+	}
+	e.finish(r)
+	return r
+}
+
+// Fig4b reproduces Figure 4(b): a rename whose source subtree contains two
+// in-flight operations; both acquire external LPs inside the rename, and
+// the helping order must follow their lock-acquisition order (ins through
+// /a/b before stat at /a/b).
+func Fig4b() *Report {
+	r := &Report{Name: "figure-4b", Mode: core.ModeHelpers}
+	e := newEnv(core.ModeHelpers)
+	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+	e.mark()
+
+	insAtC := newGate()
+	statAtB := newGate()
+	renameDone := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		switch {
+		case ev.Op == spec.OpMknod && ev.Point == atomfs.HookBeforeLP:
+			insAtC.open()
+			renameDone.wait()
+		case ev.Op == spec.OpStat && ev.Point == atomfs.HookBeforeLP:
+			statAtB.open()
+			renameDone.wait()
+		}
+	})
+	var wg sync.WaitGroup
+	var insErr, statErr, renameErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insErr = e.fs.Mknod("/a/b/c/e")
+	}()
+	if err := insAtC.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("ins(/a/b/c, e) inserted e and waits at its LP holding /a/b/c")
+	var statInfo any
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var info any
+		info, statErr = statOf(e.fs, "/a/b")
+		statInfo = info
+	}()
+	if err := statAtB.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("stat(/a/b) computed its result and waits at its LP holding /a/b")
+	renameErr = e.fs.Rename("/a", "/f")
+	r.step("rename(/a, /f) committed, helping both pending operations: %v", errStr(renameErr))
+	renameDone.open()
+	wg.Wait()
+	r.step("ins committed: %v; stat committed: %v (%v)", errStr(insErr), errStr(statErr), statInfo)
+
+	e.fs.SetHook(nil)
+	if insErr != nil || statErr != nil || renameErr != nil {
+		r.Err = fmt.Errorf("concrete ops failed: ins=%v stat=%v rename=%v", insErr, statErr, renameErr)
+	}
+	if err := e.mon.Quiesce(); err != nil {
+		r.Err = err
+	}
+	e.finish(r)
+	return r
+}
+
+// Fig4c reproduces Figure 4(c): recursive path inter-dependency. A stat
+// holds a position under t2-rename's source; t2-rename holds a position
+// under t1-rename's source. t1's linothers must recursively include the
+// stat and order it before t2's rename.
+func Fig4c() *Report {
+	r := &Report{Name: "figure-4c", Mode: core.ModeHelpers}
+	e := newEnv(core.ModeHelpers)
+	mustSetup(r,
+		e.fs.Mkdir("/a"), e.fs.Mkdir("/a/e"), e.fs.Mknod("/a/e/f"),
+		e.fs.Mkdir("/b"), e.fs.Mkdir("/b/c"), e.fs.Mkdir("/b/c/d"),
+	)
+	e.mark()
+
+	statReady := newGate()
+	rename2Ready := newGate()
+	release := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		if ev.Point != atomfs.HookBeforeLP {
+			return
+		}
+		switch ev.Op {
+		case spec.OpStat:
+			statReady.open()
+			release.wait()
+		case spec.OpRename:
+			// Only the inner rename (t2) must block; t1 runs last with the
+			// gate already open.
+			select {
+			case <-rename2Ready:
+			default:
+				rename2Ready.open()
+				release.wait()
+			}
+		}
+	})
+
+	var wg sync.WaitGroup
+	var statErr, ren2Err, ren1Err error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, statErr = statOf(e.fs, "/a/e/f")
+	}()
+	if err := statReady.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("t3: stat(/a/e/f) waits at its LP holding /a/e/f")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ren2Err = e.fs.Rename("/a/e", "/b/c/d/e")
+	}()
+	if err := rename2Ready.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("t2: rename(/a/e, /b/c/d/e) waits at its LP")
+	ren1Err = e.fs.Rename("/b/c", "/b/g")
+	r.step("t1: rename(/b/c, /b/g) committed, recursively helping t3 then t2: %v", errStr(ren1Err))
+	release.open()
+	wg.Wait()
+	r.step("t3 committed: %v; t2 committed: %v", errStr(statErr), errStr(ren2Err))
+
+	e.fs.SetHook(nil)
+	if statErr != nil || ren2Err != nil || ren1Err != nil {
+		r.Err = fmt.Errorf("concrete ops failed: stat=%v rename2=%v rename1=%v", statErr, ren2Err, ren1Err)
+	}
+	if err := e.mon.Quiesce(); err != nil {
+		r.Err = err
+	}
+	e.finish(r)
+	return r
+}
+
+// Fig8 reproduces Figure 8: with lock coupling disabled (release-then-
+// acquire traversal), a del bypasses a helped ins, violating the
+// non-bypassable criterion; the monitor reports the bypass and the
+// resulting refinement divergence — the interleaving is non-linearizable.
+func Fig8() *Report {
+	r := &Report{Name: "figure-8", Mode: core.ModeHelpers}
+	e := newEnv(core.ModeHelpers, atomfs.WithUnsafeTraversal())
+	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+	e.mark()
+
+	insInWindow := newGate()
+	resume := newGate()
+	e.fs.SetHook(func(ev atomfs.HookEvent) {
+		if ev.Op == spec.OpMknod && ev.Point == atomfs.HookUnsafeWindow && ev.Name == "c" {
+			insInWindow.open()
+			resume.wait()
+		}
+	})
+	var wg sync.WaitGroup
+	var insErr, renameErr, delErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		insErr = e.fs.Mknod("/a/b/c/d")
+	}()
+	if err := insInWindow.waitTimeout(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.step("ins(/a/b/c, d) released /a/b and holds nothing (bypass window)")
+	renameErr = e.fs.Rename("/a", "/i")
+	r.step("rename(/a, /i) committed and helped ins: %v", errStr(renameErr))
+	delErr = e.fs.Rmdir("/i/b/c")
+	r.step("del(/i/b, c) bypassed the helped ins: %v", errStr(delErr))
+	resume.open()
+	wg.Wait()
+	r.step("ins committed: %v", errStr(insErr))
+
+	e.fs.SetHook(nil)
+	_ = e.mon.Quiesce() // expected to fail; the relation is broken
+	e.finish(r)
+	return r
+}
+
+func mustSetup(r *Report, errs ...error) {
+	for _, err := range errs {
+		if err != nil && r.Err == nil {
+			r.Err = fmt.Errorf("setup: %w", err)
+		}
+	}
+}
+
+func statOf(fs *atomfs.FS, path string) (any, error) {
+	info, err := fs.Stat(path)
+	return info, err
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "success"
+	}
+	return err.Error()
+}

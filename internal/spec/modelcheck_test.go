@@ -1,0 +1,81 @@
+package spec
+
+import "testing"
+
+// TestBoundedModelCheck exhaustively explores the abstract state space
+// reachable from the empty file system under a small operation universe,
+// asserting the GoodAFS invariant on every reachable state — an
+// inductive-invariant check of the specification itself, in the spirit
+// of the Coq proofs' ainv obligation. Renames can nest directories
+// arbitrarily deep (the space is infinite), so exploration is bounded by
+// an inode budget: every transition out of an in-budget state is still
+// checked, but only in-budget successors are expanded — the standard
+// small-scope bound.
+func TestBoundedModelCheck(t *testing.T) {
+	paths := []string{"/a", "/b", "/a/a", "/a/b"}
+	var universe []struct {
+		op   Op
+		args Args
+	}
+	add := func(op Op, args Args) {
+		universe = append(universe, struct {
+			op   Op
+			args Args
+		}{op, args})
+	}
+	for _, p := range paths {
+		add(OpMkdir, Args{Path: p})
+		add(OpMknod, Args{Path: p})
+		add(OpRmdir, Args{Path: p})
+		add(OpUnlink, Args{Path: p})
+	}
+	// One write op keeps file contents in the state space without
+	// exploding it.
+	add(OpWrite, Args{Path: "/a/a", Data: []byte{1}})
+	add(OpTruncate, Args{Path: "/a/a", Off: 0})
+	// All rename pairs.
+	for _, src := range paths {
+		for _, dst := range paths {
+			add(OpRename, Args{Path: src, Path2: dst})
+		}
+	}
+
+	const maxStates = 60000
+	const inodeBudget = 6
+	seen := map[string]bool{}
+	frontier := []*AFS{New()}
+	seen[frontier[0].Key()] = true
+	explored := 0
+	transitions := 0
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		explored++
+		if explored > maxStates {
+			t.Fatalf("state space exceeded bound %d (universe too large?)", maxStates)
+		}
+		for _, u := range universe {
+			next := cur.Clone()
+			ret, _ := next.Apply(u.op, u.args)
+			transitions++
+			if ret.Err != nil {
+				continue // failing ops leave the state unchanged (checked elsewhere)
+			}
+			if err := next.GoodAFS(); err != nil {
+				t.Fatalf("invariant broken by %s %s from state:\n%s\n%v", u.op, u.args, cur, err)
+			}
+			if next.NumInodes() > inodeBudget {
+				continue // checked, but outside the exploration scope
+			}
+			k := next.Key()
+			if !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	t.Logf("explored %d states, %d transitions, all GoodAFS", explored, transitions)
+	if explored < 100 {
+		t.Fatalf("state space suspiciously small: %d", explored)
+	}
+}

@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Op identifies a file system operation.
+type Op uint8
+
+// File system operations. Mknod/Mkdir follow the paper's "ins" pair and
+// Rmdir/Unlink its "del" pair.
+const (
+	OpInvalid Op = iota
+	OpMknod
+	OpMkdir
+	OpRmdir
+	OpUnlink
+	OpRename
+	OpStat
+	OpRead
+	OpWrite
+	OpTruncate
+	OpReaddir
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpMknod: "mknod", OpMkdir: "mkdir", OpRmdir: "rmdir",
+	OpUnlink: "unlink", OpRename: "rename", OpStat: "stat", OpRead: "read",
+	OpWrite: "write", OpTruncate: "truncate", OpReaddir: "readdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mutates reports whether the operation can change file system state.
+func (o Op) Mutates() bool {
+	switch o {
+	case OpMknod, OpMkdir, OpRmdir, OpUnlink, OpRename, OpWrite, OpTruncate:
+		return true
+	}
+	return false
+}
+
+// Args carries the arguments of any operation. Unused fields are zero.
+type Args struct {
+	Path  string // primary path (source path for rename)
+	Path2 string // rename destination
+	Off   int64  // read/write offset; truncate length
+	Size  int    // read length
+	Data  []byte // write payload
+}
+
+func (a Args) String() string {
+	switch {
+	case a.Path2 != "":
+		return fmt.Sprintf("%s -> %s", a.Path, a.Path2)
+	case a.Data != nil:
+		return fmt.Sprintf("%s off=%d len=%d", a.Path, a.Off, len(a.Data))
+	case a.Size != 0:
+		return fmt.Sprintf("%s off=%d size=%d", a.Path, a.Off, a.Size)
+	default:
+		return a.Path
+	}
+}
+
+// Ret is the result of an operation at either level. Err holds one of the
+// fserr sentinels (nil on success); the remaining fields are per-op payloads.
+type Ret struct {
+	Err   error
+	Kind  Kind     // stat
+	Size  int64    // stat
+	N     int      // read/write/truncate byte counts
+	Data  []byte   // read
+	Names []string // readdir (sorted)
+}
+
+// Equal reports whether two results are indistinguishable to a client.
+func (r Ret) Equal(o Ret) bool {
+	if (r.Err == nil) != (o.Err == nil) {
+		return false
+	}
+	if r.Err != nil {
+		return errors.Is(r.Err, o.Err) || errors.Is(o.Err, r.Err)
+	}
+	if r.Kind != o.Kind || r.Size != o.Size || r.N != o.N {
+		return false
+	}
+	if !bytes.Equal(r.Data, o.Data) {
+		return false
+	}
+	if len(r.Names) != len(o.Names) {
+		return false
+	}
+	for i := range r.Names {
+		if r.Names[i] != o.Names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Ret) String() string {
+	if r.Err != nil {
+		return "err(" + r.Err.Error() + ")"
+	}
+	var b strings.Builder
+	b.WriteString("ok")
+	if r.Kind != KindInvalid {
+		fmt.Fprintf(&b, " kind=%s size=%d", r.Kind, r.Size)
+	}
+	if r.N != 0 {
+		fmt.Fprintf(&b, " n=%d", r.N)
+	}
+	if r.Data != nil {
+		fmt.Fprintf(&b, " data=%dB", len(r.Data))
+	}
+	if r.Names != nil {
+		fmt.Fprintf(&b, " names=%v", r.Names)
+	}
+	return b.String()
+}
+
+// ErrRet is shorthand for a failure result.
+func ErrRet(err error) Ret { return Ret{Err: err} }
+
+// OkRet is shorthand for a bare success result.
+func OkRet() Ret { return Ret{} }

@@ -1,0 +1,385 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fserr"
+)
+
+func mustOK(t *testing.T, fs *AFS, op Op, args Args) Ret {
+	t.Helper()
+	r, _ := fs.Apply(op, args)
+	if r.Err != nil {
+		t.Fatalf("%s %s: %v", op, args, r.Err)
+	}
+	return r
+}
+
+func mustFail(t *testing.T, fs *AFS, op Op, args Args, want error) {
+	t.Helper()
+	r, effs := fs.Apply(op, args)
+	if !errors.Is(r.Err, want) {
+		t.Fatalf("%s %s: err = %v, want %v", op, args, r.Err, want)
+	}
+	if len(effs) != 0 {
+		t.Fatalf("%s %s: failing op produced effects %v", op, args, effs)
+	}
+}
+
+func TestMkdirMknod(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMkdir, Args{Path: "/a"})
+	mustOK(t, fs, OpMkdir, Args{Path: "/a/b"})
+	mustOK(t, fs, OpMknod, Args{Path: "/a/b/f"})
+	mustFail(t, fs, OpMkdir, Args{Path: "/a"}, fserr.ErrExist)
+	mustFail(t, fs, OpMknod, Args{Path: "/a/b/f"}, fserr.ErrExist)
+	mustFail(t, fs, OpMkdir, Args{Path: "/x/y"}, fserr.ErrNotExist)
+	mustFail(t, fs, OpMkdir, Args{Path: "/a/b/f/sub"}, fserr.ErrNotDir)
+	mustFail(t, fs, OpMkdir, Args{Path: "/"}, fserr.ErrInvalid)
+	if err := fs.GoodAFS(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDel(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMkdir, Args{Path: "/d"})
+	mustOK(t, fs, OpMknod, Args{Path: "/d/f"})
+	mustFail(t, fs, OpRmdir, Args{Path: "/d"}, fserr.ErrNotEmpty)
+	mustFail(t, fs, OpRmdir, Args{Path: "/d/f"}, fserr.ErrNotDir)
+	mustFail(t, fs, OpUnlink, Args{Path: "/d"}, fserr.ErrIsDir)
+	mustFail(t, fs, OpUnlink, Args{Path: "/d/missing"}, fserr.ErrNotExist)
+	mustOK(t, fs, OpUnlink, Args{Path: "/d/f"})
+	mustOK(t, fs, OpRmdir, Args{Path: "/d"})
+	if fs.NumInodes() != 1 {
+		t.Fatalf("NumInodes = %d, want 1 (root)", fs.NumInodes())
+	}
+}
+
+func TestStatReaddir(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMkdir, Args{Path: "/d"})
+	mustOK(t, fs, OpMknod, Args{Path: "/d/f"})
+	mustOK(t, fs, OpWrite, Args{Path: "/d/f", Off: 0, Data: []byte("12345")})
+	r := mustOK(t, fs, OpStat, Args{Path: "/d/f"})
+	if r.Kind != KindFile || r.Size != 5 {
+		t.Fatalf("stat file = %+v", r)
+	}
+	r = mustOK(t, fs, OpStat, Args{Path: "/d"})
+	if r.Kind != KindDir || r.Size != 1 {
+		t.Fatalf("stat dir = %+v", r)
+	}
+	mustOK(t, fs, OpMknod, Args{Path: "/d/a"})
+	r = mustOK(t, fs, OpReaddir, Args{Path: "/d"})
+	if len(r.Names) != 2 || r.Names[0] != "a" || r.Names[1] != "f" {
+		t.Fatalf("readdir = %v", r.Names)
+	}
+	mustFail(t, fs, OpReaddir, Args{Path: "/d/f"}, fserr.ErrNotDir)
+	mustFail(t, fs, OpStat, Args{Path: "/nope"}, fserr.ErrNotExist)
+}
+
+func TestReadWrite(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMknod, Args{Path: "/f"})
+	mustOK(t, fs, OpWrite, Args{Path: "/f", Off: 3, Data: []byte("xyz")})
+	r := mustOK(t, fs, OpRead, Args{Path: "/f", Off: 0, Size: 10})
+	if !bytes.Equal(r.Data, []byte{0, 0, 0, 'x', 'y', 'z'}) {
+		t.Fatalf("read = %v", r.Data)
+	}
+	r = mustOK(t, fs, OpRead, Args{Path: "/f", Off: 100, Size: 4})
+	if len(r.Data) != 0 {
+		t.Fatalf("read past EOF = %v", r.Data)
+	}
+	mustFail(t, fs, OpRead, Args{Path: "/", Size: 1}, fserr.ErrIsDir)
+	mustFail(t, fs, OpWrite, Args{Path: "/", Data: []byte("x")}, fserr.ErrIsDir)
+	mustFail(t, fs, OpWrite, Args{Path: "/f", Off: -1, Data: []byte("x")}, fserr.ErrInvalid)
+	mustFail(t, fs, OpWrite, Args{Path: "/f", Off: MaxFileSize, Data: []byte("x")}, fserr.ErrNoSpace)
+}
+
+func TestTruncateOp(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMknod, Args{Path: "/f"})
+	mustOK(t, fs, OpWrite, Args{Path: "/f", Data: []byte("abcdef")})
+	mustOK(t, fs, OpTruncate, Args{Path: "/f", Off: 3})
+	r := mustOK(t, fs, OpRead, Args{Path: "/f", Off: 0, Size: 10})
+	if string(r.Data) != "abc" {
+		t.Fatalf("after truncate: %q", r.Data)
+	}
+	mustOK(t, fs, OpTruncate, Args{Path: "/f", Off: 5})
+	r = mustOK(t, fs, OpRead, Args{Path: "/f", Off: 0, Size: 10})
+	if !bytes.Equal(r.Data, []byte{'a', 'b', 'c', 0, 0}) {
+		t.Fatalf("after extend: %v", r.Data)
+	}
+	mustFail(t, fs, OpTruncate, Args{Path: "/f", Off: -1}, fserr.ErrInvalid)
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMkdir, Args{Path: "/a"})
+	mustOK(t, fs, OpMkdir, Args{Path: "/a/b"})
+	mustOK(t, fs, OpMknod, Args{Path: "/a/b/f"})
+
+	// Simple move.
+	mustOK(t, fs, OpRename, Args{Path: "/a/b", Path2: "/c"})
+	mustFail(t, fs, OpStat, Args{Path: "/a/b"}, fserr.ErrNotExist)
+	r := mustOK(t, fs, OpStat, Args{Path: "/c/f"})
+	if r.Kind != KindFile {
+		t.Fatalf("moved file kind = %v", r.Kind)
+	}
+
+	// Same path is a successful no-op.
+	mustOK(t, fs, OpRename, Args{Path: "/c", Path2: "/c"})
+
+	// Into own subtree.
+	mustFail(t, fs, OpRename, Args{Path: "/c", Path2: "/c/inside"}, fserr.ErrInvalid)
+
+	// Missing source.
+	mustFail(t, fs, OpRename, Args{Path: "/missing", Path2: "/x"}, fserr.ErrNotExist)
+
+	// Overwrite: file over file.
+	mustOK(t, fs, OpMknod, Args{Path: "/g"})
+	mustOK(t, fs, OpWrite, Args{Path: "/c/f", Data: []byte("payload")})
+	mustOK(t, fs, OpRename, Args{Path: "/c/f", Path2: "/g"})
+	r = mustOK(t, fs, OpStat, Args{Path: "/g"})
+	if r.Size != 7 {
+		t.Fatalf("overwritten file size = %d", r.Size)
+	}
+
+	// dir over non-empty dir.
+	mustOK(t, fs, OpMkdir, Args{Path: "/d1"})
+	mustOK(t, fs, OpMkdir, Args{Path: "/d2"})
+	mustOK(t, fs, OpMknod, Args{Path: "/d2/x"})
+	mustFail(t, fs, OpRename, Args{Path: "/d1", Path2: "/d2"}, fserr.ErrNotEmpty)
+	// dir over file.
+	mustFail(t, fs, OpRename, Args{Path: "/d1", Path2: "/g"}, fserr.ErrNotDir)
+	// file over dir.
+	mustFail(t, fs, OpRename, Args{Path: "/g", Path2: "/d1"}, fserr.ErrIsDir)
+	// dir over empty dir succeeds.
+	mustOK(t, fs, OpRename, Args{Path: "/d2", Path2: "/d1"})
+	mustFail(t, fs, OpStat, Args{Path: "/d2"}, fserr.ErrNotExist)
+
+	// Rename root.
+	mustFail(t, fs, OpRename, Args{Path: "/", Path2: "/r"}, fserr.ErrInvalid)
+	mustFail(t, fs, OpRename, Args{Path: "/d1", Path2: "/"}, fserr.ErrInvalid)
+
+	if err := fs.GoodAFS(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	fs := New()
+	mustOK(t, fs, OpMkdir, Args{Path: "/a"})
+	mustOK(t, fs, OpMknod, Args{Path: "/a/f"})
+	mustOK(t, fs, OpWrite, Args{Path: "/a/f", Data: []byte("orig")})
+	c := fs.Clone()
+	mustOK(t, fs, OpWrite, Args{Path: "/a/f", Data: []byte("MUT!")})
+	mustOK(t, fs, OpMkdir, Args{Path: "/b"})
+	r, _ := c.Apply(OpRead, Args{Path: "/a/f", Size: 10})
+	if string(r.Data) != "orig" {
+		t.Fatalf("clone saw mutation: %q", r.Data)
+	}
+	if _, err := c.ResolvePath("/b"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatal("clone saw new dir")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	// Same tree built in different orders must have equal keys.
+	a := New()
+	a.Apply(OpMkdir, Args{Path: "/x"})
+	a.Apply(OpMknod, Args{Path: "/y"})
+	a.Apply(OpMknod, Args{Path: "/x/f"})
+	b := New()
+	b.Apply(OpMknod, Args{Path: "/y"})
+	b.Apply(OpMkdir, Args{Path: "/x"})
+	b.Apply(OpMknod, Args{Path: "/x/f"})
+	if a.Key() != b.Key() {
+		t.Fatal("keys differ for identical trees")
+	}
+	b.Apply(OpWrite, Args{Path: "/x/f", Data: []byte("z")})
+	if a.Key() == b.Key() {
+		t.Fatal("keys equal for different trees")
+	}
+}
+
+func TestRetEqual(t *testing.T) {
+	if !(Ret{Err: fserr.ErrNotExist}).Equal(Ret{Err: fserr.ErrNotExist}) {
+		t.Fatal("equal errors not Equal")
+	}
+	if (Ret{Err: fserr.ErrNotExist}).Equal(Ret{Err: fserr.ErrExist}) {
+		t.Fatal("different errors Equal")
+	}
+	if (Ret{}).Equal(Ret{Err: fserr.ErrExist}) {
+		t.Fatal("ok equals err")
+	}
+	if !(Ret{Data: []byte("ab"), N: 2}).Equal(Ret{Data: []byte("ab"), N: 2}) {
+		t.Fatal("equal payloads not Equal")
+	}
+	if (Ret{Names: []string{"a"}}).Equal(Ret{Names: []string{"b"}}) {
+		t.Fatal("different names Equal")
+	}
+	if !(Ret{Err: fserr.Wrap("op", "/p", fserr.ErrNotExist)}).Equal(Ret{Err: fserr.ErrNotExist}) {
+		t.Fatal("wrapped error not Equal to sentinel")
+	}
+}
+
+// randomOp builds a random operation over a small namespace; shared with
+// the rollback property test.
+func randomOp(r *rand.Rand) (Op, Args) {
+	names := []string{"a", "b", "c", "d"}
+	path := func() string {
+		depth := 1 + r.Intn(3)
+		p := ""
+		for i := 0; i < depth; i++ {
+			p += "/" + names[r.Intn(len(names))]
+		}
+		return p
+	}
+	switch r.Intn(8) {
+	case 0:
+		return OpMkdir, Args{Path: path()}
+	case 1:
+		return OpMknod, Args{Path: path()}
+	case 2:
+		return OpRmdir, Args{Path: path()}
+	case 3:
+		return OpUnlink, Args{Path: path()}
+	case 4:
+		return OpRename, Args{Path: path(), Path2: path()}
+	case 5:
+		return OpStat, Args{Path: path()}
+	case 6:
+		data := make([]byte, 1+r.Intn(16))
+		r.Read(data)
+		return OpWrite, Args{Path: path(), Off: int64(r.Intn(8)), Data: data}
+	default:
+		return OpTruncate, Args{Path: path(), Off: int64(r.Intn(24))}
+	}
+}
+
+// TestPropertyGoodAFSPreserved: every Aop preserves the GoodAFS invariant.
+func TestPropertyGoodAFSPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		for i := 0; i < 100; i++ {
+			op, args := randomOp(r)
+			fs.Apply(op, args)
+			if err := fs.GoodAFS(); err != nil {
+				t.Logf("after %s %s: %v", op, args, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRollbackInvertsApply: Rollback(Apply(s)) == s for every
+// successful mutating op — the §4.4 mechanism is a true inverse.
+func TestPropertyRollbackInvertsApply(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		// Warm up with some structure.
+		for i := 0; i < 30; i++ {
+			op, args := randomOp(r)
+			fs.Apply(op, args)
+		}
+		for i := 0; i < 50; i++ {
+			op, args := randomOp(r)
+			before := fs.Clone()
+			ret, effs := fs.Apply(op, args)
+			if ret.Err != nil {
+				if fs.Key() != before.Key() {
+					t.Log("failing op changed state")
+					return false
+				}
+				continue
+			}
+			back := Rollback(fs, effs)
+			if back.Key() != before.Key() {
+				t.Logf("rollback mismatch after %s %s", op, args)
+				return false
+			}
+			// Rollback must not disturb the live state.
+			if err := fs.GoodAFS(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRollbackChains: rolling back a chain of N ops restores the
+// initial state, exercising reverse-order undo across op boundaries as the
+// Helplist-driven search does.
+func TestPropertyRollbackChains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		for i := 0; i < 20; i++ {
+			op, args := randomOp(r)
+			fs.Apply(op, args)
+		}
+		start := fs.Clone()
+		var chain []Effect
+		for i := 0; i < 15; i++ {
+			op, args := randomOp(r)
+			_, effs := fs.Apply(op, args)
+			chain = append(chain, effs...)
+		}
+		back := Rollback(fs, chain)
+		return back.Key() == start.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectTouches(t *testing.T) {
+	e := Effect{Kind: EffIns, Parent: 3, Name: "x", Ino: 9}
+	if !e.Touches(3) || e.Touches(9) {
+		t.Fatal("EffIns touches the parent inode only")
+	}
+	w := Effect{Kind: EffWrite, Ino: 5}
+	if !w.Touches(5) || w.Touches(3) {
+		t.Fatal("EffWrite touches the written inode")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpMknod; op <= OpReaddir; op++ {
+		if op.String() == "" || op.String() == "invalid" {
+			t.Errorf("op %d has bad name %q", op, op.String())
+		}
+	}
+	if fmt.Sprint(EffIns) != "OPins" {
+		t.Errorf("EffIns = %s", EffIns)
+	}
+}
+
+func TestStringRendersTree(t *testing.T) {
+	fs := New()
+	fs.Apply(OpMkdir, Args{Path: "/dir"})
+	fs.Apply(OpMknod, Args{Path: "/dir/file"})
+	fs.Apply(OpWrite, Args{Path: "/dir/file", Data: []byte("xyz")})
+	out := fs.String()
+	for _, want := range []string{"dir/", "file (3 bytes)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+// Triple is a three-operation schedule family: C parks at each of its
+// points, then B parks at each of its points, then A runs to completion,
+// then B and C are released (in both orders). With |B| and |C|
+// instrumentation points this yields 2·|B|·|C| schedules — exhaustive
+// single-preemption-per-operation coverage of the three-way interleavings
+// that produce recursive helping (the Figure-4(c) shape).
+type Triple struct {
+	Name  string
+	Setup []string
+	C     OpSpec // parks first (deepest)
+	B     OpSpec // parks second
+	A     OpSpec // runs to completion while B and C are parked
+}
+
+// TripleOutcome reports one triple's sweep.
+type TripleOutcome struct {
+	Triple    Triple
+	Schedules int
+	Helped    int // schedules where >= 2 operations took external LPs
+	Failures  []string
+}
+
+func (o TripleOutcome) String() string {
+	return fmt.Sprintf("%s: %d schedules (%d with multi-helping), %d failures",
+		o.Triple.Name, o.Schedules, o.Helped, len(o.Failures))
+}
+
+// countPointsFor runs op alone on the triple's tree and counts its hooks.
+func countPointsFor(setup []string, op OpSpec) (int, error) {
+	fs := atomfs.New()
+	if err := buildTree(fs, setup); err != nil {
+		return 0, err
+	}
+	count := 0
+	fs.SetHook(func(ev atomfs.HookEvent) {
+		if ev.Op == op.Op {
+			count++
+		}
+	})
+	_ = op.Run(fs)
+	return count, nil
+}
+
+// runTripleSchedule executes one (j, k, releaseBFirst) schedule.
+func runTripleSchedule(tr Triple, j, k int, releaseBFirst bool) (int, error) {
+	rec := history.NewRecorder()
+	mon := core.NewMonitor(core.Config{Recorder: rec, CheckGoodAFS: true})
+	fs := atomfs.New(atomfs.WithMonitor(mon))
+	if err := buildTree(fs, tr.Setup); err != nil {
+		return 0, err
+	}
+	pre := mon.AbstractState()
+	cut := rec.Len()
+
+	type parkCtl struct {
+		parked  chan struct{}
+		release chan struct{}
+		seen    int
+		target  int
+		op      spec.Op
+	}
+	cCtl := &parkCtl{parked: make(chan struct{}), release: make(chan struct{}), target: k, op: tr.C.Op}
+	bCtl := &parkCtl{parked: make(chan struct{}), release: make(chan struct{}), target: j, op: tr.B.Op}
+	// A's events can share an op kind with B's (rename), so the counters
+	// need a lock; the park itself blocks outside it.
+	var hookMu sync.Mutex
+	fs.SetHook(func(ev atomfs.HookEvent) {
+		for _, ctl := range []*parkCtl{cCtl, bCtl} {
+			if ev.Op != ctl.op {
+				continue
+			}
+			hookMu.Lock()
+			ctl.seen++
+			shouldPark := ctl.seen == ctl.target
+			hookMu.Unlock()
+			if shouldPark {
+				close(ctl.parked)
+				<-ctl.release
+			}
+		}
+	})
+
+	wait := func(ch chan struct{}, what string) error {
+		select {
+		case <-ch:
+			return nil
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("%s never parked", what)
+		}
+	}
+	cDone := make(chan error, 1)
+	go func() { cDone <- tr.C.Run(fs) }()
+	if err := wait(cCtl.parked, "C"); err != nil {
+		close(cCtl.release)
+		<-cDone
+		return 0, err
+	}
+	bDone := make(chan error, 1)
+	go func() { bDone <- tr.B.Run(fs) }()
+	// B may be blocked behind C's held locks; give it a moment, then
+	// proceed either way (a coalesced B still yields a valid schedule).
+	bParked := true
+	select {
+	case <-bCtl.parked:
+	case <-time.After(50 * time.Millisecond):
+		bParked = false
+	}
+
+	aDone := make(chan error, 1)
+	go func() { aDone <- tr.A.Run(fs) }()
+	aFinished := false
+	select {
+	case <-aDone:
+		aFinished = true
+	case <-time.After(50 * time.Millisecond):
+		// A is blocked behind a parked op; releases below unblock it.
+	}
+
+	first, second := bCtl, cCtl
+	if !releaseBFirst {
+		first, second = cCtl, bCtl
+	}
+	close(first.release)
+	time.Sleep(time.Millisecond)
+	close(second.release)
+	<-cDone
+	<-bDone
+	if !aFinished {
+		<-aDone
+	}
+	_ = bParked
+	fs.SetHook(nil)
+
+	if vs := mon.Violations(); len(vs) > 0 {
+		return 0, fmt.Errorf("j=%d k=%d bFirst=%v: %v", j, k, releaseBFirst, vs)
+	}
+	if err := mon.Quiesce(); err != nil {
+		return 0, fmt.Errorf("j=%d k=%d bFirst=%v: %w", j, k, releaseBFirst, err)
+	}
+	events := rec.Events()[cut:]
+	res, err := lincheck.Check(pre, events)
+	if err != nil {
+		return 0, fmt.Errorf("j=%d k=%d bFirst=%v: %w", j, k, releaseBFirst, err)
+	}
+	if !res.Linearizable {
+		return 0, fmt.Errorf("j=%d k=%d bFirst=%v: history not linearizable", j, k, releaseBFirst)
+	}
+	helped := 0
+	for _, e := range events {
+		if e.Kind == history.EvLin && e.Helper != e.Tid {
+			helped++
+		}
+	}
+	return helped, nil
+}
+
+// RunTriple sweeps every (j, k, order) schedule of the triple.
+func RunTriple(tr Triple) TripleOutcome {
+	out := TripleOutcome{Triple: tr}
+	bPoints, err := countPointsFor(tr.Setup, tr.B)
+	if err != nil {
+		out.Failures = append(out.Failures, err.Error())
+		return out
+	}
+	cPoints, err := countPointsFor(tr.Setup, tr.C)
+	if err != nil {
+		out.Failures = append(out.Failures, err.Error())
+		return out
+	}
+	for k := 1; k <= cPoints; k++ {
+		for j := 1; j <= bPoints; j++ {
+			for _, bFirst := range []bool{true, false} {
+				helped, err := runTripleSchedule(tr, j, k, bFirst)
+				out.Schedules++
+				if helped >= 2 {
+					out.Helped++
+				}
+				if err != nil {
+					out.Failures = append(out.Failures, err.Error())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig4cTriple is the recursive-helping configuration: a stat under t2's
+// rename source, t2's rename into t1's rename source subtree, and t1's
+// rename as the committing helper.
+func Fig4cTriple() Triple {
+	setup := []string{"/a/", "/a/e/", "/a/e/f", "/b/", "/b/c/", "/b/c/d/"}
+	return Triple{
+		Name:  "fig4c-family",
+		Setup: setup,
+		C: OpSpec{Name: "stat(/a/e/f)", Op: spec.OpStat,
+			Run: func(fs *atomfs.FS) error { _, err := fs.Stat("/a/e/f"); return err }},
+		B: OpSpec{Name: "rename(/a/e,/b/c/d/e)", Op: spec.OpRename,
+			Run: func(fs *atomfs.FS) error { return fs.Rename("/a/e", "/b/c/d/e") }},
+		A: OpSpec{Name: "rename(/b/c,/b/g)", Op: spec.OpRename,
+			Run: func(fs *atomfs.FS) error { return fs.Rename("/b/c", "/b/g") }},
+	}
+}
+
+// DebugPoints exposes point counts for diagnostics.
+func DebugPoints(tr Triple) (int, int, error) {
+	b, err := countPointsFor(tr.Setup, tr.B)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := countPointsFor(tr.Setup, tr.C)
+	return b, c, err
+}
+
+// DebugRunOne exposes a single triple schedule for diagnostics.
+func DebugRunOne(tr Triple, j, k int, bFirst bool) (int, error) {
+	return runTripleSchedule(tr, j, k, bFirst)
+}

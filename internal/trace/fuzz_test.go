@@ -1,0 +1,35 @@
+package trace
+
+import "testing"
+
+// FuzzParseLine: arbitrary input never panics the trace parser, and
+// accepted lines re-format to something the parser accepts again.
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		"mkdir /a",
+		"rename /a \"/b c\"",
+		"write /f 0 aGVsbG8=",
+		"read /f 10 20",
+		"truncate /f 5",
+		"# comment",
+		"",
+		`mknod "quoted \"path\""`,
+		"bogus op",
+		"write /f x y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		e, ok, err := ParseLine(line)
+		if err != nil || !ok {
+			return
+		}
+		e2, ok2, err2 := ParseLine(e.Format())
+		if err2 != nil || !ok2 {
+			t.Fatalf("reformatted line unparseable: %q -> %q: %v", line, e.Format(), err2)
+		}
+		if e2.Op != e.Op || e2.Args.Path != e.Args.Path || e2.Args.Path2 != e.Args.Path2 {
+			t.Fatalf("reparse mismatch: %+v vs %+v", e, e2)
+		}
+	})
+}

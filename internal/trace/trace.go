@@ -1,0 +1,372 @@
+// Package trace provides a human-readable text format for file system
+// operation traces, plus a recording wrapper and a replayer. Traces make
+// workloads portable artifacts: record a run against one implementation,
+// replay it against another (optionally in lockstep with the abstract
+// specification as a differential check), or hand-write regression traces
+// for bugs.
+//
+// Format: one operation per line, '#' comments, blank lines ignored.
+//
+//	mkdir <path>
+//	mknod <path>
+//	rmdir <path>
+//	unlink <path>
+//	rename <src> <dst>
+//	stat <path>
+//	read <path> <off> <size>
+//	write <path> <off> <base64-data>
+//	truncate <path> <size>
+//	readdir <path>
+//
+// Paths are %-quoted if they contain whitespace (strconv.Quote).
+package trace
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fstest"
+	"repro/internal/spec"
+)
+
+// Entry is one traced operation.
+type Entry struct {
+	Op   spec.Op
+	Args spec.Args
+}
+
+// Format renders one entry as a trace line.
+func (e Entry) Format() string {
+	q := func(s string) string {
+		if strings.ContainsAny(s, " \t\"\\") || s == "" {
+			return strconv.Quote(s)
+		}
+		return s
+	}
+	switch e.Op {
+	case spec.OpRename:
+		return fmt.Sprintf("rename %s %s", q(e.Args.Path), q(e.Args.Path2))
+	case spec.OpRead:
+		return fmt.Sprintf("read %s %d %d", q(e.Args.Path), e.Args.Off, e.Args.Size)
+	case spec.OpWrite:
+		return fmt.Sprintf("write %s %d %s", q(e.Args.Path), e.Args.Off,
+			base64.StdEncoding.EncodeToString(e.Args.Data))
+	case spec.OpTruncate:
+		return fmt.Sprintf("truncate %s %d", q(e.Args.Path), e.Args.Off)
+	default:
+		return fmt.Sprintf("%s %s", e.Op, q(e.Args.Path))
+	}
+}
+
+// Write renders a whole trace.
+func Write(w io.Writer, entries []Entry) error {
+	for _, e := range entries {
+		if _, err := fmt.Fprintln(w, e.Format()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var opByName = map[string]spec.Op{
+	"mknod": spec.OpMknod, "mkdir": spec.OpMkdir, "rmdir": spec.OpRmdir,
+	"unlink": spec.OpUnlink, "rename": spec.OpRename, "stat": spec.OpStat,
+	"read": spec.OpRead, "write": spec.OpWrite, "truncate": spec.OpTruncate,
+	"readdir": spec.OpReaddir,
+}
+
+// fields splits a line honoring quoted tokens.
+func fields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tok)
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+// ParseLine parses one trace line; ok=false for blank/comment lines.
+func ParseLine(line string) (Entry, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Entry{}, false, nil
+	}
+	toks, err := fields(line)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	op, known := opByName[toks[0]]
+	if !known {
+		return Entry{}, false, fmt.Errorf("trace: unknown op %q", toks[0])
+	}
+	need := func(n int) error {
+		if len(toks)-1 != n {
+			return fmt.Errorf("trace: %s takes %d argument(s), got %d", toks[0], n, len(toks)-1)
+		}
+		return nil
+	}
+	e := Entry{Op: op}
+	switch op {
+	case spec.OpRename:
+		if err := need(2); err != nil {
+			return Entry{}, false, err
+		}
+		e.Args = spec.Args{Path: toks[1], Path2: toks[2]}
+	case spec.OpRead:
+		if err := need(3); err != nil {
+			return Entry{}, false, err
+		}
+		off, err1 := strconv.ParseInt(toks[2], 10, 64)
+		size, err2 := strconv.Atoi(toks[3])
+		if err1 != nil || err2 != nil {
+			return Entry{}, false, fmt.Errorf("trace: bad read numbers %q %q", toks[2], toks[3])
+		}
+		e.Args = spec.Args{Path: toks[1], Off: off, Size: size}
+	case spec.OpWrite:
+		if err := need(3); err != nil {
+			return Entry{}, false, err
+		}
+		off, err1 := strconv.ParseInt(toks[2], 10, 64)
+		data, err2 := base64.StdEncoding.DecodeString(toks[3])
+		if err1 != nil || err2 != nil {
+			return Entry{}, false, fmt.Errorf("trace: bad write payload")
+		}
+		e.Args = spec.Args{Path: toks[1], Off: off, Data: data}
+	case spec.OpTruncate:
+		if err := need(2); err != nil {
+			return Entry{}, false, err
+		}
+		size, err := strconv.ParseInt(toks[2], 10, 64)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("trace: bad truncate size %q", toks[2])
+		}
+		e.Args = spec.Args{Path: toks[1], Off: size}
+	default:
+		if err := need(1); err != nil {
+			return Entry{}, false, err
+		}
+		e.Args = spec.Args{Path: toks[1]}
+	}
+	return e, true, nil
+}
+
+// Parse reads a whole trace.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		e, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out, sc.Err()
+}
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Applied int
+	Errors  int // operations that returned an error (not replay failures)
+}
+
+// Replay applies entries to fs. When model is non-nil, every result is
+// compared against the abstract specification in lockstep and the first
+// divergence is returned as an error.
+func Replay(fs fsapi.FS, model *spec.AFS, entries []Entry) (ReplayResult, error) {
+	var res ReplayResult
+	for i, e := range entries {
+		got := fstest.ApplyFS(fs, e.Op, e.Args)
+		res.Applied++
+		if got.Err != nil {
+			res.Errors++
+		}
+		if model != nil {
+			want, _ := model.Apply(e.Op, e.Args)
+			if !got.Equal(want) {
+				return res, fmt.Errorf("trace: step %d (%s): concrete %s, spec %s",
+					i, e.Format(), got, want)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Recorder wraps a file system and records every operation passing
+// through it (thread-safe; concurrent operations record in completion
+// order).
+type Recorder struct {
+	inner fsapi.FS
+	mu    sync.Mutex
+	log   []Entry
+}
+
+var _ fsapi.FS = (*Recorder)(nil)
+
+// NewRecorder wraps inner.
+func NewRecorder(inner fsapi.FS) *Recorder { return &Recorder{inner: inner} }
+
+// Trace returns a copy of the recorded entries.
+func (r *Recorder) Trace() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.log...)
+}
+
+func (r *Recorder) record(op spec.Op, args spec.Args) {
+	r.mu.Lock()
+	r.log = append(r.log, Entry{Op: op, Args: args})
+	r.mu.Unlock()
+}
+
+// Mknod creates an empty file.
+func (r *Recorder) Mknod(path string) error {
+	r.record(spec.OpMknod, spec.Args{Path: path})
+	return r.inner.Mknod(path)
+}
+
+// Mkdir creates an empty directory.
+func (r *Recorder) Mkdir(path string) error {
+	r.record(spec.OpMkdir, spec.Args{Path: path})
+	return r.inner.Mkdir(path)
+}
+
+// Rmdir removes an empty directory.
+func (r *Recorder) Rmdir(path string) error {
+	r.record(spec.OpRmdir, spec.Args{Path: path})
+	return r.inner.Rmdir(path)
+}
+
+// Unlink removes a file.
+func (r *Recorder) Unlink(path string) error {
+	r.record(spec.OpUnlink, spec.Args{Path: path})
+	return r.inner.Unlink(path)
+}
+
+// Rename moves src to dst.
+func (r *Recorder) Rename(src, dst string) error {
+	r.record(spec.OpRename, spec.Args{Path: src, Path2: dst})
+	return r.inner.Rename(src, dst)
+}
+
+// Stat reports kind and size.
+func (r *Recorder) Stat(path string) (fsapi.Info, error) {
+	r.record(spec.OpStat, spec.Args{Path: path})
+	return r.inner.Stat(path)
+}
+
+// Read returns up to size bytes at off.
+func (r *Recorder) Read(path string, off int64, size int) ([]byte, error) {
+	r.record(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
+	return r.inner.Read(path, off, size)
+}
+
+// Write stores data at off.
+func (r *Recorder) Write(path string, off int64, data []byte) (int, error) {
+	r.record(spec.OpWrite, spec.Args{Path: path, Off: off, Data: append([]byte(nil), data...)})
+	return r.inner.Write(path, off, data)
+}
+
+// Truncate resizes a file.
+func (r *Recorder) Truncate(path string, size int64) error {
+	r.record(spec.OpTruncate, spec.Args{Path: path, Off: size})
+	return r.inner.Truncate(path, size)
+}
+
+// Readdir lists entries.
+func (r *Recorder) Readdir(path string) ([]string, error) {
+	r.record(spec.OpReaddir, spec.Args{Path: path})
+	return r.inner.Readdir(path)
+}
+
+// FromState renders an abstract state as the minimal creation trace that
+// rebuilds it on an empty file system: directories in breadth-first
+// order, then file creations and content writes. Combined with a
+// snapshot-capable implementation this serializes a live file system
+// (save = FromState(snapshot), load = Replay).
+func FromState(afs *spec.AFS) []Entry {
+	var entries []Entry
+	type item struct {
+		path string
+		ino  spec.Inum
+	}
+	queue := []item{{path: "", ino: afs.Root}}
+	var files []item
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := afs.Imap[cur.ino]
+		if node == nil {
+			continue
+		}
+		if node.Kind == spec.KindFile {
+			files = append(files, cur)
+			continue
+		}
+		if cur.path != "" {
+			entries = append(entries, Entry{Op: spec.OpMkdir, Args: spec.Args{Path: cur.path}})
+		}
+		names := make([]string, 0, len(node.Links))
+		for name := range node.Links {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			queue = append(queue, item{path: cur.path + "/" + name, ino: node.Links[name]})
+		}
+	}
+	for _, f := range files {
+		entries = append(entries, Entry{Op: spec.OpMknod, Args: spec.Args{Path: f.path}})
+		if data := afs.Imap[f.ino].Data; len(data) > 0 {
+			entries = append(entries, Entry{Op: spec.OpWrite,
+				Args: spec.Args{Path: f.path, Off: 0, Data: append([]byte(nil), data...)}})
+		}
+	}
+	return entries
+}

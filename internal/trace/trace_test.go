@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atomfs"
+	"repro/internal/fstest"
+	"repro/internal/memfs"
+	"repro/internal/spec"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Op: spec.OpMkdir, Args: spec.Args{Path: "/a"}},
+		{Op: spec.OpMknod, Args: spec.Args{Path: "/a/file with spaces"}},
+		{Op: spec.OpWrite, Args: spec.Args{Path: "/a/file with spaces", Off: 7, Data: []byte{0, 1, 2, 255}}},
+		{Op: spec.OpRead, Args: spec.Args{Path: "/a/file with spaces", Off: 2, Size: 10}},
+		{Op: spec.OpTruncate, Args: spec.Args{Path: "/a/file with spaces", Off: 3}},
+		{Op: spec.OpRename, Args: spec.Args{Path: "/a", Path2: "/b c"}},
+		{Op: spec.OpStat, Args: spec.Args{Path: "/b c"}},
+		{Op: spec.OpReaddir, Args: spec.Args{Path: "/"}},
+		{Op: spec.OpUnlink, Args: spec.Args{Path: "/b c/file with spaces"}},
+		{Op: spec.OpRmdir, Args: spec.Args{Path: "/b c"}},
+	}
+	var b strings.Builder
+	if err := Write(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse:\n%s\n%v", b.String(), err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("entries = %d, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].Op != entries[i].Op || got[i].Args.Path != entries[i].Args.Path ||
+			got[i].Args.Path2 != entries[i].Args.Path2 || got[i].Args.Off != entries[i].Args.Off ||
+			got[i].Args.Size != entries[i].Args.Size || string(got[i].Args.Data) != string(entries[i].Args.Data) {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestParseCommentsAndErrors(t *testing.T) {
+	in := "# a comment\n\nmkdir /a\n"
+	entries, err := Parse(strings.NewReader(in))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, err = %v", entries, err)
+	}
+	for _, bad := range []string{
+		"frobnicate /x",
+		"mkdir",
+		"write /f notanumber AAAA",
+		"write /f 0 !!!notbase64!!!",
+		"read /f 0",
+		"rename /only",
+		`mkdir "unterminated`,
+	} {
+		if _, _, err := ParseLine(bad); err == nil {
+			t.Errorf("ParseLine(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRecordThenReplayDifferential(t *testing.T) {
+	// Record a random run against atomfs, then replay it on memfs in
+	// lockstep with the spec: all three implementations agree.
+	rec := NewRecorder(atomfs.New())
+	stream := fstest.NewOpStream(77)
+	for i := 0; i < 400; i++ {
+		op, args := stream.Next()
+		fstest.ApplyFS(rec, op, args)
+	}
+	entries := rec.Trace()
+	if len(entries) != 400 {
+		t.Fatalf("recorded %d entries", len(entries))
+	}
+	res, err := Replay(memfs.New(), spec.New(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 400 {
+		t.Fatalf("applied %d", res.Applied)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	// A trace whose expectations cannot hold against a pre-polluted FS.
+	entries := []Entry{{Op: spec.OpMkdir, Args: spec.Args{Path: "/a"}}}
+	fs := memfs.New()
+	fs.Mkdir("/a") // now the trace's mkdir collides, the fresh model's does not
+	if _, err := Replay(fs, spec.New(), entries); err == nil {
+		t.Fatal("divergence not detected")
+	}
+	// Without a model, replay just applies.
+	res, err := Replay(fs, nil, entries)
+	if err != nil || res.Errors != 1 {
+		t.Fatalf("res = %+v err = %v", res, err)
+	}
+}
+
+func TestPropertyRoundTripRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		stream := fstest.NewOpStream(seed)
+		var entries []Entry
+		for i := 0; i < 50; i++ {
+			op, args := stream.Next()
+			entries = append(entries, Entry{Op: op, Args: args})
+		}
+		var b strings.Builder
+		if err := Write(&b, entries); err != nil {
+			return false
+		}
+		got, err := Parse(strings.NewReader(b.String()))
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		// Replaying both against fresh models must agree step for step.
+		m1, m2 := spec.New(), spec.New()
+		for i := range entries {
+			r1, _ := m1.Apply(entries[i].Op, entries[i].Args)
+			r2, _ := m2.Apply(got[i].Op, got[i].Args)
+			if !r1.Equal(r2) {
+				return false
+			}
+		}
+		return m1.Key() == m2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFromStateRebuilds: serializing a populated FS to a creation trace
+// and replaying it on a fresh FS reproduces the exact tree.
+func TestFromStateRebuilds(t *testing.T) {
+	src := atomfs.New()
+	stream := fstest.NewOpStream(123)
+	for i := 0; i < 300; i++ {
+		op, args := stream.Next()
+		fstest.ApplyFS(src, op, args)
+	}
+	entries := FromState(src.Snapshot())
+	// Rebuild on a fresh model and a fresh concrete FS, in lockstep.
+	dst := atomfs.New()
+	if _, err := Replay(dst, spec.New(), entries); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.SnapshotKey(), src.SnapshotKey(); got != want {
+		t.Fatalf("rebuild diverged:\n%s\n%s", got, want)
+	}
+	// Round-trip through the text format too.
+	var b strings.Builder
+	if err := Write(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2 := atomfs.New()
+	if _, err := Replay(dst2, nil, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if dst2.SnapshotKey() != src.SnapshotKey() {
+		t.Fatal("text round-trip diverged")
+	}
+}

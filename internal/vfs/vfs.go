@@ -1,0 +1,278 @@
+// Package vfs is the VFS/FUSE plumbing layer of §5.4: it provides file
+// descriptors on top of any path-based file system by maintaining the
+// FD -> path mapping, exactly the contract AtomFS relies on ("AtomFS
+// relies on VFS and FUSE to maintain the mapping from a file descriptor to
+// the path of an inode"). Every FD-based operation is translated into a
+// full path-based operation, which keeps the combined system linearizable
+// — this is the paper's fix for the Figure-9 bypass.
+//
+// The layer also reproduces the POSIX read/write-after-unlink semantics
+// the paper credits to FUSE: when an open file is unlinked, the VFS
+// detaches the descriptor onto a private shadow copy, so subsequent reads
+// and writes through the FD still work.
+package vfs
+
+import (
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// FD is a file descriptor.
+type FD int
+
+// MaxOpenFiles bounds the descriptor table.
+const MaxOpenFiles = 1024
+
+type openFile struct {
+	path   string
+	kind   spec.Kind
+	offset int64
+	// shadow holds the file's content after an unlink-while-open; nil
+	// while the file is still linked.
+	shadow []byte
+	// refs supports dup-like sharing in the future; currently always 1.
+	refs int
+}
+
+// VFS wraps a path-based file system with a descriptor table.
+type VFS struct {
+	fs fsapi.FS
+
+	mu    sync.Mutex
+	table map[FD]*openFile
+	next  FD
+}
+
+// New wraps fs.
+func New(fs fsapi.FS) *VFS {
+	return &VFS{fs: fs, table: map[FD]*openFile{}, next: 3} // 0-2 reserved, as tradition demands
+}
+
+// Inner returns the wrapped file system (path-based escape hatch).
+func (v *VFS) Inner() fsapi.FS { return v.fs }
+
+// Open returns a descriptor for an existing file or directory.
+func (v *VFS) Open(path string) (FD, error) {
+	info, err := v.fs.Stat(path)
+	if err != nil {
+		return -1, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.table) >= MaxOpenFiles {
+		return -1, fserr.ErrTooManyFiles
+	}
+	fd := v.next
+	v.next++
+	v.table[fd] = &openFile{path: path, kind: info.Kind, refs: 1}
+	return fd, nil
+}
+
+// Create makes a new file (failing if it exists) and opens it.
+func (v *VFS) Create(path string) (FD, error) {
+	if err := v.fs.Mknod(path); err != nil {
+		return -1, err
+	}
+	return v.Open(path)
+}
+
+// Close releases the descriptor.
+func (v *VFS) Close(fd FD) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.table[fd]; !ok {
+		return fserr.ErrBadFD
+	}
+	delete(v.table, fd)
+	return nil
+}
+
+func (v *VFS) lookup(fd FD) (*openFile, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.table[fd]
+	if !ok {
+		return nil, fserr.ErrBadFD
+	}
+	return f, nil
+}
+
+// Seek sets the descriptor's offset (absolute only; whence is a luxury).
+func (v *VFS) Seek(fd FD, off int64) error {
+	if off < 0 {
+		return fserr.ErrInvalid
+	}
+	f, err := v.lookup(fd)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	f.offset = off
+	v.mu.Unlock()
+	return nil
+}
+
+// Read reads up to size bytes at the descriptor's offset, advancing it.
+// The data path is a full path-based read (the §5.4 design); if the file
+// was unlinked while open, the shadow copy serves the read.
+func (v *VFS) Read(fd FD, size int) ([]byte, error) {
+	f, err := v.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	off := f.offset
+	shadow := f.shadow
+	path := f.path
+	v.mu.Unlock()
+	var data []byte
+	if shadow != nil {
+		end := min(off+int64(size), int64(len(shadow)))
+		if off < int64(len(shadow)) {
+			data = append([]byte(nil), shadow[off:end]...)
+		} else {
+			data = []byte{}
+		}
+	} else {
+		data, err = v.fs.Read(path, off, size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v.mu.Lock()
+	f.offset = off + int64(len(data))
+	v.mu.Unlock()
+	return data, nil
+}
+
+// Write writes at the descriptor's offset, advancing it.
+func (v *VFS) Write(fd FD, data []byte) (int, error) {
+	f, err := v.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	v.mu.Lock()
+	off := f.offset
+	path := f.path
+	isShadow := f.shadow != nil
+	v.mu.Unlock()
+	if isShadow {
+		v.mu.Lock()
+		end := off + int64(len(data))
+		for int64(len(f.shadow)) < end {
+			f.shadow = append(f.shadow, 0)
+		}
+		copy(f.shadow[off:end], data)
+		f.offset = end
+		v.mu.Unlock()
+		return len(data), nil
+	}
+	n, err := v.fs.Write(path, off, data)
+	if err != nil {
+		return n, err
+	}
+	v.mu.Lock()
+	f.offset = off + int64(n)
+	v.mu.Unlock()
+	return n, nil
+}
+
+// StatFD stats through the descriptor.
+func (v *VFS) StatFD(fd FD) (fsapi.Info, error) {
+	f, err := v.lookup(fd)
+	if err != nil {
+		return fsapi.Info{}, err
+	}
+	v.mu.Lock()
+	shadow := f.shadow
+	path := f.path
+	kind := f.kind
+	v.mu.Unlock()
+	if shadow != nil {
+		return fsapi.Info{Kind: kind, Size: int64(len(shadow))}, nil
+	}
+	return v.fs.Stat(path)
+}
+
+// ReaddirFD lists a directory through the descriptor via a full path
+// traversal — the linearizable FD-based readdir of §5.4.
+func (v *VFS) ReaddirFD(fd FD) ([]string, error) {
+	f, err := v.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	path := f.path
+	v.mu.Unlock()
+	return v.fs.Readdir(path)
+}
+
+// Unlink removes a file; if any descriptor has it open, the descriptor is
+// detached onto a shadow copy first (POSIX read-after-unlink, via the
+// FUSE temporary-file behaviour the paper describes).
+func (v *VFS) Unlink(path string) error {
+	// Snapshot current content in case a descriptor needs detaching; read
+	// before the unlink to keep the copy coherent.
+	var content []byte
+	var haveContent bool
+	v.mu.Lock()
+	anyOpen := false
+	for _, f := range v.table {
+		if f.path == path && f.shadow == nil {
+			anyOpen = true
+			break
+		}
+	}
+	v.mu.Unlock()
+	if anyOpen {
+		if info, err := v.fs.Stat(path); err == nil && info.Kind == spec.KindFile {
+			if data, err := v.fs.Read(path, 0, int(info.Size)); err == nil {
+				content = data
+				haveContent = true
+			}
+		}
+	}
+	if err := v.fs.Unlink(path); err != nil {
+		return err
+	}
+	if haveContent {
+		v.mu.Lock()
+		for _, f := range v.table {
+			if f.path == path && f.shadow == nil {
+				f.shadow = append([]byte(nil), content...)
+			}
+		}
+		v.mu.Unlock()
+	}
+	return nil
+}
+
+// Path-based pass-throughs, so applications can use a single object.
+
+// Mknod creates an empty file.
+func (v *VFS) Mknod(path string) error { return v.fs.Mknod(path) }
+
+// Mkdir creates an empty directory.
+func (v *VFS) Mkdir(path string) error { return v.fs.Mkdir(path) }
+
+// Rmdir removes an empty directory.
+func (v *VFS) Rmdir(path string) error { return v.fs.Rmdir(path) }
+
+// Rename moves src to dst.
+func (v *VFS) Rename(src, dst string) error { return v.fs.Rename(src, dst) }
+
+// Stat stats a path.
+func (v *VFS) Stat(path string) (fsapi.Info, error) { return v.fs.Stat(path) }
+
+// Readdir lists a directory by path.
+func (v *VFS) Readdir(path string) ([]string, error) { return v.fs.Readdir(path) }
+
+// OpenCount reports the number of open descriptors (tests).
+func (v *VFS) OpenCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.table)
+}

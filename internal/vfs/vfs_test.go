@@ -1,0 +1,259 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/atomfs"
+	"repro/internal/core"
+	"repro/internal/fserr"
+	"repro/internal/fuse"
+	"repro/internal/memfs"
+	"repro/internal/spec"
+)
+
+func newVFS(t *testing.T) *VFS {
+	t.Helper()
+	return New(atomfs.New())
+}
+
+func TestOpenReadWrite(t *testing.T) {
+	v := newVFS(t)
+	fd, err := v.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.Write(fd, []byte("hello ")); err != nil || n != 6 {
+		t.Fatalf("write = %d %v", n, err)
+	}
+	if n, err := v.Write(fd, []byte("world")); err != nil || n != 5 {
+		t.Fatalf("write = %d %v", n, err)
+	}
+	if err := v.Seek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.Read(fd, 100)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read = %q %v", data, err)
+	}
+	// Offset advanced to EOF; next read is empty.
+	data, err = v.Read(fd, 10)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("read at EOF = %q %v", data, err)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(fd); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	v := newVFS(t)
+	if _, err := v.Read(99, 1); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("read bad fd = %v", err)
+	}
+	if _, err := v.Write(99, []byte("x")); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("write bad fd = %v", err)
+	}
+	if _, err := v.Open("/missing"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("open missing = %v", err)
+	}
+}
+
+func TestReadAfterUnlink(t *testing.T) {
+	v := newVFS(t)
+	fd, err := v.Create("/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(fd, []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unlink("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Stat("/doomed"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatal("file still visible by path")
+	}
+	// The descriptor survives on the shadow copy.
+	if err := v.Seek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.Read(fd, 100)
+	if err != nil || string(data) != "still here" {
+		t.Fatalf("read after unlink = %q %v", data, err)
+	}
+	// Writes through the detached descriptor also work.
+	if _, err := v.Write(fd, []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.StatFD(fd)
+	if err != nil || info.Size != 11 {
+		t.Fatalf("statfd = %+v %v", info, err)
+	}
+	v.Close(fd)
+}
+
+func TestReaddirFDTraversesPath(t *testing.T) {
+	v := newVFS(t)
+	for _, d := range []string{"/a", "/a/b"} {
+		if err := v.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd, err := v.Open("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mknod("/a/b/x"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := v.ReaddirFD(fd)
+	if err != nil || len(names) != 1 || names[0] != "x" {
+		t.Fatalf("readdirfd = %v %v", names, err)
+	}
+	// After a rename of an ancestor, the stale FD path reports ENOENT —
+	// consistent with the path-traversal design of §5.4.
+	if err := v.Rename("/a", "/z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReaddirFD(fd); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("stale-path readdir = %v, want ENOENT", err)
+	}
+	v.Close(fd)
+}
+
+func TestSeekNegative(t *testing.T) {
+	v := newVFS(t)
+	fd, _ := v.Create("/f")
+	if err := v.Seek(fd, -1); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("seek -1 = %v", err)
+	}
+}
+
+func TestFDExhaustion(t *testing.T) {
+	v := New(memfs.New())
+	if err := v.Mknod("/f"); err != nil {
+		t.Fatal(err)
+	}
+	var fds []FD
+	for {
+		fd, err := v.Open("/f")
+		if err != nil {
+			if !errors.Is(err, fserr.ErrTooManyFiles) {
+				t.Fatalf("unexpected exhaustion error: %v", err)
+			}
+			break
+		}
+		fds = append(fds, fd)
+	}
+	if len(fds) != MaxOpenFiles {
+		t.Fatalf("opened %d, want %d", len(fds), MaxOpenFiles)
+	}
+	v.Close(fds[0])
+	if _, err := v.Open("/f"); err != nil {
+		t.Fatalf("open after close failed: %v", err)
+	}
+}
+
+func TestDirKindRecorded(t *testing.T) {
+	v := newVFS(t)
+	v.Mkdir("/d")
+	fd, err := v.Open("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.StatFD(fd)
+	if err != nil || info.Kind != spec.KindDir {
+		t.Fatalf("statfd dir = %+v %v", info, err)
+	}
+}
+
+func TestSparseReadThroughFD(t *testing.T) {
+	v := newVFS(t)
+	fd, _ := v.Create("/s")
+	v.Seek(fd, 10000)
+	v.Write(fd, []byte("end"))
+	v.Seek(fd, 0)
+	data, err := v.Read(fd, 100)
+	if err != nil || !bytes.Equal(data, make([]byte, 100)) {
+		t.Fatalf("sparse head = %v %v", data[:5], err)
+	}
+}
+
+// TestConcurrentFDs: many goroutines churning descriptors over a
+// monitored AtomFS — the FD layer must be thread-safe and the underlying
+// path-based operations stay verified.
+func TestConcurrentFDs(t *testing.T) {
+	mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+	fs := atomfs.New(atomfs.WithMonitor(mon))
+	v := New(fs)
+	if err := v.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				p := fmt.Sprintf("/d/w%d-%d", w, i%4)
+				fd, err := v.Create(p)
+				if err != nil {
+					// A sibling worker may own this name; open instead.
+					fd, err = v.Open(p)
+					if err != nil {
+						continue
+					}
+				}
+				v.Write(fd, []byte("data"))
+				v.Seek(fd, 0)
+				v.Read(fd, 4)
+				v.StatFD(fd)
+				v.Close(fd)
+				if i%8 == 0 {
+					v.Unlink(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.OpenCount() != 0 {
+		t.Fatalf("leaked %d descriptors", v.OpenCount())
+	}
+	for _, viol := range mon.Violations() {
+		t.Errorf("violation: %s", viol)
+	}
+	if err := mon.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVFSOverRemoteMount: the descriptor layer composes with the
+// FUSE-like transport (FDs on the client side of a mount).
+func TestVFSOverRemoteMount(t *testing.T) {
+	client, srv := fuse.Pipe(atomfs.New())
+	defer srv.Close()
+	defer client.Close()
+	v := New(client)
+	fd, err := v.Create("/remote-file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(fd, []byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Seek(fd, 5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.Read(fd, 3)
+	if err != nil || string(data) != "the" {
+		t.Fatalf("read = %q %v", data, err)
+	}
+	v.Close(fd)
+}

@@ -1,0 +1,529 @@
+// Package workload implements the evaluation workloads of the AtomFS
+// paper's §7: the LFS largefile/smallfile microbenchmarks, operation
+// traces modelling the four application workloads of Figure 10 (git
+// clone, make, cp -r, ripgrep), and the two Filebench personalities of
+// Figure 11 (Fileserver and Webproxy). Every workload is deterministic
+// for a given seed and generic over fsapi.FS.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/spec"
+)
+
+// Result summarizes one workload execution.
+type Result struct {
+	Name string
+	Ops  int64 // completed file system operations
+}
+
+func check(err error, what string) {
+	if err != nil {
+		panic(fmt.Sprintf("workload %s: %v", what, err))
+	}
+}
+
+// payload returns a deterministic byte pattern of the given size.
+func payload(size int, tag byte) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = tag + byte(i%191)
+	}
+	return p
+}
+
+// --- LFS microbenchmarks (Figure 10, largefile / smallfile) -------------
+
+// LargefileSize is the paper's 10 MB large file.
+const LargefileSize = 10 << 20
+
+// Largefile writes a 10 MB file sequentially in 64 KiB chunks, reads it
+// back sequentially, then rewrites it in place — the LFS largefile
+// benchmark.
+func Largefile(fs fsapi.FS) Result {
+	const chunk = 64 << 10
+	var ops int64
+	check(fs.Mkdir("/large"), "largefile")
+	check(fs.Mknod("/large/big"), "largefile")
+	ops++
+	buf := payload(chunk, 'L')
+	for off := int64(0); off < LargefileSize; off += chunk {
+		_, err := fs.Write("/large/big", off, buf)
+		check(err, "largefile write")
+		ops++
+	}
+	for off := int64(0); off < LargefileSize; off += chunk {
+		_, err := fs.Read("/large/big", off, chunk)
+		check(err, "largefile read")
+		ops++
+	}
+	for off := int64(0); off < LargefileSize; off += chunk {
+		_, err := fs.Write("/large/big", off, buf)
+		check(err, "largefile rewrite")
+		ops++
+	}
+	return Result{Name: "largefile", Ops: ops}
+}
+
+// SmallfileCount and SmallfileSize follow the paper: 10K files of 1 KB.
+const (
+	SmallfileCount = 10000
+	SmallfileSize  = 1 << 10
+)
+
+// Smallfile creates 10K 1 KB files across 100 directories, stats and
+// reads each, then deletes everything — the LFS smallfile benchmark.
+func Smallfile(fs fsapi.FS) Result {
+	var ops int64
+	const dirs = 100
+	buf := payload(SmallfileSize, 'S')
+	for d := 0; d < dirs; d++ {
+		check(fs.Mkdir(fmt.Sprintf("/s%02d", d)), "smallfile mkdir")
+		ops++
+	}
+	for i := 0; i < SmallfileCount; i++ {
+		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
+		check(fs.Mknod(p), "smallfile create")
+		_, err := fs.Write(p, 0, buf)
+		check(err, "smallfile write")
+		ops += 2
+	}
+	for i := 0; i < SmallfileCount; i++ {
+		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
+		_, err := fs.Stat(p)
+		check(err, "smallfile stat")
+		_, err = fs.Read(p, 0, SmallfileSize)
+		check(err, "smallfile read")
+		ops += 2
+	}
+	for i := 0; i < SmallfileCount; i++ {
+		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
+		check(fs.Unlink(p), "smallfile unlink")
+		ops++
+	}
+	return Result{Name: "smallfile", Ops: ops}
+}
+
+// --- Application traces (Figure 10) --------------------------------------
+
+// GitClone models cloning the xv6-public repository: unpacking a packfile
+// into many small objects, then checking out the worktree — directory
+// creation plus bursts of small-file writes.
+func GitClone(fs fsapi.FS) Result {
+	var ops int64
+	r := rand.New(rand.NewSource(1))
+	check(fs.Mkdir("/repo"), "git")
+	check(fs.Mkdir("/repo/.git"), "git")
+	check(fs.Mkdir("/repo/.git/objects"), "git")
+	ops += 3
+	// Object store: 256 fan-out dirs, ~1200 loose objects of 0.5-8 KB.
+	for i := 0; i < 64; i++ {
+		check(fs.Mkdir(fmt.Sprintf("/repo/.git/objects/%02x", i)), "git fanout")
+		ops++
+	}
+	for i := 0; i < 1200; i++ {
+		p := fmt.Sprintf("/repo/.git/objects/%02x/obj%d", i%64, i)
+		check(fs.Mknod(p), "git object")
+		_, err := fs.Write(p, 0, payload(512+r.Intn(7680), 'g'))
+		check(err, "git object write")
+		ops += 2
+	}
+	// Worktree checkout: xv6 is ~100 files of 1-40 KB in one directory.
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("/repo/src%d.c", i)
+		check(fs.Mknod(p), "git checkout")
+		_, err := fs.Write(p, 0, payload(1024+r.Intn(40<<10), 'c'))
+		check(err, "git checkout write")
+		ops += 2
+	}
+	// Index + refs writes with renames (git writes tmp then renames).
+	for i := 0; i < 20; i++ {
+		tmp := fmt.Sprintf("/repo/.git/tmp%d", i)
+		check(fs.Mknod(tmp), "git tmp")
+		_, err := fs.Write(tmp, 0, payload(4096, 'i'))
+		check(err, "git tmp write")
+		check(fs.Rename(tmp, "/repo/.git/index"), "git rename")
+		ops += 3
+	}
+	return Result{Name: "git-clone", Ops: ops}
+}
+
+// MakeXv6 models building xv6: read every source file several times
+// (headers are re-read per compilation unit), write one object file per
+// source, then link (read all objects, write one binary).
+func MakeXv6(fs fsapi.FS) Result {
+	var ops int64
+	r := rand.New(rand.NewSource(2))
+	check(fs.Mkdir("/build"), "make")
+	ops++
+	const sources = 60
+	const headers = 20
+	for i := 0; i < headers; i++ {
+		p := fmt.Sprintf("/build/h%d.h", i)
+		check(fs.Mknod(p), "make header")
+		_, err := fs.Write(p, 0, payload(2048+r.Intn(4096), 'h'))
+		check(err, "make header write")
+		ops += 2
+	}
+	for i := 0; i < sources; i++ {
+		p := fmt.Sprintf("/build/s%d.c", i)
+		check(fs.Mknod(p), "make source")
+		_, err := fs.Write(p, 0, payload(4096+r.Intn(16<<10), 's'))
+		check(err, "make source write")
+		ops += 2
+	}
+	// Compile: each unit reads its source + ~8 headers, writes a .o.
+	for i := 0; i < sources; i++ {
+		_, err := fs.Read(fmt.Sprintf("/build/s%d.c", i), 0, 64<<10)
+		check(err, "make read source")
+		ops++
+		for h := 0; h < 8; h++ {
+			_, err := fs.Read(fmt.Sprintf("/build/h%d.h", (i+h)%headers), 0, 8<<10)
+			check(err, "make read header")
+			ops++
+		}
+		o := fmt.Sprintf("/build/s%d.o", i)
+		check(fs.Mknod(o), "make object")
+		_, err = fs.Write(o, 0, payload(2048+r.Intn(8192), 'o'))
+		check(err, "make write object")
+		ops += 2
+	}
+	// Link.
+	for i := 0; i < sources; i++ {
+		_, err := fs.Read(fmt.Sprintf("/build/s%d.o", i), 0, 16<<10)
+		check(err, "make link read")
+		ops++
+	}
+	check(fs.Mknod("/build/kernel"), "make link")
+	_, err := fs.Write("/build/kernel", 0, payload(200<<10, 'k'))
+	check(err, "make link write")
+	ops += 2
+	return Result{Name: "make-xv6", Ops: ops}
+}
+
+// CpQemu models `cp -r` of a source tree shaped like qemu's: a deep
+// directory hierarchy read from one subtree and recreated under another.
+func CpQemu(fs fsapi.FS) Result {
+	var ops int64
+	r := rand.New(rand.NewSource(3))
+	check(fs.Mkdir("/qemu"), "cp")
+	ops++
+	type entry struct {
+		dir  string
+		file string
+	}
+	var files []entry
+	var dirs []string
+	// ~80 directories, 3 levels, ~800 files of 1-32 KB.
+	for i := 0; i < 8; i++ {
+		d1 := fmt.Sprintf("/qemu/d%d", i)
+		check(fs.Mkdir(d1), "cp mkdir")
+		dirs = append(dirs, d1)
+		ops++
+		for j := 0; j < 3; j++ {
+			d2 := fmt.Sprintf("%s/sub%d", d1, j)
+			check(fs.Mkdir(d2), "cp mkdir")
+			dirs = append(dirs, d2)
+			ops++
+			for k := 0; k < 3; k++ {
+				d3 := fmt.Sprintf("%s/leaf%d", d2, k)
+				check(fs.Mkdir(d3), "cp mkdir")
+				dirs = append(dirs, d3)
+				ops++
+			}
+		}
+	}
+	for i := 0; i < 800; i++ {
+		d := dirs[r.Intn(len(dirs))]
+		p := fmt.Sprintf("%s/f%d.c", d, i)
+		check(fs.Mknod(p), "cp create")
+		_, err := fs.Write(p, 0, payload(1024+r.Intn(31<<10), 'q'))
+		check(err, "cp write")
+		files = append(files, entry{d, p})
+		ops += 2
+	}
+	// The copy: walk directories (readdir), read every file, mirror it.
+	check(fs.Mkdir("/copy"), "cp")
+	ops++
+	for _, d := range dirs {
+		check(fs.Mkdir("/copy"+d[len("/qemu"):len(d)]), "cp mirror dir")
+		_, err := fs.Readdir(d)
+		check(err, "cp readdir")
+		ops += 2
+	}
+	for _, f := range files {
+		data, err := fs.Read(f.file, 0, 32<<10)
+		check(err, "cp read")
+		dst := "/copy" + f.file[len("/qemu"):]
+		check(fs.Mknod(dst), "cp dst create")
+		_, err = fs.Write(dst, 0, data)
+		check(err, "cp dst write")
+		ops += 3
+	}
+	return Result{Name: "cp-qemu", Ops: ops}
+}
+
+// Ripgrep models a recursive content search: enumerate the whole tree
+// with readdir and read every file completely, writing nothing.
+func Ripgrep(fs fsapi.FS) Result {
+	// Build a tree to search (same shape as CpQemu's source side).
+	var ops int64
+	r := rand.New(rand.NewSource(4))
+	check(fs.Mkdir("/src"), "rg")
+	ops++
+	var dirs []string
+	for i := 0; i < 40; i++ {
+		d := fmt.Sprintf("/src/d%d", i)
+		check(fs.Mkdir(d), "rg mkdir")
+		dirs = append(dirs, d)
+		ops++
+	}
+	for i := 0; i < 1000; i++ {
+		p := fmt.Sprintf("%s/f%d.txt", dirs[r.Intn(len(dirs))], i)
+		check(fs.Mknod(p), "rg create")
+		_, err := fs.Write(p, 0, payload(512+r.Intn(16<<10), 'r'))
+		check(err, "rg write")
+		ops += 2
+	}
+	// The search: 3 passes (ripgrep-like repeated invocations).
+	for pass := 0; pass < 3; pass++ {
+		var walkDir func(d string)
+		walkDir = func(d string) {
+			names, err := fs.Readdir(d)
+			check(err, "rg readdir")
+			ops++
+			for _, n := range names {
+				p := d + "/" + n
+				info, err := fs.Stat(p)
+				check(err, "rg stat")
+				ops++
+				if info.Kind == spec.KindDir {
+					walkDir(p)
+					continue
+				}
+				_, err = fs.Read(p, 0, int(info.Size))
+				check(err, "rg read")
+				ops++
+			}
+		}
+		walkDir("/src")
+	}
+	return Result{Name: "ripgrep", Ops: ops}
+}
+
+// --- Filebench personalities (Figure 11) ----------------------------------
+
+// FileserverConfig mirrors the paper's description: about 526 distinct
+// directories and 10,000 files.
+type FileserverConfig struct {
+	Dirs      int
+	Files     int
+	FileSize  int
+	AppendLen int
+	OpsPerThd int
+}
+
+// DefaultFileserver is scaled for repeatable in-memory runs.
+func DefaultFileserver() FileserverConfig {
+	return FileserverConfig{Dirs: 526, Files: 10000, FileSize: 16 << 10, AppendLen: 4 << 10, OpsPerThd: 4000}
+}
+
+// PrepareFileserver builds the directory tree and file population.
+func PrepareFileserver(fs fsapi.FS, cfg FileserverConfig) {
+	for d := 0; d < cfg.Dirs; d++ {
+		check(fs.Mkdir(fmt.Sprintf("/fsrv%d", d)), "fileserver prepare")
+	}
+	buf := payload(cfg.FileSize, 'F')
+	for i := 0; i < cfg.Files; i++ {
+		p := fmt.Sprintf("/fsrv%d/f%d", i%cfg.Dirs, i)
+		check(fs.Mknod(p), "fileserver prepare")
+		_, err := fs.Write(p, 0, buf)
+		check(err, "fileserver prepare write")
+	}
+}
+
+// Fileserver runs the Filebench fileserver flow with nThreads workers:
+// each iteration creates a file, writes it whole, appends, reads a whole
+// file, stats one, and deletes one — spread across the many directories.
+func Fileserver(fs fsapi.FS, cfg FileserverConfig, nThreads int) Result {
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	appendBuf := payload(cfg.AppendLen, 'A')
+	writeBuf := payload(cfg.FileSize, 'W')
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(1000 + t)))
+			var local int64
+			for i := 0; i < cfg.OpsPerThd; i++ {
+				d := r.Intn(cfg.Dirs)
+				switch i % 6 {
+				case 0: // createfile + writewholefile
+					p := fmt.Sprintf("/fsrv%d/new-t%d-%d", d, t, i)
+					if fs.Mknod(p) == nil {
+						fs.Write(p, 0, writeBuf)
+						local += 2
+					}
+				case 1: // appendfile
+					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
+					if info, err := fs.Stat(p); err == nil {
+						fs.Write(p, info.Size, appendBuf)
+						local += 2
+					}
+				case 2: // readwholefile
+					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
+					fs.Read(p, 0, cfg.FileSize)
+					local++
+				case 3: // statfile
+					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
+					fs.Stat(p)
+					local++
+				case 4: // deletefile (of one this thread created earlier)
+					p := fmt.Sprintf("/fsrv%d/new-t%d-%d", r.Intn(cfg.Dirs), t, i-4)
+					fs.Unlink(p)
+					local++
+				case 5: // listdir
+					fs.Readdir(fmt.Sprintf("/fsrv%d", d))
+					local++
+				}
+			}
+			ops.Add(local)
+		}(t)
+	}
+	wg.Wait()
+	return Result{Name: "fileserver", Ops: ops.Load()}
+}
+
+// WebproxyConfig mirrors the paper's note that Webproxy "involves only
+// two directories", which starves fine-grained locking of parallelism.
+type WebproxyConfig struct {
+	Files     int
+	FileSize  int
+	OpsPerThd int
+}
+
+// DefaultWebproxy is scaled for repeatable in-memory runs.
+func DefaultWebproxy() WebproxyConfig {
+	return WebproxyConfig{Files: 5000, FileSize: 8 << 10, OpsPerThd: 4000}
+}
+
+// PrepareWebproxy builds the two-directory cache population.
+func PrepareWebproxy(fs fsapi.FS, cfg WebproxyConfig) {
+	check(fs.Mkdir("/proxy0"), "webproxy prepare")
+	check(fs.Mkdir("/proxy1"), "webproxy prepare")
+	buf := payload(cfg.FileSize, 'P')
+	for i := 0; i < cfg.Files; i++ {
+		p := fmt.Sprintf("/proxy%d/f%d", i%2, i)
+		check(fs.Mknod(p), "webproxy prepare")
+		_, err := fs.Write(p, 0, buf)
+		check(err, "webproxy prepare write")
+	}
+}
+
+// Webproxy runs the Filebench webproxy flow: per iteration, delete an old
+// cache entry, create and fill a replacement, then read five random
+// entries — all within two shared directories.
+func Webproxy(fs fsapi.FS, cfg WebproxyConfig, nThreads int) Result {
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	buf := payload(cfg.FileSize, 'p')
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(2000 + t)))
+			var local int64
+			for i := 0; i < cfg.OpsPerThd/8; i++ {
+				d := r.Intn(2)
+				victim := fmt.Sprintf("/proxy%d/t%d-c%d", d, t, i-1)
+				fs.Unlink(victim)
+				local++
+				p := fmt.Sprintf("/proxy%d/t%d-c%d", d, t, i)
+				if fs.Mknod(p) == nil {
+					fs.Write(p, 0, buf)
+					local += 2
+				}
+				for k := 0; k < 5; k++ {
+					q := fmt.Sprintf("/proxy%d/f%d", d, r.Intn(cfg.Files))
+					fs.Read(q, 0, cfg.FileSize)
+					local++
+				}
+			}
+			ops.Add(local)
+		}(t)
+	}
+	wg.Wait()
+	return Result{Name: "webproxy", Ops: ops.Load()}
+}
+
+// VarmailConfig parameterizes the Varmail personality — Filebench's
+// mail-server workload, included here as an extension beyond the paper's
+// two personalities: one spool directory, small files, fsync-free
+// in-memory variant of the classic delete/create/append/read mix.
+type VarmailConfig struct {
+	Files     int
+	FileSize  int
+	AppendLen int
+	OpsPerThd int
+}
+
+// DefaultVarmail is scaled for repeatable in-memory runs.
+func DefaultVarmail() VarmailConfig {
+	return VarmailConfig{Files: 1000, FileSize: 4 << 10, AppendLen: 1 << 10, OpsPerThd: 4000}
+}
+
+// PrepareVarmail builds the spool.
+func PrepareVarmail(fs fsapi.FS, cfg VarmailConfig) {
+	check(fs.Mkdir("/spool"), "varmail prepare")
+	buf := payload(cfg.FileSize, 'M')
+	for i := 0; i < cfg.Files; i++ {
+		p := fmt.Sprintf("/spool/m%d", i)
+		check(fs.Mknod(p), "varmail prepare")
+		_, err := fs.Write(p, 0, buf)
+		check(err, "varmail prepare write")
+	}
+}
+
+// Varmail runs the mail-server flow: delete a message, deliver a new one
+// (create + write), read one, append to one — all in the single spool
+// directory.
+func Varmail(fs fsapi.FS, cfg VarmailConfig, nThreads int) Result {
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	body := payload(cfg.FileSize, 'm')
+	appendBuf := payload(cfg.AppendLen, 'a')
+	for t := 0; t < nThreads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(3000 + t)))
+			var local int64
+			for i := 0; i < cfg.OpsPerThd/4; i++ {
+				old := fmt.Sprintf("/spool/t%d-d%d", t, i-1)
+				fs.Unlink(old)
+				local++
+				p := fmt.Sprintf("/spool/t%d-d%d", t, i)
+				if fs.Mknod(p) == nil {
+					fs.Write(p, 0, body)
+					local += 2
+				}
+				q := fmt.Sprintf("/spool/m%d", r.Intn(cfg.Files))
+				fs.Read(q, 0, cfg.FileSize)
+				local++
+				if info, err := fs.Stat(q); err == nil {
+					fs.Write(q, info.Size, appendBuf)
+					local += 2
+				}
+			}
+			ops.Add(local)
+		}(t)
+	}
+	wg.Wait()
+	return Result{Name: "varmail", Ops: ops.Load()}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/atomfs"
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/retryfs"
+)
+
+func variants() map[string]func() fsapi.FS {
+	return map[string]func() fsapi.FS{
+		"atomfs":  func() fsapi.FS { return atomfs.New() },
+		"memfs":   func() fsapi.FS { return memfs.New() },
+		"retryfs": func() fsapi.FS { return retryfs.New() },
+	}
+}
+
+func TestLargefile(t *testing.T) {
+	for name, mk := range variants() {
+		t.Run(name, func(t *testing.T) {
+			res := Largefile(mk())
+			if res.Ops < 3*(LargefileSize/(64<<10)) {
+				t.Fatalf("ops = %d", res.Ops)
+			}
+		})
+	}
+}
+
+func TestSmallfile(t *testing.T) {
+	fs := atomfs.New()
+	res := Smallfile(fs)
+	if res.Ops < int64(5*SmallfileCount) {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Everything was deleted: directories remain, files gone.
+	names, err := fs.Readdir("/s00")
+	if err != nil || len(names) != 0 {
+		t.Fatalf("leftovers: %v %v", names, err)
+	}
+}
+
+func TestApplicationTraces(t *testing.T) {
+	traces := []func(fsapi.FS) Result{GitClone, MakeXv6, CpQemu, Ripgrep}
+	for _, trace := range traces {
+		for name, mk := range variants() {
+			fs := mk()
+			res := trace(fs)
+			if res.Ops == 0 {
+				t.Fatalf("%s on %s did nothing", res.Name, name)
+			}
+		}
+	}
+}
+
+func TestCpQemuCopiesEverything(t *testing.T) {
+	fs := atomfs.New()
+	CpQemu(fs)
+	// Spot-check the mirrored tree exists.
+	names, err := fs.Readdir("/copy")
+	if err != nil || len(names) == 0 {
+		t.Fatalf("copy tree: %v %v", names, err)
+	}
+}
+
+func TestFileserverConcurrent(t *testing.T) {
+	fs := atomfs.New()
+	cfg := FileserverConfig{Dirs: 32, Files: 200, FileSize: 1024, AppendLen: 256, OpsPerThd: 300}
+	PrepareFileserver(fs, cfg)
+	res := Fileserver(fs, cfg, 4)
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if err := fs.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebproxyConcurrent(t *testing.T) {
+	fs := atomfs.New()
+	cfg := WebproxyConfig{Files: 100, FileSize: 512, OpsPerThd: 400}
+	PrepareWebproxy(fs, cfg)
+	res := Webproxy(fs, cfg, 4)
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if err := fs.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := GitClone(memfs.New())
+	b := GitClone(memfs.New())
+	if a.Ops != b.Ops {
+		t.Fatalf("nondeterministic trace: %d vs %d", a.Ops, b.Ops)
+	}
+}
+
+func TestVarmailConcurrent(t *testing.T) {
+	fs := atomfs.New()
+	cfg := VarmailConfig{Files: 100, FileSize: 512, AppendLen: 128, OpsPerThd: 200}
+	PrepareVarmail(fs, cfg)
+	res := Varmail(fs, cfg, 4)
+	if res.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if err := fs.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
