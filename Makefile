@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench figures conform interdep loc clean
+.PHONY: all build test race verify bench bench-json figures conform interdep loc clean
 
 all: build test
 
@@ -13,15 +13,26 @@ build:
 test:
 	$(GO) test ./...
 
+# Race everything, then give the lock-free code (fast-path reads vs
+# rename/unlink storms, lock-free dir.Table readers) extra -race rounds:
+# these are the tests whose schedules vary run to run.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'FastPath|LockFree' ./internal/atomfs ./internal/dir
 
-# The full verification story: scenarios, sweeps, stress, explorer.
+# The full verification story: vet, the raced lock-free packages, then
+# scenarios, sweeps, stress, explorer.
 verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./internal/atomfs ./internal/dir
 	$(GO) run ./cmd/fscheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf trajectory artifact: FastPath + Fig-10/Fig-11 matrix as JSON.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_fastpath.json
 
 figures:
 	$(GO) run ./cmd/fsbench -fig all

@@ -68,6 +68,11 @@ func WithMonitor(m *Monitor) Option { return atomfs.WithMonitor(m) }
 // WithBlocks sizes the ramdisk in 4 KiB blocks.
 func WithBlocks(n int) Option { return atomfs.WithBlocks(n) }
 
+// WithFastPath enables the lockless read fast path: Stat, Read, and
+// Readdir attempt a seqlock-validated no-lock traversal and fall back to
+// lock coupling on conflict (see DESIGN.md §7).
+func WithFastPath() Option { return atomfs.WithFastPath() }
+
 // HookEvent describes an instrumentation-point firing inside AtomFS;
 // HookFunc receives them on the operation's goroutine, so blocking in a
 // hook pauses the operation — the mechanism behind deterministic

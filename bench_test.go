@@ -37,6 +37,7 @@ func systems() []struct {
 	}{
 		{"dfscq~slowfs", func() fsapi.FS { return slowfs.New(iatomfs.New()) }},
 		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return iatomfs.New(iatomfs.WithFastPath()) }},
 		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
 		{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
@@ -99,6 +100,7 @@ func BenchmarkFig11Fileserver(b *testing.B) {
 		mk   func() fsapi.FS
 	}{
 		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return iatomfs.New(iatomfs.WithFastPath()) }},
 		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
 	} {
@@ -124,6 +126,7 @@ func BenchmarkFig11Webproxy(b *testing.B) {
 		mk   func() fsapi.FS
 	}{
 		{"atomfs", func() fsapi.FS { return iatomfs.New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return iatomfs.New(iatomfs.WithFastPath()) }},
 		{"atomfs-biglock", func() fsapi.FS { return iatomfs.New(iatomfs.WithBigLock()) }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
 	} {

@@ -1,0 +1,215 @@
+// Command benchjson runs the performance-trajectory benchmark matrix —
+// the FastPath family plus Fig-10/Fig-11-style workloads — outside `go
+// test` and writes the results as JSON (one record per benchmark: name,
+// ns/op, allocs/op, fast-path hit rate). The committed BENCH_fastpath.json
+// is produced by `make bench-json`; future changes regenerate it to track
+// the perf curve across PRs.
+//
+// Usage:
+//
+//	benchjson                     # write BENCH_fastpath.json
+//	benchjson -o out.json         # write elsewhere
+//	benchjson -quick              # cheaper run (shorter benchtime)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/atomfs"
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/retryfs"
+	"repro/internal/workload"
+)
+
+type record struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp int64    `json:"allocs_per_op"`
+	HitRate     *float64 `json:"fastpath_hit_rate,omitempty"`
+}
+
+type report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GoArch     string   `json:"goarch"`
+	Results    []record `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_fastpath.json", "output file")
+	quick := flag.Bool("quick", false, "shorter runs (for smoke testing the tool)")
+	flag.Parse()
+
+	systems := []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return atomfs.New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath()) }},
+		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
+	}
+
+	var results []record
+	for _, s := range systems {
+		results = append(results, benchFS("fastpath/read-mostly-95-5/"+s.name, s.mk, readMostly))
+		results = append(results, benchFS("fastpath/stat-pure/"+s.name, s.mk, statPure))
+	}
+	fig10 := append(systems, struct {
+		name string
+		mk   func() fsapi.FS
+	}{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }})
+	for _, s := range fig10 {
+		results = append(results, benchRuns("fig10/git-clone/"+s.name, s.mk, workload.GitClone))
+	}
+	if !*quick {
+		for _, s := range systems {
+			results = append(results, benchFS("fig11/webproxy-4thr/"+s.name, s.mk, func(b *testing.B, fs fsapi.FS) {
+				cfg := workload.WebproxyConfig{Files: 500, FileSize: 4 << 10, OpsPerThd: 500}
+				workload.PrepareWebproxy(fs, cfg)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					workload.Webproxy(fs, cfg, 4)
+				}
+			}))
+		}
+	}
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), GoArch: runtime.GOARCH, Results: results}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// benchFS runs one benchmark body via testing.Benchmark and extracts
+// ns/op, allocs/op, and — when the system exposes counters — the
+// fast-path hit rate of the final (longest) run.
+func benchFS(name string, mk func() fsapi.FS, body func(*testing.B, fsapi.FS)) record {
+	var fs fsapi.FS
+	r := testing.Benchmark(func(b *testing.B) {
+		fs = mk()
+		body(b, fs)
+	})
+	rec := record{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if s, ok := fs.(interface{ FastPathStats() (uint64, uint64) }); ok {
+		if h, f := s.FastPathStats(); h+f > 0 {
+			rate := float64(h) / float64(h+f)
+			rec.HitRate = &rate
+		}
+	}
+	fmt.Printf("%-44s %10.1f ns/op %6d allocs/op\n", name, rec.NsPerOp, rec.AllocsPerOp)
+	return rec
+}
+
+// benchRuns benchmarks a whole-workload run on a fresh file system per
+// iteration (application workloads mutate the tree, so they cannot rerun
+// in place).
+func benchRuns(name string, mk func() fsapi.FS, run func(fsapi.FS) workload.Result) record {
+	var last fsapi.FS
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fs := mk()
+			run(fs)
+			last = fs
+		}
+	})
+	rec := record{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if s, ok := last.(interface{ FastPathStats() (uint64, uint64) }); ok {
+		if h, f := s.FastPathStats(); h+f > 0 {
+			rate := float64(h) / float64(h+f)
+			rec.HitRate = &rate
+		}
+	}
+	fmt.Printf("%-44s %10.1f ns/op %6d allocs/op\n", name, rec.NsPerOp, rec.AllocsPerOp)
+	return rec
+}
+
+// readMostly is the tentpole workload: 95% stats/reads of a depth-8 path,
+// 5% namespace churn in the same directory, run with goroutine
+// parallelism. It mirrors BenchmarkFastPath/read-mostly-95-5 in
+// internal/atomfs/bench_test.go.
+func readMostly(b *testing.B, fs fsapi.FS) {
+	dir, file := buildTree(b, fs, 8)
+	var ids atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			switch {
+			case i%40 == 10:
+				id := ids.Add(1)
+				fs.Mknod(fmt.Sprintf("%s/m%d", dir, id))
+			case i%40 == 30:
+				fs.Unlink(fmt.Sprintf("%s/m%d", dir, ids.Load()))
+			case i%2 == 0:
+				if _, err := fs.Stat(file); err != nil {
+					b.Error(err)
+					return
+				}
+			default:
+				if _, err := fs.Read(file, 0, 16); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// statPure isolates the per-operation traversal cost with no mutators.
+func statPure(b *testing.B, fs fsapi.FS) {
+	_, file := buildTree(b, fs, 8)
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := fs.Stat(file); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func buildTree(b *testing.B, fs fsapi.FS, depth int) (dir, file string) {
+	for i := 0; i < depth; i++ {
+		dir = fmt.Sprintf("%s/p%d", dir, i)
+		if err := fs.Mkdir(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	file = dir + "/f"
+	if err := fs.Mknod(file); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fs.Write(file, 0, []byte("0123456789abcdef")); err != nil {
+		b.Fatal(err)
+	}
+	return dir, file
+}

@@ -162,6 +162,7 @@ func figure10(quick bool) {
 	}{
 		{"dfscq~slowfs", func() fsapi.FS { return slowfs.New(atomfs.New()) }},
 		{"atomfs", func() fsapi.FS { return atomfs.New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath()) }},
 		{"atomfs+dcache", func() fsapi.FS { return dcache.New(atomfs.New()) }},
 		{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
@@ -185,11 +186,16 @@ func figure10(quick bool) {
 		names[i] = s.name
 	}
 	tab := benchutil.NewTable(names...)
+	hitrates := map[string][2]uint64{}
 	for _, w := range workloads {
 		for _, s := range systems {
 			fs := s.mk()
 			m := benchutil.Time(w.name, s.name, func() int64 { return w.run(fs).Ops })
 			tab.Add(m)
+			if h, f, ok := fastStats(fs); ok {
+				prev := hitrates[s.name]
+				hitrates[s.name] = [2]uint64{prev[0] + h, prev[1] + f}
+			}
 		}
 	}
 	if emitCSV {
@@ -199,6 +205,7 @@ func figure10(quick bool) {
 	}
 	tab.Render(os.Stdout)
 	fmt.Println()
+	printHitRates(hitrates)
 	fmt.Println("paper shape: DFSCQ needs 1.38x-2.52x the time of AtomFS; AtomFS is slower than tmpfs and ext4")
 	for _, w := range workloads {
 		fmt.Printf("  %-12s dfscq/atomfs = %.2fx   atomfs/tmpfs = %.2fx\n",
@@ -218,6 +225,7 @@ func figure11(personality string, maxThreads int, quick bool) {
 		mk   func() fsapi.FS
 	}{
 		{"atomfs", func() fsapi.FS { return atomfs.New(atomfs.WithBlocks(1 << 19)) }},
+		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath(), atomfs.WithBlocks(1<<19)) }},
 		{"atomfs-biglock", func() fsapi.FS { return atomfs.New(atomfs.WithBigLock(), atomfs.WithBlocks(1<<19)) }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
 	}
@@ -235,6 +243,7 @@ func figure11(personality string, maxThreads int, quick bool) {
 		threadCounts = append(threadCounts, maxThreads)
 	}
 
+	hitrates := map[string][2]uint64{}
 	for _, s := range systems {
 		for _, th := range threadCounts {
 			fs := s.mk()
@@ -272,12 +281,17 @@ func figure11(personality string, maxThreads int, quick bool) {
 				os.Exit(2)
 			}
 			series.Add(s.name, th, m)
+			if h, f, ok := fastStats(fs); ok {
+				prev := hitrates[s.name]
+				hitrates[s.name] = [2]uint64{prev[0] + h, prev[1] + f}
+			}
 		}
 	}
 	if emitCSV {
 		series.RenderCSV(os.Stdout)
 	} else {
 		series.Render(os.Stdout)
+		printHitRates(hitrates)
 	}
 	maxT := threadCounts[len(threadCounts)-1]
 	atomT := series.Throughput("atomfs", maxT)
@@ -294,4 +308,29 @@ func figure11(personality string, maxThreads int, quick bool) {
 		}
 	}
 	fmt.Println()
+}
+
+// fastStats extracts lockless fast-path counters from systems that expose
+// them (atomfs with WithFastPath).
+func fastStats(fs fsapi.FS) (hits, falls uint64, ok bool) {
+	s, ok := fs.(interface{ FastPathStats() (uint64, uint64) })
+	if !ok {
+		return 0, 0, false
+	}
+	hits, falls = s.FastPathStats()
+	return hits, falls, hits+falls > 0
+}
+
+// printHitRates reports per-system fast-path hit rates accumulated across
+// a figure's runs.
+func printHitRates(hitrates map[string][2]uint64) {
+	for _, name := range []string{"atomfs-fastpath"} {
+		hr, ok := hitrates[name]
+		if !ok {
+			continue
+		}
+		total := hr[0] + hr[1]
+		fmt.Printf("%s fast-path hit rate: %.1f%% (%d hits, %d fallbacks)\n",
+			name, 100*float64(hr[0])/float64(total), hr[0], hr[1])
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/ilock"
+	"repro/internal/pathname"
 	"repro/internal/spec"
 )
 
@@ -56,6 +57,13 @@ const (
 	// HookStepped fires after a coupled traversal step completes (child
 	// locked, parent released); the operation holds exactly the child.
 	HookStepped
+	// HookFastWalk fires, under WithFastPath only, right after a read-only
+	// operation snapshots the mutation sequence counter and before its
+	// lockless walk: parking here lets a test commit a namespace mutation
+	// inside the fast path's window and force a validation failure.
+	HookFastWalk
+	// HookFastLP fires just before the fast path's validation/LP attempt.
+	HookFastLP
 )
 
 // HookEvent describes one hook firing.
@@ -95,6 +103,18 @@ type FS struct {
 	big     ilock.Mutex
 	unsafe  bool
 
+	// Lockless read fast path (WithFastPath): mseq is the per-FS namespace
+	// mutation sequence counter, bumped inside the critical section of
+	// every ins/del/rename (the analogue of Linux's rename_lock, widened
+	// to all namespace mutations); seqMu serializes the bump sections so
+	// mseq keeps seqlock semantics. Read-only operations snapshot mseq,
+	// walk without locks, and linearize at a successful re-validation.
+	fastPath  bool
+	seqMu     sync.Mutex
+	mseq      ilock.SeqCount
+	fastHits  atomic.Uint64
+	fastFalls atomic.Uint64
+
 	regMu    sync.RWMutex
 	registry map[spec.Inum]*node
 }
@@ -121,6 +141,15 @@ func WithUnsafeTraversal() Option { return func(fs *FS) { fs.unsafe = true } }
 // WithHook installs an instrumentation hook.
 func WithHook(h HookFunc) Option { return func(fs *FS) { fs.SetHook(h) } }
 
+// WithFastPath enables the lockless read fast path: Stat, Read and Readdir
+// first attempt an RCU-walk-style traversal that takes no locks on the way
+// down, locks only the final inode, and linearizes at a successful
+// validation of the namespace sequence counter; on a conflicting mutation
+// they fall back to the unchanged lock-coupled slow path. Incompatible
+// with WithBigLock (big-lock operations mutate without per-inode locks, so
+// a fast-path reader could observe torn file data).
+func WithFastPath() Option { return func(fs *FS) { fs.fastPath = true } }
+
 // WithBlocks sizes the ramdisk in blocks (default 1<<18 blocks = 1 GiB).
 func WithBlocks(n int) Option {
 	return func(fs *FS) { fs.store = block.NewStore(n) }
@@ -138,6 +167,9 @@ func New(opts ...Option) *FS {
 	if fs.bigLock && fs.mon != nil {
 		panic("atomfs: WithBigLock cannot be monitored")
 	}
+	if fs.bigLock && fs.fastPath {
+		panic("atomfs: WithBigLock cannot take the lockless fast path")
+	}
 	fs.root = &node{ino: spec.RootIno, kind: spec.KindDir, dir: dir.New[*node]()}
 	fs.nextIno.Store(int64(spec.RootIno) + 1)
 	fs.registry[spec.RootIno] = fs.root
@@ -154,9 +186,18 @@ func (fs *FS) Name() string {
 		return "atomfs-biglock"
 	case fs.unsafe:
 		return "atomfs-unsafe"
+	case fs.fastPath:
+		return "atomfs-fastpath"
 	default:
 		return "atomfs"
 	}
+}
+
+// FastPathStats reports how many read-only operations completed on the
+// lockless fast path and how many fell back to the lock-coupled slow path
+// (validation failure or torn read). Zero/zero unless WithFastPath.
+func (fs *FS) FastPathStats() (hits, fallbacks uint64) {
+	return fs.fastHits.Load(), fs.fastFalls.Load()
 }
 
 func (fs *FS) newNode(kind spec.Kind) *node {
@@ -178,15 +219,75 @@ type op struct {
 	s    *core.Session // nil when unmonitored
 	tid  uint64
 	kind spec.Op
+	// Reusable path-component buffers, pooled with the op. Components are
+	// substrings of the caller's path string, so nothing they point at is
+	// recycled; only the slice storage is. Rename needs both.
+	parts  []string
+	parts2 []string
+	// ptid is the struct's persistent unmonitored thread id. A pooled op
+	// is exclusively owned between Get and Put, so a once-per-struct id is
+	// unique among live operations — no per-operation atomic increment.
+	ptid uint64
 }
 
+// split parses path into o's pooled component buffer; the result is valid
+// until o.end. Grown storage is kept for the op's next reuse.
+func (o *op) split(path string) ([]string, error) {
+	parts, err := pathname.SplitAppend(path, o.parts[:0])
+	if cap(parts) > cap(o.parts) {
+		o.parts = parts
+	}
+	return parts, err
+}
+
+// splitDir is split for a parent-components + final-name parse.
+func (o *op) splitDir(path string) ([]string, string, error) {
+	dir, name, err := pathname.SplitDirAppend(path, o.parts[:0])
+	if cap(dir) > cap(o.parts) {
+		o.parts = dir
+	}
+	return dir, name, err
+}
+
+// splitDir2 is splitDir on the second buffer (rename's destination path).
+func (o *op) splitDir2(path string) ([]string, string, error) {
+	dir, name, err := pathname.SplitDirAppend(path, o.parts2[:0])
+	if cap(dir) > cap(o.parts2) {
+		o.parts2 = dir
+	}
+	return dir, name, err
+}
+
+// opPool recycles op structs across operations: begin is on every hot
+// path, and the struct never outlives its end call. Pooled ops carry
+// their unmonitored tid (1<<32 range; ref-FD operations use 1<<33, and
+// monitored sessions use small monitor-issued ids, so the ranges never
+// collide).
+var opTids atomic.Uint64
+var opPool = sync.Pool{New: func() any { return &op{ptid: opTids.Add(1) | 1<<32} }}
+
 func (fs *FS) begin(kind spec.Op, args spec.Args) *op {
-	o := &op{fs: fs, kind: kind}
+	return fs.beginOp(kind, args, false)
+}
+
+// beginRead starts a read-only operation: under the monitor it registers a
+// read-only session, whose fast path may linearize at a validation point.
+func (fs *FS) beginRead(kind spec.Op, args spec.Args) *op {
+	return fs.beginOp(kind, args, fs.fastPath)
+}
+
+func (fs *FS) beginOp(kind spec.Op, args spec.Args, readonly bool) *op {
+	o := opPool.Get().(*op)
+	o.fs, o.kind, o.s = fs, kind, nil
 	if fs.mon != nil {
-		o.s = fs.mon.Begin(kind, args)
+		if readonly {
+			o.s = fs.mon.BeginRead(kind, args)
+		} else {
+			o.s = fs.mon.Begin(kind, args)
+		}
 		o.tid = o.s.Tid()
 	} else {
-		o.tid = fs.nextTid.Add(1) | 1<<32
+		o.tid = o.ptid
 	}
 	if fs.bigLock {
 		fs.big.Lock(o.tid)
@@ -194,13 +295,35 @@ func (fs *FS) begin(kind spec.Op, args spec.Args) *op {
 	return o
 }
 
-// end closes the operation and converts the result.
+// end closes the operation, converts the result, and recycles the op.
 func (o *op) end(ret spec.Ret) spec.Ret {
 	if o.fs.bigLock {
 		o.fs.big.Unlock(o.tid)
 	}
 	o.s.End(ret)
+	o.fs, o.s = nil, nil
+	opPool.Put(o)
 	return ret
+}
+
+// mutBegin/mutEnd bracket the committing section of a namespace mutation
+// (link insert/delete plus the LP) with the fast path's sequence counter.
+// seqMu serializes concurrent mutators' bump sections — mutations deep in
+// disjoint subtrees hold disjoint inode locks — so the counter keeps
+// seqlock semantics. Without WithFastPath there are no lockless readers to
+// invalidate and the slow path stays byte-for-byte as before.
+func (o *op) mutBegin() {
+	if o.fs.fastPath {
+		o.fs.seqMu.Lock()
+		o.fs.mseq.Begin()
+	}
+}
+
+func (o *op) mutEnd() {
+	if o.fs.fastPath {
+		o.fs.mseq.End()
+		o.fs.seqMu.Unlock()
+	}
 }
 
 // SetHook installs (or, with nil, removes) the instrumentation hook.
@@ -253,16 +376,18 @@ func (o *op) renameLP() {
 // walk traverses parts starting from locked cur with lock coupling. keep,
 // when non-nil, is a node whose lock must survive the walk (rename's
 // common ancestor): it is never released even when the walk moves past
-// it. On success the final node is locked (plus keep and extras); on error
-// the operation is linearized at the failure point and every held lock —
-// the current node, keep, and the extras — is released.
-func (o *op) walk(branch core.Branch, cur *node, parts []string, keep *node, extras ...*node) (*node, error) {
+// it. extra, when non-nil, is one more held node (rename's source parent
+// during the destination walk). On success the final node is locked (plus
+// keep and extra); on error the operation is linearized at the failure
+// point and every held lock — the current node, keep, and extra — is
+// released.
+func (o *op) walk(branch core.Branch, cur *node, parts []string, keep, extra *node) (*node, error) {
 	for _, name := range parts {
 		prev := cur
 		next, err := o.stepKeeping(branch, cur, name, keep)
 		if err != nil {
 			o.lp()
-			o.unlockSet(append([]*node{prev, keep}, extras...)...)
+			o.unlockSet(prev, keep, extra)
 			return nil, err
 		}
 		cur = next
@@ -301,5 +426,5 @@ func (o *op) stepKeeping(branch core.Branch, cur *node, name string, keep *node)
 // locked.
 func (o *op) traverse(branch core.Branch, parts []string) (*node, error) {
 	o.lock(branch, "", o.fs.root)
-	return o.walk(branch, o.fs.root, parts, nil)
+	return o.walk(branch, o.fs.root, parts, nil, nil)
 }

@@ -2,9 +2,12 @@ package atomfs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/fsapi"
 	"repro/internal/fstest"
+	"repro/internal/retryfs"
 )
 
 // The microbenchmarks below ground the virtual-tick cost model of
@@ -156,4 +159,136 @@ func BenchmarkRefFDVsPath(b *testing.B) {
 			}
 		}
 	})
+}
+
+// fastPathSystems are the contenders for the fast-path benchmarks: the
+// lock-coupling baseline, the same tree with the lockless fast path, and
+// retryfs (whole-walk seqlock retry, the ext4-like design) as the target
+// to chase.
+func fastPathSystems() []struct {
+	name string
+	mk   func() fsapi.FS
+} {
+	return []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return New() }},
+		{"atomfs-fastpath", func() fsapi.FS { return New(WithFastPath()) }},
+		{"retryfs", func() fsapi.FS { return retryfs.New() }},
+	}
+}
+
+// benchTree builds /p0/p1/.../p{depth-1} with a payload file "f" at the
+// bottom and returns the directory and file paths.
+func benchTree(b *testing.B, fs fsapi.FS, depth int) (dir, file string) {
+	b.Helper()
+	for i := 0; i < depth; i++ {
+		dir = fmt.Sprintf("%s/p%d", dir, i)
+		if err := fs.Mkdir(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	file = dir + "/f"
+	if err := fs.Mknod(file); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fs.Write(file, 0, []byte("0123456789abcdef")); err != nil {
+		b.Fatal(err)
+	}
+	return dir, file
+}
+
+// BenchmarkFastPath is the headline comparison for the lockless read fast
+// path. read-mostly-95-5 is the target workload: 95% stats/reads of a
+// deep path, 5% namespace churn in the same subtree, with goroutine
+// parallelism so the baseline pays root-lock convoying while the fast
+// path walks through untouched. stat-pure and stat-shallow isolate the
+// per-operation cost with no mutators at all.
+func BenchmarkFastPath(b *testing.B) {
+	const depth = 8
+	b.Run("read-mostly-95-5", func(b *testing.B) {
+		for _, s := range fastPathSystems() {
+			s := s
+			b.Run(s.name, func(b *testing.B) {
+				fs := s.mk()
+				dir, file := benchTree(b, fs, depth)
+				var ids atomic.Uint64
+				b.SetParallelism(8)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						i++
+						switch {
+						case i%40 == 10:
+							id := ids.Add(1)
+							fs.Mknod(fmt.Sprintf("%s/m%d", dir, id))
+						case i%40 == 30:
+							fs.Unlink(fmt.Sprintf("%s/m%d", dir, ids.Load()))
+						case i%2 == 0:
+							if _, err := fs.Stat(file); err != nil {
+								b.Error(err)
+								return
+							}
+						default:
+							if _, err := fs.Read(file, 0, 16); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				})
+				reportHitRate(b, fs)
+			})
+		}
+	})
+	b.Run("stat-pure", func(b *testing.B) {
+		for _, s := range fastPathSystems() {
+			s := s
+			b.Run(s.name, func(b *testing.B) {
+				fs := s.mk()
+				_, file := benchTree(b, fs, depth)
+				b.SetParallelism(8)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := fs.Stat(file); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				reportHitRate(b, fs)
+			})
+		}
+	})
+	b.Run("stat-shallow", func(b *testing.B) {
+		for _, s := range fastPathSystems() {
+			s := s
+			b.Run(s.name, func(b *testing.B) {
+				fs := s.mk()
+				_, file := benchTree(b, fs, 2)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fs.Stat(file); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportHitRate(b, fs)
+			})
+		}
+	})
+}
+
+// reportHitRate attaches the fast-path hit rate as a custom metric when
+// the system exposes one.
+func reportHitRate(b *testing.B, fs fsapi.FS) {
+	type statter interface{ FastPathStats() (uint64, uint64) }
+	if s, ok := fs.(statter); ok {
+		hits, falls := s.FastPathStats()
+		if hits+falls > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+falls), "hit_rate")
+		}
+	}
 }

@@ -1,0 +1,146 @@
+package atomfs
+
+// The lockless read fast path (WithFastPath): an RCU-walk-style traversal
+// in the spirit of Linux's rcu-walk + rename_lock, adapted to AtomFS and to
+// the CRL-H verification story.
+//
+// Protocol, for Stat/Read/Readdir:
+//
+//  1. snapshot the namespace mutation counter (fs.mseq.Read);
+//  2. walk the path with no locks at all — every shared load along the way
+//     (directory bucket heads, entry next pointers) is atomic, and
+//     dir.Table's RCU-hlist discipline guarantees each individual lookup
+//     sees either a fully published entry or none;
+//  3. on a walk error, attempt to linearize the error result directly: if
+//     the counter is unchanged, no namespace mutation's critical section
+//     overlapped the walk, so the walk's observations were equivalent to an
+//     atomic snapshot and the error is the correct result;
+//  4. on reaching the target, lock ONLY the target inode and re-validate
+//     the counter before touching any of its content. The validation rules
+//     out that the node was unlinked since the snapshot (an unlink would
+//     have bumped the counter inside its critical section), so its blocks
+//     cannot have been freed or reused; and once validated under the lock,
+//     any later unlink must acquire the target's lock first and therefore
+//     orders entirely after us;
+//  5. read the result (size, data, names) under the target lock, then
+//     linearize at a second, final validation — under the monitor this is
+//     Session.LPValidated, which evaluates the validation inside the
+//     monitor's atomic block so that "counter unchanged" provably means "no
+//     mutation's Aop ran since the snapshot";
+//  6. any validation failure abandons the attempt and the operation runs
+//     the unchanged lock-coupled slow path (a single fallback, no retry
+//     loop: under heavy mutation the slow path's progress guarantee is the
+//     better one).
+//
+// The fast path acquires locks in the order [target inode] then [monitor
+// internals]; mutators acquire [inode locks] then [seqMu] then [monitor
+// internals]. Neither order cycles with the other because the fast path
+// holds exactly one inode lock and never seqMu.
+
+import (
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// fastWalk resolves parts from the root without taking any locks. Error
+// precedence mirrors the slow path's stepKeeping: a non-directory on the
+// path reports ErrNotDir before a missing entry reports ErrNotExist.
+func (o *op) fastWalk(parts []string) (*node, error) {
+	cur := o.fs.root
+	for _, name := range parts {
+		if cur.kind != spec.KindDir {
+			return nil, fserr.ErrNotDir
+		}
+		child, ok := cur.dir.Lookup(name)
+		if !ok {
+			return nil, fserr.ErrNotExist
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// lpValidated attempts to linearize the read-only operation at a validation
+// of the sequence snapshot. Unmonitored, the validation itself is the
+// linearization point; monitored, the session re-evaluates it inside the
+// monitor's atomic block and applies the Aop there.
+func (o *op) lpValidated(seq uint64) bool {
+	if o.s == nil {
+		return o.fs.mseq.Validate(seq)
+	}
+	fs := o.fs
+	return o.s.LPValidated(func() bool { return fs.mseq.Validate(seq) })
+}
+
+// fastTry runs one fast-path attempt: lockless walk, then — on success —
+// target-locked result extraction via result, then the validation LP.
+// result runs with the target locked and the snapshot already validated
+// once, so node content (data blocks, directory tables) is stable and
+// mutex-synchronized. ok=false means the caller must fall back to the slow
+// path; ret is only meaningful when ok.
+func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Ret, ok bool) {
+	fs := o.fs
+	seq := fs.mseq.Read()
+	o.fire(HookFastWalk, "", 0)
+	n, err := o.fastWalk(parts)
+	if err != nil {
+		// No lock held: the error linearizes at the validation alone.
+		o.fire(HookFastLP, "", 0)
+		if o.lpValidated(seq) {
+			return spec.ErrRet(err), true
+		}
+		return spec.Ret{}, false
+	}
+	// Lock only the target; the deliberate asymmetry with the slow path's
+	// lock coupling is the whole point. The monitor is NOT told about this
+	// acquisition: a read-only session's fast path contributes no LockPath,
+	// and its LP obligation is discharged by LPValidated instead.
+	n.lk.Lock(o.tid)
+	if !fs.mseq.Validate(seq) {
+		n.lk.Unlock(o.tid)
+		return spec.Ret{}, false
+	}
+	ret = result(n)
+	o.fire(HookFastLP, "", 0)
+	ok = o.lpValidated(seq)
+	n.lk.Unlock(o.tid)
+	if !ok {
+		return spec.Ret{}, false
+	}
+	return ret, true
+}
+
+// fastStat is Stat's fast path.
+func (o *op) fastStat(parts []string) (spec.Ret, bool) {
+	return o.fastTry(parts, func(n *node) spec.Ret {
+		ret := spec.Ret{Kind: n.kind}
+		if n.kind == spec.KindFile {
+			ret.Size = n.data.Size()
+		} else {
+			ret.Size = int64(n.dir.Len())
+		}
+		return ret
+	})
+}
+
+// fastRead is Read's fast path.
+func (o *op) fastRead(parts []string, off int64, size int) (spec.Ret, bool) {
+	return o.fastTry(parts, func(n *node) spec.Ret {
+		if n.kind == spec.KindDir {
+			return spec.ErrRet(fserr.ErrIsDir)
+		}
+		buf := make([]byte, size)
+		rn, _ := n.data.ReadAt(buf, off)
+		return spec.Ret{Data: buf[:rn:rn], N: rn}
+	})
+}
+
+// fastReaddir is Readdir's fast path.
+func (o *op) fastReaddir(parts []string) (spec.Ret, bool) {
+	return o.fastTry(parts, func(n *node) spec.Ret {
+		if n.kind != spec.KindDir {
+			return spec.ErrRet(fserr.ErrNotDir)
+		}
+		return spec.Ret{Names: n.dir.Names()}
+	})
+}

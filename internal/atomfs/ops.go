@@ -51,7 +51,7 @@ func (fs *FS) Mkdir(path string) error { return fs.ins(spec.OpMkdir, spec.KindDi
 
 func (fs *FS) ins(opKind spec.Op, kind spec.Kind, path string) error {
 	o := fs.begin(opKind, spec.Args{Path: path})
-	dirParts, name, err := pathname.SplitDir(path)
+	dirParts, name, err := o.splitDir(path)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
@@ -70,8 +70,10 @@ func (fs *FS) ins(opKind spec.Op, kind spec.Kind, path string) error {
 		return o.end(spec.ErrRet(fserr.ErrExist)).Err
 	}
 	child := fs.newNode(kind)
+	o.mutBegin()
 	parent.dir.Insert(name, child)
 	o.lp() // ▶ LP: INS ◀
+	o.mutEnd()
 	o.unlock(parent)
 	return o.end(spec.OkRet()).Err
 }
@@ -84,7 +86,7 @@ func (fs *FS) Unlink(path string) error { return fs.del(spec.OpUnlink, spec.Kind
 
 func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
 	o := fs.begin(opKind, spec.Args{Path: path})
-	dirParts, name, err := pathname.SplitDir(path)
+	dirParts, name, err := o.splitDir(path)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
@@ -120,9 +122,11 @@ func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
 		o.unlockSet(child, parent)
 		return o.end(spec.ErrRet(fserr.ErrIsDir)).Err
 	}
+	o.mutBegin()
 	parent.dir.Delete(name)
 	child.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
 	o.lp()                         // ▶ LP: DEL ◀
+	o.mutEnd()
 	o.unlockSet(child, parent)
 	fs.maybeFree(child)
 	return o.end(spec.OkRet()).Err
@@ -130,10 +134,18 @@ func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
 
 // Stat reports an inode's kind and size.
 func (fs *FS) Stat(path string) (fsapi.Info, error) {
-	o := fs.begin(spec.OpStat, spec.Args{Path: path})
-	parts, err := pathname.Split(path)
+	o := fs.beginRead(spec.OpStat, spec.Args{Path: path})
+	parts, err := o.split(path)
 	if err != nil {
 		return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
+	}
+	if fs.fastPath {
+		if ret, ok := o.fastStat(parts); ok {
+			fs.fastHits.Add(1)
+			o.end(ret)
+			return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, ret.Err
+		}
+		fs.fastFalls.Add(1)
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
@@ -153,13 +165,21 @@ func (fs *FS) Stat(path string) (fsapi.Info, error) {
 
 // Read returns up to size bytes at off.
 func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	o := fs.begin(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
+	o := fs.beginRead(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
 	if off < 0 || size < 0 {
 		return nil, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}
-	parts, err := pathname.Split(path)
+	parts, err := o.split(path)
 	if err != nil {
 		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	if fs.fastPath {
+		if ret, ok := o.fastRead(parts, off, size); ok {
+			fs.fastHits.Add(1)
+			o.end(ret)
+			return ret.Data, ret.Err
+		}
+		fs.fastFalls.Add(1)
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
@@ -188,7 +208,7 @@ func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
 	if off+int64(len(data)) > file.MaxSize {
 		return 0, o.end(spec.ErrRet(fserr.ErrNoSpace)).Err
 	}
-	parts, err := pathname.Split(path)
+	parts, err := o.split(path)
 	if err != nil {
 		return 0, o.end(spec.ErrRet(err)).Err
 	}
@@ -220,7 +240,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 	if size < 0 || size > file.MaxSize {
 		return o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}
-	parts, err := pathname.Split(path)
+	parts, err := o.split(path)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
@@ -247,10 +267,18 @@ func (fs *FS) Truncate(path string, size int64) error {
 
 // Readdir lists a directory's entry names in sorted order.
 func (fs *FS) Readdir(path string) ([]string, error) {
-	o := fs.begin(spec.OpReaddir, spec.Args{Path: path})
-	parts, err := pathname.Split(path)
+	o := fs.beginRead(spec.OpReaddir, spec.Args{Path: path})
+	parts, err := o.split(path)
 	if err != nil {
 		return nil, o.end(spec.ErrRet(err)).Err
+	}
+	if fs.fastPath {
+		if ret, ok := o.fastReaddir(parts); ok {
+			fs.fastHits.Add(1)
+			o.end(ret)
+			return ret.Names, ret.Err
+		}
+		fs.fastFalls.Add(1)
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
@@ -275,21 +303,19 @@ func (fs *FS) Readdir(path string) ([]string, error) {
 // helper linearization point.
 func (fs *FS) Rename(src, dst string) error {
 	o := fs.begin(spec.OpRename, spec.Args{Path: src, Path2: dst})
-	sdirParts, sn, err := pathname.SplitDir(src)
+	sdirParts, sn, err := o.splitDir(src)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
-	ddirParts, dn, err := pathname.SplitDir(dst)
+	ddirParts, dn, err := o.splitDir2(dst)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
-	srcParts := append(append([]string{}, sdirParts...), sn)
-	dstParts := append(append([]string{}, ddirParts...), dn)
 
 	// Hand-over-hand down the common prefix of the two parent paths.
 	commonLen := pathname.CommonPrefixLen(sdirParts, ddirParts)
 	o.lock(core.BranchBoth, "", fs.root)
-	lca, err := o.walk(core.BranchBoth, fs.root, sdirParts[:commonLen], nil)
+	lca, err := o.walk(core.BranchBoth, fs.root, sdirParts[:commonLen], nil, nil)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
@@ -297,7 +323,7 @@ func (fs *FS) Rename(src, dst string) error {
 	// Source branch; the LCA lock survives the walk.
 	sdir := lca
 	if len(sdirParts) > commonLen {
-		sdir, err = o.walk(core.BranchSrc, lca, sdirParts[commonLen:], lca)
+		sdir, err = o.walk(core.BranchSrc, lca, sdirParts[commonLen:], lca, nil)
 		if err != nil {
 			return o.end(spec.ErrRet(err)).Err
 		}
@@ -313,12 +339,12 @@ func (fs *FS) Rename(src, dst string) error {
 		o.unlockSet(sdir, lca)
 		return o.end(spec.ErrRet(fserr.ErrNotExist)).Err
 	}
-	if samePath(srcParts, dstParts) {
+	if samePathSplit(sdirParts, sn, ddirParts, dn) {
 		o.lp()
 		o.unlockSet(sdir, lca)
 		return o.end(spec.OkRet()).Err
 	}
-	if pathname.IsPrefix(srcParts, dstParts) {
+	if srcPrefixOfDst(sdirParts, sn, ddirParts, dn) {
 		o.lp()
 		o.unlockSet(sdir, lca)
 		return o.end(spec.ErrRet(fserr.ErrInvalid)).Err
@@ -369,6 +395,7 @@ func (fs *FS) Rename(src, dst string) error {
 	}
 	o.lock(core.BranchSrc, sn, snode)
 
+	o.mutBegin()
 	if dnode != nil {
 		ddir.dir.Delete(dn)
 		dnode.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
@@ -376,6 +403,7 @@ func (fs *FS) Rename(src, dst string) error {
 	sdir.dir.Delete(sn)
 	ddir.dir.Insert(dn, snode)
 	o.renameLP() // ▶ LP: linothers(t); RENAME ◀
+	o.mutEnd()
 	o.unlockSet(snode, dnode, sdir, ddir)
 	if dnode != nil && dnode != sdir {
 		fs.maybeFree(dnode)
@@ -383,14 +411,41 @@ func (fs *FS) Rename(src, dst string) error {
 	return o.end(spec.OkRet()).Err
 }
 
-func samePath(a, b []string) bool {
-	if len(a) != len(b) {
+// samePathSplit reports whether the paths (adir, an) and (bdir, bn) —
+// each a parent-component slice plus final name — are identical. Working
+// on the split form avoids materializing the joined part slices on
+// rename's hot path.
+func samePathSplit(adir []string, an string, bdir []string, bn string) bool {
+	if len(adir) != len(bdir) || an != bn {
 		return false
 	}
-	for i := range a {
-		if a[i] != b[i] {
+	for i := range adir {
+		if adir[i] != bdir[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// srcPrefixOfDst reports whether src = sdir+[sn] is a (non-strict) prefix
+// of dst = ddir+[dn]: rename's "is the destination inside the source
+// subtree?" check, again without materializing the joined slices.
+func srcPrefixOfDst(sdir []string, sn string, ddir []string, dn string) bool {
+	if len(sdir)+1 > len(ddir)+1 {
+		return false
+	}
+	for i := range sdir {
+		if sdir[i] != dstAt(ddir, dn, i) {
+			return false
+		}
+	}
+	return sn == dstAt(ddir, dn, len(sdir))
+}
+
+// dstAt indexes the virtual slice ddir+[dn].
+func dstAt(ddir []string, dn string, i int) string {
+	if i < len(ddir) {
+		return ddir[i]
+	}
+	return dn
 }

@@ -16,12 +16,13 @@ import (
 // implementation; only the unsupported-feature probes may fail.
 func TestAllVariantsConform(t *testing.T) {
 	variants := map[string]func() fsapi.FS{
-		"atomfs":         func() fsapi.FS { return atomfs.New() },
-		"atomfs-biglock": func() fsapi.FS { return atomfs.New(atomfs.WithBigLock()) },
-		"memfs":          func() fsapi.FS { return memfs.New() },
-		"retryfs":        func() fsapi.FS { return retryfs.New() },
-		"slowfs":         func() fsapi.FS { return slowfs.NewWithCost(memfs.New(), 10, 1) },
-		"dcache":         func() fsapi.FS { return dcache.New(atomfs.New()) },
+		"atomfs":          func() fsapi.FS { return atomfs.New() },
+		"atomfs-biglock":  func() fsapi.FS { return atomfs.New(atomfs.WithBigLock()) },
+		"atomfs-fastpath": func() fsapi.FS { return atomfs.New(atomfs.WithFastPath()) },
+		"memfs":           func() fsapi.FS { return memfs.New() },
+		"retryfs":         func() fsapi.FS { return retryfs.New() },
+		"slowfs":          func() fsapi.FS { return slowfs.NewWithCost(memfs.New(), 10, 1) },
+		"dcache":          func() fsapi.FS { return dcache.New(atomfs.New()) },
 	}
 	for name, mk := range variants {
 		name, mk := name, mk
@@ -38,25 +39,37 @@ func TestAllVariantsConform(t *testing.T) {
 	}
 }
 
-// TestMonitoredAtomFSConforms runs the catalogue on a monitored AtomFS and
-// requires zero CRL-H violations across every case.
+// TestMonitoredAtomFSConforms runs the catalogue on a monitored AtomFS —
+// with and without the lockless fast path — and requires zero CRL-H
+// violations across every case.
 func TestMonitoredAtomFSConforms(t *testing.T) {
-	var monitors []*core.Monitor
-	s := Run("atomfs-monitored", func() fsapi.FS {
-		mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
-		monitors = append(monitors, mon)
-		return atomfs.New(atomfs.WithMonitor(mon))
-	})
-	for _, f := range s.FailedCases() {
-		t.Errorf("failed: %s", f)
-	}
-	for _, mon := range monitors {
-		for _, v := range mon.Violations() {
-			t.Errorf("violation: %s", v)
-		}
-		if err := mon.Quiesce(); err != nil {
-			t.Errorf("quiesce: %v", err)
-		}
+	for _, tc := range []struct {
+		name string
+		opts []atomfs.Option
+	}{
+		{"atomfs-monitored", nil},
+		{"atomfs-fastpath-monitored", []atomfs.Option{atomfs.WithFastPath()}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var monitors []*core.Monitor
+			s := Run(tc.name, func() fsapi.FS {
+				mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+				monitors = append(monitors, mon)
+				return atomfs.New(append([]atomfs.Option{atomfs.WithMonitor(mon)}, tc.opts...)...)
+			})
+			for _, f := range s.FailedCases() {
+				t.Errorf("failed: %s", f)
+			}
+			for _, mon := range monitors {
+				for _, v := range mon.Violations() {
+					t.Errorf("violation: %s", v)
+				}
+				if err := mon.Quiesce(); err != nil {
+					t.Errorf("quiesce: %v", err)
+				}
+			}
+		})
 	}
 }
 

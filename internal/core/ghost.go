@@ -122,6 +122,12 @@ type Descriptor struct {
 	effects []spec.Effect
 	held    map[spec.Inum]int // currently held locks (count, for re-grants)
 	started time.Time         // registration time (watchdog)
+	// readonly marks a read-only session (BeginRead): the operation may
+	// attempt a lockless fast path whose LP is an LPValidated call, outside
+	// any critical section. Such a walk reports no lock acquisitions, so
+	// the LockPath invariants have nothing to check until (and unless) the
+	// operation falls back to its locked slow path.
+	readonly bool
 }
 
 func (d *Descriptor) isRename() bool { return d.op == spec.OpRename }

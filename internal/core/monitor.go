@@ -148,16 +148,32 @@ type Session struct {
 
 // Begin registers an operation in the ThreadPool and returns its session.
 func (m *Monitor) Begin(op spec.Op, args spec.Args) *Session {
+	return m.begin(op, args, false)
+}
+
+// BeginRead registers a read-only operation (stat/read/readdir) that may
+// first attempt a lockless fast-path walk. A read-only session takes no
+// part in the LockPath ghost state until it reports a lock: its fast path
+// linearizes at an explicit validation point (LPValidated) instead of
+// inside a critical section, and on validation failure the operation falls
+// back to the locked slow path, after which the session behaves exactly
+// like an ordinary one.
+func (m *Monitor) BeginRead(op spec.Op, args spec.Args) *Session {
+	return m.begin(op, args, true)
+}
+
+func (m *Monitor) begin(op spec.Op, args spec.Args, readonly bool) *Session {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTid++
 	tid := m.nextTid
 	d := &Descriptor{
-		tid:     tid,
-		op:      op,
-		args:    args,
-		held:    map[spec.Inum]int{},
-		started: time.Now(),
+		tid:      tid,
+		op:       op,
+		args:     args,
+		held:     map[spec.Inum]int{},
+		started:  time.Now(),
+		readonly: readonly,
 	}
 	src, dst, ok := expectedNames(op, args)
 	d.walks = []*walk{{expect: src}}
@@ -258,6 +274,53 @@ func (s *Session) LP() {
 		m.violate(ViolProtocol, d.tid, "%s %s: LP outside any critical section", d.op, d.args)
 	}
 	m.linearize(d, d.tid)
+}
+
+// LPValidated is the linearization point of a read-only fast path: the
+// seqlock-validated lockless walk of atomfs (§5.1's RCU-walk analogue).
+// Under the monitor's atomic block it evaluates validate — typically a
+// SeqCount.Validate against the sequence snapshot taken before the walk —
+// and, if the namespace is unchanged, executes the operation's Aop right
+// there: the validation IS the external evidence that the lockless walk's
+// observations were consistent with the current abstract state, so the LP
+// may fire without any lock held (the shared-data protocol's critical-
+// section obligation is discharged by the sequence counter instead).
+//
+// It returns whether validation passed. On false nothing is linearized;
+// the operation must discard its fast-path result and retry on the locked
+// slow path, whose ordinary LP then applies.
+//
+// Evaluating validate while holding the monitor's lock is what makes the
+// claim sound: every namespace mutation bumps the sequence counter inside
+// the same critical section in which its own LP executes, so "sequence
+// unchanged, observed under m.mu" implies no mutation's Aop ran between
+// the walk's snapshot and this LP.
+func (s *Session) LPValidated(validate func() bool) bool {
+	if s == nil {
+		return validate()
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if !d.readonly {
+		m.violate(ViolProtocol, d.tid, "%s %s: LPValidated on a non-read-only session", d.op, d.args)
+	}
+	// A non-empty Helplist means some operation was linearized early by a
+	// rename's linothers and its abstract effects are not concretely visible
+	// yet. The slow path is ordered after such an operation by the locks it
+	// still holds on the traversal path; the fast path bypasses those locks,
+	// so it must not linearize past the helped effects. Fall back instead —
+	// the slow path's lock coupling restores the ordering.
+	if !validate() || len(m.helplist) != 0 {
+		m.stats.FastFallbacks++
+		return false
+	}
+	if d.state != AopDone {
+		m.linearize(d, d.tid)
+		m.stats.FastReads++
+	}
+	return true
 }
 
 // RenameLP is rename's linearization point. In ModeHelpers it runs
@@ -479,6 +542,11 @@ type Stats struct {
 	Linearized int
 	Helped     int
 	MaxHelpSet int
+	// FastReads counts read-only operations linearized at a validation
+	// point (lockless fast path); FastFallbacks counts validation failures
+	// that sent the operation to the locked slow path.
+	FastReads     int
+	FastFallbacks int
 }
 
 // Stats returns the activity counters.

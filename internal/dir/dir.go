@@ -4,13 +4,36 @@
 //
 // A Table maps entry names to values of any type (the concurrent file
 // systems store inode pointers; the reference model stores inode numbers).
-// Tables are NOT internally synchronized: in AtomFS each table is protected
-// by its owning inode's lock, which is exactly the paper's per-inode locking
-// discipline, so adding another lock here would hide bugs the monitor is
-// supposed to catch.
+// Tables are NOT internally synchronized for writers: in AtomFS each table
+// is mutated only under its owning inode's lock, which is exactly the
+// paper's per-inode locking discipline, so adding a table lock here would
+// hide bugs the monitor is supposed to catch.
+//
+// Readers, however, may run lock-free: the bucket heads and the per-entry
+// next pointers are atomic, and mutations follow the RCU-hlist idiom —
+//
+//   - Insert fully initializes an entry (name, value, next) before
+//     publishing it with a single atomic store of the bucket head, so a
+//     concurrent Lookup sees either the old list or the complete new entry,
+//     never a partially built one;
+//   - Delete unlinks an entry by atomically re-pointing its predecessor
+//     (or the bucket head) and leaves the removed entry's own next pointer
+//     intact, so a reader standing on it keeps a consistent view of the
+//     remainder of the chain;
+//   - names and values are immutable once published.
+//
+// Each individual Lookup is therefore linearizable against locked writers.
+// Multi-step path walks built from such lookups additionally need a
+// namespace sequence counter to rule out cross-directory renames weaving
+// an inconsistent path (see internal/atomfs's fast path). Len, Names and
+// Range still require the owning inode's lock (or quiescence): the entry
+// count and enumeration are only writer-consistent.
 package dir
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 const (
 	// nBuckets is the fixed hash-table width. The paper's prototype uses a
@@ -21,13 +44,13 @@ const (
 type entry[V any] struct {
 	name string
 	val  V
-	next *entry[V]
+	next atomic.Pointer[entry[V]]
 }
 
 // Table is a name -> value map with deterministic, sorted enumeration.
 // The zero value is not usable; call New.
 type Table[V any] struct {
-	buckets [nBuckets]*entry[V]
+	buckets [nBuckets]atomic.Pointer[entry[V]]
 	n       int
 }
 
@@ -50,9 +73,11 @@ func fnv1a(s string) uint32 {
 
 func bucketOf(name string) int { return int(fnv1a(name) % nBuckets) }
 
-// Lookup returns the value bound to name.
+// Lookup returns the value bound to name. It is safe to call without the
+// owning lock, concurrently with locked Insert/Delete/writers, and then
+// observes the chain either before or after each individual mutation.
 func (t *Table[V]) Lookup(name string) (V, bool) {
-	for e := t.buckets[bucketOf(name)]; e != nil; e = e.next {
+	for e := t.buckets[bucketOf(name)].Load(); e != nil; e = e.next.Load() {
 		if e.name == name {
 			return e.val, true
 		}
@@ -64,30 +89,38 @@ func (t *Table[V]) Lookup(name string) (V, bool) {
 // Insert binds name to val. It reports false (and changes nothing) if name
 // is already present: the file systems check existence and insert under one
 // inode lock, so a duplicate insert is a caller bug surfaced as a failure.
+// Callers must hold the owning inode's lock.
 func (t *Table[V]) Insert(name string, val V) bool {
 	b := bucketOf(name)
-	for e := t.buckets[b]; e != nil; e = e.next {
+	head := t.buckets[b].Load()
+	for e := head; e != nil; e = e.next.Load() {
 		if e.name == name {
 			return false
 		}
 	}
-	t.buckets[b] = &entry[V]{name: name, val: val, next: t.buckets[b]}
+	e := &entry[V]{name: name, val: val}
+	e.next.Store(head)
+	// Publish last: lock-free readers either miss e entirely or see it
+	// fully initialized.
+	t.buckets[b].Store(e)
 	t.n++
 	return true
 }
 
 // Delete removes name, returning its value and whether it was present.
+// Callers must hold the owning inode's lock. The unlinked entry keeps its
+// next pointer so lock-free readers standing on it finish their traversal.
 func (t *Table[V]) Delete(name string) (V, bool) {
 	b := bucketOf(name)
 	var prev *entry[V]
-	for e := t.buckets[b]; e != nil; prev, e = e, e.next {
+	for e := t.buckets[b].Load(); e != nil; prev, e = e, e.next.Load() {
 		if e.name != name {
 			continue
 		}
 		if prev == nil {
-			t.buckets[b] = e.next
+			t.buckets[b].Store(e.next.Load())
 		} else {
-			prev.next = e.next
+			prev.next.Store(e.next.Load())
 		}
 		t.n--
 		return e.val, true
@@ -96,16 +129,17 @@ func (t *Table[V]) Delete(name string) (V, bool) {
 	return zero, false
 }
 
-// Len returns the number of entries.
+// Len returns the number of entries. Callers must hold the owning inode's
+// lock (or guarantee quiescence).
 func (t *Table[V]) Len() int { return t.n }
 
 // Names returns all entry names in sorted order (readdir's enumeration
 // order, kept deterministic so concrete results compare equal to the
-// abstract specification's).
+// abstract specification's). Callers must hold the owning inode's lock.
 func (t *Table[V]) Names() []string {
 	names := make([]string, 0, t.n)
 	for i := range t.buckets {
-		for e := t.buckets[i]; e != nil; e = e.next {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
 			names = append(names, e.name)
 		}
 	}
@@ -114,10 +148,10 @@ func (t *Table[V]) Names() []string {
 }
 
 // Range calls fn for every entry until fn returns false. Iteration order is
-// unspecified.
+// unspecified. Callers must hold the owning inode's lock.
 func (t *Table[V]) Range(fn func(name string, val V) bool) {
 	for i := range t.buckets {
-		for e := t.buckets[i]; e != nil; e = e.next {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
 			if !fn(e.name, e.val) {
 				return
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -153,4 +154,45 @@ func TestPropertyVsModelMap(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestLockFreeReaders races lock-free Lookups against a locked writer
+// churning inserts and deletes. Run with -race: the RCU-hlist discipline
+// (publish-before-insert, predecessor re-pointing on delete, immutable
+// entries) must keep every read either before or after each mutation,
+// and a Lookup must never observe a half-built entry.
+func TestLockFreeReaders(t *testing.T) {
+	tb := New[int]()
+	var mu sync.Mutex // the "owning inode lock" of the contract
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		rg.Add(1)
+		go func(w int) {
+			defer rg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("k%d", (i+w)%32)
+				if v, ok := tb.Lookup(name); ok && v < 0 {
+					t.Errorf("lookup %s: torn value %d", name, v)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 20000; i++ {
+		name := fmt.Sprintf("k%d", i%32)
+		mu.Lock()
+		if _, ok := tb.Lookup(name); ok {
+			tb.Delete(name)
+		} else {
+			tb.Insert(name, i)
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	rg.Wait()
 }

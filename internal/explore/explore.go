@@ -70,33 +70,50 @@ func (r Result) String() string {
 		r.Ops, r.Parks, r.Helped, len(r.Violations), r.Linearizable, r.OrderLegal, r.QuiesceErr)
 }
 
+// parkee is one parked operation: its wake channel and whether it is a
+// namespace mutator (mkdir/mknod/rmdir/unlink/rename).
+type parkee struct {
+	ch  chan struct{}
+	mut bool
+}
+
 // controller parks and releases operations.
 type controller struct {
 	mu     sync.Mutex
 	r      *rand.Rand
 	prob   float64
-	queue  []chan struct{}
+	queue  []parkee
 	parked int
 	off    bool
 }
 
 // maybePark blocks the calling operation with probability prob until the
 // scheduler goroutine releases it.
-func (c *controller) maybePark() {
+func (c *controller) maybePark(op spec.Op) {
 	c.mu.Lock()
 	if c.off || c.r.Float64() >= c.prob {
 		c.mu.Unlock()
 		return
 	}
+	mut := false
+	switch op {
+	case spec.OpMkdir, spec.OpMknod, spec.OpRmdir, spec.OpUnlink, spec.OpRename:
+		mut = true
+	}
 	ch := make(chan struct{})
-	c.queue = append(c.queue, ch)
+	c.queue = append(c.queue, parkee{ch: ch, mut: mut})
 	c.parked++
 	c.mu.Unlock()
 	<-ch
 }
 
-// releaseOne releases a random parked operation, reporting whether one
-// was found.
+// releaseOne releases a parked operation, reporting whether one was found.
+// It is biased toward releasing namespace mutators before read-only
+// operations: the schedules that tell linearization strategies apart are
+// precisely the ones where a mutation commits around a suspended
+// traversal, so keeping readers parked while writers run maximizes both
+// helping (ModeHelpers) and Figure-1 exposure (ModeFixedLP). The bias is
+// probabilistic, not absolute, so reader-before-writer orders still occur.
 func (c *controller) releaseOne() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -104,7 +121,18 @@ func (c *controller) releaseOne() bool {
 		return false
 	}
 	i := c.r.Intn(len(c.queue))
-	close(c.queue[i])
+	if !c.queue[i].mut && c.r.Float64() < 0.75 {
+		muts := make([]int, 0, len(c.queue))
+		for j, p := range c.queue {
+			if p.mut {
+				muts = append(muts, j)
+			}
+		}
+		if len(muts) > 0 {
+			i = muts[c.r.Intn(len(muts))]
+		}
+	}
+	close(c.queue[i].ch)
 	c.queue = append(c.queue[:i], c.queue[i+1:]...)
 	return true
 }
@@ -113,29 +141,53 @@ func (c *controller) releaseOne() bool {
 func (c *controller) drain() {
 	c.mu.Lock()
 	c.off = true
-	for _, ch := range c.queue {
-		close(ch)
+	for _, p := range c.queue {
+		close(p.ch)
 	}
 	c.queue = nil
 	c.mu.Unlock()
 }
 
 // renameHeavy generates the op mix that exercises helping: renames of
-// shallow directories interleaved with deep creates/stats/deletes.
+// shallow directories interleaved with deep creates/stats/deletes. The
+// stats are biased toward the pre-created f0 files: a stat whose concrete
+// walk succeeds while a rename commits around it is exactly the Figure-1
+// interleaving, and it only distinguishes fixed-LP from helped
+// linearization when the target actually exists (both modes agree on
+// ENOENT results).
 func renameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
 	dirs := []string{"/a", "/a/b", "/c"}
 	deep := func() string {
+		if r.Intn(2) == 0 {
+			return dirs[r.Intn(len(dirs))] + "/f0"
+		}
 		return fmt.Sprintf("%s/n%d", dirs[r.Intn(len(dirs))], r.Intn(3))
 	}
-	switch r.Intn(6) {
+	switch r.Intn(8) {
 	case 0, 1:
+		// Half the renames shuttle /a <-> /d: the moves that actually
+		// relocate a populated subtree (and with it the f0 files the stats
+		// aim at). The rest draw src != dst from the wider pool; same-path
+		// no-ops teach the schedule nothing.
+		if r.Intn(2) == 0 {
+			pair := [2]string{"/a", "/d"}
+			if r.Intn(2) == 0 {
+				pair = [2]string{"/d", "/a"}
+			}
+			return spec.OpRename, spec.Args{Path: pair[0], Path2: pair[1]}
+		}
 		tops := []string{"/a", "/c", "/d", "/a/b"}
-		return spec.OpRename, spec.Args{Path: tops[r.Intn(len(tops))], Path2: tops[r.Intn(len(tops))]}
+		src := tops[r.Intn(len(tops))]
+		dst := tops[r.Intn(len(tops))]
+		for dst == src {
+			dst = tops[r.Intn(len(tops))]
+		}
+		return spec.OpRename, spec.Args{Path: src, Path2: dst}
 	case 2:
 		return spec.OpMkdir, spec.Args{Path: deep()}
 	case 3:
 		return spec.OpMknod, spec.Args{Path: deep()}
-	case 4:
+	case 4, 5, 6:
 		return spec.OpStat, spec.Args{Path: deep()}
 	default:
 		return spec.OpRmdir, spec.Args{Path: deep()}
@@ -157,10 +209,18 @@ func Run(cfg Config) Result {
 			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
 		}
 	}
+	// Files that exist from the start: stats racing renames must be able to
+	// succeed concretely, or the Figure-1 phenomenon (fixed-LP abstract
+	// ENOENT vs concrete success) never becomes observable.
+	for _, f := range []string{"/a/f0", "/a/b/f0", "/c/f0"} {
+		if err := fs.Mknod(f); err != nil {
+			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
+		}
+	}
 	pre := mon.AbstractState()
 	cut := rec.Len()
 
-	fs.SetHook(func(ev atomfs.HookEvent) { ctl.maybePark() })
+	fs.SetHook(func(ev atomfs.HookEvent) { ctl.maybePark(ev.Op) })
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
@@ -198,8 +258,15 @@ loop:
 			<-done
 			return Result{QuiesceErr: fmt.Errorf("explore: run deadlocked")}
 		default:
-			if !ctl.releaseOne() {
-				time.Sleep(50 * time.Microsecond)
+			if ctl.releaseOne() {
+				// Pacing is what makes the windows real: the released
+				// operation gets a moment to run — often to completion —
+				// while everyone else stays parked. Without it the queue
+				// drains in microseconds and a rename almost never commits
+				// around a parked traversal.
+				time.Sleep(30 * time.Microsecond)
+			} else {
+				time.Sleep(10 * time.Microsecond)
 			}
 		}
 	}

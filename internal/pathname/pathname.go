@@ -27,7 +27,7 @@ func ValidName(name string) error {
 		return fserr.ErrInvalid
 	case len(name) > MaxNameLen:
 		return fserr.ErrNameTooLong
-	case strings.ContainsAny(name, "/\x00"):
+	case strings.IndexByte(name, '/') >= 0 || strings.IndexByte(name, 0) >= 0:
 		return fserr.ErrInvalid
 	}
 	return nil
@@ -38,29 +38,51 @@ func ValidName(name string) error {
 // tolerated (as in POSIX pathname resolution); every component is validated
 // with ValidName.
 func Split(path string) ([]string, error) {
+	return SplitAppend(path, nil)
+}
+
+// SplitAppend is Split parsing into buf's storage. Callers on hot paths
+// keep a per-operation buffer and pass buf[:0] so that steady-state
+// parsing performs no allocation; the returned slice aliases buf whenever
+// its capacity suffices. The components themselves are substrings of
+// path, so they stay valid after buf is reused.
+func SplitAppend(path string, buf []string) ([]string, error) {
 	if len(path) > MaxPathLen {
 		return nil, fserr.ErrNameTooLong
 	}
 	if path == "" || path[0] != '/' {
 		return nil, fserr.ErrInvalid
 	}
-	if path == "/" {
-		return nil, nil
+	if strings.IndexByte(path, 0) >= 0 {
+		return nil, fserr.ErrInvalid
 	}
-	raw := strings.Split(path[1:], "/")
-	parts := make([]string, 0, len(raw))
-	for i, c := range raw {
-		if c == "" {
-			// Tolerate "//" and a trailing "/".
-			if i == len(raw)-1 {
-				continue
-			}
+	parts := buf[:0]
+	if cap(parts) == 0 && len(path) > 1 {
+		// No caller buffer: allocate once at the worst-case component
+		// count instead of letting append double repeatedly.
+		parts = make([]string, 0, strings.Count(path, "/"))
+	}
+	// Single manual scan: components are short, so one byte compare per
+	// character beats per-component IndexByte calls. Slash and NUL are
+	// already excluded (split boundary, pre-scan), leaving ValidName's
+	// "", ".", ".." and length checks to do inline.
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i < len(path) && path[i] != '/' {
 			continue
 		}
-		if err := ValidName(c); err != nil {
-			return nil, err
+		c := path[start:i]
+		start = i + 1
+		switch {
+		case c == "":
+			// Tolerate "//" and a trailing "/".
+		case c == "." || c == "..":
+			return nil, fserr.ErrInvalid
+		case len(c) > MaxNameLen:
+			return nil, fserr.ErrNameTooLong
+		default:
+			parts = append(parts, c)
 		}
-		parts = append(parts, c)
 	}
 	return parts, nil
 }
@@ -69,7 +91,12 @@ func Split(path string) ([]string, error) {
 // final name. It fails with ErrInvalid on the root path, which has no
 // parent.
 func SplitDir(path string) (dir []string, name string, err error) {
-	parts, err := Split(path)
+	return SplitDirAppend(path, nil)
+}
+
+// SplitDirAppend is SplitDir with SplitAppend's buffer-reuse contract.
+func SplitDirAppend(path string, buf []string) (dir []string, name string, err error) {
+	parts, err := SplitAppend(path, buf)
 	if err != nil {
 		return nil, "", err
 	}

@@ -172,3 +172,47 @@ func TestPropertyIsPrefixViaCommonPrefix(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSplitAppendReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 8)
+	parts, err := SplitAppend("/a/b/c", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 || &parts[0] != &buf[:1][0] {
+		t.Fatalf("parts = %v, not aliasing caller buffer", parts)
+	}
+	// Reusing the buffer must not disturb components already extracted:
+	// they are substrings of the original path, not buffer contents.
+	a := parts[0]
+	parts2, err := SplitAppend("/x/y", parts[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != "a" || parts2[0] != "x" || parts2[1] != "y" {
+		t.Fatalf("reuse corrupted components: %q %v", a, parts2)
+	}
+}
+
+func TestSplitAppendAgreesWithSplit(t *testing.T) {
+	buf := make([]string, 0, 4)
+	for _, p := range []string{"/", "/a", "/a/b/c", "//a//b/", "/a/../b", "/a\x00b", "", "a/b"} {
+		want, werr := Split(p)
+		got, gerr := SplitAppend(p, buf[:0])
+		if (werr == nil) != (gerr == nil) || (werr == nil && !equal(want, got)) {
+			t.Errorf("Split(%q) = %v,%v but SplitAppend = %v,%v", p, want, werr, got, gerr)
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
