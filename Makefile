@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-json figures conform interdep loc clean
+.PHONY: all build test race verify bench bench-json obs-overhead figures conform interdep loc clean
 
 all: build test
 
@@ -33,6 +33,11 @@ bench:
 # Perf trajectory artifact: FastPath + Fig-10/Fig-11 matrix as JSON.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_fastpath.json
+
+# Observability overhead gate: the instrumented fast path must stay
+# within 5% of the uninstrumented one on read-mostly-95-5.
+obs-overhead:
+	$(GO) run ./cmd/obsguard
 
 figures:
 	$(GO) run ./cmd/fsbench -fig all

@@ -37,6 +37,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/memfs"
+	"repro/internal/obs"
 	"repro/internal/retryfs"
 	"repro/internal/slowfs"
 	"repro/internal/spec"
@@ -72,6 +73,19 @@ func WithBlocks(n int) Option { return atomfs.WithBlocks(n) }
 // Readdir attempt a seqlock-validated no-lock traversal and fall back to
 // lock coupling on conflict (see DESIGN.md §7).
 func WithFastPath() Option { return atomfs.WithFastPath() }
+
+// Registry is a lock-free metrics registry plus flight recorder; see
+// DESIGN.md §8 and the internal/obs package documentation.
+type Registry = obs.Registry
+
+// NewObsRegistry creates an empty metrics registry with a flight
+// recorder, for use with WithObs and Monitor's MonitorConfig.Obs.
+func NewObsRegistry() *Registry { return obs.NewRegistry() }
+
+// WithObs instruments the file system into reg: per-op counters and
+// latency histograms, lock wait/hold times, fast-path outcome counters,
+// and sampled flight-recorder events (see DESIGN.md §8).
+func WithObs(reg *Registry) Option { return atomfs.WithObs(reg) }
 
 // HookEvent describes an instrumentation-point firing inside AtomFS;
 // HookFunc receives them on the operation's goroutine, so blocking in a

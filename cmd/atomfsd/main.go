@@ -2,19 +2,30 @@
 // protocol (internal/fuse) on a TCP address — the userspace-daemon role
 // AtomFS plays under FUSE in the paper. Any number of clients (fuse.Dial,
 // or the atomfs.Dial public API) can mount it concurrently; the daemon
-// can optionally run under the CRL-H monitor and report violations on
-// shutdown.
+// can optionally run under the CRL-H monitor, and reports violations the
+// moment they are detected as well as on shutdown.
 //
 // Usage:
 //
 //	atomfsd -addr 127.0.0.1:7433
-//	atomfsd -addr :7433 -monitor
+//	atomfsd -addr :7433 -monitor -debug :6060
+//
+// With -debug, the daemon serves its observability surface over HTTP:
+//
+//	curl http://localhost:6060/metrics          # Prometheus text
+//	curl http://localhost:6060/debug/vars       # expvar-style JSON
+//	curl http://localhost:6060/debug/flightrec  # flight-recorder dump
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
+// SIGUSR1 dumps the same metrics and the flight recorder to stderr,
+// debug server or not.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,19 +34,43 @@ import (
 	"repro/internal/atomfs"
 	"repro/internal/core"
 	"repro/internal/fuse"
+	"repro/internal/obs"
+	"repro/internal/spec"
 )
+
+func opNamer(op uint8) string { return spec.Op(op).String() }
+
+func dumpObs(reg *obs.Registry) {
+	fmt.Fprintln(os.Stderr, "atomfsd: --- metrics ---")
+	reg.WritePrometheus(os.Stderr)
+	fmt.Fprintln(os.Stderr, "atomfsd: --- flight recorder ---")
+	obs.WriteEvents(os.Stderr, reg.FlightRecorder().Snapshot(), opNamer)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "TCP listen address")
 	unix := flag.String("unix", "", "listen on a unix socket path instead of TCP")
 	monitored := flag.Bool("monitor", false, "run under the CRL-H monitor")
 	blocks := flag.Int("blocks", 1<<18, "ramdisk size in 4KiB blocks")
+	debug := flag.String("debug", "", "serve /metrics, /debug/vars, /debug/flightrec and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
-	opts := []atomfs.Option{atomfs.WithBlocks(*blocks)}
+	// The daemon is always instrumented; -debug only controls whether the
+	// HTTP surface is exposed. SIGUSR1 dumps work either way.
+	reg := obs.NewRegistry()
+	opts := []atomfs.Option{atomfs.WithBlocks(*blocks), atomfs.WithObs(reg)}
 	var mon *core.Monitor
 	if *monitored {
-		mon = core.NewMonitor(core.Config{CheckGoodAFS: false})
+		mon = core.NewMonitor(core.Config{
+			CheckGoodAFS: false,
+			Obs:          reg,
+			// Surface violations the moment they happen rather than only at
+			// shutdown; the callback runs inside the monitor's critical
+			// section, so it only formats and writes.
+			OnViolation: func(v core.Violation) {
+				fmt.Fprintf(os.Stderr, "atomfsd: CRL-H VIOLATION: %s\n", v)
+			},
+		})
 		opts = append(opts, atomfs.WithMonitor(mon))
 		// Surface stuck operations (deadlocks, leaked sessions) with the
 		// ghost state that explains them.
@@ -57,6 +92,22 @@ func main() {
 		os.Exit(1)
 	}
 	srv := fuse.NewServer(fs)
+	srv.SetObs(reg)
+
+	if *debug != "" {
+		dbgLis, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("atomfsd: debug endpoints on http://%s\n", dbgLis.Addr())
+		go func() {
+			if err := http.Serve(dbgLis, obs.NewDebugMux(reg, opNamer)); err != nil {
+				fmt.Fprintf(os.Stderr, "atomfsd: debug server: %v\n", err)
+			}
+		}()
+	}
+
 	fmt.Printf("atomfsd: serving on %s (monitor=%v, ramdisk=%d MiB)\n",
 		lis.Addr(), *monitored, *blocks*4/1024)
 
@@ -66,6 +117,13 @@ func main() {
 		<-sig
 		fmt.Println("atomfsd: shutting down")
 		srv.Close()
+	}()
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			dumpObs(reg)
+		}
 	}()
 
 	if err := srv.Serve(lis); err != nil {
@@ -79,6 +137,10 @@ func main() {
 			fmt.Printf("  %s\n", v)
 		}
 		if len(vs) > 0 {
+			if dump := mon.FlightDump(); len(dump) > 0 {
+				fmt.Fprintln(os.Stderr, "atomfsd: flight recorder at first violation:")
+				obs.WriteEvents(os.Stderr, dump, opNamer)
+			}
 			os.Exit(1)
 		}
 	}

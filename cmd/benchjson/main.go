@@ -1,9 +1,10 @@
 // Command benchjson runs the performance-trajectory benchmark matrix —
 // the FastPath family plus Fig-10/Fig-11-style workloads — outside `go
 // test` and writes the results as JSON (one record per benchmark: name,
-// ns/op, allocs/op, fast-path hit rate). The committed BENCH_fastpath.json
-// is produced by `make bench-json`; future changes regenerate it to track
-// the perf curve across PRs.
+// ns/op, allocs/op, fast-path hit/fallback/retry counts, and sampled
+// latency quantiles from the obs registry). The committed
+// BENCH_fastpath.json is produced by `make bench-json`; future changes
+// regenerate it to track the perf curve across PRs.
 //
 // Usage:
 //
@@ -18,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/atomfs"
 	"repro/internal/fsapi"
 	"repro/internal/memfs"
+	"repro/internal/obs"
 	"repro/internal/retryfs"
 	"repro/internal/workload"
 )
@@ -33,12 +36,32 @@ type record struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	AllocsPerOp int64    `json:"allocs_per_op"`
 	HitRate     *float64 `json:"fastpath_hit_rate,omitempty"`
+	// The following come from the obs registry when the system under test
+	// carries one (the atomfs variants); absent otherwise.
+	FastHits    *uint64  `json:"fastpath_hits,omitempty"`
+	FastFalls   *uint64  `json:"fastpath_fallbacks,omitempty"`
+	FastRetries *uint64  `json:"fastpath_seq_spins,omitempty"`
+	LatP50Ns    *float64 `json:"lat_p50_ns,omitempty"`
+	LatP99Ns    *float64 `json:"lat_p99_ns,omitempty"`
 }
 
 type report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	GoArch     string   `json:"goarch"`
 	Results    []record `json:"results"`
+}
+
+// sysUnderTest couples a file system with the obs registry it reports
+// into (nil for baselines without instrumentation).
+type sysUnderTest struct {
+	fs  fsapi.FS
+	reg *obs.Registry
+}
+
+func atomfsSys(extra ...atomfs.Option) sysUnderTest {
+	reg := obs.NewRegistry()
+	opts := append([]atomfs.Option{atomfs.WithObs(reg)}, extra...)
+	return sysUnderTest{fs: atomfs.New(opts...), reg: reg}
 }
 
 func main() {
@@ -48,11 +71,11 @@ func main() {
 
 	systems := []struct {
 		name string
-		mk   func() fsapi.FS
+		mk   func() sysUnderTest
 	}{
-		{"atomfs", func() fsapi.FS { return atomfs.New() }},
-		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath()) }},
-		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
+		{"atomfs", func() sysUnderTest { return atomfsSys() }},
+		{"atomfs-fastpath", func() sysUnderTest { return atomfsSys(atomfs.WithFastPath()) }},
+		{"ext4~retryfs", func() sysUnderTest { return sysUnderTest{fs: retryfs.New()} }},
 	}
 
 	var results []record
@@ -62,8 +85,8 @@ func main() {
 	}
 	fig10 := append(systems, struct {
 		name string
-		mk   func() fsapi.FS
-	}{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }})
+		mk   func() sysUnderTest
+	}{"tmpfs~memfs", func() sysUnderTest { return sysUnderTest{fs: memfs.New()} }})
 	for _, s := range fig10 {
 		results = append(results, benchRuns("fig10/git-clone/"+s.name, s.mk, workload.GitClone))
 	}
@@ -94,41 +117,87 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
 }
 
+// fillObs extracts per-cell fast-path counters and sampled latency
+// quantiles from the registry the system reported into during the final
+// (longest) benchmark run.
+func fillObs(rec *record, sut sysUnderTest) {
+	if s, ok := sut.fs.(interface{ FastPathStats() (uint64, uint64) }); ok {
+		if h, f := s.FastPathStats(); h+f > 0 {
+			rate := float64(h) / float64(h+f)
+			rec.HitRate = &rate
+		}
+	}
+	reg := sut.reg
+	if reg == nil {
+		return
+	}
+	if v, ok := reg.FuncValue("atomfs_fastpath_hits_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.FastHits = &u
+	}
+	if v, ok := reg.FuncValue("atomfs_fastpath_fallbacks_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.FastFalls = &u
+	}
+	if v := reg.Counter("atomfs_fastpath_seq_spins_total").Value(); v > 0 {
+		rec.FastRetries = &v
+	}
+	// Merge the per-op latency histograms into one per-cell distribution.
+	// The samples are the obs layer's traced subset (all mutators plus
+	// 1-in-N reads), so quantiles are estimates, not a census.
+	var merged obs.HistSnapshot
+	reg.EachHistogram(func(name string, h *obs.Histogram) {
+		if strings.HasPrefix(name, "atomfs_op_latency_ns") {
+			merged.Merge(h.Snapshot())
+		}
+	})
+	if merged.Count > 0 {
+		p50, p99 := merged.Quantile(0.50), merged.Quantile(0.99)
+		rec.LatP50Ns, rec.LatP99Ns = &p50, &p99
+	}
+}
+
+func printRec(rec record) {
+	line := fmt.Sprintf("%-44s %10.1f ns/op %6d allocs/op", rec.Name, rec.NsPerOp, rec.AllocsPerOp)
+	if rec.HitRate != nil {
+		line += fmt.Sprintf("  hit=%.3f", *rec.HitRate)
+	}
+	if rec.LatP50Ns != nil {
+		line += fmt.Sprintf("  p50=%.0fns p99=%.0fns", *rec.LatP50Ns, *rec.LatP99Ns)
+	}
+	fmt.Println(line)
+}
+
 // benchFS runs one benchmark body via testing.Benchmark and extracts
-// ns/op, allocs/op, and — when the system exposes counters — the
-// fast-path hit rate of the final (longest) run.
-func benchFS(name string, mk func() fsapi.FS, body func(*testing.B, fsapi.FS)) record {
-	var fs fsapi.FS
+// ns/op, allocs/op, and the obs-derived per-cell stats of the final
+// (longest) run.
+func benchFS(name string, mk func() sysUnderTest, body func(*testing.B, fsapi.FS)) record {
+	var sut sysUnderTest
 	r := testing.Benchmark(func(b *testing.B) {
-		fs = mk()
-		body(b, fs)
+		sut = mk()
+		body(b, sut.fs)
 	})
 	rec := record{
 		Name:        name,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
-	if s, ok := fs.(interface{ FastPathStats() (uint64, uint64) }); ok {
-		if h, f := s.FastPathStats(); h+f > 0 {
-			rate := float64(h) / float64(h+f)
-			rec.HitRate = &rate
-		}
-	}
-	fmt.Printf("%-44s %10.1f ns/op %6d allocs/op\n", name, rec.NsPerOp, rec.AllocsPerOp)
+	fillObs(&rec, sut)
+	printRec(rec)
 	return rec
 }
 
 // benchRuns benchmarks a whole-workload run on a fresh file system per
 // iteration (application workloads mutate the tree, so they cannot rerun
 // in place).
-func benchRuns(name string, mk func() fsapi.FS, run func(fsapi.FS) workload.Result) record {
-	var last fsapi.FS
+func benchRuns(name string, mk func() sysUnderTest, run func(fsapi.FS) workload.Result) record {
+	var last sysUnderTest
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			fs := mk()
-			run(fs)
-			last = fs
+			sut := mk()
+			run(sut.fs)
+			last = sut
 		}
 	})
 	rec := record{
@@ -136,13 +205,8 @@ func benchRuns(name string, mk func() fsapi.FS, run func(fsapi.FS) workload.Resu
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
-	if s, ok := last.(interface{ FastPathStats() (uint64, uint64) }); ok {
-		if h, f := s.FastPathStats(); h+f > 0 {
-			rate := float64(h) / float64(h+f)
-			rec.HitRate = &rate
-		}
-	}
-	fmt.Printf("%-44s %10.1f ns/op %6d allocs/op\n", name, rec.NsPerOp, rec.AllocsPerOp)
+	fillObs(&rec, last)
+	printRec(rec)
 	return rec
 }
 

@@ -24,8 +24,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/atomfs"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/memfs"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/retryfs"
 	"repro/internal/slowfs"
 	"repro/internal/workload"
@@ -156,14 +159,17 @@ func figure11sim(personality string, maxThreads int) {
 // design). All workloads use a single core, as in the paper.
 func figure10(quick bool) {
 	fmt.Println("=== Figure 10: application workloads (single-threaded running time) ===")
+	fo := newFigObs()
 	systems := []struct {
 		name string
 		mk   func() fsapi.FS
 	}{
-		{"dfscq~slowfs", func() fsapi.FS { return slowfs.New(atomfs.New()) }},
-		{"atomfs", func() fsapi.FS { return atomfs.New() }},
-		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath()) }},
-		{"atomfs+dcache", func() fsapi.FS { return dcache.New(atomfs.New()) }},
+		{"dfscq~slowfs", func() fsapi.FS { return slowfs.New(atomfs.New(atomfs.WithObs(fo.reg("dfscq~slowfs")))) }},
+		{"atomfs", func() fsapi.FS { return atomfs.New(atomfs.WithObs(fo.reg("atomfs"))) }},
+		{"atomfs-fastpath", func() fsapi.FS {
+			return atomfs.New(atomfs.WithFastPath(), atomfs.WithObs(fo.reg("atomfs-fastpath")))
+		}},
+		{"atomfs+dcache", func() fsapi.FS { return dcache.New(atomfs.New(atomfs.WithObs(fo.reg("atomfs+dcache")))) }},
 		{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
 	}
@@ -186,16 +192,11 @@ func figure10(quick bool) {
 		names[i] = s.name
 	}
 	tab := benchutil.NewTable(names...)
-	hitrates := map[string][2]uint64{}
 	for _, w := range workloads {
 		for _, s := range systems {
 			fs := s.mk()
 			m := benchutil.Time(w.name, s.name, func() int64 { return w.run(fs).Ops })
 			tab.Add(m)
-			if h, f, ok := fastStats(fs); ok {
-				prev := hitrates[s.name]
-				hitrates[s.name] = [2]uint64{prev[0] + h, prev[1] + f}
-			}
 		}
 	}
 	if emitCSV {
@@ -205,7 +206,7 @@ func figure10(quick bool) {
 	}
 	tab.Render(os.Stdout)
 	fmt.Println()
-	printHitRates(hitrates)
+	fo.footer(os.Stdout)
 	fmt.Println("paper shape: DFSCQ needs 1.38x-2.52x the time of AtomFS; AtomFS is slower than tmpfs and ext4")
 	for _, w := range workloads {
 		fmt.Printf("  %-12s dfscq/atomfs = %.2fx   atomfs/tmpfs = %.2fx\n",
@@ -220,13 +221,20 @@ func figure10(quick bool) {
 // the ext4 stand-in, speedup over their own single-thread throughput.
 func figure11(personality string, maxThreads int, quick bool) {
 	fmt.Printf("=== Figure 11: %s scalability (real execution, GOMAXPROCS=%d) ===\n", personality, runtime.GOMAXPROCS(0))
+	fo := newFigObs()
 	systems := []struct {
 		name string
 		mk   func() fsapi.FS
 	}{
-		{"atomfs", func() fsapi.FS { return atomfs.New(atomfs.WithBlocks(1 << 19)) }},
-		{"atomfs-fastpath", func() fsapi.FS { return atomfs.New(atomfs.WithFastPath(), atomfs.WithBlocks(1<<19)) }},
-		{"atomfs-biglock", func() fsapi.FS { return atomfs.New(atomfs.WithBigLock(), atomfs.WithBlocks(1<<19)) }},
+		{"atomfs", func() fsapi.FS {
+			return atomfs.New(atomfs.WithBlocks(1<<19), atomfs.WithObs(fo.reg("atomfs")))
+		}},
+		{"atomfs-fastpath", func() fsapi.FS {
+			return atomfs.New(atomfs.WithFastPath(), atomfs.WithBlocks(1<<19), atomfs.WithObs(fo.reg("atomfs-fastpath")))
+		}},
+		{"atomfs-biglock", func() fsapi.FS {
+			return atomfs.New(atomfs.WithBigLock(), atomfs.WithBlocks(1<<19), atomfs.WithObs(fo.reg("atomfs-biglock")))
+		}},
 		{"ext4~retryfs", func() fsapi.FS { return retryfs.New() }},
 	}
 	names := make([]string, len(systems))
@@ -243,7 +251,6 @@ func figure11(personality string, maxThreads int, quick bool) {
 		threadCounts = append(threadCounts, maxThreads)
 	}
 
-	hitrates := map[string][2]uint64{}
 	for _, s := range systems {
 		for _, th := range threadCounts {
 			fs := s.mk()
@@ -281,17 +288,13 @@ func figure11(personality string, maxThreads int, quick bool) {
 				os.Exit(2)
 			}
 			series.Add(s.name, th, m)
-			if h, f, ok := fastStats(fs); ok {
-				prev := hitrates[s.name]
-				hitrates[s.name] = [2]uint64{prev[0] + h, prev[1] + f}
-			}
 		}
 	}
 	if emitCSV {
 		series.RenderCSV(os.Stdout)
 	} else {
 		series.Render(os.Stdout)
-		printHitRates(hitrates)
+		fo.footer(os.Stdout)
 	}
 	maxT := threadCounts[len(threadCounts)-1]
 	atomT := series.Throughput("atomfs", maxT)
@@ -310,27 +313,78 @@ func figure11(personality string, maxThreads int, quick bool) {
 	fmt.Println()
 }
 
-// fastStats extracts lockless fast-path counters from systems that expose
-// them (atomfs with WithFastPath).
-func fastStats(fs fsapi.FS) (hits, falls uint64, ok bool) {
-	s, ok := fs.(interface{ FastPathStats() (uint64, uint64) })
-	if !ok {
-		return 0, 0, false
-	}
-	hits, falls = s.FastPathStats()
-	return hits, falls, hits+falls > 0
+// figObs holds one shared obs registry per instrumented system for the
+// duration of a figure: every run of that system reports into the same
+// registry, so the footer shows figure-wide accumulated stats.
+type figObs struct {
+	names []string
+	regs  map[string]*obs.Registry
 }
 
-// printHitRates reports per-system fast-path hit rates accumulated across
-// a figure's runs.
-func printHitRates(hitrates map[string][2]uint64) {
-	for _, name := range []string{"atomfs-fastpath"} {
-		hr, ok := hitrates[name]
-		if !ok {
+func newFigObs() *figObs { return &figObs{regs: map[string]*obs.Registry{}} }
+
+// reg returns (creating on first use) the figure-shared registry for a
+// system.
+func (f *figObs) reg(name string) *obs.Registry {
+	r, ok := f.regs[name]
+	if !ok {
+		r = obs.NewRegistry()
+		f.regs[name] = r
+		f.names = append(f.names, name)
+	}
+	return r
+}
+
+// sumPrefix totals every counter whose name starts with prefix (i.e. all
+// label variants of one metric family).
+func sumPrefix(r *obs.Registry, prefix string) uint64 {
+	var total uint64
+	r.EachCounter(func(name string, c *obs.Counter) {
+		if strings.HasPrefix(name, prefix) {
+			total += c.Value()
+		}
+	})
+	return total
+}
+
+// footer renders the uniform per-figure stats block: for each
+// instrumented system, operation totals, fast-path outcome counts, and
+// the sampled latency / lock-time distributions from the obs registry.
+func (f *figObs) footer(w io.Writer) {
+	if emitCSV {
+		return
+	}
+	for _, name := range f.names {
+		r := f.regs[name]
+		ops := sumPrefix(r, "atomfs_ops_total")
+		if ops == 0 {
 			continue
 		}
-		total := hr[0] + hr[1]
-		fmt.Printf("%s fast-path hit rate: %.1f%% (%d hits, %d fallbacks)\n",
-			name, 100*float64(hr[0])/float64(total), hr[0], hr[1])
+		line := fmt.Sprintf("obs[%s]: ops=%d", name, ops)
+		hitsV, _ := r.FuncValue("atomfs_fastpath_hits_total")
+		fallsV, _ := r.FuncValue("atomfs_fastpath_fallbacks_total")
+		hits, falls := uint64(hitsV), uint64(fallsV)
+		if att := hits + falls; att > 0 {
+			spins := r.Counter("atomfs_fastpath_seq_spins_total").Value()
+			line += fmt.Sprintf(" fastpath(hit=%.1f%% falls=%d spins=%d)",
+				100*float64(hits)/float64(att), falls, spins)
+		}
+		var lat obs.HistSnapshot
+		r.EachHistogram(func(hn string, h *obs.Histogram) {
+			if strings.HasPrefix(hn, "atomfs_op_latency_ns") {
+				lat.Merge(h.Snapshot())
+			}
+		})
+		if lat.Count > 0 {
+			line += fmt.Sprintf(" lat(p50=%s p99=%s)",
+				time.Duration(lat.Quantile(0.50)), time.Duration(lat.Quantile(0.99)))
+		}
+		if lw := r.Histogram("atomfs_lock_wait_ns").Snapshot(); lw.Count > 0 {
+			line += fmt.Sprintf(" lockwait(mean=%s)", time.Duration(lw.Mean()))
+		}
+		if lh := r.Histogram("atomfs_lock_hold_ns").Snapshot(); lh.Count > 0 {
+			line += fmt.Sprintf(" lockhold(mean=%s)", time.Duration(lh.Mean()))
+		}
+		fmt.Fprintln(w, line)
 	}
 }

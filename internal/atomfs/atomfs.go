@@ -34,6 +34,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/ilock"
+	"repro/internal/obs"
 	"repro/internal/pathname"
 	"repro/internal/spec"
 )
@@ -88,6 +89,9 @@ type node struct {
 	dir  *dir.Table[*node] // directories
 	data *file.Data        // files
 	ref  refState          // §5.4 FD support: pin count + unlinked flag
+	// lockedNs is the acquisition timestamp of the current traced holder
+	// (obs lock-hold accounting). Written and read only while holding lk.
+	lockedNs int64
 }
 
 // FS is an AtomFS instance. It implements fsapi.FS.
@@ -114,6 +118,12 @@ type FS struct {
 	mseq      ilock.SeqCount
 	fastHits  atomic.Uint64
 	fastFalls atomic.Uint64
+
+	// Observability (WithObs): cached instrument handles; nil when the
+	// file system runs against the no-op registry.
+	obs       *obsPack
+	obsReg    *obs.Registry
+	obsSample uint64
 
 	regMu    sync.RWMutex
 	registry map[spec.Inum]*node
@@ -155,6 +165,18 @@ func WithBlocks(n int) Option {
 	return func(fs *FS) { fs.store = block.NewStore(n) }
 }
 
+// WithObs attaches an observability registry: per-op-type latency and
+// counts, fast-path hit/fallback/seq-spin counters, lock wait/hold
+// histograms, and flight-recorder events. A nil registry leaves the file
+// system on the zero-overhead no-op path.
+func WithObs(reg *obs.Registry) Option { return func(fs *FS) { fs.obsReg = reg } }
+
+// WithObsSampleEvery sets the read-operation trace sampling period (1 =
+// trace every operation; default DefaultObsSampleEvery). Rounded up to a
+// power of two. Mutating operations and fast-path fallbacks are always
+// traced regardless.
+func WithObsSampleEvery(n uint64) Option { return func(fs *FS) { fs.obsSample = n } }
+
 // New creates an empty AtomFS.
 func New(opts ...Option) *FS {
 	fs := &FS{registry: map[spec.Inum]*node{}}
@@ -175,6 +197,9 @@ func New(opts ...Option) *FS {
 	fs.registry[spec.RootIno] = fs.root
 	if fs.mon != nil {
 		fs.mon.AttachView((*view)(fs))
+	}
+	if fs.obsReg != nil {
+		fs.obs = newObsPack(fs, fs.obsReg, fs.obsSample)
 	}
 	return fs
 }
@@ -228,6 +253,13 @@ type op struct {
 	// is exclusively owned between Get and Put, so a once-per-struct id is
 	// unique among live operations — no per-operation atomic increment.
 	ptid uint64
+	// Observability state (meaningful only while fs.obs != nil): traced
+	// marks this op as carrying full begin/end and lock tracing; startNs
+	// is the traced begin timestamp (0 = unset); spins is the seqlock
+	// retry count of the last fast-path snapshot.
+	startNs int64
+	spins   uint32
+	traced  bool
 }
 
 // split parses path into o's pooled component buffer; the result is valid
@@ -289,6 +321,9 @@ func (fs *FS) beginOp(kind spec.Op, args spec.Args, readonly bool) *op {
 	} else {
 		o.tid = o.ptid
 	}
+	if p := fs.obs; p != nil {
+		o.obsBegin(p, kind)
+	}
 	if fs.bigLock {
 		fs.big.Lock(o.tid)
 	}
@@ -299,6 +334,9 @@ func (fs *FS) beginOp(kind spec.Op, args spec.Args, readonly bool) *op {
 func (o *op) end(ret spec.Ret) spec.Ret {
 	if o.fs.bigLock {
 		o.fs.big.Unlock(o.tid)
+	}
+	if p := o.fs.obs; p != nil {
+		o.obsEnd(p)
 	}
 	o.s.End(ret)
 	o.fs, o.s = nil, nil
@@ -344,9 +382,22 @@ func (o *op) fire(p HookPoint, name string, ino spec.Inum) {
 }
 
 // lock acquires n's lock (a no-op under the big lock) and reports it.
+// Traced operations additionally time the acquisition wait, stamp the
+// node for hold-time accounting (lockedNs is mutex-synchronized: only
+// the holder touches it), and emit a lock-coupling event — the runtime
+// trace of the LockPath ghost state the monitor maintains.
 func (o *op) lock(branch core.Branch, name string, n *node) {
 	if !o.fs.bigLock {
-		n.lk.Lock(o.tid)
+		if p := o.fs.obs; p != nil && o.traced {
+			start := nowNano()
+			n.lk.Lock(o.tid)
+			now := nowNano()
+			n.lockedNs = now
+			p.lockWait.Observe(o.tid, now-start)
+			p.rec.EmitAt(now, o.tid, obs.EvLockAcq, uint8(o.kind), uint64(n.ino), uint64(now-start))
+		} else {
+			n.lk.Lock(o.tid)
+		}
 	}
 	o.s.Lock(branch, name, n.ino)
 	o.fire(HookLocked, name, n.ino)
@@ -354,6 +405,14 @@ func (o *op) lock(branch core.Branch, name string, n *node) {
 
 func (o *op) unlock(n *node) {
 	if !o.fs.bigLock {
+		if p := o.fs.obs; p != nil && o.traced {
+			now := nowNano()
+			if n.lockedNs != 0 {
+				p.lockHold.Observe(o.tid, now-n.lockedNs)
+				n.lockedNs = 0
+			}
+			p.rec.EmitAt(now, o.tid, obs.EvLockRel, uint8(o.kind), uint64(n.ino), 0)
+		}
 		n.lk.Unlock(o.tid)
 	}
 	o.s.Unlock(n.ino)

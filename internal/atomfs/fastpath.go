@@ -39,25 +39,30 @@ package atomfs
 
 import (
 	"repro/internal/fserr"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
-// fastWalk resolves parts from the root without taking any locks. Error
-// precedence mirrors the slow path's stepKeeping: a non-directory on the
-// path reports ErrNotDir before a missing entry reports ErrNotExist.
-func (o *op) fastWalk(parts []string) (*node, error) {
+// fastWalk resolves parts from the root without taking any locks,
+// additionally returning how many lock-free lookups it performed (the
+// caller accounts them in one sharded add; dir.Lookup itself is too hot
+// to count per component). Error precedence mirrors the slow path's
+// stepKeeping: a non-directory on the path reports ErrNotDir before a
+// missing entry reports ErrNotExist.
+func (o *op) fastWalk(parts []string) (n *node, steps int, err error) {
 	cur := o.fs.root
 	for _, name := range parts {
 		if cur.kind != spec.KindDir {
-			return nil, fserr.ErrNotDir
+			return nil, steps, fserr.ErrNotDir
 		}
+		steps++
 		child, ok := cur.dir.Lookup(name)
 		if !ok {
-			return nil, fserr.ErrNotExist
+			return nil, steps, fserr.ErrNotExist
 		}
 		cur = child
 	}
-	return cur, nil
+	return cur, steps, nil
 }
 
 // lpValidated attempts to linearize the read-only operation at a validation
@@ -80,9 +85,25 @@ func (o *op) lpValidated(seq uint64) bool {
 // path; ret is only meaningful when ok.
 func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Ret, ok bool) {
 	fs := o.fs
-	seq := fs.mseq.Read()
+	seq, spins := fs.mseq.ReadRetries()
+	if p := fs.obs; p != nil {
+		// No attempt counter or event here: an attempt is implied by the
+		// hit/fallback it always ends in, and this path is too hot for
+		// derivable accounting. Seqlock spins are the exception — rare,
+		// and the early signal of a fallback storm.
+		o.spins = uint32(spins)
+		if spins > 0 {
+			p.fastSpins.Add(o.tid, uint64(spins))
+			if o.traced {
+				p.rec.Emit(o.tid, obs.EvFastAttempt, uint8(o.kind), 0, uint64(spins))
+			}
+		}
+	}
 	o.fire(HookFastWalk, "", 0)
-	n, err := o.fastWalk(parts)
+	n, steps, err := o.fastWalk(parts)
+	if p := fs.obs; p != nil && o.traced && steps > 0 {
+		p.rcuWalkSteps.Add(uint64(steps))
+	}
 	if err != nil {
 		// No lock held: the error linearizes at the validation alone.
 		o.fire(HookFastLP, "", 0)

@@ -1,0 +1,170 @@
+package atomfs
+
+// Observability wiring for AtomFS (WithObs): per-op-type latency
+// histograms and counters, fast-path attempt/hit/fallback/seqlock-spin
+// counters, per-inode lock wait & hold histograms, and flight-recorder
+// events for op begin/end, lock coupling steps and fast-path outcomes.
+//
+// Cost discipline: the registry counters are always-on (a few sharded
+// atomic adds per operation), but clock reads and ring events are
+// *sampled* — 1 in sampleEvery ops carries full begin/end tracing —
+// because two time.Now calls plus two ring events would alone exceed
+// the fast path's ≤5% overhead budget, and a traced mutator's lock
+// coupling times and records every acquisition down a depth-N path.
+// The one always-on trace source is the fast-path fallback: fallbacks
+// are exactly the anomaly the flight recorder exists for, so every one
+// is recorded and promotes its operation to traced. Debugging setups
+// that want a complete log (the interleaving explorer, monitored
+// daemons under investigation) pass WithObsSampleEvery(1). make
+// obs-overhead enforces the budget against the no-op-registry baseline.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dir"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// DefaultObsSampleEvery is the default trace sampling period: 1 in this
+// many operations carries flight-recorder events and clock reads. At 64
+// the amortized trace cost sits well under a nanosecond per op while a
+// busy daemon still records hundreds of full op traces per second.
+const DefaultObsSampleEvery = 64
+
+const nOps = int(spec.OpReaddir) + 1
+
+// obsPack caches instrument handles so the hot path never touches the
+// registry's lock.
+type obsPack struct {
+	reg        *obs.Registry
+	rec        *obs.FlightRecorder
+	sampleMask uint64
+
+	opCount [nOps]*obs.Counter
+	opLat   [nOps]*obs.Histogram
+
+	lockWait *obs.Histogram
+	lockHold *obs.Histogram
+
+	fastSpins *obs.Counter
+
+	// rcuWalkSteps counts lock-free lookups on TRACED fast walks only;
+	// the exported dir_rcu_lockfree_lookups_total gauge scales it by the
+	// sampling period. Exact under WithObsSampleEvery(1), a statistical
+	// estimate otherwise — the walk is too hot for an always-on atomic.
+	rcuWalkSteps atomic.Uint64
+	samplePeriod uint64
+}
+
+func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
+	if sampleEvery == 0 {
+		sampleEvery = DefaultObsSampleEvery
+	}
+	// Round to a power of two so sampling is a mask test.
+	mask := uint64(1)
+	for mask < sampleEvery {
+		mask <<= 1
+	}
+	p := &obsPack{reg: reg, rec: reg.FlightRecorder(), sampleMask: mask - 1, samplePeriod: mask}
+	for op := spec.OpMknod; op <= spec.OpReaddir; op++ {
+		lbl := fmt.Sprintf("{op=%q}", op.String())
+		p.opCount[op] = reg.Counter("atomfs_ops_total" + lbl)
+		p.opLat[op] = reg.Histogram("atomfs_op_latency_ns" + lbl)
+	}
+	p.lockWait = reg.Histogram("atomfs_lock_wait_ns")
+	p.lockHold = reg.Histogram("atomfs_lock_hold_ns")
+	// Hit and fallback totals piggyback on the FastPathStats atomics the
+	// fast path maintains whether or not observability is on, so turning
+	// the registry on adds nothing to this accounting; attempts are the
+	// sum of the two. Exposed as render-time funcs (read with FuncValue).
+	p.fastSpins = reg.Counter("atomfs_fastpath_seq_spins_total")
+	reg.GaugeFunc("atomfs_fastpath_hits_total", func() int64 {
+		return int64(fs.fastHits.Load())
+	})
+	reg.GaugeFunc("atomfs_fastpath_fallbacks_total", func() int64 {
+		return int64(fs.fastFalls.Load())
+	})
+	// Lock-free lookups are estimated from sampled fast walks rather than
+	// counted inside dir.Lookup: the table's reader is too hot for even a
+	// gated global atomic per path component.
+	reg.GaugeFunc("dir_rcu_lockfree_lookups_total", func() int64 {
+		return int64(p.rcuWalkSteps.Load() * p.samplePeriod)
+	})
+	// The dir package's publish/unpublish statistics are package-global
+	// (they count across every Table) and mutation-side only; exposed
+	// here because atomfs is the layer that owns the tables. Register
+	// them only once per registry: GaugeFunc sums repeated registrations,
+	// which is right for per-FS sources but would double-count a global.
+	dir.EnableStats(true)
+	if _, ok := reg.FuncValue("dir_rcu_publish_total"); !ok {
+		reg.GaugeFunc("dir_rcu_publish_total", func() int64 {
+			pub, _ := dir.RCUStats()
+			return int64(pub)
+		})
+		reg.GaugeFunc("dir_rcu_unpublish_total", func() int64 {
+			_, unpub := dir.RCUStats()
+			return int64(unpub)
+		})
+	}
+	return p
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// obsBegin stamps the operation's observability state: count it, decide
+// whether this op carries full tracing, and emit op-begin when it does.
+// The sampling tick is the op counter's post-increment shard value, so
+// the one atomic the hot path already pays doubles as the sample clock
+// (every 1-in-sampleEvery ops per op-type shard traces).
+func (o *op) obsBegin(p *obsPack, kind spec.Op) {
+	tick := p.opCount[kind].IncVal(o.tid)
+	o.traced = tick&p.sampleMask == 0
+	o.startNs = 0
+	if o.traced {
+		o.startNs = nowNano()
+		p.rec.EmitAt(o.startNs, o.tid, obs.EvOpBegin, uint8(kind), 0, 0)
+	}
+}
+
+// obsEnd closes the bracket: latency histogram plus op-end event.
+func (o *op) obsEnd(p *obsPack) {
+	if !o.traced {
+		return
+	}
+	now := nowNano()
+	lat := now - o.startNs
+	if o.startNs == 0 {
+		lat = 0 // begin was untraced and no fallback stamped a start
+	}
+	p.opLat[o.kind].Observe(o.tid, lat)
+	p.rec.EmitAt(now, o.tid, obs.EvOpEnd, uint8(o.kind), 0, uint64(lat))
+}
+
+// fastHit accounts a fast-path completion. The count lives in the
+// FastPathStats atomic (shared with the uninstrumented build); only the
+// sampled trace event is obs-specific.
+func (o *op) fastHit() {
+	o.fs.fastHits.Add(1)
+	if p := o.fs.obs; p != nil && o.traced {
+		p.rec.Emit(o.tid, obs.EvFastHit, uint8(o.kind), 0, uint64(o.spins))
+	}
+}
+
+// fastFall accounts a fast-path fallback. Fallbacks are always recorded
+// — they are exactly the anomaly the flight recorder exists for — and
+// the operation is promoted to traced so its slow-path lock coupling
+// and op-end land in the ring too.
+func (o *op) fastFall() {
+	o.fs.fastFalls.Add(1)
+	if p := o.fs.obs; p != nil {
+		now := nowNano()
+		if o.startNs == 0 {
+			o.startNs = now // latency from here covers the slow-path retry
+		}
+		p.rec.EmitAt(now, o.tid, obs.EvFastFallback, uint8(o.kind), 0, uint64(o.spins))
+		o.traced = true
+	}
+}

@@ -141,11 +141,11 @@ func (fs *FS) Stat(path string) (fsapi.Info, error) {
 	}
 	if fs.fastPath {
 		if ret, ok := o.fastStat(parts); ok {
-			fs.fastHits.Add(1)
+			o.fastHit()
 			o.end(ret)
 			return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, ret.Err
 		}
-		fs.fastFalls.Add(1)
+		o.fastFall()
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
@@ -175,11 +175,11 @@ func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
 	}
 	if fs.fastPath {
 		if ret, ok := o.fastRead(parts, off, size); ok {
-			fs.fastHits.Add(1)
+			o.fastHit()
 			o.end(ret)
 			return ret.Data, ret.Err
 		}
-		fs.fastFalls.Add(1)
+		o.fastFall()
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
@@ -274,11 +274,11 @@ func (fs *FS) Readdir(path string) ([]string, error) {
 	}
 	if fs.fastPath {
 		if ret, ok := o.fastReaddir(parts); ok {
-			fs.fastHits.Add(1)
+			o.fastHit()
 			o.end(ret)
 			return ret.Names, ret.Err
 		}
-		fs.fastFalls.Add(1)
+		o.fastFall()
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {

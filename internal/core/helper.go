@@ -180,6 +180,9 @@ func (m *Monitor) checkLastLocked(d *Descriptor) {
 	if d.state != AopPending {
 		return
 	}
+	if m.obs != nil {
+		m.obs.invChecks.Inc(d.tid)
+	}
 	for _, w := range d.walks {
 		last, ok := w.last()
 		if !ok {
@@ -205,6 +208,9 @@ func (m *Monitor) checkLastLocked(d *Descriptor) {
 func (m *Monitor) checkFutureLockPath(d *Descriptor, branch Branch, name string, ino spec.Inum) {
 	if d.state != AopDone || d.helper == d.tid {
 		return
+	}
+	if m.obs != nil {
+		m.obs.invChecks.Inc(d.tid)
 	}
 	ws := d.walks
 	switch branch {
@@ -236,6 +242,9 @@ func (m *Monitor) checkFutureLockPath(d *Descriptor, branch Branch, name string,
 // d itself was helped *before* h, in which case d legitimately precedes h.
 // Caller holds m.mu.
 func (m *Monitor) checkBypass(d *Descriptor, ino spec.Inum) {
+	if m.obs != nil {
+		m.obs.invChecks.Inc(d.tid)
+	}
 	for _, h := range m.pool {
 		if h.tid == d.tid || h.state != AopDone {
 			continue
@@ -297,6 +306,9 @@ func (m *Monitor) helpedBefore(a, b uint64) bool {
 // operation is externally linearized iff its thread ID is in the Helplist.
 // Caller holds m.mu.
 func (m *Monitor) checkHelplistConsistency() {
+	if m.obs != nil {
+		m.obs.invChecks.Inc(0)
+	}
 	inList := map[uint64]bool{}
 	for _, t := range m.helplist {
 		if inList[t] {

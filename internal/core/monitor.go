@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -68,6 +69,18 @@ type Config struct {
 	CheckGoodAFS bool
 	// MaxViolations bounds collected violations (0 = 1024).
 	MaxViolations int
+	// Obs, when set, receives the monitor's metrics (help/linearize/
+	// violation counters, helplist length, rollback depth) and its
+	// flight-recorder events (help, LP-commit, rollback, violation). On
+	// the first violation the monitor snapshots the recorder for every
+	// registered thread; FlightDump returns that causally ordered log.
+	Obs *obs.Registry
+	// OnViolation, when set, is invoked synchronously as each violation
+	// is recorded — the live surfacing hook for long-running daemons
+	// (atomfsd prints to stderr immediately instead of only reporting at
+	// shutdown). It runs under the monitor's internal lock: it must not
+	// call back into the Monitor or Session API.
+	OnViolation func(Violation)
 }
 
 // Monitor is the CRL-H runtime verifier.
@@ -84,6 +97,38 @@ type Monitor struct {
 
 	stats      Stats
 	violations []Violation
+
+	obs        *monObs
+	flightDump []obs.Event // recorder snapshot at the first violation
+}
+
+// monObs caches the monitor's instrument handles (nil when unobserved).
+type monObs struct {
+	rec           *obs.FlightRecorder
+	violations    *obs.Counter
+	linearized    *obs.Counter
+	helped        *obs.Counter
+	invChecks     *obs.Counter
+	relChecks     *obs.Counter
+	fastLPs       *obs.Counter
+	fastLPFalls   *obs.Counter
+	helplistLen   *obs.Gauge
+	rollbackDepth *obs.Histogram
+}
+
+func newMonObs(reg *obs.Registry) *monObs {
+	return &monObs{
+		rec:           reg.FlightRecorder(),
+		violations:    reg.Counter("core_violations_total"),
+		linearized:    reg.Counter("core_linearized_total"),
+		helped:        reg.Counter("core_helped_total"),
+		invChecks:     reg.Counter("core_invariant_checks_total"),
+		relChecks:     reg.Counter("core_relation_checks_total"),
+		fastLPs:       reg.Counter("core_fastpath_lp_total"),
+		fastLPFalls:   reg.Counter("core_fastpath_lp_fallback_total"),
+		helplistLen:   reg.Gauge("core_helplist_len"),
+		rollbackDepth: reg.Histogram("core_rollback_depth"),
+	}
 }
 
 // NewMonitor creates a monitor over a fresh (root-only) abstract state.
@@ -91,11 +136,20 @@ func NewMonitor(cfg Config) *Monitor {
 	if cfg.MaxViolations == 0 {
 		cfg.MaxViolations = 1024
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:  cfg,
 		afs:  spec.New(),
 		pool: map[uint64]*Descriptor{},
 	}
+	if cfg.Obs != nil {
+		m.obs = newMonObs(cfg.Obs)
+		cfg.Obs.GaugeFunc("core_pool_ops", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(len(m.pool))
+		})
+	}
+	return m
 }
 
 // AttachView wires the concrete-state window; the file system calls this
@@ -124,10 +178,37 @@ func (m *Monitor) ResetViolations() {
 }
 
 func (m *Monitor) violate(kind ViolationKind, tid uint64, format string, args ...any) {
+	if o := m.obs; o != nil {
+		o.violations.Inc(tid)
+		o.rec.Emit(tid, obs.EvViolation, 0, 0, uint64(kind))
+		// First violation: snapshot the whole flight recorder — the
+		// causally ordered event log of what the system was doing around
+		// the failure. Thread IDs are per-operation, so the threads
+		// involved in a violation (helpers, racing mutators) have often
+		// already retired from the ThreadPool by the time an invariant
+		// breaks; the recorder's bounded rings are the involvement window.
+		if m.flightDump == nil {
+			m.flightDump = o.rec.Snapshot()
+		}
+	}
 	if len(m.violations) >= m.cfg.MaxViolations {
 		return
 	}
-	m.violations = append(m.violations, Violation{Kind: kind, Tid: tid, Msg: fmt.Sprintf(format, args...)})
+	v := Violation{Kind: kind, Tid: tid, Msg: fmt.Sprintf(format, args...)}
+	m.violations = append(m.violations, v)
+	if m.cfg.OnViolation != nil {
+		m.cfg.OnViolation(v)
+	}
+}
+
+// FlightDump returns the flight-recorder snapshot taken at the first
+// violation (nil when unobserved or violation-free): the globally
+// ordered recent events of every thread, captured when the invariant
+// broke.
+func (m *Monitor) FlightDump() []obs.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]obs.Event(nil), m.flightDump...)
 }
 
 // AbstractState returns a deep copy of the current abstract state.
@@ -314,11 +395,17 @@ func (s *Session) LPValidated(validate func() bool) bool {
 	// the slow path's lock coupling restores the ordering.
 	if !validate() || len(m.helplist) != 0 {
 		m.stats.FastFallbacks++
+		if m.obs != nil {
+			m.obs.fastLPFalls.Inc(d.tid)
+		}
 		return false
 	}
 	if d.state != AopDone {
 		m.linearize(d, d.tid)
 		m.stats.FastReads++
+		if m.obs != nil {
+			m.obs.fastLPs.Inc(d.tid)
+		}
 	}
 	return true
 }
@@ -398,6 +485,10 @@ func (m *Monitor) linearize(d *Descriptor, helper uint64) {
 	d.helper = helper
 	d.effects = effects
 	m.stats.Linearized++
+	if o := m.obs; o != nil {
+		o.linearized.Inc(d.tid)
+		o.rec.Emit(d.tid, obs.EvLPCommit, uint8(d.op), 0, helper)
+	}
 	if helper != d.tid {
 		m.stats.Helped++
 		// External LP: record the Helplist entry and initialize the
@@ -407,6 +498,11 @@ func (m *Monitor) linearize(d *Descriptor, helper uint64) {
 			if n := w.consumed(); n < len(w.expect) {
 				w.future = append([]string(nil), w.expect[n:]...)
 			}
+		}
+		if o := m.obs; o != nil {
+			o.helped.Inc(d.tid)
+			o.rec.Emit(d.tid, obs.EvHelp, uint8(d.op), 0, helper)
+			o.helplistLen.Set(int64(len(m.helplist)))
 		}
 		m.checkHelplistConsistency()
 	}
@@ -424,6 +520,9 @@ func (m *Monitor) removeFromHelplist(tid uint64) {
 	for i, t := range m.helplist {
 		if t == tid {
 			m.helplist = append(m.helplist[:i], m.helplist[i+1:]...)
+			if m.obs != nil {
+				m.obs.helplistLen.Set(int64(len(m.helplist)))
+			}
 			return
 		}
 	}
@@ -483,7 +582,13 @@ func (m *Monitor) checkRelationLocked() error {
 	if concrete == nil {
 		return nil // view cannot produce a snapshot right now
 	}
-	rolled := spec.Rollback(m.afs, m.helpedEffects())
+	effects := m.helpedEffects()
+	if o := m.obs; o != nil {
+		o.relChecks.Inc(0)
+		o.rollbackDepth.Observe(0, int64(len(effects)))
+		o.rec.Emit(0, obs.EvRollback, 0, 0, uint64(len(effects)))
+	}
+	rolled := spec.Rollback(m.afs, effects)
 	locked := m.view.LockedInodes()
 	return compareRelaxed(rolled, concrete, locked)
 }

@@ -41,6 +41,28 @@ const (
 	nBuckets = 64
 )
 
+// RCU statistics (package-global, across every Table): how many entries
+// were published (Insert's final atomic store) and unpublished (Delete's
+// predecessor re-point). Counting lives on the mutation side only —
+// Lookup, the hottest function in the repository, stays untouched; the
+// walk layers that call it (internal/atomfs) count their own lock-free
+// lookups per traversal instead, which costs one sharded atomic per
+// operation rather than one global atomic per path component.
+var (
+	statsOn    atomic.Bool
+	statPubs   atomic.Uint64
+	statUnpubs atomic.Uint64
+)
+
+// EnableStats switches RCU statistics collection on or off.
+func EnableStats(on bool) { statsOn.Store(on) }
+
+// RCUStats returns the cumulative publish / unpublish counts (zeros
+// until EnableStats(true)).
+func RCUStats() (publishes, unpublishes uint64) {
+	return statPubs.Load(), statUnpubs.Load()
+}
+
 type entry[V any] struct {
 	name string
 	val  V
@@ -104,6 +126,9 @@ func (t *Table[V]) Insert(name string, val V) bool {
 	// fully initialized.
 	t.buckets[b].Store(e)
 	t.n++
+	if statsOn.Load() {
+		statPubs.Add(1)
+	}
 	return true
 }
 
@@ -123,6 +148,9 @@ func (t *Table[V]) Delete(name string) (V, bool) {
 			prev.next.Store(e.next.Load())
 		}
 		t.n--
+		if statsOn.Load() {
+			statUnpubs.Add(1)
+		}
 		return e.val, true
 	}
 	var zero V

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fstest"
 	"repro/internal/history"
 	"repro/internal/lincheck"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	Mode core.Mode
 	// Unsafe disables lock coupling (Figure-8 bug) for negative testing.
 	Unsafe bool
+	// Obs, when non-nil, instruments the run: the file system and monitor
+	// report into it, and a violation snapshots the flight recorder into
+	// Result.FlightDump.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a rename-heavy exploration.
@@ -58,6 +63,9 @@ type Result struct {
 	Ops          int
 	Parks        int
 	QuiesceErr   error
+	// FlightDump is the monitor's flight-recorder snapshot taken at the
+	// first violation (empty when Config.Obs was nil or the run was clean).
+	FlightDump []obs.Event
 }
 
 // Ok reports a fully clean run.
@@ -197,9 +205,14 @@ func renameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
 // Run executes one exploration.
 func Run(cfg Config) Result {
 	rec := history.NewRecorder()
-	mon := core.NewMonitor(core.Config{Mode: cfg.Mode, Recorder: rec, CheckGoodAFS: true})
+	mon := core.NewMonitor(core.Config{Mode: cfg.Mode, Recorder: rec, CheckGoodAFS: true, Obs: cfg.Obs})
 	ctl := &controller{r: rand.New(rand.NewSource(cfg.Seed)), prob: cfg.ParkProb}
 	opts := []atomfs.Option{atomfs.WithMonitor(mon)}
+	if cfg.Obs != nil {
+		// Trace every operation: exploration runs are tiny and the dump's
+		// value is completeness, not overhead.
+		opts = append(opts, atomfs.WithObs(cfg.Obs), atomfs.WithObsSampleEvery(1))
+	}
 	if cfg.Unsafe {
 		opts = append(opts, atomfs.WithUnsafeTraversal())
 	}
@@ -273,7 +286,7 @@ loop:
 	ctl.drain()
 	fs.SetHook(nil)
 
-	res := Result{Violations: mon.Violations(), Parks: ctl.parked}
+	res := Result{Violations: mon.Violations(), Parks: ctl.parked, FlightDump: mon.FlightDump()}
 	res.QuiesceErr = mon.Quiesce()
 	events := rec.Events()[cut:]
 	ops, pending, err := history.Complete(events)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TestCampaignClean: many randomized schedules, all three verdicts clean
@@ -98,5 +99,44 @@ func TestUnsafeTraversalIsCaught(t *testing.T) {
 	}
 	if caught == 0 {
 		t.Fatal("60 unsafe-traversal seeds ran clean; the checker failed to catch the Figure-8 bug class")
+	}
+}
+
+// TestViolationFlightDump: an injected lock-coupling bug (Unsafe) must
+// not only be flagged — the monitor must hand back a flight-recorder
+// snapshot of the involved threads, in global order, containing the
+// lock-coupling and linearization events that explain the violation.
+func TestViolationFlightDump(t *testing.T) {
+	var res Result
+	found := false
+	for seed := int64(1); seed <= 60 && !found; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Unsafe = true
+		cfg.Obs = obs.NewRegistry()
+		res = Run(cfg)
+		found = len(res.Violations) > 0
+	}
+	if !found {
+		t.Fatal("60 unsafe seeds produced no monitor violation")
+	}
+	if len(res.FlightDump) == 0 {
+		t.Fatal("violation produced an empty flight dump")
+	}
+	kinds := map[obs.EventKind]int{}
+	for i, e := range res.FlightDump {
+		kinds[e.Kind]++
+		if i > 0 && e.Seq <= res.FlightDump[i-1].Seq {
+			t.Fatalf("flight dump not in global order at %d: %d then %d",
+				i, res.FlightDump[i-1].Seq, e.Seq)
+		}
+	}
+	if kinds[obs.EvLockAcq] == 0 {
+		t.Errorf("flight dump has no lock-coupling events: %v", kinds)
+	}
+	if kinds[obs.EvLPCommit] == 0 {
+		t.Errorf("flight dump has no linearization events: %v", kinds)
+	}
+	if kinds[obs.EvViolation] == 0 {
+		t.Errorf("flight dump does not include the violation event: %v", kinds)
 	}
 }

@@ -19,6 +19,8 @@ type Server struct {
 	fs fsapi.FS
 	// MaxInflight bounds concurrent requests per connection.
 	maxInflight int
+	// obs, when non-nil, instruments the dispatch loop (see SetObs).
+	obs *srvObs
 
 	mu     sync.Mutex
 	closed bool
@@ -87,6 +89,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	p := s.obs
+	if p != nil {
+		p.conns.Inc(0)
+		defer p.conns.Dec(0)
+	}
 	var writeMu sync.Mutex
 	var inflight sync.WaitGroup
 	sem := make(chan struct{}, s.maxInflight)
@@ -99,19 +106,32 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err != nil {
 			break // protocol violation; drop the connection
 		}
+		var queuedNs int64
+		if p != nil {
+			queuedNs = p.queueReq(req, len(frame))
+		}
 		sem <- struct{}{}
 		inflight.Add(1)
 		go func() {
 			defer inflight.Done()
 			defer func() { <-sem }()
+			if p != nil {
+				p.dispatchReq(req)
+			}
 			rep := s.handle(req)
 			body, err := encodeReply(rep)
 			if err != nil {
+				if p != nil {
+					p.inflight.Dec(req.ID)
+				}
 				return
 			}
 			writeMu.Lock()
 			writeFrame(conn, body) //nolint:errcheck // connection teardown is handled by the read loop
 			writeMu.Unlock()
+			if p != nil {
+				p.replyReq(req, queuedNs, len(body))
+			}
 		}()
 	}
 	inflight.Wait()

@@ -95,11 +95,22 @@ func (s *SeqCount) End() {
 // write is in progress, Read spins until it completes so that the caller
 // starts from a stable snapshot.
 func (s *SeqCount) Read() uint64 {
+	v, _ := s.ReadRetries()
+	return v
+}
+
+// ReadRetries is Read plus the number of spins it took to observe a
+// stable (even) count — the seqlock retry pressure a reader experienced,
+// which the observability layer accumulates to explain fast-path
+// fallback storms.
+func (s *SeqCount) ReadRetries() (uint64, int) {
+	spins := 0
 	for {
 		v := s.seq.Load()
 		if v%2 == 0 {
-			return v
+			return v, spins
 		}
+		spins++
 	}
 }
 

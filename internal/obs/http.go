@@ -1,0 +1,41 @@
+// The HTTP debug surface served by atomfsd -debug (and usable from any
+// binary): live metrics in two formats, pprof, and flight-recorder
+// dumps. All handlers are read-only.
+
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the debug endpoint set over a registry:
+//
+//	/metrics          Prometheus text exposition
+//	/debug/vars       expvar-style JSON of the same metrics
+//	/debug/flightrec  flight-recorder dump, ordered by global sequence
+//	/debug/pprof/*    the standard runtime profiles
+//
+// namer, when non-nil, renders Event.Op values in /debug/flightrec
+// (pass spec-aware naming from the caller; obs itself stays generic).
+func NewDebugMux(r *Registry, namer OpNamer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w) //nolint:errcheck // client went away; nothing to do
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteEvents(w, r.FlightRecorder().Snapshot(), namer)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,427 @@
+// Package obs is the observability layer of the repository: a lock-free,
+// sharded metrics registry (counters, gauges, latency histograms) plus a
+// bounded per-thread flight recorder of structured events (flight.go).
+// It is the executable analogue of the CRL-H proof's ghost state made
+// inspectable at runtime: every event class maps to an invariant or helper
+// mechanism step of the paper (DESIGN.md §8), so when the monitor flags a
+// violation — or the lockless fast path falls back — the system can say
+// *what it was doing around it*, not just that it happened.
+//
+// Design constraints, in order:
+//
+//   - zero allocations per event on the hot path (asserted by tests);
+//   - single-digit-nanosecond counter updates: values are striped across
+//     cache-line-padded shards indexed by a caller-supplied hint (the
+//     operation/thread id that every instrumented layer already has), so
+//     concurrent writers on different operations do not bounce a line;
+//   - nil-safety throughout: a nil *Registry hands out nil instruments,
+//     and every method on a nil instrument is a no-op, so instrumented
+//     code needs no "is observability on?" branches beyond the ones the
+//     compiler inserts for the nil checks. The "no-op registry" baseline
+//     that make obs-overhead compares against is exactly this nil path.
+//
+// Rendering (Prometheus text and expvar-style JSON) is in render.go; the
+// HTTP surface (/metrics, /debug/vars, /debug/flightrec, /debug/pprof/*)
+// is in http.go.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// NumShards stripes every instrument; power of two. Sized for small-core
+// machines — the point is to keep unrelated operations off each other's
+// cache lines, not to match core count exactly.
+const NumShards = 8
+
+const shardMask = NumShards - 1
+
+// Counter is a monotonically increasing sharded counter.
+// The zero value is unusable; obtain counters from a Registry.
+type Counter struct {
+	name   string
+	shards [NumShards]uint64pad
+}
+
+// Add adds delta. hint selects the shard — callers pass their operation /
+// thread id so concurrent operations stripe across lines.
+func (c *Counter) Add(hint, delta uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[hint&shardMask].v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc(hint uint64) { c.Add(hint, 1) }
+
+// IncVal adds one and returns the post-increment value of hint's SHARD
+// (not the summed counter) — a free monotonic per-shard tick for callers
+// that sample on top of a count they already keep. Returns 0 on nil.
+func (c *Counter) IncVal(hint uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.shards[hint&shardMask].v.Add(1)
+}
+
+// Value returns the summed count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Name returns the registered name (with any {label} suffix).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a sharded signed gauge: its value is the sum of per-shard
+// deltas, so balanced Inc/Dec pairs from different shards cancel.
+type Gauge struct {
+	name   string
+	shards [NumShards]int64pad
+}
+
+// Add adds delta (possibly negative) on hint's shard.
+func (g *Gauge) Add(hint uint64, delta int64) {
+	if g == nil {
+		return
+	}
+	g.shards[hint&shardMask].v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc(hint uint64) { g.Add(hint, 1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec(hint uint64) { g.Add(hint, -1) }
+
+// Set replaces the gauge's value. Only meaningful for single-writer
+// gauges (e.g. a length sampled under one lock): it stores into shard 0
+// and clears the rest, which racy concurrent Adds could interleave with.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.shards[0].v.Store(v)
+	for i := 1; i < NumShards; i++ {
+		g.shards[i].v.Store(0)
+	}
+}
+
+// Value returns the summed value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	var total int64
+	for i := range g.shards {
+		total += g.shards[i].v.Load()
+	}
+	return total
+}
+
+// HistBuckets is the fixed bucket count of every Histogram: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// 40 buckets cover 1ns up to ~9 minutes of latency.
+const HistBuckets = 40
+
+// Histogram is a sharded log2-bucketed histogram. Observations are
+// non-negative integers (nanoseconds, by convention); recording is two
+// atomic adds with no allocation and no floating point.
+type Histogram struct {
+	name   string
+	shards [NumShards]histShard
+}
+
+type histShard struct {
+	count [HistBuckets]uint64pad0 // unpadded within the shard
+	sum   uint64pad
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v) // 0 for v==0
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i (2^i), used
+// as the Prometheus `le` boundary.
+func BucketUpper(i int) uint64 {
+	if i >= 63 {
+		return math.MaxUint64
+	}
+	return 1 << uint(i)
+}
+
+// Observe records v (negative values are clamped to zero).
+func (h *Histogram) Observe(hint uint64, v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.shards[hint&shardMask]
+	s.count[bucketOf(uint64(v))].v.Add(1)
+	s.sum.v.Add(uint64(v))
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Snapshot merges the shards. Concurrent observers may land between the
+// per-bucket loads; the snapshot is approximate in the usual metrics
+// sense, never torn within a single bucket.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < HistBuckets; b++ {
+			s.Buckets[b] += sh.count[b].v.Load()
+		}
+		s.Sum += sh.sum.v.Load()
+	}
+	for b := 0; b < HistBuckets; b++ {
+		s.Count += s.Buckets[b]
+	}
+	return s
+}
+
+// Merge accumulates o into s (for cross-histogram quantiles, e.g. "all
+// op types together").
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for b := 0; b < HistBuckets; b++ {
+		s.Buckets[b] += o.Buckets[b]
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by geometric
+// interpolation inside the chosen log2 bucket. Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for b := 0; b < HistBuckets; b++ {
+		n := float64(s.Buckets[b])
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo := float64(uint64(1) << uint(max(b-1, 0)))
+			if b == 0 {
+				lo = 0
+			}
+			hi := float64(BucketUpper(b))
+			frac := (rank - seen) / n
+			return lo + frac*(hi-lo)
+		}
+		seen += n
+	}
+	return float64(BucketUpper(HistBuckets - 1))
+}
+
+// Mean returns the average observation, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry names and owns instruments. Get-or-create methods are
+// idempotent and safe for concurrent use; instrument handles should be
+// looked up once (at construction time) and cached by the instrumented
+// layer — lookup takes a lock, updates never do.
+//
+// A nil *Registry is the no-op registry: it returns nil instruments and
+// a nil FlightRecorder, all of whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string][]func() int64
+	rec      *FlightRecorder
+}
+
+// NewRegistry creates an empty registry with an attached flight recorder
+// of the default size.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string][]func() int64{},
+		rec:      NewFlightRecorder(DefaultRingSize),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Names may
+// carry a {label="value"} suffix, passed through verbatim to the
+// Prometheus rendering.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is computed at render time —
+// the bridge for sources that keep their own counters (package dir's RCU
+// statistics, the fast path's FastPathStats atomics, runtime stats).
+// Registering the same name again ADDS a source: the rendered value is
+// the sum over all registered funcs, so several file-system instances
+// reporting into one registry accumulate the way counters do.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = append(r.funcs[name], fn)
+	r.mu.Unlock()
+}
+
+// FuncValue evaluates the named GaugeFunc and reports whether it is
+// registered — the programmatic counterpart of its rendered value, for
+// readers (benchmark harnesses) that want one number rather than a
+// scrape.
+func (r *Registry) FuncValue(name string) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	fns := append([]func() int64(nil), r.funcs[name]...)
+	r.mu.Unlock()
+	if len(fns) == 0 {
+		return 0, false
+	}
+	var total int64
+	for _, fn := range fns {
+		total += fn()
+	}
+	return total, true
+}
+
+// FlightRecorder returns the registry's event recorder (nil from a nil
+// registry).
+func (r *Registry) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.rec
+}
+
+// EachCounter calls fn for every registered counter in name order.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	cs := make([]*Counter, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		cs[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, cs[i])
+	}
+}
+
+// EachHistogram calls fn for every registered histogram in name order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	hs := make([]*Histogram, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		hs[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, hs[i])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

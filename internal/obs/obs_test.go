@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	for i := uint64(0); i < 100; i++ {
+		c.Add(i, 2) // spread across shards
+	}
+	if got := c.Value(); got != 200 {
+		t.Fatalf("Value = %d, want 200", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	// Nil receivers are no-ops, the uninstrumented baseline.
+	var nc *Counter
+	nc.Inc(0)
+	nc.Add(1, 5)
+	if nc.Value() != 0 {
+		t.Fatal("nil Counter should read 0")
+	}
+	var nr *Registry
+	nr.Counter("y").Inc(0)
+	nr.Gauge("y").Set(3)
+	nr.Histogram("y").Observe(0, 1)
+	nr.FlightRecorder().Emit(0, EvOpBegin, 0, 0, 0)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Inc(1)
+	g.Inc(2)
+	g.Dec(3)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("Value = %d, want 1", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("after Set: Value = %d, want 42", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(uint64(v), v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+	p50 := s.Quantile(0.50)
+	// Log-scale buckets: the estimate must land within the right power of
+	// two of the true median 500.
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 = %f, want within (256, 1024]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 %f < p50 %f", p99, p50)
+	}
+	if m := s.Mean(); m < 400 || m > 600 {
+		t.Fatalf("Mean = %f, want ~500.5", m)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Histogram("a"), r.Histogram("b")
+	a.Observe(0, 10)
+	b.Observe(0, 1000)
+	var m HistSnapshot
+	m.Merge(a.Snapshot())
+	m.Merge(b.Snapshot())
+	if m.Count != 2 || m.Sum != 1010 {
+		t.Fatalf("merged Count=%d Sum=%d", m.Count, m.Sum)
+	}
+}
+
+// TestShardedRace hammers one counter, gauge, and histogram from many
+// goroutines under -race: the sharded cells must be data-race free and
+// lose no updates.
+func TestShardedRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	const workers = 16
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(tid)
+				g.Add(tid, 1)
+				g.Add(tid, -1)
+				h.Observe(tid, int64(i))
+			}
+		}(uint64(w))
+	}
+	// Concurrent readers while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = c.Value()
+			_ = h.Snapshot()
+			var buf bytes.Buffer
+			r.WritePrometheus(&buf)
+		}
+	}()
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d != %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge should net to 0, got %d", got)
+	}
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d", got)
+	}
+}
+
+// TestHotPathZeroAlloc is the zero-allocation contract from the design:
+// counter increments, histogram observations, and flight-recorder event
+// emission allocate nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	rec := r.FlightRecorder()
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(7) }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(7, 1) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(7, 12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.EmitAt(12345, 7, EvOpBegin, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("FlightRecorder.EmitAt allocates %v/op", n)
+	}
+}
+
+func TestRenderPrometheusAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{op="stat"}`).Add(0, 3)
+	r.Counter(`ops_total{op="read"}`).Add(0, 4)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat_ns").Observe(0, 100)
+	r.GaugeFunc("derived", func() int64 { return 9 })
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`ops_total{op="stat"} 3`,
+		`ops_total{op="read"} 4`,
+		"depth 2",
+		"derived 9",
+		"lat_ns_count 1",
+		`lat_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if m[`ops_total{op="stat"}`] != float64(3) {
+		t.Errorf("json stat counter = %v", m[`ops_total{op="stat"}`])
+	}
+	if _, ok := m["lat_ns"]; !ok {
+		t.Error("json output missing histogram summary")
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "sync/atomic"
+
+// uint64pad is an atomic counter padded to a cache line so that adjacent
+// shards of one instrument never share a line (the classic false-sharing
+// fix for striped counters).
+type uint64pad struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// int64pad is the signed equivalent for gauges.
+type int64pad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// uint64pad0 is an unpadded atomic cell: histogram buckets within one
+// shard are updated by the same writer, so padding between them would
+// only waste cache (40 buckets x 64B per shard); padding between shards
+// comes from the shard's trailing sum field.
+type uint64pad0 struct {
+	v atomic.Uint64
+}

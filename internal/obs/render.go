@@ -1,0 +1,183 @@
+// Rendering: Prometheus text exposition and expvar-style JSON for the
+// same registry. Metric names may carry a literal {label="value"} suffix
+// which is passed through to Prometheus verbatim (the base name before
+// '{' is used for TYPE lines and for grouping histogram series).
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// splitName separates "base{labels}" into base and the "label=..." body
+// (empty when unlabeled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel appends extra to a possibly-labeled name, producing a valid
+// Prometheus series name.
+func withLabel(name, extra string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return base + "{" + extra + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	funcNames := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		funcNames = append(funcNames, n)
+	}
+	funcs := make([][]func() int64, len(funcNames))
+	sort.Strings(funcNames)
+	for i, n := range funcNames {
+		funcs[i] = append([]func() int64(nil), r.funcs[n]...)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	typed := map[string]bool{}
+	typeLine := func(name, kind string) {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, c := range counters {
+		typeLine(c.name, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	}
+	for _, g := range gauges {
+		typeLine(g.name, "gauge")
+		fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	}
+	for i, n := range funcNames {
+		typeLine(n, "gauge")
+		var total int64
+		for _, fn := range funcs[i] {
+			total += fn()
+		}
+		fmt.Fprintf(w, "%s %d\n", n, total)
+	}
+	for _, h := range hists {
+		typeLine(h.name, "histogram")
+		s := h.Snapshot()
+		var cum uint64
+		for b := 0; b < HistBuckets; b++ {
+			if s.Buckets[b] == 0 {
+				continue // sparse: only emit boundaries that gained counts
+			}
+			cum += s.Buckets[b]
+			fmt.Fprintf(w, "%s %d\n",
+				withLabel(bucketSeries(h.name), fmt.Sprintf("le=%q", formatLe(BucketUpper(b)))), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withLabel(bucketSeries(h.name), `le="+Inf"`), s.Count)
+		fmt.Fprintf(w, "%s %d\n", suffixSeries(h.name, "_sum"), s.Sum)
+		fmt.Fprintf(w, "%s %d\n", suffixSeries(h.name, "_count"), s.Count)
+	}
+}
+
+func bucketSeries(name string) string { return suffixSeries(name, "_bucket") }
+
+// suffixSeries inserts a suffix before the {labels} part.
+func suffixSeries(name, suffix string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+func formatLe(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// jsonHist is the JSON shape of a histogram.
+type jsonHist struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+}
+
+// WriteJSON renders the registry as a single JSON object (expvar-style:
+// one key per metric), with histograms summarized as count/sum/quantiles.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	out := map[string]any{}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	fns := map[string][]func() int64{}
+	for n, f := range r.funcs {
+		fns[n] = append([]func() int64(nil), f...)
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		out[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		out[g.name] = g.Value()
+	}
+	for n, f := range fns {
+		var total int64
+		for _, fn := range f {
+			total += fn()
+		}
+		out[n] = total
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		out[h.name] = jsonHist{
+			Count: s.Count, Sum: s.Sum,
+			P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99),
+			Mean: s.Mean(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
