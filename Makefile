@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-json obs-overhead figures conform interdep loc clean
+.PHONY: all build test race lint verify bench bench-json obs-overhead figures conform interdep loc clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Context-plumbing conventions (fsapi v2): ctx is always the first
+# parameter, and only execution roots (mains, tests, annotated harness
+# roots) may mint context.Background().
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ctxlint
 
 test:
 	$(GO) test ./...
@@ -20,10 +27,11 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'FastPath|LockFree' ./internal/atomfs ./internal/dir
 
-# The full verification story: vet, the raced lock-free packages, then
-# scenarios, sweeps, stress, explorer.
+# The full verification story: vet + ctxlint, the raced lock-free and
+# cancellation packages, then scenarios, sweeps, stress, explorer.
 verify: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/ctxlint
 	$(GO) test -race ./internal/atomfs ./internal/dir
 	$(GO) run ./cmd/fscheck
 

@@ -16,27 +16,27 @@ import (
 
 func TestPublicQuickstart(t *testing.T) {
 	fs := atomfs.New()
-	if err := fs.Mkdir("/docs"); err != nil {
+	if err := fs.Mkdir(tctx, "/docs"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/docs/hello"); err != nil {
+	if err := fs.Mknod(tctx, "/docs/hello"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/docs/hello", 0, []byte("hi")); err != nil {
+	if _, err := fs.Write(tctx, "/docs/hello", 0, []byte("hi")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := fs.Read("/docs/hello", 0, 10)
+	data, err := atomfs.ReadAll(tctx, fs, "/docs/hello", 0, 10)
 	if err != nil || string(data) != "hi" {
 		t.Fatalf("read = %q %v", data, err)
 	}
-	info, err := fs.Stat("/docs/hello")
+	info, err := fs.Stat(tctx, "/docs/hello")
 	if err != nil || info.Kind != atomfs.KindFile || info.Size != 2 {
 		t.Fatalf("stat = %+v %v", info, err)
 	}
-	if err := fs.Rename("/docs", "/archive"); err != nil {
+	if err := fs.Rename(tctx, "/docs", "/archive"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/docs"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := fs.Stat(tctx, "/docs"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatal("rename did not move the tree")
 	}
 }
@@ -46,10 +46,10 @@ func TestPublicVariants(t *testing.T) {
 		atomfs.New(), atomfs.NewBigLock(), atomfs.NewRetryFS(), atomfs.NewMemFS(),
 		atomfs.NewSlowFS(atomfs.NewMemFS()),
 	} {
-		if err := fs.Mkdir("/d"); err != nil {
+		if err := fs.Mkdir(tctx, "/d"); err != nil {
 			t.Fatalf("%T: %v", fs, err)
 		}
-		if names, err := fs.Readdir("/"); err != nil || len(names) != 1 {
+		if names, err := fs.Readdir(tctx, "/"); err != nil || len(names) != 1 {
 			t.Fatalf("%T: readdir = %v %v", fs, names, err)
 		}
 	}
@@ -59,7 +59,7 @@ func TestPublicMonitorFlow(t *testing.T) {
 	rec := atomfs.NewRecorder()
 	mon := atomfs.NewMonitor(atomfs.MonitorConfig{Recorder: rec, CheckGoodAFS: true})
 	fs := atomfs.New(atomfs.WithMonitor(mon))
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -67,7 +67,7 @@ func TestPublicMonitorFlow(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			fs.Mknod("/a/f" + string(rune('0'+i)))
+			fs.Mknod(tctx, "/a/f" + string(rune('0'+i)))
 		}(i)
 	}
 	wg.Wait()
@@ -95,7 +95,7 @@ func TestPublicHooks(t *testing.T) {
 		events = append(events, ev)
 		mu.Unlock()
 	}))
-	fs.Mkdir("/a")
+	fs.Mkdir(tctx, "/a")
 	mu.Lock()
 	defer mu.Unlock()
 	var sawLock, sawLP bool
@@ -114,20 +114,20 @@ func TestPublicHooks(t *testing.T) {
 
 func TestPublicVFS(t *testing.T) {
 	v := atomfs.NewVFS(atomfs.New())
-	fd, err := v.Create("/f")
+	fd, err := v.Create(tctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Write(fd, []byte("abc")); err != nil {
+	if _, err := v.Write(tctx, fd, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Unlink("/f"); err != nil {
+	if err := v.Unlink(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	if err := v.Seek(fd, 0); err != nil {
 		t.Fatal(err)
 	}
-	data, err := v.Read(fd, 3)
+	data, err := v.Read(tctx, fd, 3)
 	if err != nil || string(data) != "abc" {
 		t.Fatalf("read-after-unlink = %q %v", data, err)
 	}
@@ -137,10 +137,10 @@ func TestPublicMount(t *testing.T) {
 	fs := atomfs.New()
 	client, cleanup := atomfs.Mount(fs)
 	defer cleanup()
-	if err := client.Mkdir("/via-mount"); err != nil {
+	if err := client.Mkdir(tctx, "/via-mount"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/via-mount"); err != nil {
+	if _, err := fs.Stat(tctx, "/via-mount"); err != nil {
 		t.Fatal("mount did not reach the backing FS")
 	}
 }
@@ -158,10 +158,10 @@ func TestPublicServeDial(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Mknod("/net"); err != nil {
+	if err := client.Mknod(tctx, "/net"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/net"); err != nil {
+	if _, err := fs.Stat(tctx, "/net"); err != nil {
 		t.Fatal("served FS did not observe the write")
 	}
 }

@@ -9,8 +9,8 @@
 // # Quick start
 //
 //	fs := atomfs.New()
-//	_ = fs.Mkdir("/docs")
-//	_, _ = fs.Write("/docs/hello", 0, []byte("hi"))
+//	_ = fs.Mkdir(ctx, "/docs")
+//	_, _ = fs.Write(ctx, "/docs/hello", 0, []byte("hi"))
 //
 // # Verified runs
 //
@@ -50,6 +50,10 @@ type FS = fsapi.FS
 
 // Info is a stat result.
 type Info = fsapi.Info
+
+// ReadAll reads size bytes at off into a freshly allocated buffer — the
+// convenience form of FS.Read for callers that do not manage buffers.
+var ReadAll = fsapi.ReadAll
 
 // Kind distinguishes files from directories.
 type Kind = spec.Kind

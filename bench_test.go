@@ -13,6 +13,7 @@
 package atomfs_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -49,7 +50,7 @@ func systems() []struct {
 func BenchmarkFig10(b *testing.B) {
 	workloads := []struct {
 		name string
-		run  func(fsapi.FS) workload.Result
+		run  func(context.Context, fsapi.FS) workload.Result
 	}{
 		{"largefile", workload.Largefile},
 		{"smallfile", workload.Smallfile},
@@ -64,7 +65,7 @@ func BenchmarkFig10(b *testing.B) {
 				var ops int64
 				for i := 0; i < b.N; i++ {
 					fs := s.mk()
-					ops += w.run(fs).Ops
+					ops += w.run(tctx, fs).Ops
 				}
 				b.ReportMetric(float64(ops)/float64(b.N), "fsops/run")
 			})
@@ -108,8 +109,8 @@ func BenchmarkFig11Fileserver(b *testing.B) {
 			cfg := workload.FileserverConfig{Dirs: 64, Files: 1000, FileSize: 4 << 10, AppendLen: 1 << 10, OpsPerThd: 500}
 			for i := 0; i < b.N; i++ {
 				fs := s.mk()
-				workload.PrepareFileserver(fs, cfg)
-				res := workload.Fileserver(fs, cfg, 4)
+				workload.PrepareFileserver(tctx, fs, cfg)
+				res := workload.Fileserver(tctx, fs, cfg, 4)
 				b.ReportMetric(float64(res.Ops), "fsops/run")
 			}
 		})
@@ -134,8 +135,8 @@ func BenchmarkFig11Webproxy(b *testing.B) {
 			cfg := workload.WebproxyConfig{Files: 500, FileSize: 4 << 10, OpsPerThd: 500}
 			for i := 0; i < b.N; i++ {
 				fs := s.mk()
-				workload.PrepareWebproxy(fs, cfg)
-				res := workload.Webproxy(fs, cfg, 4)
+				workload.PrepareWebproxy(tctx, fs, cfg)
+				res := workload.Webproxy(tctx, fs, cfg, 4)
 				b.ReportMetric(float64(res.Ops), "fsops/run")
 			}
 		})
@@ -146,17 +147,18 @@ func BenchmarkFig11Webproxy(b *testing.B) {
 // operation mix with and without the CRL-H monitor attached.
 func BenchmarkMonitorOverhead(b *testing.B) {
 	run := func(b *testing.B, fs fsapi.FS) {
-		if err := fs.Mkdir("/d"); err != nil {
+		if err := fs.Mkdir(tctx, "/d"); err != nil {
 			b.Fatal(err)
 		}
+		rbuf := make([]byte, 16)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p := fmt.Sprintf("/d/f%d", i)
-			fs.Mknod(p)
-			fs.Write(p, 0, []byte("0123456789abcdef"))
-			fs.Stat(p)
-			fs.Read(p, 0, 16)
-			fs.Unlink(p)
+			fs.Mknod(tctx, p)
+			fs.Write(tctx, p, 0, []byte("0123456789abcdef"))
+			fs.Stat(tctx, p)
+			fs.Read(tctx, p, 0, rbuf)
+			fs.Unlink(tctx, p)
 		}
 	}
 	b.Run("bare", func(b *testing.B) { run(b, iatomfs.New()) })
@@ -179,42 +181,42 @@ func BenchmarkOps(b *testing.B) {
 		s := s
 		b.Run("stat/"+s.name, func(b *testing.B) {
 			fs := s.mk()
-			fs.Mkdir("/d")
-			fs.Mknod("/d/f")
+			fs.Mkdir(tctx, "/d")
+			fs.Mknod(tctx, "/d/f")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fs.Stat("/d/f"); err != nil {
+				if _, err := fs.Stat(tctx, "/d/f"); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("create-unlink/"+s.name, func(b *testing.B) {
 			fs := s.mk()
-			fs.Mkdir("/d")
+			fs.Mkdir(tctx, "/d")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				fs.Mknod("/d/f")
-				fs.Unlink("/d/f")
+				fs.Mknod(tctx, "/d/f")
+				fs.Unlink(tctx, "/d/f")
 			}
 		})
 		b.Run("rename/"+s.name, func(b *testing.B) {
 			fs := s.mk()
-			fs.Mkdir("/d1")
-			fs.Mkdir("/d2")
-			fs.Mknod("/d1/f")
+			fs.Mkdir(tctx, "/d1")
+			fs.Mkdir(tctx, "/d2")
+			fs.Mknod(tctx, "/d1/f")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				fs.Rename("/d1/f", "/d2/f")
-				fs.Rename("/d2/f", "/d1/f")
+				fs.Rename(tctx, "/d1/f", "/d2/f")
+				fs.Rename(tctx, "/d2/f", "/d1/f")
 			}
 		})
 		b.Run("write4k/"+s.name, func(b *testing.B) {
 			fs := s.mk()
-			fs.Mknod("/f")
+			fs.Mknod(tctx, "/f")
 			buf := make([]byte, 4096)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fs.Write("/f", 0, buf); err != nil {
+				if _, err := fs.Write(tctx, "/f", 0, buf); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -226,18 +228,18 @@ func BenchmarkOps(b *testing.B) {
 // stat through the in-process mount vs direct calls.
 func BenchmarkMountedOps(b *testing.B) {
 	fs := iatomfs.New()
-	fs.Mkdir("/d")
-	fs.Mknod("/d/f")
+	fs.Mkdir(tctx, "/d")
+	fs.Mknod(tctx, "/d/f")
 	client, cleanup := atomfs.Mount(fs)
 	defer cleanup()
 	b.Run("direct", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			fs.Stat("/d/f")
+			fs.Stat(tctx, "/d/f")
 		}
 	})
 	b.Run("mounted", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			client.Stat("/d/f")
+			client.Stat(tctx, "/d/f")
 		}
 	})
 }

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"bufio"
 	"flag"
 	"fmt"
@@ -38,6 +39,9 @@ import (
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
+
+// Commands run against the interactive shell's root context.
+var ctx = context.Background()
 
 func main() {
 	connect := flag.String("connect", "", "atomfsd address to mount: host:port, or a unix socket path (default: fresh in-memory FS)")
@@ -128,13 +132,13 @@ func (sh *shell) exec(line string) bool {
 		if len(args) > 0 {
 			path = args[0]
 		}
-		names, err := sh.fs.Readdir(path)
+		names, err := sh.fs.Readdir(ctx, path)
 		if err != nil {
 			fail(err)
 			break
 		}
 		for _, n := range names {
-			info, err := sh.fs.Stat(join(path, n))
+			info, err := sh.fs.Stat(ctx, join(path, n))
 			if err != nil {
 				continue
 			}
@@ -152,47 +156,47 @@ func (sh *shell) exec(line string) bool {
 		fail(sh.tree(path, ""))
 	case "mkdir":
 		if need(1) {
-			fail(sh.fs.Mkdir(args[0]))
+			fail(sh.fs.Mkdir(ctx, args[0]))
 		}
 	case "touch":
 		if need(1) {
-			fail(sh.fs.Mknod(args[0]))
+			fail(sh.fs.Mknod(ctx, args[0]))
 		}
 	case "write":
 		if need(2) {
 			text := strings.Join(args[1:], " ")
 			// Like shell redirection: create the file if absent.
-			if _, err := sh.fs.Stat(args[0]); err != nil {
-				if err := sh.fs.Mknod(args[0]); err != nil {
+			if _, err := sh.fs.Stat(ctx, args[0]); err != nil {
+				if err := sh.fs.Mknod(ctx, args[0]); err != nil {
 					fail(err)
 					break
 				}
 			}
-			if err := sh.fs.Truncate(args[0], 0); err != nil {
+			if err := sh.fs.Truncate(ctx, args[0], 0); err != nil {
 				fail(err)
 				break
 			}
-			_, err := sh.fs.Write(args[0], 0, []byte(text))
+			_, err := sh.fs.Write(ctx, args[0], 0, []byte(text))
 			fail(err)
 		}
 	case "append":
 		if need(2) {
-			info, err := sh.fs.Stat(args[0])
+			info, err := sh.fs.Stat(ctx, args[0])
 			if err != nil {
 				fail(err)
 				break
 			}
-			_, err = sh.fs.Write(args[0], info.Size, []byte(strings.Join(args[1:], " ")))
+			_, err = sh.fs.Write(ctx, args[0], info.Size, []byte(strings.Join(args[1:], " ")))
 			fail(err)
 		}
 	case "cat":
 		if need(1) {
-			info, err := sh.fs.Stat(args[0])
+			info, err := sh.fs.Stat(ctx, args[0])
 			if err != nil {
 				fail(err)
 				break
 			}
-			data, err := sh.fs.Read(args[0], 0, int(info.Size))
+			data, err := fsapi.ReadAll(ctx, sh.fs, args[0], 0, int(info.Size))
 			if err != nil {
 				fail(err)
 				break
@@ -201,19 +205,19 @@ func (sh *shell) exec(line string) bool {
 		}
 	case "mv":
 		if need(2) {
-			fail(sh.fs.Rename(args[0], args[1]))
+			fail(sh.fs.Rename(ctx, args[0], args[1]))
 		}
 	case "rm":
 		if need(1) {
-			fail(sh.fs.Unlink(args[0]))
+			fail(sh.fs.Unlink(ctx, args[0]))
 		}
 	case "rmdir":
 		if need(1) {
-			fail(sh.fs.Rmdir(args[0]))
+			fail(sh.fs.Rmdir(ctx, args[0]))
 		}
 	case "stat":
 		if need(1) {
-			info, err := sh.fs.Stat(args[0])
+			info, err := sh.fs.Stat(ctx, args[0])
 			if err != nil {
 				fail(err)
 				break
@@ -267,7 +271,7 @@ func (sh *shell) load(hostPath string) error {
 	if err != nil {
 		return err
 	}
-	res, err := trace.Replay(sh.fs, nil, entries)
+	res, err := trace.Replay(ctx, sh.fs, nil, entries)
 	if err != nil {
 		return err
 	}
@@ -276,13 +280,13 @@ func (sh *shell) load(hostPath string) error {
 }
 
 func (sh *shell) tree(path, indent string) error {
-	names, err := sh.fs.Readdir(path)
+	names, err := sh.fs.Readdir(ctx, path)
 	if err != nil {
 		return err
 	}
 	for _, n := range names {
 		p := join(path, n)
-		info, err := sh.fs.Stat(p)
+		info, err := sh.fs.Stat(ctx, p)
 		if err != nil {
 			continue
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/atomfs"
 	"repro/internal/fsapi"
@@ -30,6 +32,9 @@ import (
 	"repro/internal/retryfs"
 	"repro/internal/workload"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 type record struct {
 	Name        string   `json:"name"`
@@ -43,13 +48,26 @@ type record struct {
 	FastRetries *uint64  `json:"fastpath_seq_spins,omitempty"`
 	LatP50Ns    *float64 `json:"lat_p50_ns,omitempty"`
 	LatP99Ns    *float64 `json:"lat_p99_ns,omitempty"`
+	// Context-plumbing counters (fsapi v2): ops that aborted on a
+	// cancelled context or an exceeded deadline during this cell.
+	Cancelled        *uint64 `json:"cancelled,omitempty"`
+	DeadlineExceeded *uint64 `json:"deadline_exceeded,omitempty"`
 }
 
 type report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	GoArch     string   `json:"goarch"`
 	Results    []record `json:"results"`
+	// CancellationFooter accumulates the per-op-type
+	// atomfs_cancelled_total / atomfs_deadline_exceeded_total counters
+	// across every instrumented cell, keyed by the full metric name
+	// (including the {op=...} label).
+	CancellationFooter map[string]uint64 `json:"cancellation_footer,omitempty"`
 }
+
+// cancelFooter collects the cancellation counters across cells; fillObs
+// feeds it, main attaches it to the report.
+var cancelFooter = map[string]uint64{}
 
 // sysUnderTest couples a file system with the obs registry it reports
 // into (nil for baselines without instrumentation).
@@ -83,6 +101,12 @@ func main() {
 		results = append(results, benchFS("fastpath/read-mostly-95-5/"+s.name, s.mk, readMostly))
 		results = append(results, benchFS("fastpath/stat-pure/"+s.name, s.mk, statPure))
 	}
+	// Cancellation cells: a quarter of the reads carry an already-expired
+	// deadline, exercising the ctx admission poll and populating the
+	// cancellation footer. Only the instrumented atomfs variants report.
+	for _, s := range systems[:2] {
+		results = append(results, benchFS("cancel/deadline-mix-75-25/"+s.name, s.mk, deadlineMix))
+	}
 	fig10 := append(systems, struct {
 		name string
 		mk   func() sysUnderTest
@@ -94,17 +118,22 @@ func main() {
 		for _, s := range systems {
 			results = append(results, benchFS("fig11/webproxy-4thr/"+s.name, s.mk, func(b *testing.B, fs fsapi.FS) {
 				cfg := workload.WebproxyConfig{Files: 500, FileSize: 4 << 10, OpsPerThd: 500}
-				workload.PrepareWebproxy(fs, cfg)
+				workload.PrepareWebproxy(ctx, fs, cfg)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					workload.Webproxy(fs, cfg, 4)
+					workload.Webproxy(ctx, fs, cfg, 4)
 				}
 			}))
 		}
 	}
 
-	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), GoArch: runtime.GOARCH, Results: results}
+	rep := report{
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GoArch:             runtime.GOARCH,
+		Results:            results,
+		CancellationFooter: cancelFooter,
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -142,6 +171,29 @@ func fillObs(rec *record, sut sysUnderTest) {
 	if v := reg.Counter("atomfs_fastpath_seq_spins_total").Value(); v > 0 {
 		rec.FastRetries = &v
 	}
+	// Cancellation counters: per-cell totals plus the report footer's
+	// per-op-type breakdown.
+	var cancelled, deadlined uint64
+	reg.EachCounter(func(name string, c *obs.Counter) {
+		v := c.Value()
+		if v == 0 {
+			return
+		}
+		switch {
+		case strings.HasPrefix(name, "atomfs_cancelled_total"):
+			cancelled += v
+			cancelFooter[name] += v
+		case strings.HasPrefix(name, "atomfs_deadline_exceeded_total"):
+			deadlined += v
+			cancelFooter[name] += v
+		}
+	})
+	if cancelled > 0 {
+		rec.Cancelled = &cancelled
+	}
+	if deadlined > 0 {
+		rec.DeadlineExceeded = &deadlined
+	}
 	// Merge the per-op latency histograms into one per-cell distribution.
 	// The samples are the obs layer's traced subset (all mutators plus
 	// 1-in-N reads), so quantiles are estimates, not a census.
@@ -164,6 +216,12 @@ func printRec(rec record) {
 	}
 	if rec.LatP50Ns != nil {
 		line += fmt.Sprintf("  p50=%.0fns p99=%.0fns", *rec.LatP50Ns, *rec.LatP99Ns)
+	}
+	if rec.Cancelled != nil {
+		line += fmt.Sprintf("  cancelled=%d", *rec.Cancelled)
+	}
+	if rec.DeadlineExceeded != nil {
+		line += fmt.Sprintf("  deadline=%d", *rec.DeadlineExceeded)
 	}
 	fmt.Println(line)
 }
@@ -190,13 +248,13 @@ func benchFS(name string, mk func() sysUnderTest, body func(*testing.B, fsapi.FS
 // benchRuns benchmarks a whole-workload run on a fresh file system per
 // iteration (application workloads mutate the tree, so they cannot rerun
 // in place).
-func benchRuns(name string, mk func() sysUnderTest, run func(fsapi.FS) workload.Result) record {
+func benchRuns(name string, mk func() sysUnderTest, run func(context.Context, fsapi.FS) workload.Result) record {
 	var last sysUnderTest
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sut := mk()
-			run(sut.fs)
+			run(ctx, sut.fs)
 			last = sut
 		}
 	})
@@ -222,21 +280,22 @@ func readMostly(b *testing.B, fs fsapi.FS) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
+		rbuf := make([]byte, 16)
 		for pb.Next() {
 			i++
 			switch {
 			case i%40 == 10:
 				id := ids.Add(1)
-				fs.Mknod(fmt.Sprintf("%s/m%d", dir, id))
+				fs.Mknod(ctx, fmt.Sprintf("%s/m%d", dir, id))
 			case i%40 == 30:
-				fs.Unlink(fmt.Sprintf("%s/m%d", dir, ids.Load()))
+				fs.Unlink(ctx, fmt.Sprintf("%s/m%d", dir, ids.Load()))
 			case i%2 == 0:
-				if _, err := fs.Stat(file); err != nil {
+				if _, err := fs.Stat(ctx, file); err != nil {
 					b.Error(err)
 					return
 				}
 			default:
-				if _, err := fs.Read(file, 0, 16); err != nil {
+				if _, err := fs.Read(ctx, file, 0, rbuf); err != nil {
 					b.Error(err)
 					return
 				}
@@ -253,7 +312,38 @@ func statPure(b *testing.B, fs fsapi.FS) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := fs.Stat(file); err != nil {
+			if _, err := fs.Stat(ctx, file); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// deadlineMix: 75% plain reads, 25% reads carrying an already-expired
+// deadline. The expired ones abort at the operation's first cancellation
+// poll — before any inode lock — so the cell measures the admission-check
+// overhead and feeds the cancellation footer.
+func deadlineMix(b *testing.B, fs fsapi.FS) {
+	_, file := buildTree(b, fs, 8)
+	expired, cancel := context.WithDeadline(ctx, time.Unix(0, 0))
+	defer cancel()
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rbuf := make([]byte, 16)
+		i := 0
+		for pb.Next() {
+			i++
+			if i%4 == 0 {
+				if _, err := fs.Read(expired, file, 0, rbuf); err == nil {
+					b.Error("expired-deadline read succeeded")
+					return
+				}
+				continue
+			}
+			if _, err := fs.Read(ctx, file, 0, rbuf); err != nil {
 				b.Error(err)
 				return
 			}
@@ -264,15 +354,15 @@ func statPure(b *testing.B, fs fsapi.FS) {
 func buildTree(b *testing.B, fs fsapi.FS, depth int) (dir, file string) {
 	for i := 0; i < depth; i++ {
 		dir = fmt.Sprintf("%s/p%d", dir, i)
-		if err := fs.Mkdir(dir); err != nil {
+		if err := fs.Mkdir(ctx, dir); err != nil {
 			b.Fatal(err)
 		}
 	}
 	file = dir + "/f"
-	if err := fs.Mknod(file); err != nil {
+	if err := fs.Mknod(ctx, file); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := fs.Write(file, 0, []byte("0123456789abcdef")); err != nil {
+	if _, err := fs.Write(ctx, file, 0, []byte("0123456789abcdef")); err != nil {
 		b.Fatal(err)
 	}
 	return dir, file

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,9 @@ import (
 	"repro/internal/memfs"
 	"repro/internal/retryfs"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	verbose := flag.Bool("v", false, "list every case")
@@ -34,7 +38,7 @@ func main() {
 	}
 	exit := 0
 	for _, v := range variants {
-		s := conform.Run(v.name, v.mk)
+		s := conform.Run(ctx, v.name, v.mk)
 		fmt.Println(s)
 		if *verbose {
 			for _, r := range s.Results {
@@ -56,7 +60,7 @@ func main() {
 
 	if *monitored {
 		var monitors []*core.Monitor
-		s := conform.Run("atomfs+monitor", func() fsapi.FS {
+		s := conform.Run(ctx, "atomfs+monitor", func() fsapi.FS {
 			mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
 			monitors = append(monitors, mon)
 			return atomfs.New(atomfs.WithMonitor(mon))

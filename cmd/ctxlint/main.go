@@ -1,0 +1,171 @@
+// ctxlint enforces the repository's context-plumbing conventions, the
+// contract behind the fsapi v2 refactor:
+//
+//  1. ctx-first: any function whose signature includes a context.Context
+//     parameter must take it as the FIRST parameter. A context buried in
+//     the middle of a parameter list is how call sites end up threading
+//     the wrong one.
+//
+//  2. no minted contexts in library code: context.Background() and
+//     context.TODO() may appear only at execution roots — package main
+//     (cmd/, examples/), test files — or at a site annotated with a
+//     `ctxlint:allow` comment directive within the preceding lines
+//     (used by the fuse server's per-connection root and the
+//     scenario/sweep/explore/interdep driver packages, which are
+//     harness roots in library clothing). Everywhere else a function
+//     must accept its caller's context; minting a fresh one silently
+//     detaches the subtree from cancellation and deadlines.
+//
+// Usage: ctxlint [dir]   (default ".", walks the module tree)
+//
+// Exit status 1 if any violation is found. Built on go/ast only — no
+// third-party analysis framework — so it runs anywhere the toolchain
+// does.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// allowWindow is how many lines above a minted-context call a
+// `ctxlint:allow` directive may sit (covers a doc comment block on the
+// var/assignment that holds the context).
+const allowWindow = 8
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations int
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		violations += lintFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxlint:", err)
+		os.Exit(2)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "ctxlint: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctxlint: %s: %v\n", path, err)
+		return 1
+	}
+
+	// Execution roots mint their own contexts freely.
+	isRoot := f.Name.Name == "main" ||
+		strings.HasSuffix(path, "_test.go")
+
+	// Lines on which a ctxlint:allow directive comment ends.
+	allowLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "ctxlint:allow") {
+				allowLines[fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	allowed := func(line int) bool {
+		for l := line - allowWindow; l <= line; l++ {
+			if allowLines[l] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var violations int
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", p.Filename, p.Line, p.Column, fmt.Sprintf(format, args...))
+		violations++
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkCtxFirst(report, n.Name.Name, n.Type)
+		case *ast.FuncLit:
+			// Function literals follow the same rule: a ctx parameter
+			// must come first.
+			checkCtxFirst(report, "func literal", n.Type)
+		case *ast.CallExpr:
+			if isRoot {
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "context" {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			line := fset.Position(n.Pos()).Line
+			if !allowed(line) {
+				report(n.Pos(), "context.%s() in library code (execution roots only; annotate deliberate roots with a ctxlint:allow comment)", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return violations
+}
+
+// checkCtxFirst reports a violation when ft takes a context.Context
+// anywhere but the first parameter slot.
+func checkCtxFirst(report func(token.Pos, string, ...any), name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Parameter index accounting for grouped params (a, b context.Context).
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(field.Type) && idx != 0 {
+			report(field.Pos(), "%s: context.Context must be the first parameter", name)
+		}
+		idx += n
+	}
+}
+
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,9 @@ import (
 	"repro/internal/slowfs"
 	"repro/internal/workload"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11a, 11b, 11c (extension: varmail), all")
@@ -175,7 +179,7 @@ func figure10(quick bool) {
 	}
 	workloads := []struct {
 		name string
-		run  func(fsapi.FS) workload.Result
+		run  func(context.Context, fsapi.FS) workload.Result
 	}{
 		{"largefile", workload.Largefile},
 		{"smallfile", workload.Smallfile},
@@ -195,7 +199,7 @@ func figure10(quick bool) {
 	for _, w := range workloads {
 		for _, s := range systems {
 			fs := s.mk()
-			m := benchutil.Time(w.name, s.name, func() int64 { return w.run(fs).Ops })
+			m := benchutil.Time(w.name, s.name, func() int64 { return w.run(ctx, fs).Ops })
 			tab.Add(m)
 		}
 	}
@@ -261,27 +265,27 @@ func figure11(personality string, maxThreads int, quick bool) {
 				if quick {
 					cfg.Files, cfg.OpsPerThd, cfg.FileSize = 1000, 500, 4<<10
 				}
-				workload.PrepareFileserver(fs, cfg)
+				workload.PrepareFileserver(ctx, fs, cfg)
 				m = benchutil.Time(personality, s.name, func() int64 {
-					return workload.Fileserver(fs, cfg, th).Ops
+					return workload.Fileserver(ctx, fs, cfg, th).Ops
 				})
 			case "webproxy":
 				cfg := workload.DefaultWebproxy()
 				if quick {
 					cfg.Files, cfg.OpsPerThd = 500, 500
 				}
-				workload.PrepareWebproxy(fs, cfg)
+				workload.PrepareWebproxy(ctx, fs, cfg)
 				m = benchutil.Time(personality, s.name, func() int64 {
-					return workload.Webproxy(fs, cfg, th).Ops
+					return workload.Webproxy(ctx, fs, cfg, th).Ops
 				})
 			case "varmail":
 				cfg := workload.DefaultVarmail()
 				if quick {
 					cfg.Files, cfg.OpsPerThd = 300, 500
 				}
-				workload.PrepareVarmail(fs, cfg)
+				workload.PrepareVarmail(ctx, fs, cfg)
 				m = benchutil.Time(personality, s.name, func() int64 {
-					return workload.Varmail(fs, cfg, th).Ops
+					return workload.Varmail(ctx, fs, cfg, th).Ops
 				})
 			default:
 				fmt.Fprintf(os.Stderr, "unknown personality %q\n", personality)

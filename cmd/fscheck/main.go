@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,9 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	which := flag.String("scenario", "all",
@@ -168,7 +172,7 @@ func stressCampaign(rounds int) bool {
 		fs := atomfs.New(atomfs.WithMonitor(mon))
 		// Seed structure so renames have something to chew on.
 		for _, d := range []string{"/a", "/a/b", "/c"} {
-			if err := fs.Mkdir(d); err != nil {
+			if err := fs.Mkdir(ctx, d); err != nil {
 				fmt.Printf("  setup: %v\n", err)
 				return false
 			}
@@ -183,7 +187,7 @@ func stressCampaign(rounds int) bool {
 				stream := fstest.NewOpStream(int64(round*31 + w))
 				for i := 0; i < 3; i++ {
 					op, args := stream.Next()
-					fstest.ApplyFS(fs, op, args)
+					fstest.ApplyFS(ctx, fs, op, args)
 				}
 			}(w)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,9 @@ import (
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	fsName := flag.String("fs", "atomfs", "implementation: atomfs, atomfs-biglock, retryfs, memfs")
@@ -77,7 +81,7 @@ func main() {
 	if *verify {
 		model = spec.New()
 	}
-	res, err := trace.Replay(fs, model, entries)
+	res, err := trace.Replay(ctx, fs, model, entries)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "DIVERGENCE: %v\n", err)
 		os.Exit(1)
@@ -94,7 +98,7 @@ func doRecord(n int, seed int64, out string) error {
 	stream := fstest.NewOpStream(seed)
 	for i := 0; i < n; i++ {
 		op, args := stream.Next()
-		fstest.ApplyFS(rec, op, args)
+		fstest.ApplyFS(ctx, rec, op, args)
 	}
 	w := os.Stdout
 	if out != "" {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,9 @@ import (
 	"repro/internal/atomfs"
 	"repro/internal/obs"
 )
+
+// ctx is the tool's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	threshold := flag.Float64("threshold", 0.05, "maximum allowed fractional slowdown")
@@ -85,15 +89,15 @@ func runReadMostly(mk func() *atomfs.FS) float64 {
 		var dir string
 		for i := 0; i < 8; i++ {
 			dir = fmt.Sprintf("%s/p%d", dir, i)
-			if err := fs.Mkdir(dir); err != nil {
+			if err := fs.Mkdir(ctx, dir); err != nil {
 				b.Fatal(err)
 			}
 		}
 		file := dir + "/f"
-		if err := fs.Mknod(file); err != nil {
+		if err := fs.Mknod(ctx, file); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := fs.Write(file, 0, []byte("0123456789abcdef")); err != nil {
+		if _, err := fs.Write(ctx, file, 0, []byte("0123456789abcdef")); err != nil {
 			b.Fatal(err)
 		}
 		var ids atomic.Uint64
@@ -101,21 +105,22 @@ func runReadMostly(mk func() *atomfs.FS) float64 {
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
+			rbuf := make([]byte, 16)
 			for pb.Next() {
 				i++
 				switch {
 				case i%40 == 10:
 					id := ids.Add(1)
-					fs.Mknod(fmt.Sprintf("%s/m%d", dir, id))
+					fs.Mknod(ctx, fmt.Sprintf("%s/m%d", dir, id))
 				case i%40 == 30:
-					fs.Unlink(fmt.Sprintf("%s/m%d", dir, ids.Load()))
+					fs.Unlink(ctx, fmt.Sprintf("%s/m%d", dir, ids.Load()))
 				case i%2 == 0:
-					if _, err := fs.Stat(file); err != nil {
+					if _, err := fs.Stat(ctx, file); err != nil {
 						b.Error(err)
 						return
 					}
 				default:
-					if _, err := fs.Read(file, 0, 16); err != nil {
+					if _, err := fs.Read(ctx, file, 0, rbuf); err != nil {
 						b.Error(err)
 						return
 					}

@@ -10,10 +10,10 @@ import (
 // ExampleNew shows basic file system usage.
 func ExampleNew() {
 	fs := atomfs.New()
-	fs.Mkdir("/music")
-	fs.Mknod("/music/track01")
-	fs.Write("/music/track01", 0, []byte("la la la"))
-	data, _ := fs.Read("/music/track01", 0, 32)
+	fs.Mkdir(tctx, "/music")
+	fs.Mknod(tctx, "/music/track01")
+	fs.Write(tctx, "/music/track01", 0, []byte("la la la"))
+	data, _ := atomfs.ReadAll(tctx, fs, "/music/track01", 0, 32)
 	fmt.Println(string(data))
 	// Output: la la la
 }
@@ -22,12 +22,12 @@ func ExampleNew() {
 // atomic overwrite applications depend on.
 func ExampleFS_Rename() {
 	fs := atomfs.New()
-	fs.Mknod("/config")
-	fs.Write("/config", 0, []byte("v1"))
-	fs.Mknod("/config.tmp")
-	fs.Write("/config.tmp", 0, []byte("v2"))
-	fs.Rename("/config.tmp", "/config") // atomic replace
-	data, _ := fs.Read("/config", 0, 8)
+	fs.Mknod(tctx, "/config")
+	fs.Write(tctx, "/config", 0, []byte("v1"))
+	fs.Mknod(tctx, "/config.tmp")
+	fs.Write(tctx, "/config.tmp", 0, []byte("v2"))
+	fs.Rename(tctx, "/config.tmp", "/config") // atomic replace
+	data, _ := atomfs.ReadAll(tctx, fs, "/config", 0, 8)
 	fmt.Println(string(data))
 	// Output: v2
 }
@@ -36,8 +36,8 @@ func ExampleFS_Rename() {
 func ExampleNewMonitor() {
 	mon := atomfs.NewMonitor(atomfs.MonitorConfig{CheckGoodAFS: true})
 	fs := atomfs.New(atomfs.WithMonitor(mon))
-	fs.Mkdir("/a")
-	fs.Rename("/a", "/b")
+	fs.Mkdir(tctx, "/a")
+	fs.Rename(tctx, "/a", "/b")
 	fmt.Println("violations:", len(mon.Violations()))
 	fmt.Println("quiesce:", mon.Quiesce())
 	st := mon.Stats()
@@ -54,8 +54,8 @@ func ExampleCheckLinearizable() {
 	rec := atomfs.NewRecorder()
 	mon := atomfs.NewMonitor(atomfs.MonitorConfig{Recorder: rec})
 	fs := atomfs.New(atomfs.WithMonitor(mon))
-	fs.Mkdir("/x")
-	fs.Mkdir("/x") // EEXIST — still a legal history
+	fs.Mkdir(tctx, "/x")
+	fs.Mkdir(tctx, "/x") // EEXIST — still a legal history
 	res, _ := atomfs.CheckLinearizable(nil, rec.Events())
 	fmt.Println("linearizable:", res.Linearizable)
 	// Output: linearizable: true
@@ -64,11 +64,11 @@ func ExampleCheckLinearizable() {
 // ExampleNewVFS opens a descriptor and keeps using it after unlink.
 func ExampleNewVFS() {
 	v := atomfs.NewVFS(atomfs.New())
-	fd, _ := v.Create("/tmpfile")
-	v.Write(fd, []byte("scratch"))
-	v.Unlink("/tmpfile") // open descriptor keeps the data alive
+	fd, _ := v.Create(tctx, "/tmpfile")
+	v.Write(tctx, fd, []byte("scratch"))
+	v.Unlink(tctx, "/tmpfile") // open descriptor keeps the data alive
 	v.Seek(fd, 0)
-	data, _ := v.Read(fd, 16)
+	data, _ := v.Read(tctx, fd, 16)
 	fmt.Println(string(data))
 	// Output: scratch
 }
@@ -77,12 +77,12 @@ func ExampleNewVFS() {
 // mounted client.
 func ExampleMount() {
 	fs := atomfs.New()
-	fs.Mkdir("/shared")
-	fs.Mknod("/shared/readme")
+	fs.Mkdir(tctx, "/shared")
+	fs.Mknod(tctx, "/shared/readme")
 
 	client, cleanup := atomfs.Mount(fs)
 	defer cleanup()
-	names, _ := client.Readdir("/shared")
+	names, _ := client.Readdir(tctx, "/shared")
 	sort.Strings(names)
 	fmt.Println(names)
 	// Output: [readme]

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -18,6 +19,9 @@ import (
 
 	atomfs "repro"
 )
+
+// ctx is the example's root context (mains are execution roots).
+var ctx = context.Background()
 
 const generations = 200
 
@@ -30,9 +34,9 @@ func content(gen int) []byte {
 
 func main() {
 	fs := atomfs.New()
-	must(fs.Mkdir("/etc"))
-	must(fs.Mknod("/etc/app.conf"))
-	_, err := fs.Write("/etc/app.conf", 0, content(0))
+	must(fs.Mkdir(ctx, "/etc"))
+	must(fs.Mknod(ctx, "/etc/app.conf"))
+	_, err := fs.Write(ctx, "/etc/app.conf", 0, content(0))
 	must(err)
 
 	var torn atomic.Int64
@@ -50,7 +54,7 @@ func main() {
 					return
 				default:
 				}
-				data, err := fs.Read("/etc/app.conf", 0, 4096)
+				data, err := atomfs.ReadAll(ctx, fs, "/etc/app.conf", 0, 4096)
 				if err != nil {
 					continue // a replace is mid-flight; the path briefly misses
 				}
@@ -74,10 +78,10 @@ func main() {
 	// live one. rename's atomicity is what makes this pattern safe. The
 	// explicit yields keep the readers running even on a single-CPU box.
 	for gen := 1; gen <= generations; gen++ {
-		must(fs.Mknod("/etc/.app.conf.tmp"))
-		_, err := fs.Write("/etc/.app.conf.tmp", 0, content(gen))
+		must(fs.Mknod(ctx, "/etc/.app.conf.tmp"))
+		_, err := fs.Write(ctx, "/etc/.app.conf.tmp", 0, content(gen))
 		must(err)
-		must(fs.Rename("/etc/.app.conf.tmp", "/etc/app.conf"))
+		must(fs.Rename(ctx, "/etc/.app.conf.tmp", "/etc/app.conf"))
 		runtime.Gosched()
 		if gen%20 == 0 {
 			time.Sleep(time.Millisecond)

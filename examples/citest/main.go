@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,17 +15,20 @@ import (
 	atomfs "repro"
 )
 
+// ctx is the example's root context (mains are execution roots).
+var ctx = context.Background()
+
 // appWorkload is a stand-in for "your integration test": a pipeline stage
 // that builds a working directory, publishes results with atomic renames,
 // and cleans up — racing against two peers.
 func appWorkload(fs atomfs.FS, id int) {
 	work := fmt.Sprintf("/work-%d", id)
-	fs.Mkdir(work)
-	fs.Mknod(work + "/out")
-	fs.Write(work+"/out", 0, []byte(fmt.Sprintf("result of stage %d", id)))
-	fs.Rename(work+"/out", fmt.Sprintf("/published-%d", id))
-	fs.Rmdir(work)
-	fs.Stat(fmt.Sprintf("/published-%d", (id+1)%3)) // peek at a sibling's output
+	fs.Mkdir(ctx, work)
+	fs.Mknod(ctx, work + "/out")
+	fs.Write(ctx, work+"/out", 0, []byte(fmt.Sprintf("result of stage %d", id)))
+	fs.Rename(ctx, work+"/out", fmt.Sprintf("/published-%d", id))
+	fs.Rmdir(ctx, work)
+	fs.Stat(ctx, fmt.Sprintf("/published-%d", (id+1)%3)) // peek at a sibling's output
 }
 
 func main() {

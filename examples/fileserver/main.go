@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -14,6 +15,9 @@ import (
 	atomfs "repro"
 	"repro/internal/workload"
 )
+
+// ctx is the example's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	fs := atomfs.New()
@@ -32,7 +36,7 @@ func main() {
 	cfg := workload.FileserverConfig{
 		Dirs: 64, Files: 512, FileSize: 4 << 10, AppendLen: 1 << 10, OpsPerThd: 400,
 	}
-	workload.PrepareFileserver(fs, cfg)
+	workload.PrepareFileserver(ctx, fs, cfg)
 
 	// Four clients mount over TCP and run the personality concurrently.
 	const clients = 4
@@ -50,7 +54,7 @@ func main() {
 				return
 			}
 			defer client.Close()
-			res := workload.Fileserver(client, cfg, 1)
+			res := workload.Fileserver(ctx, client, cfg, 1)
 			mu.Lock()
 			totalOps += res.Ops
 			mu.Unlock()

@@ -4,11 +4,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	atomfs "repro"
 )
+
+// ctx is the example's root context (mains are execution roots).
+var ctx = context.Background()
 
 func main() {
 	// A fresh AtomFS: fine-grained per-inode locks, lock-coupling
@@ -17,28 +21,28 @@ func main() {
 
 	// Path-based interfaces (the six operations the paper verifies, plus
 	// the data plane).
-	must(fs.Mkdir("/projects"))
-	must(fs.Mkdir("/projects/atomfs"))
-	must(fs.Mknod("/projects/atomfs/README"))
-	if _, err := fs.Write("/projects/atomfs/README", 0, []byte("the first verified concurrent FS\n")); err != nil {
+	must(fs.Mkdir(ctx, "/projects"))
+	must(fs.Mkdir(ctx, "/projects/atomfs"))
+	must(fs.Mknod(ctx, "/projects/atomfs/README"))
+	if _, err := fs.Write(ctx, "/projects/atomfs/README", 0, []byte("the first verified concurrent FS\n")); err != nil {
 		log.Fatal(err)
 	}
 
-	data, err := fs.Read("/projects/atomfs/README", 0, 128)
+	data, err := atomfs.ReadAll(ctx, fs, "/projects/atomfs/README", 0, 128)
 	must(err)
 	fmt.Printf("README: %s", data)
 
-	must(fs.Rename("/projects/atomfs", "/projects/atomfs-sosp19"))
-	names, err := fs.Readdir("/projects")
+	must(fs.Rename(ctx, "/projects/atomfs", "/projects/atomfs-sosp19"))
+	names, err := fs.Readdir(ctx, "/projects")
 	must(err)
 	fmt.Println("projects:", names)
 
 	// File descriptors via the VFS layer (§5.4: FDs map to paths, so
 	// FD-based operations stay linearizable).
 	v := atomfs.NewVFS(fs)
-	fd, err := v.Open("/projects/atomfs-sosp19/README")
+	fd, err := v.Open(ctx, "/projects/atomfs-sosp19/README")
 	must(err)
-	chunk, err := v.Read(fd, 9)
+	chunk, err := v.Read(ctx, fd, 9)
 	must(err)
 	fmt.Printf("via fd: %q\n", chunk)
 	must(v.Close(fd))
@@ -47,7 +51,7 @@ func main() {
 	// the client implements the same interface.
 	client, cleanup := atomfs.Mount(fs)
 	defer cleanup()
-	info, err := client.Stat("/projects/atomfs-sosp19/README")
+	info, err := client.Stat(ctx, "/projects/atomfs-sosp19/README")
 	must(err)
 	fmt.Printf("via mount: kind=%v size=%d\n", info.Kind, info.Size)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -16,13 +17,16 @@ import (
 	"repro/internal/history"
 )
 
+// ctx is the example's root context (mains are execution roots).
+var ctx = context.Background()
+
 func main() {
 	rec := atomfs.NewRecorder()
 	mon := atomfs.NewMonitor(atomfs.MonitorConfig{Recorder: rec, CheckGoodAFS: true})
 	fs := atomfs.New(atomfs.WithMonitor(mon))
 
 	for _, d := range []string{"/a", "/a/b", "/a/b/c", "/x"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(ctx, d); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -44,14 +48,14 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := fs.Mknod("/a/b/c/data"); err != nil {
+		if err := fs.Mknod(ctx, "/a/b/c/data"); err != nil {
 			log.Printf("mknod: %v", err)
 		}
 	}()
 	<-atLP
 	fmt.Println("worker: mknod(/a/b/c/data) inserted its entry, waiting at its LP")
 
-	if err := fs.Rename("/a", "/x/a"); err != nil {
+	if err := fs.Rename(ctx, "/a", "/x/a"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("storm:  rename(/a, /x/a) committed — and helped the worker linearize first")
@@ -60,7 +64,7 @@ func main() {
 	fs.SetHook(nil)
 
 	// A later stat finds the file at its new home.
-	if info, err := fs.Stat("/x/a/b/c/data"); err != nil {
+	if info, err := fs.Stat(ctx, "/x/a/b/c/data"); err != nil {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("stat(/x/a/b/c/data): kind=%v — the helped create landed before the rename\n", info.Kind)

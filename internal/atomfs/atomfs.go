@@ -24,6 +24,7 @@
 package atomfs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -242,8 +243,14 @@ func (fs *FS) newNode(kind spec.Kind) *node {
 type op struct {
 	fs   *FS
 	s    *core.Session // nil when unmonitored
+	ctx  context.Context
 	tid  uint64
 	kind spec.Op
+	// committed latches a TryAbort refusal: the op's LP already executed
+	// (fixed, validated, or helped by a rename), so it is past the point
+	// of no return and further cancellation checks short-circuit — the op
+	// runs to completion and returns its linearized result.
+	committed bool
 	// Reusable path-component buffers, pooled with the op. Components are
 	// substrings of the caller's path string, so nothing they point at is
 	// recycled; only the slice storage is. Rename needs both.
@@ -298,19 +305,20 @@ func (o *op) splitDir2(path string) ([]string, string, error) {
 var opTids atomic.Uint64
 var opPool = sync.Pool{New: func() any { return &op{ptid: opTids.Add(1) | 1<<32} }}
 
-func (fs *FS) begin(kind spec.Op, args spec.Args) *op {
-	return fs.beginOp(kind, args, false)
+func (fs *FS) begin(ctx context.Context, kind spec.Op, args spec.Args) *op {
+	return fs.beginOp(ctx, kind, args, false)
 }
 
 // beginRead starts a read-only operation: under the monitor it registers a
 // read-only session, whose fast path may linearize at a validation point.
-func (fs *FS) beginRead(kind spec.Op, args spec.Args) *op {
-	return fs.beginOp(kind, args, fs.fastPath)
+func (fs *FS) beginRead(ctx context.Context, kind spec.Op, args spec.Args) *op {
+	return fs.beginOp(ctx, kind, args, fs.fastPath)
 }
 
-func (fs *FS) beginOp(kind spec.Op, args spec.Args, readonly bool) *op {
+func (fs *FS) beginOp(ctx context.Context, kind spec.Op, args spec.Args, readonly bool) *op {
 	o := opPool.Get().(*op)
 	o.fs, o.kind, o.s = fs, kind, nil
+	o.ctx, o.committed = ctx, false
 	if fs.mon != nil {
 		if readonly {
 			o.s = fs.mon.BeginRead(kind, args)
@@ -339,9 +347,38 @@ func (o *op) end(ret spec.Ret) spec.Ret {
 		o.obsEnd(p)
 	}
 	o.s.End(ret)
-	o.fs, o.s = nil, nil
+	o.fs, o.s, o.ctx = nil, nil, nil
 	opPool.Put(o)
 	return ret
+}
+
+// cancelled polls the operation's context at a traversal step — called
+// before every lock acquisition — and decides abort vs. commit under the
+// monitor's atomic block. It returns the context error when the op must
+// unwind (the caller releases whatever it holds and ends with that error,
+// applying no effect), or nil to proceed. A TryAbort refusal means the
+// op's Aop already executed — typically helped to an external LP by a
+// concurrent rename — so the op is latched committed: it finishes its
+// remaining (FutLockPath-bound) traversal and returns the helped result,
+// never a context error.
+func (o *op) cancelled() error {
+	if o.committed || o.ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.ctx.Done():
+	default:
+		return nil
+	}
+	if !o.s.TryAbort() {
+		o.committed = true
+		return nil
+	}
+	err := o.ctx.Err()
+	if p := o.fs.obs; p != nil {
+		p.cancel(o.tid, o.kind, err)
+	}
+	return err
 }
 
 // mutBegin/mutEnd bracket the committing section of a namespace mutation
@@ -442,6 +479,14 @@ func (o *op) renameLP() {
 // released.
 func (o *op) walk(branch core.Branch, cur *node, parts []string, keep, extra *node) (*node, error) {
 	for _, name := range parts {
+		// Cancellation is polled before each coupling step: the op holds
+		// exactly cur (plus keep/extra), so an abort here releases them
+		// and unwinds without a linearization point — the monitor's
+		// TryAbort has already ruled out that a helper committed us.
+		if err := o.cancelled(); err != nil {
+			o.unlockSet(cur, keep, extra)
+			return nil, err
+		}
 		prev := cur
 		next, err := o.stepKeeping(branch, cur, name, keep)
 		if err != nil {
@@ -484,6 +529,9 @@ func (o *op) stepKeeping(branch core.Branch, cur *node, name string, keep *node)
 // traverse locks the root and walks parts; on success the final node is
 // locked.
 func (o *op) traverse(branch core.Branch, parts []string) (*node, error) {
+	if err := o.cancelled(); err != nil {
+		return nil, err
+	}
 	o.lock(branch, "", o.fs.root)
 	return o.walk(branch, o.fs.root, parts, nil, nil)
 }

@@ -96,7 +96,7 @@ func TestStressBigLock(t *testing.T) {
 func TestRenameStressDeadlockFree(t *testing.T) {
 	fs := New()
 	for _, d := range []string{"/a", "/a/x", "/a/x/y", "/b", "/b/u", "/b/u/v", "/c"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -109,9 +109,9 @@ func TestRenameStressDeadlockFree(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				src := dirs[(w+i)%len(dirs)] + "/m"
 				dst := dirs[(w*3+i*7)%len(dirs)] + "/m"
-				fs.Mkdir(src)
-				fs.Rename(src, dst)
-				fs.Rmdir(dst)
+				fs.Mkdir(tctx, src)
+				fs.Rename(tctx, src, dst)
+				fs.Rmdir(tctx, dst)
 			}
 		}(w)
 	}
@@ -125,24 +125,24 @@ func TestRenameStressDeadlockFree(t *testing.T) {
 // entry onto its own parent directory), which must not self-deadlock.
 func TestRenameOntoOwnParent(t *testing.T) {
 	fs := New()
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mkdir("/a/b"); err != nil {
+	if err := fs.Mkdir(tctx, "/a/b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mkdir("/a/b/s"); err != nil {
+	if err := fs.Mkdir(tctx, "/a/b/s"); err != nil {
 		t.Fatal(err)
 	}
 	// dir over non-empty dir (its own parent) -> ENOTEMPTY.
-	if err := fs.Rename("/a/b/s", "/a/b"); !errors.Is(err, fserr.ErrNotEmpty) {
+	if err := fs.Rename(tctx, "/a/b/s", "/a/b"); !errors.Is(err, fserr.ErrNotEmpty) {
 		t.Fatalf("err = %v, want ENOTEMPTY", err)
 	}
 	// file over its own parent dir -> EISDIR.
-	if err := fs.Mknod("/a/b/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/b/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rename("/a/b/f", "/a/b"); !errors.Is(err, fserr.ErrIsDir) {
+	if err := fs.Rename(tctx, "/a/b/f", "/a/b"); !errors.Is(err, fserr.ErrIsDir) {
 		t.Fatalf("err = %v, want EISDIR", err)
 	}
 	if err := fs.Check(); err != nil {
@@ -159,10 +159,10 @@ func TestConcurrentHistoryLinearizable(t *testing.T) {
 		mon := core.NewMonitor(core.Config{Recorder: rec, CheckGoodAFS: true})
 		fs := New(WithMonitor(mon))
 		// Shared prefix to force interaction.
-		if err := fs.Mkdir("/a"); err != nil {
+		if err := fs.Mkdir(tctx, "/a"); err != nil {
 			t.Fatal(err)
 		}
-		if err := fs.Mkdir("/a/b"); err != nil {
+		if err := fs.Mkdir(tctx, "/a/b"); err != nil {
 			t.Fatal(err)
 		}
 		pre := mon.AbstractState()
@@ -170,10 +170,10 @@ func TestConcurrentHistoryLinearizable(t *testing.T) {
 
 		var wg sync.WaitGroup
 		run := func(f func()) { wg.Add(1); go func() { defer wg.Done(); f() }() }
-		run(func() { fs.Mkdir("/a/b/c") })
-		run(func() { fs.Rename("/a", "/e") })
-		run(func() { fs.Stat("/a/b") })
-		run(func() { fs.Mknod("/a/b/f") })
+		run(func() { fs.Mkdir(tctx, "/a/b/c") })
+		run(func() { fs.Rename(tctx, "/a", "/e") })
+		run(func() { fs.Stat(tctx, "/a/b") })
+		run(func() { fs.Mknod(tctx, "/a/b/f") })
 		wg.Wait()
 
 		requireClean(t, mon)
@@ -210,13 +210,13 @@ func TestConcurrentHistoryLinearizable(t *testing.T) {
 func TestBlockLeak(t *testing.T) {
 	fs := New(WithBlocks(64))
 	for i := 0; i < 10; i++ {
-		if err := fs.Mknod("/f"); err != nil {
+		if err := fs.Mknod(tctx, "/f"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := fs.Write("/f", 0, make([]byte, 8192)); err != nil {
+		if _, err := fs.Write(tctx, "/f", 0, make([]byte, 8192)); err != nil {
 			t.Fatal(err)
 		}
-		if err := fs.Unlink("/f"); err != nil {
+		if err := fs.Unlink(tctx, "/f"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,12 +224,12 @@ func TestBlockLeak(t *testing.T) {
 		t.Fatalf("leaked %d blocks", n)
 	}
 	// Rename-overwrite also frees the victim's storage.
-	fs.Mknod("/x")
-	fs.Write("/x", 0, make([]byte, 8192))
-	fs.Mknod("/y")
-	fs.Write("/y", 0, make([]byte, 8192))
-	fs.Rename("/x", "/y")
-	fs.Unlink("/y")
+	fs.Mknod(tctx, "/x")
+	fs.Write(tctx, "/x", 0, make([]byte, 8192))
+	fs.Mknod(tctx, "/y")
+	fs.Write(tctx, "/y", 0, make([]byte, 8192))
+	fs.Rename(tctx, "/x", "/y")
+	fs.Unlink(tctx, "/y")
 	if n := fs.BlocksInUse(); n != 0 {
 		t.Fatalf("rename leaked %d blocks", n)
 	}
@@ -239,17 +239,17 @@ func TestBlockLeak(t *testing.T) {
 func TestDeepTraversal(t *testing.T) {
 	fs := New()
 	path := fstest.DeepTree(t, fs, 40)
-	if err := fs.Mknod(path + "/leaf"); err != nil {
+	if err := fs.Mknod(tctx, path + "/leaf"); err != nil {
 		t.Fatal(err)
 	}
-	info, err := fs.Stat(path + "/leaf")
+	info, err := fs.Stat(tctx, path + "/leaf")
 	if err != nil || info.Kind != spec.KindFile {
 		t.Fatalf("stat deep leaf: %+v %v", info, err)
 	}
-	if err := fs.Rename("/d0/d1", "/moved"); err != nil {
+	if err := fs.Rename(tctx, "/d0/d1", "/moved"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/moved/d2"); err != nil {
+	if _, err := fs.Stat(tctx, "/moved/d2"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -291,7 +291,7 @@ func TestStateDifferentialVsSpec(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			op, args := stream.Next()
 			model.Apply(op, args)
-			fstest.ApplyFS(fs, op, args)
+			fstest.ApplyFS(tctx, fs, op, args)
 			if got, want := fs.SnapshotKey(), model.Key(); got != want {
 				t.Fatalf("seed %d step %d (%s %s): state diverged\nconcrete %s\nmodel    %s",
 					seed, i, op, args, got, want)
@@ -302,15 +302,15 @@ func TestStateDifferentialVsSpec(t *testing.T) {
 
 func TestUsageCounters(t *testing.T) {
 	fs := New(WithBlocks(64))
-	fs.Mkdir("/d")
-	fs.Mknod("/d/f")
-	fs.Write("/d/f", 0, make([]byte, 8192))
+	fs.Mkdir(tctx, "/d")
+	fs.Mknod(tctx, "/d/f")
+	fs.Write(tctx, "/d/f", 0, make([]byte, 8192))
 	u := fs.Usage()
 	if u.Inodes != 3 || u.Dirs != 2 || u.Files != 1 || u.Blocks != 2 {
 		t.Fatalf("usage = %+v", u)
 	}
-	fs.Unlink("/d/f")
-	fs.Rmdir("/d")
+	fs.Unlink(tctx, "/d/f")
+	fs.Rmdir(tctx, "/d")
 	u = fs.Usage()
 	if u.Inodes != 1 || u.Blocks != 0 {
 		t.Fatalf("after cleanup: %+v", u)
@@ -325,7 +325,7 @@ func TestUsageCounters(t *testing.T) {
 func TestRenameTortureDeadlockFree(t *testing.T) {
 	fs := New()
 	for _, d := range []string{"/p", "/p/a", "/p/a/x", "/p/b", "/p/b/y", "/q"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -341,30 +341,30 @@ func TestRenameTortureDeadlockFree(t *testing.T) {
 	}
 	// Cross renames between /p/a/x and /p/b/y (LCA = /p).
 	worker(func(i int) {
-		fs.Mkdir("/p/a/x/m")
-		fs.Rename("/p/a/x/m", "/p/b/y/m")
-		fs.Rmdir("/p/b/y/m")
+		fs.Mkdir(tctx, "/p/a/x/m")
+		fs.Rename(tctx, "/p/a/x/m", "/p/b/y/m")
+		fs.Rmdir(tctx, "/p/b/y/m")
 	})
 	worker(func(i int) {
-		fs.Mkdir("/p/b/y/n")
-		fs.Rename("/p/b/y/n", "/p/a/x/n")
-		fs.Rmdir("/p/a/x/n")
+		fs.Mkdir(tctx, "/p/b/y/n")
+		fs.Rename(tctx, "/p/b/y/n", "/p/a/x/n")
+		fs.Rmdir(tctx, "/p/a/x/n")
 	})
 	// Renames with nested LCAs: one at /p, one at root.
 	worker(func(i int) {
-		fs.Rename("/p/a", "/q/a")
-		fs.Rename("/q/a", "/p/a")
+		fs.Rename(tctx, "/p/a", "/q/a")
+		fs.Rename(tctx, "/q/a", "/p/a")
 	})
 	// Same-branch churn: rename within /p/b while /p itself is contested.
 	worker(func(i int) {
-		fs.Mknod("/p/b/f")
-		fs.Rename("/p/b/f", "/p/b/g")
-		fs.Unlink("/p/b/g")
+		fs.Mknod(tctx, "/p/b/f")
+		fs.Rename(tctx, "/p/b/f", "/p/b/g")
+		fs.Unlink(tctx, "/p/b/g")
 	})
 	// A del racing everything on the shared spine.
 	worker(func(i int) {
-		fs.Mkdir("/p/tmp")
-		fs.Rmdir("/p/tmp")
+		fs.Mkdir(tctx, "/p/tmp")
+		fs.Rmdir(tctx, "/p/tmp")
 	})
 	wg.Wait()
 	if err := fs.Check(); err != nil {
@@ -382,10 +382,10 @@ func TestRenameTortureDeadlockFree(t *testing.T) {
 func TestMonitoredENOSPCDivergesByDesign(t *testing.T) {
 	mon := newMon()
 	fs := New(WithMonitor(mon), WithBlocks(2))
-	if err := fs.Mknod("/f"); err != nil {
+	if err := fs.Mknod(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/f", 0, make([]byte, 4*4096)); !errors.Is(err, fserr.ErrNoSpace) {
+	if _, err := fs.Write(tctx, "/f", 0, make([]byte, 4*4096)); !errors.Is(err, fserr.ErrNoSpace) {
 		t.Fatalf("err = %v, want ENOSPC", err)
 	}
 	found := false

@@ -25,13 +25,13 @@ func BenchmarkTraversalDepth(b *testing.B) {
 			path := ""
 			for i := 0; i < depth; i++ {
 				path = fmt.Sprintf("%s/d%d", path, i)
-				if err := fs.Mkdir(path); err != nil {
+				if err := fs.Mkdir(tctx, path); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fs.Stat(path); err != nil {
+				if _, err := fs.Stat(tctx, path); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -46,18 +46,18 @@ func BenchmarkDirectoryWidth(b *testing.B) {
 	for _, width := range []int{16, 256, 4096, 16384} {
 		b.Run(fmt.Sprintf("entries-%d", width), func(b *testing.B) {
 			fs := New()
-			if err := fs.Mkdir("/d"); err != nil {
+			if err := fs.Mkdir(tctx, "/d"); err != nil {
 				b.Fatal(err)
 			}
 			for i := 0; i < width; i++ {
-				if err := fs.Mknod(fmt.Sprintf("/d/f%06d", i)); err != nil {
+				if err := fs.Mknod(tctx, fmt.Sprintf("/d/f%06d", i)); err != nil {
 					b.Fatal(err)
 				}
 			}
 			target := fmt.Sprintf("/d/f%06d", width/2)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fs.Stat(target); err != nil {
+				if _, err := fs.Stat(tctx, target); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -82,19 +82,19 @@ func BenchmarkRenameShapes(b *testing.B) {
 		b.Run(sh.name, func(b *testing.B) {
 			fs := New()
 			for _, d := range sh.setup {
-				if err := fs.Mkdir(d); err != nil {
+				if err := fs.Mkdir(tctx, d); err != nil {
 					b.Fatal(err)
 				}
 			}
-			if err := fs.Mknod(sh.src); err != nil {
+			if err := fs.Mknod(tctx, sh.src); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := fs.Rename(sh.src, sh.dst); err != nil {
+				if err := fs.Rename(tctx, sh.src, sh.dst); err != nil {
 					b.Fatal(err)
 				}
-				if err := fs.Rename(sh.dst, sh.src); err != nil {
+				if err := fs.Rename(tctx, sh.dst, sh.src); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -116,12 +116,12 @@ func BenchmarkUnsafeVsCoupled(b *testing.B) {
 		b.Run(variant.name, func(b *testing.B) {
 			fs := variant.mk()
 			path := fstest.DeepTree(b, fs, 8)
-			if err := fs.Mknod(path + "/f"); err != nil {
+			if err := fs.Mknod(tctx, path + "/f"); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				fs.Stat(path + "/f")
+				fs.Stat(tctx, path + "/f")
 			}
 		})
 	}
@@ -132,29 +132,29 @@ func BenchmarkUnsafeVsCoupled(b *testing.B) {
 func BenchmarkRefFDVsPath(b *testing.B) {
 	fs := New()
 	path := fstest.DeepTree(b, fs, 6) + "/f"
-	if err := fs.Mknod(path); err != nil {
+	if err := fs.Mknod(tctx, path); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := fs.Write(path, 0, make([]byte, 4096)); err != nil {
+	if _, err := fs.Write(tctx, path, 0, make([]byte, 4096)); err != nil {
 		b.Fatal(err)
 	}
 	buf := make([]byte, 4096)
 	b.Run("path-read", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := fs.Read(path, 0, 4096); err != nil {
+			if _, err := fs.Read(tctx, path, 0, buf); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("reffd-read", func(b *testing.B) {
-		fd, err := fs.OpenRef(path)
+		fd, err := fs.OpenRef(tctx, path)
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer fd.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := fd.ReadAt(buf, 0); err != nil {
+			if _, err := fd.ReadAt(tctx, buf, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -185,15 +185,15 @@ func benchTree(b *testing.B, fs fsapi.FS, depth int) (dir, file string) {
 	b.Helper()
 	for i := 0; i < depth; i++ {
 		dir = fmt.Sprintf("%s/p%d", dir, i)
-		if err := fs.Mkdir(dir); err != nil {
+		if err := fs.Mkdir(tctx, dir); err != nil {
 			b.Fatal(err)
 		}
 	}
 	file = dir + "/f"
-	if err := fs.Mknod(file); err != nil {
+	if err := fs.Mknod(tctx, file); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := fs.Write(file, 0, []byte("0123456789abcdef")); err != nil {
+	if _, err := fs.Write(tctx, file, 0, []byte("0123456789abcdef")); err != nil {
 		b.Fatal(err)
 	}
 	return dir, file
@@ -218,21 +218,22 @@ func BenchmarkFastPath(b *testing.B) {
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
 					i := 0
+					rbuf := make([]byte, 16)
 					for pb.Next() {
 						i++
 						switch {
 						case i%40 == 10:
 							id := ids.Add(1)
-							fs.Mknod(fmt.Sprintf("%s/m%d", dir, id))
+							fs.Mknod(tctx, fmt.Sprintf("%s/m%d", dir, id))
 						case i%40 == 30:
-							fs.Unlink(fmt.Sprintf("%s/m%d", dir, ids.Load()))
+							fs.Unlink(tctx, fmt.Sprintf("%s/m%d", dir, ids.Load()))
 						case i%2 == 0:
-							if _, err := fs.Stat(file); err != nil {
+							if _, err := fs.Stat(tctx, file); err != nil {
 								b.Error(err)
 								return
 							}
 						default:
-							if _, err := fs.Read(file, 0, 16); err != nil {
+							if _, err := fs.Read(tctx, file, 0, rbuf); err != nil {
 								b.Error(err)
 								return
 							}
@@ -253,7 +254,7 @@ func BenchmarkFastPath(b *testing.B) {
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
 					for pb.Next() {
-						if _, err := fs.Stat(file); err != nil {
+						if _, err := fs.Stat(tctx, file); err != nil {
 							b.Error(err)
 							return
 						}
@@ -271,7 +272,7 @@ func BenchmarkFastPath(b *testing.B) {
 				_, file := benchTree(b, fs, 2)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := fs.Stat(file); err != nil {
+					if _, err := fs.Stat(tctx, file); err != nil {
 						b.Fatal(err)
 					}
 				}

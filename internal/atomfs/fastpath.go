@@ -144,15 +144,18 @@ func (o *op) fastStat(parts []string) (spec.Ret, bool) {
 	})
 }
 
-// fastRead is Read's fast path.
-func (o *op) fastRead(parts []string, off int64, size int) (spec.Ret, bool) {
+// fastRead is Read's fast path. It fills the caller's dst buffer — the
+// zero-allocation property of the hot read path depends on this: the
+// validated seqlock protocol makes it safe to copy file bytes straight
+// into caller memory, because a failed validation discards the result
+// before it is returned.
+func (o *op) fastRead(parts []string, off int64, dst []byte) (spec.Ret, bool) {
 	return o.fastTry(parts, func(n *node) spec.Ret {
 		if n.kind == spec.KindDir {
 			return spec.ErrRet(fserr.ErrIsDir)
 		}
-		buf := make([]byte, size)
-		rn, _ := n.data.ReadAt(buf, off)
-		return spec.Ret{Data: buf[:rn:rn], N: rn}
+		rn, _ := n.data.ReadAt(dst, off)
+		return spec.Ret{Data: dst[:rn:rn], N: rn}
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/fstest"
 	"repro/internal/history"
@@ -72,26 +73,26 @@ func TestFastPathDifferentialMonitored(t *testing.T) {
 // the fast path.
 func TestFastPathHits(t *testing.T) {
 	fs := New(WithFastPath())
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/a/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/a/f", 0, []byte("hello")); err != nil {
+	if _, err := fs.Write(tctx, "/a/f", 0, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/a/f"); err != nil {
+	if _, err := fs.Stat(tctx, "/a/f"); err != nil {
 		t.Fatal(err)
 	}
-	if data, err := fs.Read("/a/f", 0, 5); err != nil || string(data) != "hello" {
+	if data, err := fsapi.ReadAll(tctx, fs, "/a/f", 0, 5); err != nil || string(data) != "hello" {
 		t.Fatalf("Read = %q, %v", data, err)
 	}
-	if names, err := fs.Readdir("/a"); err != nil || len(names) != 1 || names[0] != "f" {
+	if names, err := fs.Readdir(tctx, "/a"); err != nil || len(names) != 1 || names[0] != "f" {
 		t.Fatalf("Readdir = %v, %v", names, err)
 	}
 	// Errors linearize on the fast path too.
-	if _, err := fs.Stat("/a/missing"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := fs.Stat(tctx, "/a/missing"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("Stat missing = %v", err)
 	}
 	hits, falls := fs.FastPathStats()
@@ -106,10 +107,10 @@ func TestFastPathHits(t *testing.T) {
 // must produce the post-mutation result.
 func TestFastPathForcedFallback(t *testing.T) {
 	fs := New(WithFastPath())
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/a/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/f"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -130,12 +131,12 @@ func TestFastPathForcedFallback(t *testing.T) {
 		// fallback's slow path must succeed — proving the fast path
 		// discarded a perfectly good walk only because it could no longer
 		// prove it atomic, and recovered.
-		if err := fs.Mkdir("/z"); err != nil {
+		if err := fs.Mkdir(tctx, "/z"); err != nil {
 			t.Errorf("mkdir /z: %v", err)
 		}
 		close(release)
 	}()
-	info, err := fs.Stat("/a/f")
+	info, err := fs.Stat(tctx, "/a/f")
 	fs.SetHook(nil)
 	if err != nil {
 		t.Fatalf("Stat after fallback: %v", err)
@@ -157,10 +158,10 @@ func TestFastPathForcedFallback(t *testing.T) {
 // slow-path retry must observe the post-rename tree.
 func TestFastPathForcedFallbackConflicting(t *testing.T) {
 	fs := New(WithFastPath())
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/a/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/f"); err != nil {
 		t.Fatal(err)
 	}
 	parked := make(chan struct{})
@@ -176,12 +177,12 @@ func TestFastPathForcedFallbackConflicting(t *testing.T) {
 	})
 	go func() {
 		<-parked
-		if err := fs.Rename("/a", "/b"); err != nil {
+		if err := fs.Rename(tctx, "/a", "/b"); err != nil {
 			t.Errorf("rename: %v", err)
 		}
 		close(release)
 	}()
-	_, err := fs.Stat("/a/f")
+	_, err := fs.Stat(tctx, "/a/f")
 	fs.SetHook(nil)
 	if !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("Stat /a/f after rename = %v, want ErrNotExist", err)
@@ -189,7 +190,7 @@ func TestFastPathForcedFallbackConflicting(t *testing.T) {
 	if _, falls := fs.FastPathStats(); falls != 1 {
 		t.Fatalf("fallbacks = %d, want 1", falls)
 	}
-	if _, err := fs.Stat("/b/f"); err != nil {
+	if _, err := fs.Stat(tctx, "/b/f"); err != nil {
 		t.Fatalf("Stat /b/f: %v", err)
 	}
 }
@@ -202,14 +203,14 @@ func TestFastPathForcedFallbackConflicting(t *testing.T) {
 func TestFastPathRaceStress(t *testing.T) {
 	fs := New(WithFastPath())
 	for _, d := range []string{"/a", "/a/b", "/c"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := fs.Mknod("/a/b/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/b/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/a/b/f", 0, []byte("payload")); err != nil {
+	if _, err := fs.Write(tctx, "/a/b/f", 0, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -228,13 +229,13 @@ func TestFastPathRaceStress(t *testing.T) {
 				default:
 				}
 				p := paths[(i+w)%len(paths)]
-				if info, err := fs.Stat(p); err == nil && p[len(p)-1] == 'f' && info.Kind.String() != "file" {
+				if info, err := fs.Stat(tctx, p); err == nil && p[len(p)-1] == 'f' && info.Kind.String() != "file" {
 					t.Errorf("stat %s: kind %v", p, info.Kind)
 				}
-				if data, err := fs.Read("/a/b/f", 0, 7); err == nil && len(data) != 0 && string(data) != "payload" {
+				if data, err := fsapi.ReadAll(tctx, fs, "/a/b/f", 0, 7); err == nil && len(data) != 0 && string(data) != "payload" {
 					t.Errorf("read tore: %q", data)
 				}
-				fs.Readdir("/a/b")
+				fs.Readdir(tctx, "/a/b")
 			}
 		}(w)
 	}
@@ -244,11 +245,11 @@ func TestFastPathRaceStress(t *testing.T) {
 			defer mg.Done()
 			for i := 0; i < iters; i++ {
 				if w == 0 {
-					fs.Rename("/a", "/d")
-					fs.Rename("/d", "/a")
+					fs.Rename(tctx, "/a", "/d")
+					fs.Rename(tctx, "/d", "/a")
 				} else {
-					fs.Mknod("/c/x")
-					fs.Unlink("/c/x")
+					fs.Mknod(tctx, "/c/x")
+					fs.Unlink(tctx, "/c/x")
 				}
 			}
 		}(w)
@@ -280,13 +281,13 @@ func TestFastPathMonitoredConcurrent(t *testing.T) {
 		rec := history.NewRecorder()
 		mon := core.NewMonitor(core.Config{Recorder: rec, CheckGoodAFS: true})
 		fs := New(WithFastPath(), WithMonitor(mon))
-		if err := fs.Mkdir("/a"); err != nil {
+		if err := fs.Mkdir(tctx, "/a"); err != nil {
 			t.Fatal(err)
 		}
-		if err := fs.Mkdir("/a/b"); err != nil {
+		if err := fs.Mkdir(tctx, "/a/b"); err != nil {
 			t.Fatal(err)
 		}
-		if err := fs.Mknod("/a/b/f"); err != nil {
+		if err := fs.Mknod(tctx, "/a/b/f"); err != nil {
 			t.Fatal(err)
 		}
 		pre := mon.AbstractState()
@@ -294,11 +295,11 @@ func TestFastPathMonitoredConcurrent(t *testing.T) {
 
 		var wg sync.WaitGroup
 		run := func(f func()) { wg.Add(1); go func() { defer wg.Done(); f() }() }
-		run(func() { fs.Stat("/a/b/f") })
-		run(func() { fs.Rename("/a", "/e") })
-		run(func() { fs.Readdir("/a/b") })
-		run(func() { fs.Read("/a/b/f", 0, 4) })
-		run(func() { fs.Mknod("/a/b/g") })
+		run(func() { fs.Stat(tctx, "/a/b/f") })
+		run(func() { fs.Rename(tctx, "/a", "/e") })
+		run(func() { fs.Readdir(tctx, "/a/b") })
+		run(func() { fsapi.ReadAll(tctx, fs, "/a/b/f", 0, 4) })
+		run(func() { fs.Mknod(tctx, "/a/b/g") })
 		wg.Wait()
 
 		requireClean(t, mon)
@@ -355,7 +356,7 @@ func TestFastPathMonitoredStress(t *testing.T) {
 // operation that attempted the fast path.
 func TestFastPathCountersConverge(t *testing.T) {
 	fs := New(WithFastPath())
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
 	var ops atomic.Uint64
@@ -365,7 +366,7 @@ func TestFastPathCountersConverge(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				fs.Stat("/a")
+				fs.Stat(tctx, "/a")
 				ops.Add(1)
 			}
 		}()

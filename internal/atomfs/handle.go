@@ -1,6 +1,8 @@
 package atomfs
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/fserr"
 	"repro/internal/pathname"
@@ -23,8 +25,8 @@ type Handle struct {
 
 // OpenDirect resolves path once and returns a direct handle to the inode.
 // The resolution itself is an ordinary (linearizable) stat-like traversal.
-func (fs *FS) OpenDirect(path string) (*Handle, error) {
-	o := fs.begin(spec.OpStat, spec.Args{Path: path})
+func (fs *FS) OpenDirect(ctx context.Context, path string) (*Handle, error) {
+	o := fs.begin(ctx, spec.OpStat, spec.Args{Path: path})
 	parts, err := pathname.Split(path)
 	if err != nil {
 		o.end(spec.ErrRet(err))
@@ -51,9 +53,9 @@ func (fs *FS) OpenDirect(path string) (*Handle, error) {
 // the target inode, bypassing every lock on the path. Against concurrent
 // renames this is NOT linearizable; the attached monitor reports the
 // refinement violation (Figure 9).
-func (h *Handle) Readdir() ([]string, error) {
+func (h *Handle) Readdir(ctx context.Context) ([]string, error) {
 	fs := h.fs
-	o := fs.begin(spec.OpReaddir, spec.Args{Path: h.path})
+	o := fs.begin(ctx, spec.OpReaddir, spec.Args{Path: h.path})
 	if h.n.kind != spec.KindDir {
 		return nil, o.end(spec.ErrRet(fserr.ErrNotDir)).Err
 	}
@@ -66,9 +68,9 @@ func (h *Handle) Readdir() ([]string, error) {
 }
 
 // Read reads through the direct reference (same caveats as Readdir).
-func (h *Handle) Read(off int64, size int) ([]byte, error) {
+func (h *Handle) Read(ctx context.Context, off int64, size int) ([]byte, error) {
 	fs := h.fs
-	o := fs.begin(spec.OpRead, spec.Args{Path: h.path, Off: off, Size: size})
+	o := fs.begin(ctx, spec.OpRead, spec.Args{Path: h.path, Off: off, Size: size})
 	if off < 0 || size < 0 {
 		return nil, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}

@@ -19,6 +19,8 @@ package atomfs
 // obs-overhead enforces the budget against the no-op-registry baseline.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -45,6 +47,12 @@ type obsPack struct {
 
 	opCount [nOps]*obs.Counter
 	opLat   [nOps]*obs.Histogram
+
+	// Cancellation outcomes, per op type: aborts whose context was merely
+	// cancelled vs. aborts whose deadline had passed. Ops cancelled after
+	// their LP committed are not counted here — they complete normally.
+	cancelledCnt [nOps]*obs.Counter
+	deadlineCnt  [nOps]*obs.Counter
 
 	lockWait *obs.Histogram
 	lockHold *obs.Histogram
@@ -73,6 +81,8 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 		lbl := fmt.Sprintf("{op=%q}", op.String())
 		p.opCount[op] = reg.Counter("atomfs_ops_total" + lbl)
 		p.opLat[op] = reg.Histogram("atomfs_op_latency_ns" + lbl)
+		p.cancelledCnt[op] = reg.Counter("atomfs_cancelled_total" + lbl)
+		p.deadlineCnt[op] = reg.Counter("atomfs_deadline_exceeded_total" + lbl)
 	}
 	p.lockWait = reg.Histogram("atomfs_lock_wait_ns")
 	p.lockHold = reg.Histogram("atomfs_lock_hold_ns")
@@ -113,6 +123,16 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 }
 
 func nowNano() int64 { return time.Now().UnixNano() }
+
+// cancel accounts a pre-LP abort under the op's type, split by whether
+// the context was cancelled or timed out.
+func (p *obsPack) cancel(tid uint64, kind spec.Op, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		p.deadlineCnt[kind].Inc(tid)
+	} else {
+		p.cancelledCnt[kind].Inc(tid)
+	}
+}
 
 // obsBegin stamps the operation's observability state: count it, decide
 // whether this op carries full tracing, and emit op-begin when it does.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fsapi"
 	"repro/internal/obs"
 )
 
@@ -16,27 +17,27 @@ func TestObsInstrumentation(t *testing.T) {
 	reg := obs.NewRegistry()
 	fs := New(WithFastPath(), WithObs(reg), WithObsSampleEvery(1))
 
-	if err := fs.Mkdir("/d"); err != nil {
+	if err := fs.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/d/f"); err != nil {
+	if err := fs.Mknod(tctx, "/d/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/d/f", 0, []byte("hello")); err != nil {
+	if _, err := fs.Write(tctx, "/d/f", 0, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := fs.Stat("/d/f"); err != nil {
+		if _, err := fs.Stat(tctx, "/d/f"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := fs.Read("/d/f", 0, 5); err != nil {
+		if _, err := fsapi.ReadAll(tctx, fs, "/d/f", 0, 5); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := fs.Readdir("/d"); err != nil {
+		if _, err := fs.Readdir(tctx, "/d"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := fs.Unlink("/d/f"); err != nil {
+	if err := fs.Unlink(tctx, "/d/f"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -103,7 +104,7 @@ func TestObsSampling(t *testing.T) {
 	reg := obs.NewRegistry()
 	fs := New(WithObs(reg)) // default sampling
 
-	if err := fs.Mknod("/f"); err != nil {
+	if err := fs.Mknod(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	// Large enough that every counter shard passes the sampling period
@@ -112,7 +113,7 @@ func TestObsSampling(t *testing.T) {
 	// reliably pooled under the race detector).
 	const n = 4096
 	for i := 0; i < n; i++ {
-		if _, err := fs.Stat("/f"); err != nil {
+		if _, err := fs.Stat(tctx, "/f"); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package atomfs
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/file"
 	"repro/internal/fsapi"
@@ -44,13 +46,17 @@ func (o *op) unlockSet(nodes ...*node) {
 }
 
 // Mknod creates an empty file.
-func (fs *FS) Mknod(path string) error { return fs.ins(spec.OpMknod, spec.KindFile, path) }
+func (fs *FS) Mknod(ctx context.Context, path string) error {
+	return fs.ins(ctx, spec.OpMknod, spec.KindFile, path)
+}
 
 // Mkdir creates an empty directory.
-func (fs *FS) Mkdir(path string) error { return fs.ins(spec.OpMkdir, spec.KindDir, path) }
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	return fs.ins(ctx, spec.OpMkdir, spec.KindDir, path)
+}
 
-func (fs *FS) ins(opKind spec.Op, kind spec.Kind, path string) error {
-	o := fs.begin(opKind, spec.Args{Path: path})
+func (fs *FS) ins(ctx context.Context, opKind spec.Op, kind spec.Kind, path string) error {
+	o := fs.begin(ctx, opKind, spec.Args{Path: path})
 	dirParts, name, err := o.splitDir(path)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
@@ -79,13 +85,17 @@ func (fs *FS) ins(opKind spec.Op, kind spec.Kind, path string) error {
 }
 
 // Rmdir removes an empty directory.
-func (fs *FS) Rmdir(path string) error { return fs.del(spec.OpRmdir, spec.KindDir, path) }
+func (fs *FS) Rmdir(ctx context.Context, path string) error {
+	return fs.del(ctx, spec.OpRmdir, spec.KindDir, path)
+}
 
 // Unlink removes a file.
-func (fs *FS) Unlink(path string) error { return fs.del(spec.OpUnlink, spec.KindFile, path) }
+func (fs *FS) Unlink(ctx context.Context, path string) error {
+	return fs.del(ctx, spec.OpUnlink, spec.KindFile, path)
+}
 
-func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
-	o := fs.begin(opKind, spec.Args{Path: path})
+func (fs *FS) del(ctx context.Context, opKind spec.Op, kind spec.Kind, path string) error {
+	o := fs.begin(ctx, opKind, spec.Args{Path: path})
 	dirParts, name, err := o.splitDir(path)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
@@ -104,6 +114,10 @@ func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
 		o.lp()
 		o.unlock(parent)
 		return o.end(spec.ErrRet(fserr.ErrNotExist)).Err
+	}
+	if err := o.cancelled(); err != nil {
+		o.unlock(parent)
+		return o.end(spec.ErrRet(err)).Err
 	}
 	o.lock(core.BranchBoth, name, child)
 	if kind == spec.KindDir {
@@ -133,13 +147,20 @@ func (fs *FS) del(opKind spec.Op, kind spec.Kind, path string) error {
 }
 
 // Stat reports an inode's kind and size.
-func (fs *FS) Stat(path string) (fsapi.Info, error) {
-	o := fs.beginRead(spec.OpStat, spec.Args{Path: path})
+func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
+	o := fs.beginRead(ctx, spec.OpStat, spec.Args{Path: path})
 	parts, err := o.split(path)
 	if err != nil {
 		return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
 	}
 	if fs.fastPath {
+		// One up-front check covers the whole fast path: the lockless
+		// walk takes no recorded locks, so an abort here unwinds nothing,
+		// and a read-only session outside any critical section can never
+		// be in a helper's help set (SrcPrefix needs a longer LockPath).
+		if err := o.cancelled(); err != nil {
+			return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
+		}
 		if ret, ok := o.fastStat(parts); ok {
 			o.fastHit()
 			o.end(ret)
@@ -163,45 +184,49 @@ func (fs *FS) Stat(path string) (fsapi.Info, error) {
 	return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, nil
 }
 
-// Read returns up to size bytes at off.
-func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	o := fs.beginRead(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
-	if off < 0 || size < 0 {
-		return nil, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
+// Read fills dst with file bytes starting at off and reports how many
+// were read. The caller owns the buffer — the hot path allocates nothing.
+func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	o := fs.beginRead(ctx, spec.OpRead, spec.Args{Path: path, Off: off, Size: len(dst)})
+	if off < 0 {
+		return 0, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}
 	parts, err := o.split(path)
 	if err != nil {
-		return nil, o.end(spec.ErrRet(err)).Err
+		return 0, o.end(spec.ErrRet(err)).Err
 	}
 	if fs.fastPath {
-		if ret, ok := o.fastRead(parts, off, size); ok {
+		// See Stat for why one up-front check suffices on the fast path.
+		if err := o.cancelled(); err != nil {
+			return 0, o.end(spec.ErrRet(err)).Err
+		}
+		if ret, ok := o.fastRead(parts, off, dst); ok {
 			o.fastHit()
 			o.end(ret)
-			return ret.Data, ret.Err
+			return ret.N, ret.Err
 		}
 		o.fastFall()
 	}
 	n, err := o.traverse(core.BranchBoth, parts)
 	if err != nil {
-		return nil, o.end(spec.ErrRet(err)).Err
+		return 0, o.end(spec.ErrRet(err)).Err
 	}
 	if n.kind == spec.KindDir {
 		o.lp()
 		o.unlock(n)
-		return nil, o.end(spec.ErrRet(fserr.ErrIsDir)).Err
+		return 0, o.end(spec.ErrRet(fserr.ErrIsDir)).Err
 	}
-	buf := make([]byte, size)
-	rn, _ := n.data.ReadAt(buf, off)
-	ret := spec.Ret{Data: buf[:rn:rn], N: rn}
+	rn, _ := n.data.ReadAt(dst, off)
+	ret := spec.Ret{Data: dst[:rn:rn], N: rn}
 	o.lp() // ▶ LP: READ ◀
 	o.unlock(n)
 	o.end(ret)
-	return ret.Data, nil
+	return rn, nil
 }
 
 // Write stores data at off, growing the file as needed.
-func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
-	o := fs.begin(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
+func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
+	o := fs.begin(ctx, spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
 	if off < 0 {
 		return 0, o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}
@@ -235,8 +260,8 @@ func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
 }
 
 // Truncate resizes a file.
-func (fs *FS) Truncate(path string, size int64) error {
-	o := fs.begin(spec.OpTruncate, spec.Args{Path: path, Off: size})
+func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
+	o := fs.begin(ctx, spec.OpTruncate, spec.Args{Path: path, Off: size})
 	if size < 0 || size > file.MaxSize {
 		return o.end(spec.ErrRet(fserr.ErrInvalid)).Err
 	}
@@ -266,13 +291,17 @@ func (fs *FS) Truncate(path string, size int64) error {
 }
 
 // Readdir lists a directory's entry names in sorted order.
-func (fs *FS) Readdir(path string) ([]string, error) {
-	o := fs.beginRead(spec.OpReaddir, spec.Args{Path: path})
+func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
+	o := fs.beginRead(ctx, spec.OpReaddir, spec.Args{Path: path})
 	parts, err := o.split(path)
 	if err != nil {
 		return nil, o.end(spec.ErrRet(err)).Err
 	}
 	if fs.fastPath {
+		// See Stat for why one up-front check suffices on the fast path.
+		if err := o.cancelled(); err != nil {
+			return nil, o.end(spec.ErrRet(err)).Err
+		}
 		if ret, ok := o.fastReaddir(parts); ok {
 			o.fastHit()
 			o.end(ret)
@@ -301,8 +330,8 @@ func (fs *FS) Readdir(path string) ([]string, error) {
 // stays locked until both the source and destination directories are
 // locked; then victim locks; then the three link mutations; then the
 // helper linearization point.
-func (fs *FS) Rename(src, dst string) error {
-	o := fs.begin(spec.OpRename, spec.Args{Path: src, Path2: dst})
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
+	o := fs.begin(ctx, spec.OpRename, spec.Args{Path: src, Path2: dst})
 	sdirParts, sn, err := o.splitDir(src)
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
@@ -367,6 +396,14 @@ func (fs *FS) Rename(src, dst string) error {
 	// released (§5.2 deadlock-freedom rule).
 	if lca != sdir && lca != ddir {
 		o.unlock(lca)
+	}
+
+	// Last poll before the point of no return: after this the rename
+	// acquires its victim and source locks and runs straight through its
+	// mutations to the helper LP.
+	if err := o.cancelled(); err != nil {
+		o.unlockSet(sdir, ddir)
+		return o.end(spec.ErrRet(err)).Err
 	}
 
 	var dnode *node

@@ -1,6 +1,7 @@
 package atomfs
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/fsapi"
@@ -40,8 +41,8 @@ type RefFD struct {
 // OpenRef resolves path once (a linearizable, lock-coupled traversal) and
 // pins the inode: its storage stays alive until Close, even if the file
 // is unlinked or its ancestors are renamed.
-func (fs *FS) OpenRef(path string) (*RefFD, error) {
-	h, err := fs.OpenDirect(path)
+func (fs *FS) OpenRef(ctx context.Context, path string) (*RefFD, error) {
+	h, err := fs.OpenDirect(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -69,16 +70,24 @@ func (fd *RefFD) Close() error {
 	return nil
 }
 
-func (fd *RefFD) guard() (*node, error) {
+// guard rejects use of a closed descriptor or a done context. RefFD
+// operations lock a single pinned inode — there is no traversal to abort
+// mid-way — so this single entry check is their whole cancellation story.
+func (fd *RefFD) guard(ctx context.Context) (*node, error) {
 	if fd.closed.Load() {
 		return nil, fserr.ErrBadFD
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	default:
 	}
 	return fd.n, nil
 }
 
 // Stat reports the pinned inode's kind and size.
-func (fd *RefFD) Stat() (fsapi.Info, error) {
-	n, err := fd.guard()
+func (fd *RefFD) Stat(ctx context.Context) (fsapi.Info, error) {
+	n, err := fd.guard(ctx)
 	if err != nil {
 		return fsapi.Info{}, err
 	}
@@ -93,8 +102,8 @@ func (fd *RefFD) Stat() (fsapi.Info, error) {
 
 // ReadAt reads from the pinned inode; it works after unlink (POSIX
 // read-after-unlink without any VFS shadow copy).
-func (fd *RefFD) ReadAt(p []byte, off int64) (int, error) {
-	n, err := fd.guard()
+func (fd *RefFD) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	n, err := fd.guard(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -108,8 +117,8 @@ func (fd *RefFD) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAt writes to the pinned inode.
-func (fd *RefFD) WriteAt(p []byte, off int64) (int, error) {
-	n, err := fd.guard()
+func (fd *RefFD) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	n, err := fd.guard(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -123,8 +132,8 @@ func (fd *RefFD) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // Truncate resizes the pinned inode.
-func (fd *RefFD) Truncate(size int64) error {
-	n, err := fd.guard()
+func (fd *RefFD) Truncate(ctx context.Context, size int64) error {
+	n, err := fd.guard(ctx)
 	if err != nil {
 		return err
 	}
@@ -140,8 +149,8 @@ func (fd *RefFD) Truncate(size int64) error {
 // Readdir lists the pinned directory. Unlike Handle.Readdir this is safe
 // with respect to reclamation (the pin keeps the dir alive), but like all
 // FD-direct operations it is linearizable only at FD granularity.
-func (fd *RefFD) Readdir() ([]string, error) {
-	n, err := fd.guard()
+func (fd *RefFD) Readdir(ctx context.Context) ([]string, error) {
+	n, err := fd.guard(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/spec"
 )
@@ -15,20 +16,20 @@ import (
 // stays fully usable through its descriptor, with no VFS shadow copy.
 func TestRefFDReadAfterUnlink(t *testing.T) {
 	fs := New(WithBlocks(64))
-	if err := fs.Mknod("/f"); err != nil {
+	if err := fs.Mknod(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write("/f", 0, []byte("persistent")); err != nil {
+	if _, err := fs.Write(tctx, "/f", 0, []byte("persistent")); err != nil {
 		t.Fatal(err)
 	}
-	fd, err := fs.OpenRef("/f")
+	fd, err := fs.OpenRef(tctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Unlink("/f"); err != nil {
+	if err := fs.Unlink(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Stat("/f"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := fs.Stat(tctx, "/f"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatal("file still reachable by path")
 	}
 	if !fd.Unlinked() {
@@ -36,14 +37,14 @@ func TestRefFDReadAfterUnlink(t *testing.T) {
 	}
 	// Reads and writes still work on the pinned inode.
 	buf := make([]byte, 16)
-	n, err := fd.ReadAt(buf, 0)
+	n, err := fd.ReadAt(tctx, buf, 0)
 	if err != nil || string(buf[:n]) != "persistent" {
 		t.Fatalf("read = %q %v", buf[:n], err)
 	}
-	if _, err := fd.WriteAt([]byte("!"), int64(n)); err != nil {
+	if _, err := fd.WriteAt(tctx, []byte("!"), int64(n)); err != nil {
 		t.Fatal(err)
 	}
-	info, err := fd.Stat()
+	info, err := fd.Stat(tctx, )
 	if err != nil || info.Size != 11 {
 		t.Fatalf("stat = %+v %v", info, err)
 	}
@@ -60,7 +61,7 @@ func TestRefFDReadAfterUnlink(t *testing.T) {
 	if err := fd.Close(); !errors.Is(err, fserr.ErrBadFD) {
 		t.Fatalf("double close = %v", err)
 	}
-	if _, err := fd.ReadAt(buf, 0); !errors.Is(err, fserr.ErrBadFD) {
+	if _, err := fd.ReadAt(tctx, buf, 0); !errors.Is(err, fserr.ErrBadFD) {
 		t.Fatalf("read after close = %v", err)
 	}
 }
@@ -71,26 +72,26 @@ func TestRefFDReadAfterUnlink(t *testing.T) {
 func TestRefFDSurvivesAncestorRename(t *testing.T) {
 	fs := New()
 	for _, d := range []string{"/a", "/a/b"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := fs.Mknod("/a/b/f"); err != nil {
+	if err := fs.Mknod(tctx, "/a/b/f"); err != nil {
 		t.Fatal(err)
 	}
-	fd, err := fs.OpenRef("/a/b/f")
+	fd, err := fs.OpenRef(tctx, "/a/b/f")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fd.Close()
-	if err := fs.Rename("/a", "/z"); err != nil {
+	if err := fs.Rename(tctx, "/a", "/z"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fd.WriteAt([]byte("still here"), 0); err != nil {
+	if _, err := fd.WriteAt(tctx, []byte("still here"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// The write is visible at the file's new path.
-	data, err := fs.Read("/z/b/f", 0, 32)
+	data, err := fsapi.ReadAll(tctx, fs, "/z/b/f", 0, 32)
 	if err != nil || string(data) != "still here" {
 		t.Fatalf("read via new path = %q %v", data, err)
 	}
@@ -103,24 +104,24 @@ func TestRefFDSurvivesAncestorRename(t *testing.T) {
 // reject file ops.
 func TestRefFDDirectory(t *testing.T) {
 	fs := New()
-	fs.Mkdir("/d")
-	fs.Mknod("/d/x")
-	fd, err := fs.OpenRef("/d")
+	fs.Mkdir(tctx, "/d")
+	fs.Mknod(tctx, "/d/x")
+	fd, err := fs.OpenRef(tctx, "/d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fd.Close()
-	names, err := fd.Readdir()
+	names, err := fd.Readdir(tctx, )
 	if err != nil || len(names) != 1 || names[0] != "x" {
 		t.Fatalf("readdir = %v %v", names, err)
 	}
-	if _, err := fd.ReadAt(make([]byte, 1), 0); !errors.Is(err, fserr.ErrIsDir) {
+	if _, err := fd.ReadAt(tctx, make([]byte, 1), 0); !errors.Is(err, fserr.ErrIsDir) {
 		t.Fatalf("read on dir fd = %v", err)
 	}
-	if err := fd.Truncate(0); !errors.Is(err, fserr.ErrIsDir) {
+	if err := fd.Truncate(tctx, 0); !errors.Is(err, fserr.ErrIsDir) {
 		t.Fatalf("truncate on dir fd = %v", err)
 	}
-	info, err := fd.Stat()
+	info, err := fd.Stat(tctx, )
 	if err != nil || info.Kind != spec.KindDir || info.Size != 1 {
 		t.Fatalf("stat = %+v %v", info, err)
 	}
@@ -130,14 +131,14 @@ func TestRefFDDirectory(t *testing.T) {
 // reclamation too.
 func TestRefFDOverwriteByRename(t *testing.T) {
 	fs := New(WithBlocks(64))
-	fs.Mknod("/victim")
-	fs.Write("/victim", 0, bytes.Repeat([]byte("v"), 8192))
-	fs.Mknod("/new")
-	fd, err := fs.OpenRef("/victim")
+	fs.Mknod(tctx, "/victim")
+	fs.Write(tctx, "/victim", 0, bytes.Repeat([]byte("v"), 8192))
+	fs.Mknod(tctx, "/new")
+	fd, err := fs.OpenRef(tctx, "/victim")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rename("/new", "/victim"); err != nil {
+	if err := fs.Rename(tctx, "/new", "/victim"); err != nil {
 		t.Fatal(err)
 	}
 	if !fd.Unlinked() {
@@ -145,7 +146,7 @@ func TestRefFDOverwriteByRename(t *testing.T) {
 	}
 	// The old content is still readable through the descriptor.
 	buf := make([]byte, 4)
-	if n, err := fd.ReadAt(buf, 0); err != nil || string(buf[:n]) != "vvvv" {
+	if n, err := fd.ReadAt(tctx, buf, 0); err != nil || string(buf[:n]) != "vvvv" {
 		t.Fatalf("read = %q %v", buf[:n], err)
 	}
 	used := fs.BlocksInUse()
@@ -162,9 +163,9 @@ func TestRefFDOverwriteByRename(t *testing.T) {
 // pinning is detected; the descriptor is never handed out.
 func TestRefFDOpenUnlinkedFails(t *testing.T) {
 	fs := New()
-	fs.Mknod("/f")
-	fs.Unlink("/f")
-	if _, err := fs.OpenRef("/f"); !errors.Is(err, fserr.ErrNotExist) {
+	fs.Mknod(tctx, "/f")
+	fs.Unlink(tctx, "/f")
+	if _, err := fs.OpenRef(tctx, "/f"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("open of unlinked = %v", err)
 	}
 }
@@ -173,7 +174,7 @@ func TestRefFDOpenUnlinkedFails(t *testing.T) {
 // pins per inode must neither leak blocks nor double-free.
 func TestRefFDConcurrentStress(t *testing.T) {
 	fs := New(WithBlocks(2048))
-	if err := fs.Mkdir("/d"); err != nil {
+	if err := fs.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -183,16 +184,16 @@ func TestRefFDConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 150; i++ {
 				p := fmt.Sprintf("/d/f%d-%d", w, i%3)
-				fs.Mknod(p)
-				fd1, err1 := fs.OpenRef(p)
-				fd2, err2 := fs.OpenRef(p)
+				fs.Mknod(tctx, p)
+				fd1, err1 := fs.OpenRef(tctx, p)
+				fd2, err2 := fs.OpenRef(tctx, p)
 				if err1 == nil {
-					fd1.WriteAt(bytes.Repeat([]byte{byte(i)}, 4096), 0)
+					fd1.WriteAt(tctx, bytes.Repeat([]byte{byte(i)}, 4096), 0)
 				}
-				fs.Unlink(p)
+				fs.Unlink(tctx, p)
 				if err2 == nil {
 					buf := make([]byte, 64)
-					fd2.ReadAt(buf, 0)
+					fd2.ReadAt(tctx, buf, 0)
 					fd2.Close()
 				}
 				if err1 == nil {
@@ -216,12 +217,12 @@ func TestRefFDConcurrentStress(t *testing.T) {
 func TestRefFDPinKeepsMonitorRelationSound(t *testing.T) {
 	mon := newMon()
 	fs := New(WithMonitor(mon))
-	fs.Mknod("/f")
-	fd, err := fs.OpenRef("/f")
+	fs.Mknod(tctx, "/f")
+	fd, err := fs.OpenRef(tctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Unlink("/f"); err != nil {
+	if err := fs.Unlink(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	if err := mon.Quiesce(); err != nil {
@@ -235,31 +236,31 @@ func TestRefFDPinKeepsMonitorRelationSound(t *testing.T) {
 // Figure-9 demonstration object).
 func TestHandleRead(t *testing.T) {
 	fs := New()
-	fs.Mknod("/f")
-	fs.Write("/f", 0, []byte("direct read"))
-	h, err := fs.OpenDirect("/f")
+	fs.Mknod(tctx, "/f")
+	fs.Write(tctx, "/f", 0, []byte("direct read"))
+	h, err := fs.OpenDirect(tctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := h.Read(7, 4)
+	data, err := h.Read(tctx, 7, 4)
 	if err != nil || string(data) != "read" {
 		t.Fatalf("read = %q %v", data, err)
 	}
-	if _, err := h.Read(-1, 4); !errors.Is(err, fserr.ErrInvalid) {
+	if _, err := h.Read(tctx, -1, 4); !errors.Is(err, fserr.ErrInvalid) {
 		t.Fatalf("negative read = %v", err)
 	}
-	fs.Mkdir("/d")
-	hd, err := fs.OpenDirect("/d")
+	fs.Mkdir(tctx, "/d")
+	hd, err := fs.OpenDirect(tctx, "/d")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := hd.Read(0, 1); !errors.Is(err, fserr.ErrIsDir) {
+	if _, err := hd.Read(tctx, 0, 1); !errors.Is(err, fserr.ErrIsDir) {
 		t.Fatalf("dir read = %v", err)
 	}
-	if _, err := h.Readdir(); !errors.Is(err, fserr.ErrNotDir) {
+	if _, err := h.Readdir(tctx, ); !errors.Is(err, fserr.ErrNotDir) {
 		t.Fatalf("file readdir = %v", err)
 	}
-	if _, err := fs.OpenDirect("/missing"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := fs.OpenDirect(tctx, "/missing"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("open missing = %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package conform
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,30 +15,30 @@ import (
 // tree-shape and rename-corner groups.
 func extraCases() []Case {
 	var cases []Case
-	add := func(group, name string, run func(fs fsapi.FS) error) {
+	add := func(group, name string, run func(ctx context.Context, fs fsapi.FS) error) {
 		cases = append(cases, Case{Group: group, Name: name, Run: run})
 	}
 
 	// --- resolution group: pathname semantics along the lookup ---
-	add("resolution", "enoent-vs-enotdir-precedence", func(fs fsapi.FS) error {
+	add("resolution", "enoent-vs-enotdir-precedence", func(ctx context.Context, fs fsapi.FS) error {
 		// Missing intermediate before a file intermediate: the first
 		// failing component decides.
-		fs.Mknod("/f")
-		if err := want(func() error { _, e := fs.Stat("/missing/f/x"); return e }(), fserr.ErrNotExist); err != nil {
+		fs.Mknod(ctx, "/f")
+		if err := want(func() error { _, e := fs.Stat(ctx, "/missing/f/x"); return e }(), fserr.ErrNotExist); err != nil {
 			return err
 		}
-		return want(func() error { _, e := fs.Stat("/f/missing/x"); return e }(), fserr.ErrNotDir)
+		return want(func() error { _, e := fs.Stat(ctx, "/f/missing/x"); return e }(), fserr.ErrNotDir)
 	})
-	add("resolution", "file-as-intermediate-everywhere", func(fs fsapi.FS) error {
-		fs.Mknod("/f")
+	add("resolution", "file-as-intermediate-everywhere", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/f")
 		checks := []error{
-			fs.Mkdir("/f/d"),
-			fs.Mknod("/f/x"),
-			fs.Rmdir("/f/d"),
-			fs.Unlink("/f/x"),
-			fs.Rename("/f/x", "/y"),
-			func() error { _, e := fs.Read("/f/x", 0, 1); return e }(),
-			func() error { _, e := fs.Readdir("/f/x"); return e }(),
+			fs.Mkdir(ctx, "/f/d"),
+			fs.Mknod(ctx, "/f/x"),
+			fs.Rmdir(ctx, "/f/d"),
+			fs.Unlink(ctx, "/f/x"),
+			fs.Rename(ctx, "/f/x", "/y"),
+			func() error { _, e := fsapi.ReadAll(ctx, fs, "/f/x", 0, 1); return e }(),
+			func() error { _, e := fs.Readdir(ctx, "/f/x"); return e }(),
 		}
 		for i, err := range checks {
 			if !errors.Is(err, fserr.ErrNotDir) {
@@ -46,21 +47,21 @@ func extraCases() []Case {
 		}
 		return nil
 	})
-	add("resolution", "empty-path-invalid", func(fs fsapi.FS) error {
-		return want(fs.Mkdir(""), fserr.ErrInvalid)
+	add("resolution", "empty-path-invalid", func(ctx context.Context, fs fsapi.FS) error {
+		return want(fs.Mkdir(ctx, ""), fserr.ErrInvalid)
 	})
-	add("resolution", "dot-component-invalid", func(fs fsapi.FS) error {
-		fs.Mkdir("/d")
-		return want(fs.Mknod("/d/./f"), fserr.ErrInvalid)
+	add("resolution", "dot-component-invalid", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mkdir(ctx, "/d")
+		return want(fs.Mknod(ctx, "/d/./f"), fserr.ErrInvalid)
 	})
-	add("resolution", "nul-byte-invalid", func(fs fsapi.FS) error {
-		return want(fs.Mkdir("/bad\x00name"), fserr.ErrInvalid)
+	add("resolution", "nul-byte-invalid", func(ctx context.Context, fs fsapi.FS) error {
+		return want(fs.Mkdir(ctx, "/bad\x00name"), fserr.ErrInvalid)
 	})
-	add("resolution", "case-sensitive", func(fs fsapi.FS) error {
-		if err := first(ok(fs.Mkdir("/Dir")), ok(fs.Mkdir("/dir"))); err != nil {
+	add("resolution", "case-sensitive", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(ok(fs.Mkdir(ctx, "/Dir")), ok(fs.Mkdir(ctx, "/dir"))); err != nil {
 			return err
 		}
-		names, err := fs.Readdir("/")
+		names, err := fs.Readdir(ctx, "/")
 		if err != nil || len(names) != 2 {
 			return fmt.Errorf("names = %v %v", names, err)
 		}
@@ -68,61 +69,61 @@ func extraCases() []Case {
 	})
 
 	// --- integrity group: data survives metadata churn ---
-	add("integrity", "content-survives-rename-chain", func(fs fsapi.FS) error {
-		fs.Mknod("/f")
+	add("integrity", "content-survives-rename-chain", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/f")
 		payload := bytes.Repeat([]byte("payload!"), 1024)
-		fs.Write("/f", 0, payload)
+		fs.Write(ctx, "/f", 0, payload)
 		cur := "/f"
 		for i := 0; i < 8; i++ {
 			next := fmt.Sprintf("/f%d", i)
-			if err := fs.Rename(cur, next); err != nil {
+			if err := fs.Rename(ctx, cur, next); err != nil {
 				return err
 			}
 			cur = next
 		}
-		got, err := fs.Read(cur, 0, len(payload))
+		got, err := fsapi.ReadAll(ctx, fs, cur, 0, len(payload))
 		if err != nil || !bytes.Equal(got, payload) {
 			return fmt.Errorf("content lost after renames: %v", err)
 		}
 		return nil
 	})
-	add("integrity", "content-survives-dir-moves", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/a", "/a/b"); err != nil {
+	add("integrity", "content-survives-dir-moves", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/a", "/a/b"); err != nil {
 			return err
 		}
-		fs.Mknod("/a/b/f")
-		fs.Write("/a/b/f", 0, []byte("deep"))
-		if err := first(ok(fs.Rename("/a", "/x")), ok(fs.Rename("/x/b", "/y"))); err != nil {
+		fs.Mknod(ctx, "/a/b/f")
+		fs.Write(ctx, "/a/b/f", 0, []byte("deep"))
+		if err := first(ok(fs.Rename(ctx, "/a", "/x")), ok(fs.Rename(ctx, "/x/b", "/y"))); err != nil {
 			return err
 		}
-		got, err := fs.Read("/y/f", 0, 10)
+		got, err := fsapi.ReadAll(ctx, fs, "/y/f", 0, 10)
 		if err != nil || string(got) != "deep" {
 			return fmt.Errorf("read = %q %v", got, err)
 		}
 		return nil
 	})
-	add("integrity", "independent-files-do-not-alias", func(fs fsapi.FS) error {
-		fs.Mknod("/f1")
-		fs.Mknod("/f2")
-		fs.Write("/f1", 0, []byte("one"))
-		fs.Write("/f2", 0, []byte("two"))
-		g1, _ := fs.Read("/f1", 0, 10)
-		g2, _ := fs.Read("/f2", 0, 10)
+	add("integrity", "independent-files-do-not-alias", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/f1")
+		fs.Mknod(ctx, "/f2")
+		fs.Write(ctx, "/f1", 0, []byte("one"))
+		fs.Write(ctx, "/f2", 0, []byte("two"))
+		g1, _ := fsapi.ReadAll(ctx, fs, "/f1", 0, 10)
+		g2, _ := fsapi.ReadAll(ctx, fs, "/f2", 0, 10)
 		if string(g1) != "one" || string(g2) != "two" {
 			return fmt.Errorf("aliased: %q %q", g1, g2)
 		}
 		return nil
 	})
-	add("integrity", "write-sizes-pattern", func(fs fsapi.FS) error {
-		fs.Mknod("/f")
+	add("integrity", "write-sizes-pattern", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/f")
 		// Write every size around the block boundary and verify.
 		off := int64(0)
 		for _, n := range []int{1, 4095, 4096, 4097, 8192, 3, 12288} {
 			p := bytes.Repeat([]byte{byte(n % 251)}, n)
-			if _, err := fs.Write("/f", off, p); err != nil {
+			if _, err := fs.Write(ctx, "/f", off, p); err != nil {
 				return err
 			}
-			got, err := fs.Read("/f", off, n)
+			got, err := fsapi.ReadAll(ctx, fs, "/f", off, n)
 			if err != nil || !bytes.Equal(got, p) {
 				return fmt.Errorf("size %d at %d mismatched: %v", n, off, err)
 			}
@@ -130,20 +131,20 @@ func extraCases() []Case {
 		}
 		return nil
 	})
-	add("integrity", "interleaved-write-read-offsets", func(fs fsapi.FS) error {
-		fs.Mknod("/f")
+	add("integrity", "interleaved-write-read-offsets", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/f")
 		model := make([]byte, 0, 1<<16)
 		for i := 0; i < 40; i++ {
 			off := int64((i * 1237) % 30000)
 			p := bytes.Repeat([]byte{byte(i)}, 100+i*13)
-			fs.Write("/f", off, p)
+			fs.Write(ctx, "/f", off, p)
 			end := off + int64(len(p))
 			for int64(len(model)) < end {
 				model = append(model, 0)
 			}
 			copy(model[off:end], p)
 		}
-		got, err := fs.Read("/f", 0, len(model))
+		got, err := fsapi.ReadAll(ctx, fs, "/f", 0, len(model))
 		if err != nil || !bytes.Equal(got, model) {
 			return fmt.Errorf("final content mismatch (%d vs %d bytes): %v", len(got), len(model), err)
 		}
@@ -151,31 +152,31 @@ func extraCases() []Case {
 	})
 
 	// --- tree group: structural behaviours ---
-	add("tree", "mkdir-then-populate-subtree", func(fs fsapi.FS) error {
+	add("tree", "mkdir-then-populate-subtree", func(ctx context.Context, fs fsapi.FS) error {
 		for d := 0; d < 5; d++ {
 			base := fmt.Sprintf("/t%d", d)
-			if err := fs.Mkdir(base); err != nil {
+			if err := fs.Mkdir(ctx, base); err != nil {
 				return err
 			}
 			for f := 0; f < 5; f++ {
-				if err := fs.Mknod(fmt.Sprintf("%s/f%d", base, f)); err != nil {
+				if err := fs.Mknod(ctx, fmt.Sprintf("%s/f%d", base, f)); err != nil {
 					return err
 				}
 			}
 		}
-		names, err := fs.Readdir("/")
+		names, err := fs.Readdir(ctx, "/")
 		if err != nil || len(names) != 5 {
 			return fmt.Errorf("root names = %v %v", names, err)
 		}
 		return nil
 	})
-	add("tree", "wide-directory-readdir", func(fs fsapi.FS) error {
-		fs.Mkdir("/w")
+	add("tree", "wide-directory-readdir", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mkdir(ctx, "/w")
 		const n = 300
 		for i := 0; i < n; i++ {
-			fs.Mknod(fmt.Sprintf("/w/e%05d", i))
+			fs.Mknod(ctx, fmt.Sprintf("/w/e%05d", i))
 		}
-		names, err := fs.Readdir("/w")
+		names, err := fs.Readdir(ctx, "/w")
 		if err != nil || len(names) != n {
 			return fmt.Errorf("len = %d %v", len(names), err)
 		}
@@ -186,32 +187,32 @@ func extraCases() []Case {
 		}
 		return nil
 	})
-	add("tree", "subtree-deletion-bottom-up", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/s", "/s/a", "/s/a/b"); err != nil {
+	add("tree", "subtree-deletion-bottom-up", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/s", "/s/a", "/s/a/b"); err != nil {
 			return err
 		}
-		fs.Mknod("/s/a/b/f")
+		fs.Mknod(ctx, "/s/a/b/f")
 		if err := first(
-			ok(fs.Unlink("/s/a/b/f")), ok(fs.Rmdir("/s/a/b")),
-			ok(fs.Rmdir("/s/a")), ok(fs.Rmdir("/s"))); err != nil {
+			ok(fs.Unlink(ctx, "/s/a/b/f")), ok(fs.Rmdir(ctx, "/s/a/b")),
+			ok(fs.Rmdir(ctx, "/s/a")), ok(fs.Rmdir(ctx, "/s"))); err != nil {
 			return err
 		}
-		names, _ := fs.Readdir("/")
+		names, _ := fs.Readdir(ctx, "/")
 		if len(names) != 0 {
 			return fmt.Errorf("leftovers: %v", names)
 		}
 		return nil
 	})
-	add("tree", "stat-every-level", func(fs fsapi.FS) error {
+	add("tree", "stat-every-level", func(ctx context.Context, fs fsapi.FS) error {
 		p := ""
 		for i := 0; i < 10; i++ {
 			p = fmt.Sprintf("%s/l%d", p, i)
-			fs.Mkdir(p)
+			fs.Mkdir(ctx, p)
 		}
 		q := ""
 		for i := 0; i < 10; i++ {
 			q = fmt.Sprintf("%s/l%d", q, i)
-			info, err := fs.Stat(q)
+			info, err := fs.Stat(ctx, q)
 			if err != nil || info.Kind != spec.KindDir {
 				return fmt.Errorf("level %d: %+v %v", i, info, err)
 			}
@@ -220,97 +221,97 @@ func extraCases() []Case {
 	})
 
 	// --- rename-corner group ---
-	add("rename-corner", "repeated-overwrite", func(fs fsapi.FS) error {
-		fs.Mknod("/dst")
+	add("rename-corner", "repeated-overwrite", func(ctx context.Context, fs fsapi.FS) error {
+		fs.Mknod(ctx, "/dst")
 		for i := 0; i < 10; i++ {
 			p := fmt.Sprintf("/src%d", i)
-			fs.Mknod(p)
-			fs.Write(p, 0, []byte{byte(i)})
-			if err := fs.Rename(p, "/dst"); err != nil {
+			fs.Mknod(ctx, p)
+			fs.Write(ctx, p, 0, []byte{byte(i)})
+			if err := fs.Rename(ctx, p, "/dst"); err != nil {
 				return err
 			}
 		}
-		got, err := fs.Read("/dst", 0, 4)
+		got, err := fsapi.ReadAll(ctx, fs, "/dst", 0, 4)
 		if err != nil || len(got) != 1 || got[0] != 9 {
 			return fmt.Errorf("final content = %v %v", got, err)
 		}
 		return nil
 	})
-	add("rename-corner", "deep-to-shallow-and-back", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/a", "/a/b", "/a/b/c"); err != nil {
+	add("rename-corner", "deep-to-shallow-and-back", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/a", "/a/b", "/a/b/c"); err != nil {
 			return err
 		}
-		fs.Mknod("/a/b/c/f")
-		if err := first(ok(fs.Rename("/a/b/c/f", "/f")), ok(fs.Rename("/f", "/a/b/c/f"))); err != nil {
+		fs.Mknod(ctx, "/a/b/c/f")
+		if err := first(ok(fs.Rename(ctx, "/a/b/c/f", "/f")), ok(fs.Rename(ctx, "/f", "/a/b/c/f"))); err != nil {
 			return err
 		}
-		_, err := fs.Stat("/a/b/c/f")
+		_, err := fs.Stat(ctx, "/a/b/c/f")
 		return ok(err)
 	})
-	add("rename-corner", "sibling-directory-swap", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/p", "/p/x", "/p/y"); err != nil {
+	add("rename-corner", "sibling-directory-swap", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/p", "/p/x", "/p/y"); err != nil {
 			return err
 		}
-		fs.Mknod("/p/x/in-x")
-		fs.Mknod("/p/y/in-y")
+		fs.Mknod(ctx, "/p/x/in-x")
+		fs.Mknod(ctx, "/p/y/in-y")
 		if err := first(
-			ok(fs.Rename("/p/x", "/p/tmp")),
-			ok(fs.Rename("/p/y", "/p/x")),
-			ok(fs.Rename("/p/tmp", "/p/y"))); err != nil {
+			ok(fs.Rename(ctx, "/p/x", "/p/tmp")),
+			ok(fs.Rename(ctx, "/p/y", "/p/x")),
+			ok(fs.Rename(ctx, "/p/tmp", "/p/y"))); err != nil {
 			return err
 		}
-		if _, err := fs.Stat("/p/x/in-y"); err != nil {
+		if _, err := fs.Stat(ctx, "/p/x/in-y"); err != nil {
 			return fmt.Errorf("swap lost in-y: %v", err)
 		}
-		if _, err := fs.Stat("/p/y/in-x"); err != nil {
+		if _, err := fs.Stat(ctx, "/p/y/in-x"); err != nil {
 			return fmt.Errorf("swap lost in-x: %v", err)
 		}
 		return nil
 	})
-	add("rename-corner", "rename-into-renamed-dir", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/old"); err != nil {
+	add("rename-corner", "rename-into-renamed-dir", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/old"); err != nil {
 			return err
 		}
-		fs.Mknod("/loose")
-		if err := first(ok(fs.Rename("/old", "/new")), ok(fs.Rename("/loose", "/new/loose"))); err != nil {
+		fs.Mknod(ctx, "/loose")
+		if err := first(ok(fs.Rename(ctx, "/old", "/new")), ok(fs.Rename(ctx, "/loose", "/new/loose"))); err != nil {
 			return err
 		}
-		_, err := fs.Stat("/new/loose")
+		_, err := fs.Stat(ctx, "/new/loose")
 		return ok(err)
 	})
-	add("rename-corner", "source-equals-dest-dir-differs-name", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/d"); err != nil {
+	add("rename-corner", "source-equals-dest-dir-differs-name", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/d"); err != nil {
 			return err
 		}
-		fs.Mknod("/d/a")
-		fs.Mknod("/d/b")
+		fs.Mknod(ctx, "/d/a")
+		fs.Mknod(ctx, "/d/b")
 		// Overwrite within one directory (sdir == ddir path in the
 		// implementation).
-		fs.Write("/d/a", 0, []byte("A"))
-		if err := fs.Rename("/d/a", "/d/b"); err != nil {
+		fs.Write(ctx, "/d/a", 0, []byte("A"))
+		if err := fs.Rename(ctx, "/d/a", "/d/b"); err != nil {
 			return err
 		}
-		names, _ := fs.Readdir("/d")
+		names, _ := fs.Readdir(ctx, "/d")
 		if len(names) != 1 || names[0] != "b" {
 			return fmt.Errorf("names = %v", names)
 		}
-		got, _ := fs.Read("/d/b", 0, 2)
+		got, _ := fsapi.ReadAll(ctx, fs, "/d/b", 0, 2)
 		if string(got) != "A" {
 			return fmt.Errorf("content = %q", got)
 		}
 		return nil
 	})
-	add("rename-corner", "grandparent-cycle-rejected", func(fs fsapi.FS) error {
-		if err := mkdirs(fs, "/g", "/g/p", "/g/p/c"); err != nil {
+	add("rename-corner", "grandparent-cycle-rejected", func(ctx context.Context, fs fsapi.FS) error {
+		if err := mkdirs(ctx, fs, "/g", "/g/p", "/g/p/c"); err != nil {
 			return err
 		}
 		for _, dst := range []string{"/g/p/c/x", "/g/p/c"} {
-			if err := fs.Rename("/g", dst); !errors.Is(err, fserr.ErrInvalid) &&
+			if err := fs.Rename(ctx, "/g", dst); !errors.Is(err, fserr.ErrInvalid) &&
 				!errors.Is(err, fserr.ErrNotEmpty) && !errors.Is(err, fserr.ErrIsDir) {
 				return fmt.Errorf("rename /g -> %s = %v", dst, err)
 			}
 		}
-		_, err := fs.Stat("/g/p/c")
+		_, err := fs.Stat(ctx, "/g/p/c")
 		return ok(err)
 	})
 

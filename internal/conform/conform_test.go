@@ -27,7 +27,7 @@ func TestAllVariantsConform(t *testing.T) {
 	for name, mk := range variants {
 		name, mk := name, mk
 		t.Run(name, func(t *testing.T) {
-			s := Run(name, mk)
+			s := Run(tctx, name, mk)
 			for _, f := range s.FailedCases() {
 				t.Errorf("failed: %s", f)
 			}
@@ -53,7 +53,7 @@ func TestMonitoredAtomFSConforms(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			var monitors []*core.Monitor
-			s := Run(tc.name, func() fsapi.FS {
+			s := Run(tctx, tc.name, func() fsapi.FS {
 				mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
 				monitors = append(monitors, mon)
 				return atomfs.New(append([]atomfs.Option{atomfs.WithMonitor(mon)}, tc.opts...)...)
@@ -96,7 +96,7 @@ func TestCatalogueShape(t *testing.T) {
 }
 
 func TestSummaryString(t *testing.T) {
-	s := Run("memfs", func() fsapi.FS { return memfs.New() })
+	s := Run(tctx, "memfs", func() fsapi.FS { return memfs.New() })
 	if s.Pass == 0 || s.Fail != s.UnsupportedFail {
 		t.Fatalf("summary: %s (failures: %v)", s, s.FailedCases())
 	}

@@ -128,6 +128,12 @@ type Descriptor struct {
 	// the LockPath invariants have nothing to check until (and unless) the
 	// operation falls back to its locked slow path.
 	readonly bool
+	// aborted marks an operation whose caller's context was cancelled and
+	// whose TryAbort succeeded: its Aop will never execute, it is invisible
+	// to helpers (linothers skips it), and it is obliged to release every
+	// held lock and return a context error without touching the abstract
+	// state — the cancellation-consistency rules checked at Lock/LP/End.
+	aborted bool
 }
 
 func (d *Descriptor) isRename() bool { return d.op == spec.OpRename }

@@ -48,7 +48,10 @@ func (m *Monitor) helpSet(r *Descriptor) []*Descriptor {
 	var set []*Descriptor
 	add := func(of *Descriptor) {
 		for _, t := range m.pool {
-			if t.tid == r.tid || t.state != AopPending || inSet[t.tid] {
+			// Aborted ops are invisible to helpers: their Aop will never
+			// run, so linearizing them here would publish an effect the
+			// cancelled caller has promised not to perform (§DESIGN 9).
+			if t.tid == r.tid || t.state != AopPending || t.aborted || inSet[t.tid] {
 				continue
 			}
 			if srcPrefixOf(of, t) {
@@ -175,9 +178,11 @@ func (m *Monitor) linothers(r *Descriptor) {
 // inode of each of d's walks must currently be held by d in the concrete
 // file system. Only d's own walks are checked (d's thread is inside the
 // hook, so its concrete lock state is stable). Skipped after the LP, when
-// the unlock phase legitimately retires walk tails. Caller holds m.mu.
+// the unlock phase legitimately retires walk tails, and after a TryAbort,
+// when the cancellation unwind releases the whole tail with no LP ever
+// firing (the walk is being rolled back, not extended). Caller holds m.mu.
 func (m *Monitor) checkLastLocked(d *Descriptor) {
-	if d.state != AopPending {
+	if d.state != AopPending || d.aborted {
 		return
 	}
 	if m.obs != nil {

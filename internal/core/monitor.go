@@ -25,6 +25,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -112,8 +114,16 @@ type monObs struct {
 	relChecks     *obs.Counter
 	fastLPs       *obs.Counter
 	fastLPFalls   *obs.Counter
+	aborted       *obs.Counter
 	helplistLen   *obs.Gauge
 	rollbackDepth *obs.Histogram
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline outcome — the only results an aborted operation may return.
+func isCtxErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 func newMonObs(reg *obs.Registry) *monObs {
@@ -126,6 +136,7 @@ func newMonObs(reg *obs.Registry) *monObs {
 		relChecks:     reg.Counter("core_relation_checks_total"),
 		fastLPs:       reg.Counter("core_fastpath_lp_total"),
 		fastLPFalls:   reg.Counter("core_fastpath_lp_fallback_total"),
+		aborted:       reg.Counter("core_aborted_total"),
 		helplistLen:   reg.Gauge("core_helplist_len"),
 		rollbackDepth: reg.Histogram("core_rollback_depth"),
 	}
@@ -277,6 +288,49 @@ func (s *Session) Tid() uint64 {
 	return s.d.tid
 }
 
+// TryAbort is the cancellation decision point (the commit/abort table of
+// DESIGN.md §9). Called by the file system when it observes its context
+// done, before abandoning the operation. The outcome is decided inside
+// the monitor's atomic block:
+//
+//   - If the operation's Aop has already executed — at its own fixed LP,
+//     at a validated fast-path LP, or externally, helped by a rename's
+//     linothers — the operation is past its linearization point: its
+//     effect is (or is about to become) visible to other threads, so it
+//     is non-cancellable. TryAbort returns false and the operation MUST
+//     run to completion and return the linearized result, never a
+//     context error.
+//
+//   - Otherwise the descriptor is marked aborted and TryAbort returns
+//     true. From that instant the operation is invisible to helpers (a
+//     rename's help-set computation skips aborted descriptors, so no
+//     external LP can fire for it) and it is obliged to release every
+//     lock it holds, apply no effect, and End with a context error. The
+//     abstract state is untouched, so the relaxed abstraction relation
+//     holds with the op's ghost entry simply deleted — the "rollback" of
+//     an aborted op is the trivial one.
+//
+// A nil session (unmonitored FS) always permits the abort.
+func (s *Session) TryAbort() bool {
+	if s == nil {
+		return true
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if d.state == AopDone {
+		return false // LP committed (possibly helped): point of no return
+	}
+	d.aborted = true
+	m.stats.Aborted++
+	if o := m.obs; o != nil {
+		o.aborted.Inc(d.tid)
+		o.rec.Emit(d.tid, obs.EvAbort, uint8(d.op), 0, uint64(len(d.held)))
+	}
+	return true
+}
+
 // Lock records that the session acquired the lock of ino, reached through
 // directory entry name ("" for the root), on the given traversal branch.
 // Called by the file system immediately after the acquisition, while still
@@ -306,6 +360,10 @@ func (s *Session) Lock(branch Branch, name string, ino spec.Inum) {
 	}
 	d.held[ino]++
 
+	if d.aborted {
+		m.violate(ViolCancellation, d.tid,
+			"aborted %s %s acquired lock on inode %d", d.op, d.args, ino)
+	}
 	m.checkLastLocked(d)
 	m.checkFutureLockPath(d, branch, name, ino)
 	m.checkBypass(d, ino)
@@ -457,15 +515,43 @@ func (s *Session) End(concrete spec.Ret) {
 		return
 	}
 	s.done = true
-	if d.state != AopDone {
-		// An operation that fails before reaching a lock-protected LP
-		// (e.g. a path parse error) linearizes at its return.
-		m.linearize(d, d.tid)
-	}
-	if !concrete.Equal(d.ret) {
-		m.violate(ViolRefinement, d.tid,
-			"%s %s: concrete returned %s, abstract %s (helper t%d)",
-			d.op, d.args, concrete, d.ret, d.helper)
+	if d.aborted {
+		// Cancellation-consistency at the return boundary: the op's Aop
+		// never ran, so it must report a context error (never a made-up
+		// success or a stale result), must have released every lock, and —
+		// since TryAbort refuses once AopDone — must not somehow have been
+		// linearized after aborting.
+		if d.state == AopDone {
+			m.violate(ViolCancellation, d.tid,
+				"%s %s: aborted op was linearized (helper t%d)", d.op, d.args, d.helper)
+		}
+		if !isCtxErr(concrete.Err) {
+			m.violate(ViolCancellation, d.tid,
+				"aborted %s %s returned %s, want a context error", d.op, d.args, concrete)
+		}
+		if len(d.held) != 0 {
+			m.violate(ViolCancellation, d.tid,
+				"aborted %s %s ended still holding %d inode locks", d.op, d.args, len(d.held))
+		}
+	} else {
+		if d.state != AopDone {
+			// An operation that fails before reaching a lock-protected LP
+			// (e.g. a path parse error) linearizes at its return.
+			m.linearize(d, d.tid)
+		}
+		if isCtxErr(concrete.Err) && !isCtxErr(d.ret.Err) {
+			// The dual rule: an op whose LP committed (fixed, validated or
+			// helped) is past the point of no return and must surface its
+			// linearized result — returning a context error would un-happen
+			// an effect other threads may already depend on.
+			m.violate(ViolCancellation, d.tid,
+				"%s %s: LP-committed op returned %s, abstract %s (helper t%d)",
+				d.op, d.args, concrete, d.ret, d.helper)
+		} else if !concrete.Equal(d.ret) {
+			m.violate(ViolRefinement, d.tid,
+				"%s %s: concrete returned %s, abstract %s (helper t%d)",
+				d.op, d.args, concrete, d.ret, d.helper)
+		}
 	}
 	m.removeFromHelplist(d.tid)
 	delete(m.pool, d.tid)
@@ -479,6 +565,15 @@ func (s *Session) End(concrete spec.Ret) {
 // helper is the thread performing the linearization (== d.tid at a fixed
 // LP). Caller holds m.mu.
 func (m *Monitor) linearize(d *Descriptor, helper uint64) {
+	if d.aborted {
+		// An aborted op's Aop must never run — not at its own LP (the op
+		// should have left after TryAbort) and not at a helper's (linothers
+		// skips aborted descriptors). Reaching here is a monitor-API misuse
+		// by whichever thread tried to linearize.
+		m.violate(ViolCancellation, d.tid,
+			"aborted %s %s linearized by t%d", d.op, d.args, helper)
+		return
+	}
 	ret, effects := m.afs.Apply(d.op, d.args)
 	d.state = AopDone
 	d.ret = ret
@@ -652,6 +747,11 @@ type Stats struct {
 	// that sent the operation to the locked slow path.
 	FastReads     int
 	FastFallbacks int
+	// Aborted counts operations cancelled pre-LP via TryAbort: no Aop ran,
+	// the caller saw a context error. (TryAbort refusals — cancellations
+	// that arrived after the LP — are not aborts; those ops complete and
+	// count under Linearized/Helped as usual.)
+	Aborted int
 }
 
 // Stats returns the activity counters.

@@ -37,6 +37,13 @@ const (
 	// ViolRelation: the abstract-concrete relation failed to hold after
 	// rolling back helped effects (Table 1, "Abstract-concrete-relation").
 	ViolRelation
+	// ViolCancellation: the cancellation/helping interaction rule broke —
+	// an aborted operation acquired a lock, reached an LP, leaked a lock at
+	// End, or returned something other than a context error; or an
+	// operation whose LP had already committed (fixed or helped) returned a
+	// context error instead of its linearized result. Checked on every
+	// transition, like the Table-1 invariants.
+	ViolCancellation
 	// ViolProtocol: the file system misused the monitor API (e.g. lock
 	// events after the LP without a matching walk).
 	ViolProtocol
@@ -52,6 +59,7 @@ var violationNames = map[ViolationKind]string{
 	ViolUnhelpedBypass: "unhelped-non-bypassable",
 	ViolHelpedBypass:   "helped-non-bypassable",
 	ViolRelation:       "abstract-concrete-relation",
+	ViolCancellation:   "cancellation-consistency",
 	ViolProtocol:       "protocol",
 }
 

@@ -1,0 +1,7 @@
+package dcache
+
+import "context"
+
+// tctx is the tests' root context: tests are execution roots, so the
+// background context is theirs to mint.
+var tctx = context.Background()

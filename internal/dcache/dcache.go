@@ -23,6 +23,8 @@
 package dcache
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -104,6 +106,13 @@ func (fs *FS) lookup(table map[string]*entry, path string) (*entry, bool) {
 
 func fsValidate(fs *FS, e uint64) bool { return fs.epoch.Load() == e }
 
+// cacheable rejects results that are private to one caller's context: a
+// cancellation or deadline error says nothing about the file system, so
+// serving it to another caller from the cache would be wrong.
+func cacheable(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
 // fill stores an entry computed while the epoch stayed stable; a
 // concurrent mutation voids the fill (the entry would be stamped with a
 // stale epoch and never served).
@@ -120,94 +129,97 @@ func (fs *FS) fill(table map[string]*entry, path string, pre uint64, ent *entry)
 // --- mutating operations: write-through with global invalidation ---
 
 // Mknod creates an empty file.
-func (fs *FS) Mknod(path string) error {
+func (fs *FS) Mknod(ctx context.Context, path string) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Mknod(path)
+	return fs.inner.Mknod(ctx, path)
 }
 
 // Mkdir creates an empty directory.
-func (fs *FS) Mkdir(path string) error {
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Mkdir(path)
+	return fs.inner.Mkdir(ctx, path)
 }
 
 // Rmdir removes an empty directory.
-func (fs *FS) Rmdir(path string) error {
+func (fs *FS) Rmdir(ctx context.Context, path string) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Rmdir(path)
+	return fs.inner.Rmdir(ctx, path)
 }
 
 // Unlink removes a file.
-func (fs *FS) Unlink(path string) error {
+func (fs *FS) Unlink(ctx context.Context, path string) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Unlink(path)
+	return fs.inner.Unlink(ctx, path)
 }
 
 // Rename moves src to dst.
-func (fs *FS) Rename(src, dst string) error {
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Rename(src, dst)
+	return fs.inner.Rename(ctx, src, dst)
 }
 
 // Write stores data at off.
-func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Write(path, off, data)
+	return fs.inner.Write(ctx, path, off, data)
 }
 
 // Truncate resizes a file.
-func (fs *FS) Truncate(path string, size int64) error {
+func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
 	fs.beginMutate()
 	defer fs.endMutate()
-	return fs.inner.Truncate(path, size)
+	return fs.inner.Truncate(ctx, path, size)
 }
 
 // --- read-only operations: served from cache when provably fresh ---
 
 // Stat reports kind and size, from cache when possible.
-func (fs *FS) Stat(path string) (fsapi.Info, error) {
+func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	if ent, ok := fs.lookup(fs.stats, path); ok {
 		return ent.info, ent.err
 	}
 	pre, stable := fs.stableEpoch()
-	info, err := fs.inner.Stat(path)
-	if stable {
+	info, err := fs.inner.Stat(ctx, path)
+	if stable && cacheable(err) {
 		fs.fill(fs.stats, path, pre, &entry{info: info, err: err})
 	}
 	return info, err
 }
 
 // Readdir lists entries, from cache when possible.
-func (fs *FS) Readdir(path string) ([]string, error) {
+func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
 	if ent, ok := fs.lookup(fs.dirs, path); ok {
 		return append([]string(nil), ent.names...), ent.err
 	}
 	pre, stable := fs.stableEpoch()
-	names, err := fs.inner.Readdir(path)
-	if stable {
+	names, err := fs.inner.Readdir(ctx, path)
+	if stable && cacheable(err) {
 		fs.fill(fs.dirs, path, pre, &entry{names: append([]string(nil), names...), err: err})
 	}
 	return names, err
 }
 
-// Read returns up to size bytes at off; repeated reads of the same window
-// (the ripgrep/make pattern) hit the cache.
-func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	if ent, ok := fs.lookup(fs.reads, path); ok && ent.off == off && ent.size == size {
-		return append([]byte(nil), ent.data...), ent.err
+// Read fills dst with file bytes starting at off; repeated reads of the
+// same window (the ripgrep/make pattern) hit the cache.
+func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	if ent, ok := fs.lookup(fs.reads, path); ok && ent.off == off && ent.size == len(dst) {
+		if ent.err != nil {
+			return 0, ent.err
+		}
+		return copy(dst, ent.data), nil
 	}
 	pre, stable := fs.stableEpoch()
-	data, err := fs.inner.Read(path, off, size)
-	if stable {
+	n, err := fs.inner.Read(ctx, path, off, dst)
+	if stable && err == nil {
 		fs.fill(fs.reads, path, pre, &entry{
-			data: append([]byte(nil), data...), off: off, size: size, err: err,
+			data: append([]byte(nil), dst[:n]...), off: off, size: len(dst),
 		})
 	}
-	return data, err
+	return n, err
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atomfs"
 	"repro/internal/core"
+	"repro/internal/fsapi"
 	"repro/internal/fstest"
 	"repro/internal/memfs"
 	"repro/internal/workload"
@@ -24,13 +25,13 @@ func TestDifferential(t *testing.T) {
 
 func TestCacheActuallyHits(t *testing.T) {
 	fs := New(memfs.New())
-	fs.Mkdir("/d")
-	fs.Mknod("/d/f")
-	fs.Write("/d/f", 0, []byte("content"))
+	fs.Mkdir(tctx, "/d")
+	fs.Mknod(tctx, "/d/f")
+	fs.Write(tctx, "/d/f", 0, []byte("content"))
 	for i := 0; i < 10; i++ {
-		fs.Stat("/d/f")
-		fs.Read("/d/f", 0, 7)
-		fs.Readdir("/d")
+		fs.Stat(tctx, "/d/f")
+		fsapi.ReadAll(tctx, fs, "/d/f", 0, 7)
+		fs.Readdir(tctx, "/d")
 	}
 	hits, _ := fs.HitRate()
 	if hits < 24 { // 9 repeats x 3 op kinds, first each misses
@@ -40,29 +41,29 @@ func TestCacheActuallyHits(t *testing.T) {
 
 func TestInvalidationOnEveryMutation(t *testing.T) {
 	fs := New(memfs.New())
-	fs.Mknod("/f")
-	fs.Write("/f", 0, []byte("v1"))
-	if data, _ := fs.Read("/f", 0, 2); string(data) != "v1" {
+	fs.Mknod(tctx, "/f")
+	fs.Write(tctx, "/f", 0, []byte("v1"))
+	if data, _ := fsapi.ReadAll(tctx, fs, "/f", 0, 2); string(data) != "v1" {
 		t.Fatalf("read = %q", data)
 	}
-	fs.Read("/f", 0, 2) // cached now
-	fs.Write("/f", 0, []byte("v2"))
-	if data, _ := fs.Read("/f", 0, 2); string(data) != "v2" {
+	fsapi.ReadAll(tctx, fs, "/f", 0, 2) // cached now
+	fs.Write(tctx, "/f", 0, []byte("v2"))
+	if data, _ := fsapi.ReadAll(tctx, fs, "/f", 0, 2); string(data) != "v2" {
 		t.Fatalf("stale read after write: %q", data)
 	}
 	// Structural mutations invalidate stats and dirs too.
-	info, _ := fs.Stat("/f")
+	info, _ := fs.Stat(tctx, "/f")
 	if info.Size != 2 {
 		t.Fatalf("size = %d", info.Size)
 	}
-	fs.Truncate("/f", 0)
-	info, _ = fs.Stat("/f")
+	fs.Truncate(tctx, "/f", 0)
+	info, _ = fs.Stat(tctx, "/f")
 	if info.Size != 0 {
 		t.Fatalf("stale stat after truncate: %+v", info)
 	}
-	names, _ := fs.Readdir("/")
-	fs.Unlink("/f")
-	names2, _ := fs.Readdir("/")
+	names, _ := fs.Readdir(tctx, "/")
+	fs.Unlink(tctx, "/f")
+	names2, _ := fs.Readdir(tctx, "/")
 	if len(names) != 1 || len(names2) != 0 {
 		t.Fatalf("readdir staleness: %v then %v", names, names2)
 	}
@@ -70,14 +71,14 @@ func TestInvalidationOnEveryMutation(t *testing.T) {
 
 func TestNegativeCaching(t *testing.T) {
 	fs := New(memfs.New())
-	if _, err := fs.Stat("/ghost"); err == nil {
+	if _, err := fs.Stat(tctx, "/ghost"); err == nil {
 		t.Fatal("ghost exists?")
 	}
-	if _, err := fs.Stat("/ghost"); err == nil { // cached negative
+	if _, err := fs.Stat(tctx, "/ghost"); err == nil { // cached negative
 		t.Fatal("cached ghost exists?")
 	}
-	fs.Mknod("/ghost")
-	if _, err := fs.Stat("/ghost"); err != nil {
+	fs.Mknod(tctx, "/ghost")
+	if _, err := fs.Stat(tctx, "/ghost"); err != nil {
 		t.Fatalf("negative entry survived creation: %v", err)
 	}
 }
@@ -90,11 +91,11 @@ func TestConcurrentCoherence(t *testing.T) {
 	mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
 	inner := atomfs.New(atomfs.WithMonitor(mon))
 	fs := New(inner)
-	fs.Mknod("/flag")
+	fs.Mknod(tctx, "/flag")
 	counter := func(v uint64) []byte {
 		return binary.BigEndian.AppendUint64(nil, v)
 	}
-	fs.Write("/flag", 0, counter(0))
+	fs.Write(tctx, "/flag", 0, counter(0))
 
 	stop := make(chan struct{})
 	writerDone := make(chan struct{})
@@ -106,7 +107,7 @@ func TestConcurrentCoherence(t *testing.T) {
 				return
 			default:
 			}
-			fs.Write("/flag", 0, counter(v))
+			fs.Write(tctx, "/flag", 0, counter(v))
 		}
 	}()
 	var readers sync.WaitGroup
@@ -116,7 +117,7 @@ func TestConcurrentCoherence(t *testing.T) {
 			defer readers.Done()
 			last := uint64(0)
 			for i := 0; i < 3000; i++ {
-				data, err := fs.Read("/flag", 0, 8)
+				data, err := fsapi.ReadAll(tctx, fs, "/flag", 0, 8)
 				if err != nil || len(data) != 8 {
 					t.Errorf("read = %v %v", data, err)
 					return
@@ -152,7 +153,7 @@ func TestStress(t *testing.T) {
 // raison d'être.
 func TestRipgrepHitRate(t *testing.T) {
 	fs := New(atomfs.New())
-	workload.Ripgrep(fs)
+	workload.Ripgrep(tctx, fs)
 	hits, misses := fs.HitRate()
 	if hits == 0 {
 		t.Fatalf("no hits over ripgrep (misses=%d)", misses)
@@ -164,20 +165,20 @@ func TestRipgrepHitRate(t *testing.T) {
 func BenchmarkCachedVsUncachedStat(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		fs := atomfs.New()
-		fs.Mkdir("/d")
-		fs.Mknod("/d/f")
+		fs.Mkdir(tctx, "/d")
+		fs.Mknod(tctx, "/d/f")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			fs.Stat("/d/f")
+			fs.Stat(tctx, "/d/f")
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
 		fs := New(atomfs.New())
-		fs.Mkdir("/d")
-		fs.Mknod("/d/f")
+		fs.Mkdir(tctx, "/d")
+		fs.Mknod(tctx, "/d/f")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			fs.Stat("/d/f")
+			fs.Stat(tctx, "/d/f")
 		}
 	})
 }

@@ -15,6 +15,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -28,6 +29,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/spec"
 )
+
+// bgCtx is this driver package's root context: the study/exploration
+// harness is an execution root (like main), so the background context is
+// its to mint. ctxlint:allow
+var bgCtx = context.Background()
 
 // Config parameterizes one exploration run.
 type Config struct {
@@ -218,7 +224,7 @@ func Run(cfg Config) Result {
 	}
 	fs := atomfs.New(opts...)
 	for _, d := range []string{"/a", "/a/b", "/c"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(bgCtx, d); err != nil {
 			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
 		}
 	}
@@ -226,7 +232,7 @@ func Run(cfg Config) Result {
 	// succeed concretely, or the Figure-1 phenomenon (fixed-LP abstract
 	// ENOENT vs concrete success) never becomes observable.
 	for _, f := range []string{"/a/f0", "/a/b/f0", "/c/f0"} {
-		if err := fs.Mknod(f); err != nil {
+		if err := fs.Mknod(bgCtx, f); err != nil {
 			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
 		}
 	}
@@ -250,7 +256,7 @@ func Run(cfg Config) Result {
 				} else {
 					op, args = renameHeavy(r)
 				}
-				fstest.ApplyFS(fs, op, args)
+				fstest.ApplyFS(bgCtx, fs, op, args)
 			}
 		}(w)
 	}

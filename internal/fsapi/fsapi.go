@@ -5,7 +5,11 @@
 // the implementation.
 package fsapi
 
-import "repro/internal/spec"
+import (
+	"context"
+
+	"repro/internal/spec"
+)
 
 // Info is a stat result: the inode kind and its size (bytes for files,
 // entry count for directories).
@@ -17,17 +21,43 @@ type Info struct {
 // FS is the path-based file system interface of the paper's §3.1 (mknod,
 // mkdir, rmdir, unlink, rename, stat) plus the data-plane operations the
 // evaluation workloads need. All methods are safe for concurrent use.
+//
+// v2 semantics: every method takes a context as its first parameter, and
+// implementations must observe cancellation and deadlines. An operation
+// that aborts because its context was done returns ctx.Err() (possibly
+// wrapped) and must leave the file system state exactly as if the
+// operation had never started — no partial effects. An operation whose
+// linearization point has already been reached (including one helped to
+// completion by a concurrent operation) is past the point of no return:
+// it completes and returns its real result, never a context error.
+//
+// Read fills the caller-provided buffer dst starting at offset off and
+// reports how many bytes were read, so the hot read path performs no
+// allocation. Short reads at end-of-file return n < len(dst) with a nil
+// error, matching io.ReaderAt semantics except that EOF is not an error.
 type FS interface {
-	Mknod(path string) error
-	Mkdir(path string) error
-	Rmdir(path string) error
-	Unlink(path string) error
-	Rename(src, dst string) error
-	Stat(path string) (Info, error)
-	Read(path string, off int64, size int) ([]byte, error)
-	Write(path string, off int64, data []byte) (int, error)
-	Truncate(path string, size int64) error
-	Readdir(path string) ([]string, error)
+	Mknod(ctx context.Context, path string) error
+	Mkdir(ctx context.Context, path string) error
+	Rmdir(ctx context.Context, path string) error
+	Unlink(ctx context.Context, path string) error
+	Rename(ctx context.Context, src, dst string) error
+	Stat(ctx context.Context, path string) (Info, error)
+	Read(ctx context.Context, path string, off int64, dst []byte) (int, error)
+	Write(ctx context.Context, path string, off int64, data []byte) (int, error)
+	Truncate(ctx context.Context, path string, size int64) error
+	Readdir(ctx context.Context, path string) ([]string, error)
+}
+
+// ReadAll is the allocating convenience form of FS.Read for callers that
+// want a fresh slice of at most size bytes: conformance checks, shells,
+// replay tools. Hot paths should call Read with a reused buffer instead.
+func ReadAll(ctx context.Context, fs FS, path string, off int64, size int) ([]byte, error) {
+	buf := make([]byte, size)
+	n, err := fs.Read(ctx, path, off, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n:n], nil
 }
 
 // Name returns a short implementation name when the FS provides one.

@@ -8,6 +8,7 @@
 package fserr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -44,6 +45,8 @@ const (
 	ENOSPC       = 28
 	ENAMETOOLONG = 36
 	ENOTEMPTY    = 39
+	ETIMEDOUT    = 110
+	ECANCELED    = 125
 )
 
 var toErrno = map[error]int32{
@@ -60,6 +63,11 @@ var toErrno = map[error]int32{
 	ErrCrossDevice:  EXDEV,
 	ErrPermission:   EPERM,
 	ErrTooManyFiles: EMFILE,
+	// Context outcomes cross the wire as errnos too, so a remote client
+	// sees the same sentinels (errors.Is(err, context.Canceled) holds
+	// after an Errno/FromErrno round trip).
+	context.Canceled:         ECANCELED,
+	context.DeadlineExceeded: ETIMEDOUT,
 }
 
 var fromErrno = func() map[int32]error {

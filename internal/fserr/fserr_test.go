@@ -1,7 +1,9 @@
 package fserr
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -10,6 +12,7 @@ func TestErrnoRoundTrip(t *testing.T) {
 		ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrInvalid,
 		ErrBadFD, ErrNoSpace, ErrNameTooLong, ErrBusy, ErrCrossDevice,
 		ErrPermission, ErrTooManyFiles,
+		context.Canceled, context.DeadlineExceeded,
 	}
 	for _, err := range sentinels {
 		no := Errno(err)
@@ -58,5 +61,29 @@ func TestErrnoUnknown(t *testing.T) {
 func TestWrapNil(t *testing.T) {
 	if Wrap("op", "/p", nil) != nil {
 		t.Error("Wrap(nil) should be nil")
+	}
+}
+
+// TestContextErrnos pins the wire values for the context outcomes and the
+// errors.Is round trip a remote client relies on: a server that aborts an
+// op on a cancelled context replies ECANCELED, and the client-side
+// FromErrno restores an error that still matches context.Canceled.
+func TestContextErrnos(t *testing.T) {
+	if Errno(context.Canceled) != ECANCELED || ECANCELED != 125 {
+		t.Fatalf("Errno(Canceled) = %d, want 125", Errno(context.Canceled))
+	}
+	if Errno(context.DeadlineExceeded) != ETIMEDOUT || ETIMEDOUT != 110 {
+		t.Fatalf("Errno(DeadlineExceeded) = %d, want 110", Errno(context.DeadlineExceeded))
+	}
+	// Wrapped context errors map too (layered ops annotate before crossing).
+	wrapped := fmt.Errorf("read /a/b: %w", context.Canceled)
+	if Errno(wrapped) != ECANCELED {
+		t.Fatalf("Errno(wrapped Canceled) = %d", Errno(wrapped))
+	}
+	if !errors.Is(FromErrno(ECANCELED), context.Canceled) {
+		t.Fatal("FromErrno(ECANCELED) does not match context.Canceled")
+	}
+	if !errors.Is(FromErrno(ETIMEDOUT), context.DeadlineExceeded) {
+		t.Fatal("FromErrno(ETIMEDOUT) does not match context.DeadlineExceeded")
 	}
 }

@@ -6,6 +6,7 @@ package fstest
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 // Functional runs a deterministic correctness suite over fs.
 func Functional(t *testing.T, fs fsapi.FS) {
 	t.Helper()
+	ctx := t.Context()
 	must := func(err error) {
 		t.Helper()
 		if err != nil {
@@ -33,99 +35,99 @@ func Functional(t *testing.T, fs fsapi.FS) {
 		}
 	}
 
-	must(fs.Mkdir("/a"))
-	must(fs.Mkdir("/a/b"))
-	must(fs.Mknod("/a/b/f"))
-	wantErr(fs.Mkdir("/a"), fserr.ErrExist)
-	wantErr(fs.Mknod("/a/b/f"), fserr.ErrExist)
-	wantErr(fs.Mkdir("/missing/x"), fserr.ErrNotExist)
-	wantErr(fs.Mkdir("/a/b/f/x"), fserr.ErrNotDir)
+	must(fs.Mkdir(ctx, "/a"))
+	must(fs.Mkdir(ctx, "/a/b"))
+	must(fs.Mknod(ctx, "/a/b/f"))
+	wantErr(fs.Mkdir(ctx, "/a"), fserr.ErrExist)
+	wantErr(fs.Mknod(ctx, "/a/b/f"), fserr.ErrExist)
+	wantErr(fs.Mkdir(ctx, "/missing/x"), fserr.ErrNotExist)
+	wantErr(fs.Mkdir(ctx, "/a/b/f/x"), fserr.ErrNotDir)
 
 	// Data plane.
-	n, err := fs.Write("/a/b/f", 0, []byte("hello world"))
+	n, err := fs.Write(ctx, "/a/b/f", 0, []byte("hello world"))
 	must(err)
 	if n != 11 {
 		t.Fatalf("write n = %d", n)
 	}
-	data, err := fs.Read("/a/b/f", 6, 5)
+	data, err := fsapi.ReadAll(ctx, fs, "/a/b/f", 6, 5)
 	must(err)
 	if string(data) != "world" {
 		t.Fatalf("read = %q", data)
 	}
-	info, err := fs.Stat("/a/b/f")
+	info, err := fs.Stat(ctx, "/a/b/f")
 	must(err)
 	if info.Kind != spec.KindFile || info.Size != 11 {
 		t.Fatalf("stat = %+v", info)
 	}
-	must(fs.Truncate("/a/b/f", 5))
-	data, err = fs.Read("/a/b/f", 0, 100)
+	must(fs.Truncate(ctx, "/a/b/f", 5))
+	data, err = fsapi.ReadAll(ctx, fs, "/a/b/f", 0, 100)
 	must(err)
 	if string(data) != "hello" {
 		t.Fatalf("after truncate: %q", data)
 	}
 	// Sparse write.
-	_, err = fs.Write("/a/b/f", 100, []byte("tail"))
+	_, err = fs.Write(ctx, "/a/b/f", 100, []byte("tail"))
 	must(err)
-	data, err = fs.Read("/a/b/f", 50, 10)
+	data, err = fsapi.ReadAll(ctx, fs, "/a/b/f", 50, 10)
 	must(err)
 	if !bytes.Equal(data, make([]byte, 10)) {
 		t.Fatalf("hole not zero: %v", data)
 	}
 
 	// Readdir.
-	must(fs.Mknod("/a/b/zz"))
-	names, err := fs.Readdir("/a/b")
+	must(fs.Mknod(ctx, "/a/b/zz"))
+	names, err := fs.Readdir(ctx, "/a/b")
 	must(err)
 	if len(names) != 2 || names[0] != "f" || names[1] != "zz" {
 		t.Fatalf("readdir = %v", names)
 	}
-	wantErr(func() error { _, err := fs.Readdir("/a/b/f"); return err }(), fserr.ErrNotDir)
+	wantErr(func() error { _, err := fs.Readdir(ctx, "/a/b/f"); return err }(), fserr.ErrNotDir)
 
 	// Deletion.
-	wantErr(fs.Rmdir("/a"), fserr.ErrNotEmpty)
-	wantErr(fs.Unlink("/a"), fserr.ErrIsDir)
-	wantErr(fs.Rmdir("/a/b/f"), fserr.ErrNotDir)
-	must(fs.Unlink("/a/b/f"))
-	wantErr(fs.Unlink("/a/b/f"), fserr.ErrNotExist)
+	wantErr(fs.Rmdir(ctx, "/a"), fserr.ErrNotEmpty)
+	wantErr(fs.Unlink(ctx, "/a"), fserr.ErrIsDir)
+	wantErr(fs.Rmdir(ctx, "/a/b/f"), fserr.ErrNotDir)
+	must(fs.Unlink(ctx, "/a/b/f"))
+	wantErr(fs.Unlink(ctx, "/a/b/f"), fserr.ErrNotExist)
 
 	// Rename.
-	must(fs.Rename("/a/b", "/c"))
-	if _, err := fs.Stat("/a/b"); !errors.Is(err, fserr.ErrNotExist) {
+	must(fs.Rename(ctx, "/a/b", "/c"))
+	if _, err := fs.Stat(ctx, "/a/b"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("source survived rename: %v", err)
 	}
-	if _, err := fs.Stat("/c/zz"); err != nil {
+	if _, err := fs.Stat(ctx, "/c/zz"); err != nil {
 		t.Fatalf("moved child missing: %v", err)
 	}
-	wantErr(fs.Rename("/c", "/c/sub"), fserr.ErrInvalid)
-	must(fs.Rename("/c", "/c"))
-	wantErr(fs.Rename("/nope", "/x"), fserr.ErrNotExist)
+	wantErr(fs.Rename(ctx, "/c", "/c/sub"), fserr.ErrInvalid)
+	must(fs.Rename(ctx, "/c", "/c"))
+	wantErr(fs.Rename(ctx, "/nope", "/x"), fserr.ErrNotExist)
 
 	// Overwrite semantics.
-	must(fs.Mknod("/t1"))
-	must(fs.Mknod("/t2"))
-	_, err = fs.Write("/t1", 0, []byte("one"))
+	must(fs.Mknod(ctx, "/t1"))
+	must(fs.Mknod(ctx, "/t2"))
+	_, err = fs.Write(ctx, "/t1", 0, []byte("one"))
 	must(err)
-	must(fs.Rename("/t1", "/t2"))
-	data, err = fs.Read("/t2", 0, 10)
+	must(fs.Rename(ctx, "/t1", "/t2"))
+	data, err = fsapi.ReadAll(ctx, fs, "/t2", 0, 10)
 	must(err)
 	if string(data) != "one" {
 		t.Fatalf("overwrite lost data: %q", data)
 	}
-	must(fs.Mkdir("/e1"))
-	must(fs.Mkdir("/e2"))
-	must(fs.Mknod("/e2/inner"))
-	wantErr(fs.Rename("/e1", "/e2"), fserr.ErrNotEmpty)
-	wantErr(fs.Rename("/e1", "/t2"), fserr.ErrNotDir)
-	wantErr(fs.Rename("/t2", "/e1"), fserr.ErrIsDir)
-	must(fs.Unlink("/e2/inner"))
-	must(fs.Rename("/e1", "/e2"))
+	must(fs.Mkdir(ctx, "/e1"))
+	must(fs.Mkdir(ctx, "/e2"))
+	must(fs.Mknod(ctx, "/e2/inner"))
+	wantErr(fs.Rename(ctx, "/e1", "/e2"), fserr.ErrNotEmpty)
+	wantErr(fs.Rename(ctx, "/e1", "/t2"), fserr.ErrNotDir)
+	wantErr(fs.Rename(ctx, "/t2", "/e1"), fserr.ErrIsDir)
+	must(fs.Unlink(ctx, "/e2/inner"))
+	must(fs.Rename(ctx, "/e1", "/e2"))
 
 	// Root is special.
-	wantErr(fs.Mkdir("/"), fserr.ErrInvalid)
-	wantErr(fs.Rmdir("/"), fserr.ErrInvalid)
-	wantErr(fs.Rename("/", "/r"), fserr.ErrInvalid)
-	wantErr(fs.Rename("/e2", "/"), fserr.ErrInvalid)
-	if _, err := fs.Stat("/"); err != nil {
+	wantErr(fs.Mkdir(ctx, "/"), fserr.ErrInvalid)
+	wantErr(fs.Rmdir(ctx, "/"), fserr.ErrInvalid)
+	wantErr(fs.Rename(ctx, "/", "/r"), fserr.ErrInvalid)
+	wantErr(fs.Rename(ctx, "/e2", "/"), fserr.ErrInvalid)
+	if _, err := fs.Stat(ctx, "/"); err != nil {
 		t.Fatalf("stat root: %v", err)
 	}
 }
@@ -183,40 +185,41 @@ func (s *OpStream) Next() (spec.Op, spec.Args) {
 
 // ApplyFS drives one operation against a concrete FS and renders the
 // result in the specification's Ret form.
-func ApplyFS(fs fsapi.FS, op spec.Op, args spec.Args) spec.Ret {
+func ApplyFS(ctx context.Context, fs fsapi.FS, op spec.Op, args spec.Args) spec.Ret {
 	switch op {
 	case spec.OpMknod:
-		return spec.ErrRet(fs.Mknod(args.Path))
+		return spec.ErrRet(fs.Mknod(ctx, args.Path))
 	case spec.OpMkdir:
-		return spec.ErrRet(fs.Mkdir(args.Path))
+		return spec.ErrRet(fs.Mkdir(ctx, args.Path))
 	case spec.OpRmdir:
-		return spec.ErrRet(fs.Rmdir(args.Path))
+		return spec.ErrRet(fs.Rmdir(ctx, args.Path))
 	case spec.OpUnlink:
-		return spec.ErrRet(fs.Unlink(args.Path))
+		return spec.ErrRet(fs.Unlink(ctx, args.Path))
 	case spec.OpRename:
-		return spec.ErrRet(fs.Rename(args.Path, args.Path2))
+		return spec.ErrRet(fs.Rename(ctx, args.Path, args.Path2))
 	case spec.OpStat:
-		info, err := fs.Stat(args.Path)
+		info, err := fs.Stat(ctx, args.Path)
 		if err != nil {
 			return spec.ErrRet(err)
 		}
 		return spec.Ret{Kind: info.Kind, Size: info.Size}
 	case spec.OpRead:
-		data, err := fs.Read(args.Path, args.Off, args.Size)
+		dst := make([]byte, args.Size)
+		n, err := fs.Read(ctx, args.Path, args.Off, dst)
 		if err != nil {
 			return spec.ErrRet(err)
 		}
-		return spec.Ret{Data: data, N: len(data)}
+		return spec.Ret{Data: dst[:n:n], N: n}
 	case spec.OpWrite:
-		n, err := fs.Write(args.Path, args.Off, args.Data)
+		n, err := fs.Write(ctx, args.Path, args.Off, args.Data)
 		if err != nil {
 			return spec.ErrRet(err)
 		}
 		return spec.Ret{N: n}
 	case spec.OpTruncate:
-		return spec.ErrRet(fs.Truncate(args.Path, args.Off))
+		return spec.ErrRet(fs.Truncate(ctx, args.Path, args.Off))
 	case spec.OpReaddir:
-		names, err := fs.Readdir(args.Path)
+		names, err := fs.Readdir(ctx, args.Path)
 		if err != nil {
 			return spec.ErrRet(err)
 		}
@@ -231,12 +234,13 @@ func ApplyFS(fs fsapi.FS, op spec.Op, args spec.Args) spec.Ret {
 // the concrete implementation sequentially refines the spec.
 func Differential(t *testing.T, fs fsapi.FS, seed int64, steps int) {
 	t.Helper()
+	ctx := t.Context()
 	model := spec.New()
 	stream := NewOpStream(seed)
 	for i := 0; i < steps; i++ {
 		op, args := stream.Next()
 		want, _ := model.Apply(op, args)
-		got := ApplyFS(fs, op, args)
+		got := ApplyFS(ctx, fs, op, args)
 		if !got.Equal(want) {
 			t.Fatalf("seed %d step %d: %s %s: concrete %s, spec %s", seed, i, op, args, got, want)
 		}
@@ -248,6 +252,7 @@ func Differential(t *testing.T, fs fsapi.FS, seed int64, steps int) {
 // checks invariants (monitor violations, tree sanity) afterwards.
 func Stress(t *testing.T, fs fsapi.FS, nWorkers, steps int, seed int64) {
 	t.Helper()
+	ctx := t.Context()
 	var wg sync.WaitGroup
 	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
@@ -256,7 +261,7 @@ func Stress(t *testing.T, fs fsapi.FS, nWorkers, steps int, seed int64) {
 			stream := NewOpStream(seed + int64(w)*7919)
 			for i := 0; i < steps; i++ {
 				op, args := stream.Next()
-				ApplyFS(fs, op, args)
+				ApplyFS(ctx, fs, op, args)
 			}
 		}(w)
 	}
@@ -267,10 +272,11 @@ func Stress(t *testing.T, fs fsapi.FS, nWorkers, steps int, seed int64) {
 // path.
 func DeepTree(t testing.TB, fs fsapi.FS, depth int) string {
 	t.Helper()
+	ctx := t.Context()
 	path := ""
 	for i := 0; i < depth; i++ {
 		path = fmt.Sprintf("%s/d%d", path, i)
-		if err := fs.Mkdir(path); err != nil {
+		if err := fs.Mkdir(ctx, path); err != nil {
 			t.Fatal(err)
 		}
 	}

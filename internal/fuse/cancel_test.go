@@ -1,0 +1,168 @@
+package fuse
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fsapi"
+	"repro/internal/memfs"
+	"repro/internal/spec"
+)
+
+// blockingFS wraps an inner FS; Read parks until the request context is
+// done and reports the context error it observed on ctxErrs. Everything
+// else passes through. It stands in for an operation stuck deep in
+// traversal so the tests can observe what the dispatch layer does to its
+// context.
+type blockingFS struct {
+	fsapi.FS
+	ctxErrs chan error
+}
+
+func newBlockingFS() *blockingFS {
+	inner := memfs.New()
+	if err := inner.Mknod(tctx, "/slow"); err != nil {
+		panic(err)
+	}
+	return &blockingFS{FS: inner, ctxErrs: make(chan error, 16)}
+}
+
+func (b *blockingFS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	<-ctx.Done()
+	b.ctxErrs <- ctx.Err()
+	return 0, ctx.Err()
+}
+
+// TestWireDeadlineExpires: a client deadline travels the wire as a
+// relative budget; when the backing operation overruns it, the caller
+// gets context.DeadlineExceeded (locally or as the server's ETIMEDOUT
+// errno — both restore the same sentinel).
+func TestWireDeadlineExpires(t *testing.T) {
+	bfs := newBlockingFS()
+	client, srv := Pipe(bfs)
+	defer srv.Close()
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(tctx, 50*time.Millisecond)
+	defer cancel()
+	buf := make([]byte, 4)
+	start := time.Now()
+	_, err := client.Read(ctx, "/slow", 0, buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("read past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	// The server-side request context expired too: the parked Read
+	// observed it (the server does not leave abandoned handlers running).
+	select {
+	case err := <-bfs.ctxErrs:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("server-side ctx err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server-side handler never saw the deadline")
+	}
+}
+
+// TestAdmissionRejectsExpired: a request whose wire deadline passes while
+// it waits in the dispatch queue is rejected with ETIMEDOUT by the
+// admission check — before it reaches the file system (and so before it
+// can take a single inode lock). The client context carries no deadline,
+// so the ETIMEDOUT seen by the caller can only be the server's reply.
+func TestAdmissionRejectsExpired(t *testing.T) {
+	bfs := newBlockingFS()
+	srv := NewServer(bfs)
+	srv.maxInflight = 1 // one slot: the blocked read saturates the queue
+	defer srv.Close()
+	c1, c2 := net.Pipe()
+	srv.mu.Lock()
+	srv.conns[c2] = nil
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	go func() {
+		defer srv.wg.Done()
+		srv.ServeConn(c2)
+	}()
+	client := NewClient(c1)
+	defer client.Close()
+
+	// Occupy the only inflight slot with a read whose wire deadline frees
+	// the slot for us after ~300ms (client-side cancellation does not
+	// cross the wire; only the server-anchored deadline can unpark it).
+	rctx, rcancel := context.WithTimeout(tctx, 300*time.Millisecond)
+	defer rcancel()
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		_, err := client.Read(rctx, "/slow", 0, buf)
+		readDone <- err
+	}()
+	// Let the read reach the parked handler and hold the slot.
+	time.Sleep(50 * time.Millisecond)
+
+	// A second request with a tiny wire budget queues behind it; its
+	// deadline is anchored when the server reads the frame, long before
+	// the slot frees, so the admission check must reject it.
+	stat := make(chan error, 1)
+	go func() {
+		_, err := client.call(tctx, &request{
+			Op: spec.OpStat, Path: "/slow",
+			TimeoutNs: int64(30 * time.Millisecond),
+		})
+		stat <- err
+	}()
+
+	if err := <-readDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slot-holding read = %v, want context.DeadlineExceeded", err)
+	}
+	select {
+	case err := <-stat:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("queued-past-deadline stat = %v, want context.DeadlineExceeded (server ETIMEDOUT)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("doomed request never got its rejection")
+	}
+}
+
+// TestConnectionCloseCancelsInflight: when the server shuts down, every
+// in-flight request's context is cancelled — handlers parked in the file
+// system unwind instead of leaking against a client that is gone.
+func TestConnectionCloseCancelsInflight(t *testing.T) {
+	bfs := newBlockingFS()
+	client, srv := Pipe(bfs)
+	defer client.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		_, err := client.Read(tctx, "/slow", 0, buf)
+		done <- err
+	}()
+	// Give the request time to reach the parked handler, then tear the
+	// server down.
+	time.Sleep(30 * time.Millisecond)
+	srv.Close()
+
+	select {
+	case err := <-bfs.ctxErrs:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("server-side ctx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight handler never saw the connection-close cancellation")
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read against a closed server succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client call never returned after server close")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/atomfs"
 	"repro/internal/core"
+	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/fstest"
 	"repro/internal/memfs"
@@ -89,23 +90,23 @@ func TestTCPServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Mkdir("/remote"); err != nil {
+	if err := client.Mkdir(tctx, "/remote"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Write("/remote/f", 0, []byte("x")); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := client.Write(tctx, "/remote/f", 0, []byte("x")); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("write missing = %v", err)
 	}
-	if err := client.Mknod("/remote/f"); err != nil {
+	if err := client.Mknod(tctx, "/remote/f"); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := client.Write("/remote/f", 0, []byte("over the wire")); err != nil || n != 13 {
+	if n, err := client.Write(tctx, "/remote/f", 0, []byte("over the wire")); err != nil || n != 13 {
 		t.Fatalf("write = %d %v", n, err)
 	}
-	data, err := client.Read("/remote/f", 5, 3)
+	data, err := fsapi.ReadAll(tctx, client, "/remote/f", 5, 3)
 	if err != nil || string(data) != "the" {
 		t.Fatalf("read = %q %v", data, err)
 	}
-	names, err := client.Readdir("/remote")
+	names, err := client.Readdir(tctx, "/remote")
 	if err != nil || len(names) != 1 {
 		t.Fatalf("readdir = %v %v", names, err)
 	}
@@ -116,7 +117,7 @@ func TestTCPServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client2.Close()
-	info, err := client2.Stat("/remote/f")
+	info, err := client2.Stat(tctx, "/remote/f")
 	if err != nil || info.Size != 13 {
 		t.Fatalf("stat via second client = %+v %v", info, err)
 	}
@@ -152,7 +153,7 @@ func TestPipelinedRequestsOneConn(t *testing.T) {
 	client, srv := Pipe(atomfs.New())
 	defer srv.Close()
 	defer client.Close()
-	if err := client.Mkdir("/d"); err != nil {
+	if err := client.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -161,16 +162,16 @@ func TestPipelinedRequestsOneConn(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			p := "/d/f" + string(rune('a'+i))
-			if err := client.Mknod(p); err != nil {
+			if err := client.Mknod(tctx, p); err != nil {
 				t.Errorf("mknod %s: %v", p, err)
 			}
-			if _, err := client.Stat(p); err != nil {
+			if _, err := client.Stat(tctx, p); err != nil {
 				t.Errorf("stat %s: %v", p, err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	names, err := client.Readdir("/d")
+	names, err := client.Readdir(tctx, "/d")
 	if err != nil || len(names) != 16 {
 		t.Fatalf("readdir = %d %v", len(names), err)
 	}
@@ -180,7 +181,7 @@ func TestClientClosedCalls(t *testing.T) {
 	client, srv := Pipe(memfs.New())
 	client.Close()
 	srv.Close()
-	if err := client.Mkdir("/x"); err == nil {
+	if err := client.Mkdir(tctx, "/x"); err == nil {
 		t.Fatal("call on closed client succeeded")
 	}
 }
@@ -193,7 +194,7 @@ func TestMonitoredServer(t *testing.T) {
 	client, srv := Pipe(fs)
 	defer srv.Close()
 	defer client.Close()
-	if err := client.Mkdir("/shared"); err != nil {
+	if err := client.Mkdir(tctx, "/shared"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -203,10 +204,10 @@ func TestMonitoredServer(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
 				p := fmt.Sprintf("/shared/w%d-%d", w, i)
-				client.Mknod(p)
-				client.Write(p, 0, []byte("x"))
-				client.Rename(p, p+"-final")
-				client.Unlink(p + "-final")
+				client.Mknod(tctx, p)
+				client.Write(tctx, p, 0, []byte("x"))
+				client.Rename(tctx, p, p+"-final")
+				client.Unlink(tctx, p + "-final")
 			}
 		}(w)
 	}
@@ -234,10 +235,10 @@ func TestUnixSocketTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Mkdir("/via-unix"); err != nil {
+	if err := client.Mkdir(tctx, "/via-unix"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Stat("/via-unix"); err != nil {
+	if _, err := client.Stat(tctx, "/via-unix"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/atomfs"
+	"repro/internal/fsapi"
 	"repro/internal/obs"
 	"repro/internal/spec"
 )
@@ -25,7 +26,7 @@ func obsPipe(t *testing.T, reg *obs.Registry) (*Client, *Server) {
 	srv.SetObs(reg)
 	c1, c2 := net.Pipe()
 	srv.mu.Lock()
-	srv.conns[c2] = true
+	srv.conns[c2] = func() {}
 	srv.wg.Add(1)
 	srv.mu.Unlock()
 	go func() {
@@ -45,13 +46,13 @@ func TestDebugEndpointsUnderTraffic(t *testing.T) {
 	defer srv.Close()
 	defer client.Close()
 
-	if err := client.Mkdir("/d"); err != nil {
+	if err := client.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Mknod("/d/f"); err != nil {
+	if err := client.Mknod(tctx, "/d/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Write("/d/f", 0, []byte("payload")); err != nil {
+	if _, err := client.Write(tctx, "/d/f", 0, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,13 +64,13 @@ func TestDebugEndpointsUnderTraffic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				if _, err := client.Stat("/d/f"); err != nil {
+				if _, err := client.Stat(tctx, "/d/f"); err != nil {
 					return
 				}
-				if _, err := client.Read("/d/f", 0, 7); err != nil {
+				if _, err := fsapi.ReadAll(tctx, client, "/d/f", 0, 7); err != nil {
 					return
 				}
-				if _, err := client.Readdir("/d"); err != nil {
+				if _, err := client.Readdir(tctx, "/d"); err != nil {
 					return
 				}
 			}
@@ -161,7 +162,7 @@ func TestDebugEndpointsUnderTraffic(t *testing.T) {
 func TestServerGaugesSettle(t *testing.T) {
 	reg := obs.NewRegistry()
 	client, srv := obsPipe(t, reg)
-	if err := client.Mknod("/f"); err != nil {
+	if err := client.Mknod(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -170,10 +171,10 @@ func TestServerGaugesSettle(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				client.Stat("/f")       //nolint:errcheck
-				client.Read("/f", 0, 1) //nolint:errcheck
-				client.Readdir("/")     //nolint:errcheck
-				client.Stat("/missing") //nolint:errcheck // error replies count too
+				client.Stat(tctx, "/f")       //nolint:errcheck
+				fsapi.ReadAll(tctx, client, "/f", 0, 1) //nolint:errcheck
+				client.Readdir(tctx, "/")     //nolint:errcheck
+				client.Stat(tctx, "/missing") //nolint:errcheck // error replies count too
 			}
 		}()
 	}

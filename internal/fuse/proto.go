@@ -32,6 +32,13 @@ type request struct {
 	Off   int64
 	Size  int32
 	Data  []byte
+	// TimeoutNs is the caller's remaining budget for this request in
+	// nanoseconds; 0 means no deadline. It travels as a relative duration
+	// (not an absolute time) so the two ends need no clock agreement; the
+	// server re-anchors it on receipt. Cancellation of an already-sent
+	// request is client-side only — like FUSE's interrupt handling, the
+	// server finishes or times the request out on its own.
+	TimeoutNs int64
 }
 
 // reply is the wire form of one result.
@@ -157,6 +164,7 @@ func encodeRequest(r *request) []byte {
 	e.i64(r.Off)
 	e.i32(r.Size)
 	e.bytes(r.Data)
+	e.i64(r.TimeoutNs)
 	return e.b
 }
 
@@ -171,6 +179,7 @@ func decodeRequest(b []byte) (*request, error) {
 		Size:  d.i32(),
 	}
 	r.Data = append([]byte(nil), d.bytes()...)
+	r.TimeoutNs = d.i64()
 	if d.err == nil && len(d.b) != 0 {
 		d.err = fmt.Errorf("fuse: %d trailing bytes in request", len(d.b))
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fsapi"
 	"repro/internal/memfs"
 	"repro/internal/spec"
 )
@@ -94,10 +95,10 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Mkdir("/alive"); err != nil {
+	if err := client.Mkdir(tctx, "/alive"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Stat("/alive"); err != nil {
+	if _, err := client.Stat(tctx, "/alive"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -108,18 +109,18 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 	client, srv := Pipe(memfs.New())
 	defer srv.Close()
 	defer client.Close()
-	if err := client.Mknod("/big"); err != nil {
+	if err := client.Mknod(tctx, "/big"); err != nil {
 		t.Fatal(err)
 	}
 	payload := make([]byte, 4<<20)
 	for i := range payload {
 		payload[i] = byte(i * 2654435761)
 	}
-	n, err := client.Write("/big", 0, payload)
+	n, err := client.Write(tctx, "/big", 0, payload)
 	if err != nil || n != len(payload) {
 		t.Fatalf("write = %d %v", n, err)
 	}
-	got, err := client.Read("/big", 1<<20, 1<<20)
+	got, err := fsapi.ReadAll(tctx, client, "/big", 1<<20, 1<<20)
 	if err != nil || len(got) != 1<<20 {
 		t.Fatalf("read = %d %v", len(got), err)
 	}
@@ -143,12 +144,12 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Mkdir("/x"); err != nil {
+	if err := client.Mkdir(tctx, "/x"); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
 	done := make(chan error, 1)
-	go func() { done <- client.Mkdir("/y") }()
+	go func() { done <- client.Mkdir(tctx, "/y") }()
 	select {
 	case err := <-done:
 		if err == nil {

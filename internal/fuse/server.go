@@ -1,10 +1,12 @@
 package fuse
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
@@ -15,6 +17,16 @@ import (
 // on its own goroutine (bounded by a semaphore), matching FUSE's
 // multi-threaded daemon loop, so independent operations proceed in
 // parallel even over one connection.
+//
+// Context plumbing: every connection gets a context cancelled when the
+// connection (or the server) closes, and every request carrying a wire
+// deadline gets a per-request sub-context. The request context reaches the
+// file system, so a dropped connection aborts its in-flight traversals at
+// their next cancellation poll instead of leaving them to run to
+// completion against a client that is gone. Requests whose deadline has
+// already passed when they clear the admission semaphore are rejected with
+// ETIMEDOUT before touching the file system at all — a doomed request
+// must not be allowed to acquire inode locks just to discover it is late.
 type Server struct {
 	fs fsapi.FS
 	// MaxInflight bounds concurrent requests per connection.
@@ -25,13 +37,13 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
-	conns  map[net.Conn]bool
+	conns  map[net.Conn]func() // conn -> its context cancel
 	wg     sync.WaitGroup
 }
 
 // NewServer creates a server over fs.
 func NewServer(fs fsapi.FS) *Server {
-	return &Server{fs: fs, maxInflight: 64, conns: map[net.Conn]bool{}}
+	return &Server{fs: fs, maxInflight: 64, conns: map[net.Conn]func(){}}
 }
 
 // Serve accepts connections until the listener closes.
@@ -56,7 +68,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = true
+		s.conns[conn] = nil
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
@@ -73,8 +85,11 @@ func (s *Server) Close() {
 	if s.lis != nil {
 		s.lis.Close()
 	}
-	for c := range s.conns {
+	for c, cancel := range s.conns {
 		c.Close()
+		if cancel != nil {
+			cancel()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -83,7 +98,14 @@ func (s *Server) Close() {
 // ServeConn processes one connection synchronously (exported so tests and
 // in-process transports can drive a net.Pipe end directly).
 func (s *Server) ServeConn(conn net.Conn) {
+	// The connection is the root of this request tree; there is no caller
+	// context to inherit from. ctxlint:allow
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	defer conn.Close()
+	s.mu.Lock()
+	s.conns[conn] = cancel
+	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -106,6 +128,14 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err != nil {
 			break // protocol violation; drop the connection
 		}
+		// Anchor the wire deadline before the request can queue on the
+		// semaphore: time spent waiting for an inflight slot counts
+		// against the caller's budget, exactly like time spent in FUSE's
+		// pending queue.
+		reqCtx, reqCancel := ctx, func() {}
+		if req.TimeoutNs > 0 {
+			reqCtx, reqCancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNs))
+		}
 		var queuedNs int64
 		if p != nil {
 			queuedNs = p.queueReq(req, len(frame))
@@ -114,11 +144,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 		inflight.Add(1)
 		go func() {
 			defer inflight.Done()
+			defer reqCancel()
 			defer func() { <-sem }()
 			if p != nil {
 				p.dispatchReq(req)
 			}
-			rep := s.handle(req)
+			var rep *reply
+			if err := reqCtx.Err(); err != nil {
+				// Admission check: the deadline expired (or the connection
+				// died) while the request sat in the queue. Reject it here,
+				// before it can hold any inode lock.
+				rep = &reply{ID: req.ID, Errno: fserr.Errno(err)}
+			} else {
+				rep = s.handle(reqCtx, req)
+			}
 			body, err := encodeReply(rep)
 			if err != nil {
 				if p != nil {
@@ -134,10 +173,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 		}()
 	}
+	cancel() // connection gone: abort every in-flight request
 	inflight.Wait()
 }
 
-func (s *Server) handle(req *request) *reply {
+func (s *Server) handle(ctx context.Context, req *request) *reply {
 	rep := &reply{ID: req.ID}
 	fail := func(err error) *reply {
 		rep.Errno = fserr.Errno(err)
@@ -145,51 +185,55 @@ func (s *Server) handle(req *request) *reply {
 	}
 	switch req.Op {
 	case spec.OpMknod:
-		if err := s.fs.Mknod(req.Path); err != nil {
+		if err := s.fs.Mknod(ctx, req.Path); err != nil {
 			return fail(err)
 		}
 	case spec.OpMkdir:
-		if err := s.fs.Mkdir(req.Path); err != nil {
+		if err := s.fs.Mkdir(ctx, req.Path); err != nil {
 			return fail(err)
 		}
 	case spec.OpRmdir:
-		if err := s.fs.Rmdir(req.Path); err != nil {
+		if err := s.fs.Rmdir(ctx, req.Path); err != nil {
 			return fail(err)
 		}
 	case spec.OpUnlink:
-		if err := s.fs.Unlink(req.Path); err != nil {
+		if err := s.fs.Unlink(ctx, req.Path); err != nil {
 			return fail(err)
 		}
 	case spec.OpRename:
-		if err := s.fs.Rename(req.Path, req.Path2); err != nil {
+		if err := s.fs.Rename(ctx, req.Path, req.Path2); err != nil {
 			return fail(err)
 		}
 	case spec.OpStat:
-		info, err := s.fs.Stat(req.Path)
+		info, err := s.fs.Stat(ctx, req.Path)
 		if err != nil {
 			return fail(err)
 		}
 		rep.Kind = uint8(info.Kind)
 		rep.Size = info.Size
 	case spec.OpRead:
-		data, err := s.fs.Read(req.Path, req.Off, int(req.Size))
+		if req.Size < 0 {
+			return fail(fserr.ErrInvalid)
+		}
+		dst := make([]byte, req.Size)
+		n, err := s.fs.Read(ctx, req.Path, req.Off, dst)
 		if err != nil {
 			return fail(err)
 		}
-		rep.Data = data
-		rep.N = int32(len(data))
+		rep.Data = dst[:n:n]
+		rep.N = int32(n)
 	case spec.OpWrite:
-		n, err := s.fs.Write(req.Path, req.Off, req.Data)
+		n, err := s.fs.Write(ctx, req.Path, req.Off, req.Data)
 		if err != nil {
 			return fail(err)
 		}
 		rep.N = int32(n)
 	case spec.OpTruncate:
-		if err := s.fs.Truncate(req.Path, req.Off); err != nil {
+		if err := s.fs.Truncate(ctx, req.Path, req.Off); err != nil {
 			return fail(err)
 		}
 	case spec.OpReaddir:
-		names, err := s.fs.Readdir(req.Path)
+		names, err := s.fs.Readdir(ctx, req.Path)
 		if err != nil {
 			return fail(err)
 		}
@@ -276,7 +320,23 @@ func (c *Client) readLoop() {
 	close(c.done)
 }
 
-func (c *Client) call(req *request) (*reply, error) {
+// call sends req and waits for its reply or for ctx. A context deadline is
+// forwarded on the wire as the remaining budget, so the server can reject
+// or abort the request on its side too; cancellation while waiting
+// abandons the reply locally (the reply is discarded when it arrives —
+// the wire protocol has no interrupt message, mirroring the fact that a
+// FUSE INTERRUPT is advisory anyway).
+func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl)
+		if budget <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		req.TimeoutNs = int64(budget)
+	}
 	ch := make(chan *reply, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -298,67 +358,74 @@ func (c *Client) call(req *request) (*reply, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	rep, ok := <-ch
-	if !ok {
-		return nil, ErrClientClosed
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, ErrClientClosed
+		}
+		if rep.Errno != 0 {
+			return rep, fserr.FromErrno(rep.Errno)
+		}
+		return rep, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	if rep.Errno != 0 {
-		return rep, fserr.FromErrno(rep.Errno)
-	}
-	return rep, nil
 }
 
 // Mknod creates an empty file.
-func (c *Client) Mknod(path string) error {
-	_, err := c.call(&request{Op: spec.OpMknod, Path: path})
+func (c *Client) Mknod(ctx context.Context, path string) error {
+	_, err := c.call(ctx, &request{Op: spec.OpMknod, Path: path})
 	return err
 }
 
 // Mkdir creates an empty directory.
-func (c *Client) Mkdir(path string) error {
-	_, err := c.call(&request{Op: spec.OpMkdir, Path: path})
+func (c *Client) Mkdir(ctx context.Context, path string) error {
+	_, err := c.call(ctx, &request{Op: spec.OpMkdir, Path: path})
 	return err
 }
 
 // Rmdir removes an empty directory.
-func (c *Client) Rmdir(path string) error {
-	_, err := c.call(&request{Op: spec.OpRmdir, Path: path})
+func (c *Client) Rmdir(ctx context.Context, path string) error {
+	_, err := c.call(ctx, &request{Op: spec.OpRmdir, Path: path})
 	return err
 }
 
 // Unlink removes a file.
-func (c *Client) Unlink(path string) error {
-	_, err := c.call(&request{Op: spec.OpUnlink, Path: path})
+func (c *Client) Unlink(ctx context.Context, path string) error {
+	_, err := c.call(ctx, &request{Op: spec.OpUnlink, Path: path})
 	return err
 }
 
 // Rename moves src to dst.
-func (c *Client) Rename(src, dst string) error {
-	_, err := c.call(&request{Op: spec.OpRename, Path: src, Path2: dst})
+func (c *Client) Rename(ctx context.Context, src, dst string) error {
+	_, err := c.call(ctx, &request{Op: spec.OpRename, Path: src, Path2: dst})
 	return err
 }
 
 // Stat reports an inode's kind and size.
-func (c *Client) Stat(path string) (fsapi.Info, error) {
-	rep, err := c.call(&request{Op: spec.OpStat, Path: path})
+func (c *Client) Stat(ctx context.Context, path string) (fsapi.Info, error) {
+	rep, err := c.call(ctx, &request{Op: spec.OpStat, Path: path})
 	if err != nil {
 		return fsapi.Info{}, err
 	}
 	return fsapi.Info{Kind: spec.Kind(rep.Kind), Size: rep.Size}, nil
 }
 
-// Read returns up to size bytes at off.
-func (c *Client) Read(path string, off int64, size int) ([]byte, error) {
-	rep, err := c.call(&request{Op: spec.OpRead, Path: path, Off: off, Size: int32(size)})
+// Read fills dst with bytes at off, reporting how many were read.
+func (c *Client) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	rep, err := c.call(ctx, &request{Op: spec.OpRead, Path: path, Off: off, Size: int32(len(dst))})
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	return rep.Data, nil
+	return copy(dst, rep.Data), nil
 }
 
 // Write stores data at off.
-func (c *Client) Write(path string, off int64, data []byte) (int, error) {
-	rep, err := c.call(&request{Op: spec.OpWrite, Path: path, Off: off, Data: data})
+func (c *Client) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
+	rep, err := c.call(ctx, &request{Op: spec.OpWrite, Path: path, Off: off, Data: data})
 	if err != nil {
 		return 0, err
 	}
@@ -366,14 +433,14 @@ func (c *Client) Write(path string, off int64, data []byte) (int, error) {
 }
 
 // Truncate resizes a file.
-func (c *Client) Truncate(path string, size int64) error {
-	_, err := c.call(&request{Op: spec.OpTruncate, Path: path, Off: size})
+func (c *Client) Truncate(ctx context.Context, path string, size int64) error {
+	_, err := c.call(ctx, &request{Op: spec.OpTruncate, Path: path, Off: size})
 	return err
 }
 
 // Readdir lists entries in sorted order.
-func (c *Client) Readdir(path string) ([]string, error) {
-	rep, err := c.call(&request{Op: spec.OpReaddir, Path: path})
+func (c *Client) Readdir(ctx context.Context, path string) ([]string, error) {
+	rep, err := c.call(ctx, &request{Op: spec.OpReaddir, Path: path})
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +456,7 @@ func Pipe(fs fsapi.FS) (*Client, *Server) {
 	srv := NewServer(fs)
 	c1, c2 := net.Pipe()
 	srv.mu.Lock()
-	srv.conns[c2] = true
+	srv.conns[c2] = nil
 	srv.wg.Add(1)
 	srv.mu.Unlock()
 	go func() {

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/fsapi"
@@ -35,49 +36,49 @@ func (w *WrappedFS) begin(op spec.Op, args spec.Args) uint64 {
 }
 
 // Mknod creates an empty file.
-func (w *WrappedFS) Mknod(path string) error {
+func (w *WrappedFS) Mknod(ctx context.Context, path string) error {
 	tid := w.begin(spec.OpMknod, spec.Args{Path: path})
-	err := w.inner.Mknod(path)
+	err := w.inner.Mknod(ctx, path)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Mkdir creates an empty directory.
-func (w *WrappedFS) Mkdir(path string) error {
+func (w *WrappedFS) Mkdir(ctx context.Context, path string) error {
 	tid := w.begin(spec.OpMkdir, spec.Args{Path: path})
-	err := w.inner.Mkdir(path)
+	err := w.inner.Mkdir(ctx, path)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Rmdir removes an empty directory.
-func (w *WrappedFS) Rmdir(path string) error {
+func (w *WrappedFS) Rmdir(ctx context.Context, path string) error {
 	tid := w.begin(spec.OpRmdir, spec.Args{Path: path})
-	err := w.inner.Rmdir(path)
+	err := w.inner.Rmdir(ctx, path)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Unlink removes a file.
-func (w *WrappedFS) Unlink(path string) error {
+func (w *WrappedFS) Unlink(ctx context.Context, path string) error {
 	tid := w.begin(spec.OpUnlink, spec.Args{Path: path})
-	err := w.inner.Unlink(path)
+	err := w.inner.Unlink(ctx, path)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Rename moves src to dst.
-func (w *WrappedFS) Rename(src, dst string) error {
+func (w *WrappedFS) Rename(ctx context.Context, src, dst string) error {
 	tid := w.begin(spec.OpRename, spec.Args{Path: src, Path2: dst})
-	err := w.inner.Rename(src, dst)
+	err := w.inner.Rename(ctx, src, dst)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Stat reports kind and size.
-func (w *WrappedFS) Stat(path string) (fsapi.Info, error) {
+func (w *WrappedFS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	tid := w.begin(spec.OpStat, spec.Args{Path: path})
-	info, err := w.inner.Stat(path)
+	info, err := w.inner.Stat(ctx, path)
 	if err != nil {
 		w.rec.Return(tid, spec.ErrRet(err))
 	} else {
@@ -86,22 +87,24 @@ func (w *WrappedFS) Stat(path string) (fsapi.Info, error) {
 	return info, err
 }
 
-// Read returns up to size bytes at off.
-func (w *WrappedFS) Read(path string, off int64, size int) ([]byte, error) {
-	tid := w.begin(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
-	data, err := w.inner.Read(path, off, size)
+// Read fills dst with bytes at off, recording the observed data.
+func (w *WrappedFS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	tid := w.begin(spec.OpRead, spec.Args{Path: path, Off: off, Size: len(dst)})
+	n, err := w.inner.Read(ctx, path, off, dst)
 	if err != nil {
 		w.rec.Return(tid, spec.ErrRet(err))
 	} else {
-		w.rec.Return(tid, spec.Ret{Data: data, N: len(data)})
+		// Copy: the recorder keeps the result for offline checking, and the
+		// caller is free to reuse dst the moment this returns.
+		w.rec.Return(tid, spec.Ret{Data: append([]byte(nil), dst[:n]...), N: n})
 	}
-	return data, err
+	return n, err
 }
 
 // Write stores data at off.
-func (w *WrappedFS) Write(path string, off int64, data []byte) (int, error) {
+func (w *WrappedFS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
 	tid := w.begin(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
-	n, err := w.inner.Write(path, off, data)
+	n, err := w.inner.Write(ctx, path, off, data)
 	if err != nil {
 		w.rec.Return(tid, spec.ErrRet(err))
 	} else {
@@ -111,17 +114,17 @@ func (w *WrappedFS) Write(path string, off int64, data []byte) (int, error) {
 }
 
 // Truncate resizes a file.
-func (w *WrappedFS) Truncate(path string, size int64) error {
+func (w *WrappedFS) Truncate(ctx context.Context, path string, size int64) error {
 	tid := w.begin(spec.OpTruncate, spec.Args{Path: path, Off: size})
-	err := w.inner.Truncate(path, size)
+	err := w.inner.Truncate(ctx, path, size)
 	w.rec.Return(tid, spec.ErrRet(err))
 	return err
 }
 
 // Readdir lists entries.
-func (w *WrappedFS) Readdir(path string) ([]string, error) {
+func (w *WrappedFS) Readdir(ctx context.Context, path string) ([]string, error) {
 	tid := w.begin(spec.OpReaddir, spec.Args{Path: path})
-	names, err := w.inner.Readdir(path)
+	names, err := w.inner.Readdir(ctx, path)
 	if err != nil {
 		w.rec.Return(tid, spec.ErrRet(err))
 	} else {

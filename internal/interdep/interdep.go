@@ -15,6 +15,7 @@
 package interdep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -25,6 +26,11 @@ import (
 	"repro/internal/retryfs"
 	"repro/internal/spec"
 )
+
+// bgCtx is this driver package's root context: the study/exploration
+// harness is an execution root (like main), so the background context is
+// its to mint. ctxlint:allow
+var bgCtx = context.Background()
 
 // OpNames are the probed operations, in the paper's order.
 var OpNames = []string{"create", "unlink", "mkdir", "rmdir", "rename"}
@@ -126,18 +132,18 @@ type Table struct {
 func probeOp(name string) (spec.Op, func(fs fsapi.FS) error, func(fs fsapi.FS) error) {
 	switch name {
 	case "create":
-		return spec.OpMknod, nil, func(fs fsapi.FS) error { return fs.Mknod("/a/b/x") }
+		return spec.OpMknod, nil, func(fs fsapi.FS) error { return fs.Mknod(bgCtx, "/a/b/x") }
 	case "unlink":
-		setup := func(fs fsapi.FS) error { return fs.Mknod("/a/b/victim") }
-		return spec.OpUnlink, setup, func(fs fsapi.FS) error { return fs.Unlink("/a/b/victim") }
+		setup := func(fs fsapi.FS) error { return fs.Mknod(bgCtx, "/a/b/victim") }
+		return spec.OpUnlink, setup, func(fs fsapi.FS) error { return fs.Unlink(bgCtx, "/a/b/victim") }
 	case "mkdir":
-		return spec.OpMkdir, nil, func(fs fsapi.FS) error { return fs.Mkdir("/a/b/newdir") }
+		return spec.OpMkdir, nil, func(fs fsapi.FS) error { return fs.Mkdir(bgCtx, "/a/b/newdir") }
 	case "rmdir":
-		setup := func(fs fsapi.FS) error { return fs.Mkdir("/a/b/olddir") }
-		return spec.OpRmdir, setup, func(fs fsapi.FS) error { return fs.Rmdir("/a/b/olddir") }
+		setup := func(fs fsapi.FS) error { return fs.Mkdir(bgCtx, "/a/b/olddir") }
+		return spec.OpRmdir, setup, func(fs fsapi.FS) error { return fs.Rmdir(bgCtx, "/a/b/olddir") }
 	case "rename":
-		setup := func(fs fsapi.FS) error { return fs.Mknod("/a/b/from") }
-		return spec.OpRename, setup, func(fs fsapi.FS) error { return fs.Rename("/a/b/from", "/a/b/to") }
+		setup := func(fs fsapi.FS) error { return fs.Mknod(bgCtx, "/a/b/from") }
+		return spec.OpRename, setup, func(fs fsapi.FS) error { return fs.Rename(bgCtx, "/a/b/from", "/a/b/to") }
 	default:
 		panic("interdep: unknown op " + name)
 	}
@@ -152,11 +158,11 @@ func Probe(sub Subject, opName string) Verdict {
 	fs, arm := sub.Make()
 	op, setup, run := probeOp(opName)
 	v := Verdict{Subject: sub.Name, Op: opName}
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(bgCtx, "/a"); err != nil {
 		v.OpErr = err
 		return v
 	}
-	if err := fs.Mkdir("/a/b"); err != nil {
+	if err := fs.Mkdir(bgCtx, "/a/b"); err != nil {
 		v.OpErr = err
 		return v
 	}
@@ -182,7 +188,7 @@ func Probe(sub Subject, opName string) Verdict {
 	// The probed op is paused inside its critical section; try the rename
 	// that breaks its traversed path.
 	renameDone := make(chan error, 1)
-	go func() { renameDone <- fs.Rename("/a", "/z") }()
+	go func() { renameDone <- fs.Rename(bgCtx, "/a", "/z") }()
 	select {
 	case err := <-renameDone:
 		v.Interdep = true

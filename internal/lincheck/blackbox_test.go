@@ -21,8 +21,8 @@ func blackBoxRound(t *testing.T, fs fsapi.FS, seed int64) {
 	w := history.WrapFS(fs, rec)
 	// Seed structure (recorded too; the checker handles it as part of the
 	// history starting from an empty FS).
-	w.Mkdir("/a")
-	w.Mkdir("/a/b")
+	w.Mkdir(tctx, "/a")
+	w.Mkdir(tctx, "/a/b")
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
@@ -31,7 +31,7 @@ func blackBoxRound(t *testing.T, fs fsapi.FS, seed int64) {
 			stream := fstest.NewOpStream(seed*131 + int64(g))
 			for i := 0; i < 3; i++ {
 				op, args := stream.Next()
-				fstest.ApplyFS(w, op, args)
+				fstest.ApplyFS(tctx, w, op, args)
 			}
 		}(g)
 	}
@@ -81,14 +81,14 @@ func TestBlackBoxCatchesBrokenFS(t *testing.T) {
 		fs := atomfs.New(atomfs.WithUnsafeTraversal())
 		rec := history.NewRecorder()
 		w := history.WrapFS(fs, rec)
-		w.Mkdir("/a")
-		w.Mkdir("/a/b")
+		w.Mkdir(tctx, "/a")
+		w.Mkdir(tctx, "/a/b")
 		var wg sync.WaitGroup
 		ops := []func(){
-			func() { w.Mkdir("/a/b/c") },
-			func() { w.Rename("/a", "/z") },
-			func() { w.Rmdir("/z/b/c") },
-			func() { w.Stat("/a/b") },
+			func() { w.Mkdir(tctx, "/a/b/c") },
+			func() { w.Rename(tctx, "/a", "/z") },
+			func() { w.Rmdir(tctx, "/z/b/c") },
+			func() { w.Stat(tctx, "/a/b") },
 		}
 		for _, op := range ops {
 			wg.Add(1)

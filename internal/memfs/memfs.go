@@ -9,6 +9,7 @@
 package memfs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -50,7 +51,22 @@ func New() *FS { return &FS{afs: spec.New()} }
 // Name identifies the implementation in benchmark tables.
 func (fs *FS) Name() string { return "memfs" }
 
-func (fs *FS) write(op spec.Op, args spec.Args) spec.Ret {
+// done polls ctx before an operation enters its critical section. Every
+// memfs operation is a single atomic Apply, so cancellation can only be
+// honoured at admission: once the lock is taken the op commits whole.
+func done(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (fs *FS) write(ctx context.Context, op spec.Op, args spec.Args) spec.Ret {
+	if err := done(ctx); err != nil {
+		return spec.ErrRet(err)
+	}
 	fs.mu.Lock()
 	fs.fire(op, args.Path)
 	ret, _ := fs.afs.Apply(op, args)
@@ -58,7 +74,10 @@ func (fs *FS) write(op spec.Op, args spec.Args) spec.Ret {
 	return ret
 }
 
-func (fs *FS) read(op spec.Op, args spec.Args) spec.Ret {
+func (fs *FS) read(ctx context.Context, op spec.Op, args spec.Args) spec.Ret {
+	if err := done(ctx); err != nil {
+		return spec.ErrRet(err)
+	}
 	fs.mu.RLock()
 	fs.fire(op, args.Path)
 	// Read-only ops do not mutate the state, so Apply under RLock is safe.
@@ -68,59 +87,62 @@ func (fs *FS) read(op spec.Op, args spec.Args) spec.Ret {
 }
 
 // Mknod creates an empty file.
-func (fs *FS) Mknod(path string) error {
-	return fs.write(spec.OpMknod, spec.Args{Path: path}).Err
+func (fs *FS) Mknod(ctx context.Context, path string) error {
+	return fs.write(ctx, spec.OpMknod, spec.Args{Path: path}).Err
 }
 
 // Mkdir creates an empty directory.
-func (fs *FS) Mkdir(path string) error {
-	return fs.write(spec.OpMkdir, spec.Args{Path: path}).Err
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	return fs.write(ctx, spec.OpMkdir, spec.Args{Path: path}).Err
 }
 
 // Rmdir removes an empty directory.
-func (fs *FS) Rmdir(path string) error {
-	return fs.write(spec.OpRmdir, spec.Args{Path: path}).Err
+func (fs *FS) Rmdir(ctx context.Context, path string) error {
+	return fs.write(ctx, spec.OpRmdir, spec.Args{Path: path}).Err
 }
 
 // Unlink removes a file.
-func (fs *FS) Unlink(path string) error {
-	return fs.write(spec.OpUnlink, spec.Args{Path: path}).Err
+func (fs *FS) Unlink(ctx context.Context, path string) error {
+	return fs.write(ctx, spec.OpUnlink, spec.Args{Path: path}).Err
 }
 
 // Rename moves src to dst with POSIX overwrite semantics.
-func (fs *FS) Rename(src, dst string) error {
-	return fs.write(spec.OpRename, spec.Args{Path: src, Path2: dst}).Err
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
+	return fs.write(ctx, spec.OpRename, spec.Args{Path: src, Path2: dst}).Err
 }
 
 // Stat reports an inode's kind and size.
-func (fs *FS) Stat(path string) (fsapi.Info, error) {
-	ret := fs.read(spec.OpStat, spec.Args{Path: path})
+func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
+	ret := fs.read(ctx, spec.OpStat, spec.Args{Path: path})
 	if ret.Err != nil {
 		return fsapi.Info{}, ret.Err
 	}
 	return fsapi.Info{Kind: ret.Kind, Size: ret.Size}, nil
 }
 
-// Read returns up to size bytes at off.
-func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	ret := fs.read(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
-	return ret.Data, ret.Err
+// Read fills dst with file bytes starting at off.
+func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	ret := fs.read(ctx, spec.OpRead, spec.Args{Path: path, Off: off, Size: len(dst)})
+	if ret.Err != nil {
+		return 0, ret.Err
+	}
+	return copy(dst, ret.Data), nil
 }
 
 // Write stores data at off.
-func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
-	ret := fs.write(spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
+func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
+	ret := fs.write(ctx, spec.OpWrite, spec.Args{Path: path, Off: off, Data: data})
 	return ret.N, ret.Err
 }
 
 // Truncate resizes a file.
-func (fs *FS) Truncate(path string, size int64) error {
-	return fs.write(spec.OpTruncate, spec.Args{Path: path, Off: size}).Err
+func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
+	return fs.write(ctx, spec.OpTruncate, spec.Args{Path: path, Off: size}).Err
 }
 
 // Readdir lists entries in sorted order.
-func (fs *FS) Readdir(path string) ([]string, error) {
-	ret := fs.read(spec.OpReaddir, spec.Args{Path: path})
+func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
+	ret := fs.read(ctx, spec.OpReaddir, spec.Args{Path: path})
 	return ret.Names, ret.Err
 }
 

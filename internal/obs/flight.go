@@ -55,6 +55,11 @@ const (
 	EvRollback
 	// EvViolation is a monitor violation; Aux is the ViolationKind.
 	EvViolation
+	// EvAbort is a pre-LP cancellation: the thread's context was done,
+	// TryAbort succeeded, and the operation will unwind without an Aop.
+	// Aux is the number of locks held at the abort decision (all of which
+	// must be released before the op ends).
+	EvAbort
 	// EvFuseQueue / EvFuseDispatch / EvFuseReply trace one request
 	// through the daemon: queued off the wire, dispatched to a handler
 	// goroutine, reply written. Aux is the request id.
@@ -68,7 +73,7 @@ var eventKindNames = [...]string{
 	EvLockAcq: "lock-acq", EvLockRel: "lock-rel",
 	EvFastAttempt: "fast-attempt", EvFastHit: "fast-hit", EvFastFallback: "fast-fallback",
 	EvHelp: "help", EvLPCommit: "lp-commit", EvRollback: "rollback",
-	EvViolation: "violation",
+	EvViolation: "violation", EvAbort: "abort",
 	EvFuseQueue: "fuse-queue", EvFuseDispatch: "fuse-dispatch", EvFuseReply: "fuse-reply",
 }
 

@@ -12,6 +12,7 @@
 package retryfs
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,19 @@ func (fs *FS) Name() string { return "retryfs" }
 
 func (fs *FS) tid() uint64 { return fs.nextTid.Add(1) }
 
+// done polls ctx. retryfs honours cancellation at resolution boundaries:
+// before each lock-free lookup attempt (including every retry of the
+// resolve loop, so a cancellation storm cannot pin a walker in the retry
+// loop forever) and before rename's commit section.
+func done(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // walk resolves parts without locks under a rename-sequence snapshot.
 // It returns the reached node, or an error that is only trustworthy if the
 // caller revalidates seq.
@@ -103,8 +117,11 @@ func (fs *FS) walk(parts []string) (*node, uint64, error) {
 // resolveLocked resolves parts and returns the final node locked and
 // revalidated (no rename intervened, node not unlinked). It retries the
 // whole lookup on invalidation, exactly like VFS pathname resolution.
-func (fs *FS) resolveLocked(tid uint64, parts []string) (*node, error) {
+func (fs *FS) resolveLocked(ctx context.Context, tid uint64, parts []string) (*node, error) {
 	for {
+		if err := done(ctx); err != nil {
+			return nil, err
+		}
 		n, seq, err := fs.walk(parts)
 		if err != nil {
 			if fs.renameSeq.Validate(seq) {
@@ -124,18 +141,18 @@ func (fs *FS) resolveLocked(tid uint64, parts []string) (*node, error) {
 func entryCount(n *node) int64 { return n.nlinks.Load() }
 
 // Mknod creates an empty file.
-func (fs *FS) Mknod(path string) error { return fs.ins(path, spec.KindFile) }
+func (fs *FS) Mknod(ctx context.Context, path string) error { return fs.ins(ctx, path, spec.KindFile) }
 
 // Mkdir creates an empty directory.
-func (fs *FS) Mkdir(path string) error { return fs.ins(path, spec.KindDir) }
+func (fs *FS) Mkdir(ctx context.Context, path string) error { return fs.ins(ctx, path, spec.KindDir) }
 
-func (fs *FS) ins(path string, kind spec.Kind) error {
+func (fs *FS) ins(ctx context.Context, path string, kind spec.Kind) error {
 	dirParts, name, err := pathname.SplitDir(path)
 	if err != nil {
 		return err
 	}
 	tid := fs.tid()
-	parent, err := fs.resolveLocked(tid, dirParts)
+	parent, err := fs.resolveLocked(ctx, tid, dirParts)
 	if err != nil {
 		return err
 	}
@@ -157,18 +174,18 @@ func (fs *FS) ins(path string, kind spec.Kind) error {
 }
 
 // Rmdir removes an empty directory.
-func (fs *FS) Rmdir(path string) error { return fs.del(path, spec.KindDir) }
+func (fs *FS) Rmdir(ctx context.Context, path string) error { return fs.del(ctx, path, spec.KindDir) }
 
 // Unlink removes a file.
-func (fs *FS) Unlink(path string) error { return fs.del(path, spec.KindFile) }
+func (fs *FS) Unlink(ctx context.Context, path string) error { return fs.del(ctx, path, spec.KindFile) }
 
-func (fs *FS) del(path string, kind spec.Kind) error {
+func (fs *FS) del(ctx context.Context, path string, kind spec.Kind) error {
 	dirParts, name, err := pathname.SplitDir(path)
 	if err != nil {
 		return err
 	}
 	tid := fs.tid()
-	parent, err := fs.resolveLocked(tid, dirParts)
+	parent, err := fs.resolveLocked(ctx, tid, dirParts)
 	if err != nil {
 		return err
 	}
@@ -205,13 +222,13 @@ func (fs *FS) del(path string, kind spec.Kind) error {
 }
 
 // Stat reports an inode's kind and size.
-func (fs *FS) Stat(path string) (fsapi.Info, error) {
+func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	parts, err := pathname.Split(path)
 	if err != nil {
 		return fsapi.Info{}, err
 	}
 	tid := fs.tid()
-	n, err := fs.resolveLocked(tid, parts)
+	n, err := fs.resolveLocked(ctx, tid, parts)
 	if err != nil {
 		return fsapi.Info{}, err
 	}
@@ -225,38 +242,34 @@ func (fs *FS) Stat(path string) (fsapi.Info, error) {
 	return fsapi.Info{Kind: spec.KindDir, Size: entryCount(n)}, nil
 }
 
-// Read returns up to size bytes at off.
-func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	if off < 0 || size < 0 {
-		return nil, fserr.ErrInvalid
+// Read fills dst with file bytes starting at off.
+func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	if off < 0 {
+		return 0, fserr.ErrInvalid
 	}
 	parts, err := pathname.Split(path)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	tid := fs.tid()
-	n, err := fs.resolveLocked(tid, parts)
+	n, err := fs.resolveLocked(ctx, tid, parts)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	defer n.lk.Unlock(tid)
 	if n.kind == spec.KindDir {
-		return nil, fserr.ErrIsDir
+		return 0, fserr.ErrIsDir
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if off >= int64(len(n.data)) {
-		return []byte{}, nil
+		return 0, nil
 	}
-	end := off + int64(size)
-	if end > int64(len(n.data)) {
-		end = int64(len(n.data))
-	}
-	return append([]byte(nil), n.data[off:end]...), nil
+	return copy(dst, n.data[off:]), nil
 }
 
 // Write stores data at off.
-func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
 	if off < 0 {
 		return 0, fserr.ErrInvalid
 	}
@@ -268,7 +281,7 @@ func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
 		return 0, err
 	}
 	tid := fs.tid()
-	n, err := fs.resolveLocked(tid, parts)
+	n, err := fs.resolveLocked(ctx, tid, parts)
 	if err != nil {
 		return 0, err
 	}
@@ -287,7 +300,7 @@ func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
 }
 
 // Truncate resizes a file.
-func (fs *FS) Truncate(path string, size int64) error {
+func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
 	if size < 0 || size > spec.MaxFileSize {
 		return fserr.ErrInvalid
 	}
@@ -296,7 +309,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 		return err
 	}
 	tid := fs.tid()
-	n, err := fs.resolveLocked(tid, parts)
+	n, err := fs.resolveLocked(ctx, tid, parts)
 	if err != nil {
 		return err
 	}
@@ -315,13 +328,13 @@ func (fs *FS) Truncate(path string, size int64) error {
 }
 
 // Readdir lists entries in sorted order.
-func (fs *FS) Readdir(path string) ([]string, error) {
+func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
 	parts, err := pathname.Split(path)
 	if err != nil {
 		return nil, err
 	}
 	tid := fs.tid()
-	n, err := fs.resolveLocked(tid, parts)
+	n, err := fs.resolveLocked(ctx, tid, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +355,7 @@ func (fs *FS) Readdir(path string) ([]string, error) {
 // against other renames, locks both parents (ancestor first), locks the
 // victims, revalidates both lookups, and bumps the rename sequence inside
 // the critical section so in-flight walks retry.
-func (fs *FS) Rename(src, dst string) error {
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 	sdirParts, sn, err := pathname.SplitDir(src)
 	if err != nil {
 		return err
@@ -364,6 +377,9 @@ func (fs *FS) Rename(src, dst string) error {
 
 retry:
 	for {
+		if err := done(ctx); err != nil {
+			return err
+		}
 		// Resolve both parents without locks first.
 		sdir, seq, werr := fs.walk(sdirParts)
 		if werr != nil {

@@ -33,13 +33,13 @@ func TestStress(t *testing.T) {
 // exist.
 func TestRenameRetriesWalkers(t *testing.T) {
 	fs := New()
-	if err := fs.Mkdir("/stable"); err != nil {
+	if err := fs.Mkdir(tctx, "/stable"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mknod("/stable/f"); err != nil {
+	if err := fs.Mknod(tctx, "/stable/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mkdir("/a"); err != nil {
+	if err := fs.Mkdir(tctx, "/a"); err != nil {
 		t.Fatal(err)
 	}
 	stop := make(chan struct{})
@@ -53,8 +53,8 @@ func TestRenameRetriesWalkers(t *testing.T) {
 			default:
 			}
 			// Bounce a directory back and forth to churn the seqcount.
-			fs.Rename("/a", "/b")
-			fs.Rename("/b", "/a")
+			fs.Rename(tctx, "/a", "/b")
+			fs.Rename(tctx, "/b", "/a")
 		}
 	}()
 	var readers sync.WaitGroup
@@ -63,7 +63,7 @@ func TestRenameRetriesWalkers(t *testing.T) {
 		go func() {
 			defer readers.Done()
 			for i := 0; i < 2000; i++ {
-				if _, err := fs.Stat("/stable/f"); err != nil {
+				if _, err := fs.Stat(tctx, "/stable/f"); err != nil {
 					t.Errorf("stable path vanished: %v", err)
 					return
 				}
@@ -79,13 +79,13 @@ func TestRenameRetriesWalkers(t *testing.T) {
 // unlinked must retry and observe ENOENT, not act on the corpse.
 func TestDeadNodeRetry(t *testing.T) {
 	fs := New()
-	if err := fs.Mkdir("/d"); err != nil {
+	if err := fs.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rmdir("/d"); err != nil {
+	if err := fs.Rmdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mkdir("/d/x"); !errors.Is(err, fserr.ErrNotExist) {
+	if err := fs.Mkdir(tctx, "/d/x"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("err = %v, want ENOENT", err)
 	}
 }
@@ -95,7 +95,7 @@ func TestDeadNodeRetry(t *testing.T) {
 func TestRenameParentOrdering(t *testing.T) {
 	fs := New()
 	for _, d := range []string{"/p", "/p/q", "/p/q/r", "/z"} {
-		if err := fs.Mkdir(d); err != nil {
+		if err := fs.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,10 +105,10 @@ func TestRenameParentOrdering(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				fs.Mknod("/p/q/f")
-				fs.Rename("/p/q/f", "/z/f")   // descendant -> disjoint
-				fs.Rename("/z/f", "/p/q/r/f") // disjoint -> deeper
-				fs.Unlink("/p/q/r/f")
+				fs.Mknod(tctx, "/p/q/f")
+				fs.Rename(tctx, "/p/q/f", "/z/f")   // descendant -> disjoint
+				fs.Rename(tctx, "/z/f", "/p/q/r/f") // disjoint -> deeper
+				fs.Unlink(tctx, "/p/q/r/f")
 			}
 		}(w)
 	}
@@ -126,18 +126,18 @@ func TestGatedInterleavingsLinearizable(t *testing.T) {
 		op   spec.Op
 		run  func(fs fsapi.FS) error
 	}{
-		{"mkdir", spec.OpMkdir, func(fs fsapi.FS) error { return fs.Mkdir("/a/b/new") }},
-		{"unlink", spec.OpUnlink, func(fs fsapi.FS) error { return fs.Unlink("/a/b/f") }},
-		{"rename", spec.OpRename, func(fs fsapi.FS) error { return fs.Rename("/a/b/f", "/a/b/g") }},
+		{"mkdir", spec.OpMkdir, func(fs fsapi.FS) error { return fs.Mkdir(tctx, "/a/b/new") }},
+		{"unlink", spec.OpUnlink, func(fs fsapi.FS) error { return fs.Unlink(tctx, "/a/b/f") }},
+		{"rename", spec.OpRename, func(fs fsapi.FS) error { return fs.Rename(tctx, "/a/b/f", "/a/b/g") }},
 	} {
 		probe := probe
 		t.Run(probe.name, func(t *testing.T) {
 			fs := New()
 			rec := history.NewRecorder()
 			w := history.WrapFS(fs, rec)
-			w.Mkdir("/a")
-			w.Mkdir("/a/b")
-			w.Mknod("/a/b/f")
+			w.Mkdir(tctx, "/a")
+			w.Mkdir(tctx, "/a/b")
+			w.Mknod(tctx, "/a/b/f")
 
 			parked := make(chan struct{})
 			release := make(chan struct{})
@@ -157,7 +157,7 @@ func TestGatedInterleavingsLinearizable(t *testing.T) {
 			}
 			// The rename completes while the probe sits in its critical
 			// section (the §3.2 inter-dependency window).
-			if err := w.Rename("/a", "/z"); err != nil {
+			if err := w.Rename(tctx, "/a", "/z"); err != nil {
 				t.Fatal(err)
 			}
 			close(release)

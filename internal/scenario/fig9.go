@@ -26,7 +26,7 @@ func Fig9(fix bool) *Report {
 	r := &Report{Name: name, Mode: core.ModeHelpers}
 	e := newEnv(core.ModeHelpers)
 	v := vfs.New(e.fs)
-	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+	mustSetup(r, e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/a/b"), e.fs.Mkdir(e.ctx, "/a/b/c"))
 
 	// Open the directory before the race: a direct handle (bypass) or a
 	// VFS descriptor (path traversal).
@@ -34,9 +34,9 @@ func Fig9(fix bool) *Report {
 	var fd vfs.FD
 	var err error
 	if fix {
-		fd, err = v.Open("/a/b/c")
+		fd, err = v.Open(e.ctx, "/a/b/c")
 	} else {
-		handle, err = e.fs.OpenDirect("/a/b/c")
+		handle, err = e.fs.OpenDirect(e.ctx, "/a/b/c")
 	}
 	if err != nil {
 		r.Err = fmt.Errorf("open: %w", err)
@@ -60,20 +60,20 @@ func Fig9(fix bool) *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		insErr = e.fs.Mknod("/a/b/c/d")
+		insErr = e.fs.Mknod(e.ctx, "/a/b/c/d")
 	}()
 	if err := insAtB.waitTimeout(); err != nil {
 		r.Err = err
 		return r
 	}
 	r.step("ins(/a/b/c, d) holds /a/b, has not reached /a/b/c")
-	renameErr = e.fs.Rename("/a", "/i")
+	renameErr = e.fs.Rename(e.ctx, "/a", "/i")
 	r.step("rename(/a, /i) committed and helped ins: %v", errStr(renameErr))
 	if fix {
-		names, rdErr = v.ReaddirFD(fd)
+		names, rdErr = v.ReaddirFD(e.ctx, fd)
 		r.step("readdir(fd:c) via path traversal: %v %v", names, errStr(rdErr))
 	} else {
-		names, rdErr = handle.Readdir()
+		names, rdErr = handle.Readdir(e.ctx)
 		r.step("readdir(fd:c) via direct inode: %v %v", names, errStr(rdErr))
 	}
 	resume.open()

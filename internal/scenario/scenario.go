@@ -11,6 +11,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -57,6 +58,10 @@ func (r *Report) HasViolation(kind core.ViolationKind) bool {
 
 // env bundles a monitored FS and its recorder.
 type env struct {
+	// ctx is the scenarios' root context: scenario drivers are execution
+	// roots (like main or a test), so the background context is theirs to
+	// mint. ctxlint:allow
+	ctx context.Context
 	fs  *atomfs.FS
 	mon *core.Monitor
 	rec *history.Recorder
@@ -68,7 +73,9 @@ func newEnv(mode core.Mode, opts ...atomfs.Option) *env {
 	rec := history.NewRecorder()
 	mon := core.NewMonitor(core.Config{Mode: mode, Recorder: rec, CheckGoodAFS: true})
 	fs := atomfs.New(append([]atomfs.Option{atomfs.WithMonitor(mon)}, opts...)...)
-	return &env{fs: fs, mon: mon, rec: rec}
+	// Scenario drivers are execution roots (like main or a test), so the
+	// background context is theirs to mint. ctxlint:allow
+	return &env{ctx: context.Background(), fs: fs, mon: mon, rec: rec}
 }
 
 // mark snapshots the pre-phase state; events before it are setup.
@@ -127,7 +134,7 @@ func (g gate) waitTimeout() error {
 func Fig1(mode core.Mode) *Report {
 	r := &Report{Name: "figure-1", Mode: mode}
 	e := newEnv(mode)
-	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"))
+	mustSetup(r, e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/a/b"))
 	e.mark()
 
 	reachedB := newGate()
@@ -146,14 +153,14 @@ func Fig1(mode core.Mode) *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		mkdirErr = e.fs.Mkdir("/a/b/c")
+		mkdirErr = e.fs.Mkdir(e.ctx, "/a/b/c")
 	}()
 	if err := reachedB.waitTimeout(); err != nil {
 		r.Err = err
 		return r
 	}
 	r.step("mkdir(/a/b/c) traversed through /a and holds /a/b")
-	renameErr = e.fs.Rename("/a", "/e")
+	renameErr = e.fs.Rename(e.ctx, "/a", "/e")
 	r.step("rename(/a, /e) committed: %v", errStr(renameErr))
 	renameDone.open()
 	wg.Wait()
@@ -176,7 +183,7 @@ func Fig1(mode core.Mode) *Report {
 func Fig4a(mode core.Mode) *Report {
 	r := &Report{Name: "figure-4a", Mode: mode}
 	e := newEnv(mode)
-	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/b"), e.fs.Mknod("/b/victim"))
+	mustSetup(r, e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/b"), e.fs.Mknod(e.ctx, "/b/victim"))
 	e.mark()
 
 	insReached := newGate()
@@ -193,14 +200,14 @@ func Fig4a(mode core.Mode) *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		insErr = e.fs.Mknod("/a/c")
+		insErr = e.fs.Mknod(e.ctx, "/a/c")
 	}()
 	if err := insReached.waitTimeout(); err != nil {
 		r.Err = err
 		return r
 	}
 	r.step("ins(/a, c) holds /a inside its critical section")
-	delErr = e.fs.Unlink("/b/victim")
+	delErr = e.fs.Unlink(e.ctx, "/b/victim")
 	r.step("del(/b, victim) committed concurrently: %v", errStr(delErr))
 	delDone.open()
 	wg.Wait()
@@ -224,7 +231,7 @@ func Fig4a(mode core.Mode) *Report {
 func Fig4b() *Report {
 	r := &Report{Name: "figure-4b", Mode: core.ModeHelpers}
 	e := newEnv(core.ModeHelpers)
-	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+	mustSetup(r, e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/a/b"), e.fs.Mkdir(e.ctx, "/a/b/c"))
 	e.mark()
 
 	insAtC := newGate()
@@ -245,7 +252,7 @@ func Fig4b() *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		insErr = e.fs.Mknod("/a/b/c/e")
+		insErr = e.fs.Mknod(e.ctx, "/a/b/c/e")
 	}()
 	if err := insAtC.waitTimeout(); err != nil {
 		r.Err = err
@@ -257,7 +264,7 @@ func Fig4b() *Report {
 	go func() {
 		defer wg.Done()
 		var info any
-		info, statErr = statOf(e.fs, "/a/b")
+		info, statErr = statOf(e.ctx, e.fs, "/a/b")
 		statInfo = info
 	}()
 	if err := statAtB.waitTimeout(); err != nil {
@@ -265,7 +272,7 @@ func Fig4b() *Report {
 		return r
 	}
 	r.step("stat(/a/b) computed its result and waits at its LP holding /a/b")
-	renameErr = e.fs.Rename("/a", "/f")
+	renameErr = e.fs.Rename(e.ctx, "/a", "/f")
 	r.step("rename(/a, /f) committed, helping both pending operations: %v", errStr(renameErr))
 	renameDone.open()
 	wg.Wait()
@@ -290,8 +297,8 @@ func Fig4c() *Report {
 	r := &Report{Name: "figure-4c", Mode: core.ModeHelpers}
 	e := newEnv(core.ModeHelpers)
 	mustSetup(r,
-		e.fs.Mkdir("/a"), e.fs.Mkdir("/a/e"), e.fs.Mknod("/a/e/f"),
-		e.fs.Mkdir("/b"), e.fs.Mkdir("/b/c"), e.fs.Mkdir("/b/c/d"),
+		e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/a/e"), e.fs.Mknod(e.ctx, "/a/e/f"),
+		e.fs.Mkdir(e.ctx, "/b"), e.fs.Mkdir(e.ctx, "/b/c"), e.fs.Mkdir(e.ctx, "/b/c/d"),
 	)
 	e.mark()
 
@@ -323,7 +330,7 @@ func Fig4c() *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, statErr = statOf(e.fs, "/a/e/f")
+		_, statErr = statOf(e.ctx, e.fs, "/a/e/f")
 	}()
 	if err := statReady.waitTimeout(); err != nil {
 		r.Err = err
@@ -333,14 +340,14 @@ func Fig4c() *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		ren2Err = e.fs.Rename("/a/e", "/b/c/d/e")
+		ren2Err = e.fs.Rename(e.ctx, "/a/e", "/b/c/d/e")
 	}()
 	if err := rename2Ready.waitTimeout(); err != nil {
 		r.Err = err
 		return r
 	}
 	r.step("t2: rename(/a/e, /b/c/d/e) waits at its LP")
-	ren1Err = e.fs.Rename("/b/c", "/b/g")
+	ren1Err = e.fs.Rename(e.ctx, "/b/c", "/b/g")
 	r.step("t1: rename(/b/c, /b/g) committed, recursively helping t3 then t2: %v", errStr(ren1Err))
 	release.open()
 	wg.Wait()
@@ -364,7 +371,7 @@ func Fig4c() *Report {
 func Fig8() *Report {
 	r := &Report{Name: "figure-8", Mode: core.ModeHelpers}
 	e := newEnv(core.ModeHelpers, atomfs.WithUnsafeTraversal())
-	mustSetup(r, e.fs.Mkdir("/a"), e.fs.Mkdir("/a/b"), e.fs.Mkdir("/a/b/c"))
+	mustSetup(r, e.fs.Mkdir(e.ctx, "/a"), e.fs.Mkdir(e.ctx, "/a/b"), e.fs.Mkdir(e.ctx, "/a/b/c"))
 	e.mark()
 
 	insInWindow := newGate()
@@ -380,16 +387,16 @@ func Fig8() *Report {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		insErr = e.fs.Mknod("/a/b/c/d")
+		insErr = e.fs.Mknod(e.ctx, "/a/b/c/d")
 	}()
 	if err := insInWindow.waitTimeout(); err != nil {
 		r.Err = err
 		return r
 	}
 	r.step("ins(/a/b/c, d) released /a/b and holds nothing (bypass window)")
-	renameErr = e.fs.Rename("/a", "/i")
+	renameErr = e.fs.Rename(e.ctx, "/a", "/i")
 	r.step("rename(/a, /i) committed and helped ins: %v", errStr(renameErr))
-	delErr = e.fs.Rmdir("/i/b/c")
+	delErr = e.fs.Rmdir(e.ctx, "/i/b/c")
 	r.step("del(/i/b, c) bypassed the helped ins: %v", errStr(delErr))
 	resume.open()
 	wg.Wait()
@@ -409,8 +416,8 @@ func mustSetup(r *Report, errs ...error) {
 	}
 }
 
-func statOf(fs *atomfs.FS, path string) (any, error) {
-	info, err := fs.Stat(path)
+func statOf(ctx context.Context, fs *atomfs.FS, path string) (any, error) {
+	info, err := fs.Stat(ctx, path)
 	return info, err
 }
 

@@ -20,10 +20,10 @@ func Unbounded(k int) *Report {
 
 	// A chain /a/d0/d1/.../d(k-1); worker i operates at depth i.
 	path := "/a"
-	mustSetup(r, e.fs.Mkdir(path))
+	mustSetup(r, e.fs.Mkdir(e.ctx, path))
 	for i := 0; i < k; i++ {
 		path = fmt.Sprintf("%s/d%d", path, i)
-		mustSetup(r, e.fs.Mkdir(path))
+		mustSetup(r, e.fs.Mkdir(e.ctx, path))
 	}
 	if r.Err != nil {
 		return r
@@ -54,7 +54,7 @@ func Unbounded(k int) *Report {
 		wg.Add(1)
 		go func(i int, target string) {
 			defer wg.Done()
-			errs[i] = e.fs.Mknod(target + "/file")
+			errs[i] = e.fs.Mknod(e.ctx, target + "/file")
 		}(i, p)
 		if err := gate(parked).waitTimeout(); err != nil {
 			r.Err = fmt.Errorf("worker %d never parked: %w", i, err)
@@ -64,7 +64,7 @@ func Unbounded(k int) *Report {
 		}
 	}
 	r.step("%d operations paused inside critical sections under /a", k)
-	renameErr := e.fs.Rename("/a", "/z")
+	renameErr := e.fs.Rename(e.ctx, "/a", "/z")
 	r.step("rename(/a, /z) committed, helping all %d: %v", k, errStr(renameErr))
 	release.open()
 	wg.Wait()

@@ -7,6 +7,8 @@
 package slowfs
 
 import (
+	"context"
+
 	"repro/internal/fsapi"
 )
 
@@ -51,40 +53,61 @@ func spin(n int) {
 func (fs *FS) cost(bytes int) { spin(fs.perOp + fs.perByte*bytes/64) }
 
 // Mknod creates an empty file.
-func (fs *FS) Mknod(path string) error { fs.cost(0); return fs.inner.Mknod(path) }
+func (fs *FS) Mknod(ctx context.Context, path string) error {
+	fs.cost(0)
+	return fs.inner.Mknod(ctx, path)
+}
 
 // Mkdir creates an empty directory.
-func (fs *FS) Mkdir(path string) error { fs.cost(0); return fs.inner.Mkdir(path) }
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	fs.cost(0)
+	return fs.inner.Mkdir(ctx, path)
+}
 
 // Rmdir removes an empty directory.
-func (fs *FS) Rmdir(path string) error { fs.cost(0); return fs.inner.Rmdir(path) }
+func (fs *FS) Rmdir(ctx context.Context, path string) error {
+	fs.cost(0)
+	return fs.inner.Rmdir(ctx, path)
+}
 
 // Unlink removes a file.
-func (fs *FS) Unlink(path string) error { fs.cost(0); return fs.inner.Unlink(path) }
+func (fs *FS) Unlink(ctx context.Context, path string) error {
+	fs.cost(0)
+	return fs.inner.Unlink(ctx, path)
+}
 
 // Rename moves src to dst.
-func (fs *FS) Rename(src, dst string) error { fs.cost(0); return fs.inner.Rename(src, dst) }
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
+	fs.cost(0)
+	return fs.inner.Rename(ctx, src, dst)
+}
 
 // Stat reports an inode's kind and size.
-func (fs *FS) Stat(path string) (fsapi.Info, error) { fs.cost(0); return fs.inner.Stat(path) }
+func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
+	fs.cost(0)
+	return fs.inner.Stat(ctx, path)
+}
 
-// Read returns up to size bytes at off.
-func (fs *FS) Read(path string, off int64, size int) ([]byte, error) {
-	fs.cost(size)
-	return fs.inner.Read(path, off, size)
+// Read fills dst with file bytes starting at off.
+func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	fs.cost(len(dst))
+	return fs.inner.Read(ctx, path, off, dst)
 }
 
 // Write stores data at off.
-func (fs *FS) Write(path string, off int64, data []byte) (int, error) {
+func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
 	fs.cost(len(data))
-	return fs.inner.Write(path, off, data)
+	return fs.inner.Write(ctx, path, off, data)
 }
 
 // Truncate resizes a file.
-func (fs *FS) Truncate(path string, size int64) error {
+func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
 	fs.cost(0)
-	return fs.inner.Truncate(path, size)
+	return fs.inner.Truncate(ctx, path, size)
 }
 
 // Readdir lists entries in sorted order.
-func (fs *FS) Readdir(path string) ([]string, error) { fs.cost(0); return fs.inner.Readdir(path) }
+func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
+	fs.cost(0)
+	return fs.inner.Readdir(ctx, path)
+}

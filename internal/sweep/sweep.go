@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +26,11 @@ import (
 	"repro/internal/lincheck"
 	"repro/internal/spec"
 )
+
+// bgCtx is this driver package's root context: the study/exploration
+// harness is an execution root (like main), so the background context is
+// its to mint. ctxlint:allow
+var bgCtx = context.Background()
 
 // OpSpec names one operation of a pair.
 type OpSpec struct {
@@ -64,10 +70,10 @@ func (o Outcome) String() string {
 func buildTree(fs *atomfs.FS, setup []string) error {
 	for _, p := range setup {
 		if p[len(p)-1] == '/' {
-			if err := fs.Mkdir(p[:len(p)-1]); err != nil {
+			if err := fs.Mkdir(bgCtx, p[:len(p)-1]); err != nil {
 				return err
 			}
-		} else if err := fs.Mknod(p); err != nil {
+		} else if err := fs.Mknod(bgCtx, p); err != nil {
 			return err
 		}
 	}
@@ -210,30 +216,30 @@ func Catalogue() []Pair {
 	setup := []string{"/a/", "/a/b/", "/a/b/c/", "/a/b/victim", "/a/b/olddir/", "/x/"}
 	renameA := OpSpec{
 		Name: "rename(/a,/x/a)",
-		Run:  func(fs *atomfs.FS) error { return fs.Rename("/a", "/x/a") },
+		Run:  func(fs *atomfs.FS) error { return fs.Rename(bgCtx, "/a", "/x/a") },
 		Op:   spec.OpRename,
 	}
 	return []Pair{
 		{Name: "rename+create", Setup: setup, A: renameA,
 			B: OpSpec{Name: "mknod(/a/b/c/new)", Op: spec.OpMknod,
-				Run: func(fs *atomfs.FS) error { return fs.Mknod("/a/b/c/new") }}},
+				Run: func(fs *atomfs.FS) error { return fs.Mknod(bgCtx, "/a/b/c/new") }}},
 		{Name: "rename+mkdir", Setup: setup, A: renameA,
 			B: OpSpec{Name: "mkdir(/a/b/c/newdir)", Op: spec.OpMkdir,
-				Run: func(fs *atomfs.FS) error { return fs.Mkdir("/a/b/c/newdir") }}},
+				Run: func(fs *atomfs.FS) error { return fs.Mkdir(bgCtx, "/a/b/c/newdir") }}},
 		{Name: "rename+unlink", Setup: setup, A: renameA,
 			B: OpSpec{Name: "unlink(/a/b/victim)", Op: spec.OpUnlink,
-				Run: func(fs *atomfs.FS) error { return fs.Unlink("/a/b/victim") }}},
+				Run: func(fs *atomfs.FS) error { return fs.Unlink(bgCtx, "/a/b/victim") }}},
 		{Name: "rename+rmdir", Setup: setup, A: renameA,
 			B: OpSpec{Name: "rmdir(/a/b/olddir)", Op: spec.OpRmdir,
-				Run: func(fs *atomfs.FS) error { return fs.Rmdir("/a/b/olddir") }}},
+				Run: func(fs *atomfs.FS) error { return fs.Rmdir(bgCtx, "/a/b/olddir") }}},
 		{Name: "rename+rename", Setup: setup, A: renameA,
 			B: OpSpec{Name: "rename(/a/b/victim,/a/b/moved)", Op: spec.OpRename,
-				Run: func(fs *atomfs.FS) error { return fs.Rename("/a/b/victim", "/a/b/moved") }}},
+				Run: func(fs *atomfs.FS) error { return fs.Rename(bgCtx, "/a/b/victim", "/a/b/moved") }}},
 		{Name: "rename+stat", Setup: setup, A: renameA,
 			B: OpSpec{Name: "stat(/a/b/c)", Op: spec.OpStat,
-				Run: func(fs *atomfs.FS) error { _, err := fs.Stat("/a/b/c"); return err }}},
+				Run: func(fs *atomfs.FS) error { _, err := fs.Stat(bgCtx, "/a/b/c"); return err }}},
 		{Name: "rename+readdir", Setup: setup, A: renameA,
 			B: OpSpec{Name: "readdir(/a/b)", Op: spec.OpReaddir,
-				Run: func(fs *atomfs.FS) error { _, err := fs.Readdir("/a/b"); return err }}},
+				Run: func(fs *atomfs.FS) error { _, err := fs.Readdir(bgCtx, "/a/b"); return err }}},
 	}
 }

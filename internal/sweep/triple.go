@@ -207,11 +207,11 @@ func Fig4cTriple() Triple {
 		Name:  "fig4c-family",
 		Setup: setup,
 		C: OpSpec{Name: "stat(/a/e/f)", Op: spec.OpStat,
-			Run: func(fs *atomfs.FS) error { _, err := fs.Stat("/a/e/f"); return err }},
+			Run: func(fs *atomfs.FS) error { _, err := fs.Stat(bgCtx, "/a/e/f"); return err }},
 		B: OpSpec{Name: "rename(/a/e,/b/c/d/e)", Op: spec.OpRename,
-			Run: func(fs *atomfs.FS) error { return fs.Rename("/a/e", "/b/c/d/e") }},
+			Run: func(fs *atomfs.FS) error { return fs.Rename(bgCtx, "/a/e", "/b/c/d/e") }},
 		A: OpSpec{Name: "rename(/b/c,/b/g)", Op: spec.OpRename,
-			Run: func(fs *atomfs.FS) error { return fs.Rename("/b/c", "/b/g") }},
+			Run: func(fs *atomfs.FS) error { return fs.Rename(bgCtx, "/b/c", "/b/g") }},
 	}
 }
 

@@ -23,6 +23,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/base64"
 	"fmt"
 	"io"
@@ -219,10 +220,10 @@ type ReplayResult struct {
 // Replay applies entries to fs. When model is non-nil, every result is
 // compared against the abstract specification in lockstep and the first
 // divergence is returned as an error.
-func Replay(fs fsapi.FS, model *spec.AFS, entries []Entry) (ReplayResult, error) {
+func Replay(ctx context.Context, fs fsapi.FS, model *spec.AFS, entries []Entry) (ReplayResult, error) {
 	var res ReplayResult
 	for i, e := range entries {
-		got := fstest.ApplyFS(fs, e.Op, e.Args)
+		got := fstest.ApplyFS(ctx, fs, e.Op, e.Args)
 		res.Applied++
 		if got.Err != nil {
 			res.Errors++
@@ -266,63 +267,63 @@ func (r *Recorder) record(op spec.Op, args spec.Args) {
 }
 
 // Mknod creates an empty file.
-func (r *Recorder) Mknod(path string) error {
+func (r *Recorder) Mknod(ctx context.Context, path string) error {
 	r.record(spec.OpMknod, spec.Args{Path: path})
-	return r.inner.Mknod(path)
+	return r.inner.Mknod(ctx, path)
 }
 
 // Mkdir creates an empty directory.
-func (r *Recorder) Mkdir(path string) error {
+func (r *Recorder) Mkdir(ctx context.Context, path string) error {
 	r.record(spec.OpMkdir, spec.Args{Path: path})
-	return r.inner.Mkdir(path)
+	return r.inner.Mkdir(ctx, path)
 }
 
 // Rmdir removes an empty directory.
-func (r *Recorder) Rmdir(path string) error {
+func (r *Recorder) Rmdir(ctx context.Context, path string) error {
 	r.record(spec.OpRmdir, spec.Args{Path: path})
-	return r.inner.Rmdir(path)
+	return r.inner.Rmdir(ctx, path)
 }
 
 // Unlink removes a file.
-func (r *Recorder) Unlink(path string) error {
+func (r *Recorder) Unlink(ctx context.Context, path string) error {
 	r.record(spec.OpUnlink, spec.Args{Path: path})
-	return r.inner.Unlink(path)
+	return r.inner.Unlink(ctx, path)
 }
 
 // Rename moves src to dst.
-func (r *Recorder) Rename(src, dst string) error {
+func (r *Recorder) Rename(ctx context.Context, src, dst string) error {
 	r.record(spec.OpRename, spec.Args{Path: src, Path2: dst})
-	return r.inner.Rename(src, dst)
+	return r.inner.Rename(ctx, src, dst)
 }
 
 // Stat reports kind and size.
-func (r *Recorder) Stat(path string) (fsapi.Info, error) {
+func (r *Recorder) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	r.record(spec.OpStat, spec.Args{Path: path})
-	return r.inner.Stat(path)
+	return r.inner.Stat(ctx, path)
 }
 
-// Read returns up to size bytes at off.
-func (r *Recorder) Read(path string, off int64, size int) ([]byte, error) {
-	r.record(spec.OpRead, spec.Args{Path: path, Off: off, Size: size})
-	return r.inner.Read(path, off, size)
+// Read fills dst with bytes at off.
+func (r *Recorder) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
+	r.record(spec.OpRead, spec.Args{Path: path, Off: off, Size: len(dst)})
+	return r.inner.Read(ctx, path, off, dst)
 }
 
 // Write stores data at off.
-func (r *Recorder) Write(path string, off int64, data []byte) (int, error) {
+func (r *Recorder) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
 	r.record(spec.OpWrite, spec.Args{Path: path, Off: off, Data: append([]byte(nil), data...)})
-	return r.inner.Write(path, off, data)
+	return r.inner.Write(ctx, path, off, data)
 }
 
 // Truncate resizes a file.
-func (r *Recorder) Truncate(path string, size int64) error {
+func (r *Recorder) Truncate(ctx context.Context, path string, size int64) error {
 	r.record(spec.OpTruncate, spec.Args{Path: path, Off: size})
-	return r.inner.Truncate(path, size)
+	return r.inner.Truncate(ctx, path, size)
 }
 
 // Readdir lists entries.
-func (r *Recorder) Readdir(path string) ([]string, error) {
+func (r *Recorder) Readdir(ctx context.Context, path string) ([]string, error) {
 	r.record(spec.OpReaddir, spec.Args{Path: path})
-	return r.inner.Readdir(path)
+	return r.inner.Readdir(ctx, path)
 }
 
 // FromState renders an abstract state as the minimal creation trace that

@@ -72,13 +72,13 @@ func TestRecordThenReplayDifferential(t *testing.T) {
 	stream := fstest.NewOpStream(77)
 	for i := 0; i < 400; i++ {
 		op, args := stream.Next()
-		fstest.ApplyFS(rec, op, args)
+		fstest.ApplyFS(tctx, rec, op, args)
 	}
 	entries := rec.Trace()
 	if len(entries) != 400 {
 		t.Fatalf("recorded %d entries", len(entries))
 	}
-	res, err := Replay(memfs.New(), spec.New(), entries)
+	res, err := Replay(tctx, memfs.New(), spec.New(), entries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +91,12 @@ func TestReplayDetectsDivergence(t *testing.T) {
 	// A trace whose expectations cannot hold against a pre-polluted FS.
 	entries := []Entry{{Op: spec.OpMkdir, Args: spec.Args{Path: "/a"}}}
 	fs := memfs.New()
-	fs.Mkdir("/a") // now the trace's mkdir collides, the fresh model's does not
-	if _, err := Replay(fs, spec.New(), entries); err == nil {
+	fs.Mkdir(tctx, "/a") // now the trace's mkdir collides, the fresh model's does not
+	if _, err := Replay(tctx, fs, spec.New(), entries); err == nil {
 		t.Fatal("divergence not detected")
 	}
 	// Without a model, replay just applies.
-	res, err := Replay(fs, nil, entries)
+	res, err := Replay(tctx, fs, nil, entries)
 	if err != nil || res.Errors != 1 {
 		t.Fatalf("res = %+v err = %v", res, err)
 	}
@@ -141,12 +141,12 @@ func TestFromStateRebuilds(t *testing.T) {
 	stream := fstest.NewOpStream(123)
 	for i := 0; i < 300; i++ {
 		op, args := stream.Next()
-		fstest.ApplyFS(src, op, args)
+		fstest.ApplyFS(tctx, src, op, args)
 	}
 	entries := FromState(src.Snapshot())
 	// Rebuild on a fresh model and a fresh concrete FS, in lockstep.
 	dst := atomfs.New()
-	if _, err := Replay(dst, spec.New(), entries); err != nil {
+	if _, err := Replay(tctx, dst, spec.New(), entries); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := dst.SnapshotKey(), src.SnapshotKey(); got != want {
@@ -162,7 +162,7 @@ func TestFromStateRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst2 := atomfs.New()
-	if _, err := Replay(dst2, nil, parsed); err != nil {
+	if _, err := Replay(tctx, dst2, nil, parsed); err != nil {
 		t.Fatal(err)
 	}
 	if dst2.SnapshotKey() != src.SnapshotKey() {

@@ -10,9 +10,15 @@
 // the paper credits to FUSE: when an open file is unlinked, the VFS
 // detaches the descriptor onto a private shadow copy, so subsequent reads
 // and writes through the FD still work.
+//
+// Descriptors can be duplicated (Dup): duplicates share one open-file
+// description — offset, kind, and any post-unlink shadow — exactly as
+// POSIX dup(2) shares the file table entry. The description is released
+// when its last descriptor closes.
 package vfs
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/fsapi"
@@ -26,15 +32,18 @@ type FD int
 // MaxOpenFiles bounds the descriptor table.
 const MaxOpenFiles = 1024
 
+// openFile is an open-file description. Several descriptors may share one
+// (via Dup); refs counts them and the description is released when the
+// last one closes.
 type openFile struct {
 	path   string
 	kind   spec.Kind
 	offset int64
 	// shadow holds the file's content after an unlink-while-open; nil
-	// while the file is still linked.
+	// while the file is still linked. Shared across duplicates: a write
+	// through one dup'd FD is visible through the other, as POSIX demands.
 	shadow []byte
-	// refs supports dup-like sharing in the future; currently always 1.
-	refs int
+	refs   int
 }
 
 // VFS wraps a path-based file system with a descriptor table.
@@ -54,12 +63,8 @@ func New(fs fsapi.FS) *VFS {
 // Inner returns the wrapped file system (path-based escape hatch).
 func (v *VFS) Inner() fsapi.FS { return v.fs }
 
-// Open returns a descriptor for an existing file or directory.
-func (v *VFS) Open(path string) (FD, error) {
-	info, err := v.fs.Stat(path)
-	if err != nil {
-		return -1, err
-	}
+// alloc installs f under a fresh descriptor; caller holds no lock.
+func (v *VFS) alloc(f *openFile) (FD, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if len(v.table) >= MaxOpenFiles {
@@ -67,26 +72,64 @@ func (v *VFS) Open(path string) (FD, error) {
 	}
 	fd := v.next
 	v.next++
-	v.table[fd] = &openFile{path: path, kind: info.Kind, refs: 1}
+	f.refs++
+	v.table[fd] = f
 	return fd, nil
 }
 
-// Create makes a new file (failing if it exists) and opens it.
-func (v *VFS) Create(path string) (FD, error) {
-	if err := v.fs.Mknod(path); err != nil {
+// Open returns a descriptor for an existing file or directory.
+func (v *VFS) Open(ctx context.Context, path string) (FD, error) {
+	info, err := v.fs.Stat(ctx, path)
+	if err != nil {
 		return -1, err
 	}
-	return v.Open(path)
+	return v.alloc(&openFile{path: path, kind: info.Kind})
 }
 
-// Close releases the descriptor.
+// Create makes a new file (failing if it exists) and opens it.
+func (v *VFS) Create(ctx context.Context, path string) (FD, error) {
+	if err := v.fs.Mknod(ctx, path); err != nil {
+		return -1, err
+	}
+	return v.Open(ctx, path)
+}
+
+// Dup returns a new descriptor sharing fd's open-file description: the
+// offset, and any post-unlink shadow, are common to both. The description
+// is released only when the last descriptor referring to it closes.
+func (v *VFS) Dup(fd FD) (FD, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.table[fd]
+	if !ok {
+		return -1, fserr.ErrBadFD
+	}
+	if len(v.table) >= MaxOpenFiles {
+		return -1, fserr.ErrTooManyFiles
+	}
+	nfd := v.next
+	v.next++
+	f.refs++
+	v.table[nfd] = f
+	return nfd, nil
+}
+
+// Close releases the descriptor; the shared open-file description is
+// released when its last descriptor closes.
 func (v *VFS) Close(fd FD) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if _, ok := v.table[fd]; !ok {
+	f, ok := v.table[fd]
+	if !ok {
 		return fserr.ErrBadFD
 	}
 	delete(v.table, fd)
+	f.refs--
+	if f.refs == 0 {
+		// Last reference: drop the shadow so an unlinked file's bytes are
+		// not retained past the final close (POSIX frees the inode here).
+		f.shadow = nil
+	}
 	return nil
 }
 
@@ -118,7 +161,7 @@ func (v *VFS) Seek(fd FD, off int64) error {
 // Read reads up to size bytes at the descriptor's offset, advancing it.
 // The data path is a full path-based read (the §5.4 design); if the file
 // was unlinked while open, the shadow copy serves the read.
-func (v *VFS) Read(fd FD, size int) ([]byte, error) {
+func (v *VFS) Read(ctx context.Context, fd FD, size int) ([]byte, error) {
 	f, err := v.lookup(fd)
 	if err != nil {
 		return nil, err
@@ -137,10 +180,12 @@ func (v *VFS) Read(fd FD, size int) ([]byte, error) {
 			data = []byte{}
 		}
 	} else {
-		data, err = v.fs.Read(path, off, size)
+		buf := make([]byte, size)
+		n, err := v.fs.Read(ctx, path, off, buf)
 		if err != nil {
 			return nil, err
 		}
+		data = buf[:n:n]
 	}
 	v.mu.Lock()
 	f.offset = off + int64(len(data))
@@ -149,7 +194,7 @@ func (v *VFS) Read(fd FD, size int) ([]byte, error) {
 }
 
 // Write writes at the descriptor's offset, advancing it.
-func (v *VFS) Write(fd FD, data []byte) (int, error) {
+func (v *VFS) Write(ctx context.Context, fd FD, data []byte) (int, error) {
 	f, err := v.lookup(fd)
 	if err != nil {
 		return 0, err
@@ -170,7 +215,7 @@ func (v *VFS) Write(fd FD, data []byte) (int, error) {
 		v.mu.Unlock()
 		return len(data), nil
 	}
-	n, err := v.fs.Write(path, off, data)
+	n, err := v.fs.Write(ctx, path, off, data)
 	if err != nil {
 		return n, err
 	}
@@ -181,7 +226,7 @@ func (v *VFS) Write(fd FD, data []byte) (int, error) {
 }
 
 // StatFD stats through the descriptor.
-func (v *VFS) StatFD(fd FD) (fsapi.Info, error) {
+func (v *VFS) StatFD(ctx context.Context, fd FD) (fsapi.Info, error) {
 	f, err := v.lookup(fd)
 	if err != nil {
 		return fsapi.Info{}, err
@@ -194,12 +239,12 @@ func (v *VFS) StatFD(fd FD) (fsapi.Info, error) {
 	if shadow != nil {
 		return fsapi.Info{Kind: kind, Size: int64(len(shadow))}, nil
 	}
-	return v.fs.Stat(path)
+	return v.fs.Stat(ctx, path)
 }
 
 // ReaddirFD lists a directory through the descriptor via a full path
 // traversal — the linearizable FD-based readdir of §5.4.
-func (v *VFS) ReaddirFD(fd FD) ([]string, error) {
+func (v *VFS) ReaddirFD(ctx context.Context, fd FD) ([]string, error) {
 	f, err := v.lookup(fd)
 	if err != nil {
 		return nil, err
@@ -207,13 +252,13 @@ func (v *VFS) ReaddirFD(fd FD) ([]string, error) {
 	v.mu.Lock()
 	path := f.path
 	v.mu.Unlock()
-	return v.fs.Readdir(path)
+	return v.fs.Readdir(ctx, path)
 }
 
 // Unlink removes a file; if any descriptor has it open, the descriptor is
 // detached onto a shadow copy first (POSIX read-after-unlink, via the
 // FUSE temporary-file behaviour the paper describes).
-func (v *VFS) Unlink(path string) error {
+func (v *VFS) Unlink(ctx context.Context, path string) error {
 	// Snapshot current content in case a descriptor needs detaching; read
 	// before the unlink to keep the copy coherent.
 	var content []byte
@@ -228,18 +273,20 @@ func (v *VFS) Unlink(path string) error {
 	}
 	v.mu.Unlock()
 	if anyOpen {
-		if info, err := v.fs.Stat(path); err == nil && info.Kind == spec.KindFile {
-			if data, err := v.fs.Read(path, 0, int(info.Size)); err == nil {
+		if info, err := v.fs.Stat(ctx, path); err == nil && info.Kind == spec.KindFile {
+			if data, err := fsapi.ReadAll(ctx, v.fs, path, 0, int(info.Size)); err == nil {
 				content = data
 				haveContent = true
 			}
 		}
 	}
-	if err := v.fs.Unlink(path); err != nil {
+	if err := v.fs.Unlink(ctx, path); err != nil {
 		return err
 	}
 	if haveContent {
 		v.mu.Lock()
+		// Duplicated descriptors share one openFile, so the shadow lands
+		// once per description even if many FDs reach it.
 		for _, f := range v.table {
 			if f.path == path && f.shadow == nil {
 				f.shadow = append([]byte(nil), content...)
@@ -253,26 +300,42 @@ func (v *VFS) Unlink(path string) error {
 // Path-based pass-throughs, so applications can use a single object.
 
 // Mknod creates an empty file.
-func (v *VFS) Mknod(path string) error { return v.fs.Mknod(path) }
+func (v *VFS) Mknod(ctx context.Context, path string) error { return v.fs.Mknod(ctx, path) }
 
 // Mkdir creates an empty directory.
-func (v *VFS) Mkdir(path string) error { return v.fs.Mkdir(path) }
+func (v *VFS) Mkdir(ctx context.Context, path string) error { return v.fs.Mkdir(ctx, path) }
 
 // Rmdir removes an empty directory.
-func (v *VFS) Rmdir(path string) error { return v.fs.Rmdir(path) }
+func (v *VFS) Rmdir(ctx context.Context, path string) error { return v.fs.Rmdir(ctx, path) }
 
 // Rename moves src to dst.
-func (v *VFS) Rename(src, dst string) error { return v.fs.Rename(src, dst) }
+func (v *VFS) Rename(ctx context.Context, src, dst string) error { return v.fs.Rename(ctx, src, dst) }
 
 // Stat stats a path.
-func (v *VFS) Stat(path string) (fsapi.Info, error) { return v.fs.Stat(path) }
+func (v *VFS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
+	return v.fs.Stat(ctx, path)
+}
 
 // Readdir lists a directory by path.
-func (v *VFS) Readdir(path string) ([]string, error) { return v.fs.Readdir(path) }
+func (v *VFS) Readdir(ctx context.Context, path string) ([]string, error) {
+	return v.fs.Readdir(ctx, path)
+}
 
 // OpenCount reports the number of open descriptors (tests).
 func (v *VFS) OpenCount() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.table)
+}
+
+// Refs reports how many descriptors share fd's open-file description
+// (tests and debugging).
+func (v *VFS) Refs(fd FD) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.table[fd]
+	if !ok {
+		return 0, fserr.ErrBadFD
+	}
+	return f.refs, nil
 }

@@ -22,25 +22,25 @@ func newVFS(t *testing.T) *VFS {
 
 func TestOpenReadWrite(t *testing.T) {
 	v := newVFS(t)
-	fd, err := v.Create("/f")
+	fd, err := v.Create(tctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := v.Write(fd, []byte("hello ")); err != nil || n != 6 {
+	if n, err := v.Write(tctx, fd, []byte("hello ")); err != nil || n != 6 {
 		t.Fatalf("write = %d %v", n, err)
 	}
-	if n, err := v.Write(fd, []byte("world")); err != nil || n != 5 {
+	if n, err := v.Write(tctx, fd, []byte("world")); err != nil || n != 5 {
 		t.Fatalf("write = %d %v", n, err)
 	}
 	if err := v.Seek(fd, 0); err != nil {
 		t.Fatal(err)
 	}
-	data, err := v.Read(fd, 100)
+	data, err := v.Read(tctx, fd, 100)
 	if err != nil || string(data) != "hello world" {
 		t.Fatalf("read = %q %v", data, err)
 	}
 	// Offset advanced to EOF; next read is empty.
-	data, err = v.Read(fd, 10)
+	data, err = v.Read(tctx, fd, 10)
 	if err != nil || len(data) != 0 {
 		t.Fatalf("read at EOF = %q %v", data, err)
 	}
@@ -54,45 +54,45 @@ func TestOpenReadWrite(t *testing.T) {
 
 func TestBadFD(t *testing.T) {
 	v := newVFS(t)
-	if _, err := v.Read(99, 1); !errors.Is(err, fserr.ErrBadFD) {
+	if _, err := v.Read(tctx, 99, 1); !errors.Is(err, fserr.ErrBadFD) {
 		t.Fatalf("read bad fd = %v", err)
 	}
-	if _, err := v.Write(99, []byte("x")); !errors.Is(err, fserr.ErrBadFD) {
+	if _, err := v.Write(tctx, 99, []byte("x")); !errors.Is(err, fserr.ErrBadFD) {
 		t.Fatalf("write bad fd = %v", err)
 	}
-	if _, err := v.Open("/missing"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := v.Open(tctx, "/missing"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("open missing = %v", err)
 	}
 }
 
 func TestReadAfterUnlink(t *testing.T) {
 	v := newVFS(t)
-	fd, err := v.Create("/doomed")
+	fd, err := v.Create(tctx, "/doomed")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Write(fd, []byte("still here")); err != nil {
+	if _, err := v.Write(tctx, fd, []byte("still here")); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Unlink("/doomed"); err != nil {
+	if err := v.Unlink(tctx, "/doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Stat("/doomed"); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := v.Stat(tctx, "/doomed"); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatal("file still visible by path")
 	}
 	// The descriptor survives on the shadow copy.
 	if err := v.Seek(fd, 0); err != nil {
 		t.Fatal(err)
 	}
-	data, err := v.Read(fd, 100)
+	data, err := v.Read(tctx, fd, 100)
 	if err != nil || string(data) != "still here" {
 		t.Fatalf("read after unlink = %q %v", data, err)
 	}
 	// Writes through the detached descriptor also work.
-	if _, err := v.Write(fd, []byte("!")); err != nil {
+	if _, err := v.Write(tctx, fd, []byte("!")); err != nil {
 		t.Fatal(err)
 	}
-	info, err := v.StatFD(fd)
+	info, err := v.StatFD(tctx, fd)
 	if err != nil || info.Size != 11 {
 		t.Fatalf("statfd = %+v %v", info, err)
 	}
@@ -102,27 +102,27 @@ func TestReadAfterUnlink(t *testing.T) {
 func TestReaddirFDTraversesPath(t *testing.T) {
 	v := newVFS(t)
 	for _, d := range []string{"/a", "/a/b"} {
-		if err := v.Mkdir(d); err != nil {
+		if err := v.Mkdir(tctx, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	fd, err := v.Open("/a/b")
+	fd, err := v.Open(tctx, "/a/b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Mknod("/a/b/x"); err != nil {
+	if err := v.Mknod(tctx, "/a/b/x"); err != nil {
 		t.Fatal(err)
 	}
-	names, err := v.ReaddirFD(fd)
+	names, err := v.ReaddirFD(tctx, fd)
 	if err != nil || len(names) != 1 || names[0] != "x" {
 		t.Fatalf("readdirfd = %v %v", names, err)
 	}
 	// After a rename of an ancestor, the stale FD path reports ENOENT —
 	// consistent with the path-traversal design of §5.4.
-	if err := v.Rename("/a", "/z"); err != nil {
+	if err := v.Rename(tctx, "/a", "/z"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.ReaddirFD(fd); !errors.Is(err, fserr.ErrNotExist) {
+	if _, err := v.ReaddirFD(tctx, fd); !errors.Is(err, fserr.ErrNotExist) {
 		t.Fatalf("stale-path readdir = %v, want ENOENT", err)
 	}
 	v.Close(fd)
@@ -130,7 +130,7 @@ func TestReaddirFDTraversesPath(t *testing.T) {
 
 func TestSeekNegative(t *testing.T) {
 	v := newVFS(t)
-	fd, _ := v.Create("/f")
+	fd, _ := v.Create(tctx, "/f")
 	if err := v.Seek(fd, -1); !errors.Is(err, fserr.ErrInvalid) {
 		t.Fatalf("seek -1 = %v", err)
 	}
@@ -138,12 +138,12 @@ func TestSeekNegative(t *testing.T) {
 
 func TestFDExhaustion(t *testing.T) {
 	v := New(memfs.New())
-	if err := v.Mknod("/f"); err != nil {
+	if err := v.Mknod(tctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	var fds []FD
 	for {
-		fd, err := v.Open("/f")
+		fd, err := v.Open(tctx, "/f")
 		if err != nil {
 			if !errors.Is(err, fserr.ErrTooManyFiles) {
 				t.Fatalf("unexpected exhaustion error: %v", err)
@@ -156,19 +156,19 @@ func TestFDExhaustion(t *testing.T) {
 		t.Fatalf("opened %d, want %d", len(fds), MaxOpenFiles)
 	}
 	v.Close(fds[0])
-	if _, err := v.Open("/f"); err != nil {
+	if _, err := v.Open(tctx, "/f"); err != nil {
 		t.Fatalf("open after close failed: %v", err)
 	}
 }
 
 func TestDirKindRecorded(t *testing.T) {
 	v := newVFS(t)
-	v.Mkdir("/d")
-	fd, err := v.Open("/d")
+	v.Mkdir(tctx, "/d")
+	fd, err := v.Open(tctx, "/d")
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := v.StatFD(fd)
+	info, err := v.StatFD(tctx, fd)
 	if err != nil || info.Kind != spec.KindDir {
 		t.Fatalf("statfd dir = %+v %v", info, err)
 	}
@@ -176,11 +176,11 @@ func TestDirKindRecorded(t *testing.T) {
 
 func TestSparseReadThroughFD(t *testing.T) {
 	v := newVFS(t)
-	fd, _ := v.Create("/s")
+	fd, _ := v.Create(tctx, "/s")
 	v.Seek(fd, 10000)
-	v.Write(fd, []byte("end"))
+	v.Write(tctx, fd, []byte("end"))
 	v.Seek(fd, 0)
-	data, err := v.Read(fd, 100)
+	data, err := v.Read(tctx, fd, 100)
 	if err != nil || !bytes.Equal(data, make([]byte, 100)) {
 		t.Fatalf("sparse head = %v %v", data[:5], err)
 	}
@@ -193,7 +193,7 @@ func TestConcurrentFDs(t *testing.T) {
 	mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
 	fs := atomfs.New(atomfs.WithMonitor(mon))
 	v := New(fs)
-	if err := v.Mkdir("/d"); err != nil {
+	if err := v.Mkdir(tctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -203,21 +203,21 @@ func TestConcurrentFDs(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 60; i++ {
 				p := fmt.Sprintf("/d/w%d-%d", w, i%4)
-				fd, err := v.Create(p)
+				fd, err := v.Create(tctx, p)
 				if err != nil {
 					// A sibling worker may own this name; open instead.
-					fd, err = v.Open(p)
+					fd, err = v.Open(tctx, p)
 					if err != nil {
 						continue
 					}
 				}
-				v.Write(fd, []byte("data"))
+				v.Write(tctx, fd, []byte("data"))
 				v.Seek(fd, 0)
-				v.Read(fd, 4)
-				v.StatFD(fd)
+				v.Read(tctx, fd, 4)
+				v.StatFD(tctx, fd)
 				v.Close(fd)
 				if i%8 == 0 {
-					v.Unlink(p)
+					v.Unlink(tctx, p)
 				}
 			}
 		}(w)
@@ -241,19 +241,119 @@ func TestVFSOverRemoteMount(t *testing.T) {
 	defer srv.Close()
 	defer client.Close()
 	v := New(client)
-	fd, err := v.Create("/remote-file")
+	fd, err := v.Create(tctx, "/remote-file")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Write(fd, []byte("over the wire")); err != nil {
+	if _, err := v.Write(tctx, fd, []byte("over the wire")); err != nil {
 		t.Fatal(err)
 	}
 	if err := v.Seek(fd, 5); err != nil {
 		t.Fatal(err)
 	}
-	data, err := v.Read(fd, 3)
+	data, err := v.Read(tctx, fd, 3)
 	if err != nil || string(data) != "the" {
 		t.Fatalf("read = %q %v", data, err)
 	}
 	v.Close(fd)
+}
+
+// TestDupSharesDescription: dup(2) semantics — duplicates share one
+// open-file description, so the offset and any post-unlink shadow are
+// common, and the description is released only on last close.
+func TestDupSharesDescription(t *testing.T) {
+	v := newVFS(t)
+	fd, err := v.Create(tctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(tctx, fd, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := v.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup == fd {
+		t.Fatalf("dup returned the same descriptor %d", fd)
+	}
+	if n, err := v.Refs(fd); err != nil || n != 2 {
+		t.Fatalf("refs = %d %v, want 2", n, err)
+	}
+
+	// The offset is shared: a read through one descriptor advances the
+	// other's position.
+	if err := v.Seek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := v.Read(tctx, fd, 3); err != nil || string(data) != "abc" {
+		t.Fatalf("read via fd = %q %v", data, err)
+	}
+	if data, err := v.Read(tctx, dup, 3); err != nil || string(data) != "def" {
+		t.Fatalf("read via dup = %q %v (offset not shared)", data, err)
+	}
+
+	// Unlink-while-open: the shadow lands once on the shared description
+	// and a write through one duplicate is visible through the other.
+	if err := v.Unlink(tctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Seek(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(tctx, fd, []byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Seek(dup, 0); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := v.Read(tctx, dup, 6); err != nil || string(data) != "XYZdef" {
+		t.Fatalf("read shadow via dup = %q %v", data, err)
+	}
+
+	// Closing one descriptor keeps the description (and shadow) alive.
+	if err := v.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.Refs(dup); err != nil || n != 1 {
+		t.Fatalf("refs after close = %d %v, want 1", n, err)
+	}
+	if err := v.Seek(dup, 0); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := v.Read(tctx, dup, 3); err != nil || string(data) != "XYZ" {
+		t.Fatalf("read after sibling close = %q %v", data, err)
+	}
+
+	// Last close releases the description; both descriptors are dead.
+	if err := v.Close(dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Refs(dup); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("refs on closed dup = %v", err)
+	}
+	if _, err := v.Read(tctx, fd, 1); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("read on closed fd = %v", err)
+	}
+	if v.OpenCount() != 0 {
+		t.Fatalf("open count = %d, want 0", v.OpenCount())
+	}
+}
+
+// TestDupBadFD: duplicating a closed or never-opened descriptor fails.
+func TestDupBadFD(t *testing.T) {
+	v := newVFS(t)
+	if _, err := v.Dup(99); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("dup bad fd = %v", err)
+	}
+	fd, err := v.Create(tctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Dup(fd); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("dup closed fd = %v", err)
+	}
 }

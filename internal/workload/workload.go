@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -45,25 +46,26 @@ const LargefileSize = 10 << 20
 // Largefile writes a 10 MB file sequentially in 64 KiB chunks, reads it
 // back sequentially, then rewrites it in place — the LFS largefile
 // benchmark.
-func Largefile(fs fsapi.FS) Result {
+func Largefile(ctx context.Context, fs fsapi.FS) Result {
 	const chunk = 64 << 10
 	var ops int64
-	check(fs.Mkdir("/large"), "largefile")
-	check(fs.Mknod("/large/big"), "largefile")
+	check(fs.Mkdir(ctx, "/large"), "largefile")
+	check(fs.Mknod(ctx, "/large/big"), "largefile")
 	ops++
 	buf := payload(chunk, 'L')
 	for off := int64(0); off < LargefileSize; off += chunk {
-		_, err := fs.Write("/large/big", off, buf)
+		_, err := fs.Write(ctx, "/large/big", off, buf)
 		check(err, "largefile write")
 		ops++
 	}
+	rbuf := make([]byte, chunk)
 	for off := int64(0); off < LargefileSize; off += chunk {
-		_, err := fs.Read("/large/big", off, chunk)
+		_, err := fs.Read(ctx, "/large/big", off, rbuf)
 		check(err, "largefile read")
 		ops++
 	}
 	for off := int64(0); off < LargefileSize; off += chunk {
-		_, err := fs.Write("/large/big", off, buf)
+		_, err := fs.Write(ctx, "/large/big", off, buf)
 		check(err, "largefile rewrite")
 		ops++
 	}
@@ -78,32 +80,33 @@ const (
 
 // Smallfile creates 10K 1 KB files across 100 directories, stats and
 // reads each, then deletes everything — the LFS smallfile benchmark.
-func Smallfile(fs fsapi.FS) Result {
+func Smallfile(ctx context.Context, fs fsapi.FS) Result {
 	var ops int64
 	const dirs = 100
 	buf := payload(SmallfileSize, 'S')
 	for d := 0; d < dirs; d++ {
-		check(fs.Mkdir(fmt.Sprintf("/s%02d", d)), "smallfile mkdir")
+		check(fs.Mkdir(ctx, fmt.Sprintf("/s%02d", d)), "smallfile mkdir")
 		ops++
 	}
 	for i := 0; i < SmallfileCount; i++ {
 		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
-		check(fs.Mknod(p), "smallfile create")
-		_, err := fs.Write(p, 0, buf)
+		check(fs.Mknod(ctx, p), "smallfile create")
+		_, err := fs.Write(ctx, p, 0, buf)
 		check(err, "smallfile write")
 		ops += 2
 	}
+	rbuf := make([]byte, SmallfileSize)
 	for i := 0; i < SmallfileCount; i++ {
 		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
-		_, err := fs.Stat(p)
+		_, err := fs.Stat(ctx, p)
 		check(err, "smallfile stat")
-		_, err = fs.Read(p, 0, SmallfileSize)
+		_, err = fs.Read(ctx, p, 0, rbuf)
 		check(err, "smallfile read")
 		ops += 2
 	}
 	for i := 0; i < SmallfileCount; i++ {
 		p := fmt.Sprintf("/s%02d/f%d", i%dirs, i)
-		check(fs.Unlink(p), "smallfile unlink")
+		check(fs.Unlink(ctx, p), "smallfile unlink")
 		ops++
 	}
 	return Result{Name: "smallfile", Ops: ops}
@@ -114,40 +117,40 @@ func Smallfile(fs fsapi.FS) Result {
 // GitClone models cloning the xv6-public repository: unpacking a packfile
 // into many small objects, then checking out the worktree — directory
 // creation plus bursts of small-file writes.
-func GitClone(fs fsapi.FS) Result {
+func GitClone(ctx context.Context, fs fsapi.FS) Result {
 	var ops int64
 	r := rand.New(rand.NewSource(1))
-	check(fs.Mkdir("/repo"), "git")
-	check(fs.Mkdir("/repo/.git"), "git")
-	check(fs.Mkdir("/repo/.git/objects"), "git")
+	check(fs.Mkdir(ctx, "/repo"), "git")
+	check(fs.Mkdir(ctx, "/repo/.git"), "git")
+	check(fs.Mkdir(ctx, "/repo/.git/objects"), "git")
 	ops += 3
 	// Object store: 256 fan-out dirs, ~1200 loose objects of 0.5-8 KB.
 	for i := 0; i < 64; i++ {
-		check(fs.Mkdir(fmt.Sprintf("/repo/.git/objects/%02x", i)), "git fanout")
+		check(fs.Mkdir(ctx, fmt.Sprintf("/repo/.git/objects/%02x", i)), "git fanout")
 		ops++
 	}
 	for i := 0; i < 1200; i++ {
 		p := fmt.Sprintf("/repo/.git/objects/%02x/obj%d", i%64, i)
-		check(fs.Mknod(p), "git object")
-		_, err := fs.Write(p, 0, payload(512+r.Intn(7680), 'g'))
+		check(fs.Mknod(ctx, p), "git object")
+		_, err := fs.Write(ctx, p, 0, payload(512+r.Intn(7680), 'g'))
 		check(err, "git object write")
 		ops += 2
 	}
 	// Worktree checkout: xv6 is ~100 files of 1-40 KB in one directory.
 	for i := 0; i < 100; i++ {
 		p := fmt.Sprintf("/repo/src%d.c", i)
-		check(fs.Mknod(p), "git checkout")
-		_, err := fs.Write(p, 0, payload(1024+r.Intn(40<<10), 'c'))
+		check(fs.Mknod(ctx, p), "git checkout")
+		_, err := fs.Write(ctx, p, 0, payload(1024+r.Intn(40<<10), 'c'))
 		check(err, "git checkout write")
 		ops += 2
 	}
 	// Index + refs writes with renames (git writes tmp then renames).
 	for i := 0; i < 20; i++ {
 		tmp := fmt.Sprintf("/repo/.git/tmp%d", i)
-		check(fs.Mknod(tmp), "git tmp")
-		_, err := fs.Write(tmp, 0, payload(4096, 'i'))
+		check(fs.Mknod(ctx, tmp), "git tmp")
+		_, err := fs.Write(ctx, tmp, 0, payload(4096, 'i'))
 		check(err, "git tmp write")
-		check(fs.Rename(tmp, "/repo/.git/index"), "git rename")
+		check(fs.Rename(ctx, tmp, "/repo/.git/index"), "git rename")
 		ops += 3
 	}
 	return Result{Name: "git-clone", Ops: ops}
@@ -156,51 +159,52 @@ func GitClone(fs fsapi.FS) Result {
 // MakeXv6 models building xv6: read every source file several times
 // (headers are re-read per compilation unit), write one object file per
 // source, then link (read all objects, write one binary).
-func MakeXv6(fs fsapi.FS) Result {
+func MakeXv6(ctx context.Context, fs fsapi.FS) Result {
 	var ops int64
 	r := rand.New(rand.NewSource(2))
-	check(fs.Mkdir("/build"), "make")
+	check(fs.Mkdir(ctx, "/build"), "make")
 	ops++
 	const sources = 60
 	const headers = 20
 	for i := 0; i < headers; i++ {
 		p := fmt.Sprintf("/build/h%d.h", i)
-		check(fs.Mknod(p), "make header")
-		_, err := fs.Write(p, 0, payload(2048+r.Intn(4096), 'h'))
+		check(fs.Mknod(ctx, p), "make header")
+		_, err := fs.Write(ctx, p, 0, payload(2048+r.Intn(4096), 'h'))
 		check(err, "make header write")
 		ops += 2
 	}
 	for i := 0; i < sources; i++ {
 		p := fmt.Sprintf("/build/s%d.c", i)
-		check(fs.Mknod(p), "make source")
-		_, err := fs.Write(p, 0, payload(4096+r.Intn(16<<10), 's'))
+		check(fs.Mknod(ctx, p), "make source")
+		_, err := fs.Write(ctx, p, 0, payload(4096+r.Intn(16<<10), 's'))
 		check(err, "make source write")
 		ops += 2
 	}
 	// Compile: each unit reads its source + ~8 headers, writes a .o.
+	rbuf := make([]byte, 64<<10)
 	for i := 0; i < sources; i++ {
-		_, err := fs.Read(fmt.Sprintf("/build/s%d.c", i), 0, 64<<10)
+		_, err := fs.Read(ctx, fmt.Sprintf("/build/s%d.c", i), 0, rbuf)
 		check(err, "make read source")
 		ops++
 		for h := 0; h < 8; h++ {
-			_, err := fs.Read(fmt.Sprintf("/build/h%d.h", (i+h)%headers), 0, 8<<10)
+			_, err := fs.Read(ctx, fmt.Sprintf("/build/h%d.h", (i+h)%headers), 0, rbuf[:8<<10])
 			check(err, "make read header")
 			ops++
 		}
 		o := fmt.Sprintf("/build/s%d.o", i)
-		check(fs.Mknod(o), "make object")
-		_, err = fs.Write(o, 0, payload(2048+r.Intn(8192), 'o'))
+		check(fs.Mknod(ctx, o), "make object")
+		_, err = fs.Write(ctx, o, 0, payload(2048+r.Intn(8192), 'o'))
 		check(err, "make write object")
 		ops += 2
 	}
 	// Link.
 	for i := 0; i < sources; i++ {
-		_, err := fs.Read(fmt.Sprintf("/build/s%d.o", i), 0, 16<<10)
+		_, err := fs.Read(ctx, fmt.Sprintf("/build/s%d.o", i), 0, rbuf[:16<<10])
 		check(err, "make link read")
 		ops++
 	}
-	check(fs.Mknod("/build/kernel"), "make link")
-	_, err := fs.Write("/build/kernel", 0, payload(200<<10, 'k'))
+	check(fs.Mknod(ctx, "/build/kernel"), "make link")
+	_, err := fs.Write(ctx, "/build/kernel", 0, payload(200<<10, 'k'))
 	check(err, "make link write")
 	ops += 2
 	return Result{Name: "make-xv6", Ops: ops}
@@ -208,10 +212,10 @@ func MakeXv6(fs fsapi.FS) Result {
 
 // CpQemu models `cp -r` of a source tree shaped like qemu's: a deep
 // directory hierarchy read from one subtree and recreated under another.
-func CpQemu(fs fsapi.FS) Result {
+func CpQemu(ctx context.Context, fs fsapi.FS) Result {
 	var ops int64
 	r := rand.New(rand.NewSource(3))
-	check(fs.Mkdir("/qemu"), "cp")
+	check(fs.Mkdir(ctx, "/qemu"), "cp")
 	ops++
 	type entry struct {
 		dir  string
@@ -222,17 +226,17 @@ func CpQemu(fs fsapi.FS) Result {
 	// ~80 directories, 3 levels, ~800 files of 1-32 KB.
 	for i := 0; i < 8; i++ {
 		d1 := fmt.Sprintf("/qemu/d%d", i)
-		check(fs.Mkdir(d1), "cp mkdir")
+		check(fs.Mkdir(ctx, d1), "cp mkdir")
 		dirs = append(dirs, d1)
 		ops++
 		for j := 0; j < 3; j++ {
 			d2 := fmt.Sprintf("%s/sub%d", d1, j)
-			check(fs.Mkdir(d2), "cp mkdir")
+			check(fs.Mkdir(ctx, d2), "cp mkdir")
 			dirs = append(dirs, d2)
 			ops++
 			for k := 0; k < 3; k++ {
 				d3 := fmt.Sprintf("%s/leaf%d", d2, k)
-				check(fs.Mkdir(d3), "cp mkdir")
+				check(fs.Mkdir(ctx, d3), "cp mkdir")
 				dirs = append(dirs, d3)
 				ops++
 			}
@@ -241,27 +245,28 @@ func CpQemu(fs fsapi.FS) Result {
 	for i := 0; i < 800; i++ {
 		d := dirs[r.Intn(len(dirs))]
 		p := fmt.Sprintf("%s/f%d.c", d, i)
-		check(fs.Mknod(p), "cp create")
-		_, err := fs.Write(p, 0, payload(1024+r.Intn(31<<10), 'q'))
+		check(fs.Mknod(ctx, p), "cp create")
+		_, err := fs.Write(ctx, p, 0, payload(1024+r.Intn(31<<10), 'q'))
 		check(err, "cp write")
 		files = append(files, entry{d, p})
 		ops += 2
 	}
 	// The copy: walk directories (readdir), read every file, mirror it.
-	check(fs.Mkdir("/copy"), "cp")
+	check(fs.Mkdir(ctx, "/copy"), "cp")
 	ops++
 	for _, d := range dirs {
-		check(fs.Mkdir("/copy"+d[len("/qemu"):len(d)]), "cp mirror dir")
-		_, err := fs.Readdir(d)
+		check(fs.Mkdir(ctx, "/copy"+d[len("/qemu"):len(d)]), "cp mirror dir")
+		_, err := fs.Readdir(ctx, d)
 		check(err, "cp readdir")
 		ops += 2
 	}
+	rbuf := make([]byte, 32<<10)
 	for _, f := range files {
-		data, err := fs.Read(f.file, 0, 32<<10)
+		n, err := fs.Read(ctx, f.file, 0, rbuf)
 		check(err, "cp read")
 		dst := "/copy" + f.file[len("/qemu"):]
-		check(fs.Mknod(dst), "cp dst create")
-		_, err = fs.Write(dst, 0, data)
+		check(fs.Mknod(ctx, dst), "cp dst create")
+		_, err = fs.Write(ctx, dst, 0, rbuf[:n])
 		check(err, "cp dst write")
 		ops += 3
 	}
@@ -270,43 +275,47 @@ func CpQemu(fs fsapi.FS) Result {
 
 // Ripgrep models a recursive content search: enumerate the whole tree
 // with readdir and read every file completely, writing nothing.
-func Ripgrep(fs fsapi.FS) Result {
+func Ripgrep(ctx context.Context, fs fsapi.FS) Result {
 	// Build a tree to search (same shape as CpQemu's source side).
 	var ops int64
 	r := rand.New(rand.NewSource(4))
-	check(fs.Mkdir("/src"), "rg")
+	check(fs.Mkdir(ctx, "/src"), "rg")
 	ops++
 	var dirs []string
 	for i := 0; i < 40; i++ {
 		d := fmt.Sprintf("/src/d%d", i)
-		check(fs.Mkdir(d), "rg mkdir")
+		check(fs.Mkdir(ctx, d), "rg mkdir")
 		dirs = append(dirs, d)
 		ops++
 	}
 	for i := 0; i < 1000; i++ {
 		p := fmt.Sprintf("%s/f%d.txt", dirs[r.Intn(len(dirs))], i)
-		check(fs.Mknod(p), "rg create")
-		_, err := fs.Write(p, 0, payload(512+r.Intn(16<<10), 'r'))
+		check(fs.Mknod(ctx, p), "rg create")
+		_, err := fs.Write(ctx, p, 0, payload(512+r.Intn(16<<10), 'r'))
 		check(err, "rg write")
 		ops += 2
 	}
 	// The search: 3 passes (ripgrep-like repeated invocations).
+	rbuf := make([]byte, 16<<10)
 	for pass := 0; pass < 3; pass++ {
 		var walkDir func(d string)
 		walkDir = func(d string) {
-			names, err := fs.Readdir(d)
+			names, err := fs.Readdir(ctx, d)
 			check(err, "rg readdir")
 			ops++
 			for _, n := range names {
 				p := d + "/" + n
-				info, err := fs.Stat(p)
+				info, err := fs.Stat(ctx, p)
 				check(err, "rg stat")
 				ops++
 				if info.Kind == spec.KindDir {
 					walkDir(p)
 					continue
 				}
-				_, err = fs.Read(p, 0, int(info.Size))
+				for int64(len(rbuf)) < info.Size {
+					rbuf = append(rbuf, make([]byte, len(rbuf))...)
+				}
+				_, err = fs.Read(ctx, p, 0, rbuf[:info.Size])
 				check(err, "rg read")
 				ops++
 			}
@@ -334,15 +343,15 @@ func DefaultFileserver() FileserverConfig {
 }
 
 // PrepareFileserver builds the directory tree and file population.
-func PrepareFileserver(fs fsapi.FS, cfg FileserverConfig) {
+func PrepareFileserver(ctx context.Context, fs fsapi.FS, cfg FileserverConfig) {
 	for d := 0; d < cfg.Dirs; d++ {
-		check(fs.Mkdir(fmt.Sprintf("/fsrv%d", d)), "fileserver prepare")
+		check(fs.Mkdir(ctx, fmt.Sprintf("/fsrv%d", d)), "fileserver prepare")
 	}
 	buf := payload(cfg.FileSize, 'F')
 	for i := 0; i < cfg.Files; i++ {
 		p := fmt.Sprintf("/fsrv%d/f%d", i%cfg.Dirs, i)
-		check(fs.Mknod(p), "fileserver prepare")
-		_, err := fs.Write(p, 0, buf)
+		check(fs.Mknod(ctx, p), "fileserver prepare")
+		_, err := fs.Write(ctx, p, 0, buf)
 		check(err, "fileserver prepare write")
 	}
 }
@@ -350,7 +359,7 @@ func PrepareFileserver(fs fsapi.FS, cfg FileserverConfig) {
 // Fileserver runs the Filebench fileserver flow with nThreads workers:
 // each iteration creates a file, writes it whole, appends, reads a whole
 // file, stats one, and deletes one — spread across the many directories.
-func Fileserver(fs fsapi.FS, cfg FileserverConfig, nThreads int) Result {
+func Fileserver(ctx context.Context, fs fsapi.FS, cfg FileserverConfig, nThreads int) Result {
 	var ops atomic.Int64
 	var wg sync.WaitGroup
 	appendBuf := payload(cfg.AppendLen, 'A')
@@ -360,36 +369,37 @@ func Fileserver(fs fsapi.FS, cfg FileserverConfig, nThreads int) Result {
 		go func(t int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(1000 + t)))
+			rbuf := make([]byte, cfg.FileSize)
 			var local int64
 			for i := 0; i < cfg.OpsPerThd; i++ {
 				d := r.Intn(cfg.Dirs)
 				switch i % 6 {
 				case 0: // createfile + writewholefile
 					p := fmt.Sprintf("/fsrv%d/new-t%d-%d", d, t, i)
-					if fs.Mknod(p) == nil {
-						fs.Write(p, 0, writeBuf)
+					if fs.Mknod(ctx, p) == nil {
+						fs.Write(ctx, p, 0, writeBuf)
 						local += 2
 					}
 				case 1: // appendfile
 					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
-					if info, err := fs.Stat(p); err == nil {
-						fs.Write(p, info.Size, appendBuf)
+					if info, err := fs.Stat(ctx, p); err == nil {
+						fs.Write(ctx, p, info.Size, appendBuf)
 						local += 2
 					}
 				case 2: // readwholefile
 					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
-					fs.Read(p, 0, cfg.FileSize)
+					fs.Read(ctx, p, 0, rbuf)
 					local++
 				case 3: // statfile
 					p := fmt.Sprintf("/fsrv%d/f%d", d, r.Intn(cfg.Files))
-					fs.Stat(p)
+					fs.Stat(ctx, p)
 					local++
 				case 4: // deletefile (of one this thread created earlier)
 					p := fmt.Sprintf("/fsrv%d/new-t%d-%d", r.Intn(cfg.Dirs), t, i-4)
-					fs.Unlink(p)
+					fs.Unlink(ctx, p)
 					local++
 				case 5: // listdir
-					fs.Readdir(fmt.Sprintf("/fsrv%d", d))
+					fs.Readdir(ctx, fmt.Sprintf("/fsrv%d", d))
 					local++
 				}
 			}
@@ -414,14 +424,14 @@ func DefaultWebproxy() WebproxyConfig {
 }
 
 // PrepareWebproxy builds the two-directory cache population.
-func PrepareWebproxy(fs fsapi.FS, cfg WebproxyConfig) {
-	check(fs.Mkdir("/proxy0"), "webproxy prepare")
-	check(fs.Mkdir("/proxy1"), "webproxy prepare")
+func PrepareWebproxy(ctx context.Context, fs fsapi.FS, cfg WebproxyConfig) {
+	check(fs.Mkdir(ctx, "/proxy0"), "webproxy prepare")
+	check(fs.Mkdir(ctx, "/proxy1"), "webproxy prepare")
 	buf := payload(cfg.FileSize, 'P')
 	for i := 0; i < cfg.Files; i++ {
 		p := fmt.Sprintf("/proxy%d/f%d", i%2, i)
-		check(fs.Mknod(p), "webproxy prepare")
-		_, err := fs.Write(p, 0, buf)
+		check(fs.Mknod(ctx, p), "webproxy prepare")
+		_, err := fs.Write(ctx, p, 0, buf)
 		check(err, "webproxy prepare write")
 	}
 }
@@ -429,7 +439,7 @@ func PrepareWebproxy(fs fsapi.FS, cfg WebproxyConfig) {
 // Webproxy runs the Filebench webproxy flow: per iteration, delete an old
 // cache entry, create and fill a replacement, then read five random
 // entries — all within two shared directories.
-func Webproxy(fs fsapi.FS, cfg WebproxyConfig, nThreads int) Result {
+func Webproxy(ctx context.Context, fs fsapi.FS, cfg WebproxyConfig, nThreads int) Result {
 	var ops atomic.Int64
 	var wg sync.WaitGroup
 	buf := payload(cfg.FileSize, 'p')
@@ -438,20 +448,21 @@ func Webproxy(fs fsapi.FS, cfg WebproxyConfig, nThreads int) Result {
 		go func(t int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(2000 + t)))
+			rbuf := make([]byte, cfg.FileSize)
 			var local int64
 			for i := 0; i < cfg.OpsPerThd/8; i++ {
 				d := r.Intn(2)
 				victim := fmt.Sprintf("/proxy%d/t%d-c%d", d, t, i-1)
-				fs.Unlink(victim)
+				fs.Unlink(ctx, victim)
 				local++
 				p := fmt.Sprintf("/proxy%d/t%d-c%d", d, t, i)
-				if fs.Mknod(p) == nil {
-					fs.Write(p, 0, buf)
+				if fs.Mknod(ctx, p) == nil {
+					fs.Write(ctx, p, 0, buf)
 					local += 2
 				}
 				for k := 0; k < 5; k++ {
 					q := fmt.Sprintf("/proxy%d/f%d", d, r.Intn(cfg.Files))
-					fs.Read(q, 0, cfg.FileSize)
+					fs.Read(ctx, q, 0, rbuf)
 					local++
 				}
 			}
@@ -479,13 +490,13 @@ func DefaultVarmail() VarmailConfig {
 }
 
 // PrepareVarmail builds the spool.
-func PrepareVarmail(fs fsapi.FS, cfg VarmailConfig) {
-	check(fs.Mkdir("/spool"), "varmail prepare")
+func PrepareVarmail(ctx context.Context, fs fsapi.FS, cfg VarmailConfig) {
+	check(fs.Mkdir(ctx, "/spool"), "varmail prepare")
 	buf := payload(cfg.FileSize, 'M')
 	for i := 0; i < cfg.Files; i++ {
 		p := fmt.Sprintf("/spool/m%d", i)
-		check(fs.Mknod(p), "varmail prepare")
-		_, err := fs.Write(p, 0, buf)
+		check(fs.Mknod(ctx, p), "varmail prepare")
+		_, err := fs.Write(ctx, p, 0, buf)
 		check(err, "varmail prepare write")
 	}
 }
@@ -493,7 +504,7 @@ func PrepareVarmail(fs fsapi.FS, cfg VarmailConfig) {
 // Varmail runs the mail-server flow: delete a message, deliver a new one
 // (create + write), read one, append to one — all in the single spool
 // directory.
-func Varmail(fs fsapi.FS, cfg VarmailConfig, nThreads int) Result {
+func Varmail(ctx context.Context, fs fsapi.FS, cfg VarmailConfig, nThreads int) Result {
 	var ops atomic.Int64
 	var wg sync.WaitGroup
 	body := payload(cfg.FileSize, 'm')
@@ -503,21 +514,22 @@ func Varmail(fs fsapi.FS, cfg VarmailConfig, nThreads int) Result {
 		go func(t int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(3000 + t)))
+			rbuf := make([]byte, cfg.FileSize)
 			var local int64
 			for i := 0; i < cfg.OpsPerThd/4; i++ {
 				old := fmt.Sprintf("/spool/t%d-d%d", t, i-1)
-				fs.Unlink(old)
+				fs.Unlink(ctx, old)
 				local++
 				p := fmt.Sprintf("/spool/t%d-d%d", t, i)
-				if fs.Mknod(p) == nil {
-					fs.Write(p, 0, body)
+				if fs.Mknod(ctx, p) == nil {
+					fs.Write(ctx, p, 0, body)
 					local += 2
 				}
 				q := fmt.Sprintf("/spool/m%d", r.Intn(cfg.Files))
-				fs.Read(q, 0, cfg.FileSize)
+				fs.Read(ctx, q, 0, rbuf)
 				local++
-				if info, err := fs.Stat(q); err == nil {
-					fs.Write(q, info.Size, appendBuf)
+				if info, err := fs.Stat(ctx, q); err == nil {
+					fs.Write(ctx, q, info.Size, appendBuf)
 					local += 2
 				}
 			}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/atomfs"
@@ -20,7 +21,7 @@ func variants() map[string]func() fsapi.FS {
 func TestLargefile(t *testing.T) {
 	for name, mk := range variants() {
 		t.Run(name, func(t *testing.T) {
-			res := Largefile(mk())
+			res := Largefile(tctx, mk())
 			if res.Ops < 3*(LargefileSize/(64<<10)) {
 				t.Fatalf("ops = %d", res.Ops)
 			}
@@ -30,23 +31,23 @@ func TestLargefile(t *testing.T) {
 
 func TestSmallfile(t *testing.T) {
 	fs := atomfs.New()
-	res := Smallfile(fs)
+	res := Smallfile(tctx, fs)
 	if res.Ops < int64(5*SmallfileCount) {
 		t.Fatalf("ops = %d", res.Ops)
 	}
 	// Everything was deleted: directories remain, files gone.
-	names, err := fs.Readdir("/s00")
+	names, err := fs.Readdir(tctx, "/s00")
 	if err != nil || len(names) != 0 {
 		t.Fatalf("leftovers: %v %v", names, err)
 	}
 }
 
 func TestApplicationTraces(t *testing.T) {
-	traces := []func(fsapi.FS) Result{GitClone, MakeXv6, CpQemu, Ripgrep}
+	traces := []func(context.Context, fsapi.FS) Result{GitClone, MakeXv6, CpQemu, Ripgrep}
 	for _, trace := range traces {
 		for name, mk := range variants() {
 			fs := mk()
-			res := trace(fs)
+			res := trace(tctx, fs)
 			if res.Ops == 0 {
 				t.Fatalf("%s on %s did nothing", res.Name, name)
 			}
@@ -56,9 +57,9 @@ func TestApplicationTraces(t *testing.T) {
 
 func TestCpQemuCopiesEverything(t *testing.T) {
 	fs := atomfs.New()
-	CpQemu(fs)
+	CpQemu(tctx, fs)
 	// Spot-check the mirrored tree exists.
-	names, err := fs.Readdir("/copy")
+	names, err := fs.Readdir(tctx, "/copy")
 	if err != nil || len(names) == 0 {
 		t.Fatalf("copy tree: %v %v", names, err)
 	}
@@ -67,8 +68,8 @@ func TestCpQemuCopiesEverything(t *testing.T) {
 func TestFileserverConcurrent(t *testing.T) {
 	fs := atomfs.New()
 	cfg := FileserverConfig{Dirs: 32, Files: 200, FileSize: 1024, AppendLen: 256, OpsPerThd: 300}
-	PrepareFileserver(fs, cfg)
-	res := Fileserver(fs, cfg, 4)
+	PrepareFileserver(tctx, fs, cfg)
+	res := Fileserver(tctx, fs, cfg, 4)
 	if res.Ops == 0 {
 		t.Fatal("no ops completed")
 	}
@@ -80,8 +81,8 @@ func TestFileserverConcurrent(t *testing.T) {
 func TestWebproxyConcurrent(t *testing.T) {
 	fs := atomfs.New()
 	cfg := WebproxyConfig{Files: 100, FileSize: 512, OpsPerThd: 400}
-	PrepareWebproxy(fs, cfg)
-	res := Webproxy(fs, cfg, 4)
+	PrepareWebproxy(tctx, fs, cfg)
+	res := Webproxy(tctx, fs, cfg, 4)
 	if res.Ops == 0 {
 		t.Fatal("no ops completed")
 	}
@@ -91,8 +92,8 @@ func TestWebproxyConcurrent(t *testing.T) {
 }
 
 func TestWorkloadsDeterministic(t *testing.T) {
-	a := GitClone(memfs.New())
-	b := GitClone(memfs.New())
+	a := GitClone(tctx, memfs.New())
+	b := GitClone(tctx, memfs.New())
 	if a.Ops != b.Ops {
 		t.Fatalf("nondeterministic trace: %d vs %d", a.Ops, b.Ops)
 	}
@@ -101,8 +102,8 @@ func TestWorkloadsDeterministic(t *testing.T) {
 func TestVarmailConcurrent(t *testing.T) {
 	fs := atomfs.New()
 	cfg := VarmailConfig{Files: 100, FileSize: 512, AppendLen: 128, OpsPerThd: 200}
-	PrepareVarmail(fs, cfg)
-	res := Varmail(fs, cfg, 4)
+	PrepareVarmail(tctx, fs, cfg)
+	res := Varmail(tctx, fs, cfg, 4)
 	if res.Ops == 0 {
 		t.Fatal("no ops completed")
 	}
