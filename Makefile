@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint verify bench bench-json obs-overhead figures conform interdep loc clean
+.PHONY: all build test race lint verify bench bench-json obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
 
 all: build test
 
@@ -20,12 +20,13 @@ lint:
 test:
 	$(GO) test ./...
 
-# Race everything, then give the lock-free code (fast-path reads vs
-# rename/unlink storms, lock-free dir.Table readers) extra -race rounds:
+# Race everything, then give the schedule-sensitive code (fast-path
+# reads vs rename/unlink storms, lock-free dir.Table readers, the
+# cancellation storms and mid-traversal aborts) extra -race rounds:
 # these are the tests whose schedules vary run to run.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'FastPath|LockFree' ./internal/atomfs ./internal/dir
+	$(GO) test -race -count=2 -run 'FastPath|LockFree|Cancel' ./internal/atomfs ./internal/dir ./internal/fuse
 
 # The full verification story: vet + ctxlint, the raced lock-free and
 # cancellation packages, then scenarios, sweeps, stress, explorer.
@@ -34,6 +35,28 @@ verify: build
 	$(GO) run ./cmd/ctxlint
 	$(GO) test -race ./internal/atomfs ./internal/dir
 	$(GO) run ./cmd/fscheck
+
+# Deterministic schedule fuzzer (internal/schedfuzz). Negative test
+# first: a fixed-LP campaign must find the Figure-1 refinement
+# violation, shrink it, and the written repro must replay to the same
+# violation under cmd/fsreplay. Then a clean-tree campaign must come up
+# empty.
+fuzz:
+	$(GO) run ./cmd/fuzz -bug fixedlp -fastpath off -budget 60s -expect-violation -repro FUZZ_repro.txt
+	$(GO) run ./cmd/fsreplay -repro FUZZ_repro.txt
+	$(GO) run ./cmd/fuzz -budget 30s -seed 7
+
+# PR-sized fuzz budget for CI: clean tree, 30 seconds, zero findings.
+fuzz-smoke:
+	$(GO) run ./cmd/fuzz -budget 30s -seed 7
+
+# Statement-coverage floors for the proof-carrying packages (the
+# monitor and the file system under proof), enforced by cmd/covgate.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covgate -profile cover.out \
+		-floor repro/internal/core=70 \
+		-floor repro/internal/atomfs=88
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,152 @@
+// Command covgate enforces per-package statement-coverage floors over a
+// go test -coverprofile output. The repo's proof-carrying packages (the
+// monitor, the file system under proof) must not silently lose test
+// coverage as the tree grows; CI fails the build when they do.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	covgate -profile cover.out -floor repro/internal/core=85 -floor repro/internal/atomfs=80
+//
+// Every package present in the profile is summarized; floors apply only
+// to the packages named. Exit code 1 when any floor is missed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floors collects repeated -floor pkg=percent flags.
+type floors map[string]float64
+
+func (f floors) String() string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%.1f", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floors) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil || v < 0 || v > 100 {
+		return fmt.Errorf("bad percent %q", pct)
+	}
+	f[pkg] = v
+	return nil
+}
+
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 100
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile file from go test")
+	f := floors{}
+	flag.Var(f, "floor", "pkg=percent statement-coverage floor (repeatable)")
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %10s %10s %8s\n", "package", "stmts", "covered", "percent")
+	failed := false
+	for _, p := range names {
+		c := pkgs[p]
+		mark := ""
+		if floor, ok := f[p]; ok {
+			if c.percent() < floor {
+				mark = fmt.Sprintf("  FAIL (floor %.1f%%)", floor)
+				failed = true
+			} else {
+				mark = fmt.Sprintf("  ok (floor %.1f%%)", floor)
+			}
+		}
+		fmt.Printf("%-40s %10d %10d %7.1f%%%s\n", p, c.total, c.covered, c.percent(), mark)
+	}
+	for p, floor := range f {
+		if _, ok := pkgs[p]; !ok {
+			fmt.Fprintf(os.Stderr, "covgate: floored package %s (%.1f%%) absent from profile\n", p, floor)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "covgate: coverage floor violated")
+		os.Exit(1)
+	}
+}
+
+// parseProfile aggregates a coverprofile into per-package statement
+// counts. Profile lines are "file.go:sl.sc,el.ec numStmts hitCount";
+// the package is the file path's directory.
+func parseProfile(name string) (map[string]pkgCov, error) {
+	fh, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	pkgs := make(map[string]pkgCov)
+	sc := bufio.NewScanner(fh)
+	buf := make([]byte, 0, 1<<20)
+	sc.Buffer(buf, 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", name, lineno, line)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: no position in %q", name, lineno, fields[0])
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		hits, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad counts in %q", name, lineno, line)
+		}
+		pkg := path.Dir(file)
+		c := pkgs[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		pkgs[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}

@@ -9,6 +9,7 @@
 //	fsreplay -verify < trace.txt          # lockstep-check against the spec
 //	fsreplay -record 500 -seed 7 -o t.txt # generate a random trace file
 //	fsreplay -fs retryfs -verify t.txt
+//	fsreplay -repro FUZZ_repro.txt        # replay a schedfuzz counterexample
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/fstest"
 	"repro/internal/memfs"
 	"repro/internal/retryfs"
+	"repro/internal/schedfuzz"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -36,7 +38,16 @@ func main() {
 	record := flag.Int("record", 0, "instead of replaying, generate N random operations as a trace")
 	seed := flag.Int64("seed", 1, "seed for -record")
 	out := flag.String("o", "", "output file for -record (default stdout)")
+	repro := flag.String("repro", "", "replay a schedfuzz repro file under the deterministic scheduler")
 	flag.Parse()
+
+	if *repro != "" {
+		if err := doRepro(*repro); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *record > 0 {
 		if err := doRecord(*record, *seed, *out); err != nil {
@@ -91,6 +102,34 @@ func main() {
 		fmt.Printf("; every result matched the abstract specification")
 	}
 	fmt.Println()
+}
+
+// doRepro re-executes a schedfuzz counterexample under the deterministic
+// scheduler and checks the failure signature it reproduces against the
+// file's "expect" line. Success for a repro means failing the same way.
+func doRepro(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := schedfuzz.ParseRepro(f)
+	if err != nil {
+		return err
+	}
+	res, err := r.Replay()
+	if res != nil {
+		fmt.Printf("repro %s: %d ops, %d sched decisions, signature %q (expect %q)\n",
+			path, res.Ops, res.Grants, res.Signature(), r.Expect)
+		for _, v := range res.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println("repro reproduced deterministically")
+	return nil
 }
 
 func doRecord(n int, seed int64, out string) error {

@@ -1,0 +1,120 @@
+// Command fuzz runs the deterministic schedule fuzzer (internal/schedfuzz)
+// against the monitored AtomFS: seeded op programs on virtual threads,
+// every interleaving decision scripted or PRNG-extended, faults injected
+// at exact yield points, coverage-guided mutation, and automatic
+// shrinking of the first finding to a minimal repro that cmd/fsreplay
+// can re-execute bit-identically.
+//
+// Usage:
+//
+//	fuzz -budget 30s                                # CI smoke: clean tree must stay clean
+//	fuzz -bug fixedlp -expect-violation -repro r.txt # negative test: find Figure 1, shrink it
+//	fsreplay -repro r.txt                            # replay the shrunk counterexample
+//
+// Exit codes: 0 = the campaign matched expectations (clean without
+// -expect-violation, a finding with it), 1 = the opposite, 2 = usage or
+// harness errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schedfuzz"
+	"repro/internal/spec"
+)
+
+func main() {
+	budget := flag.Duration("budget", 30*time.Second, "fuzzing time budget")
+	seed := flag.Int64("seed", 1, "campaign PRNG seed")
+	threads := flag.Int("threads", 3, "virtual threads per generated seed")
+	ops := flag.Int("ops", 4, "ops per thread in generated seeds")
+	bug := flag.String("bug", "", "re-introduce a known bug: fixedlp (Figure 1) or unsafe (Figure 8)")
+	fastpath := flag.String("fastpath", "auto", "lockless read fast path: auto, on, off")
+	faultProb := flag.Float64("faults", 0.3, "per-thread fault-injection probability in generated seeds")
+	maxRuns := flag.Int("max-runs", 0, "stop after this many executions (0 = budget only)")
+	reproOut := flag.String("repro", "", "write the shrunk repro of a finding to this file")
+	expectViolation := flag.Bool("expect-violation", false, "invert the exit code: succeed only if a finding was made")
+	verbose := flag.Bool("v", false, "verbose progress")
+	flag.Parse()
+
+	cfg := schedfuzz.FuzzConfig{
+		Budget:       *budget,
+		Seed:         *seed,
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		FastPath:     *fastpath,
+		FaultProb:    *faultProb,
+		MaxRuns:      *maxRuns,
+	}
+	switch *bug {
+	case "":
+	case "fixedlp":
+		cfg.Mode = core.ModeFixedLP
+	case "unsafe":
+		cfg.Unsafe = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -bug %q (want fixedlp or unsafe)\n", *bug)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep := schedfuzz.Fuzz(cfg)
+	if rep.Failure == nil {
+		fmt.Printf("fuzz: clean — %d runs, %d coverage keys, corpus %d, %v\n",
+			rep.Runs, rep.Coverage, rep.Corpus, rep.Elapsed.Round(time.Millisecond))
+		if *expectViolation {
+			fmt.Fprintln(os.Stderr, "fuzz: expected a violation but the campaign came up clean")
+			os.Exit(1)
+		}
+		return
+	}
+
+	f := rep.Failure
+	fmt.Printf("fuzz: FINDING %q after %d runs (%v)\n", f.Signature, rep.Runs, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  shrunk %d→%d ops, %d→%d sched bytes in %d extra runs\n",
+		f.OrigOps, f.MinOps, f.OrigSched, f.MinSched, f.ShrinkSpent)
+	fmt.Printf("  minimal seed: %s\n", schedfuzz.DescribeSeed(f.Seed))
+	for _, v := range f.Result.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+
+	if *reproOut != "" {
+		notes := []string{
+			fmt.Sprintf("found by cmd/fuzz -seed %d (bug=%s fastpath=%s) after %d runs", *seed, *bug, *fastpath, rep.Runs),
+			fmt.Sprintf("shrunk %d->%d ops; replay: fsreplay -repro <this file>", f.OrigOps, f.MinOps),
+		}
+		if ce := f.Result.Counterexample; ce != nil {
+			var b strings.Builder
+			ce.Render(&b, func(op uint8) string { return spec.Op(op).String() })
+			notes = append(notes, b.String())
+		}
+		r := f.Repro(cfg.Mode, cfg.Unsafe, notes)
+		out, err := os.Create(*reproOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		werr := schedfuzz.WriteRepro(out, r)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(2)
+		}
+		fmt.Printf("  repro written to %s\n", *reproOut)
+	}
+	if *expectViolation {
+		return
+	}
+	os.Exit(1)
+}

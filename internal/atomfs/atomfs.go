@@ -66,6 +66,45 @@ const (
 	HookFastWalk
 	// HookFastLP fires just before the fast path's validation/LP attempt.
 	HookFastLP
+
+	// The points below are the schedule-fuzzer yield surface
+	// (internal/schedfuzz): together with the points above they bracket
+	// every blocking acquisition and every cancellation poll, so a
+	// virtual scheduler that parks operations at hook firings (a) has a
+	// decision point before anything that can block and (b) can predict,
+	// from the events alone, which parked operation would block if
+	// resumed. All of them are no-ops unless a hook is installed.
+
+	// HookLockAttempt fires immediately BEFORE a traversal tries to
+	// acquire an inode lock (Name/Ino identify the target). The caller
+	// may block in the acquisition right after this point.
+	HookLockAttempt
+	// HookUnlocked fires immediately after a traversal releases an inode
+	// lock (Ino identifies it).
+	HookUnlocked
+	// HookCancelPoll fires at every cancellation poll (the entry of the
+	// op's context check at a coupling step or fast-path start).
+	HookCancelPoll
+	// HookSeqAttempt fires, under WithFastPath only, before a namespace
+	// mutation tries to enter the seqlock write section (it may block on
+	// the section mutex right after); HookSeqRelease fires after it has
+	// left the section and released the mutex.
+	HookSeqAttempt
+	HookSeqRelease
+	// HookFastSnap fires, under WithFastPath only, before a read-only
+	// operation snapshots the mutation sequence counter. The snapshot
+	// spins while a write section is open, so a scheduler must not
+	// resume a parked operation here while a mutator sits inside its
+	// Begin/End section.
+	HookFastSnap
+	// HookFastLock fires before the fast path locks its target inode
+	// (Ino identifies it; the acquisition may block), and
+	// HookFastUnlock after it releases it. These acquisitions are
+	// invisible to the monitor (a fast-path read contributes no
+	// LockPath), so they get their own points instead of reusing
+	// HookLockAttempt/HookUnlocked.
+	HookFastLock
+	HookFastUnlock
 )
 
 // HookEvent describes one hook firing.
@@ -365,6 +404,7 @@ func (o *op) cancelled() error {
 	if o.committed || o.ctx == nil {
 		return nil
 	}
+	o.fire(HookCancelPoll, "", 0)
 	select {
 	case <-o.ctx.Done():
 	default:
@@ -372,6 +412,9 @@ func (o *op) cancelled() error {
 	}
 	if !o.s.TryAbort() {
 		o.committed = true
+		if p := o.fs.obs; p != nil {
+			p.abortRefused(o.tid, o.kind)
+		}
 		return nil
 	}
 	err := o.ctx.Err()
@@ -389,6 +432,7 @@ func (o *op) cancelled() error {
 // invalidate and the slow path stays byte-for-byte as before.
 func (o *op) mutBegin() {
 	if o.fs.fastPath {
+		o.fire(HookSeqAttempt, "", 0)
 		o.fs.seqMu.Lock()
 		o.fs.mseq.Begin()
 	}
@@ -398,6 +442,7 @@ func (o *op) mutEnd() {
 	if o.fs.fastPath {
 		o.fs.mseq.End()
 		o.fs.seqMu.Unlock()
+		o.fire(HookSeqRelease, "", 0)
 	}
 }
 
@@ -425,6 +470,7 @@ func (o *op) fire(p HookPoint, name string, ino spec.Inum) {
 // trace of the LockPath ghost state the monitor maintains.
 func (o *op) lock(branch core.Branch, name string, n *node) {
 	if !o.fs.bigLock {
+		o.fire(HookLockAttempt, name, n.ino)
 		if p := o.fs.obs; p != nil && o.traced {
 			start := nowNano()
 			n.lk.Lock(o.tid)
@@ -451,6 +497,7 @@ func (o *op) unlock(n *node) {
 			p.rec.EmitAt(now, o.tid, obs.EvLockRel, uint8(o.kind), uint64(n.ino), 0)
 		}
 		n.lk.Unlock(o.tid)
+		o.fire(HookUnlocked, "", n.ino)
 	}
 	o.s.Unlock(n.ino)
 }

@@ -85,6 +85,7 @@ func (o *op) lpValidated(seq uint64) bool {
 // path; ret is only meaningful when ok.
 func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Ret, ok bool) {
 	fs := o.fs
+	o.fire(HookFastSnap, "", 0)
 	seq, spins := fs.mseq.ReadRetries()
 	if p := fs.obs; p != nil {
 		// No attempt counter or event here: an attempt is implied by the
@@ -116,15 +117,18 @@ func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Re
 	// lock coupling is the whole point. The monitor is NOT told about this
 	// acquisition: a read-only session's fast path contributes no LockPath,
 	// and its LP obligation is discharged by LPValidated instead.
+	o.fire(HookFastLock, "", n.ino)
 	n.lk.Lock(o.tid)
 	if !fs.mseq.Validate(seq) {
 		n.lk.Unlock(o.tid)
+		o.fire(HookFastUnlock, "", n.ino)
 		return spec.Ret{}, false
 	}
 	ret = result(n)
 	o.fire(HookFastLP, "", 0)
 	ok = o.lpValidated(seq)
 	n.lk.Unlock(o.tid)
+	o.fire(HookFastUnlock, "", n.ino)
 	if !ok {
 		return spec.Ret{}, false
 	}

@@ -50,9 +50,11 @@ type obsPack struct {
 
 	// Cancellation outcomes, per op type: aborts whose context was merely
 	// cancelled vs. aborts whose deadline had passed. Ops cancelled after
-	// their LP committed are not counted here — they complete normally.
-	cancelledCnt [nOps]*obs.Counter
-	deadlineCnt  [nOps]*obs.Counter
+	// their LP committed are not counted here — they complete normally
+	// and land in abortRefusedCnt instead.
+	cancelledCnt    [nOps]*obs.Counter
+	deadlineCnt     [nOps]*obs.Counter
+	abortRefusedCnt [nOps]*obs.Counter
 
 	lockWait *obs.Histogram
 	lockHold *obs.Histogram
@@ -83,6 +85,7 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 		p.opLat[op] = reg.Histogram("atomfs_op_latency_ns" + lbl)
 		p.cancelledCnt[op] = reg.Counter("atomfs_cancelled_total" + lbl)
 		p.deadlineCnt[op] = reg.Counter("atomfs_deadline_exceeded_total" + lbl)
+		p.abortRefusedCnt[op] = reg.Counter("atomfs_abort_refused_total" + lbl)
 	}
 	p.lockWait = reg.Histogram("atomfs_lock_wait_ns")
 	p.lockHold = reg.Histogram("atomfs_lock_hold_ns")
@@ -132,6 +135,17 @@ func (p *obsPack) cancel(tid uint64, kind spec.Op, err error) {
 	} else {
 		p.cancelledCnt[kind].Inc(tid)
 	}
+}
+
+// abortRefused accounts a cancellation that lost the race with the LP:
+// the context was done but the Aop had already committed (possibly
+// helped), so the op runs to its linearized result. Always recorded in
+// the flight ring — helped-then-cancelled is the rarest and most
+// informative cancellation outcome, and the schedule fuzzer feeds on it
+// as a coverage signal.
+func (p *obsPack) abortRefused(tid uint64, kind spec.Op) {
+	p.abortRefusedCnt[kind].Inc(tid)
+	p.rec.Emit(tid, obs.EvAbortRefused, uint8(kind), 0, 0)
 }
 
 // obsBegin stamps the operation's observability state: count it, decide

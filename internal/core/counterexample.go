@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// Counterexample is the structured export of a monitor failure: what
+// broke (the violations, first one leading), the abstract state the
+// monitor held when asked, its activity counters, and the flight-recorder
+// snapshot frozen at the first violation. It is the machine-readable
+// analogue of the failed proof obligation plus the ghost state that
+// falsified it — the schedule fuzzer serializes one into every repro
+// trace, and humans read the Render form.
+type Counterexample struct {
+	Mode       Mode
+	Violations []Violation
+	Stats      Stats
+	// Abstract is the monitor's abstract state at export time (after the
+	// failure; the run is normally drained first).
+	Abstract *spec.AFS
+	// FlightDump is the recorder snapshot taken at the first violation
+	// (nil when the monitor ran unobserved).
+	FlightDump []obs.Event
+}
+
+// Counterexample exports the monitor's current failure evidence. Returns
+// nil if no violation has been recorded.
+func (m *Monitor) Counterexample() *Counterexample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.violations) == 0 {
+		return nil
+	}
+	return &Counterexample{
+		Mode:       m.cfg.Mode,
+		Violations: append([]Violation(nil), m.violations...),
+		Stats:      m.stats,
+		Abstract:   m.afs.Clone(),
+		FlightDump: append([]obs.Event(nil), m.flightDump...),
+	}
+}
+
+// First returns the leading violation — the deterministic signature of a
+// failing schedule (everything after it may be knock-on damage).
+func (c *Counterexample) First() Violation {
+	if c == nil || len(c.Violations) == 0 {
+		return Violation{}
+	}
+	return c.Violations[0]
+}
+
+// Render writes a human-readable report: violations first, then the
+// flight-recorder event log. namer renders op codes (pass a spec.Op
+// stringer; nil prints raw values).
+func (c *Counterexample) Render(w io.Writer, namer obs.OpNamer) {
+	fmt.Fprintf(w, "counterexample: %d violation(s), mode=%d\n", len(c.Violations), c.Mode)
+	for i, v := range c.Violations {
+		fmt.Fprintf(w, "  [%d] %s\n", i, v)
+	}
+	fmt.Fprintf(w, "stats: linearized=%d helped=%d aborted=%d fast=%d/%d\n",
+		c.Stats.Linearized, c.Stats.Helped, c.Stats.Aborted, c.Stats.FastReads, c.Stats.FastFallbacks)
+	if len(c.FlightDump) > 0 {
+		fmt.Fprintf(w, "flight recorder (%d events at first violation):\n", len(c.FlightDump))
+		for _, e := range c.FlightDump {
+			fmt.Fprintf(w, "  %s\n", e.Format(namer))
+		}
+	}
+}
+
+// ParseViolationKind is the inverse of ViolationKind.String, for repro
+// files that pin the expected failure signature. ok=false for unknown
+// names.
+func ParseViolationKind(name string) (ViolationKind, bool) {
+	for k, n := range violationNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

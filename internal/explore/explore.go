@@ -162,14 +162,15 @@ func (c *controller) drain() {
 	c.mu.Unlock()
 }
 
-// renameHeavy generates the op mix that exercises helping: renames of
+// RenameHeavy generates the op mix that exercises helping: renames of
 // shallow directories interleaved with deep creates/stats/deletes. The
 // stats are biased toward the pre-created f0 files: a stat whose concrete
 // walk succeeds while a rename commits around it is exactly the Figure-1
 // interleaving, and it only distinguishes fixed-LP from helped
 // linearization when the target actually exists (both modes agree on
-// ENOENT results).
-func renameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
+// ENOENT results). Exported as the shared adversarial op generator: the
+// schedule fuzzer seeds its corpus from the same distribution.
+func RenameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
 	dirs := []string{"/a", "/a/b", "/c"}
 	deep := func() string {
 		if r.Intn(2) == 0 {
@@ -208,6 +209,15 @@ func renameHeavy(r *rand.Rand) (spec.Op, spec.Args) {
 	}
 }
 
+// SetupDirs and SetupFiles are the initial tree every randomized
+// campaign starts from (and the namespace RenameHeavy aims at). The
+// schedule fuzzer shares them so corpus entries transfer between the
+// two harnesses.
+var (
+	SetupDirs  = []string{"/a", "/a/b", "/c"}
+	SetupFiles = []string{"/a/f0", "/a/b/f0", "/c/f0"}
+)
+
 // Run executes one exploration.
 func Run(cfg Config) Result {
 	rec := history.NewRecorder()
@@ -223,7 +233,7 @@ func Run(cfg Config) Result {
 		opts = append(opts, atomfs.WithUnsafeTraversal())
 	}
 	fs := atomfs.New(opts...)
-	for _, d := range []string{"/a", "/a/b", "/c"} {
+	for _, d := range SetupDirs {
 		if err := fs.Mkdir(bgCtx, d); err != nil {
 			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
 		}
@@ -231,7 +241,7 @@ func Run(cfg Config) Result {
 	// Files that exist from the start: stats racing renames must be able to
 	// succeed concretely, or the Figure-1 phenomenon (fixed-LP abstract
 	// ENOENT vs concrete success) never becomes observable.
-	for _, f := range []string{"/a/f0", "/a/b/f0", "/c/f0"} {
+	for _, f := range SetupFiles {
 		if err := fs.Mknod(bgCtx, f); err != nil {
 			return Result{QuiesceErr: fmt.Errorf("setup: %w", err)}
 		}
@@ -254,7 +264,7 @@ func Run(cfg Config) Result {
 				if cfg.Mix == "uniform" {
 					op, args = stream.Next()
 				} else {
-					op, args = renameHeavy(r)
+					op, args = RenameHeavy(r)
 				}
 				fstest.ApplyFS(bgCtx, fs, op, args)
 			}

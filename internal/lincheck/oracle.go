@@ -1,0 +1,80 @@
+package lincheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Verdict is the oracle's full answer over one recorded history: the
+// Wing-&-Gong search result plus whether the monitor's own claimed
+// linearization order replays legally.
+type Verdict struct {
+	Ops          int
+	Linearizable bool
+	OrderLegal   bool
+	Result       Result
+}
+
+// Oracle is the one-call checking API used by the randomized harnesses
+// (the interleaving explorer, the schedule fuzzer): complete the
+// history, run the linearizability search from pre, and replay the
+// monitor's claimed linearization order. It returns a non-nil error
+// exactly when the history is evidence of a bug — pending operations at
+// quiescence, a non-linearizable history, or a claimed order that is
+// not legal. Histories larger than MaxOps are reported as errors too
+// (the caller should keep campaigns small enough to check).
+func Oracle(pre *spec.AFS, events []history.Event) (Verdict, error) {
+	var v Verdict
+	ops, pending, err := history.Complete(events)
+	if err != nil {
+		return v, fmt.Errorf("oracle: history incomplete: %w", err)
+	}
+	if len(pending) != 0 {
+		return v, fmt.Errorf("oracle: %d operations pending at quiescence", len(pending))
+	}
+	// Cancelled-and-aborted operations never linearized: no Aop ran, the
+	// caller saw a context error, and sequentially the op never happened.
+	// They are dropped from the checked history. (The inverse mismatches —
+	// a never-linearized op returning a real result, or a linearized op
+	// returning a context error — ARE evidence of a bug: the first escaped
+	// the LP protocol entirely, the second un-happened a committed effect.)
+	kept := ops[:0]
+	for _, o := range ops {
+		ctxErr := errors.Is(o.Ret.Err, context.Canceled) || errors.Is(o.Ret.Err, context.DeadlineExceeded)
+		switch {
+		case o.LinSeq < 0 && ctxErr:
+			continue // clean abort
+		case o.LinSeq < 0:
+			return v, fmt.Errorf("oracle: t%d %s %s returned %s without ever linearizing",
+				o.Tid, o.Op, o.Args, o.Ret)
+		case ctxErr:
+			return v, fmt.Errorf("oracle: t%d %s %s linearized but returned %s",
+				o.Tid, o.Op, o.Args, o.Ret)
+		}
+		kept = append(kept, o)
+	}
+	ops = kept
+	v.Ops = len(ops)
+	res, err := CheckOps(pre, ops)
+	if err != nil {
+		return v, fmt.Errorf("oracle: %w", err)
+	}
+	v.Result = res
+	v.Linearizable = res.Linearizable
+	if !res.Linearizable {
+		return v, fmt.Errorf("oracle: history of %d ops is not linearizable", len(ops))
+	}
+	order, err := LinOrder(ops)
+	if err != nil {
+		return v, fmt.Errorf("oracle: no claimed linearization order: %w", err)
+	}
+	if err := Replay(pre, ops, order); err != nil {
+		return v, fmt.Errorf("oracle: claimed linearization order is illegal: %w", err)
+	}
+	v.OrderLegal = true
+	return v, nil
+}

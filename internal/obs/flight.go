@@ -66,6 +66,14 @@ const (
 	EvFuseQueue
 	EvFuseDispatch
 	EvFuseReply
+	// EvAbortRefused is a cancellation that arrived too late: the
+	// thread observed its context done but TryAbort found the LP
+	// already committed (fixed, validated, or helped), so the operation
+	// latched committed and ran to its linearized result. The event is
+	// the witness of the "dual rule" side of cancellation-vs-helping —
+	// and a prime coverage signal for the schedule fuzzer, which hunts
+	// exactly these helped-then-cancelled interleavings.
+	EvAbortRefused
 )
 
 var eventKindNames = [...]string{
@@ -73,7 +81,7 @@ var eventKindNames = [...]string{
 	EvLockAcq: "lock-acq", EvLockRel: "lock-rel",
 	EvFastAttempt: "fast-attempt", EvFastHit: "fast-hit", EvFastFallback: "fast-fallback",
 	EvHelp: "help", EvLPCommit: "lp-commit", EvRollback: "rollback",
-	EvViolation: "violation", EvAbort: "abort",
+	EvViolation: "violation", EvAbort: "abort", EvAbortRefused: "abort-refused",
 	EvFuseQueue: "fuse-queue", EvFuseDispatch: "fuse-dispatch", EvFuseReply: "fuse-reply",
 }
 

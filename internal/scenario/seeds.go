@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// FuzzSeeds exports the adversarial shapes of the deterministic
+// scenarios as multi-thread op sequences over the explorer's standard
+// tree (/a, /a/b, /c with pre-created f0 files): each [][]trace.Entry is
+// one seed, each inner slice one thread's program. The schedule fuzzer
+// starts its corpus from these — they are the hand-distilled
+// interleaving victims (Figure 1's stat-vs-rename duel, §3.3's
+// helped-chain, Figure 8's deep-walk-vs-rename bypass probe) — and then
+// mutates ops, schedules, and faults outward from them.
+func FuzzSeeds() [][][]trace.Entry {
+	e := func(op spec.Op, path string, path2 ...string) trace.Entry {
+		a := spec.Args{Path: path}
+		if len(path2) > 0 {
+			a.Path2 = path2[0]
+		}
+		return trace.Entry{Op: op, Args: a}
+	}
+	return [][][]trace.Entry{
+		// Figure 1: stats whose concrete walk can succeed while a rename
+		// commits around them — the external-LP duel.
+		{
+			{e(spec.OpStat, "/a/f0"), e(spec.OpStat, "/a/b/f0")},
+			{e(spec.OpRename, "/a", "/d"), e(spec.OpRename, "/d", "/a")},
+		},
+		// §3.3 helped chain: creates at two depths under the subtree a
+		// rename moves; one rename may help both.
+		{
+			{e(spec.OpMknod, "/a/n0"), e(spec.OpStat, "/a/b/f0")},
+			{e(spec.OpMkdir, "/a/b/n1"), e(spec.OpRmdir, "/a/b/n1")},
+			{e(spec.OpRename, "/a", "/d")},
+		},
+		// Figure 8 probe: deep walks racing renames of their ancestors,
+		// with a delete contending for the same victim.
+		{
+			{e(spec.OpStat, "/a/b/f0"), e(spec.OpUnlink, "/a/b/f0")},
+			{e(spec.OpRename, "/a/b", "/c/m"), e(spec.OpRename, "/c/m", "/a/b")},
+			{e(spec.OpReaddir, "/a/b")},
+		},
+		// Rename-vs-rename with crossing source/destination parents: the
+		// LCA discipline's stress shape.
+		{
+			{e(spec.OpRename, "/a", "/c/x"), e(spec.OpRename, "/c/x", "/a")},
+			{e(spec.OpRename, "/c", "/d"), e(spec.OpRename, "/d", "/c")},
+			{e(spec.OpStat, "/c/f0")},
+		},
+	}
+}

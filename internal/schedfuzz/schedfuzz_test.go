@@ -1,0 +1,266 @@
+package schedfuzz
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func entry(op spec.Op, path string, path2 ...string) trace.Entry {
+	a := spec.Args{Path: path}
+	if len(path2) > 0 {
+		a.Path2 = path2[0]
+	}
+	return trace.Entry{Op: op, Args: a}
+}
+
+const testStall = 5 * time.Second
+
+// The engine's core guarantee: a run replayed from its recorded decision
+// string (same options) is bit-identical — signature, grant count,
+// consumed schedule, and coverage all match.
+func TestDeterministicReplay(t *testing.T) {
+	seeds := scenario.FuzzSeeds()
+	for i, threads := range seeds {
+		for _, fast := range []bool{false, true} {
+			s := Seed{Threads: threads, FastPath: fast}
+			if i == 0 {
+				s.Faults = []Fault{{Thread: 0, OpIdx: 1, Yield: 3, Kind: FaultCancel}}
+			}
+			opts := Options{Mode: core.ModeHelpers, RNG: int64(100*i + 7), StallTimeout: testStall}
+			first := Execute(s, opts)
+			if first.HarnessErr != nil {
+				t.Fatalf("seed %d fast=%v: harness: %v", i, fast, first.HarnessErr)
+			}
+			s.Sched = append([]byte(nil), first.Sched...)
+			for round := 0; round < 2; round++ {
+				got := Execute(s, opts)
+				if got.Signature() != first.Signature() ||
+					got.Grants != first.Grants ||
+					!bytes.Equal(got.Sched, first.Sched) ||
+					!reflect.DeepEqual(got.Cov, first.Cov) {
+					t.Fatalf("seed %d fast=%v round %d: replay diverged: sig %q/%q grants %d/%d sched %d/%d cov %d/%d",
+						i, fast, round, got.Signature(), first.Signature(), got.Grants, first.Grants,
+						len(got.Sched), len(first.Sched), len(got.Cov), len(first.Cov))
+				}
+			}
+		}
+	}
+}
+
+// Under the correct mode (helpers, safe traversal) the adversarial
+// scenario seeds must execute clean across many schedules, fast path on
+// and off — the fuzzer's false-positive guard.
+func TestCleanHelpersSeeds(t *testing.T) {
+	for i, threads := range scenario.FuzzSeeds() {
+		for _, fast := range []bool{false, true} {
+			for rng := int64(0); rng < 8; rng++ {
+				s := Seed{Threads: threads, FastPath: fast}
+				res := Execute(s, Options{Mode: core.ModeHelpers, RNG: rng, StallTimeout: testStall})
+				if res.HarnessErr != nil {
+					t.Fatalf("seed %d fast=%v rng=%d: harness: %v", i, fast, rng, res.HarnessErr)
+				}
+				if sig := res.Signature(); sig != "" {
+					t.Fatalf("seed %d fast=%v rng=%d: unexpected finding %q (deadlock info: %s)",
+						i, fast, rng, sig, res.DeadlockInfo)
+				}
+			}
+		}
+	}
+}
+
+// Regression: a single fast-path stat must not be predicted deadlocked
+// (HookFastLock fires before its acquire; claiming ownership at arrival
+// made the worker block on itself).
+func TestSingleFastStatClean(t *testing.T) {
+	s := Seed{Threads: [][]trace.Entry{{entry(spec.OpStat, "/a/f0")}}, FastPath: true}
+	for rng := int64(0); rng < 4; rng++ {
+		res := Execute(s, Options{RNG: rng, StallTimeout: testStall})
+		if sig := res.Signature(); sig != "" {
+			t.Fatalf("rng=%d: %q (%s)", rng, sig, res.DeadlockInfo)
+		}
+	}
+}
+
+// Injected cancellation must stay clean under the monitor's
+// cancellation-consistency rules: an abort is surfaced as a context
+// error, a refusal completes with the linearized result, and the
+// transient-fault retry re-runs the op on a fresh context.
+func TestFaultInjection(t *testing.T) {
+	base := [][]trace.Entry{
+		{entry(spec.OpStat, "/a/f0"), entry(spec.OpMknod, "/a/n0")},
+		{entry(spec.OpRename, "/a", "/d")},
+	}
+	for _, kind := range []FaultKind{FaultCancel, FaultDeadline, FaultTransient} {
+		for yield := 0; yield <= 8; yield += 2 {
+			for rng := int64(0); rng < 4; rng++ {
+				s := Seed{
+					Threads: base,
+					Faults:  []Fault{{Thread: 0, OpIdx: 0, Yield: yield, Kind: kind}},
+				}
+				res := Execute(s, Options{Mode: core.ModeHelpers, RNG: rng, StallTimeout: testStall})
+				if res.HarnessErr != nil {
+					t.Fatalf("%v yield=%d rng=%d: harness: %v", kind, yield, rng, res.HarnessErr)
+				}
+				if sig := res.Signature(); sig != "" {
+					t.Fatalf("%v yield=%d rng=%d: finding %q: %v", kind, yield, rng, sig, res.Violations)
+				}
+			}
+		}
+	}
+}
+
+// The acceptance bug mode: a short fixed-LP campaign must find a
+// refinement violation and shrink it to a seed that still reproduces
+// the same signature (the shrinker's preservation property).
+func TestFixedLPModeIsCaught(t *testing.T) {
+	rep := Fuzz(FuzzConfig{
+		Budget:   60 * time.Second,
+		MaxRuns:  300,
+		Seed:     2,
+		Mode:     core.ModeFixedLP,
+		FastPath: "off",
+	})
+	if rep.Failure == nil {
+		t.Fatalf("fixed-LP campaign came up clean after %d runs", rep.Runs)
+	}
+	f := rep.Failure
+	if f.Signature != core.ViolRefinement.String() {
+		t.Fatalf("signature %q, want %q", f.Signature, core.ViolRefinement)
+	}
+	if got := f.Result.Signature(); got != f.Signature {
+		t.Fatalf("shrunk seed replays to %q, want %q", got, f.Signature)
+	}
+	if f.MinOps > f.OrigOps {
+		t.Fatalf("shrinking grew the seed: %d -> %d ops", f.OrigOps, f.MinOps)
+	}
+	// Independent re-execution (not the one Fuzz cached).
+	res := Execute(f.Seed, Options{Mode: core.ModeFixedLP, RNG: f.RNG, StallTimeout: testStall})
+	if got := res.Signature(); got != f.Signature {
+		t.Fatalf("independent replay of shrunk seed: %q, want %q", got, f.Signature)
+	}
+}
+
+// Property test: whatever failing variants mutation produces around the
+// golden seed, Shrink preserves the failure signature.
+func TestShrinkPreservesSignature(t *testing.T) {
+	golden := loadGolden(t)
+	r := rand.New(rand.NewSource(11))
+	checked := 0
+	for i := 0; i < 40 && checked < 5; i++ {
+		cand := Mutate(golden.Seed.Clone(), r, false)
+		opts := golden.Options()
+		opts.RNG = int64(i)
+		opts.StallTimeout = testStall
+		res := Execute(cand, opts)
+		sig := res.Signature()
+		if sig == "" || sig == "harness" {
+			continue
+		}
+		cand.Sched = append([]byte(nil), res.Sched...)
+		shrunk, _ := Shrink(cand, opts, sig, 150)
+		if got := Execute(shrunk, opts).Signature(); got != sig {
+			t.Fatalf("variant %d: shrunk signature %q, want %q", i, got, sig)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("mutation produced no failing variants to shrink")
+	}
+}
+
+// The repro text form round-trips exactly.
+func TestReproRoundTrip(t *testing.T) {
+	r := &Repro{
+		Seed: Seed{
+			Threads: [][]trace.Entry{
+				{entry(spec.OpStat, "/a/f0"), entry(spec.OpRename, "/a", "/d")},
+				{entry(spec.OpMkdir, "/c/x")},
+			},
+			Faults:   []Fault{{Thread: 1, OpIdx: 0, Yield: 4, Kind: FaultTransient}},
+			Sched:    []byte{0, 3, 255, 17, 0, 1},
+			FastPath: true,
+		},
+		Mode:   core.ModeFixedLP,
+		Unsafe: false,
+		RNG:    42,
+		Expect: "refinement",
+		Notes:  []string{"round-trip test"},
+	}
+	var buf bytes.Buffer
+	if err := WriteRepro(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRepro(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got.Seed, r.Seed) || got.Mode != r.Mode ||
+		got.Unsafe != r.Unsafe || got.RNG != r.RNG || got.Expect != r.Expect {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", r, got)
+	}
+}
+
+func loadGolden(t *testing.T) *Repro {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "fixedlp_min.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := ParseRepro(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// The checked-in minimal counterexample — found and shrunk by cmd/fuzz —
+// must keep replaying to the exact Figure-1 refinement violation.
+func TestGoldenFixedLPRepro(t *testing.T) {
+	r := loadGolden(t)
+	if r.Expect != core.ViolRefinement.String() {
+		t.Fatalf("golden expects %q, want %q", r.Expect, core.ViolRefinement)
+	}
+	res, err := r.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, ok := core.ParseViolationKind(r.Expect)
+	if !ok {
+		t.Fatalf("unparseable violation kind %q", r.Expect)
+	}
+	if len(res.Violations) == 0 || res.Violations[0].Kind != kind {
+		t.Fatalf("violations %v, want leading %v", res.Violations, kind)
+	}
+	// The golden is the canonical Figure 1: one stat, one rename.
+	if res.Ops != 2 {
+		t.Fatalf("golden runs %d ops, want the 2-op Figure-1 duel", res.Ops)
+	}
+}
+
+// A short clean-mode campaign must make findings of nothing and build
+// coverage while at it.
+func TestCleanCampaignSmoke(t *testing.T) {
+	rep := Fuzz(FuzzConfig{
+		Budget:  30 * time.Second,
+		MaxRuns: 150,
+		Seed:    7,
+	})
+	if rep.Failure != nil {
+		t.Fatalf("clean campaign found %q: seed %s (deadlock info: %s)",
+			rep.Failure.Signature, DescribeSeed(rep.Failure.Seed), rep.Failure.Result.DeadlockInfo)
+	}
+	if rep.Coverage == 0 || rep.Runs == 0 {
+		t.Fatalf("campaign did nothing: %+v", rep)
+	}
+}

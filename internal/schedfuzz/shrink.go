@@ -1,0 +1,133 @@
+package schedfuzz
+
+import "repro/internal/trace"
+
+// Shrink minimizes a failing seed while preserving its failure
+// signature (the first violation's kind, or "deadlock"/"oracle"/
+// "quiesce"). Passes run to fixpoint or until maxRuns executions:
+// drop whole threads, drop single ops (end first — late ops are usually
+// aftermath), drop faults, then shorten and normalize the schedule
+// string. After every accepted candidate the seed's schedule is
+// replaced by the run's concrete decision record, so the final seed
+// replays entirely from scripted bytes.
+//
+// It returns the minimized seed and the number of executions spent.
+func Shrink(seed Seed, opts Options, sig string, maxRuns int) (Seed, int) {
+	runs := 0
+	try := func(cand Seed) (Seed, bool) {
+		if runs >= maxRuns {
+			return cand, false
+		}
+		runs++
+		res := Execute(cand, opts)
+		if res.Signature() != sig {
+			return cand, false
+		}
+		cand.Sched = append([]byte(nil), res.Sched...)
+		return cand, true
+	}
+
+	cur := seed
+	for changed := true; changed && runs < maxRuns; {
+		changed = false
+
+		// Pass 1: drop whole threads (empty rather than remove, so worker
+		// ids — and with them the decision semantics — stay stable).
+		for t := range cur.Threads {
+			if len(cur.Threads[t]) == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Threads[t] = nil
+			cand.Faults = dropFaultsForThread(cand.Faults, t)
+			if c, ok := try(cand); ok {
+				cur = c
+				changed = true
+			}
+		}
+
+		// Pass 2: drop single ops, scanning each thread from the end.
+		for t := range cur.Threads {
+			for i := len(cur.Threads[t]) - 1; i >= 0; i-- {
+				if i >= len(cur.Threads[t]) {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Threads[t] = append(cand.Threads[t][:i:i], cand.Threads[t][i+1:]...)
+				cand.Faults = shiftFaultsDelete(cand.Faults, t, i)
+				if c, ok := try(cand); ok {
+					cur = c
+					changed = true
+				}
+			}
+		}
+
+		// Pass 3: drop faults one at a time.
+		for i := len(cur.Faults) - 1; i >= 0; i-- {
+			if i >= len(cur.Faults) {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Faults = append(cand.Faults[:i:i], cand.Faults[i+1:]...)
+			if c, ok := try(cand); ok {
+				cur = c
+				changed = true
+			}
+		}
+
+		// Pass 4: shorten the schedule from the tail. Only accept strict
+		// shrinks of the *recorded* string — a shorter script can replay
+		// to a longer record via PRNG extension, which would loop forever.
+		for attempts := 0; attempts < 24 && len(cur.Sched) > 0 && runs < maxRuns; attempts++ {
+			drop := len(cur.Sched) / 2
+			if drop == 0 {
+				drop = 1
+			}
+			shrunk := false
+			for ; drop >= 1; drop /= 2 {
+				cand := cur.Clone()
+				cand.Sched = cand.Sched[:len(cand.Sched)-drop]
+				if c, ok := try(cand); ok && len(c.Sched) < len(cur.Sched) {
+					cur = c
+					changed = true
+					shrunk = true
+					break
+				}
+			}
+			if !shrunk {
+				break
+			}
+		}
+
+		// Pass 5: normalize — zero out nonzero schedule bytes so the
+		// minimal repro reads as "default order except at these points".
+		for i := 0; i < len(cur.Sched) && runs < maxRuns; i++ {
+			if cur.Sched[i] == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Sched[i] = 0
+			if c, ok := try(cand); ok && len(c.Sched) <= len(cur.Sched) {
+				cur = c
+				// normalization is cosmetic: don't count it as progress,
+				// or all-zero-able schedules would re-run every pass.
+			}
+		}
+	}
+
+	// Drop trailing empty threads (ids of the survivors are unchanged, so
+	// the schedule still means the same thing).
+	for len(cur.Threads) > 0 && len(cur.Threads[len(cur.Threads)-1]) == 0 {
+		cur.Threads = cur.Threads[:len(cur.Threads)-1]
+	}
+	return cur, runs
+}
+
+// opsOf is a small helper for reporting: total ops in a thread set.
+func opsOf(threads [][]trace.Entry) int {
+	n := 0
+	for _, t := range threads {
+		n += len(t)
+	}
+	return n
+}
