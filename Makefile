@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint verify bench bench-json obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
+.PHONY: all build test race lint verify bench bench-json bench-writepath bench-compare obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
 
 all: build test
 
@@ -64,6 +64,17 @@ bench:
 # Perf trajectory artifact: FastPath + Fig-10/Fig-11 matrix as JSON.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_fastpath.json
+
+# Write-path matrix (prefix cache vs. root lock-coupling): regenerate
+# the committed baseline.
+bench-writepath:
+	$(GO) run ./cmd/benchjson -suite writepath -o BENCH_writepath.json
+
+# Nightly regression gate: a fresh writepath run must stay within 15%
+# ns/op of the committed baseline in every cell.
+bench-compare:
+	$(GO) run ./cmd/benchjson -suite writepath -o /tmp/BENCH_writepath_current.json
+	$(GO) run ./cmd/benchdiff -base BENCH_writepath.json -cur /tmp/BENCH_writepath_current.json
 
 # Observability overhead gate: the instrumented fast path must stay
 # within 5% of the uninstrumented one on read-mostly-95-5.

@@ -78,6 +78,12 @@ func WithBlocks(n int) Option { return atomfs.WithBlocks(n) }
 // lock coupling on conflict (see DESIGN.md §7).
 func WithFastPath() Option { return atomfs.WithFastPath() }
 
+// WithPrefixCache enables the write-path prefix cache: mutations start
+// lock coupling at the deepest cached ancestor whose stamped detach
+// generations validate under its lock, falling back to the root walk on
+// any mismatch (see DESIGN.md §11).
+func WithPrefixCache() Option { return atomfs.WithPrefixCache() }
+
 // Registry is a lock-free metrics registry plus flight recorder; see
 // DESIGN.md §8 and the internal/obs package documentation.
 type Registry = obs.Registry

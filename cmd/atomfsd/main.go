@@ -51,6 +51,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7433", "TCP listen address")
 	unix := flag.String("unix", "", "listen on a unix socket path instead of TCP")
 	monitored := flag.Bool("monitor", false, "run under the CRL-H monitor")
+	fastpath := flag.Bool("fastpath", false, "enable the lockless read fast path (DESIGN.md s7)")
+	prefix := flag.Bool("prefix", false, "enable the write-path prefix cache (DESIGN.md s11)")
 	blocks := flag.Int("blocks", 1<<18, "ramdisk size in 4KiB blocks")
 	debug := flag.String("debug", "", "serve /metrics, /debug/vars, /debug/flightrec and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -59,6 +61,12 @@ func main() {
 	// HTTP surface is exposed. SIGUSR1 dumps work either way.
 	reg := obs.NewRegistry()
 	opts := []atomfs.Option{atomfs.WithBlocks(*blocks), atomfs.WithObs(reg)}
+	if *fastpath {
+		opts = append(opts, atomfs.WithFastPath())
+	}
+	if *prefix {
+		opts = append(opts, atomfs.WithPrefixCache())
+	}
 	var mon *core.Monitor
 	if *monitored {
 		mon = core.NewMonitor(core.Config{

@@ -1,16 +1,21 @@
-// Command benchjson runs the performance-trajectory benchmark matrix —
-// the FastPath family plus Fig-10/Fig-11-style workloads — outside `go
-// test` and writes the results as JSON (one record per benchmark: name,
-// ns/op, allocs/op, fast-path hit/fallback/retry counts, and sampled
-// latency quantiles from the obs registry). The committed
-// BENCH_fastpath.json is produced by `make bench-json`; future changes
-// regenerate it to track the perf curve across PRs.
+// Command benchjson runs a performance-trajectory benchmark matrix
+// outside `go test` and writes the results as JSON (one record per
+// benchmark: name, ns/op, allocs/op, fast-path or prefix-cache counts,
+// and sampled latency quantiles from the obs registry). Two suites:
+//
+//   - fastpath (default): the FastPath family plus Fig-10/Fig-11-style
+//     workloads → BENCH_fastpath.json (`make bench-json`).
+//   - writepath: the WritePath family — deep-tree create/unlink/rename
+//     mixes, root lock-coupling vs. the prefix cache →
+//     BENCH_writepath.json (`make bench-writepath`). cmd/benchdiff
+//     compares a fresh run against the committed baseline in CI.
 //
 // Usage:
 //
 //	benchjson                     # write BENCH_fastpath.json
+//	benchjson -suite writepath    # write BENCH_writepath.json
 //	benchjson -o out.json         # write elsewhere
-//	benchjson -quick              # cheaper run (shorter benchtime)
+//	benchjson -quick              # cheaper run (for smoke testing)
 package main
 
 import (
@@ -41,6 +46,10 @@ type record struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	AllocsPerOp int64    `json:"allocs_per_op"`
 	HitRate     *float64 `json:"fastpath_hit_rate,omitempty"`
+	// Prefix-cache stats (writepath suite, atomfs-prefix cells only).
+	PrefixHitRate *float64 `json:"prefix_hit_rate,omitempty"`
+	PrefixHits    *uint64  `json:"prefix_hits,omitempty"`
+	PrefixInvals  *uint64  `json:"prefix_invalidations,omitempty"`
 	// The following come from the obs registry when the system under test
 	// carries one (the atomfs variants); absent otherwise.
 	FastHits    *uint64  `json:"fastpath_hits,omitempty"`
@@ -83,10 +92,45 @@ func atomfsSys(extra ...atomfs.Option) sysUnderTest {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_fastpath.json", "output file")
+	out := flag.String("o", "", "output file (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "shorter runs (for smoke testing the tool)")
+	suite := flag.String("suite", "fastpath", "benchmark suite: fastpath or writepath")
 	flag.Parse()
 
+	var results []record
+	switch *suite {
+	case "fastpath":
+		results = fastpathSuite(*quick)
+	case "writepath":
+		results = writepathSuite(*quick)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want fastpath or writepath)\n", *suite)
+		os.Exit(2)
+	}
+
+	rep := report{
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GoArch:             runtime.GOARCH,
+		Results:            results,
+		CancellationFooter: cancelFooter,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *suite + ".json"
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+}
+
+func fastpathSuite(quick bool) []record {
 	systems := []struct {
 		name string
 		mk   func() sysUnderTest
@@ -114,7 +158,7 @@ func main() {
 	for _, s := range fig10 {
 		results = append(results, benchRuns("fig10/git-clone/"+s.name, s.mk, workload.GitClone))
 	}
-	if !*quick {
+	if !quick {
 		for _, s := range systems {
 			results = append(results, benchFS("fig11/webproxy-4thr/"+s.name, s.mk, func(b *testing.B, fs fsapi.FS) {
 				cfg := workload.WebproxyConfig{Files: 500, FileSize: 4 << 10, OpsPerThd: 500}
@@ -127,23 +171,108 @@ func main() {
 			}))
 		}
 	}
+	return results
+}
 
-	rep := report{
-		GOMAXPROCS:         runtime.GOMAXPROCS(0),
-		GoArch:             runtime.GOARCH,
-		Results:            results,
-		CancellationFooter: cancelFooter,
+// writepathSuite mirrors BenchmarkWritePath in internal/atomfs: mutation
+// mixes at the bottom of a deep tree, root lock-coupling vs. the
+// seqlock-validated prefix cache. The committed BENCH_writepath.json is
+// the nightly regression baseline for cmd/benchdiff.
+func writepathSuite(quick bool) []record {
+	systems := []struct {
+		name string
+		mk   func() sysUnderTest
+	}{
+		{"atomfs", func() sysUnderTest { return atomfsSys() }},
+		{"atomfs-prefix", func() sysUnderTest { return atomfsSys(atomfs.WithPrefixCache()) }},
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	depths := []int{4, 8, 12, 16}
+	if quick {
+		depths = []int{4, 8}
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var results []record
+	for _, depth := range depths {
+		for _, s := range systems {
+			results = append(results, benchFS(
+				fmt.Sprintf("writepath/create-unlink/depth-%d/%s", depth, s.name),
+				s.mk, createUnlink(depth)))
+			results = append(results, benchFS(
+				fmt.Sprintf("writepath/create-rename/depth-%d/%s", depth, s.name),
+				s.mk, createRename(depth)))
+		}
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	for _, s := range systems {
+		results = append(results, benchFS("writepath/churn/depth-8/"+s.name, s.mk, churnMix))
+	}
+	return results
+}
+
+// createUnlink alternates Mknod/Unlink of one name at the bottom of a
+// depth-deep chain.
+func createUnlink(depth int) func(*testing.B, fsapi.FS) {
+	return func(b *testing.B, fs fsapi.FS) {
+		dir, _ := buildTree(b, fs, depth)
+		x := dir + "/x"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.Mknod(ctx, x); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Unlink(ctx, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// createRename adds a same-directory rename between the create and the
+// unlink, so the rename's LCA walk rides the cache too.
+func createRename(depth int) func(*testing.B, fsapi.FS) {
+	return func(b *testing.B, fs fsapi.FS) {
+		dir, _ := buildTree(b, fs, depth)
+		x, y := dir+"/x", dir+"/y"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.Mknod(ctx, x); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Rename(ctx, x, y); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.Unlink(ctx, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// churnMix: parallel workers create, rename, and unlink over a bounded
+// recycling namespace at depth 8 — entries are born, moved, and removed
+// under live cache traffic, so some ops fail benignly.
+func churnMix(b *testing.B, fs fsapi.FS) {
+	dir, _ := buildTree(b, fs, 8)
+	var ids atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			id := ids.Add(1) % 512
+			name := fmt.Sprintf("%s/c%d", dir, id)
+			switch i % 4 {
+			case 0, 1:
+				fs.Mknod(ctx, name)
+			case 2:
+				fs.Rename(ctx, name, fmt.Sprintf("%s/r%d", dir, id))
+			default:
+				fs.Unlink(ctx, fmt.Sprintf("%s/r%d", dir, id))
+			}
+		}
+	})
 }
 
 // fillObs extracts per-cell fast-path counters and sampled latency
@@ -154,6 +283,18 @@ func fillObs(rec *record, sut sysUnderTest) {
 		if h, f := s.FastPathStats(); h+f > 0 {
 			rate := float64(h) / float64(h+f)
 			rec.HitRate = &rate
+		}
+	}
+	if s, ok := sut.fs.(interface {
+		PrefixCacheStats() (uint64, uint64, uint64)
+	}); ok {
+		if h, m, inv := s.PrefixCacheStats(); h+m > 0 {
+			rate := float64(h) / float64(h+m)
+			rec.PrefixHitRate = &rate
+			rec.PrefixHits = &h
+			if inv > 0 {
+				rec.PrefixInvals = &inv
+			}
 		}
 	}
 	reg := sut.reg
@@ -213,6 +354,9 @@ func printRec(rec record) {
 	line := fmt.Sprintf("%-44s %10.1f ns/op %6d allocs/op", rec.Name, rec.NsPerOp, rec.AllocsPerOp)
 	if rec.HitRate != nil {
 		line += fmt.Sprintf("  hit=%.3f", *rec.HitRate)
+	}
+	if rec.PrefixHitRate != nil {
+		line += fmt.Sprintf("  prefix_hit=%.3f", *rec.PrefixHitRate)
 	}
 	if rec.LatP50Ns != nil {
 		line += fmt.Sprintf("  p50=%.0fns p99=%.0fns", *rec.LatP50Ns, *rec.LatP99Ns)

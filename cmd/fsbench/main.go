@@ -49,6 +49,7 @@ var ctx = context.Background()
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11a, 11b, 11c (extension: varmail), all")
 	maxThreads := flag.Int("threads", 16, "maximum thread count for figure 11")
+	depth := flag.Int("depth", 8, "directory depth for the deeppath cell in figure 10")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast smoke run")
 	real := flag.Bool("real", runtime.NumCPU() >= 4,
 		"also run figure 11 as real concurrent execution (meaningful only with multiple CPUs)")
@@ -58,7 +59,7 @@ func main() {
 
 	switch *fig {
 	case "10":
-		figure10(*quick)
+		figure10(*quick, *depth)
 	case "11a":
 		figure11sim("fileserver", *maxThreads)
 		if *real {
@@ -75,7 +76,7 @@ func main() {
 			figure11("varmail", min(*maxThreads, runtime.NumCPU()), *quick)
 		}
 	case "all":
-		figure10(*quick)
+		figure10(*quick, *depth)
 		figure11sim("fileserver", *maxThreads)
 		figure11sim("webproxy", *maxThreads)
 		if *real {
@@ -161,7 +162,7 @@ func figure11sim(personality string, maxThreads int) {
 // systems map to ours as: DFSCQ -> slowfs (extraction-overhead model),
 // AtomFS -> atomfs, tmpfs -> memfs, ext4 -> retryfs (in-kernel VFS
 // design). All workloads use a single core, as in the paper.
-func figure10(quick bool) {
+func figure10(quick bool, depth int) {
 	fmt.Println("=== Figure 10: application workloads (single-threaded running time) ===")
 	fo := newFigObs()
 	systems := []struct {
@@ -172,6 +173,9 @@ func figure10(quick bool) {
 		{"atomfs", func() fsapi.FS { return atomfs.New(atomfs.WithObs(fo.reg("atomfs"))) }},
 		{"atomfs-fastpath", func() fsapi.FS {
 			return atomfs.New(atomfs.WithFastPath(), atomfs.WithObs(fo.reg("atomfs-fastpath")))
+		}},
+		{"atomfs-prefix", func() fsapi.FS {
+			return atomfs.New(atomfs.WithPrefixCache(), atomfs.WithObs(fo.reg("atomfs-prefix")))
 		}},
 		{"atomfs+dcache", func() fsapi.FS { return dcache.New(atomfs.New(atomfs.WithObs(fo.reg("atomfs+dcache")))) }},
 		{"tmpfs~memfs", func() fsapi.FS { return memfs.New() }},
@@ -187,9 +191,23 @@ func figure10(quick bool) {
 		{"make-xv6", workload.MakeXv6},
 		{"cp-qemu", workload.CpQemu},
 		{"ripgrep", workload.Ripgrep},
+		// Deep-path cells: the historical 4-component shape plus the
+		// flag-selected depth (default 8), where the prefix cache's win
+		// over root lock-coupling shows in the standard sweep.
+		{"deeppath-4", func(ctx context.Context, fs fsapi.FS) workload.Result {
+			return workload.DeepPath(ctx, fs, 4)
+		}},
 	}
 	if quick {
 		workloads = workloads[2:] // the app traces are already small
+	}
+	if depth != 4 {
+		workloads = append(workloads, struct {
+			name string
+			run  func(context.Context, fsapi.FS) workload.Result
+		}{fmt.Sprintf("deeppath-%d", depth), func(ctx context.Context, fs fsapi.FS) workload.Result {
+			return workload.DeepPath(ctx, fs, depth)
+		}})
 	}
 	names := make([]string, len(systems))
 	for i, s := range systems {
@@ -372,6 +390,12 @@ func (f *figObs) footer(w io.Writer) {
 			spins := r.Counter("atomfs_fastpath_seq_spins_total").Value()
 			line += fmt.Sprintf(" fastpath(hit=%.1f%% falls=%d spins=%d)",
 				100*float64(hits)/float64(att), falls, spins)
+		}
+		phV, _ := r.FuncValue("atomfs_prefix_hits_total")
+		pmV, _ := r.FuncValue("atomfs_prefix_misses_total")
+		if att := float64(phV) + float64(pmV); att > 0 {
+			piV, _ := r.FuncValue("atomfs_prefix_invalidations_total")
+			line += fmt.Sprintf(" prefix(hit=%.1f%% invals=%d)", 100*float64(phV)/att, piV)
 		}
 		var lat obs.HistSnapshot
 		r.EachHistogram(func(hn string, h *obs.Histogram) {

@@ -105,6 +105,19 @@ const (
 	// HookLockAttempt/HookUnlocked.
 	HookFastLock
 	HookFastUnlock
+	// HookPrefixLookup fires, under WithPrefixCache only, before a
+	// write-path walk probes the prefix cache for its deepest cached
+	// ancestor; HookPrefixValidate fires after the entry inode's lock is
+	// held and before the stamped detach generations are validated under
+	// it — parking there lets a test (or the schedule fuzzer) commit a
+	// rename inside the shortcut's window and force the fallback.
+	HookPrefixLookup
+	HookPrefixValidate
+	// HookGenStamp fires, under WithPrefixCache only, inside the critical
+	// section of an operation that detaches an inode (unlink, rmdir,
+	// rename source, rename's overwritten victim), just before its detach
+	// generation is bumped. Ino identifies the detached inode.
+	HookGenStamp
 )
 
 // HookEvent describes one hook firing.
@@ -132,6 +145,15 @@ type node struct {
 	// lockedNs is the acquisition timestamp of the current traced holder
 	// (obs lock-hold accounting). Written and read only while holding lk.
 	lockedNs int64
+	// gen is the node's detach generation (WithPrefixCache): bumped
+	// twice — seqlock-style, odd while in flight — inside the critical
+	// section of every operation that detaches this node from the
+	// namespace, under this node's lock. A prefix-cache entry stamps the
+	// generation of every chain node; "all stamps still current" proves no
+	// cached edge was unlinked since stamping, because removing an edge
+	// requires detaching its child. Creates bump nothing: inserting a new
+	// edge cannot change what an existing cached chain resolves to.
+	gen atomic.Uint64
 }
 
 // FS is an AtomFS instance. It implements fsapi.FS.
@@ -158,6 +180,15 @@ type FS struct {
 	mseq      ilock.SeqCount
 	fastHits  atomic.Uint64
 	fastFalls atomic.Uint64
+
+	// Seqlock-validated prefix cache (WithPrefixCache): write-path walks
+	// start lock coupling at the deepest cached ancestor instead of the
+	// root, validated by per-node detach generations (node.gen).
+	prefix       bool
+	pcache       *prefixCache
+	prefixHits   atomic.Uint64
+	prefixMisses atomic.Uint64
+	prefixInvals atomic.Uint64
 
 	// Observability (WithObs): cached instrument handles; nil when the
 	// file system runs against the no-op registry.
@@ -200,6 +231,19 @@ func WithHook(h HookFunc) Option { return func(fs *FS) { fs.SetHook(h) } }
 // a fast-path reader could observe torn file data).
 func WithFastPath() Option { return func(fs *FS) { fs.fastPath = true } }
 
+// WithPrefixCache enables the seqlock-validated path-prefix cache: every
+// lock-coupled walk (the write path and the reads' slow path) looks up
+// the deepest cached ancestor of its target, locks that inode directly,
+// validates the chain's stamped detach generations under the lock — via
+// the monitor's ShortcutEntry when monitored — and only then starts lock
+// coupling; any stale generation falls back to the unchanged root walk.
+// Rename and unlink bump the generations of the inodes they detach,
+// invalidating exactly the prefixes that ran through them — no global
+// epoch. Incompatible with WithBigLock (no per-inode locks to enter at).
+// Composes with WithFastPath: reads keep their lockless fast path and
+// shortcut only when they fall back to the locked walk.
+func WithPrefixCache() Option { return func(fs *FS) { fs.prefix = true } }
+
 // WithBlocks sizes the ramdisk in blocks (default 1<<18 blocks = 1 GiB).
 func WithBlocks(n int) Option {
 	return func(fs *FS) { fs.store = block.NewStore(n) }
@@ -232,6 +276,12 @@ func New(opts ...Option) *FS {
 	if fs.bigLock && fs.fastPath {
 		panic("atomfs: WithBigLock cannot take the lockless fast path")
 	}
+	if fs.bigLock && fs.prefix {
+		panic("atomfs: WithBigLock cannot use the prefix cache")
+	}
+	if fs.prefix {
+		fs.pcache = newPrefixCache()
+	}
 	fs.root = &node{ino: spec.RootIno, kind: spec.KindDir, dir: dir.New[*node]()}
 	fs.nextIno.Store(int64(spec.RootIno) + 1)
 	fs.registry[spec.RootIno] = fs.root
@@ -251,8 +301,12 @@ func (fs *FS) Name() string {
 		return "atomfs-biglock"
 	case fs.unsafe:
 		return "atomfs-unsafe"
+	case fs.fastPath && fs.prefix:
+		return "atomfs-fastpath-prefix"
 	case fs.fastPath:
 		return "atomfs-fastpath"
+	case fs.prefix:
+		return "atomfs-prefix"
 	default:
 		return "atomfs"
 	}
@@ -263,6 +317,15 @@ func (fs *FS) Name() string {
 // (validation failure or torn read). Zero/zero unless WithFastPath.
 func (fs *FS) FastPathStats() (hits, fallbacks uint64) {
 	return fs.fastHits.Load(), fs.fastFalls.Load()
+}
+
+// PrefixCacheStats reports the prefix cache's traffic: hits are walks
+// that entered at a cached ancestor, misses are walks that coupled from
+// the root (no usable entry, a stale validation, or a monitor refusal),
+// and invalidations are stale entries discarded because a stamped detach
+// generation moved. All zero unless WithPrefixCache.
+func (fs *FS) PrefixCacheStats() (hits, misses, invalidations uint64) {
+	return fs.prefixHits.Load(), fs.prefixMisses.Load(), fs.prefixInvals.Load()
 }
 
 func (fs *FS) newNode(kind spec.Kind) *node {
@@ -302,10 +365,20 @@ type op struct {
 	// Observability state (meaningful only while fs.obs != nil): traced
 	// marks this op as carrying full begin/end and lock tracing; startNs
 	// is the traced begin timestamp (0 = unset); spins is the seqlock
-	// retry count of the last fast-path snapshot.
-	startNs int64
-	spins   uint32
-	traced  bool
+	// retry count of the last fast-path snapshot; fallReason is why the
+	// last fast-path attempt fell back (fallNone while it didn't).
+	startNs    int64
+	spins      uint32
+	fallReason uint8
+	traced     bool
+	// Prefix-cache walk recording (WithPrefixCache): while chainRec is
+	// set, the coupled walk appends each locked node and its detach
+	// generation — read under that node's lock, so necessarily even and
+	// stable — to the pooled chain buffers; a successful traverse stores
+	// the chain as a cache entry.
+	chainRec bool
+	chainN   []*node
+	chainG   []uint64
 }
 
 // split parses path into o's pooled component buffer; the result is valid
@@ -471,35 +544,49 @@ func (o *op) fire(p HookPoint, name string, ino spec.Inum) {
 func (o *op) lock(branch core.Branch, name string, n *node) {
 	if !o.fs.bigLock {
 		o.fire(HookLockAttempt, name, n.ino)
-		if p := o.fs.obs; p != nil && o.traced {
-			start := nowNano()
-			n.lk.Lock(o.tid)
-			now := nowNano()
-			n.lockedNs = now
-			p.lockWait.Observe(o.tid, now-start)
-			p.rec.EmitAt(now, o.tid, obs.EvLockAcq, uint8(o.kind), uint64(n.ino), uint64(now-start))
-		} else {
-			n.lk.Lock(o.tid)
-		}
+		o.lockRaw(n)
 	}
 	o.s.Lock(branch, name, n.ino)
 	o.fire(HookLocked, name, n.ino)
 }
 
+// lockRaw is the concrete half of lock — the mutex acquisition with its
+// traced wait accounting, without the monitor record or hook firings.
+// The prefix-cache shortcut uses it directly: the monitor learns of the
+// acquisition through ShortcutEntry, not Session.Lock.
+func (o *op) lockRaw(n *node) {
+	if p := o.fs.obs; p != nil && o.traced {
+		start := nowNano()
+		n.lk.Lock(o.tid)
+		now := nowNano()
+		n.lockedNs = now
+		p.lockWait.Observe(o.tid, now-start)
+		p.rec.EmitAt(now, o.tid, obs.EvLockAcq, uint8(o.kind), uint64(n.ino), uint64(now-start))
+	} else {
+		n.lk.Lock(o.tid)
+	}
+}
+
 func (o *op) unlock(n *node) {
 	if !o.fs.bigLock {
-		if p := o.fs.obs; p != nil && o.traced {
-			now := nowNano()
-			if n.lockedNs != 0 {
-				p.lockHold.Observe(o.tid, now-n.lockedNs)
-				n.lockedNs = 0
-			}
-			p.rec.EmitAt(now, o.tid, obs.EvLockRel, uint8(o.kind), uint64(n.ino), 0)
-		}
-		n.lk.Unlock(o.tid)
+		o.unlockRaw(n)
 		o.fire(HookUnlocked, "", n.ino)
 	}
 	o.s.Unlock(n.ino)
+}
+
+// unlockRaw is the concrete half of unlock (traced hold accounting plus
+// the mutex release), for acquisitions the monitor never recorded.
+func (o *op) unlockRaw(n *node) {
+	if p := o.fs.obs; p != nil && o.traced {
+		now := nowNano()
+		if n.lockedNs != 0 {
+			p.lockHold.Observe(o.tid, now-n.lockedNs)
+			n.lockedNs = 0
+		}
+		p.rec.EmitAt(now, o.tid, obs.EvLockRel, uint8(o.kind), uint64(n.ino), 0)
+	}
+	n.lk.Unlock(o.tid)
 }
 
 // lp fires the operation's fixed linearization point.
@@ -541,6 +628,12 @@ func (o *op) walk(branch core.Branch, cur *node, parts []string, keep, extra *no
 			o.unlockSet(prev, keep, extra)
 			return nil, err
 		}
+		if o.chainRec {
+			// next is locked here, so its generation is stable and even: a
+			// detacher bumps gen only while holding the detached node's lock.
+			o.chainN = append(o.chainN, next)
+			o.chainG = append(o.chainG, next.gen.Load())
+		}
 		cur = next
 	}
 	return cur, nil
@@ -574,11 +667,34 @@ func (o *op) stepKeeping(branch core.Branch, cur *node, name string, keep *node)
 }
 
 // traverse locks the root and walks parts; on success the final node is
-// locked.
+// locked. Under WithPrefixCache it first tries to enter at the deepest
+// cached ancestor of parts (pcache.go) and couples from there.
 func (o *op) traverse(branch core.Branch, parts []string) (*node, error) {
 	if err := o.cancelled(); err != nil {
 		return nil, err
 	}
+	if o.fs.prefix {
+		return o.traversePrefix(branch, parts)
+	}
 	o.lock(branch, "", o.fs.root)
 	return o.walk(branch, o.fs.root, parts, nil, nil)
+}
+
+// detachBegin/detachEnd bracket the namespace removal of n — unlink,
+// rmdir, rename's source, rename's overwritten victim — with n's detach
+// generation, seqlock-style (odd while the removal is in flight). Called
+// inside the operation's committing critical section while holding n's
+// lock, which is what lets prefix validators trust an even, unchanged
+// generation. No-ops without WithPrefixCache: there are no validators.
+func (o *op) detachBegin(n *node) {
+	if o.fs.prefix {
+		o.fire(HookGenStamp, "", n.ino)
+		n.gen.Add(1)
+	}
+}
+
+func (o *op) detachEnd(n *node) {
+	if o.fs.prefix {
+		n.gen.Add(1)
+	}
 }

@@ -282,6 +282,123 @@ func BenchmarkFastPath(b *testing.B) {
 	})
 }
 
+// writePathSystems are the contenders for the write-path benchmarks:
+// root lock-coupling vs. the seqlock-validated prefix cache.
+func writePathSystems() []struct {
+	name string
+	mk   func() fsapi.FS
+} {
+	return []struct {
+		name string
+		mk   func() fsapi.FS
+	}{
+		{"atomfs", func() fsapi.FS { return New() }},
+		{"atomfs-prefix", func() fsapi.FS { return New(WithPrefixCache()) }},
+	}
+}
+
+// BenchmarkWritePath is the headline comparison for the prefix cache:
+// mutation mixes at the bottom of a deep tree, where the baseline pays
+// one lock coupling per path component from the root and the cache pays
+// one entry lock plus a generation validation. create-unlink alternates
+// Mknod/Unlink of one name; create-rename adds a same-directory rename
+// (the rename's LCA walk shortcuts too); churn keeps a growing directory
+// with interleaved sibling renames so entries are created, moved, and
+// removed under live cache traffic.
+func BenchmarkWritePath(b *testing.B) {
+	for _, depth := range []int{4, 8, 12, 16} {
+		depth := depth
+		b.Run(fmt.Sprintf("create-unlink/depth-%d", depth), func(b *testing.B) {
+			for _, s := range writePathSystems() {
+				s := s
+				b.Run(s.name, func(b *testing.B) {
+					fs := s.mk()
+					dir, _ := benchTree(b, fs, depth)
+					x := dir + "/x"
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := fs.Mknod(tctx, x); err != nil {
+							b.Fatal(err)
+						}
+						if err := fs.Unlink(tctx, x); err != nil {
+							b.Fatal(err)
+						}
+					}
+					reportPrefixRate(b, fs)
+				})
+			}
+		})
+		b.Run(fmt.Sprintf("create-rename/depth-%d", depth), func(b *testing.B) {
+			for _, s := range writePathSystems() {
+				s := s
+				b.Run(s.name, func(b *testing.B) {
+					fs := s.mk()
+					dir, _ := benchTree(b, fs, depth)
+					x, y := dir+"/x", dir+"/y"
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := fs.Mknod(tctx, x); err != nil {
+							b.Fatal(err)
+						}
+						if err := fs.Rename(tctx, x, y); err != nil {
+							b.Fatal(err)
+						}
+						if err := fs.Unlink(tctx, y); err != nil {
+							b.Fatal(err)
+						}
+					}
+					reportPrefixRate(b, fs)
+				})
+			}
+		})
+	}
+	b.Run("churn/depth-8", func(b *testing.B) {
+		for _, s := range writePathSystems() {
+			s := s
+			b.Run(s.name, func(b *testing.B) {
+				fs := s.mk()
+				dir, _ := benchTree(b, fs, 8)
+				var ids atomic.Uint64
+				b.SetParallelism(4)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						i++
+						// Bounded namespace: names recycle so the directory
+						// stays small and the cells measure path resolution,
+						// not hash-table growth. Races between workers make
+						// some ops fail benignly; that is the point.
+						id := ids.Add(1) % 512
+						name := fmt.Sprintf("%s/c%d", dir, id)
+						switch i % 4 {
+						case 0, 1:
+							fs.Mknod(tctx, name)
+						case 2:
+							fs.Rename(tctx, name, fmt.Sprintf("%s/r%d", dir, id))
+						default:
+							fs.Unlink(tctx, fmt.Sprintf("%s/r%d", dir, id))
+						}
+					}
+				})
+				reportPrefixRate(b, fs)
+			})
+		}
+	})
+}
+
+// reportPrefixRate attaches the prefix-cache hit rate as a custom metric
+// when the system exposes one.
+func reportPrefixRate(b *testing.B, fs fsapi.FS) {
+	type statter interface{ PrefixCacheStats() (uint64, uint64, uint64) }
+	if s, ok := fs.(statter); ok {
+		hits, misses, _ := s.PrefixCacheStats()
+		if hits+misses > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+misses), "prefix_hit_rate")
+		}
+	}
+}
+
 // reportHitRate attaches the fast-path hit rate as a custom metric when
 // the system exposes one.
 func reportHitRate(b *testing.B, fs fsapi.FS) {

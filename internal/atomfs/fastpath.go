@@ -43,6 +43,43 @@ import (
 	"repro/internal/spec"
 )
 
+// fastSpinBudget bounds the seqlock snapshot's retry loop: after this
+// many odd observations (with ilock.ReadBounded's exponential-backoff
+// yielding between bursts) the attempt gives up and takes the locked
+// slow path. Unbounded spinning was pathological under writer
+// contention — the read-mostly 95/5 benchmark showed hundreds of spins
+// per hit — and the slow path's progress guarantee is strictly better
+// than waiting out a writer convoy.
+const fastSpinBudget = 128
+
+// Fast-path fallback reasons (op.fallReason), exported per-reason by the
+// obs layer: which validation sent the attempt to the slow path.
+const (
+	fallNone = iota
+	// fallSpinBudget: the mutation counter never stabilized within
+	// fastSpinBudget observations (a writer convoy).
+	fallSpinBudget
+	// fallWalkValidate: the lock-free walk errored and the error result
+	// could not be linearized (counter moved during the walk).
+	fallWalkValidate
+	// fallLockValidate: the counter moved between the snapshot and the
+	// target-lock acquisition.
+	fallLockValidate
+	// fallLPValidate: the final validation LP failed — counter moved
+	// while reading the result, or the monitor refused (helplist).
+	fallLPValidate
+
+	nFallReasons
+)
+
+// fallReasonNames labels the obs per-reason fallback counters.
+var fallReasonNames = [nFallReasons]string{
+	fallSpinBudget:   "spin-budget",
+	fallWalkValidate: "walk-validate",
+	fallLockValidate: "lock-validate",
+	fallLPValidate:   "lp-validate",
+}
+
 // fastWalk resolves parts from the root without taking any locks,
 // additionally returning how many lock-free lookups it performed (the
 // caller accounts them in one sharded add; dir.Lookup itself is too hot
@@ -85,8 +122,9 @@ func (o *op) lpValidated(seq uint64) bool {
 // path; ret is only meaningful when ok.
 func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Ret, ok bool) {
 	fs := o.fs
+	o.fallReason = fallNone
 	o.fire(HookFastSnap, "", 0)
-	seq, spins := fs.mseq.ReadRetries()
+	seq, spins, stable := fs.mseq.ReadBounded(fastSpinBudget)
 	if p := fs.obs; p != nil {
 		// No attempt counter or event here: an attempt is implied by the
 		// hit/fallback it always ends in, and this path is too hot for
@@ -100,6 +138,10 @@ func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Re
 			}
 		}
 	}
+	if !stable {
+		o.fallReason = fallSpinBudget
+		return spec.Ret{}, false
+	}
 	o.fire(HookFastWalk, "", 0)
 	n, steps, err := o.fastWalk(parts)
 	if p := fs.obs; p != nil && o.traced && steps > 0 {
@@ -111,6 +153,7 @@ func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Re
 		if o.lpValidated(seq) {
 			return spec.ErrRet(err), true
 		}
+		o.fallReason = fallWalkValidate
 		return spec.Ret{}, false
 	}
 	// Lock only the target; the deliberate asymmetry with the slow path's
@@ -122,6 +165,7 @@ func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Re
 	if !fs.mseq.Validate(seq) {
 		n.lk.Unlock(o.tid)
 		o.fire(HookFastUnlock, "", n.ino)
+		o.fallReason = fallLockValidate
 		return spec.Ret{}, false
 	}
 	ret = result(n)
@@ -130,6 +174,7 @@ func (o *op) fastTry(parts []string, result func(n *node) spec.Ret) (ret spec.Re
 	n.lk.Unlock(o.tid)
 	o.fire(HookFastUnlock, "", n.ino)
 	if !ok {
+		o.fallReason = fallLPValidate
 		return spec.Ret{}, false
 	}
 	return ret, true

@@ -61,6 +61,12 @@ type obsPack struct {
 
 	fastSpins *obs.Counter
 
+	// fastFallReason splits atomfs_fastpath_fallbacks_total by which
+	// validation sent the attempt to the slow path (indexed by the
+	// fallReason constants); the undifferentiated total stays on the
+	// FastPathStats atomic.
+	fastFallReason [nFallReasons]*obs.Counter
+
 	// rcuWalkSteps counts lock-free lookups on TRACED fast walks only;
 	// the exported dir_rcu_lockfree_lookups_total gauge scales it by the
 	// sampling period. Exact under WithObsSampleEvery(1), a statistical
@@ -100,6 +106,23 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 	reg.GaugeFunc("atomfs_fastpath_fallbacks_total", func() int64 {
 		return int64(fs.fastFalls.Load())
 	})
+	for r := fallSpinBudget; r < nFallReasons; r++ {
+		p.fastFallReason[r] = reg.Counter(fmt.Sprintf(
+			"atomfs_fastpath_fallback_total{reason=%q}", fallReasonNames[r]))
+	}
+	if fs.prefix {
+		// Prefix-cache totals piggyback on the FS atomics the cache
+		// maintains unconditionally, like the fast-path pair above.
+		reg.GaugeFunc("atomfs_prefix_hits_total", func() int64 {
+			return int64(fs.prefixHits.Load())
+		})
+		reg.GaugeFunc("atomfs_prefix_misses_total", func() int64 {
+			return int64(fs.prefixMisses.Load())
+		})
+		reg.GaugeFunc("atomfs_prefix_invalidations_total", func() int64 {
+			return int64(fs.prefixInvals.Load())
+		})
+	}
 	// Lock-free lookups are estimated from sampled fast walks rather than
 	// counted inside dir.Lookup: the table's reader is too hot for even a
 	// gated global atomic per path component.
@@ -194,11 +217,42 @@ func (o *op) fastHit() {
 func (o *op) fastFall() {
 	o.fs.fastFalls.Add(1)
 	if p := o.fs.obs; p != nil {
+		if r := o.fallReason; r > fallNone && int(r) < nFallReasons {
+			p.fastFallReason[r].Inc(o.tid)
+		}
 		now := nowNano()
 		if o.startNs == 0 {
 			o.startNs = now // latency from here covers the slow-path retry
 		}
 		p.rec.EmitAt(now, o.tid, obs.EvFastFallback, uint8(o.kind), 0, uint64(o.spins))
 		o.traced = true
+	}
+}
+
+// prefixHit traces a write-path walk admitted at a prefix-cache entry;
+// skipped is the coupling depth the shortcut saved. Hits are the common
+// case once the cache is warm, so they trace only on sampled ops.
+func (p *obsPack) prefixHit(o *op, ino spec.Inum, skipped int) {
+	if o.traced {
+		p.rec.Emit(o.tid, obs.EvPrefixHit, uint8(o.kind), uint64(ino), uint64(skipped))
+	}
+}
+
+// prefixFall traces a prefix-cache fallback to the root walk. A refused
+// entry (stale stamps under the lock, or the monitor declined the
+// shortcut) is the anomaly the recorder exists for: always recorded, and
+// the op is promoted to traced like a fast-path fallback. A plain cold
+// miss traces only on sampled ops.
+func (p *obsPack) prefixFall(o *op, ino spec.Inum, refused bool) {
+	aux := uint64(0)
+	if refused {
+		aux = 1
+		o.traced = true
+		if o.startNs == 0 {
+			o.startNs = nowNano()
+		}
+	}
+	if o.traced {
+		p.rec.Emit(o.tid, obs.EvPrefixFallback, uint8(o.kind), uint64(ino), aux)
 	}
 }

@@ -137,9 +137,11 @@ func (fs *FS) del(ctx context.Context, opKind spec.Op, kind spec.Kind, path stri
 		return o.end(spec.ErrRet(fserr.ErrIsDir)).Err
 	}
 	o.mutBegin()
+	o.detachBegin(child) // the removed child's prefixes go stale, not the parent's
 	parent.dir.Delete(name)
 	child.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
 	o.lp()                         // ▶ LP: DEL ◀
+	o.detachEnd(child)
 	o.mutEnd()
 	o.unlockSet(child, parent)
 	fs.maybeFree(child)
@@ -342,9 +344,16 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 	}
 
 	// Hand-over-hand down the common prefix of the two parent paths.
+	// Under WithPrefixCache the walk may enter at the deepest cached
+	// ancestor of the LCA instead of the root.
 	commonLen := pathname.CommonPrefixLen(sdirParts, ddirParts)
-	o.lock(core.BranchBoth, "", fs.root)
-	lca, err := o.walk(core.BranchBoth, fs.root, sdirParts[:commonLen], nil, nil)
+	var lca *node
+	if fs.prefix {
+		lca, err = o.traversePrefix(core.BranchBoth, sdirParts[:commonLen])
+	} else {
+		o.lock(core.BranchBoth, "", fs.root)
+		lca, err = o.walk(core.BranchBoth, fs.root, sdirParts[:commonLen], nil, nil)
+	}
 	if err != nil {
 		return o.end(spec.ErrRet(err)).Err
 	}
@@ -433,13 +442,25 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 	o.lock(core.BranchSrc, sn, snode)
 
 	o.mutBegin()
+	// Both the moved source and an overwritten victim are detached from
+	// their old edges: every cached prefix running through either goes
+	// stale. The parents sdir/ddir keep resolving — their generations
+	// stay put, which is the whole point of per-node invalidation.
+	o.detachBegin(snode)
 	if dnode != nil {
+		if dnode != snode {
+			o.detachBegin(dnode)
+		}
 		ddir.dir.Delete(dn)
 		dnode.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
 	}
 	sdir.dir.Delete(sn)
 	ddir.dir.Insert(dn, snode)
 	o.renameLP() // ▶ LP: linothers(t); RENAME ◀
+	if dnode != nil && dnode != snode {
+		o.detachEnd(dnode)
+	}
+	o.detachEnd(snode)
 	o.mutEnd()
 	o.unlockSet(snode, dnode, sdir, ddir)
 	if dnode != nil && dnode != sdir {

@@ -114,6 +114,8 @@ type monObs struct {
 	relChecks     *obs.Counter
 	fastLPs       *obs.Counter
 	fastLPFalls   *obs.Counter
+	shortcuts     *obs.Counter
+	shortcutFalls *obs.Counter
 	aborted       *obs.Counter
 	helplistLen   *obs.Gauge
 	rollbackDepth *obs.Histogram
@@ -136,6 +138,8 @@ func newMonObs(reg *obs.Registry) *monObs {
 		relChecks:     reg.Counter("core_relation_checks_total"),
 		fastLPs:       reg.Counter("core_fastpath_lp_total"),
 		fastLPFalls:   reg.Counter("core_fastpath_lp_fallback_total"),
+		shortcuts:     reg.Counter("core_shortcut_entries_total"),
+		shortcutFalls: reg.Counter("core_shortcut_fallback_total"),
 		aborted:       reg.Counter("core_aborted_total"),
 		helplistLen:   reg.Gauge("core_helplist_len"),
 		rollbackDepth: reg.Histogram("core_rollback_depth"),
@@ -468,6 +472,130 @@ func (s *Session) LPValidated(validate func() bool) bool {
 	return true
 }
 
+// ShortcutEntry is the prefix-cache entry event of the write shortcut
+// (DESIGN.md §11): the operation skipped lock coupling over a cached
+// chain root → names[0] → … → names[k-1] and acquired, as its FIRST
+// lock, the chain's deepest inode directly. inos are the chain's inodes
+// including the root, so len(inos) == len(names)+1 and inos[k] is the
+// entry inode, whose lock the caller concretely holds. validate is
+// evaluated inside the monitor's atomic block and must report whether
+// every stamped per-node detach generation is still current.
+//
+// The validated generations play the role of the skipped couplings: a
+// node's generation is bumped inside the critical section of every
+// operation that detaches it, so "all generations unchanged, observed
+// under m.mu" implies each cached edge still exists in the abstract
+// state — the monitor makes that claim checkable by replaying the chain
+// against the abstract tree and raising ViolShortcut on any divergence.
+// The replay resolves by NAME, like compareRelaxed: abstract and
+// concrete inode numbers come from independent allocators (the spec
+// allocates at the LP, the FS when the node is built, and the two
+// orders legitimately differ across disjoint subtrees), so inode
+// identity across the boundary is the path, never the number.
+// On success the skipped acquisitions are synthesized into the walk
+// ghost state with fresh lock sequence numbers, which re-establishes the
+// non-bypassable invariant at the entry inode: help-set computation,
+// interaction ordering, and the bypass checks all see the shortcut walk
+// as if it had coupled from the root at this instant.
+//
+// Like LPValidated, the shortcut refuses whenever the Helplist is
+// non-empty — a helped operation's effects are abstractly committed but
+// not yet concretely visible, and only a root walk's lock coupling is
+// ordered after them.
+//
+// It returns whether the entry stands. On false nothing was recorded;
+// the operation must release the entry lock and fall back to the root
+// walk.
+func (s *Session) ShortcutEntry(names []string, inos []spec.Inum, validate func() bool) bool {
+	if s == nil {
+		return validate()
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := s.d
+	if len(names) == 0 || len(inos) != len(names)+1 {
+		m.violate(ViolShortcut, d.tid, "%s %s: malformed shortcut chain (%d names, %d inos)",
+			d.op, d.args, len(names), len(inos))
+		return false
+	}
+	if len(d.held) != 0 {
+		// The shortcut must be the walk's first acquisition: entering with
+		// locks held would splice a detached-from-root segment into an
+		// ongoing coupling and break the deadlock-freedom argument (the
+		// entry lock is acquired while holding nothing).
+		m.violate(ViolShortcut, d.tid, "%s %s: shortcut entry with %d locks already held",
+			d.op, d.args, len(d.held))
+		return false
+	}
+	if !validate() || len(m.helplist) != 0 {
+		m.stats.ShortcutFallbacks++
+		if m.obs != nil {
+			m.obs.shortcutFalls.Inc(d.tid)
+		}
+		return false
+	}
+	// The generations' claim, made checkable: the cached chain must resolve
+	// step by step — by name — in the current abstract state.
+	cur := m.afs.Root
+	for _, name := range names {
+		n := m.afs.Imap[cur]
+		if n == nil || n.Kind != spec.KindDir {
+			m.violate(ViolShortcut, d.tid, "%s %s: shortcut ancestor inode %d is not a live directory",
+				d.op, d.args, cur)
+			return false
+		}
+		child, ok := n.Links[name]
+		if !ok {
+			m.violate(ViolShortcut, d.tid,
+				"%s %s: validated chain diverges at %q: entry absent abstractly",
+				d.op, d.args, name)
+			return false
+		}
+		cur = child
+	}
+	if n := m.afs.Imap[cur]; n == nil || n.Kind != spec.KindDir {
+		m.violate(ViolShortcut, d.tid, "%s %s: shortcut entry inode %d is not a live directory abstractly",
+			d.op, d.args, cur)
+		return false
+	}
+	entry := inos[len(inos)-1]
+	if m.view != nil {
+		if owner := m.view.LockOwner(entry); owner != d.tid {
+			m.violate(ViolShortcut, d.tid, "%s %s: shortcut entry inode %d locked by t%d, not t%d",
+				d.op, d.args, entry, owner, d.tid)
+			return false
+		}
+	}
+	if d.aborted {
+		m.violate(ViolCancellation, d.tid,
+			"aborted %s %s entered shortcut at inode %d", d.op, d.args, entry)
+	}
+	// Synthesize the skipped couplings: one lockRec per chain inode, fresh
+	// sequence numbers, appended to every walk (the shortcut is always a
+	// BranchBoth event — rename's per-branch walks diverge only below the
+	// common prefix). Only the entry inode is concretely held.
+	for i, ino := range inos {
+		m.lockSeq++
+		name := ""
+		if i > 0 {
+			name = names[i-1]
+		}
+		rec := lockRec{ino: ino, name: name, seq: m.lockSeq}
+		for _, w := range d.walks {
+			w.path = append(w.path, rec)
+		}
+	}
+	d.held[entry]++
+	m.checkLastLocked(d)
+	m.checkBypass(d, entry)
+	m.stats.ShortcutEntries++
+	if m.obs != nil {
+		m.obs.shortcuts.Inc(d.tid)
+	}
+	return true
+}
+
 // RenameLP is rename's linearization point. In ModeHelpers it runs
 // linothers (Figure 5) first — finding every thread with a (recursive) path
 // inter-dependency on this rename, ordering them by the linearize-before
@@ -747,6 +875,12 @@ type Stats struct {
 	// that sent the operation to the locked slow path.
 	FastReads     int
 	FastFallbacks int
+	// ShortcutEntries counts write-path walks admitted at a prefix-cache
+	// entry inode (skipped couplings synthesized from validated detach
+	// generations); ShortcutFallbacks counts entries refused — stale
+	// generations or a non-empty Helplist — that re-walked from the root.
+	ShortcutEntries   int
+	ShortcutFallbacks int
 	// Aborted counts operations cancelled pre-LP via TryAbort: no Aop ran,
 	// the caller saw a context error. (TryAbort refusals — cancellations
 	// that arrived after the LP — are not aborts; those ops complete and

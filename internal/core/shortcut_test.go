@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// shortcutSetup builds the abstract tree /a/b and returns the chain
+// inodes the prefix cache would have stamped.
+func shortcutSetup(t *testing.T, m *Monitor, v *fakeView) (aIno, bIno spec.Inum) {
+	t.Helper()
+	mkdirSetup(m, v, "/a")
+	mkdirSetup(m, v, "/a/b")
+	afs := m.AbstractState()
+	a, err := afs.ResolvePath("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := afs.ResolvePath("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestShortcutEntryHappyPath drives a mknod that enters at the cached
+// /a/b chain: the shortcut stands, the synthesized couplings satisfy the
+// walk invariants, and the op completes with no violations.
+func TestShortcutEntryHappyPath(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	d := &sessionDriver{s: s, view: v}
+	v.owners[bIno] = s.Tid() // the caller concretely holds the entry lock
+	ok := s.ShortcutEntry([]string{"a", "b"}, []spec.Inum{spec.RootIno, aIno, bIno},
+		func() bool { return true })
+	if !ok {
+		t.Fatal("valid shortcut refused")
+	}
+	s.LP()
+	d.unlock(bIno)
+	s.End(spec.OkRet())
+
+	requireNoViolations(t, m)
+	if _, err := m.AbstractState().ResolvePath("/a/b/n"); err != nil {
+		t.Fatalf("abstract /a/b/n missing: %v", err)
+	}
+	st := m.Stats()
+	if st.ShortcutEntries != 1 || st.ShortcutFallbacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestShortcutEntryStaleFallsBack: a failed generation validation is a
+// clean refusal — counted, not a violation — and records nothing, so the
+// op can release the entry lock and run the root walk instead.
+func TestShortcutEntryStaleFallsBack(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	d := &sessionDriver{s: s, view: v}
+	v.owners[bIno] = s.Tid()
+	ok := s.ShortcutEntry([]string{"a", "b"}, []spec.Inum{spec.RootIno, aIno, bIno},
+		func() bool { return false })
+	if ok {
+		t.Fatal("stale shortcut admitted")
+	}
+	delete(v.owners, bIno) // concrete fallback: release the entry lock
+	// Root walk instead, as atomfs would.
+	d.lock(BranchBoth, "", spec.RootIno)
+	d.lock(BranchBoth, "a", aIno)
+	d.unlock(spec.RootIno)
+	d.lock(BranchBoth, "b", bIno)
+	d.unlock(aIno)
+	s.LP()
+	d.unlock(bIno)
+	s.End(spec.OkRet())
+
+	requireNoViolations(t, m)
+	st := m.Stats()
+	if st.ShortcutEntries != 0 || st.ShortcutFallbacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestShortcutEntryLyingValidator: a validator that claims the chain is
+// current when the abstract state says otherwise is exactly the bug the
+// replay check exists for — ViolShortcut, not a silent admit.
+func TestShortcutEntryLyingValidator(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	v.owners[bIno] = s.Tid()
+	// Chain names claim /a/x, which does not exist abstractly.
+	if s.ShortcutEntry([]string{"a", "x"}, []spec.Inum{spec.RootIno, aIno, bIno},
+		func() bool { return true }) {
+		t.Fatal("divergent chain admitted")
+	}
+	requireViolation(t, m, ViolShortcut)
+}
+
+// TestShortcutEntryAllocatorSkew: the replay resolves by name, not by
+// inode number — abstract and concrete inums come from independent
+// allocators whose orders legitimately diverge (the spec allocates at
+// the LP, the FS when the node is built), so a chain whose concrete
+// numbering differs from the abstract one must still be admitted as
+// long as every name resolves.
+func TestShortcutEntryAllocatorSkew(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+	skewA, skewB := aIno+40, bIno+40 // concrete numbering, shifted
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	d := &sessionDriver{s: s, view: v}
+	v.owners[skewB] = s.Tid()
+	if !s.ShortcutEntry([]string{"a", "b"}, []spec.Inum{spec.RootIno, skewA, skewB},
+		func() bool { return true }) {
+		t.Fatal("name-resolving chain with skewed inums refused")
+	}
+	s.LP()
+	d.unlock(skewB)
+	s.End(spec.OkRet())
+	requireNoViolations(t, m)
+}
+
+// TestShortcutEntryFileEntry: a chain whose deepest name abstractly
+// resolves to a file cannot be a prefix entry — no walk continues
+// through a file, so a cache claiming one is divergent.
+func TestShortcutEntryFileEntry(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, _ := shortcutSetup(t, m, v)
+	{
+		s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/f"})
+		d := &sessionDriver{s: s, view: v}
+		d.lock(BranchBoth, "", spec.RootIno)
+		d.lock(BranchBoth, "a", aIno)
+		d.unlock(spec.RootIno)
+		s.LP()
+		d.unlock(aIno)
+		s.End(spec.OkRet())
+	}
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/f/n"})
+	v.owners[99] = s.Tid()
+	if s.ShortcutEntry([]string{"a", "f"}, []spec.Inum{spec.RootIno, aIno, 99},
+		func() bool { return true }) {
+		t.Fatal("file entry admitted")
+	}
+	requireViolation(t, m, ViolShortcut)
+}
+
+// TestShortcutEntryMalformedChain: length invariants are monitor
+// obligations, not caller conventions.
+func TestShortcutEntryMalformedChain(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	if s.ShortcutEntry(nil, []spec.Inum{spec.RootIno}, func() bool { return true }) {
+		t.Fatal("empty chain admitted")
+	}
+	requireViolation(t, m, ViolShortcut)
+}
+
+// TestShortcutEntryWithLocksHeld: the shortcut must be the walk's FIRST
+// acquisition; entering mid-coupling would splice paths and break the
+// deadlock-freedom argument.
+func TestShortcutEntryWithLocksHeld(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	d := &sessionDriver{s: s, view: v}
+	d.lock(BranchBoth, "", spec.RootIno)
+	if s.ShortcutEntry([]string{"a", "b"}, []spec.Inum{spec.RootIno, aIno, bIno},
+		func() bool { return true }) {
+		t.Fatal("mid-walk shortcut admitted")
+	}
+	requireViolation(t, m, ViolShortcut)
+}
+
+// TestShortcutEntryUnheldEntryLock: claiming a shortcut without
+// concretely holding the entry inode's lock is a protocol violation the
+// view check catches.
+func TestShortcutEntryUnheldEntryLock(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	aIno, bIno := shortcutSetup(t, m, v)
+
+	s := m.Begin(spec.OpMknod, spec.Args{Path: "/a/b/n"})
+	// v.owners deliberately not set for bIno.
+	if s.ShortcutEntry([]string{"a", "b"}, []spec.Inum{spec.RootIno, aIno, bIno},
+		func() bool { return true }) {
+		t.Fatal("unheld entry admitted")
+	}
+	requireViolation(t, m, ViolShortcut)
+}
+
+// TestShortcutEntryNilSession: the unmonitored build reduces to the raw
+// generation validation.
+func TestShortcutEntryNilSession(t *testing.T) {
+	var s *Session
+	if !s.ShortcutEntry([]string{"a"}, nil, func() bool { return true }) {
+		t.Fatal("nil session must pass through validate()")
+	}
+	if s.ShortcutEntry([]string{"a"}, nil, func() bool { return false }) {
+		t.Fatal("nil session must pass through validate()")
+	}
+}

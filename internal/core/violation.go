@@ -47,6 +47,13 @@ const (
 	// ViolProtocol: the file system misused the monitor API (e.g. lock
 	// events after the LP without a matching walk).
 	ViolProtocol
+	// ViolShortcut: a prefix-cache shortcut entry broke its obligations —
+	// the cached chain failed to resolve in the abstract state even though
+	// the stamped detach generations validated, the entry inode's lock is
+	// not concretely held by the entering thread, or the chain itself was
+	// malformed. The generation protocol, not just one operation, is what
+	// such a violation indicts.
+	ViolShortcut
 )
 
 var violationNames = map[ViolationKind]string{
@@ -61,6 +68,7 @@ var violationNames = map[ViolationKind]string{
 	ViolRelation:       "abstract-concrete-relation",
 	ViolCancellation:   "cancellation-consistency",
 	ViolProtocol:       "protocol",
+	ViolShortcut:       "shortcut-entry",
 }
 
 func (k ViolationKind) String() string {

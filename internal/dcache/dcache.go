@@ -7,16 +7,29 @@
 // coherence protocol, built so it can be checked rather than trusted:
 //
 //   - read-only results (stat, read, readdir) are cached per path;
-//   - an epoch counter is bumped BEFORE and AFTER every mutating
-//     operation ("odd while a writer is in flight" in aggregate), and a
-//     cached entry is served only when the epoch both matches the entry's
-//     fill epoch and is observed stable across the hit — so a hit proves
-//     no mutation completed since the entry was filled, which makes
-//     serving it linearizable (the read can be assigned the fill-time
-//     point or any later pre-mutation point);
-//   - any mutation invalidates the whole cache (epoch bump), trading hit
-//     rate for an easily-argued protocol, exactly the kind of simplicity
-//     a verified stack wants.
+//   - freshness is tracked per path prefix, not globally: every cached
+//     result is stamped with a generation counter for each prefix of its
+//     path (the root, each ancestor directory, and the path itself —
+//     because a result for /a/b/f depends on exactly the resolution of
+//     that chain), plus, for a directory listing, the directory's own
+//     listing generation;
+//   - a mutation bumps only the counters it affects — the mutated path's
+//     binding generation and the parent directory's listing generation
+//     (rename: both ends) — BEFORE and AFTER the inner operation, so a
+//     counter is odd exactly while an affecting mutation is in flight;
+//   - a cached entry is served only when every stamped counter still
+//     holds its (even) fill-time value, which proves no mutation
+//     affecting any prefix of the path has even *begun* since the entry
+//     was filled — so serving it is linearizable (the read can be
+//     assigned the fill-time point or any later point before the next
+//     affecting mutation's first bump).
+//
+// Compared to the earlier whole-cache epoch, this is the same seqlock
+// argument applied per prefix: a write to /build/out no longer evicts
+// cached results under /src, so the hit rate of a read-mostly working
+// set survives unrelated write traffic. The price is one counter lookup
+// per path component instead of one global load — paid only on fills and
+// hits, never by the inner file system.
 //
 // The differential and stress tests treat the cached file system as just
 // another implementation that must be indistinguishable from the spec.
@@ -29,26 +42,55 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fsapi"
+	"repro/internal/pathname"
 )
 
+// stamp is one generation observation: the counter and the (even) value
+// it held when the entry's result was computed.
+type stamp struct {
+	g *atomic.Uint64
+	v uint64
+}
+
+// current reports whether every stamped counter still holds its
+// fill-time value. Values are even by construction (fill refuses odd
+// observations), so "unchanged" also means "no affecting mutation in
+// flight right now".
+func current(stamps []stamp) bool {
+	for i := range stamps {
+		if stamps[i].g.Load() != stamps[i].v {
+			return false
+		}
+	}
+	return true
+}
+
 type entry struct {
-	epoch uint64
-	info  fsapi.Info
-	names []string
-	data  []byte
-	off   int64
-	size  int
-	err   error
+	stamps []stamp
+	info   fsapi.Info
+	names  []string
+	data   []byte
+	off    int64
+	size   int
+	err    error
 }
 
 // FS wraps an inner file system with the cache.
 type FS struct {
 	inner fsapi.FS
-	// epoch is even when no mutation is in flight; mutations bump it on
-	// entry and exit.
-	epoch atomic.Uint64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// nameG[key] is the binding generation of the path key: bumped when
+	// the name→object binding changes (create, unlink, rename of either
+	// end) or the object's content changes (write, truncate — content is
+	// folded into the binding counter because stat caches size and read
+	// caches bytes). listG[key] is the listing generation of directory
+	// key: bumped when a direct child is created, removed, or renamed.
+	// Keys are canonical paths ("/" for the root); counters are created
+	// lazily and never removed.
+	nameG map[string]*atomic.Uint64
+	listG map[string]*atomic.Uint64
+
 	stats map[string]*entry
 	dirs  map[string]*entry
 	reads map[string]*entry // keyed by path; caches the last read window
@@ -63,6 +105,8 @@ var _ fsapi.FS = (*FS)(nil)
 func New(inner fsapi.FS) *FS {
 	return &FS{
 		inner: inner,
+		nameG: map[string]*atomic.Uint64{},
+		listG: map[string]*atomic.Uint64{},
 		stats: map[string]*entry{},
 		dirs:  map[string]*entry{},
 		reads: map[string]*entry{},
@@ -75,36 +119,102 @@ func (fs *FS) Name() string { return "dcache(" + fsapi.Name(fs.inner) + ")" }
 // HitRate returns cache hits / lookups (observability for benches).
 func (fs *FS) HitRate() (hits, misses int64) { return fs.hits.Load(), fs.misses.Load() }
 
-// beginMutate/endMutate bracket every mutating operation.
-func (fs *FS) beginMutate() { fs.epoch.Add(1) }
-func (fs *FS) endMutate()   { fs.epoch.Add(1) }
-
-// stableEpoch returns the current epoch if no mutation is in flight.
-func (fs *FS) stableEpoch() (uint64, bool) {
-	e := fs.epoch.Load()
-	return e, e%2 == 0
+// prefixKeys returns the canonical counter keys covering path's
+// resolution: the root, each ancestor, and the path itself. An
+// unparsable path gets a single key of its raw text — the inner file
+// system will reject it, and a counter keyed by garbage is harmless.
+func prefixKeys(path string) []string {
+	parts, err := pathname.Split(path)
+	if err != nil {
+		return []string{path}
+	}
+	keys := make([]string, 0, len(parts)+1)
+	keys = append(keys, "/")
+	for i := range parts {
+		keys = append(keys, pathname.Join(parts[:i+1]))
+	}
+	return keys
 }
 
-// lookup serves a cached entry if it was filled in the still-current
-// stable epoch.
-func (fs *FS) lookup(table map[string]*entry, path string) (*entry, bool) {
-	e1, stable := fs.stableEpoch()
-	if !stable {
-		fs.misses.Add(1)
-		return nil, false
+// gen returns (creating if needed) the counter for key in table m.
+// Caller holds fs.mu.
+func (fs *FS) gen(m map[string]*atomic.Uint64, key string) *atomic.Uint64 {
+	g := m[key]
+	if g == nil {
+		g = &atomic.Uint64{}
+		m[key] = g
 	}
+	return g
+}
+
+// readStamps snapshots the counters covering a read-only result for
+// path: the binding generation of every prefix and — for a directory
+// listing — path's own listing generation. ok is false when any counter
+// was odd (an affecting mutation is in flight), in which case the
+// result must not be cached.
+func (fs *FS) readStamps(path string, listing bool) (stamps []stamp, ok bool) {
+	keys := prefixKeys(path)
+	stamps = make([]stamp, 0, len(keys)+1)
+	fs.mu.Lock()
+	for _, k := range keys {
+		stamps = append(stamps, stamp{g: fs.gen(fs.nameG, k)})
+	}
+	if listing {
+		stamps = append(stamps, stamp{g: fs.gen(fs.listG, keys[len(keys)-1])})
+	}
+	fs.mu.Unlock()
+	ok = true
+	for i := range stamps {
+		v := stamps[i].g.Load()
+		stamps[i].v = v
+		ok = ok && v%2 == 0
+	}
+	return stamps, ok
+}
+
+// mutGens returns the counters a mutation of path must bump: the path's
+// binding generation and its parent directory's listing generation. For
+// contentOnly mutations (write, truncate) the listing is untouched —
+// directory results for the parent stay valid.
+func (fs *FS) mutGens(path string, contentOnly bool) []*atomic.Uint64 {
+	keys := prefixKeys(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	gs := []*atomic.Uint64{fs.gen(fs.nameG, keys[len(keys)-1])}
+	if !contentOnly && len(keys) >= 2 {
+		gs = append(gs, fs.gen(fs.listG, keys[len(keys)-2]))
+	}
+	return gs
+}
+
+// beginMutate bumps every counter to odd and returns the matching end
+// bump. The bumps bracket the inner operation exactly as the old global
+// epoch did, just scoped to the counters the mutation can affect.
+func beginMutate(gs []*atomic.Uint64) (endMutate func()) {
+	for _, g := range gs {
+		g.Add(1)
+	}
+	return func() {
+		for _, g := range gs {
+			g.Add(1)
+		}
+	}
+}
+
+// lookup serves a cached entry if every stamped generation is still
+// current. Entries are immutable after fill, so the single validation
+// after loading the entry is the linearization point of the hit.
+func (fs *FS) lookup(table map[string]*entry, path string) (*entry, bool) {
 	fs.mu.Lock()
 	ent := table[path]
 	fs.mu.Unlock()
-	if ent == nil || ent.epoch != e1 || !fsValidate(fs, e1) {
+	if ent == nil || !current(ent.stamps) {
 		fs.misses.Add(1)
 		return nil, false
 	}
 	fs.hits.Add(1)
 	return ent, true
 }
-
-func fsValidate(fs *FS, e uint64) bool { return fs.epoch.Load() == e }
 
 // cacheable rejects results that are private to one caller's context: a
 // cancellation or deadline error says nothing about the file system, so
@@ -113,67 +223,78 @@ func cacheable(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
-// fill stores an entry computed while the epoch stayed stable; a
-// concurrent mutation voids the fill (the entry would be stamped with a
-// stale epoch and never served).
-func (fs *FS) fill(table map[string]*entry, path string, pre uint64, ent *entry) {
-	if !fsValidate(fs, pre) {
+// fill stores an entry computed while its stamps stayed current; a
+// concurrent affecting mutation voids the fill (its first bump already
+// moved a counter away from the stamped value, so the entry would never
+// be served — skip publishing it at all).
+func (fs *FS) fill(table map[string]*entry, path string, stamps []stamp, ent *entry) {
+	if !current(stamps) {
 		return
 	}
-	ent.epoch = pre
+	ent.stamps = stamps
 	fs.mu.Lock()
 	table[path] = ent
 	fs.mu.Unlock()
 }
 
-// --- mutating operations: write-through with global invalidation ---
+// --- mutating operations: write-through with per-prefix invalidation ---
 
 // Mknod creates an empty file.
 func (fs *FS) Mknod(ctx context.Context, path string) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Mknod(ctx, path)
 }
 
 // Mkdir creates an empty directory.
 func (fs *FS) Mkdir(ctx context.Context, path string) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Mkdir(ctx, path)
 }
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(ctx context.Context, path string) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Rmdir(ctx, path)
 }
 
 // Unlink removes a file.
 func (fs *FS) Unlink(ctx context.Context, path string) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Unlink(ctx, path)
 }
 
-// Rename moves src to dst.
+// Rename moves src to dst: both bindings and both parent listings are
+// affected. The two sets can overlap (same parent, or dst inside src's
+// parent chain); bumping deduplicates so each counter moves by exactly
+// one per bracket end and parity stays meaningful.
 func (fs *FS) Rename(ctx context.Context, src, dst string) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	gs := fs.mutGens(src, false)
+	for _, g := range fs.mutGens(dst, false) {
+		dup := false
+		for _, have := range gs {
+			if have == g {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			gs = append(gs, g)
+		}
+	}
+	defer beginMutate(gs)()
 	return fs.inner.Rename(ctx, src, dst)
 }
 
-// Write stores data at off.
+// Write stores data at off. Content-only: the parent listing is not
+// invalidated.
 func (fs *FS) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, true))()
 	return fs.inner.Write(ctx, path, off, data)
 }
 
-// Truncate resizes a file.
+// Truncate resizes a file. Content-only, like Write.
 func (fs *FS) Truncate(ctx context.Context, path string, size int64) error {
-	fs.beginMutate()
-	defer fs.endMutate()
+	defer beginMutate(fs.mutGens(path, true))()
 	return fs.inner.Truncate(ctx, path, size)
 }
 
@@ -184,10 +305,10 @@ func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	if ent, ok := fs.lookup(fs.stats, path); ok {
 		return ent.info, ent.err
 	}
-	pre, stable := fs.stableEpoch()
+	stamps, stable := fs.readStamps(path, false)
 	info, err := fs.inner.Stat(ctx, path)
 	if stable && cacheable(err) {
-		fs.fill(fs.stats, path, pre, &entry{info: info, err: err})
+		fs.fill(fs.stats, path, stamps, &entry{info: info, err: err})
 	}
 	return info, err
 }
@@ -197,10 +318,10 @@ func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
 	if ent, ok := fs.lookup(fs.dirs, path); ok {
 		return append([]string(nil), ent.names...), ent.err
 	}
-	pre, stable := fs.stableEpoch()
+	stamps, stable := fs.readStamps(path, true)
 	names, err := fs.inner.Readdir(ctx, path)
 	if stable && cacheable(err) {
-		fs.fill(fs.dirs, path, pre, &entry{names: append([]string(nil), names...), err: err})
+		fs.fill(fs.dirs, path, stamps, &entry{names: append([]string(nil), names...), err: err})
 	}
 	return names, err
 }
@@ -214,10 +335,10 @@ func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int
 		}
 		return copy(dst, ent.data), nil
 	}
-	pre, stable := fs.stableEpoch()
+	stamps, stable := fs.readStamps(path, false)
 	n, err := fs.inner.Read(ctx, path, off, dst)
 	if stable && err == nil {
-		fs.fill(fs.reads, path, pre, &entry{
+		fs.fill(fs.reads, path, stamps, &entry{
 			data: append([]byte(nil), dst[:n]...), off: off, size: len(dst),
 		})
 	}

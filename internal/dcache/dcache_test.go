@@ -69,6 +69,55 @@ func TestInvalidationOnEveryMutation(t *testing.T) {
 	}
 }
 
+// TestUnrelatedWritesKeepHits: the point of per-prefix invalidation —
+// write traffic in one subtree must not evict cached results in
+// another. Under the old whole-cache epoch every one of these reads
+// after the first round would miss.
+func TestUnrelatedWritesKeepHits(t *testing.T) {
+	fs := New(memfs.New())
+	fs.Mkdir(tctx, "/src")
+	fs.Mknod(tctx, "/src/main.go")
+	fs.Write(tctx, "/src/main.go", 0, []byte("package main"))
+	fs.Mkdir(tctx, "/build")
+	fs.Mknod(tctx, "/build/out")
+
+	// Warm the cache on /src.
+	fs.Stat(tctx, "/src/main.go")
+	fsapi.ReadAll(tctx, fs, "/src/main.go", 0, 12)
+	fs.Readdir(tctx, "/src")
+	hits0, _ := fs.HitRate()
+
+	for i := 0; i < 10; i++ {
+		fs.Write(tctx, "/build/out", 0, []byte{byte(i)}) // unrelated write
+		fs.Stat(tctx, "/src/main.go")
+		fsapi.ReadAll(tctx, fs, "/src/main.go", 0, 12)
+		fs.Readdir(tctx, "/src")
+	}
+	hits, misses := fs.HitRate()
+	if got := hits - hits0; got < 30 {
+		t.Fatalf("unrelated writes evicted the cache: %d/30 hits (misses=%d)", got, misses)
+	}
+
+	// A creation in /build invalidates the root listing but must still
+	// spare /src results (the root *binding* generation is untouched).
+	fs.Readdir(tctx, "/")
+	fs.Mknod(tctx, "/build/out2")
+	hits1, _ := fs.HitRate()
+	fs.Stat(tctx, "/src/main.go")
+	if h, _ := fs.HitRate(); h != hits1+1 {
+		t.Fatalf("sibling-subtree create evicted /src stat")
+	}
+	if names, _ := fs.Readdir(tctx, "/build"); len(names) != 2 {
+		t.Fatalf("stale /build listing: %v", names)
+	}
+
+	// And a related write does invalidate.
+	fs.Write(tctx, "/src/main.go", 0, []byte("package main2"))
+	if data, _ := fsapi.ReadAll(tctx, fs, "/src/main.go", 0, 13); string(data) != "package main2" {
+		t.Fatalf("stale read after related write: %q", data)
+	}
+}
+
 func TestNegativeCaching(t *testing.T) {
 	fs := New(memfs.New())
 	if _, err := fs.Stat(tctx, "/ghost"); err == nil {

@@ -13,9 +13,14 @@
 package ilock
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// osyield hands the processor to another goroutine between backoff
+// bursts. A variable so tests can count yields.
+var osyield = runtime.Gosched
 
 // NoOwner is the owner value of an unlocked Mutex. Real owner IDs must be
 // non-zero.
@@ -111,6 +116,33 @@ func (s *SeqCount) ReadRetries() (uint64, int) {
 			return v, spins
 		}
 		spins++
+	}
+}
+
+// ReadBounded is ReadRetries with a spin budget: it returns ok=false if
+// the count stayed odd (a write section open) for budget consecutive
+// observations. Waiting is exponential-backoff shaped — the reader spins
+// a short burst, then yields the processor with doubling burst lengths —
+// so a reader stuck behind a slow writer stops burning a core and the
+// caller can fall back to its locked path instead. budget <= 0 means a
+// single observation.
+func (s *SeqCount) ReadBounded(budget int) (v uint64, spins int, ok bool) {
+	burst := 4 // spin this many times before the first yield
+	for {
+		v := s.seq.Load()
+		if v%2 == 0 {
+			return v, spins, true
+		}
+		spins++
+		if spins >= budget {
+			return 0, spins, false
+		}
+		if spins >= burst {
+			osyield()
+			if burst < 1<<16 {
+				burst *= 2
+			}
+		}
 	}
 }
 

@@ -74,6 +74,21 @@ const (
 	// and a prime coverage signal for the schedule fuzzer, which hunts
 	// exactly these helped-then-cancelled interleavings.
 	EvAbortRefused
+	// EvPrefixHit is a write-path walk admitted at a prefix-cache entry
+	// inode (Ino): the stamped detach generations validated under the
+	// entry lock and lock coupling started there instead of at the root.
+	// Aux is the number of couplings skipped (the cached chain depth).
+	EvPrefixHit
+	// EvPrefixFallback is a prefix-cache miss or refused entry: the walk
+	// fell back to root lock coupling. Aux is 0 for a plain miss (no
+	// cached ancestor) and 1 for a validation/monitor refusal at the
+	// entry inode.
+	EvPrefixFallback
+	// EvPrefixInval is a stale prefix entry discarded because a stamped
+	// detach generation moved (Ino is the entry inode) — the witness of
+	// a rename/unlink racing a shortcut, and a prime coverage signal for
+	// the schedule fuzzer.
+	EvPrefixInval
 )
 
 var eventKindNames = [...]string{
@@ -83,6 +98,7 @@ var eventKindNames = [...]string{
 	EvHelp: "help", EvLPCommit: "lp-commit", EvRollback: "rollback",
 	EvViolation: "violation", EvAbort: "abort", EvAbortRefused: "abort-refused",
 	EvFuseQueue: "fuse-queue", EvFuseDispatch: "fuse-dispatch", EvFuseReply: "fuse-reply",
+	EvPrefixHit: "prefix-hit", EvPrefixFallback: "prefix-fallback", EvPrefixInval: "prefix-inval",
 }
 
 func (k EventKind) String() string {

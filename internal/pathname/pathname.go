@@ -53,9 +53,6 @@ func SplitAppend(path string, buf []string) ([]string, error) {
 	if path == "" || path[0] != '/' {
 		return nil, fserr.ErrInvalid
 	}
-	if strings.IndexByte(path, 0) >= 0 {
-		return nil, fserr.ErrInvalid
-	}
 	parts := buf[:0]
 	if cap(parts) == 0 && len(path) > 1 {
 		// No caller buffer: allocate once at the worst-case component
@@ -63,13 +60,19 @@ func SplitAppend(path string, buf []string) ([]string, error) {
 		parts = make([]string, 0, strings.Count(path, "/"))
 	}
 	// Single manual scan: components are short, so one byte compare per
-	// character beats per-component IndexByte calls. Slash and NUL are
-	// already excluded (split boundary, pre-scan), leaving ValidName's
-	// "", ".", ".." and length checks to do inline.
+	// character beats per-component IndexByte calls. The NUL check rides
+	// the same pass (a separate IndexByte pre-scan re-reads the whole
+	// path); slash is already excluded (split boundary), leaving
+	// ValidName's "", ".", ".." and length checks to do inline.
 	start := 1
 	for i := 1; i <= len(path); i++ {
-		if i < len(path) && path[i] != '/' {
-			continue
+		if i < len(path) {
+			if b := path[i]; b != '/' {
+				if b == 0 {
+					return nil, fserr.ErrInvalid
+				}
+				continue
+			}
 		}
 		c := path[start:i]
 		start = i + 1

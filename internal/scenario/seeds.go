@@ -49,5 +49,16 @@ func FuzzSeeds() [][][]trace.Entry {
 			{e(spec.OpRename, "/c", "/d"), e(spec.OpRename, "/d", "/c")},
 			{e(spec.OpStat, "/c/f0")},
 		},
+		// Prefix-shortcut duel: thread 0's first create walks /a/b and
+		// caches the prefix; its second create wants to enter directly at
+		// the cached /a/b while thread 1 renames /a away (detaching the
+		// whole chain) and back. A shortcut admitted between the two
+		// renames must see every stamped generation moved and fall back —
+		// operating on the detached subtree is the violation this seed
+		// hunts (run with prefix on).
+		{
+			{e(spec.OpMknod, "/a/b/n2"), e(spec.OpMknod, "/a/b/n3")},
+			{e(spec.OpRename, "/a", "/d"), e(spec.OpRename, "/d", "/a")},
+		},
 	}
 }

@@ -83,6 +83,7 @@ func WriteRepro(w io.Writer, r *Repro) error {
 	}
 	fmt.Fprintf(bw, "mode %s\n", modeName(r.Mode))
 	fmt.Fprintf(bw, "fastpath %s\n", onoff(r.Seed.FastPath))
+	fmt.Fprintf(bw, "prefix %s\n", onoff(r.Seed.Prefix))
 	fmt.Fprintf(bw, "unsafe %s\n", onoff(r.Unsafe))
 	fmt.Fprintf(bw, "rng %d\n", r.RNG)
 	if r.Expect != "" {
@@ -141,14 +142,18 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 			default:
 				return nil, fail("unknown mode %q", rest)
 			}
-		case "fastpath", "unsafe":
+		case "fastpath", "prefix", "unsafe":
+			// Older repros predate the prefix directive; absence means off.
 			on := rest == "on"
 			if !on && rest != "off" {
 				return nil, fail("%s wants on|off, got %q", dir, rest)
 			}
-			if dir == "fastpath" {
+			switch dir {
+			case "fastpath":
 				r.Seed.FastPath = on
-			} else {
+			case "prefix":
+				r.Seed.Prefix = on
+			default:
 				r.Unsafe = on
 			}
 		case "rng":

@@ -455,6 +455,9 @@ func Execute(seed Seed, opts Options) *RunResult {
 	if seed.FastPath {
 		fsOpts = append(fsOpts, atomfs.WithFastPath())
 	}
+	if seed.Prefix {
+		fsOpts = append(fsOpts, atomfs.WithPrefixCache())
+	}
 	if opts.Unsafe {
 		fsOpts = append(fsOpts, atomfs.WithUnsafeTraversal())
 	}
@@ -517,7 +520,8 @@ func Execute(seed Seed, opts Options) *RunResult {
 	kindCnt := make(map[obs.EventKind]int)
 	for _, e := range reg.FlightRecorder().Snapshot() {
 		switch e.Kind {
-		case obs.EvHelp, obs.EvRollback, obs.EvAbort, obs.EvAbortRefused, obs.EvFastFallback:
+		case obs.EvHelp, obs.EvRollback, obs.EvAbort, obs.EvAbortRefused, obs.EvFastFallback,
+			obs.EvPrefixHit, obs.EvPrefixFallback, obs.EvPrefixInval:
 			kindCnt[e.Kind]++
 		}
 	}

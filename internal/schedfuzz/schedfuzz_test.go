@@ -28,18 +28,24 @@ const testStall = 5 * time.Second
 // The engine's core guarantee: a run replayed from its recorded decision
 // string (same options) is bit-identical — signature, grant count,
 // consumed schedule, and coverage all match.
+// fsVariants enumerates the fast-path × prefix-cache combinations the
+// engine tests cover.
+var fsVariants = []struct{ fast, prefix bool }{
+	{false, false}, {true, false}, {false, true}, {true, true},
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	seeds := scenario.FuzzSeeds()
 	for i, threads := range seeds {
-		for _, fast := range []bool{false, true} {
-			s := Seed{Threads: threads, FastPath: fast}
+		for _, v := range fsVariants {
+			s := Seed{Threads: threads, FastPath: v.fast, Prefix: v.prefix}
 			if i == 0 {
 				s.Faults = []Fault{{Thread: 0, OpIdx: 1, Yield: 3, Kind: FaultCancel}}
 			}
 			opts := Options{Mode: core.ModeHelpers, RNG: int64(100*i + 7), StallTimeout: testStall}
 			first := Execute(s, opts)
 			if first.HarnessErr != nil {
-				t.Fatalf("seed %d fast=%v: harness: %v", i, fast, first.HarnessErr)
+				t.Fatalf("seed %d %+v: harness: %v", i, v, first.HarnessErr)
 			}
 			s.Sched = append([]byte(nil), first.Sched...)
 			for round := 0; round < 2; round++ {
@@ -48,8 +54,8 @@ func TestDeterministicReplay(t *testing.T) {
 					got.Grants != first.Grants ||
 					!bytes.Equal(got.Sched, first.Sched) ||
 					!reflect.DeepEqual(got.Cov, first.Cov) {
-					t.Fatalf("seed %d fast=%v round %d: replay diverged: sig %q/%q grants %d/%d sched %d/%d cov %d/%d",
-						i, fast, round, got.Signature(), first.Signature(), got.Grants, first.Grants,
+					t.Fatalf("seed %d %+v round %d: replay diverged: sig %q/%q grants %d/%d sched %d/%d cov %d/%d",
+						i, v, round, got.Signature(), first.Signature(), got.Grants, first.Grants,
 						len(got.Sched), len(first.Sched), len(got.Cov), len(first.Cov))
 				}
 			}
@@ -62,16 +68,16 @@ func TestDeterministicReplay(t *testing.T) {
 // and off — the fuzzer's false-positive guard.
 func TestCleanHelpersSeeds(t *testing.T) {
 	for i, threads := range scenario.FuzzSeeds() {
-		for _, fast := range []bool{false, true} {
+		for _, v := range fsVariants {
 			for rng := int64(0); rng < 8; rng++ {
-				s := Seed{Threads: threads, FastPath: fast}
+				s := Seed{Threads: threads, FastPath: v.fast, Prefix: v.prefix}
 				res := Execute(s, Options{Mode: core.ModeHelpers, RNG: rng, StallTimeout: testStall})
 				if res.HarnessErr != nil {
-					t.Fatalf("seed %d fast=%v rng=%d: harness: %v", i, fast, rng, res.HarnessErr)
+					t.Fatalf("seed %d %+v rng=%d: harness: %v", i, v, rng, res.HarnessErr)
 				}
 				if sig := res.Signature(); sig != "" {
-					t.Fatalf("seed %d fast=%v rng=%d: unexpected finding %q (deadlock info: %s)",
-						i, fast, rng, sig, res.DeadlockInfo)
+					t.Fatalf("seed %d %+v rng=%d: unexpected finding %q (deadlock info: %s)",
+						i, v, rng, sig, res.DeadlockInfo)
 				}
 			}
 		}
@@ -157,7 +163,7 @@ func TestShrinkPreservesSignature(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	checked := 0
 	for i := 0; i < 40 && checked < 5; i++ {
-		cand := Mutate(golden.Seed.Clone(), r, false)
+		cand := Mutate(golden.Seed.Clone(), r, false, false)
 		opts := golden.Options()
 		opts.RNG = int64(i)
 		opts.StallTimeout = testStall
@@ -189,6 +195,7 @@ func TestReproRoundTrip(t *testing.T) {
 			Faults:   []Fault{{Thread: 1, OpIdx: 0, Yield: 4, Kind: FaultTransient}},
 			Sched:    []byte{0, 3, 255, 17, 0, 1},
 			FastPath: true,
+			Prefix:   true,
 		},
 		Mode:   core.ModeFixedLP,
 		Unsafe: false,
@@ -211,8 +218,12 @@ func TestReproRoundTrip(t *testing.T) {
 }
 
 func loadGolden(t *testing.T) *Repro {
+	return loadRepro(t, "fixedlp_min.repro")
+}
+
+func loadRepro(t *testing.T, name string) *Repro {
 	t.Helper()
-	f, err := os.Open(filepath.Join("testdata", "fixedlp_min.repro"))
+	f, err := os.Open(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +256,31 @@ func TestGoldenFixedLPRepro(t *testing.T) {
 	// The golden is the canonical Figure 1: one stat, one rename.
 	if res.Ops != 2 {
 		t.Fatalf("golden runs %d ops, want the 2-op Figure-1 duel", res.Ops)
+	}
+}
+
+// The checked-in shortcut-vs-rename schedule: thread 0's second create
+// enters at the cached /a/b prefix while thread 1's rename of /a is
+// interleaved. The entry's stamped detach generations must fail
+// validation under the entry lock and the walk must fall back to the
+// root — never operating on the detached subtree. The run must be clean
+// (monitor + quiescence + lincheck oracle) AND actually exercise the
+// fallback: a regression that stops taking shortcuts would also "pass"
+// the cleanliness half, so both stats are asserted.
+func TestGoldenPrefixRenameRepro(t *testing.T) {
+	r := loadRepro(t, "prefix_rename.repro")
+	if !r.Seed.Prefix {
+		t.Fatal("golden must run with the prefix cache on")
+	}
+	res, err := r.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShortcutEntries < 1 {
+		t.Fatalf("no shortcut entry taken (stats %+v)", res.Stats)
+	}
+	if res.Stats.ShortcutFallbacks < 1 {
+		t.Fatalf("the rename race never forced a shortcut fallback (stats %+v)", res.Stats)
 	}
 }
 

@@ -60,18 +60,20 @@ type Fault struct {
 
 // Seed is the fuzzer's unit of state: per-thread op programs, injected
 // faults, the scripted schedule prefix, and whether the lockless read
-// fast path is enabled. Mode and the extension RNG live in Options —
-// they are campaign configuration, not mutation targets.
+// fast path and the write-path prefix cache are enabled. Mode and the
+// extension RNG live in Options — they are campaign configuration, not
+// mutation targets.
 type Seed struct {
 	Threads  [][]trace.Entry
 	Faults   []Fault
 	Sched    []byte
 	FastPath bool
+	Prefix   bool
 }
 
 // Clone deep-copies the seed so mutation and shrinking never alias.
 func (s Seed) Clone() Seed {
-	c := Seed{FastPath: s.FastPath}
+	c := Seed{FastPath: s.FastPath, Prefix: s.Prefix}
 	c.Threads = make([][]trace.Entry, len(s.Threads))
 	for i, t := range s.Threads {
 		c.Threads[i] = append([]trace.Entry(nil), t...)
@@ -138,8 +140,8 @@ const maxFaultYield = 12
 // from the rename-heavy adversarial mix (the distribution the explorer
 // uses), occasionally from the uniform fstest stream, plus faults with
 // probability faultProb per thread.
-func RandomSeed(r *rand.Rand, threads, opsPer int, fastPath bool, faultProb float64) Seed {
-	s := Seed{FastPath: fastPath}
+func RandomSeed(r *rand.Rand, threads, opsPer int, fastPath, prefix bool, faultProb float64) Seed {
+	s := Seed{FastPath: fastPath, Prefix: prefix}
 	for t := 0; t < threads; t++ {
 		var prog []trace.Entry
 		if r.Intn(4) == 0 {
@@ -168,11 +170,11 @@ func RandomSeed(r *rand.Rand, threads, opsPer int, fastPath bool, faultProb floa
 }
 
 // Mutate applies 1–2 random structural or schedule mutations to a
-// (cloned) seed. flipFast permits toggling the fast path (off when the
-// campaign pins it).
-func Mutate(s Seed, r *rand.Rand, flipFast bool) Seed {
+// (cloned) seed. flipFast / flipPrefix permit toggling the fast path and
+// the prefix cache (off when the campaign pins them).
+func Mutate(s Seed, r *rand.Rand, flipFast, flipPrefix bool) Seed {
 	for n := 1 + r.Intn(2); n > 0; n-- {
-		switch r.Intn(8) {
+		switch r.Intn(9) {
 		case 0: // truncate the schedule: keep a prefix, re-explore the suffix
 			if len(s.Sched) > 0 {
 				s.Sched = s.Sched[:r.Intn(len(s.Sched))]
@@ -220,6 +222,10 @@ func Mutate(s Seed, r *rand.Rand, flipFast bool) Seed {
 		case 7: // flip the fast path
 			if flipFast {
 				s.FastPath = !s.FastPath
+			}
+		case 8: // flip the prefix cache
+			if flipPrefix {
+				s.Prefix = !s.Prefix
 			}
 		}
 	}

@@ -325,6 +325,46 @@ func Ripgrep(ctx context.Context, fs fsapi.FS) Result {
 	return Result{Name: "ripgrep", Ops: ops}
 }
 
+// DeepPath models mutation traffic at the bottom of a deep directory
+// chain — the workload whose traversal cost is pure path depth: build
+// /deep/d0/.../d{depth-1}, then run a create/write/stat/rename/unlink
+// mix against that directory. Root lock-coupling pays depth couplings
+// per operation; a prefix cache pays one entry lock plus validation, so
+// the depth-8 cell makes the difference visible in the standard sweep
+// (the other application workloads top out at 4 components).
+func DeepPath(ctx context.Context, fs fsapi.FS, depth int) Result {
+	var ops int64
+	dir := "/deep"
+	check(fs.Mkdir(ctx, dir), "deeppath mkdir")
+	ops++
+	for i := 0; i < depth; i++ {
+		dir = fmt.Sprintf("%s/d%d", dir, i)
+		check(fs.Mkdir(ctx, dir), "deeppath mkdir")
+		ops++
+	}
+	buf := payload(1<<10, 'p')
+	rbuf := make([]byte, 1<<10)
+	for i := 0; i < 2000; i++ {
+		p := fmt.Sprintf("%s/f%d", dir, i)
+		check(fs.Mknod(ctx, p), "deeppath create")
+		_, err := fs.Write(ctx, p, 0, buf)
+		check(err, "deeppath write")
+		_, err = fs.Stat(ctx, p)
+		check(err, "deeppath stat")
+		_, err = fs.Read(ctx, p, 0, rbuf)
+		check(err, "deeppath read")
+		ops += 4
+		q := fmt.Sprintf("%s/g%d", dir, i)
+		check(fs.Rename(ctx, p, q), "deeppath rename")
+		ops++
+		if i%2 == 0 {
+			check(fs.Unlink(ctx, q), "deeppath unlink")
+			ops++
+		}
+	}
+	return Result{Name: fmt.Sprintf("deeppath-%d", depth), Ops: ops}
+}
+
 // --- Filebench personalities (Figure 11) ----------------------------------
 
 // FileserverConfig mirrors the paper's description: about 526 distinct
