@@ -53,6 +53,7 @@ func main() {
 	monitored := flag.Bool("monitor", false, "run under the CRL-H monitor")
 	fastpath := flag.Bool("fastpath", false, "enable the lockless read fast path (DESIGN.md s7)")
 	prefix := flag.Bool("prefix", false, "enable the write-path prefix cache (DESIGN.md s11)")
+	epochMode := flag.Bool("epoch", false, "enable wait-free reads via epoch-based reclamation (DESIGN.md s12, implies -fastpath)")
 	blocks := flag.Int("blocks", 1<<18, "ramdisk size in 4KiB blocks")
 	debug := flag.String("debug", "", "serve /metrics, /debug/vars, /debug/flightrec and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -66,6 +67,9 @@ func main() {
 	}
 	if *prefix {
 		opts = append(opts, atomfs.WithPrefixCache())
+	}
+	if *epochMode {
+		opts = append(opts, atomfs.WithEpoch())
 	}
 	var mon *core.Monitor
 	if *monitored {

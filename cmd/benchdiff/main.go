@@ -4,6 +4,15 @@
 // than the threshold (default 15%). Cells present on only one side are
 // reported but never fail the run — the matrix is allowed to grow.
 //
+// A repeatable -pair "A<=B" flag adds cross-cell guards evaluated
+// against the CURRENT report alone: cell A's ns/op must not exceed cell
+// B's by more than the threshold. This is how the fig10 fast-path
+// regression is pinned — the fast path must not lose to plain atomfs on
+// the same workload, regardless of how both drift against the baseline:
+//
+//	benchdiff -base BENCH_scale.json -cur out.json \
+//	  -pair "scale/git-clone/atomfs-fastpath<=scale/git-clone/atomfs"
+//
 // The nightly CI job runs:
 //
 //	benchjson -suite writepath -o /tmp/writepath.json
@@ -11,7 +20,7 @@
 //
 // Usage:
 //
-//	benchdiff -base BENCH_writepath.json -cur out.json [-threshold 0.15]
+//	benchdiff -base BENCH_writepath.json -cur out.json [-threshold 0.15] [-pair "A<=B"]...
 package main
 
 import (
@@ -20,7 +29,20 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
+
+// pairList collects repeatable -pair "A<=B" guards.
+type pairList []string
+
+func (p *pairList) String() string     { return strings.Join(*p, ",") }
+func (p *pairList) Set(v string) error {
+	if !strings.Contains(v, "<=") {
+		return fmt.Errorf("pair %q: want \"A<=B\"", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
 
 type record struct {
 	Name    string  `json:"name"`
@@ -51,6 +73,8 @@ func main() {
 	base := flag.String("base", "BENCH_writepath.json", "baseline report")
 	cur := flag.String("cur", "", "current report to compare (required)")
 	threshold := flag.Float64("threshold", 0.15, "allowed ns/op regression fraction")
+	var pairs pairList
+	flag.Var(&pairs, "pair", "cross-cell guard \"A<=B\" on the current report (repeatable)")
 	flag.Parse()
 	if *cur == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -cur is required")
@@ -100,6 +124,24 @@ func main() {
 	sort.Strings(added)
 	for _, name := range added {
 		fmt.Printf("%-52s NEW (%.1f ns/op)\n", name, current[name])
+	}
+
+	for _, pr := range pairs {
+		a, b, _ := strings.Cut(pr, "<=")
+		av, aok := current[a]
+		bv, bok := current[b]
+		if !aok || !bok {
+			fmt.Fprintf(os.Stderr, "benchdiff: pair %q: missing cell (A present=%v, B present=%v)\n", pr, aok, bok)
+			regressions++
+			continue
+		}
+		if av > bv*(1+*threshold) {
+			fmt.Printf("pair %-60s %10.1f > %10.1f ns/op (+%.0f%% allowed)  REGRESSION\n",
+				pr, av, bv, 100**threshold)
+			regressions++
+		} else {
+			fmt.Printf("pair %-60s %10.1f <= %10.1f ns/op  ok\n", pr, av, bv)
+		}
 	}
 
 	if regressions > 0 {

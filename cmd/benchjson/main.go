@@ -9,11 +9,18 @@
 //     mixes, root lock-coupling vs. the prefix cache →
 //     BENCH_writepath.json (`make bench-writepath`). cmd/benchdiff
 //     compares a fresh run against the committed baseline in CI.
+//   - scale: the multicore scaling matrix — read-mostly-95-5 across a
+//     GOMAXPROCS={1,4,16,32} sweep for atomfs, atomfs-fastpath, and
+//     atomfs-epoch, plus the fig10 git-clone guard cells →
+//     BENCH_scale.json (`make bench-scale`). The epoch cells must show
+//     the seqlock spin storm gone (fastpath_seq_spins collapses to zero)
+//     with read latency no worse.
 //
 // Usage:
 //
 //	benchjson                     # write BENCH_fastpath.json
 //	benchjson -suite writepath    # write BENCH_writepath.json
+//	benchjson -suite scale        # write BENCH_scale.json
 //	benchjson -o out.json         # write elsewhere
 //	benchjson -quick              # cheaper run (for smoke testing)
 package main
@@ -55,6 +62,11 @@ type record struct {
 	FastHits    *uint64  `json:"fastpath_hits,omitempty"`
 	FastFalls   *uint64  `json:"fastpath_fallbacks,omitempty"`
 	FastRetries *uint64  `json:"fastpath_seq_spins,omitempty"`
+	FastVetoed  *uint64  `json:"fastpath_vetoed,omitempty"`
+	// Epoch-reclamation stats (scale suite, atomfs-epoch cells only).
+	EpochAdvances *uint64 `json:"epoch_advances,omitempty"`
+	EpochFreed    *uint64 `json:"epoch_freed,omitempty"`
+	EpochStalls   *uint64 `json:"epoch_stalls,omitempty"`
 	LatP50Ns    *float64 `json:"lat_p50_ns,omitempty"`
 	LatP99Ns    *float64 `json:"lat_p99_ns,omitempty"`
 	// Context-plumbing counters (fsapi v2): ops that aborted on a
@@ -103,8 +115,10 @@ func main() {
 		results = fastpathSuite(*quick)
 	case "writepath":
 		results = writepathSuite(*quick)
+	case "scale":
+		results = scaleSuite(*quick)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want fastpath or writepath)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want fastpath, writepath, or scale)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -170,6 +184,47 @@ func fastpathSuite(quick bool) []record {
 				}
 			}))
 		}
+	}
+	return results
+}
+
+// scaleSuite is the multicore scaling matrix the epoch work is judged
+// by: the read-mostly 95/5 tentpole cell across a GOMAXPROCS sweep for
+// the lock-coupled baseline, the seqlock-validated fast path, and the
+// epoch-reclamation fast path. Under the seqlock design, widening
+// GOMAXPROCS turns writer seqlock sections into reader spin storms
+// (fastpath_seq_spins grows with parallelism); under epochs a reader
+// loads the seqlock once and falls back on an odd count, so the spins
+// column must collapse to zero at every width. The git-clone cells feed
+// cmd/benchdiff's -pair guard: the fast path (adaptive veto in force)
+// must not lose to plain atomfs on a mutation-heavy trace.
+func scaleSuite(quick bool) []record {
+	systems := []struct {
+		name string
+		mk   func() sysUnderTest
+	}{
+		{"atomfs", func() sysUnderTest { return atomfsSys() }},
+		{"atomfs-fastpath", func() sysUnderTest { return atomfsSys(atomfs.WithFastPath()) }},
+		{"atomfs-epoch", func() sysUnderTest { return atomfsSys(atomfs.WithEpoch()) }},
+	}
+	widths := []int{1, 4, 16, 32}
+	if quick {
+		widths = []int{1, 4}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var results []record
+	for _, w := range widths {
+		runtime.GOMAXPROCS(w)
+		for _, s := range systems {
+			results = append(results, benchFS(
+				fmt.Sprintf("scale/read-mostly-95-5/p%d/%s", w, s.name),
+				s.mk, readMostly))
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	for _, s := range systems {
+		results = append(results, benchRuns("scale/git-clone/"+s.name, s.mk, workload.GitClone))
 	}
 	return results
 }
@@ -311,6 +366,22 @@ func fillObs(rec *record, sut sysUnderTest) {
 	}
 	if v := reg.Counter("atomfs_fastpath_seq_spins_total").Value(); v > 0 {
 		rec.FastRetries = &v
+	}
+	if v, ok := reg.FuncValue("atomfs_fastpath_vetoed_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.FastVetoed = &u
+	}
+	if v, ok := reg.FuncValue("atomfs_epoch_advances_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.EpochAdvances = &u
+	}
+	if v, ok := reg.FuncValue("atomfs_epoch_freed_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.EpochFreed = &u
+	}
+	if v, ok := reg.FuncValue("atomfs_epoch_stalls_total"); ok && v > 0 {
+		u := uint64(v)
+		rec.EpochStalls = &u
 	}
 	// Cancellation counters: per-cell totals plus the report footer's
 	// per-op-type breakdown.

@@ -110,6 +110,35 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 		p.fastFallReason[r] = reg.Counter(fmt.Sprintf(
 			"atomfs_fastpath_fallback_total{reason=%q}", fallReasonNames[r]))
 	}
+	reg.GaugeFunc("atomfs_fastpath_vetoed_total", func() int64 {
+		return int64(fs.fastVetoed.Load())
+	})
+	if fs.epochMode {
+		// Reclamation-domain totals read straight from the domain's own
+		// counters at render time, like the fast-path pair above.
+		d := fs.edom
+		reg.GaugeFunc("atomfs_epoch_current", func() int64 {
+			return int64(d.Stats().Epoch)
+		})
+		reg.GaugeFunc("atomfs_epoch_pins_total", func() int64 {
+			return int64(d.Stats().Pins)
+		})
+		reg.GaugeFunc("atomfs_epoch_retired_total", func() int64 {
+			return int64(d.Stats().Retired)
+		})
+		reg.GaugeFunc("atomfs_epoch_freed_total", func() int64 {
+			return int64(d.Stats().Freed)
+		})
+		reg.GaugeFunc("atomfs_epoch_advances_total", func() int64 {
+			return int64(d.Stats().Advances)
+		})
+		reg.GaugeFunc("atomfs_epoch_stalls_total", func() int64 {
+			return int64(d.Stats().Stalls)
+		})
+		reg.GaugeFunc("atomfs_epoch_limbo", func() int64 {
+			return int64(d.Stats().Limbo)
+		})
+	}
 	if fs.prefix {
 		// Prefix-cache totals piggyback on the FS atomics the cache
 		// maintains unconditionally, like the fast-path pair above.
@@ -205,6 +234,7 @@ func (o *op) obsEnd(p *obsPack) {
 // sampled trace event is obs-specific.
 func (o *op) fastHit() {
 	o.fs.fastHits.Add(1)
+	o.fs.fastStreak.Store(0)
 	if p := o.fs.obs; p != nil && o.traced {
 		p.rec.Emit(o.tid, obs.EvFastHit, uint8(o.kind), 0, uint64(o.spins))
 	}
@@ -216,6 +246,11 @@ func (o *op) fastHit() {
 // and op-end land in the ring too.
 func (o *op) fastFall() {
 	o.fs.fastFalls.Add(1)
+	if s := o.fs.fastStreak.Add(1); s >= fastStreakLimit {
+		// Write-dominated: stop probing for a window (fastAdmit).
+		o.fs.fastStreak.Store(0)
+		o.fs.fastVeto.Store(fastVetoWindow)
+	}
 	if p := o.fs.obs; p != nil {
 		if r := o.fallReason; r > fallNone && int(r) < nFallReasons {
 			p.fastFallReason[r].Inc(o.tid)

@@ -138,7 +138,7 @@ func (fs *FS) del(ctx context.Context, opKind spec.Op, kind spec.Kind, path stri
 	}
 	o.mutBegin()
 	o.detachBegin(child) // the removed child's prefixes go stale, not the parent's
-	parent.dir.Delete(name)
+	o.dirDelete(parent, name)
 	child.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
 	o.lp()                         // ▶ LP: DEL ◀
 	o.detachEnd(child)
@@ -155,7 +155,7 @@ func (fs *FS) Stat(ctx context.Context, path string) (fsapi.Info, error) {
 	if err != nil {
 		return fsapi.Info{}, o.end(spec.ErrRet(err)).Err
 	}
-	if fs.fastPath {
+	if fs.fastPath && o.fastAdmit() {
 		// One up-front check covers the whole fast path: the lockless
 		// walk takes no recorded locks, so an abort here unwinds nothing,
 		// and a read-only session outside any critical section can never
@@ -197,7 +197,7 @@ func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int
 	if err != nil {
 		return 0, o.end(spec.ErrRet(err)).Err
 	}
-	if fs.fastPath {
+	if fs.fastPath && o.fastAdmit() {
 		// See Stat for why one up-front check suffices on the fast path.
 		if err := o.cancelled(); err != nil {
 			return 0, o.end(spec.ErrRet(err)).Err
@@ -299,7 +299,7 @@ func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
 	if err != nil {
 		return nil, o.end(spec.ErrRet(err)).Err
 	}
-	if fs.fastPath {
+	if fs.fastPath && o.fastAdmit() {
 		// See Stat for why one up-front check suffices on the fast path.
 		if err := o.cancelled(); err != nil {
 			return nil, o.end(spec.ErrRet(err)).Err
@@ -451,10 +451,10 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 		if dnode != snode {
 			o.detachBegin(dnode)
 		}
-		ddir.dir.Delete(dn)
+		o.dirDelete(ddir, dn)
 		dnode.ref.unlinked.Store(true) // §5.4: open descriptors keep it alive
 	}
-	sdir.dir.Delete(sn)
+	o.dirDelete(sdir, sn)
 	ddir.dir.Insert(dn, snode)
 	o.renameLP() // ▶ LP: linothers(t); RENAME ◀
 	if dnode != nil && dnode != snode {

@@ -174,11 +174,28 @@ func (fd *RefFD) Unlinked() bool { return fd.n.ref.unlinked.Load() }
 func (fs *FS) maybeFree(n *node) {
 	if n.ref.unlinked.Load() && n.ref.refs.Load() == 0 &&
 		n.ref.freed.CompareAndSwap(false, true) {
-		if n.data != nil {
-			n.data.Release(uint64(n.ino))
+		if fs.epochMode {
+			// Epoch readers hold no locks and never validate mid-walk, so
+			// an unlinked node's blocks may still be read by a reader
+			// pinned before the unlink. Retire the reclaim instead of
+			// running it: it executes only after two grace periods, when
+			// no such reader can survive (internal/epoch).
+			fs.edom.Retire(func() { fs.reclaim(n) })
+			return
 		}
-		fs.regMu.Lock()
-		delete(fs.registry, n.ino)
-		fs.regMu.Unlock()
+		fs.reclaim(n)
 	}
+}
+
+// reclaim releases n's manually managed resources: its data blocks go
+// back to the ramdisk allocator and the inode leaves the registry. Runs
+// at most once per node (maybeFree's CAS), either inline or — under
+// WithEpoch — as a limbo-deferred free.
+func (fs *FS) reclaim(n *node) {
+	if n.data != nil {
+		n.data.Release(uint64(n.ino))
+	}
+	fs.regMu.Lock()
+	delete(fs.registry, n.ino)
+	fs.regMu.Unlock()
 }

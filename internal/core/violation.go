@@ -54,6 +54,13 @@ const (
 	// malformed. The generation protocol, not just one operation, is what
 	// such a violation indicts.
 	ViolShortcut
+	// ViolEpoch: an epoch-protected read's entry claim broke — the final-
+	// instant sequence validation passed yet the observed path fails to
+	// resolve (with the observed terminal kind) in the abstract state, or
+	// the rule was invoked on a non-read-only session. Like ViolShortcut,
+	// this indicts the protocol (the seqlock bump discipline or the epoch
+	// pin placement), not just the one operation.
+	ViolEpoch
 )
 
 var violationNames = map[ViolationKind]string{
@@ -69,6 +76,7 @@ var violationNames = map[ViolationKind]string{
 	ViolCancellation:   "cancellation-consistency",
 	ViolProtocol:       "protocol",
 	ViolShortcut:       "shortcut-entry",
+	ViolEpoch:          "epoch-entry",
 }
 
 func (k ViolationKind) String() string {

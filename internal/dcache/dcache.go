@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fsapi"
+	"repro/internal/obs"
 	"repro/internal/pathname"
 )
 
@@ -97,13 +98,39 @@ type FS struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Negative-result traffic: negHits counts cached errors served (the
+	// Webproxy miss-heavy pattern — an ENOENT that skips the full walk),
+	// negInvals counts cached errors discarded because a create or rename
+	// made (or could have made) them wrong: eagerly at the mutation for
+	// the exact path, lazily at lookup when a stale stamp catches the
+	// rest of the affected prefix.
+	negHits   atomic.Int64
+	negInvals atomic.Int64
 }
 
 var _ fsapi.FS = (*FS)(nil)
 
+// Option configures New.
+type Option func(*FS)
+
+// WithObs exposes the cache's negative-result counters on reg as
+// atomfs_dcache_negative_{hits,invals}_total (render-time funcs over the
+// FS atomics, like atomfs's own piggybacked gauges).
+func WithObs(reg *obs.Registry) Option {
+	return func(fs *FS) {
+		reg.GaugeFunc("atomfs_dcache_negative_hits_total", func() int64 {
+			return fs.negHits.Load()
+		})
+		reg.GaugeFunc("atomfs_dcache_negative_invals_total", func() int64 {
+			return fs.negInvals.Load()
+		})
+	}
+}
+
 // New wraps inner.
-func New(inner fsapi.FS) *FS {
-	return &FS{
+func New(inner fsapi.FS, opts ...Option) *FS {
+	fs := &FS{
 		inner: inner,
 		nameG: map[string]*atomic.Uint64{},
 		listG: map[string]*atomic.Uint64{},
@@ -111,6 +138,10 @@ func New(inner fsapi.FS) *FS {
 		dirs:  map[string]*entry{},
 		reads: map[string]*entry{},
 	}
+	for _, o := range opts {
+		o(fs)
+	}
+	return fs
 }
 
 // Name identifies the implementation in benchmark tables.
@@ -118,6 +149,12 @@ func (fs *FS) Name() string { return "dcache(" + fsapi.Name(fs.inner) + ")" }
 
 // HitRate returns cache hits / lookups (observability for benches).
 func (fs *FS) HitRate() (hits, misses int64) { return fs.hits.Load(), fs.misses.Load() }
+
+// NegativeStats returns the negative-result traffic: cached errors
+// served and cached errors invalidated.
+func (fs *FS) NegativeStats() (hits, invals int64) {
+	return fs.negHits.Load(), fs.negInvals.Load()
+}
 
 // prefixKeys returns the canonical counter keys covering path's
 // resolution: the root, each ancestor, and the path itself. An
@@ -209,8 +246,14 @@ func (fs *FS) lookup(table map[string]*entry, path string) (*entry, bool) {
 	ent := table[path]
 	fs.mu.Unlock()
 	if ent == nil || !current(ent.stamps) {
+		if ent != nil && ent.err != nil {
+			fs.negInvals.Add(1)
+		}
 		fs.misses.Add(1)
 		return nil, false
+	}
+	if ent.err != nil {
+		fs.negHits.Add(1)
 	}
 	fs.hits.Add(1)
 	return ent, true
@@ -237,16 +280,36 @@ func (fs *FS) fill(table map[string]*entry, path string, stamps []stamp, ent *en
 	fs.mu.Unlock()
 }
 
+// evictNegative eagerly drops cached error entries for path — called by
+// the mutations that can turn a negative result positive (create, rename
+// destination). The generation stamps would catch these lazily anyway
+// (the mutation's bump makes the stamps stale); eager eviction keeps the
+// tables from pinning dead negatives and makes the inval counter track
+// the mutation, not the next unlucky lookup. Entries elsewhere in the
+// affected prefix stay for the lazy path.
+func (fs *FS) evictNegative(path string) {
+	fs.mu.Lock()
+	for _, table := range []map[string]*entry{fs.stats, fs.dirs, fs.reads} {
+		if ent := table[path]; ent != nil && ent.err != nil {
+			delete(table, path)
+			fs.negInvals.Add(1)
+		}
+	}
+	fs.mu.Unlock()
+}
+
 // --- mutating operations: write-through with per-prefix invalidation ---
 
 // Mknod creates an empty file.
 func (fs *FS) Mknod(ctx context.Context, path string) error {
+	fs.evictNegative(path)
 	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Mknod(ctx, path)
 }
 
 // Mkdir creates an empty directory.
 func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	fs.evictNegative(path)
 	defer beginMutate(fs.mutGens(path, false))()
 	return fs.inner.Mkdir(ctx, path)
 }
@@ -281,6 +344,7 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 			gs = append(gs, g)
 		}
 	}
+	fs.evictNegative(dst)
 	defer beginMutate(gs)()
 	return fs.inner.Rename(ctx, src, dst)
 }
@@ -329,18 +393,26 @@ func (fs *FS) Readdir(ctx context.Context, path string) ([]string, error) {
 // Read fills dst with file bytes starting at off; repeated reads of the
 // same window (the ripgrep/make pattern) hit the cache.
 func (fs *FS) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
-	if ent, ok := fs.lookup(fs.reads, path); ok && ent.off == off && ent.size == len(dst) {
+	if ent, ok := fs.lookup(fs.reads, path); ok {
 		if ent.err != nil {
+			// Errors are window-independent (ENOENT, EISDIR): serve them
+			// for any (off, len) — this is the negative-cache fast path.
 			return 0, ent.err
 		}
-		return copy(dst, ent.data), nil
+		if ent.off == off && ent.size == len(dst) {
+			return copy(dst, ent.data), nil
+		}
 	}
 	stamps, stable := fs.readStamps(path, false)
 	n, err := fs.inner.Read(ctx, path, off, dst)
-	if stable && err == nil {
-		fs.fill(fs.reads, path, stamps, &entry{
-			data: append([]byte(nil), dst[:n]...), off: off, size: len(dst),
-		})
+	if stable && cacheable(err) {
+		if err != nil {
+			fs.fill(fs.reads, path, stamps, &entry{err: err, off: off, size: len(dst)})
+		} else {
+			fs.fill(fs.reads, path, stamps, &entry{
+				data: append([]byte(nil), dst[:n]...), off: off, size: len(dst),
+			})
+		}
 	}
 	return n, err
 }

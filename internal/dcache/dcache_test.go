@@ -10,6 +10,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/fstest"
 	"repro/internal/memfs"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -230,4 +231,127 @@ func BenchmarkCachedVsUncachedStat(b *testing.B) {
 			fs.Stat(tctx, "/d/f")
 		}
 	})
+}
+
+// TestNegativeCounters: cached errors are counted as negative hits, and
+// the create/rename eager eviction plus lazy stamp staleness both land
+// in the inval counter.
+func TestNegativeCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	fs := New(memfs.New(), WithObs(reg))
+	fs.Stat(tctx, "/ghost")                      // miss, fills negative
+	fs.Stat(tctx, "/ghost")                      // negative hit
+	fs.Stat(tctx, "/ghost")                      // negative hit
+	buf := make([]byte, 4)
+	fs.Read(tctx, "/ghost", 0, buf)              // miss, fills negative read
+	if _, err := fs.Read(tctx, "/ghost", 2, buf); err == nil { // window-independent negative hit
+		t.Fatal("cached negative read returned nil error")
+	}
+	hits, invals := fs.NegativeStats()
+	if hits != 3 || invals != 0 {
+		t.Fatalf("negative hits=%d invals=%d, want 3, 0", hits, invals)
+	}
+	fs.Mknod(tctx, "/ghost") // eager eviction of both negative entries
+	_, invals = fs.NegativeStats()
+	if invals != 2 {
+		t.Fatalf("invals after create = %d, want 2 (stat + read)", invals)
+	}
+	if _, err := fs.Stat(tctx, "/ghost"); err != nil {
+		t.Fatalf("negative entry survived creation: %v", err)
+	}
+	// Lazy path: a negative deeper in a renamed-in subtree is caught by
+	// its stale prefix stamps at the next lookup.
+	fs.Mkdir(tctx, "/src")
+	fs.Stat(tctx, "/dst/f") // negative for a path under a future rename target
+	fs.Mknod(tctx, "/src/f")
+	fs.Rename(tctx, "/src", "/dst")
+	if _, err := fs.Stat(tctx, "/dst/f"); err != nil {
+		t.Fatalf("negative /dst/f survived rename: %v", err)
+	}
+	_, invals = fs.NegativeStats()
+	if invals != 3 {
+		t.Fatalf("invals after rename = %d, want 3", invals)
+	}
+	if v, ok := reg.FuncValue("atomfs_dcache_negative_hits_total"); !ok || v <= 0 {
+		t.Fatalf("obs negative-hits gauge = %d %v", v, ok)
+	}
+	if v, ok := reg.FuncValue("atomfs_dcache_negative_invals_total"); !ok || v != 3 {
+		t.Fatalf("obs negative-invals gauge = %d %v", v, ok)
+	}
+}
+
+// TestPrefixInvalRaceStress races the per-path-prefix invalidation
+// machinery against rename/unlink storms under -race, with a
+// read-your-writes oracle: the mutating goroutine owns its paths (no
+// other writer touches them), so every read it performs through the
+// cache right after one of its own completed mutations must observe
+// that mutation.
+func TestPrefixInvalRaceStress(t *testing.T) {
+	fs := New(atomfs.New())
+	for _, d := range []string{"/a", "/a/b", "/c"} {
+		if err := fs.Mkdir(tctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Mknod(tctx, "/a/b/f0"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			buf := make([]byte, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Racing reads: any outcome the interleaving permits is
+				// fine; these exist to collide cache fills and lookups
+				// with the writer's bumps (negative paths included).
+				fs.Stat(tctx, "/a/b/f0")
+				fs.Readdir(tctx, "/a/b")
+				fs.Read(tctx, "/a/b/f0", 0, buf)
+				fs.Stat(tctx, "/a/b/ghost")
+				fs.Stat(tctx, "/c/m/f0")
+			}
+		}()
+	}
+
+	// Single writer, read-your-writes oracle.
+	for i := 0; i < 200; i++ {
+		if err := fs.Unlink(tctx, "/a/b/f0"); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+		if _, err := fs.Stat(tctx, "/a/b/f0"); err == nil {
+			t.Fatal("stat served a positive entry after my unlink")
+		}
+		if err := fs.Mknod(tctx, "/a/b/f0"); err != nil {
+			t.Fatalf("mknod: %v", err)
+		}
+		if _, err := fs.Stat(tctx, "/a/b/f0"); err != nil {
+			t.Fatalf("stat served a negative entry after my mknod: %v", err)
+		}
+		if err := fs.Rename(tctx, "/a/b", "/c/m"); err != nil {
+			t.Fatalf("rename out: %v", err)
+		}
+		if _, err := fs.Stat(tctx, "/a/b/f0"); err == nil {
+			t.Fatal("stat resolved through a renamed-away prefix")
+		}
+		if _, err := fs.Stat(tctx, "/c/m/f0"); err != nil {
+			t.Fatalf("stat missed through the renamed-in prefix: %v", err)
+		}
+		if err := fs.Rename(tctx, "/c/m", "/a/b"); err != nil {
+			t.Fatalf("rename back: %v", err)
+		}
+		if _, err := fs.Readdir(tctx, "/a/b"); err != nil {
+			t.Fatalf("readdir after rename back: %v", err)
+		}
+	}
+	close(stop)
+	readers.Wait()
 }

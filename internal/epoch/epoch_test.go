@@ -1,0 +1,215 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAdvanceFreesAfterTwoGracePeriods(t *testing.T) {
+	d := NewDomain()
+	if e := d.Epoch(); e != 1 {
+		t.Fatalf("fresh domain epoch = %d, want 1", e)
+	}
+	freed := false
+	d.Retire(func() { freed = true }) // retired in epoch 1
+	if n, ok := d.TryAdvance(); !ok || n != 0 {
+		t.Fatalf("advance 1->2: freed=%d ok=%v, want 0,true", n, ok)
+	}
+	if freed {
+		t.Fatal("item freed after one grace period")
+	}
+	if n, ok := d.TryAdvance(); !ok || n != 1 {
+		t.Fatalf("advance 2->3: freed=%d ok=%v, want 1,true", n, ok)
+	}
+	if !freed {
+		t.Fatal("item not freed after two grace periods")
+	}
+	if s := d.Stats(); s.Limbo != 0 || s.Freed != 1 || s.Retired != 1 {
+		t.Fatalf("stats after drain: %+v", s)
+	}
+}
+
+// TestPinnedReaderBlocksReclamation is the ISSUE-6 satellite test: limbo
+// items must never be freed while a reader that could hold them is
+// pinned. The pinned record holds the epoch at its pin value, so every
+// advance past the first stalls until Unpin.
+func TestPinnedReaderBlocksReclamation(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+
+	r.Pin(d) // pinned at epoch 1
+	freed := false
+	d.Retire(func() { freed = true }) // retired in epoch 1
+
+	// One advance may succeed: the reader is pinned at the current
+	// epoch, which doesn't block E -> E+1. It must free nothing.
+	if n, ok := d.TryAdvance(); !ok || n != 0 {
+		t.Fatalf("first advance: freed=%d ok=%v, want 0,true", n, ok)
+	}
+	// Now the reader's pin (1) is older than the epoch (2): every
+	// further advance must stall and nothing may be freed.
+	for i := 0; i < 5; i++ {
+		if n, ok := d.TryAdvance(); ok || n != 0 {
+			t.Fatalf("advance %d with stale pin: freed=%d ok=%v, want 0,false", i, n, ok)
+		}
+	}
+	if freed {
+		t.Fatal("item freed while a reader was pinned")
+	}
+	if s := d.Stats(); s.Stalls == 0 {
+		t.Fatalf("expected stall count > 0, stats %+v", s)
+	}
+
+	r.Unpin()
+	if got := d.Drain(); got != 1 {
+		t.Fatalf("drain after unpin freed %d, want 1", got)
+	}
+	if !freed {
+		t.Fatal("item not freed after reader unpinned")
+	}
+}
+
+func TestIdlePinDoesNotBlock(t *testing.T) {
+	d := NewDomain()
+	d.Register() // registered but never pinned: must not block advances
+	freed := 0
+	d.Retire(func() { freed++ })
+	d.Retire(func() { freed++ })
+	if got := d.Drain(); got != 2 || freed != 2 {
+		t.Fatalf("drain = %d, freed = %d, want 2, 2", got, freed)
+	}
+}
+
+func TestCurrentEpochPinAllowsOneAdvance(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	r.Pin(d)
+	d.Retire(func() {})
+	// Pinned at the current epoch: exactly one advance goes through,
+	// then the pin is stale and progress stops.
+	if _, ok := d.TryAdvance(); !ok {
+		t.Fatal("advance blocked by a current-epoch pin")
+	}
+	if _, ok := d.TryAdvance(); ok {
+		t.Fatal("advance succeeded past a stale pin")
+	}
+	r.Unpin()
+	r.Pin(d) // re-pin at the new epoch: again one advance allowed
+	if _, ok := d.TryAdvance(); !ok {
+		t.Fatal("advance blocked after re-pin at current epoch")
+	}
+	r.Unpin()
+}
+
+func TestRetireLandsInCurrentBucket(t *testing.T) {
+	// Items retired in different epochs free on different advances.
+	d := NewDomain()
+	order := []int{}
+	d.Retire(func() { order = append(order, 1) }) // epoch 1
+	d.TryAdvance()                                // -> 2
+	d.Retire(func() { order = append(order, 2) }) // epoch 2
+	d.TryAdvance()                                // -> 3, frees epoch-1 bucket
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after advance to 3: order = %v, want [1]", order)
+	}
+	d.TryAdvance() // -> 4, frees epoch-2 bucket
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("after advance to 4: order = %v, want [1 2]", order)
+	}
+}
+
+// TestBoundedFreeBatch checks that one TryAdvance call never runs more
+// than freeBatch deferred frees — the rest queue on the backlog — and
+// that a stalled advance still pops matured backlog items (their grace
+// periods already elapsed; a straggling pin does not protect them).
+func TestBoundedFreeBatch(t *testing.T) {
+	d := NewDomain()
+	const items = 3*freeBatch + 16
+	freed := 0
+	for i := 0; i < items; i++ {
+		d.Retire(func() { freed++ }) // all retired in epoch 1
+	}
+	if n, ok := d.TryAdvance(); !ok || n != 0 {
+		t.Fatalf("advance 1->2: freed=%d ok=%v, want 0,true", n, ok)
+	}
+	// Advance 2->3 matures the whole epoch-1 bucket but must only run
+	// one batch of it.
+	if n, ok := d.TryAdvance(); !ok || n != freeBatch {
+		t.Fatalf("advance 2->3: freed=%d ok=%v, want %d,true", n, ok, freeBatch)
+	}
+	// Pin a reader at the current epoch, let one more advance through,
+	// then the pin is stale: further calls stall yet keep freeing.
+	r := d.Register()
+	r.Pin(d)
+	if n, ok := d.TryAdvance(); !ok || n != freeBatch {
+		t.Fatalf("advance 3->4: freed=%d ok=%v, want %d,true", n, ok, freeBatch)
+	}
+	if n, ok := d.TryAdvance(); ok || n != freeBatch {
+		t.Fatalf("stalled pop: freed=%d ok=%v, want %d,false", n, ok, freeBatch)
+	}
+	if n, ok := d.TryAdvance(); ok || n != 16 {
+		t.Fatalf("stalled tail pop: freed=%d ok=%v, want 16,false", n, ok)
+	}
+	if freed != items {
+		t.Fatalf("freed %d of %d items", freed, items)
+	}
+	if s := d.Stats(); s.Limbo != 0 || s.Stalls == 0 {
+		t.Fatalf("final stats %+v, want limbo=0 stalls>0", s)
+	}
+	r.Unpin()
+}
+
+func TestConcurrentPinRetireAdvance(t *testing.T) {
+	// Hammer the domain from racing pinners, retirers, and advancers;
+	// the race detector plus the free-exactly-once counter check it.
+	d := NewDomain()
+	const readers = 4
+	var rdWg, wrWg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		r := d.Register()
+		rdWg.Add(1)
+		go func() {
+			defer rdWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Pin(d)
+				r.Unpin()
+			}
+		}()
+	}
+	var freedN sync.WaitGroup
+	const retires = 2000
+	freedN.Add(retires)
+	wrWg.Add(1)
+	go func() {
+		defer wrWg.Done()
+		for i := 0; i < retires; i++ {
+			d.Retire(func() { freedN.Done() })
+			d.TryAdvance()
+		}
+	}()
+	wrWg.Add(1)
+	go func() {
+		defer wrWg.Done()
+		for i := 0; i < retires; i++ {
+			d.TryAdvance()
+		}
+	}()
+	// Wait for the writers, stop the readers, then drain.
+	wrWg.Wait()
+	close(stop)
+	rdWg.Wait()
+	for d.Stats().Limbo > 0 {
+		d.TryAdvance()
+	}
+	freedN.Wait()
+	s := d.Stats()
+	if s.Retired != retires || s.Freed != retires || s.Limbo != 0 {
+		t.Fatalf("final stats %+v, want retired=freed=%d limbo=0", s, retires)
+	}
+}

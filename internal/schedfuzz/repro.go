@@ -84,6 +84,7 @@ func WriteRepro(w io.Writer, r *Repro) error {
 	fmt.Fprintf(bw, "mode %s\n", modeName(r.Mode))
 	fmt.Fprintf(bw, "fastpath %s\n", onoff(r.Seed.FastPath))
 	fmt.Fprintf(bw, "prefix %s\n", onoff(r.Seed.Prefix))
+	fmt.Fprintf(bw, "epoch %s\n", onoff(r.Seed.Epoch))
 	fmt.Fprintf(bw, "unsafe %s\n", onoff(r.Unsafe))
 	fmt.Fprintf(bw, "rng %d\n", r.RNG)
 	if r.Expect != "" {
@@ -142,8 +143,9 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 			default:
 				return nil, fail("unknown mode %q", rest)
 			}
-		case "fastpath", "prefix", "unsafe":
-			// Older repros predate the prefix directive; absence means off.
+		case "fastpath", "prefix", "epoch", "unsafe":
+			// Older repros predate the prefix and epoch directives; absence
+			// means off.
 			on := rest == "on"
 			if !on && rest != "off" {
 				return nil, fail("%s wants on|off, got %q", dir, rest)
@@ -153,6 +155,8 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 				r.Seed.FastPath = on
 			case "prefix":
 				r.Seed.Prefix = on
+			case "epoch":
+				r.Seed.Epoch = on
 			default:
 				r.Unsafe = on
 			}

@@ -166,6 +166,11 @@ type harness struct {
 	current  *workerState
 	workers  []*workerState
 	faults   map[faultKey]*Fault
+	// epoch mirrors the seed's Epoch flag: under epoch-based reclamation
+	// a fast-path read that snapshots into an open write section falls
+	// back wait-free instead of spinning, so parkFastSnap arrivals stay
+	// runnable and the writer-inflight fallback is actually explored.
+	epoch    bool
 	draining atomic.Bool
 	drain    sync.Once
 	violated atomic.Bool
@@ -267,8 +272,11 @@ func (h *harness) runWorker(ws *workerState, prog []trace.Entry) {
 }
 
 // blocked predicts whether granting this parked worker would block it
-// inside atomfs (deadlocking the serialized run).
-func blocked(a arrival, owner map[spec.Inum]int, seqOwner int) bool {
+// inside atomfs (deadlocking the serialized run). Under epoch-based
+// reclamation the fast path reads the seqlock once and falls back on an
+// odd count, so a snapshot into an open write section cannot spin and
+// is granted freely.
+func blocked(a arrival, owner map[spec.Inum]int, seqOwner int, epoch bool) bool {
 	switch a.kind {
 	case parkLockAttempt:
 		_, held := owner[a.ino]
@@ -277,8 +285,9 @@ func blocked(a arrival, owner map[spec.Inum]int, seqOwner int) bool {
 		return seqOwner != -1
 	case parkFastSnap:
 		// ReadRetries spins while the write section is open; granting a
-		// snapshot mid-section would hang the single-runner schedule.
-		return seqOwner != -1
+		// snapshot mid-section would hang the single-runner schedule —
+		// unless epoch mode's single-load Current() check is in force.
+		return seqOwner != -1 && !epoch
 	}
 	return false
 }
@@ -324,7 +333,7 @@ func (h *harness) schedule(d *decider, res *RunResult, stall time.Duration) {
 		if !stopped && len(parked) == alive {
 			var runnable []int
 			for w := range parked {
-				if !blocked(parked[w], owner, seqOwner) {
+				if !blocked(parked[w], owner, seqOwner, h.epoch) {
 					runnable = append(runnable, w)
 				}
 			}
@@ -457,6 +466,10 @@ func Execute(seed Seed, opts Options) *RunResult {
 	}
 	if seed.Prefix {
 		fsOpts = append(fsOpts, atomfs.WithPrefixCache())
+	}
+	if seed.Epoch {
+		h.epoch = true
+		fsOpts = append(fsOpts, atomfs.WithEpoch())
 	}
 	if opts.Unsafe {
 		fsOpts = append(fsOpts, atomfs.WithUnsafeTraversal())

@@ -163,7 +163,7 @@ func TestShrinkPreservesSignature(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	checked := 0
 	for i := 0; i < 40 && checked < 5; i++ {
-		cand := Mutate(golden.Seed.Clone(), r, false, false)
+		cand := Mutate(golden.Seed.Clone(), r, false, false, false)
 		opts := golden.Options()
 		opts.RNG = int64(i)
 		opts.StallTimeout = testStall
@@ -298,5 +298,46 @@ func TestCleanCampaignSmoke(t *testing.T) {
 	}
 	if rep.Coverage == 0 || rep.Runs == 0 {
 		t.Fatalf("campaign did nothing: %+v", rep)
+	}
+}
+
+// The checked-in reader-vs-retire schedule: thread 0's epoch-pinned
+// lockless reads walk /a/b while thread 1 unlinks and recreates their
+// victim, retiring the detached node into epoch limbo. The run must be
+// clean AND both reads must actually linearize through the epoch LP
+// rule — a regression that silently routed epoch reads down the slow
+// path would also "pass" the cleanliness half, so the stat is asserted.
+func TestGoldenEpochUnlinkRepro(t *testing.T) {
+	r := loadRepro(t, "epoch_unlink.repro")
+	if !r.Seed.Epoch {
+		t.Fatal("golden must run with epoch-based reclamation on")
+	}
+	res, err := r.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EpochReads < 2 {
+		t.Fatalf("only %d epoch reads linearized, want both (stats %+v)",
+			res.Stats.EpochReads, res.Stats)
+	}
+}
+
+// Epoch mode must survive a hostile scripted storm: every scenario seed
+// run with epoch reclamation pinned on, under the helpers monitor, stays
+// clean. This is the satellite smoke for the new pin/unpin/retire/
+// advance yield points — the scheduler must never predict an epoch
+// reader blocked (they are wait-free) and never deadlock on one.
+// (ModeFixedLP is deliberately excluded: it is the paper's buggy-LP
+// demonstration mode and these adversarial shapes rightly convict it.)
+func TestEpochScenarioSeedsClean(t *testing.T) {
+	for i, threads := range scenario.FuzzSeeds() {
+		s := Seed{Threads: threads, FastPath: true, Prefix: true, Epoch: true}
+		for rng := int64(0); rng < 10; rng++ {
+			res := Execute(s, Options{Mode: core.ModeHelpers, RNG: rng})
+			if sig := res.Signature(); sig != "" {
+				t.Fatalf("seed %d rng %d: %s (deadlock: %s)",
+					i, rng, sig, res.DeadlockInfo)
+			}
+		}
 	}
 }
