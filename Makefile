@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint verify bench bench-json bench-writepath bench-scale bench-compare obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
+.PHONY: all build test race lint verify bench bench-json bench-writepath bench-scale bench-shard bench-compare bench-scale-compare bench-shard-compare fairness obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
 
 all: build test
 
@@ -55,7 +55,7 @@ fuzz-smoke:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covgate -profile cover.out \
-		-floor repro/internal/core=70 \
+		-floor repro/internal/core=72 \
 		-floor repro/internal/atomfs=88
 
 bench:
@@ -76,6 +76,13 @@ bench-writepath:
 bench-scale:
 	$(GO) run ./cmd/benchjson -suite scale -o BENCH_scale.json
 
+# Sharded-namespace matrix (DESIGN.md §13): simulator scaling cells for
+# 1/2/4 volumes (the suite itself enforces >= 2x aggregate mutation
+# throughput at 4 volumes) plus real mount-resolve-overhead and
+# cross-volume-rename cells. Regenerates the committed baseline.
+bench-shard:
+	$(GO) run ./cmd/benchjson -suite shard -o BENCH_shard.json
+
 # Nightly regression gate: a fresh writepath run must stay within 15%
 # ns/op of the committed baseline in every cell.
 bench-compare:
@@ -91,6 +98,25 @@ bench-scale-compare:
 	$(GO) run ./cmd/benchdiff -base BENCH_scale.json -cur /tmp/BENCH_scale_current.json \
 		-pair "scale/git-clone/atomfs-fastpath<=scale/git-clone/atomfs" \
 		-pair "scale/git-clone/atomfs-epoch<=scale/git-clone/atomfs"
+
+# Shard regression gate. The simulator cells are deterministic (virtual
+# ticks), so they hold exactly at any threshold and the monotonicity
+# pairs — more volumes may never cost more virtual time per op than
+# fewer — are the strict gate; the real resolve/rename cells swing
+# +/-30% on a single-CPU host, so they get a wide 60% tolerance and
+# only catch order-of-magnitude breakage.
+bench-shard-compare:
+	$(GO) run ./cmd/benchjson -suite shard -o /tmp/BENCH_shard_current.json
+	$(GO) run ./cmd/benchdiff -base BENCH_shard.json -cur /tmp/BENCH_shard_current.json \
+		-threshold 0.6 \
+		-pair "shard-sim/mutate-mix/16thr/vols-4<=shard-sim/mutate-mix/16thr/vols-2" \
+		-pair "shard-sim/mutate-mix/16thr/vols-2<=shard-sim/mutate-mix/16thr/vols-1"
+
+# Per-tenant fairness gate: 4-tenant skewed load through the FUSE-like
+# server; quota'ing the hog must bring the victims' p99.9 back below the
+# unthrottled run's. Exits 1 on failure.
+fairness:
+	$(GO) run ./cmd/fsbench -fig fair
 
 # Observability overhead gate: the instrumented fast path must stay
 # within 5% of the uninstrumented one on read-mostly-95-5.

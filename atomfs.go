@@ -38,6 +38,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/memfs"
+	"repro/internal/mount"
 	"repro/internal/obs"
 	"repro/internal/retryfs"
 	"repro/internal/slowfs"
@@ -204,6 +205,32 @@ type VFS = vfs.VFS
 
 // NewVFS wraps fs with a descriptor table.
 func NewVFS(fs FS) *VFS { return vfs.New(fs) }
+
+// Namespace is a sharded namespace: independent volumes stitched behind
+// a longest-prefix mount table, with cross-volume rename running as the
+// two-phase helped protocol between atomfs volumes (DESIGN.md §13).
+type Namespace = mount.NS
+
+// NewNamespace creates a namespace whose root is served by root. Graft
+// further volumes with its Mount method before serving operations:
+//
+//	ns := atomfs.NewNamespace(atomfs.New())
+//	_ = ns.Mount(ctx, "/vol1", atomfs.New())
+func NewNamespace(root FS) *Namespace { return mount.New(root) }
+
+// QuotaConfig is one tenant's admission budget on a Server: a token
+// bucket (Rate per second, Burst capacity) plus a bound on how many of
+// the tenant's requests may queue for a token at once.
+type QuotaConfig = fuse.QuotaConfig
+
+// Server dispatches the FUSE-like binary protocol to a file system, with
+// optional per-tenant admission control (SetQuota) and instrumentation
+// (SetObs).
+type Server = fuse.Server
+
+// NewServer creates a protocol server over fs. Use Serve for the common
+// no-configuration case.
+func NewServer(fs FS) *Server { return fuse.NewServer(fs) }
 
 // Serve exposes fs over the FUSE-like binary protocol on lis, blocking
 // until the listener closes.

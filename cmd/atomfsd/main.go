@@ -9,6 +9,16 @@
 //
 //	atomfsd -addr 127.0.0.1:7433
 //	atomfsd -addr :7433 -monitor -debug :6060
+//	atomfsd -volumes /v0,/v1,/v2                  # sharded namespace
+//	atomfsd -quota alice=500/100,bob=100          # per-tenant admission
+//
+// With -volumes, the daemon serves a sharded namespace: each listed path
+// is an independent AtomFS volume (its own lock hierarchy, monitor,
+// prefix-cache and epoch domain) behind a mount table; renames across
+// volumes run the two-phase helped protocol (DESIGN.md §13). With
+// -quota, requests labelled with a tenant (fuse.Client.SetTenant) are
+// paced by per-tenant token buckets before they can occupy a dispatch
+// slot; each entry is tenant=rate[/burst[/maxqueue]].
 //
 // With -debug, the daemon serves its observability surface over HTTP:
 //
@@ -22,18 +32,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/atomfs"
 	"repro/internal/core"
+	"repro/internal/fsapi"
 	"repro/internal/fuse"
+	"repro/internal/mount"
 	"repro/internal/obs"
 	"repro/internal/spec"
 )
@@ -56,6 +71,8 @@ func main() {
 	epochMode := flag.Bool("epoch", false, "enable wait-free reads via epoch-based reclamation (DESIGN.md s12, implies -fastpath)")
 	blocks := flag.Int("blocks", 1<<18, "ramdisk size in 4KiB blocks")
 	debug := flag.String("debug", "", "serve /metrics, /debug/vars, /debug/flightrec and /debug/pprof on this address (e.g. :6060)")
+	volumes := flag.String("volumes", "", "comma-separated mount points, each served by an independent volume (e.g. /v0,/v1)")
+	quota := flag.String("quota", "", "per-tenant admission quotas: tenant=rate[/burst[/maxqueue]],...")
 	flag.Parse()
 
 	// The daemon is always instrumented; -debug only controls whether the
@@ -71,27 +88,54 @@ func main() {
 	if *epochMode {
 		opts = append(opts, atomfs.WithEpoch())
 	}
-	var mon *core.Monitor
-	if *monitored {
-		mon = core.NewMonitor(core.Config{
-			CheckGoodAFS: false,
-			Obs:          reg,
-			// Surface violations the moment they happen rather than only at
-			// shutdown; the callback runs inside the monitor's critical
-			// section, so it only formats and writes.
-			OnViolation: func(v core.Violation) {
-				fmt.Fprintf(os.Stderr, "atomfsd: CRL-H VIOLATION: %s\n", v)
-			},
-		})
-		opts = append(opts, atomfs.WithMonitor(mon))
-		// Surface stuck operations (deadlocks, leaked sessions) with the
-		// ghost state that explains them.
-		stop := mon.Watchdog(time.Second, 10*time.Second, func(age time.Duration, dump string) {
-			fmt.Fprintf(os.Stderr, "atomfsd: operation pending for %v\n%s", age.Round(time.Second), dump)
-		})
-		defer stop()
+	// Each volume gets its own monitor and watchdog: the CRL-H ghost
+	// state is per-volume, matching the per-volume lock hierarchies.
+	var mons []*core.Monitor
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	newVolume := func() fsapi.FS {
+		vopts := append([]atomfs.Option{}, opts...)
+		if *monitored {
+			mon := core.NewMonitor(core.Config{
+				CheckGoodAFS: false,
+				Obs:          reg,
+				// Surface violations the moment they happen rather than only
+				// at shutdown; the callback runs inside the monitor's
+				// critical section, so it only formats and writes.
+				OnViolation: func(v core.Violation) {
+					fmt.Fprintf(os.Stderr, "atomfsd: CRL-H VIOLATION: %s\n", v)
+				},
+			})
+			mons = append(mons, mon)
+			vopts = append(vopts, atomfs.WithMonitor(mon))
+			// Surface stuck operations (deadlocks, leaked sessions) with
+			// the ghost state that explains them.
+			stops = append(stops, mon.Watchdog(time.Second, 10*time.Second, func(age time.Duration, dump string) {
+				fmt.Fprintf(os.Stderr, "atomfsd: operation pending for %v\n%s", age.Round(time.Second), dump)
+			}))
+		}
+		return atomfs.New(vopts...)
 	}
-	fs := atomfs.New(opts...)
+	var fs fsapi.FS = newVolume()
+	if *volumes != "" {
+		ns := mount.New(fs)
+		ctx := context.Background()
+		for _, p := range strings.Split(*volumes, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if err := ns.Mount(ctx, p, newVolume()); err != nil {
+				fmt.Fprintf(os.Stderr, "atomfsd: mount %s: %v\n", p, err)
+				os.Exit(1)
+			}
+		}
+		fs = ns
+	}
 
 	network, bind := "tcp", *addr
 	if *unix != "" {
@@ -105,6 +149,35 @@ func main() {
 	}
 	srv := fuse.NewServer(fs)
 	srv.SetObs(reg)
+	if *quota != "" {
+		for _, ent := range strings.Split(*quota, ",") {
+			tenant, budget, ok := strings.Cut(strings.TrimSpace(ent), "=")
+			if !ok || tenant == "" {
+				fmt.Fprintf(os.Stderr, "atomfsd: bad -quota entry %q (want tenant=rate[/burst[/maxqueue]])\n", ent)
+				os.Exit(1)
+			}
+			parts := strings.Split(budget, "/")
+			var q fuse.QuotaConfig
+			var err error
+			if q.Rate, err = strconv.ParseFloat(parts[0], 64); err != nil || q.Rate <= 0 {
+				fmt.Fprintf(os.Stderr, "atomfsd: bad -quota rate %q\n", parts[0])
+				os.Exit(1)
+			}
+			if len(parts) > 1 {
+				if q.Burst, err = strconv.ParseFloat(parts[1], 64); err != nil {
+					fmt.Fprintf(os.Stderr, "atomfsd: bad -quota burst %q\n", parts[1])
+					os.Exit(1)
+				}
+			}
+			if len(parts) > 2 {
+				if q.MaxQueue, err = strconv.Atoi(parts[2]); err != nil {
+					fmt.Fprintf(os.Stderr, "atomfsd: bad -quota maxqueue %q\n", parts[2])
+					os.Exit(1)
+				}
+			}
+			srv.SetQuota(tenant, q)
+		}
+	}
 
 	if *debug != "" {
 		dbgLis, err := net.Listen("tcp", *debug)
@@ -120,8 +193,8 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("atomfsd: serving on %s (monitor=%v, ramdisk=%d MiB)\n",
-		lis.Addr(), *monitored, *blocks*4/1024)
+	fmt.Printf("atomfsd: serving %s on %s (monitor=%v, ramdisk=%d MiB per volume)\n",
+		fsapi.Name(fs), lis.Addr(), *monitored, *blocks*4/1024)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -142,17 +215,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if mon != nil {
-		vs := mon.Violations()
-		fmt.Printf("atomfsd: %d CRL-H violations recorded\n", len(vs))
-		for _, v := range vs {
-			fmt.Printf("  %s\n", v)
-		}
-		if len(vs) > 0 {
-			if dump := mon.FlightDump(); len(dump) > 0 {
-				fmt.Fprintln(os.Stderr, "atomfsd: flight recorder at first violation:")
-				obs.WriteEvents(os.Stderr, dump, opNamer)
+	if len(mons) > 0 {
+		total := 0
+		for i, mon := range mons {
+			vs := mon.Violations()
+			total += len(vs)
+			for _, v := range vs {
+				fmt.Printf("  vol %d: %s\n", i, v)
 			}
+			if len(vs) > 0 {
+				if dump := mon.FlightDump(); len(dump) > 0 {
+					fmt.Fprintf(os.Stderr, "atomfsd: vol %d flight recorder at first violation:\n", i)
+					obs.WriteEvents(os.Stderr, dump, opNamer)
+				}
+			}
+		}
+		fmt.Printf("atomfsd: %d CRL-H violations recorded across %d volumes\n", total, len(mons))
+		if total > 0 {
 			os.Exit(1)
 		}
 	}

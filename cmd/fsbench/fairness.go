@@ -1,0 +1,183 @@
+// The per-tenant fairness cell: a 4-tenant skewed load against one
+// served namespace, measured at the protocol layer where admission
+// control lives (internal/fuse). One tenant ("hog") floods the server
+// with closed-loop stat traffic from many goroutines; three victim
+// tenants issue paced requests and record per-request latency. The run
+// is executed twice — hog unthrottled, then hog under a token-bucket
+// quota — and the gate is comparative, so it holds on any hardware:
+// pacing the hog at admission must bring the victims' p99.9 back down
+// below the unthrottled run's.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/atomfs"
+	"repro/internal/fuse"
+)
+
+// fairnessResult is one run's per-tenant outcome.
+type fairnessResult struct {
+	victimP999 []time.Duration // one per victim tenant
+	hogOps     int
+}
+
+// p999 returns the 99.9th percentile of a latency sample.
+func p999(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[int(0.999*float64(len(lat)-1))]
+}
+
+// maxDur returns the largest of a slice of durations.
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// fairnessRun drives the skewed load for dur against srv at addr.
+// hogThreads closed-loop goroutines flood as tenant "hog"; three victim
+// tenants each issue one paced stat per interval and record latency.
+func fairnessRun(addr string, dur time.Duration, hogThreads int) fairnessResult {
+	hogClient, err := fuse.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	defer hogClient.Close()
+	hogClient.SetTenant("hog")
+
+	victims := []string{"alice", "bob", "carol"}
+	stop := make(chan struct{})
+	time.AfterFunc(dur, func() { close(stop) })
+
+	var wg sync.WaitGroup
+	var hogMu sync.Mutex
+	hogOps := 0
+	for i := 0; i < hogThreads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for {
+				select {
+				case <-stop:
+					hogMu.Lock()
+					hogOps += n
+					hogMu.Unlock()
+					return
+				default:
+					if _, err := hogClient.Stat(ctx, "/"); err == nil {
+						n++
+					}
+				}
+			}
+		}()
+	}
+
+	lats := make([][]time.Duration, len(victims))
+	for i, tenant := range victims {
+		c, err := fuse.Dial(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		c.SetTenant(tenant)
+		wg.Add(1)
+		go func(i int, c *fuse.Client) {
+			defer wg.Done()
+			defer c.Close()
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					start := time.Now()
+					if _, err := c.Stat(ctx, "/"); err == nil {
+						lats[i] = append(lats[i], time.Since(start))
+					}
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	res := fairnessResult{hogOps: hogOps}
+	for _, l := range lats {
+		res.victimP999 = append(res.victimP999, p999(l))
+	}
+	return res
+}
+
+// figureFairness runs the fairness cell and returns whether the gate
+// held: quota'ing the hog must not leave any victim's p99.9 above the
+// unthrottled run's worst victim p99.9.
+func figureFairness(quick bool) bool {
+	fmt.Println("=== Per-tenant fairness: 4-tenant skewed load, p99.9 (FUSE-like dispatch) ===")
+	dur := 3 * time.Second
+	hogThreads := 64 // enough closed-loop flooders to saturate the dispatch slots
+	if quick {
+		dur = 1 * time.Second
+	}
+
+	srv := fuse.NewServer(atomfs.New())
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	unthrottled := fairnessRun(addr, dur, hogThreads)
+	// Quota the hog: ~200 admissions/s against victims' ~500/s each. The
+	// flooders now park in the bucket's queue instead of occupying
+	// dispatch slots and CPU.
+	srv.SetQuota("hog", fuse.QuotaConfig{Rate: 200, Burst: 20, MaxQueue: 2 * hogThreads})
+	throttled := fairnessRun(addr, dur, hogThreads)
+
+	render := func(name string, r fairnessResult) {
+		if emitCSV {
+			for i, p := range r.victimP999 {
+				fmt.Printf("fairness,%s,victim%d,%d\n", name, i, p.Nanoseconds())
+			}
+			fmt.Printf("fairness,%s,hog_ops,%d\n", name, r.hogOps)
+			return
+		}
+		fmt.Printf("%-14s hog=%7d ops  victim p99.9 =", name, r.hogOps)
+		for _, p := range r.victimP999 {
+			fmt.Printf(" %10v", p.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	render("unthrottled", unthrottled)
+	render("hog-quota", throttled)
+
+	worstBefore := maxDur(unthrottled.victimP999)
+	worstAfter := maxDur(throttled.victimP999)
+	ok := worstAfter <= worstBefore
+	if !emitCSV {
+		fmt.Printf("worst victim p99.9: %v unthrottled -> %v with the hog quota'd (gate: must not rise)\n\n",
+			worstBefore.Round(time.Microsecond), worstAfter.Round(time.Microsecond))
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsbench: fairness gate failed: victim p99.9 rose from %v to %v under the hog quota\n",
+			worstBefore, worstAfter)
+	}
+	return ok
+}

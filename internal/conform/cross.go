@@ -1,0 +1,376 @@
+package conform
+
+// Cross-volume conformance: the catalogue below runs against a sharded
+// namespace (internal/mount) built from TWO fresh instances of the
+// variant under test, the second grafted at /m. The composed namespace
+// must behave like one tree — rename, stat, readdir and I/O resolve
+// through the mount transparently — except where a mount point pins an
+// entry (EBUSY, mirroring a kernel's refusal to rename over a mounted
+// directory). Cross-volume renames go through the two-phase helped
+// protocol when both volumes implement atomfs.CrossVolume, and through
+// the generic copy+delete fallback otherwise; the cases here hold for
+// both, which is the point of running them on every variant.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/fstest"
+	"repro/internal/memfs"
+	"repro/internal/mount"
+	"repro/internal/spec"
+)
+
+// RunCross executes every cross-volume case, each against a fresh
+// two-volume namespace assembled from volumes produced by mk.
+func RunCross(ctx context.Context, name string, mk func() fsapi.FS) *Summary {
+	s := &Summary{FSName: name + "+mount"}
+	for _, c := range CrossCases() {
+		err := runOne(ctx, c, func() fsapi.FS {
+			ns := mount.New(mk())
+			if err := ns.Mount(ctx, "/m", mk()); err != nil {
+				panic(fmt.Sprintf("mount /m: %v", err))
+			}
+			return ns
+		})
+		r := Result{Case: c, Passed: err == nil, Err: err}
+		s.Results = append(s.Results, r)
+		if r.Passed {
+			s.Pass++
+		} else {
+			s.Fail++
+			if c.Unsupported {
+				s.UnsupportedFail++
+			}
+		}
+	}
+	return s
+}
+
+// CrossCases returns the cross-volume catalogue. Every Run receives a
+// namespace with a second volume mounted at /m and nothing else created.
+func CrossCases() []Case {
+	var cases []Case
+	add := func(name string, run func(ctx context.Context, fs fsapi.FS) error) {
+		cases = append(cases, Case{Group: "cross", Name: name, Run: run})
+	}
+
+	add("stat-through-mount", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/m/d"),
+			ok(fs.Mknod(ctx, "/m/d/f")),
+		); err != nil {
+			return err
+		}
+		info, err := fs.Stat(ctx, "/m/d/f")
+		if err != nil || info.Kind != spec.KindFile {
+			return fmt.Errorf("stat /m/d/f = %+v, %v", info, err)
+		}
+		info, err = fs.Stat(ctx, "/m")
+		if err != nil || info.Kind != spec.KindDir {
+			return fmt.Errorf("stat /m = %+v, %v", info, err)
+		}
+		return nil
+	})
+
+	add("readdir-shows-mounted-volume", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			ok(fs.Mknod(ctx, "/m/a")),
+			ok(fs.Mkdir(ctx, "/m/b")),
+		); err != nil {
+			return err
+		}
+		names, err := fs.Readdir(ctx, "/m")
+		if err != nil {
+			return err
+		}
+		sort.Strings(names)
+		if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+			return fmt.Errorf("readdir /m = %v, want [a b]", names)
+		}
+		root, err := fs.Readdir(ctx, "/")
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, n := range root {
+			found = found || n == "m"
+		}
+		if !found {
+			return fmt.Errorf("readdir / = %v, mount entry missing", root)
+		}
+		return nil
+	})
+
+	add("io-through-mount", func(ctx context.Context, fs fsapi.FS) error {
+		if err := ok(fs.Mknod(ctx, "/m/f")); err != nil {
+			return err
+		}
+		if _, err := fs.Write(ctx, "/m/f", 0, []byte("payload")); err != nil {
+			return err
+		}
+		got, err := fsapi.ReadAll(ctx, fs, "/m/f", 0, 7)
+		if err != nil || string(got) != "payload" {
+			return fmt.Errorf("read back %q, %v", got, err)
+		}
+		if err := fs.Truncate(ctx, "/m/f", 3); err != nil {
+			return err
+		}
+		info, err := fs.Stat(ctx, "/m/f")
+		if err != nil || info.Size != 3 {
+			return fmt.Errorf("after truncate: %+v, %v", info, err)
+		}
+		return nil
+	})
+
+	add("rename-file-across-commit", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/a"),
+			ok(fs.Mknod(ctx, "/a/f")),
+		); err != nil {
+			return err
+		}
+		if _, err := fs.Write(ctx, "/a/f", 0, []byte("xyz")); err != nil {
+			return err
+		}
+		if err := fs.Rename(ctx, "/a/f", "/m/g"); err != nil {
+			return err
+		}
+		if err := want(fs.Unlink(ctx, "/a/f"), fserr.ErrNotExist); err != nil {
+			return fmt.Errorf("source survived: %v", err)
+		}
+		got, err := fsapi.ReadAll(ctx, fs, "/m/g", 0, 3)
+		if err != nil || string(got) != "xyz" {
+			return fmt.Errorf("moved content %q, %v", got, err)
+		}
+		return nil
+	})
+
+	add("rename-subtree-across-commit", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/a", "/a/b", "/a/b/c"),
+			ok(fs.Mknod(ctx, "/a/b/f0")),
+			ok(fs.Mknod(ctx, "/a/b/c/f1")),
+		); err != nil {
+			return err
+		}
+		if _, err := fs.Write(ctx, "/a/b/c/f1", 0, []byte("deep")); err != nil {
+			return err
+		}
+		if err := fs.Rename(ctx, "/a/b", "/m/t"); err != nil {
+			return err
+		}
+		if _, err := fs.Stat(ctx, "/a/b"); want(err, fserr.ErrNotExist) != nil {
+			return fmt.Errorf("stat old subtree root: %v, want %v", err, fserr.ErrNotExist)
+		}
+		got, err := fsapi.ReadAll(ctx, fs, "/m/t/c/f1", 0, 4)
+		if err != nil || string(got) != "deep" {
+			return fmt.Errorf("deep file after move %q, %v", got, err)
+		}
+		names, err := fs.Readdir(ctx, "/m/t")
+		if err != nil {
+			return err
+		}
+		sort.Strings(names)
+		if len(names) != 2 || names[0] != "c" || names[1] != "f0" {
+			return fmt.Errorf("readdir /m/t = %v, want [c f0]", names)
+		}
+		return nil
+	})
+
+	add("rename-across-reverse-direction", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/m/d"),
+			ok(fs.Mknod(ctx, "/m/d/f")),
+			mkdirs(ctx, fs, "/out"),
+		); err != nil {
+			return err
+		}
+		if err := fs.Rename(ctx, "/m/d", "/out/d"); err != nil {
+			return err
+		}
+		if _, err := fs.Stat(ctx, "/m/d"); want(err, fserr.ErrNotExist) != nil {
+			return fmt.Errorf("stat old: %v, want %v", err, fserr.ErrNotExist)
+		}
+		if _, err := fs.Stat(ctx, "/out/d/f"); err != nil {
+			return fmt.Errorf("moved child: %v", err)
+		}
+		return nil
+	})
+
+	add("rename-across-file-replaces-victim", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			ok(fs.Mknod(ctx, "/f")),
+			ok(fs.Mknod(ctx, "/m/g")),
+		); err != nil {
+			return err
+		}
+		if _, err := fs.Write(ctx, "/f", 0, []byte("new")); err != nil {
+			return err
+		}
+		if _, err := fs.Write(ctx, "/m/g", 0, []byte("old-old")); err != nil {
+			return err
+		}
+		if err := fs.Rename(ctx, "/f", "/m/g"); err != nil {
+			return err
+		}
+		got, err := fsapi.ReadAll(ctx, fs, "/m/g", 0, 3)
+		if err != nil || string(got) != "new" {
+			return fmt.Errorf("victim content %q, %v", got, err)
+		}
+		info, err := fs.Stat(ctx, "/m/g")
+		if err != nil || info.Size != 3 {
+			return fmt.Errorf("victim stat %+v, %v", info, err)
+		}
+		return nil
+	})
+
+	add("rename-across-abort-notempty", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/a", "/a/b", "/m/d"),
+			ok(fs.Mknod(ctx, "/a/b/f0")),
+			ok(fs.Mknod(ctx, "/m/d/g0")),
+		); err != nil {
+			return err
+		}
+		if err := want(fs.Rename(ctx, "/a/b", "/m/d"), fserr.ErrNotEmpty); err != nil {
+			return err
+		}
+		// The abort must leave both sides untouched.
+		if _, err := fs.Stat(ctx, "/a/b/f0"); err != nil {
+			return fmt.Errorf("source after abort: %v", err)
+		}
+		if _, err := fs.Stat(ctx, "/m/d/g0"); err != nil {
+			return fmt.Errorf("victim after abort: %v", err)
+		}
+		return nil
+	})
+
+	add("rename-across-dir-onto-file", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/a"),
+			ok(fs.Mknod(ctx, "/m/v")),
+		); err != nil {
+			return err
+		}
+		if err := want(fs.Rename(ctx, "/a", "/m/v"), fserr.ErrNotDir); err != nil {
+			return err
+		}
+		if _, err := fs.Stat(ctx, "/a"); err != nil {
+			return fmt.Errorf("source after abort: %v", err)
+		}
+		return nil
+	})
+
+	add("rename-across-file-onto-dir", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			ok(fs.Mknod(ctx, "/f")),
+			mkdirs(ctx, fs, "/m/v"),
+		); err != nil {
+			return err
+		}
+		if err := want(fs.Rename(ctx, "/f", "/m/v"), fserr.ErrIsDir); err != nil {
+			return err
+		}
+		if _, err := fs.Stat(ctx, "/f"); err != nil {
+			return fmt.Errorf("source after abort: %v", err)
+		}
+		return nil
+	})
+
+	add("rename-across-missing-source", func(ctx context.Context, fs fsapi.FS) error {
+		return want(fs.Rename(ctx, "/nope", "/m/g"), fserr.ErrNotExist)
+	})
+
+	add("rename-across-missing-dst-parent", func(ctx context.Context, fs fsapi.FS) error {
+		if err := ok(fs.Mknod(ctx, "/f")); err != nil {
+			return err
+		}
+		return want(fs.Rename(ctx, "/f", "/m/nodir/g"), fserr.ErrNotExist)
+	})
+
+	add("mount-point-pins-rename", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			want(fs.Rename(ctx, "/m", "/z"), fserr.ErrBusy),
+			want(fs.Rmdir(ctx, "/m"), fserr.ErrBusy),
+			want(fs.Unlink(ctx, "/m"), fserr.ErrBusy),
+		); err != nil {
+			return err
+		}
+		// Renaming ONTO the mount point is equally refused.
+		if err := ok(fs.Mkdir(ctx, "/d")); err != nil {
+			return err
+		}
+		return want(fs.Rename(ctx, "/d", "/m"), fserr.ErrBusy)
+	})
+
+	// Differential leg: a scripted mixed workload applied to the sharded
+	// namespace and to a flat reference tree must produce identical
+	// results step by step — the mount must be semantically invisible
+	// (the script stays clear of the pinned /m entry itself).
+	add("differential-vs-flat", func(ctx context.Context, fs fsapi.FS) error {
+		ref := memfs.New()
+		// The covering directory exists implicitly in the namespace (the
+		// mount created it); mirror it in the flat reference up front.
+		if err := ok(ref.Mkdir(ctx, "/m")); err != nil {
+			return err
+		}
+		type step struct {
+			op   spec.Op
+			args spec.Args
+		}
+		script := []step{
+			{spec.OpMkdir, spec.Args{Path: "/a"}},
+			{spec.OpMkdir, spec.Args{Path: "/a/b"}},
+			{spec.OpMknod, spec.Args{Path: "/a/b/f"}},
+			{spec.OpMkdir, spec.Args{Path: "/m/d"}},
+			{spec.OpMknod, spec.Args{Path: "/m/d/g"}},
+			{spec.OpStat, spec.Args{Path: "/m/d/g"}},
+			{spec.OpRename, spec.Args{Path: "/a/b", Path2: "/m/t"}},
+			{spec.OpStat, spec.Args{Path: "/m/t/f"}},
+			{spec.OpStat, spec.Args{Path: "/a/b"}},
+			{spec.OpRename, spec.Args{Path: "/m/t", Path2: "/a/t"}},
+			{spec.OpRename, spec.Args{Path: "/a/t", Path2: "/m/d"}}, // ENOTEMPTY both sides
+			{spec.OpUnlink, spec.Args{Path: "/m/d/g"}},
+			{spec.OpRename, spec.Args{Path: "/a/t", Path2: "/m/d"}}, // now replaces the victim
+			{spec.OpReaddir, spec.Args{Path: "/m/d"}},
+			{spec.OpStat, spec.Args{Path: "/m/d/f"}},
+			{spec.OpRmdir, spec.Args{Path: "/a"}}, // empty by now: both subtrees moved out
+		}
+		for i, st := range script {
+			got := fstest.ApplyFS(ctx, fs, st.op, st.args)
+			wantRet := fstest.ApplyFS(ctx, ref, st.op, st.args)
+			if !got.Equal(wantRet) {
+				return fmt.Errorf("step %d: %s %s: namespace %s, flat %s", i, st.op, st.args, got, wantRet)
+			}
+		}
+		return nil
+	})
+
+	add("content-preserved-bytewise", func(ctx context.Context, fs fsapi.FS) error {
+		if err := first(
+			mkdirs(ctx, fs, "/a"),
+			ok(fs.Mknod(ctx, "/a/f")),
+		); err != nil {
+			return err
+		}
+		blob := bytes.Repeat([]byte{0xA5, 0x5A, 0x00, 0xFF}, 512)
+		if _, err := fs.Write(ctx, "/a/f", 0, blob); err != nil {
+			return err
+		}
+		if err := fs.Rename(ctx, "/a/f", "/m/f"); err != nil {
+			return err
+		}
+		got, err := fsapi.ReadAll(ctx, fs, "/m/f", 0, len(blob))
+		if err != nil || !bytes.Equal(got, blob) {
+			return fmt.Errorf("content diverged after cross move (%d bytes, err %v)", len(got), err)
+		}
+		return nil
+	})
+
+	return cases
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// emptyDirSub is the payload of an empty-directory detach.
+func emptyDirSub() *spec.SubTree {
+	return &spec.SubTree{Kind: spec.KindDir, Children: map[string]*spec.SubTree{}}
+}
+
+// prepareDetach drives a source monitor to the prepared state of a
+// cross-volume rename of /a/b: abstract setup, spine-holding walk
+// (nothing released), victim locked, CrossPrepare. Returns the session
+// and an unwind that releases the spine bottom-up.
+func prepareDetach(m *Monitor, v *fakeView, rec *CrossRecord) (*Session, func()) {
+	mkdirSetup(m, v, "/a")
+	mkdirSetup(m, v, "/a/b")
+	const aIno, bIno = 10, 11
+	s := m.Begin(spec.OpDetach, spec.Args{Path: "/a/b"})
+	d := &sessionDriver{s: s, view: v}
+	d.lock(BranchBoth, "", spec.RootIno)
+	d.lock(BranchBoth, "a", aIno)
+	d.lock(BranchBoth, "b", bIno)
+	s.CrossPrepare(rec, emptyDirSub())
+	return s, func() {
+		d.unlock(bIno)
+		d.unlock(aIno)
+		d.unlock(spec.RootIno)
+	}
+}
+
+// TestCrossCommitGhost drives the ghost side of a committed cross-volume
+// rename across two monitors: the destination's HelpCommit is the single
+// commit point — its own fixed LP plus the source detach's external LP.
+func TestCrossCommitGhost(t *testing.T) {
+	src, sv, _ := newTestMonitor(ModeHelpers)
+	dst, dv, _ := newTestMonitor(ModeHelpers)
+	rec := &CrossRecord{}
+	if got := rec.State(); got != CrossIdle {
+		t.Fatalf("fresh record state = %v", got)
+	}
+
+	s, unwind := prepareDetach(src, sv, rec)
+	if got := rec.State(); got != CrossPrepared {
+		t.Fatalf("after prepare: state = %v", got)
+	}
+	if rec.Sub() == nil {
+		t.Fatal("prepared record lost its payload")
+	}
+	// The record is published: the destination may commit at any moment,
+	// so the source can no longer abort unilaterally (§9 decision table).
+	if s.TryAbort() {
+		t.Fatal("TryAbort permitted an abort of a prepared cross source")
+	}
+
+	// Destination: an ordinary coupled attach whose LP is HelpCommit.
+	a := dst.Begin(spec.OpAttach, spec.Args{Path: "/x", Sub: rec.Sub()})
+	da := &sessionDriver{s: a, view: dv}
+	da.lock(BranchBoth, "", spec.RootIno)
+	a.HelpCommit(rec)
+	da.unlock(spec.RootIno)
+	a.End(spec.OkRet())
+
+	if got := rec.State(); got != CrossCommitted {
+		t.Fatalf("after commit: state = %v", got)
+	}
+	// Source completes as a helped operation: concrete removal, then End.
+	unwind()
+	s.End(spec.OkRet())
+
+	requireNoViolations(t, src)
+	requireNoViolations(t, dst)
+	if err := src.Quiesce(); err != nil {
+		t.Fatalf("source quiesce: %v", err)
+	}
+	if err := dst.Quiesce(); err != nil {
+		t.Fatalf("destination quiesce: %v", err)
+	}
+	if _, err := src.AbstractState().ResolvePath("/a/b"); err == nil {
+		t.Fatal("abstract source still holds /a/b after the commit")
+	}
+	if _, err := dst.AbstractState().ResolvePath("/x"); err != nil {
+		t.Fatalf("abstract destination missing /x: %v", err)
+	}
+	st := src.Stats()
+	if st.CrossCommits != 1 || st.CrossAborts != 0 {
+		t.Errorf("source stats = %+v, want CrossCommits=1", st)
+	}
+	if st.Helped == 0 {
+		t.Error("externally linearized detach not counted as helped")
+	}
+}
+
+// TestCrossAbortGhost drives the rollback arm: the destination's victim
+// check fails, so the prepared detach linearizes as that same failure
+// with zero effects and the source volume is untouched.
+func TestCrossAbortGhost(t *testing.T) {
+	src, sv, _ := newTestMonitor(ModeHelpers)
+	dst, dv, _ := newTestMonitor(ModeHelpers)
+	rec := &CrossRecord{}
+	s, unwind := prepareDetach(src, sv, rec)
+
+	// Destination: /d exists and is non-empty, so a directory payload
+	// cannot replace it — the attach's own fixed LP yields ENOTEMPTY.
+	mkdirSetup(dst, dv, "/d")
+	mkdirSetup(dst, dv, "/d/e")
+	const dIno = 20
+	a := dst.Begin(spec.OpAttach, spec.Args{Path: "/d", Sub: rec.Sub()})
+	da := &sessionDriver{s: a, view: dv}
+	da.lock(BranchBoth, "", spec.RootIno)
+	da.lock(BranchBoth, "d", dIno)
+	a.LP()
+	a.CrossAbort(rec, fserr.ErrNotEmpty)
+	da.unlock(dIno)
+	da.unlock(spec.RootIno)
+	a.End(spec.ErrRet(fserr.ErrNotEmpty))
+
+	if got := rec.State(); got != CrossAborted {
+		t.Fatalf("after abort: state = %v", got)
+	}
+	// Source unwinds with no concrete mutation and Ends with the
+	// destination's error — which must match the failure linearization.
+	unwind()
+	s.End(spec.ErrRet(fserr.ErrNotEmpty))
+
+	requireNoViolations(t, src)
+	requireNoViolations(t, dst)
+	if err := src.Quiesce(); err != nil {
+		t.Fatalf("source quiesce: %v", err)
+	}
+	if _, err := src.AbstractState().ResolvePath("/a/b"); err != nil {
+		t.Fatalf("aborted detach changed the abstract source: %v", err)
+	}
+	st := src.Stats()
+	if st.CrossAborts != 1 || st.CrossCommits != 0 {
+		t.Errorf("source stats = %+v, want CrossAborts=1", st)
+	}
+}
+
+// TestCrossNilSessions: unmonitored volumes still advance the record's
+// state machine through nil sessions (the ghost checks are skipped).
+func TestCrossNilSessions(t *testing.T) {
+	var s *Session
+	rec := &CrossRecord{}
+	s.CrossPrepare(rec, emptyDirSub())
+	if got := rec.State(); got != CrossPrepared {
+		t.Fatalf("nil prepare: state = %v", got)
+	}
+	s.HelpCommit(rec)
+	if got := rec.State(); got != CrossCommitted {
+		t.Fatalf("nil commit: state = %v", got)
+	}
+	// Committing twice is idempotent misuse; with a nil session it is
+	// silently ignored.
+	s.HelpCommit(rec)
+
+	rec2 := &CrossRecord{}
+	s.CrossPrepare(rec2, emptyDirSub())
+	s.CrossAbort(rec2, fserr.ErrNotEmpty)
+	if got := rec2.State(); got != CrossAborted {
+		t.Fatalf("nil abort: state = %v", got)
+	}
+	// Re-preparing a spent record must not resurrect it.
+	s.CrossPrepare(rec2, emptyDirSub())
+	if got := rec2.State(); got != CrossAborted {
+		t.Fatalf("nil re-prepare revived the record: %v", got)
+	}
+}
+
+// TestCrossMisuse exercises every protocol-misuse violation of the
+// cross-record state machine.
+func TestCrossMisuse(t *testing.T) {
+	t.Run("prepare-on-prepared", func(t *testing.T) {
+		m, v, _ := newTestMonitor(ModeHelpers)
+		rec := &CrossRecord{}
+		_, unwind := prepareDetach(m, v, rec)
+		defer unwind()
+		s2 := m.Begin(spec.OpDetach, spec.Args{Path: "/a"})
+		d2 := &sessionDriver{s: s2, view: v}
+		d2.lock(BranchBoth, "", 99)
+		s2.CrossPrepare(rec, emptyDirSub())
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("prepare-readonly", func(t *testing.T) {
+		m, v, _ := newTestMonitor(ModeHelpers)
+		s := m.BeginRead(spec.OpStat, spec.Args{Path: "/"})
+		d := &sessionDriver{s: s, view: v}
+		d.lock(BranchBoth, "", spec.RootIno)
+		s.CrossPrepare(&CrossRecord{}, emptyDirSub())
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("prepare-after-lp", func(t *testing.T) {
+		m, v, _ := newTestMonitor(ModeHelpers)
+		s := m.Begin(spec.OpMkdir, spec.Args{Path: "/a"})
+		d := &sessionDriver{s: s, view: v}
+		d.lock(BranchBoth, "", spec.RootIno)
+		s.LP()
+		s.CrossPrepare(&CrossRecord{}, emptyDirSub())
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("prepare-unlocked", func(t *testing.T) {
+		m, _, _ := newTestMonitor(ModeHelpers)
+		s := m.Begin(spec.OpDetach, spec.Args{Path: "/a"})
+		s.CrossPrepare(&CrossRecord{}, emptyDirSub())
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("prepare-aborted", func(t *testing.T) {
+		m, _, _ := newTestMonitor(ModeHelpers)
+		s := m.Begin(spec.OpDetach, spec.Args{Path: "/a"})
+		if !s.TryAbort() {
+			t.Fatal("pre-LP abort refused")
+		}
+		s.CrossPrepare(&CrossRecord{}, emptyDirSub())
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("commit-idle", func(t *testing.T) {
+		m, v, _ := newTestMonitor(ModeHelpers)
+		s := m.Begin(spec.OpAttach, spec.Args{Path: "/x", Sub: emptyDirSub()})
+		d := &sessionDriver{s: s, view: v}
+		d.lock(BranchBoth, "", spec.RootIno)
+		s.HelpCommit(&CrossRecord{})
+		requireViolation(t, m, ViolCross)
+	})
+	t.Run("commit-unlocked", func(t *testing.T) {
+		src, sv, _ := newTestMonitor(ModeHelpers)
+		dst, _, _ := newTestMonitor(ModeHelpers)
+		rec := &CrossRecord{}
+		_, unwind := prepareDetach(src, sv, rec)
+		defer unwind()
+		a := dst.Begin(spec.OpAttach, spec.Args{Path: "/x", Sub: rec.Sub()})
+		a.HelpCommit(rec) // inside no critical section
+		requireViolation(t, dst, ViolProtocol)
+	})
+	t.Run("abort-committed", func(t *testing.T) {
+		src, sv, _ := newTestMonitor(ModeHelpers)
+		dst, dv, _ := newTestMonitor(ModeHelpers)
+		rec := &CrossRecord{}
+		_, unwind := prepareDetach(src, sv, rec)
+		defer unwind()
+		a := dst.Begin(spec.OpAttach, spec.Args{Path: "/x", Sub: rec.Sub()})
+		da := &sessionDriver{s: a, view: dv}
+		da.lock(BranchBoth, "", spec.RootIno)
+		a.HelpCommit(rec)
+		a.CrossAbort(rec, fserr.ErrNotEmpty)
+		requireViolation(t, dst, ViolCross)
+	})
+	t.Run("double-commit", func(t *testing.T) {
+		src, sv, _ := newTestMonitor(ModeHelpers)
+		dst, dv, _ := newTestMonitor(ModeHelpers)
+		rec := &CrossRecord{}
+		_, unwind := prepareDetach(src, sv, rec)
+		defer unwind()
+		a := dst.Begin(spec.OpAttach, spec.Args{Path: "/x", Sub: rec.Sub()})
+		da := &sessionDriver{s: a, view: dv}
+		da.lock(BranchBoth, "", spec.RootIno)
+		a.HelpCommit(rec)
+		a.HelpCommit(rec)
+		requireViolation(t, dst, ViolCross)
+	})
+}
+
+// TestCrossStateString pins the state names used in violation messages.
+func TestCrossStateString(t *testing.T) {
+	want := map[CrossState]string{
+		CrossIdle: "idle", CrossPrepared: "prepared",
+		CrossCommitted: "committed", CrossAborted: "aborted",
+		CrossState(99): "cross-state(?)",
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", s, got, name)
+		}
+	}
+}
+
+// TestCounterexampleExport: a violating run exports a structured
+// counterexample whose Render names the leading violation, and
+// ParseViolationKind inverts ViolationKind.String.
+func TestCounterexampleExport(t *testing.T) {
+	m, v, _ := newTestMonitor(ModeHelpers)
+	if m.Counterexample() != nil {
+		t.Fatal("clean monitor exported a counterexample")
+	}
+	if m.Mode() != ModeHelpers {
+		t.Fatalf("mode = %v", m.Mode())
+	}
+	s := m.Begin(spec.OpMkdir, spec.Args{Path: "/a"})
+	d := &sessionDriver{s: s, view: v}
+	d.lock(BranchBoth, "", spec.RootIno)
+	s.LP()
+	d.unlock(spec.RootIno)
+	s.End(spec.ErrRet(fserr.ErrExist)) // concrete disagrees with abstract
+
+	ce := m.Counterexample()
+	if ce == nil {
+		t.Fatal("no counterexample after a refinement violation")
+	}
+	if ce.First().Kind != ViolRefinement {
+		t.Fatalf("leading violation = %v", ce.First())
+	}
+	var sb strings.Builder
+	ce.Render(&sb, nil)
+	out := sb.String()
+	if !strings.Contains(out, "counterexample:") || !strings.Contains(out, "refinement") {
+		t.Fatalf("render output:\n%s", out)
+	}
+
+	for kind, name := range violationNames {
+		got, ok := ParseViolationKind(name)
+		if !ok || got != kind {
+			t.Errorf("ParseViolationKind(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseViolationKind("no-such-kind"); ok {
+		t.Error("unknown violation name parsed")
+	}
+
+	if (&Counterexample{}).First() != (Violation{}) {
+		t.Error("empty counterexample First() not zero")
+	}
+	var nilCe *Counterexample
+	if nilCe.First() != (Violation{}) {
+		t.Error("nil counterexample First() not zero")
+	}
+}

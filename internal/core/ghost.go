@@ -134,6 +134,14 @@ type Descriptor struct {
 	// held lock and return a context error without touching the abstract
 	// state — the cancellation-consistency rules checked at Lock/LP/End.
 	aborted bool
+	// crossPending marks a cross-volume source operation between its
+	// CrossPrepare and the record's commit or abort: its LP is external,
+	// owned by the destination volume's HelpCommit. While set, the
+	// operation can neither abort unilaterally (TryAbort refuses) nor be
+	// helped by a same-volume rename's linothers (the prepared spine makes
+	// that unreachable anyway; the help-set exclusion keeps it so under
+	// every variant), and Ending with it still set is a ViolCross leak.
+	crossPending bool
 }
 
 func (d *Descriptor) isRename() bool { return d.op == spec.OpRename }

@@ -51,7 +51,11 @@ func (m *Monitor) helpSet(r *Descriptor) []*Descriptor {
 			// Aborted ops are invisible to helpers: their Aop will never
 			// run, so linearizing them here would publish an effect the
 			// cancelled caller has promised not to perform (§DESIGN 9).
-			if t.tid == r.tid || t.state != AopPending || t.aborted || inSet[t.tid] {
+			// Cross-prepared ops are too: their external LP belongs to the
+			// other volume's HelpCommit, and their fully held spine means
+			// no rename can hold a prefix of their LockPath anyway.
+			if t.tid == r.tid || t.state != AopPending || t.aborted ||
+				t.crossPending || inSet[t.tid] {
 				continue
 			}
 			if srcPrefixOf(of, t) {

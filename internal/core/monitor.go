@@ -330,6 +330,13 @@ func (s *Session) TryAbort() bool {
 	if d.state == AopDone {
 		return false // LP committed (possibly helped): point of no return
 	}
+	if d.crossPending {
+		// A prepared cross record is published: the destination volume may
+		// commit at any moment, so the source can no longer abort on its
+		// own. The composed operation resolves through HelpCommit or
+		// CrossAbort instead.
+		return false
+	}
 	d.aborted = true
 	m.stats.Aborted++
 	if o := m.obs; o != nil {
@@ -730,6 +737,10 @@ func (s *Session) End(concrete spec.Ret) {
 		return
 	}
 	s.done = true
+	if d.crossPending {
+		m.violate(ViolCross, d.tid,
+			"%s %s ended with its cross record still prepared", d.op, d.args)
+	}
 	if d.aborted {
 		// Cancellation-consistency at the return boundary: the op's Aop
 		// never ran, so it must report a context error (never a made-up
@@ -979,6 +990,13 @@ type Stats struct {
 	// that arrived after the LP — are not aborts; those ops complete and
 	// count under Linearized/Helped as usual.)
 	Aborted int
+	// CrossCommits counts cross-volume detaches this monitor externally
+	// linearized at a destination volume's HelpCommit; CrossAborts counts
+	// prepared detaches resolved as failures by CrossAbort. Both count on
+	// the SOURCE volume's monitor (the destination's attach counts under
+	// Linearized like any fixed-LP operation).
+	CrossCommits int
+	CrossAborts  int
 }
 
 // Stats returns the activity counters.

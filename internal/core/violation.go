@@ -61,6 +61,13 @@ const (
 	// this indicts the protocol (the seqlock bump discipline or the epoch
 	// pin placement), not just the one operation.
 	ViolEpoch
+	// ViolCross: the two-phase cross-volume protocol was misused — a
+	// prepare on a read-only session, after the LP, or on a record not
+	// idle; a commit or abort on a record not prepared; a source that
+	// linearized some other way while its record was prepared; or a
+	// source session that Ended with its record still prepared (a leaked
+	// intent the destination could still commit against).
+	ViolCross
 )
 
 var violationNames = map[ViolationKind]string{
@@ -77,6 +84,7 @@ var violationNames = map[ViolationKind]string{
 	ViolProtocol:       "protocol",
 	ViolShortcut:       "shortcut-entry",
 	ViolEpoch:          "epoch-entry",
+	ViolCross:          "cross-volume",
 }
 
 func (k ViolationKind) String() string {

@@ -1,0 +1,81 @@
+package fsapi_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/memfs"
+)
+
+var tctx = context.Background()
+
+func TestReadAll(t *testing.T) {
+	fs := memfs.New()
+	if err := fs.Mknod(tctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(tctx, "/f", 0, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := fsapi.ReadAll(tctx, fs, "/f", 0, 11)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("full read = %q, %v", got, err)
+	}
+	got, err = fsapi.ReadAll(tctx, fs, "/f", 6, 5)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("offset read = %q, %v", got, err)
+	}
+	// Short read at EOF: the buffer is trimmed to what was read.
+	got, err = fsapi.ReadAll(tctx, fs, "/f", 6, 100)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("short read = %q (len %d), %v", got, len(got), err)
+	}
+	got, err = fsapi.ReadAll(tctx, fs, "/f", 0, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero-size read = %q, %v", got, err)
+	}
+}
+
+// TestReadAllErrorPlumbing: the wrapped FS's error comes through
+// unchanged, with no partial buffer.
+func TestReadAllErrorPlumbing(t *testing.T) {
+	fs := memfs.New()
+	if _, err := fsapi.ReadAll(tctx, fs, "/missing", 0, 8); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("missing file: %v, want %v", err, fserr.ErrNotExist)
+	}
+	if err := fs.Mkdir(tctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadAll(tctx, fs, "/d", 0, 8); !errors.Is(err, fserr.ErrIsDir) {
+		t.Fatalf("read dir: %v, want %v", err, fserr.ErrIsDir)
+	}
+	ctx, cancel := context.WithCancel(tctx)
+	cancel()
+	if err := fs.Mknod(tctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadAll(ctx, fs, "/f", 0, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read: %v, want %v", err, context.Canceled)
+	}
+}
+
+type named struct{ fsapi.FS }
+
+func (named) Name() string { return "custom-name" }
+
+func TestName(t *testing.T) {
+	if got := fsapi.Name(named{}); got != "custom-name" {
+		t.Errorf("named FS: %q", got)
+	}
+	if got := fsapi.Name(memfs.New()); got == "" {
+		t.Error("memfs reports an empty name")
+	}
+	type anon struct{ fsapi.FS }
+	if got := fsapi.Name(anon{}); got == "" {
+		t.Error("fallback name is empty")
+	}
+}

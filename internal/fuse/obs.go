@@ -8,6 +8,7 @@ package fuse
 // Server pays only a nil check per site.
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -27,11 +28,47 @@ type srvObs struct {
 	queued   *obs.Gauge
 	inflight *obs.Gauge
 	conns    *obs.Gauge
+
+	// Per-tenant instruments, created lazily on first sight of a label
+	// (tenant cardinality is operator-controlled via SetQuota/SetTenant).
+	reg       *obs.Registry
+	tenantMu  sync.Mutex
+	tenantMap map[string]*tenantObs
+}
+
+// tenantObs bundles one tenant's admission instruments.
+type tenantObs struct {
+	requests   *obs.Counter // requests replied (any outcome)
+	admitted   *obs.Counter // requests past admission
+	rejected   *obs.Counter // requests refused or abandoned at admission
+	queued     *obs.Gauge   // requests waiting for a token right now
+	throttleNs *obs.Histogram
+}
+
+// tenant returns (creating if needed) the instruments for one label.
+func (p *srvObs) tenant(name string) *tenantObs {
+	p.tenantMu.Lock()
+	defer p.tenantMu.Unlock()
+	if t, ok := p.tenantMap[name]; ok {
+		return t
+	}
+	label := `{tenant="` + name + `"}`
+	t := &tenantObs{
+		requests:   p.reg.Counter("fuse_tenant_requests_total" + label),
+		admitted:   p.reg.Counter("fuse_tenant_admitted_total" + label),
+		rejected:   p.reg.Counter("fuse_tenant_rejected_total" + label),
+		queued:     p.reg.Gauge("fuse_tenant_queued" + label),
+		throttleNs: p.reg.Histogram("fuse_tenant_throttle_ns" + label),
+	}
+	p.tenantMap[name] = t
+	return t
 }
 
 func newSrvObs(reg *obs.Registry) *srvObs {
 	p := &srvObs{
-		rec:      reg.FlightRecorder(),
+		reg:       reg,
+		tenantMap: map[string]*tenantObs{},
+		rec:       reg.FlightRecorder(),
 		reqLat:   reg.Histogram("fuse_request_ns"),
 		bytesIn:  reg.Counter("fuse_bytes_read_total"),
 		bytesOut: reg.Counter("fuse_bytes_written_total"),
@@ -78,6 +115,9 @@ func (p *srvObs) replyReq(req *request, queuedNs int64, bodyLen int) {
 	p.inflight.Dec(req.ID)
 	if int(req.Op) < nOps {
 		p.requests[req.Op].Inc(req.ID)
+	}
+	if req.Tenant != "" {
+		p.tenant(req.Tenant).requests.Inc(req.ID)
 	}
 	p.reqLat.Observe(req.ID, now-queuedNs)
 	p.bytesOut.Add(req.ID, uint64(bodyLen))

@@ -39,6 +39,9 @@ type request struct {
 	// request is client-side only — like FUSE's interrupt handling, the
 	// server finishes or times the request out on its own.
 	TimeoutNs int64
+	// Tenant labels the request for the server's admission control and
+	// per-tenant accounting; empty means unlabelled (never throttled).
+	Tenant string
 }
 
 // reply is the wire form of one result.
@@ -165,6 +168,7 @@ func encodeRequest(r *request) []byte {
 	e.i32(r.Size)
 	e.bytes(r.Data)
 	e.i64(r.TimeoutNs)
+	e.str(r.Tenant)
 	return e.b
 }
 
@@ -180,6 +184,11 @@ func decodeRequest(b []byte) (*request, error) {
 	}
 	r.Data = append([]byte(nil), d.bytes()...)
 	r.TimeoutNs = d.i64()
+	// The tenant label is a suffix field: requests from clients that
+	// predate it simply end here.
+	if d.err == nil && len(d.b) != 0 {
+		r.Tenant = d.str()
+	}
 	if d.err == nil && len(d.b) != 0 {
 		d.err = fmt.Errorf("fuse: %d trailing bytes in request", len(d.b))
 	}

@@ -34,6 +34,10 @@ type Server struct {
 	// obs, when non-nil, instruments the dispatch loop (see SetObs).
 	obs *srvObs
 
+	// quotas holds per-tenant admission buckets (see SetQuota).
+	quotaMu sync.RWMutex
+	quotas  map[string]*tenantBucket
+
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
@@ -140,11 +144,29 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if p != nil {
 			queuedNs = p.queueReq(req, len(frame))
 		}
-		sem <- struct{}{}
 		inflight.Add(1)
 		go func() {
 			defer inflight.Done()
 			defer reqCancel()
+			// Per-tenant admission runs BEFORE the inflight semaphore: a
+			// throttled tenant waits (or is rejected) without holding a
+			// dispatch slot the other tenants could use.
+			if err := s.admit(reqCtx, req); err != nil {
+				if p != nil {
+					p.dispatchReq(req)
+				}
+				body, encErr := encodeReply(&reply{ID: req.ID, Errno: fserr.Errno(err)})
+				if encErr == nil {
+					writeMu.Lock()
+					writeFrame(conn, body) //nolint:errcheck // connection teardown is handled by the read loop
+					writeMu.Unlock()
+					if p != nil {
+						p.replyReq(req, queuedNs, len(body))
+					}
+				}
+				return
+			}
+			sem <- struct{}{}
 			defer func() { <-sem }()
 			if p != nil {
 				p.dispatchReq(req)
@@ -250,6 +272,8 @@ var ErrClientClosed = errors.New("fuse: client closed")
 // Client implements fsapi.FS over a protocol connection.
 type Client struct {
 	conn net.Conn
+	// tenant labels every request for the server's admission control.
+	tenant string
 
 	writeMu sync.Mutex
 	mu      sync.Mutex
@@ -282,6 +306,11 @@ func DialNetwork(network, addr string) (*Client, error) {
 
 // Name identifies the implementation in benchmark tables.
 func (c *Client) Name() string { return "fuse-client" }
+
+// SetTenant labels all subsequent requests with the given tenant for the
+// server's admission control and per-tenant accounting. Call before
+// issuing operations; the label is read without synchronization.
+func (c *Client) SetTenant(tenant string) { c.tenant = tenant }
 
 // Close tears down the connection; in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -330,6 +359,7 @@ func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	req.Tenant = c.tenant
 	if dl, ok := ctx.Deadline(); ok {
 		budget := time.Until(dl)
 		if budget <= 0 {

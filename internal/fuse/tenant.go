@@ -1,0 +1,160 @@
+package fuse
+
+// Multi-tenant admission control for the daemon loop. Each request may
+// carry a tenant label on the wire; the server maps labels to token
+// buckets (SetQuota) and paces each tenant to its configured rate before
+// the request can compete for an inflight slot, so one tenant flooding
+// the daemon cannot starve the others — the FUSE analogue of per-cgroup
+// request throttling.
+//
+// Admission is deadline-keyed: a waiter reserves the next token slot in
+// its tenant's bucket (reservations keep per-tenant FIFO order and let
+// the bucket run a bounded debt), and a request whose wire deadline
+// would expire before its reserved slot is rejected with ETIMEDOUT
+// immediately instead of queueing — a doomed request must not consume a
+// queue slot just to discover it is late. Queue overflow beyond
+// MaxQueue rejects the same way.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// QuotaConfig is one tenant's admission budget.
+type QuotaConfig struct {
+	// Rate is the sustained admission rate in requests per second.
+	Rate float64
+	// Burst is the bucket capacity in requests; 0 defaults to Rate
+	// (one second of burst), values below 1 are raised to 1.
+	Burst float64
+	// MaxQueue bounds how many requests may wait for a token at once;
+	// 0 defaults to DefaultMaxQueue.
+	MaxQueue int
+}
+
+// DefaultMaxQueue is the per-tenant admission queue bound when
+// QuotaConfig.MaxQueue is zero.
+const DefaultMaxQueue = 128
+
+type tenantBucket struct {
+	mu       sync.Mutex
+	rate     float64
+	burst    float64
+	tokens   float64
+	last     time.Time
+	queued   int
+	maxQueue int
+}
+
+// SetQuota installs (or replaces) the admission quota for tenant.
+// Requests with no matching quota — including the empty tenant — are
+// admitted without pacing. Call before serving; quotas are read
+// concurrently by every connection.
+func (s *Server) SetQuota(tenant string, q QuotaConfig) {
+	if q.Rate <= 0 {
+		s.quotaMu.Lock()
+		delete(s.quotas, tenant)
+		s.quotaMu.Unlock()
+		return
+	}
+	burst := q.Burst
+	if burst == 0 {
+		burst = q.Rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	maxQ := q.MaxQueue
+	if maxQ == 0 {
+		maxQ = DefaultMaxQueue
+	}
+	b := &tenantBucket{rate: q.Rate, burst: burst, tokens: burst, last: time.Now(), maxQueue: maxQ}
+	s.quotaMu.Lock()
+	if s.quotas == nil {
+		s.quotas = map[string]*tenantBucket{}
+	}
+	s.quotas[tenant] = b
+	s.quotaMu.Unlock()
+}
+
+// admit paces req by its tenant's bucket. It returns nil when the request
+// may proceed and the rejection error (mapped to ETIMEDOUT on the wire)
+// when it must not. ctx carries the request's wire deadline.
+func (s *Server) admit(ctx context.Context, req *request) error {
+	s.quotaMu.RLock()
+	b := s.quotas[req.Tenant]
+	s.quotaMu.RUnlock()
+	if b == nil {
+		return nil
+	}
+
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		if p := s.obs; p != nil {
+			p.tenant(req.Tenant).admitted.Inc(req.ID)
+		}
+		return nil
+	}
+	// No token: reserve the next slot (debt keeps waiters FIFO within the
+	// tenant) unless the queue is full or the deadline rules the wait out.
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if b.queued >= b.maxQueue {
+		b.mu.Unlock()
+		s.rejectTenant(req)
+		return context.DeadlineExceeded
+	}
+	if dl, ok := ctx.Deadline(); ok && now.Add(wait).After(dl) {
+		b.mu.Unlock()
+		s.rejectTenant(req)
+		return context.DeadlineExceeded
+	}
+	b.tokens--
+	b.queued++
+	b.mu.Unlock()
+	if p := s.obs; p != nil {
+		p.tenant(req.Tenant).queued.Inc(req.ID)
+	}
+
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		b.mu.Lock()
+		b.queued--
+		b.mu.Unlock()
+		if p := s.obs; p != nil {
+			to := p.tenant(req.Tenant)
+			to.queued.Dec(req.ID)
+			to.throttleNs.Observe(req.ID, int64(wait))
+			to.admitted.Inc(req.ID)
+		}
+		return nil
+	case <-ctx.Done():
+		// Hand the unused reservation back so later waiters move up.
+		b.mu.Lock()
+		b.tokens++
+		b.queued--
+		b.mu.Unlock()
+		if p := s.obs; p != nil {
+			to := p.tenant(req.Tenant)
+			to.queued.Dec(req.ID)
+			to.rejected.Inc(req.ID)
+		}
+		return ctx.Err()
+	}
+}
+
+func (s *Server) rejectTenant(req *request) {
+	if p := s.obs; p != nil {
+		p.tenant(req.Tenant).rejected.Inc(req.ID)
+	}
+}

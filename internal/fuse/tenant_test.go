@@ -1,0 +1,215 @@
+package fuse
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/obs"
+)
+
+func netPipe() (net.Conn, net.Conn) { return net.Pipe() }
+
+// TestTenantQuotaPaces: a tenant with a 1-token bucket at a modest rate
+// is paced to that rate — five sequential requests must take at least
+// four token intervals end to end.
+func TestTenantQuotaPaces(t *testing.T) {
+	client, srv := Pipe(memfs.New())
+	defer srv.Close()
+	defer client.Close()
+	srv.SetQuota("slow", QuotaConfig{Rate: 100, Burst: 1})
+	client.SetTenant("slow")
+
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Stat(ctx, "/"); err != nil {
+			t.Fatalf("stat %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("five requests at 100/s with burst 1 took only %v", elapsed)
+	}
+}
+
+// TestTenantUnlabelledUnthrottled: quotas bind to labels; an unlabelled
+// client (and a differently-labelled one) must not be paced by them.
+func TestTenantUnlabelledUnthrottled(t *testing.T) {
+	client, srv := Pipe(memfs.New())
+	defer srv.Close()
+	defer client.Close()
+	srv.SetQuota("other", QuotaConfig{Rate: 1, Burst: 1})
+
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := client.Stat(ctx, "/"); err != nil {
+			t.Fatalf("stat %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("unlabelled client was throttled: %v", elapsed)
+	}
+}
+
+// TestTenantDeadlineAdmission: a request whose deadline cannot be met by
+// its reserved token slot is rejected with ETIMEDOUT immediately instead
+// of queueing — the reject must come back far sooner than the token wait.
+func TestTenantDeadlineAdmission(t *testing.T) {
+	client, srv := Pipe(memfs.New())
+	defer srv.Close()
+	defer client.Close()
+	srv.SetQuota("t", QuotaConfig{Rate: 0.5, Burst: 1}) // one token, 2s refill
+	client.SetTenant("t")
+
+	ctx := context.Background()
+	if _, err := client.Stat(ctx, "/"); err != nil {
+		t.Fatalf("burst request: %v", err)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Stat(dctx, "/")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("doomed request: err = %v, want deadline exceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("doomed request waited %v instead of failing fast", elapsed)
+	}
+}
+
+// TestTenantQueueOverflow: waiters beyond MaxQueue are rejected rather
+// than queued without bound.
+func TestTenantQueueOverflow(t *testing.T) {
+	client, srv := Pipe(memfs.New())
+	defer srv.Close()
+	defer client.Close()
+	srv.SetQuota("t", QuotaConfig{Rate: 5, Burst: 1, MaxQueue: 2})
+	client.SetTenant("t")
+
+	ctx := context.Background()
+	const n = 10
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := client.Stat(ctx, "/")
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	okN, rejected := 0, 0
+	for err := range errs {
+		switch {
+		case err == nil:
+			okN++
+		case errors.Is(err, context.DeadlineExceeded):
+			rejected++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	// Burst 1 + MaxQueue 2 means at most 3 can be in the bucket's hands
+	// at once; with all 10 arriving together, some must have overflowed.
+	if rejected == 0 {
+		t.Fatalf("no queue-overflow rejects (ok=%d)", okN)
+	}
+	if okN == 0 {
+		t.Fatal("every request was rejected")
+	}
+}
+
+// TestTenantObsCounters: the per-tenant instruments appear in the
+// registry and account for admissions, rejections and replies.
+func TestTenantObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	fs := memfs.New()
+	srv := NewServer(fs)
+	srv.SetObs(reg)
+	srv.SetQuota("acct", QuotaConfig{Rate: 1000, Burst: 1000})
+	client, srv2 := pipeInto(srv)
+	defer srv2.Close()
+	defer client.Close()
+	client.SetTenant("acct")
+
+	ctx := context.Background()
+	for i := 0; i < 7; i++ {
+		if _, err := client.Stat(ctx, "/"); err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+	}
+	if got := reg.Counter(`fuse_tenant_requests_total{tenant="acct"}`).Value(); got != 7 {
+		t.Errorf("tenant requests = %d, want 7", got)
+	}
+	if got := reg.Counter(`fuse_tenant_admitted_total{tenant="acct"}`).Value(); got != 7 {
+		t.Errorf("tenant admitted = %d, want 7", got)
+	}
+	if got := reg.Counter(`fuse_tenant_rejected_total{tenant="acct"}`).Value(); got != 0 {
+		t.Errorf("tenant rejected = %d, want 0", got)
+	}
+}
+
+// TestTenantIsolation: a throttled tenant saturating its bucket must not
+// slow an unthrottled tenant sharing the connection's dispatch loop.
+func TestTenantIsolation(t *testing.T) {
+	fs := memfs.New()
+	srv := NewServer(fs)
+	srv.SetQuota("noisy", QuotaConfig{Rate: 20, Burst: 1, MaxQueue: 64})
+	noisy, srv2 := pipeInto(srv)
+	defer srv2.Close()
+	defer noisy.Close()
+	noisy.SetTenant("noisy")
+	quiet, _ := pipeInto(srv)
+	defer quiet.Close()
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				noisy.Stat(ctx, "/")
+			}
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, err := quiet.Stat(ctx, "/"); err != nil {
+			t.Fatalf("quiet stat: %v", err)
+		}
+	}
+	quietElapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if quietElapsed > 2*time.Second {
+		t.Fatalf("quiet tenant starved: 50 stats took %v", quietElapsed)
+	}
+}
+
+// pipeInto connects a new in-process client to an existing server (Pipe
+// always makes a fresh server, which would drop the quota/obs setup).
+func pipeInto(srv *Server) (*Client, *Server) {
+	c1, c2 := netPipe()
+	srv.mu.Lock()
+	srv.conns[c2] = nil
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	go func() {
+		defer srv.wg.Done()
+		srv.ServeConn(c2)
+	}()
+	return NewClient(c1), srv
+}

@@ -153,3 +153,39 @@ func TestVarmailShape(t *testing.T) {
 		t.Fatalf("gain ordering broken: varmail %.2f, webproxy %.2f, fileserver %.2f", vm, wp, fs)
 	}
 }
+
+// TestShardSourceScaling asserts the sharded-namespace model's point:
+// with mutation demand saturating one root-lock domain, four volumes
+// must deliver at least twice (in fact close to four times) the
+// aggregate throughput of one, gains must be monotone in the volume
+// count, and a single thread must gain nothing from sharding (it only
+// pays the mount-table resolve).
+func TestShardSourceScaling(t *testing.T) {
+	costs := DefaultCosts()
+	// Metadata-dominated namespace mutations: dispatch is small next to
+	// the coupled root/dir sections (cmd/benchjson -suite shard uses the
+	// same calibration).
+	costs.VFS = 400
+	run := func(vols, threads int) Result {
+		return Run(threads, 2000, costs.ShardSource(vols, 64, 1024))
+	}
+	base := run(1, 16).Throughput()
+	v2 := run(2, 16).Throughput()
+	v4 := run(4, 16).Throughput()
+	if v4 < 2*base {
+		t.Fatalf("vols-4 speedup %.2fx < 2x (base %.1f, v4 %.1f)", v4/base, base, v4)
+	}
+	if v2 < 1.4*base {
+		t.Fatalf("vols-2 speedup %.2fx < 1.4x", v2/base)
+	}
+	if v4 < v2 {
+		t.Fatalf("speedup not monotone: vols-2 %.1f > vols-4 %.1f", v2, v4)
+	}
+	s1, s4 := run(1, 1).Throughput(), run(4, 1).Throughput()
+	if s4 > s1*1.01 {
+		t.Fatalf("single thread sped up from sharding: %.1f vs %.1f", s4, s1)
+	}
+	if a, b := run(4, 16), run(4, 16); a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

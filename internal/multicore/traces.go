@@ -17,6 +17,15 @@ const (
 	fileBase   LockID = 1_000_000
 )
 
+// Sharded-namespace lock namespace (ShardSource): each volume owns a
+// root lock and disjoint directory/file lock ranges.
+const (
+	shardRootBase  LockID = 10
+	shardVolStride LockID = 1 << 16
+	shardDirBase   LockID = 1 << 24
+	shardFileBase  LockID = 1 << 28
+)
+
 // Design selects the locking architecture being simulated.
 type Design int
 
@@ -181,6 +190,65 @@ func (c Costs) WebproxySource(d Design, files int, fileBlocks int64) TraceSource
 			return c.opTrace(d, 1, 0, 2, 1, opAppend, 1)
 		default:
 			return c.opTrace(d, 0, file, 2, entries, opReadWhole, fileBlocks)
+		}
+	}
+}
+
+// ShardSource models the sharded-namespace benchmark (DESIGN.md §13): a
+// mutation-heavy create / same-directory-rename / unlink / stat mix over
+// nVolumes independent AtomFS volumes stitched behind a mount table.
+// Thread t is pinned to volume t%nVolumes — the tenant-per-volume
+// placement of atomfsd -volumes. Every mutation's coupled walk passes
+// through its volume's root-lock section, so with one volume the root
+// serializes the whole namespace's mutation demand, while nVolumes
+// volumes shard that demand into independent root-lock domains; the
+// unlocked prefix is VFS dispatch plus, for nVolumes > 1, the mount
+// table's longest-prefix resolution (path split + prefix match, work
+// the flat namespace never pays).
+func (c Costs) ShardSource(nVolumes, dirsPerVol, filesPerVol int) TraceSource {
+	perDir := int64(filesPerVol / dirsPerVol)
+	rootEntries := int64(dirsPerVol)
+	return func(thread, i int) OpTrace {
+		vol := LockID(thread % nVolumes)
+		r := rand.New(rand.NewSource(int64(thread)<<56 | int64(i)))
+		root := shardRootBase + vol
+		dir := shardDirBase + vol*shardVolStride + LockID(r.Intn(dirsPerVol))
+		file := shardFileBase + vol*shardVolStride + LockID(r.Intn(filesPerVol))
+		pre := c.VFS
+		if nVolumes > 1 {
+			pre += c.RootStep / 2 // mount-table longest-prefix resolve
+		}
+		rootWork := c.RootStep + c.EntryCost*rootEntries
+		dirWork := c.DirStep + c.EntryCost*perDir
+		switch i % 4 {
+		case 0: // create + one data block
+			return OpTrace{
+				{Lock: NoLock, Work: pre},
+				{Lock: root, Work: rootWork},
+				{Lock: dir, Work: dirWork + c.Meta},
+				{Lock: file, Work: c.Meta + c.LeafData},
+			}
+		case 1: // same-directory rename: delete + insert under one dir lock
+			return OpTrace{
+				{Lock: NoLock, Work: pre},
+				{Lock: root, Work: rootWork},
+				{Lock: dir, Work: dirWork + 2*c.Meta},
+				{Lock: file, Work: c.Meta / 2},
+			}
+		case 2: // unlink
+			return OpTrace{
+				{Lock: NoLock, Work: pre},
+				{Lock: root, Work: rootWork},
+				{Lock: dir, Work: dirWork + c.Meta},
+				{Lock: file, Work: c.Meta},
+			}
+		default: // stat: the mix keeps a read leg riding the same root
+			return OpTrace{
+				{Lock: NoLock, Work: pre},
+				{Lock: root, Work: rootWork},
+				{Lock: dir, Work: dirWork},
+				{Lock: file, Work: c.Meta / 2},
+			}
 		}
 	}
 }

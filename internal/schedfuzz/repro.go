@@ -33,7 +33,10 @@ type Repro struct {
 	Seed   Seed
 	Mode   core.Mode
 	Unsafe bool
-	RNG    int64
+	// Cross replays the seed against the two-volume namespace
+	// (ExecuteCross) instead of a single FS.
+	Cross bool
+	RNG   int64
 	// Expect is the failure signature the replay must reproduce
 	// (RunResult.Signature); empty means "expect a clean run".
 	Expect string
@@ -51,7 +54,11 @@ func (r *Repro) Options() Options {
 // The RunResult is returned in both cases; err is non-nil exactly when
 // the signature diverges.
 func (r *Repro) Replay() (*RunResult, error) {
-	res := Execute(r.Seed, r.Options())
+	exec := Execute
+	if r.Cross {
+		exec = ExecuteCross
+	}
+	res := exec(r.Seed, r.Options())
 	if got := res.Signature(); got != r.Expect {
 		return res, fmt.Errorf("schedfuzz: replay signature %q, repro expects %q", got, r.Expect)
 	}
@@ -86,6 +93,9 @@ func WriteRepro(w io.Writer, r *Repro) error {
 	fmt.Fprintf(bw, "prefix %s\n", onoff(r.Seed.Prefix))
 	fmt.Fprintf(bw, "epoch %s\n", onoff(r.Seed.Epoch))
 	fmt.Fprintf(bw, "unsafe %s\n", onoff(r.Unsafe))
+	if r.Cross {
+		fmt.Fprintf(bw, "cross on\n")
+	}
 	fmt.Fprintf(bw, "rng %d\n", r.RNG)
 	if r.Expect != "" {
 		fmt.Fprintf(bw, "expect %s\n", r.Expect)
@@ -143,9 +153,9 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 			default:
 				return nil, fail("unknown mode %q", rest)
 			}
-		case "fastpath", "prefix", "epoch", "unsafe":
-			// Older repros predate the prefix and epoch directives; absence
-			// means off.
+		case "fastpath", "prefix", "epoch", "unsafe", "cross":
+			// Older repros predate the prefix, epoch and cross directives;
+			// absence means off.
 			on := rest == "on"
 			if !on && rest != "off" {
 				return nil, fail("%s wants on|off, got %q", dir, rest)
@@ -157,6 +167,8 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 				r.Seed.Prefix = on
 			case "epoch":
 				r.Seed.Epoch = on
+			case "cross":
+				r.Cross = on
 			default:
 				r.Unsafe = on
 			}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/atomfs"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/fsapi"
 	"repro/internal/fstest"
 	"repro/internal/history"
 	"repro/internal/lincheck"
@@ -80,6 +81,10 @@ type RunResult struct {
 	QuiesceErr error
 	// HarnessErr reports a harness malfunction (stall); not a finding.
 	HarnessErr error
+	// VolStats holds each volume's monitor stats in cross-volume runs
+	// (index 0 = root volume); nil for single-volume runs, whose stats
+	// are in Stats.
+	VolStats []core.Stats
 	// Sched is the concrete decision string consumed: the scripted prefix
 	// actually used plus any PRNG extension. Feeding it back as the
 	// seed's Sched replays this run exactly.
@@ -132,15 +137,23 @@ const (
 )
 
 // arrival is one worker event: either a park (worker stopped at a yield
-// point and waits for a grant) or completion (done=true).
+// point and waits for a grant) or completion (done=true). vol identifies
+// which volume's hook fired (always 0 in single-volume runs); inodes are
+// offset per volume before tracking so the ownership maps never conflate
+// two volumes' independent inode spaces.
 type arrival struct {
 	w     int
+	vol   int
 	kind  parkKind
 	done  bool
 	point atomfs.HookPoint
 	op    spec.Op
 	ino   spec.Inum
 }
+
+// volInoStride separates the per-volume inode spaces in the scheduler's
+// ownership tracking (volumes allocate inums independently from 1).
+const volInoStride spec.Inum = 1 << 32
 
 // workerState is the per-worker side of the harness. yieldIdx, fc and
 // fault are only touched by the worker's own goroutine (and read by the
@@ -156,10 +169,13 @@ type workerState struct {
 type faultKey struct{ w, op int }
 
 // harness wires one execution: the fs under test, the monitored
-// channels, and the drain switch.
+// channels, and the drain switch. subject is what workers apply ops to —
+// the fs itself in single-volume runs, the recording namespace wrapper
+// in cross-volume runs.
 type harness struct {
-	fs     *atomfs.FS
-	events chan arrival
+	fs      *atomfs.FS
+	subject fsapi.FS
+	events  chan arrival
 	// current is the worker holding the run token. Written by the
 	// scheduler before each grant; read by the hook on the running
 	// worker's goroutine (the grant-channel send orders the two).
@@ -186,29 +202,36 @@ const (
 
 func (h *harness) cov(key uint64) { h.covSet[key] = struct{}{} }
 
-// hook runs on the currently-granted worker's goroutine at every
-// instrumented yield point: count the yield (fault triggers key off the
-// count), fire any due fault, then park until granted again.
-func (h *harness) hook(ev atomfs.HookEvent) {
-	if h.draining.Load() {
-		return
+// hookFor returns the hook for one volume: it runs on the currently-
+// granted worker's goroutine at every instrumented yield point — count
+// the yield (fault triggers key off the count), fire any due fault, then
+// park until granted again. Single-volume runs install hookFor(0).
+func (h *harness) hookFor(vol int) func(atomfs.HookEvent) {
+	return func(ev atomfs.HookEvent) {
+		if h.draining.Load() {
+			return
+		}
+		ws := h.current
+		if ws == nil {
+			return
+		}
+		ws.yieldIdx++
+		h.maybeFire(ws)
+		k := parkYield
+		switch ev.Point {
+		case atomfs.HookLockAttempt, atomfs.HookFastLock:
+			k = parkLockAttempt
+		case atomfs.HookSeqAttempt:
+			k = parkSeqAttempt
+		case atomfs.HookFastSnap:
+			k = parkFastSnap
+		}
+		ino := ev.Ino
+		if ino != 0 {
+			ino += volInoStride * spec.Inum(vol)
+		}
+		h.park(ws, arrival{w: ws.id, vol: vol, kind: k, point: ev.Point, op: ev.Op, ino: ino})
 	}
-	ws := h.current
-	if ws == nil {
-		return
-	}
-	ws.yieldIdx++
-	h.maybeFire(ws)
-	k := parkYield
-	switch ev.Point {
-	case atomfs.HookLockAttempt, atomfs.HookFastLock:
-		k = parkLockAttempt
-	case atomfs.HookSeqAttempt:
-		k = parkSeqAttempt
-	case atomfs.HookFastSnap:
-		k = parkFastSnap
-	}
-	h.park(ws, arrival{w: ws.id, kind: k, point: ev.Point, op: ev.Op, ino: ev.Ino})
 }
 
 // maybeFire expires the worker's fault context when its op reaches the
@@ -259,13 +282,13 @@ func (h *harness) runWorker(ws *workerState, prog []trace.Entry) {
 		if ws.fc != nil {
 			ctx = ws.fc
 		}
-		ret := fstest.ApplyFS(ctx, h.fs, e.Op, e.Args)
+		ret := fstest.ApplyFS(ctx, h.subject, e.Op, e.Args)
 		if ws.fault != nil && ws.fault.Kind == FaultTransient && isCtxErr(ret.Err) {
 			// retryfs discipline: a transient cancellation is retried once
 			// on a fresh context; the retry is its own scheduled op.
 			ws.fc, ws.fault = nil, nil
 			h.park(ws, arrival{w: ws.id, kind: parkOpStart, op: e.Op})
-			fstest.ApplyFS(bgCtx, h.fs, e.Op, e.Args)
+			fstest.ApplyFS(bgCtx, h.subject, e.Op, e.Args)
 		}
 	}
 	h.events <- arrival{w: ws.id, done: true}
@@ -276,18 +299,20 @@ func (h *harness) runWorker(ws *workerState, prog []trace.Entry) {
 // reclamation the fast path reads the seqlock once and falls back on an
 // odd count, so a snapshot into an open write section cannot spin and
 // is granted freely.
-func blocked(a arrival, owner map[spec.Inum]int, seqOwner int, epoch bool) bool {
+func blocked(a arrival, owner map[spec.Inum]int, seqOwner map[int]int, epoch bool) bool {
 	switch a.kind {
 	case parkLockAttempt:
 		_, held := owner[a.ino]
 		return held
 	case parkSeqAttempt:
-		return seqOwner != -1
+		_, open := seqOwner[a.vol]
+		return open
 	case parkFastSnap:
 		// ReadRetries spins while the write section is open; granting a
 		// snapshot mid-section would hang the single-runner schedule —
 		// unless epoch mode's single-load Current() check is in force.
-		return seqOwner != -1 && !epoch
+		_, open := seqOwner[a.vol]
+		return open && !epoch
 	}
 	return false
 }
@@ -324,7 +349,7 @@ func (h *harness) schedule(d *decider, res *RunResult, stall time.Duration) {
 	parked := make(map[int]arrival)
 	owner := make(map[spec.Inum]int)
 	lastIno := make([]spec.Inum, len(h.workers))
-	seqOwner := -1
+	seqOwner := make(map[int]int) // volume -> worker holding its write section
 	alive := len(h.workers)
 	stopped := false
 	timer := time.NewTimer(stall)
@@ -350,7 +375,7 @@ func (h *harness) schedule(d *decider, res *RunResult, stall time.Duration) {
 					a := parked[w]
 					fmt.Fprintf(&b, "w%d %s parked kind=%d point=%d ino=%d; ", w, a.op, a.kind, a.point, a.ino)
 				}
-				fmt.Fprintf(&b, "owner=%v seqOwner=%d", owner, seqOwner)
+				fmt.Fprintf(&b, "owner=%v seqOwner=%v", owner, seqOwner)
 				res.DeadlockInfo = b.String()
 				h.beginDrain()
 				stopped = true
@@ -365,7 +390,7 @@ func (h *harness) schedule(d *decider, res *RunResult, stall time.Duration) {
 			case parkLockAttempt:
 				owner[a.ino] = w
 			case parkSeqAttempt:
-				seqOwner = w
+				seqOwner[a.vol] = w
 			}
 			h.current = h.workers[w]
 			res.Grants++
@@ -403,7 +428,7 @@ func (h *harness) schedule(d *decider, res *RunResult, stall time.Duration) {
 			case atomfs.HookUnlocked, atomfs.HookFastUnlock:
 				delete(owner, a.ino)
 			case atomfs.HookSeqRelease:
-				seqOwner = -1
+				delete(seqOwner, a.vol)
 			}
 			if a.kind == parkOpStart {
 				res.Ops++
@@ -475,6 +500,7 @@ func Execute(seed Seed, opts Options) *RunResult {
 		fsOpts = append(fsOpts, atomfs.WithUnsafeTraversal())
 	}
 	h.fs = atomfs.New(fsOpts...)
+	h.subject = h.fs
 	for _, d := range explore.SetupDirs {
 		if err := h.fs.Mkdir(bgCtx, d); err != nil {
 			res.HarnessErr = fmt.Errorf("setup %s: %w", d, err)
@@ -490,7 +516,7 @@ func Execute(seed Seed, opts Options) *RunResult {
 	pre := mon.AbstractState()
 	cut := rec.Len()
 
-	h.fs.SetHook(h.hook)
+	h.fs.SetHook(h.hookFor(0))
 	var wg sync.WaitGroup
 	for i := range seed.Threads {
 		ws := &workerState{id: i, grant: make(chan struct{})}

@@ -301,6 +301,52 @@ func TestCleanCampaignSmoke(t *testing.T) {
 	}
 }
 
+// The checked-in ROADMAP-item-6 pair: the TestPrefixMonitoredStress
+// "flake" shrunk to a deterministic schedule. A mknod shortcut-enters at
+// the cached /a/b chain holding only the entry inode's lock; a rename of
+// the (unlocked) ancestor /a commits before the mknod's own LP. Under
+// ModeFixedLP nothing may reorder the two, so the mknod's Aop applies on
+// the post-rename abstract tree — the paper's Figure-1 phenomenon, and a
+// TRUE positive: the violation indicts the fixed-LP discipline, not the
+// shortcut. The replay must produce exactly the refinement signature and
+// must do so through an admitted shortcut entry.
+func TestGoldenPrefixFixedLPOvertake(t *testing.T) {
+	r := loadRepro(t, "prefix_fixedlp_overtake.repro")
+	if r.Mode != core.ModeFixedLP || !r.Seed.Prefix {
+		t.Fatal("golden must run fixedlp with the prefix cache on")
+	}
+	res, err := r.Replay() // Replay fails unless signature == "refinement"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShortcutEntries < 1 {
+		t.Fatalf("violation did not go through a shortcut entry (stats %+v)", res.Stats)
+	}
+}
+
+// The helpers-mode twin: byte-identical ops and schedule, ModeHelpers.
+// The rename's help set picks up the shortcut-entered mknod (its
+// synthesized walk ino-extends the rename's source LockPath) and
+// linothers linearizes it first — the run is clean, and the Helped stat
+// proves the external LP actually fired rather than the race simply not
+// materializing under a drifted schedule.
+func TestGoldenPrefixHelpersOvertake(t *testing.T) {
+	r := loadRepro(t, "prefix_helpers_overtake.repro")
+	if r.Mode != core.ModeHelpers || !r.Seed.Prefix {
+		t.Fatal("golden must run helpers with the prefix cache on")
+	}
+	res, err := r.Replay() // Replay fails unless the run is clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Helped < 1 {
+		t.Fatalf("no external linearization happened (stats %+v)", res.Stats)
+	}
+	if res.Stats.ShortcutEntries < 1 {
+		t.Fatalf("no shortcut entry taken (stats %+v)", res.Stats)
+	}
+}
+
 // The checked-in reader-vs-retire schedule: thread 0's epoch-pinned
 // lockless reads walk /a/b while thread 1 unlinks and recreates their
 // victim, retiring the detached node into epoch limbo. The run must be

@@ -1,0 +1,106 @@
+package slowfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/memfs"
+)
+
+var tctx = context.Background()
+
+// TestTransparentSemantics: the wrapper adds cost, never behavior — every
+// operation's result and error must match the wrapped FS exactly.
+func TestTransparentSemantics(t *testing.T) {
+	fs := NewWithCost(memfs.New(), 10, 1)
+	if err := fs.Mkdir(tctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mknod(tctx, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fs.Write(tctx, "/d/f", 0, []byte("abc")); n != 3 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	got, err := fsapi.ReadAll(tctx, fs, "/d/f", 0, 3)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	info, err := fs.Stat(tctx, "/d/f")
+	if err != nil || info.Size != 3 {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	names, err := fs.Readdir(tctx, "/d")
+	if err != nil || len(names) != 1 || names[0] != "f" {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	if err := fs.Rename(tctx, "/d/f", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(tctx, "/g", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(tctx, "/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir(tctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Errors pass through untouched.
+	if err := fs.Unlink(tctx, "/nope"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("unlink missing: %v", err)
+	}
+	if _, err := fs.Stat(tctx, "/nope"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+}
+
+// TestDelayDeterminism: the injected work is pure CPU spin with no
+// randomness or clock reads — the same costs produce the same number of
+// spin iterations, observable through the package-level sink.
+func TestDelayDeterminism(t *testing.T) {
+	run := func() uint64 {
+		spinSink = 0
+		fs := NewWithCost(memfs.New(), 100, 8)
+		fs.Mknod(tctx, "/f")
+		fs.Write(tctx, "/f", 0, make([]byte, 1024))
+		fs.Read(tctx, "/f", 0, make([]byte, 512))
+		fs.Stat(tctx, "/f")
+		return spinSink
+	}
+	first := run()
+	if first == 0 {
+		t.Fatal("spin loops were eliminated")
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d accumulated %#x, first run %#x", i, got, first)
+		}
+	}
+}
+
+// TestCostScaling: per-byte cost scales with payload size — with zero
+// per-op cost, a metadata op contributes only the spin seed, while a
+// 64 KiB write must mix in real iterations (a different delta).
+func TestCostScaling(t *testing.T) {
+	fs := NewWithCost(memfs.New(), 0, 64)
+	spinSink = 0
+	fs.Mknod(tctx, "/f")
+	metaDelta := spinSink // spin(0): the untouched seed constant
+	spinSink = 0
+	fs.Write(tctx, "/f", 0, make([]byte, 64<<10))
+	writeDelta := spinSink
+	if writeDelta == metaDelta {
+		t.Fatalf("64 KiB write burned no per-byte work (delta %#x)", writeDelta)
+	}
+}
+
+// TestName: the wrapper advertises itself and its inner FS.
+func TestName(t *testing.T) {
+	if got := New(memfs.New()).Name(); got != "slowfs(memfs)" {
+		t.Errorf("name = %q", got)
+	}
+}

@@ -39,6 +39,10 @@ func (fs *AFS) Apply(op Op, args Args) (Ret, []Effect) {
 		return fs.truncate(args.Path, args.Off)
 	case OpReaddir:
 		return fs.readdir(args.Path)
+	case OpDetach:
+		return fs.detach(args.Path)
+	case OpAttach:
+		return fs.attach(args.Path, args.Sub)
 	default:
 		return ErrRet(fserr.ErrInvalid), nil
 	}
@@ -175,6 +179,116 @@ func (fs *AFS) rename(src, dst string) (Ret, []Effect) {
 		Effect{Kind: EffDel, Parent: sdir, Name: sn, Ino: snode},
 		Effect{Kind: EffIns, Parent: ddir, Name: dn, Ino: snode},
 	)
+	return OkRet(), effects
+}
+
+// detach is the source half of a cross-volume rename: it unlinks the named
+// subtree from its parent and frees every inode in it. Any kind detaches —
+// the destination's attach enforces rename's victim type checks, so detach
+// itself only requires that the source link exists.
+func (fs *AFS) detach(path string) (Ret, []Effect) {
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return ErrRet(err), nil
+	}
+	parent, err := fs.Resolve(dirParts)
+	if err != nil {
+		return ErrRet(err), nil
+	}
+	pn := fs.Imap[parent]
+	if pn.Kind != KindDir {
+		return ErrRet(fserr.ErrNotDir), nil
+	}
+	child, ok := pn.Links[name]
+	if !ok {
+		return ErrRet(fserr.ErrNotExist), nil
+	}
+	delete(pn.Links, name)
+	effects := []Effect{{Kind: EffDel, Parent: parent, Name: name, Ino: child}}
+	var free func(Inum)
+	free = func(ino Inum) {
+		n := fs.Imap[ino]
+		delete(fs.Imap, ino)
+		effects = append(effects, Effect{Kind: EffFree, Ino: ino, Node: n})
+		if n.Kind != KindDir {
+			return
+		}
+		names := make([]string, 0, len(n.Links))
+		for nm := range n.Links {
+			names = append(names, nm)
+		}
+		sortStrings(names)
+		for _, nm := range names {
+			free(n.Links[nm])
+		}
+	}
+	free(child)
+	return OkRet(), effects
+}
+
+// attach is the destination half of a cross-volume rename: it grafts the
+// subtree payload under path, assigning fresh inode numbers throughout. An
+// existing destination is overwritten with exactly rename's victim
+// semantics (dir payloads may replace only empty dirs, file payloads may
+// not replace dirs), so the composed detach+attach refines RenameSpec.
+func (fs *AFS) attach(path string, sub *SubTree) (Ret, []Effect) {
+	if sub == nil || (sub.Kind != KindFile && sub.Kind != KindDir) {
+		return ErrRet(fserr.ErrInvalid), nil
+	}
+	dirParts, name, err := pathname.SplitDir(path)
+	if err != nil {
+		return ErrRet(err), nil
+	}
+	parent, err := fs.Resolve(dirParts)
+	if err != nil {
+		return ErrRet(err), nil
+	}
+	pn := fs.Imap[parent]
+	if pn.Kind != KindDir {
+		return ErrRet(fserr.ErrNotDir), nil
+	}
+	var effects []Effect
+	if dnode, exists := pn.Links[name]; exists {
+		dnodeNode := fs.Imap[dnode]
+		if sub.Kind == KindDir {
+			if dnodeNode.Kind != KindDir {
+				return ErrRet(fserr.ErrNotDir), nil
+			}
+			if len(dnodeNode.Links) != 0 {
+				return ErrRet(fserr.ErrNotEmpty), nil
+			}
+		} else if dnodeNode.Kind == KindDir {
+			return ErrRet(fserr.ErrIsDir), nil
+		}
+		delete(pn.Links, name)
+		delete(fs.Imap, dnode)
+		effects = append(effects,
+			Effect{Kind: EffDel, Parent: parent, Name: name, Ino: dnode},
+			Effect{Kind: EffFree, Ino: dnode, Node: dnodeNode},
+		)
+	}
+	var build func(t *SubTree) Inum
+	build = func(t *SubTree) Inum {
+		ino := fs.alloc(t.Kind)
+		n := fs.Imap[ino]
+		effects = append(effects, Effect{Kind: EffCreat, Ino: ino})
+		if t.Kind == KindFile {
+			n.Data = append([]byte(nil), t.Data...)
+			return ino
+		}
+		names := make([]string, 0, len(t.Children))
+		for nm := range t.Children {
+			names = append(names, nm)
+		}
+		sortStrings(names)
+		for _, nm := range names {
+			n.Links[nm] = build(t.Children[nm])
+		}
+		return ino
+	}
+	top := build(sub)
+	pn.Links[name] = top
+	effects = append(effects, Effect{Kind: EffIns, Parent: parent, Name: name, Ino: top})
 	return OkRet(), effects
 }
 

@@ -24,12 +24,22 @@ const (
 	OpWrite
 	OpTruncate
 	OpReaddir
+	// OpDetach and OpAttach are the two halves of a cross-volume rename.
+	// Detach unlinks a whole subtree from its parent (freeing every inode
+	// in it); attach grafts a subtree payload (Args.Sub) under a new name,
+	// overwriting an existing destination with rename's victim semantics.
+	// Neither is client-visible on its own: the mount-table layer composes
+	// detach on the source volume with attach on the destination volume
+	// into one rename, and each volume's monitor checks its own half.
+	OpDetach
+	OpAttach
 )
 
 var opNames = [...]string{
 	OpInvalid: "invalid", OpMknod: "mknod", OpMkdir: "mkdir", OpRmdir: "rmdir",
 	OpUnlink: "unlink", OpRename: "rename", OpStat: "stat", OpRead: "read",
 	OpWrite: "write", OpTruncate: "truncate", OpReaddir: "readdir",
+	OpDetach: "detach", OpAttach: "attach",
 }
 
 func (o Op) String() string {
@@ -42,7 +52,8 @@ func (o Op) String() string {
 // Mutates reports whether the operation can change file system state.
 func (o Op) Mutates() bool {
 	switch o {
-	case OpMknod, OpMkdir, OpRmdir, OpUnlink, OpRename, OpWrite, OpTruncate:
+	case OpMknod, OpMkdir, OpRmdir, OpUnlink, OpRename, OpWrite, OpTruncate,
+		OpDetach, OpAttach:
 		return true
 	}
 	return false
@@ -54,11 +65,14 @@ type Args struct {
 	Path2 string // rename destination
 	Off   int64  // read/write offset; truncate length
 	Size  int    // read length
-	Data  []byte // write payload
+	Data  []byte   // write payload
+	Sub   *SubTree // attach: subtree payload grafted at Path
 }
 
 func (a Args) String() string {
 	switch {
+	case a.Sub != nil:
+		return fmt.Sprintf("%s <= subtree(%s)", a.Path, a.Sub.Kind)
 	case a.Path2 != "":
 		return fmt.Sprintf("%s -> %s", a.Path, a.Path2)
 	case a.Data != nil:

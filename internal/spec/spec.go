@@ -73,6 +73,45 @@ func (n *ANode) Clone() *ANode {
 	return c
 }
 
+// SubTree is a self-contained deep copy of a subtree: the payload that a
+// cross-volume rename carries from the source volume's OpDetach to the
+// destination volume's OpAttach. Unlike ANode it holds its children by
+// value, so it is meaningful outside the inode map that produced it.
+type SubTree struct {
+	Kind     Kind
+	Data     []byte              // files
+	Children map[string]*SubTree // directories
+}
+
+// Count returns the number of inodes in the subtree.
+func (t *SubTree) Count() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// Export deep-copies the subtree rooted at ino into a self-contained
+// payload. It panics on a dangling inode number — callers resolve first.
+func (fs *AFS) Export(ino Inum) *SubTree {
+	n := fs.Imap[ino]
+	if n == nil {
+		panic(fmt.Sprintf("spec: Export of dangling inode %d", ino))
+	}
+	t := &SubTree{Kind: n.Kind}
+	if n.Data != nil {
+		t.Data = append([]byte(nil), n.Data...)
+	}
+	if n.Kind == KindDir {
+		t.Children = make(map[string]*SubTree, len(n.Links))
+		for name, child := range n.Links {
+			t.Children[name] = fs.Export(child)
+		}
+	}
+	return t
+}
+
 // AFS is the abstract file system state.
 type AFS struct {
 	Imap map[Inum]*ANode
