@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint verify bench bench-json bench-writepath bench-scale bench-shard bench-compare bench-scale-compare bench-shard-compare fairness obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover
+.PHONY: all build test race lint verify bench bench-json bench-writepath bench-scale bench-shard bench-compare bench-scale-compare bench-shard-compare fairness obs-overhead figures conform interdep loc clean fuzz fuzz-smoke cover crash-fuzz wal-bench wal-bench-compare
 
 all: build test
 
@@ -50,13 +50,21 @@ fuzz:
 fuzz-smoke:
 	$(GO) run ./cmd/fuzz -budget 30s -seed 7
 
+# Crash-schedule fuzzer (DESIGN.md §14): sequential programs against the
+# journaled FS, the device killed at torn-record and mid-checkpoint byte
+# offsets; every crash point must recover to a relation-accepted state.
+crash-fuzz:
+	$(GO) run ./cmd/fuzz -crash -budget 30s -seed 7
+
 # Statement-coverage floors for the proof-carrying packages (the
 # monitor and the file system under proof), enforced by cmd/covgate.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covgate -profile cover.out \
 		-floor repro/internal/core=72 \
-		-floor repro/internal/atomfs=88
+		-floor repro/internal/atomfs=88 \
+		-floor repro/internal/wal=80 \
+		-floor repro/internal/block=80
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -82,6 +90,27 @@ bench-scale:
 # cross-volume-rename cells. Regenerates the committed baseline.
 bench-shard:
 	$(GO) run ./cmd/benchjson -suite shard -o BENCH_shard.json
+
+# Durability matrix (DESIGN.md §14): group commit vs naive per-op flush
+# under simulated fsync latency (the suite itself enforces >= 2x from
+# batching), journal CPU overhead vs the bare ramdisk, and recovery
+# replay speed. Regenerates the committed baseline.
+wal-bench:
+	$(GO) run ./cmd/benchjson -suite wal -o BENCH_wal.json
+
+# Durability regression gate, enforced by cmd/benchdiff. The strict
+# parts are the pair — group commit may never lose to per-op flushing —
+# and the suite's own >= 2x batching gate, both throughput *ratios* that
+# hold regardless of host speed. The absolute ns/op cells (CPU-bound
+# micro loops, a GC-sensitive recovery replay) swing 25-50% run-to-run
+# on a single-CPU host, so like the shard suite's real-execution cells
+# they get a wide 60% tolerance and only catch order-of-magnitude
+# breakage.
+wal-bench-compare:
+	$(GO) run ./cmd/benchjson -suite wal -o /tmp/BENCH_wal_current.json
+	$(GO) run ./cmd/benchdiff -base BENCH_wal.json -cur /tmp/BENCH_wal_current.json \
+		-threshold 0.6 \
+		-pair "wal/group-commit/parallel-create-8thr/group<=wal/group-commit/parallel-create-8thr/nogroup"
 
 # Nightly regression gate: a fresh writepath run must stay within 15%
 # ns/op of the committed baseline in every cell.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/slowfs"
 	"repro/internal/spec"
 	"repro/internal/vfs"
+	"repro/internal/wal"
 )
 
 // FS is the path-based POSIX-like interface implemented by every file
@@ -92,6 +93,13 @@ func WithPrefixCache() Option { return atomfs.WithPrefixCache() }
 // nodes are freed only after two grace periods (see DESIGN.md §12).
 // Implies the fast path.
 func WithEpoch() Option { return atomfs.WithEpoch() }
+
+// WithJournal attaches a durable write-ahead operation journal: the
+// monitor appends every mutating Aop at its LP commit point, operations
+// block on group-commit durability before returning, and wal.Recover
+// replays the committed prefix after a crash (see DESIGN.md §14).
+// Requires WithMonitor.
+func WithJournal(l *wal.Log) Option { return atomfs.WithJournal(l) }
 
 // EpochStats is a point-in-time snapshot of the reclamation domain:
 // epoch, pins, retired/freed counts, advances, and stalls.

@@ -21,6 +21,11 @@
 //     throughput or the run fails), plus real-execution cells for the
 //     mount table's resolve overhead and the two-phase cross-volume
 //     rename cost → BENCH_shard.json (`make bench-shard`).
+//   - wal: the durability matrix (DESIGN.md §14) — group commit vs
+//     naive per-op flush under simulated fsync latency (the parallel
+//     create cell must show at least 2x throughput from batching or the
+//     run fails), the journal's CPU overhead against the bare ramdisk,
+//     and recovery replay speed → BENCH_wal.json (`make wal-bench`).
 //
 // Usage:
 //
@@ -28,6 +33,7 @@
 //	benchjson -suite writepath    # write BENCH_writepath.json
 //	benchjson -suite scale        # write BENCH_scale.json
 //	benchjson -suite shard        # write BENCH_shard.json
+//	benchjson -suite wal          # write BENCH_wal.json
 //	benchjson -o out.json         # write elsewhere
 //	benchjson -quick              # cheaper run (for smoke testing)
 package main
@@ -45,12 +51,15 @@ import (
 	"time"
 
 	"repro/internal/atomfs"
+	"repro/internal/block"
+	"repro/internal/core"
 	"repro/internal/fsapi"
 	"repro/internal/memfs"
 	"repro/internal/mount"
 	"repro/internal/multicore"
 	"repro/internal/obs"
 	"repro/internal/retryfs"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -80,6 +89,13 @@ type record struct {
 	// shard-sim cell against its suite's vols-1 baseline (shard suite
 	// only; the cell's ns_per_op is virtual ticks per op, not wall ns).
 	SimSpeedup *float64 `json:"sim_speedup_vs_vols1,omitempty"`
+	// WAL stats (wal suite): journal appends, group-commit flushes, the
+	// mean records retired per flush, and the group-commit cell's
+	// throughput ratio over the naive per-op-flush cell.
+	WalAppends  *uint64  `json:"wal_appends,omitempty"`
+	WalCommits  *uint64  `json:"wal_commits,omitempty"`
+	WalAvgBatch *float64 `json:"wal_avg_batch,omitempty"`
+	WalSpeedup  *float64 `json:"wal_group_speedup_vs_nogroup,omitempty"`
 	LatP50Ns    *float64 `json:"lat_p50_ns,omitempty"`
 	LatP99Ns    *float64 `json:"lat_p99_ns,omitempty"`
 	// Context-plumbing counters (fsapi v2): ops that aborted on a
@@ -132,8 +148,10 @@ func main() {
 		results = scaleSuite(*quick)
 	case "shard":
 		results = shardSuite(*quick)
+	case "wal":
+		results = walSuite(*quick)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want fastpath, writepath, scale, or shard)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want fastpath, writepath, scale, shard, or wal)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -308,6 +326,135 @@ func shardSuite(quick bool) []record {
 		benchFS("shard/same-rename/ns-2vol", func() sysUnderTest { return nsSys(2) }, sameVolRename),
 	)
 	return results
+}
+
+// walSuite is the durability matrix (DESIGN.md §14).
+//
+// The headline claim — group commit amortizes the flush so concurrent
+// committers see far better write throughput than a naive flush per
+// operation — is about fsync latency, and this container's "device" is
+// memory, so the flush is simulated: the journal device sleeps
+// walFsyncDelay per Sync, the way a real WAL pays ~50µs for an NVMe
+// flush. Both group-commit cells run the same 8-way parallel create
+// loop; the suite hard-fails if batching does not at least double
+// throughput over per-op flushing — the journal tentpole's acceptance
+// bar.
+//
+// The overhead cells compare the bare monitored ramdisk against the
+// journaled FS with a zero-latency device (the journal's CPU cost:
+// encoding, shadow apply, ticket round-trip) and against the simulated
+// device (what durability actually costs per op when uncontended). The
+// recovery cell measures replaying a checkpoint-less journal tail.
+func walSuite(quick bool) []record {
+	const walFsyncDelay = 50 * time.Microsecond
+	var results []record
+
+	// Group commit vs naive per-op flush, 8 concurrent committers.
+	nogroup := benchFS("wal/group-commit/parallel-create-8thr/nogroup",
+		func() sysUnderTest { return walSys(walFsyncDelay, true) }, walParallelCreate)
+	group := benchFS("wal/group-commit/parallel-create-8thr/group",
+		func() sysUnderTest { return walSys(walFsyncDelay, false) }, walParallelCreate)
+	speedup := nogroup.NsPerOp / group.NsPerOp
+	group.WalSpeedup = &speedup
+	results = append(results, nogroup, group)
+	if speedup < 2 {
+		fmt.Fprintf(os.Stderr,
+			"wal: group commit is %.2fx of naive per-op flush (need >= 2x)\n", speedup)
+		os.Exit(1)
+	}
+	fmt.Printf("wal: group-commit write throughput %.2fx of naive per-op flush (gate: >= 2x)\n", speedup)
+
+	// Durable-vs-ramdisk matrix: the same sequential create/unlink loop
+	// on the bare monitored FS, the journaled FS with a free flush, and
+	// the journaled FS paying the simulated flush per commit.
+	results = append(results,
+		benchFS("wal/create-unlink/ramdisk", func() sysUnderTest { return monSys() }, createUnlink(4)),
+		benchFS("wal/create-unlink/journal-nosync", func() sysUnderTest { return walSys(0, false) }, createUnlink(4)),
+		benchFS("wal/create-unlink/journal-fsync50us", func() sysUnderTest { return walSys(walFsyncDelay, false) }, createUnlink(4)),
+	)
+
+	// Recovery replay: a journal of walRecoverRecords records, recovered
+	// from the device bytes alone each iteration.
+	records := 2000
+	if quick {
+		records = 200
+	}
+	results = append(results, benchWalRecover(records))
+	return results
+}
+
+// monSys is the journal cells' control: the same monitor, no journal.
+func monSys() sysUnderTest {
+	reg := obs.NewRegistry()
+	mon := core.NewMonitor(core.Config{Obs: reg})
+	return sysUnderTest{fs: atomfs.New(atomfs.WithObs(reg), atomfs.WithMonitor(mon)), reg: reg}
+}
+
+// walSys builds a journaled, monitored atomfs over a device that sleeps
+// syncDelay per flush. noGroup disables the group-commit batcher: every
+// append pays its own flush inline.
+func walSys(syncDelay time.Duration, noGroup bool) sysUnderTest {
+	reg := obs.NewRegistry()
+	dev := wal.NewDevice(block.NewStore(1<<16), syncDelay)
+	l := wal.NewLog(dev, wal.Config{CheckpointEvery: 1 << 14, NoGroup: noGroup, Obs: reg})
+	mon := core.NewMonitor(core.Config{Obs: reg})
+	return sysUnderTest{
+		fs:  atomfs.New(atomfs.WithObs(reg), atomfs.WithMonitor(mon), atomfs.WithJournal(l)),
+		reg: reg,
+	}
+}
+
+// walParallelCreate: 8 goroutines each creating distinct files — every
+// op is a journaled mutation blocking on durability, so the cell
+// measures committed-write throughput under concurrency.
+func walParallelCreate(b *testing.B, fs fsapi.FS) {
+	if err := fs.Mkdir(ctx, "/w"); err != nil {
+		b.Fatal(err)
+	}
+	var ids atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := fs.Mknod(ctx, fmt.Sprintf("/w/f%d", ids.Add(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchWalRecover builds one journal of n records, then benchmarks
+// recovering the abstract state from the device bytes alone (Recover is
+// read-only, so the device is reused across iterations).
+func benchWalRecover(n int) record {
+	dev := wal.NewDevice(block.NewStore(1<<16), 0)
+	l := wal.NewLog(dev, wal.Config{})
+	mon := core.NewMonitor(core.Config{})
+	fs := atomfs.New(atomfs.WithMonitor(mon), atomfs.WithJournal(l))
+	if err := fs.Mkdir(ctx, "/w"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := fs.Mknod(ctx, fmt.Sprintf("/w/f%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wal.Recover(dev, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec := record{
+		Name:        fmt.Sprintf("wal/recover/replay-%d", n),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	printRec(rec)
+	return rec
 }
 
 // nsSys builds a namespace of n atomfs volumes — a root volume plus
@@ -524,6 +671,16 @@ func fillObs(rec *record, sut sysUnderTest) {
 		u := uint64(v)
 		rec.EpochStalls = &u
 	}
+	// Journal counters (wal suite cells only).
+	if appends := reg.Counter("wal_appends_total").Value(); appends > 0 {
+		rec.WalAppends = &appends
+		commits := reg.Counter("wal_commits_total").Value()
+		rec.WalCommits = &commits
+		if commits > 0 {
+			avg := float64(reg.Counter("wal_batched_records_total").Value()) / float64(commits)
+			rec.WalAvgBatch = &avg
+		}
+	}
 	// Cancellation counters: per-cell totals plus the report footer's
 	// per-op-type breakdown.
 	var cancelled, deadlined uint64
@@ -572,6 +729,12 @@ func printRec(rec record) {
 	}
 	if rec.PrefixHitRate != nil {
 		line += fmt.Sprintf("  prefix_hit=%.3f", *rec.PrefixHitRate)
+	}
+	if rec.WalAvgBatch != nil {
+		line += fmt.Sprintf("  wal_batch=%.1f", *rec.WalAvgBatch)
+	}
+	if rec.WalSpeedup != nil {
+		line += fmt.Sprintf("  wal_speedup=%.2fx", *rec.WalSpeedup)
 	}
 	if rec.LatP50Ns != nil {
 		line += fmt.Sprintf("  p50=%.0fns p99=%.0fns", *rec.LatP50Ns, *rec.LatP99Ns)

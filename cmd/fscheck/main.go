@@ -14,6 +14,7 @@
 //	fscheck -stress 50           # 50 randomized monitored rounds
 //	fscheck -sweep=false         # skip the exhaustive sweep
 //	fscheck -explore 100         # 100 explorer seeds
+//	fscheck -journal 10          # 10 offline journal-recovery verifications
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/atomfs"
+	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fstest"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/lincheck"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/wal"
 )
 
 // ctx is the tool's root context (mains are execution roots).
@@ -42,6 +45,7 @@ func main() {
 	stress := flag.Int("stress", 20, "randomized monitored stress rounds (0 to skip)")
 	exploreSeeds := flag.Int("explore", 30, "randomized interleaving-explorer seeds (0 to skip)")
 	doSweep := flag.Bool("sweep", true, "exhaustive single-preemption interleaving sweep (rename x each op)")
+	journal := flag.Int("journal", 3, "offline journal-recovery verification rounds (0 to skip)")
 	verbose := flag.Bool("v", false, "print event traces")
 	flag.Parse()
 
@@ -155,9 +159,76 @@ func main() {
 				ops, parks, helped)
 		}
 	}
+	if *journal > 0 {
+		if !journalCampaign(*journal) {
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// journalCampaign is the offline journal verify: each round hammers a
+// journaled, monitored AtomFS concurrently, then — using only the
+// journal device's bytes — recovers the abstract state and checks it
+// against the monitor's view and the abstraction relation over a tree
+// rebuilt from it (the fsck analogue for the WAL of DESIGN.md §14).
+func journalCampaign(rounds int) bool {
+	fmt.Printf("--- offline journal verify: %d rounds, concurrent journaled runs + recovery ---\n", rounds)
+	okAll := true
+	for round := 0; round < rounds; round++ {
+		dev := wal.NewDevice(block.NewStore(8192), 0)
+		l := wal.NewLog(dev, wal.Config{CheckpointEvery: 16})
+		mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+		fs := atomfs.New(atomfs.WithMonitor(mon), atomfs.WithJournal(l))
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				stream := fstest.NewOpStream(int64(round*47 + w))
+				for i := 0; i < 12; i++ {
+					op, args := stream.Next()
+					fstest.ApplyFS(ctx, fs, op, args)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := mon.Quiesce(); err != nil {
+			fmt.Printf("  round %d quiesce: %v\n", round, err)
+			okAll = false
+			continue
+		}
+		if n := fs.JournalErrors(); n > 0 {
+			fmt.Printf("  round %d: %d journal errors\n", round, n)
+			okAll = false
+			continue
+		}
+		recovered, info, err := wal.Recover(dev, nil)
+		if err != nil {
+			fmt.Printf("  round %d recover: %v\n", round, err)
+			okAll = false
+			continue
+		}
+		if got, want := recovered.Key(), mon.AbstractState().Key(); got != want {
+			fmt.Printf("  round %d: recovered state diverges from the monitor's abstract state\n", round)
+			okAll = false
+			continue
+		}
+		if err := core.CompareStates(recovered, mon.AbstractState(), nil); err != nil {
+			fmt.Printf("  round %d relation: %v\n", round, err)
+			okAll = false
+			continue
+		}
+		if round == 0 {
+			fmt.Printf("  round 0: %s\n", info)
+		}
+	}
+	if okAll {
+		fmt.Printf("  all %d recoveries match the live abstract state\n", rounds)
+	}
+	return okAll
 }
 
 // stressCampaign runs rounds of randomized concurrent operations on a

@@ -9,7 +9,14 @@
 //
 //	fuzz -budget 30s                                # CI smoke: clean tree must stay clean
 //	fuzz -bug fixedlp -expect-violation -repro r.txt # negative test: find Figure 1, shrink it
+//	fuzz -crash -budget 30s                          # crash-schedule fuzzing of the WAL
 //	fsreplay -repro r.txt                            # replay the shrunk counterexample
+//
+// With -crash the campaign explores journal crash schedules instead of
+// thread interleavings: sequential programs against a journaled AtomFS
+// whose device dies at chosen byte offsets (torn records, mid-checkpoint
+// crashes), each recovery checked against the golden prefix state and
+// the abstraction relation (see internal/schedfuzz ExecuteCrash).
 //
 // Exit codes: 0 = the campaign matched expectations (clean without
 // -expect-violation, a finding with it), 1 = the opposite, 2 = usage or
@@ -41,8 +48,14 @@ func main() {
 	maxRuns := flag.Int("max-runs", 0, "stop after this many executions (0 = budget only)")
 	reproOut := flag.String("repro", "", "write the shrunk repro of a finding to this file")
 	expectViolation := flag.Bool("expect-violation", false, "invert the exit code: succeed only if a finding was made")
+	crash := flag.Bool("crash", false, "fuzz journal crash schedules instead of thread interleavings")
+	crashOps := flag.Int("crash-ops", 24, "program length for -crash campaigns")
 	verbose := flag.Bool("v", false, "verbose progress")
 	flag.Parse()
+
+	if *crash {
+		os.Exit(crashMain(*budget, *seed, *crashOps, *maxRuns, *reproOut, *expectViolation, *verbose))
+	}
 
 	cfg := schedfuzz.FuzzConfig{
 		Budget:       *budget,
@@ -121,4 +134,61 @@ func main() {
 		return
 	}
 	os.Exit(1)
+}
+
+// crashMain runs a crash-schedule campaign and returns the exit code.
+func crashMain(budget time.Duration, seed int64, ops, maxRuns int, reproOut string, expectViolation, verbose bool) int {
+	cfg := schedfuzz.CrashFuzzConfig{
+		Budget:  budget,
+		Seed:    seed,
+		Ops:     ops,
+		MaxRuns: maxRuns,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep := schedfuzz.FuzzCrash(cfg)
+	if rep.Failure == nil {
+		fmt.Printf("fuzz -crash: clean — %d programs, %d crash points, %v\n",
+			rep.Programs, rep.Runs, rep.Elapsed.Round(time.Millisecond))
+		if expectViolation {
+			fmt.Fprintln(os.Stderr, "fuzz -crash: expected a finding but the campaign came up clean")
+			return 1
+		}
+		return 0
+	}
+
+	f := rep.Failure
+	fmt.Printf("fuzz -crash: FINDING %q after %d runs (%v)\n", f.Signature, rep.Runs, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  shrunk %d→%d ops (crash@%d, ckpt %d) in %d extra runs\n",
+		f.OrigOps, f.MinOps, f.Seed.Crash, f.Seed.CkptEvery, f.ShrinkSpent)
+	fmt.Printf("  %s\n", f.Result)
+
+	if reproOut != "" {
+		notes := []string{
+			fmt.Sprintf("found by cmd/fuzz -crash -seed %d after %d runs", seed, rep.Runs),
+			fmt.Sprintf("shrunk %d->%d ops; replay: fsreplay -repro <this file>", f.OrigOps, f.MinOps),
+			f.Result.Detail,
+		}
+		out, err := os.Create(reproOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		werr := schedfuzz.WriteRepro(out, f.Repro(notes))
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 2
+		}
+		fmt.Printf("  repro written to %s\n", reproOut)
+	}
+	if expectViolation {
+		return 0
+	}
+	return 1
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pathname"
 	"repro/internal/spec"
+	"repro/internal/wal"
 )
 
 // HookPoint identifies an instrumentation point for deterministic
@@ -224,6 +225,15 @@ type FS struct {
 	prefixMisses atomic.Uint64
 	prefixInvals atomic.Uint64
 
+	// Durable journal (WithJournal): every mutating Aop is appended by
+	// the monitor at its LP commit point (core.AopJournal); operations
+	// block on group-commit durability after their unlocks. jerrs counts
+	// journal failures the file system swallowed — after a (injected)
+	// device crash the file system keeps serving from memory and the
+	// crash harness reads the log's Broken state instead.
+	jlog  *wal.Log
+	jerrs atomic.Uint64
+
 	// Observability (WithObs): cached instrument handles; nil when the
 	// file system runs against the no-op registry.
 	obs       *obsPack
@@ -297,6 +307,17 @@ func WithEpoch() Option {
 // shortcut only when they fall back to the locked walk.
 func WithPrefixCache() Option { return func(fs *FS) { fs.prefix = true } }
 
+// WithJournal attaches a durable write-ahead operation journal
+// (DESIGN.md §14). Requires WithMonitor: the monitor's LP commit point
+// is the journal append point — every mutating Aop is appended under
+// the monitor's atomic block at the instant it executes, so journal
+// order is the linearization order by construction (including Aops
+// executed at an external LP by a rename's linothers or a cross-volume
+// HelpCommit, which no call-site hook could order correctly). Each
+// operation then waits for group-commit durability after releasing its
+// locks, before returning to the client.
+func WithJournal(l *wal.Log) Option { return func(fs *FS) { fs.jlog = l } }
+
 // WithBlocks sizes the ramdisk in blocks (default 1<<18 blocks = 1 GiB).
 func WithBlocks(n int) Option {
 	return func(fs *FS) { fs.store = block.NewStore(n) }
@@ -343,8 +364,14 @@ func New(opts ...Option) *FS {
 	fs.root = &node{ino: spec.RootIno, kind: spec.KindDir, dir: dir.New[*node]()}
 	fs.nextIno.Store(int64(spec.RootIno) + 1)
 	fs.registry[spec.RootIno] = fs.root
+	if fs.jlog != nil && fs.mon == nil {
+		panic("atomfs: WithJournal requires WithMonitor (the LP commit point is the append point)")
+	}
 	if fs.mon != nil {
 		fs.mon.AttachView((*view)(fs))
+		if fs.jlog != nil {
+			fs.mon.SetJournal((*jsink)(fs))
+		}
 	}
 	if fs.obsReg != nil {
 		fs.obs = newObsPack(fs, fs.obsReg, fs.obsSample)
@@ -403,6 +430,29 @@ func (fs *FS) EpochStats() epoch.Stats {
 // under the adaptive write-domination veto; they count in neither
 // FastPathStats total.
 func (fs *FS) FastPathVetoed() uint64 { return fs.fastVetoed.Load() }
+
+// Journal returns the attached write-ahead log (nil unless WithJournal).
+func (fs *FS) Journal() *wal.Log { return fs.jlog }
+
+// JournalErrors reports how many journal appends or durability waits
+// failed and were swallowed (nonzero only after a device crash).
+func (fs *FS) JournalErrors() uint64 { return fs.jerrs.Load() }
+
+// jsink adapts FS's journal to the monitor's AopJournal. AppendAop runs
+// under the monitor's atomic block — the LP commit point — so the
+// record sequence is the linearization order; the returned wait carries
+// the group-commit durability ticket back to the operation's end.
+type jsink FS
+
+func (s *jsink) AppendAop(op spec.Op, args spec.Args) func() error {
+	fs := (*FS)(s)
+	tk, err := fs.jlog.Append(op, args)
+	if err != nil {
+		fs.jerrs.Add(1)
+		return nil
+	}
+	return tk.Wait
+}
 
 func (fs *FS) newNode(kind spec.Kind) *node {
 	n := &node{ino: spec.Inum(fs.nextIno.Add(1) - 1), kind: kind}
@@ -535,6 +585,20 @@ func (o *op) end(ret spec.Ret) spec.Ret {
 		o.obsEnd(p)
 	}
 	o.s.End(ret)
+	if o.fs.jlog != nil {
+		// Durability gate: block on the group-commit flush covering this
+		// operation's journal record. All inode locks are already released
+		// (end runs after the unlock path), so waiters stall no one and
+		// concurrent committers coalesce behind one device flush. Journal
+		// failures (an injected device crash) are counted, not surfaced:
+		// the in-memory result stands and the crash harness reads the
+		// log's Broken state.
+		if w := o.s.JournalWait(); w != nil {
+			if err := w(); err != nil {
+				o.fs.jerrs.Add(1)
+			}
+		}
+	}
 	o.fs, o.s, o.ctx = nil, nil, nil
 	opPool.Put(o)
 	return ret

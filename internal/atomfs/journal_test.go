@@ -1,0 +1,160 @@
+package atomfs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+func newJournaled(t *testing.T, cfg wal.Config) (*FS, *core.Monitor, *wal.Log, *wal.Device) {
+	t.Helper()
+	dev := wal.NewDevice(block.NewStore(8192), 0)
+	l := wal.NewLog(dev, cfg)
+	mon := core.NewMonitor(core.Config{CheckGoodAFS: true})
+	fs := New(WithMonitor(mon), WithJournal(l))
+	return fs, mon, l, dev
+}
+
+func TestJournalRequiresMonitor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithJournal without WithMonitor did not panic")
+		}
+	}()
+	New(WithJournal(wal.NewLog(wal.NewDevice(block.NewStore(64), 0), wal.Config{})))
+}
+
+// TestJournalRoundTrip drives every mutating op kind through a
+// journaled, monitored file system and checks that recovery from the
+// device alone reproduces the monitor's abstract state — and that the
+// abstraction relation accepts the recovered tree against a concrete
+// snapshot.
+func TestJournalRoundTrip(t *testing.T) {
+	fs, mon, l, dev := newJournaled(t, wal.Config{})
+	ctx := context.Background()
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(fs.Mkdir(ctx, "/d"))
+	must(fs.Mknod(ctx, "/d/f"))
+	_, err := fs.Write(ctx, "/d/f", 0, []byte("hello world"))
+	must(err)
+	must(fs.Mkdir(ctx, "/e"))
+	must(fs.Rename(ctx, "/d/f", "/e/g"))
+	must(fs.Truncate(ctx, "/e/g", 5))
+	must(fs.Mknod(ctx, "/victim"))
+	must(fs.Unlink(ctx, "/victim"))
+	// Reads must not be journaled.
+	if _, err := fs.Stat(ctx, "/e/g"); err != nil {
+		t.Fatal(err)
+	}
+	// A failing mutation must not be journaled either.
+	if err := fs.Mkdir(ctx, "/d"); err == nil {
+		t.Fatal("duplicate mkdir succeeded")
+	}
+
+	if got, want := l.LastSeq(), uint64(8); got != want {
+		t.Fatalf("journaled %d records, want %d (reads/failures must not journal)", got, want)
+	}
+	if l.DurableSeq() != l.LastSeq() {
+		t.Fatalf("returned ops not durable: %d < %d", l.DurableSeq(), l.LastSeq())
+	}
+	if fs.JournalErrors() != 0 {
+		t.Fatalf("journal errors: %d", fs.JournalErrors())
+	}
+	if fs.Journal() != l {
+		t.Fatal("Journal() accessor mismatch")
+	}
+
+	recovered, info, err := wal.Recover(dev, nil)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if info.LastSeq != l.LastSeq() {
+		t.Fatalf("recovered seq %d, want %d", info.LastSeq, l.LastSeq())
+	}
+	if recovered.Key() != mon.AbstractState().Key() {
+		t.Fatalf("recovered state differs from monitor's abstract state:\n%s\n%s",
+			recovered.Key(), mon.AbstractState().Key())
+	}
+	// The recovered abstract state must also stand in the abstraction
+	// relation to the live concrete tree (quiescent: no locked inodes).
+	if err := core.CompareStates(recovered, (*view)(fs).Snapshot(), nil); err != nil {
+		t.Fatalf("relation over recovered state: %v", err)
+	}
+	if err := mon.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := mon.Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+// TestJournalConcurrent hammers a journaled FS from many goroutines —
+// including cross-directory renames so helped (externally linearized)
+// Aops occur — and checks the journal's replay equals the monitor's
+// abstract state: append order matched linearization order.
+func TestJournalConcurrent(t *testing.T) {
+	fs, mon, l, dev := newJournaled(t, wal.Config{CheckpointEvery: 64})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := fs.Mkdir(ctx, fmt.Sprintf("/d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			home := fmt.Sprintf("/d%d", w%4)
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("%s/w%d_%d", home, w, i)
+				_ = fs.Mknod(ctx, name)
+				_, _ = fs.Write(ctx, name, 0, []byte(name))
+				if i%3 == 0 {
+					_ = fs.Rename(ctx, name, fmt.Sprintf("/d%d/r%d_%d", (w+1)%4, w, i))
+				}
+				if i%5 == 0 {
+					_, _ = fs.Stat(ctx, name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := mon.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := mon.Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if fs.JournalErrors() != 0 {
+		t.Fatalf("journal errors: %d", fs.JournalErrors())
+	}
+	if l.DurableSeq() != l.LastSeq() {
+		t.Fatalf("quiescent but not durable: %d < %d", l.DurableSeq(), l.LastSeq())
+	}
+
+	recovered, _, err := wal.Recover(dev, nil)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if recovered.Key() != mon.AbstractState().Key() {
+		t.Fatal("concurrent journal replay diverges from the monitor's abstract state")
+	}
+	if err := core.CompareStates(recovered, (*view)(fs).Snapshot(), nil); err != nil {
+		t.Fatalf("relation over recovered state: %v", err)
+	}
+}

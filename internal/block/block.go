@@ -123,6 +123,28 @@ func (s *Store) Data(idx Index) []byte {
 	return s.blocks[idx]
 }
 
+// Range calls fn for every materialized block in ascending index order —
+// every block that has ever been allocated, whether currently in use or
+// sitting on a free list (the store has no per-block ownership record, by
+// design: a real disk does not know which sectors a file system considers
+// live). fn returning false stops the iteration. The visiting order is
+// deterministic, which is what lets a journal checkpoint walk its blocks
+// byte-reproducibly; the data slices alias the store, exactly like Data.
+// Callers guarantee quiescence, as with InUse.
+func (s *Store) Range(fn func(idx Index, data []byte) bool) {
+	s.nextMu.Lock()
+	hi := s.next
+	s.nextMu.Unlock()
+	for i := Index(0); i < hi; i++ {
+		if s.blocks[i] == nil {
+			continue // freed and re-pooled storage is never nil; this is a hole from a torn init
+		}
+		if !fn(i, s.blocks[i]) {
+			return
+		}
+	}
+}
+
 // InUse returns the number of currently allocated blocks. It is advisory
 // under concurrency and exact when quiescent; tests use it to detect leaks.
 func (s *Store) InUse() int {

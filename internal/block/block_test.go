@@ -107,6 +107,96 @@ func TestConcurrentAllocNoDoubleHandout(t *testing.T) {
 	}
 }
 
+func TestDeterministicAllocOrder(t *testing.T) {
+	// A single-threaded allocator with a fixed hint must hand out blocks
+	// in a reproducible order: fresh blocks ascend from 0, and frees are
+	// recycled LIFO from the hint's shard. Journal checkpoints depend on
+	// this — two identical runs must place the same bytes in the same
+	// blocks.
+	run := func() []Index {
+		s := NewStore(16)
+		var order []Index
+		for i := 0; i < 6; i++ {
+			idx, err := s.Alloc(0)
+			if err != nil {
+				t.Fatalf("alloc %d: %v", i, err)
+			}
+			order = append(order, idx)
+		}
+		s.Free(order[1], 0)
+		s.Free(order[4], 0)
+		for i := 0; i < 3; i++ {
+			idx, err := s.Alloc(0)
+			if err != nil {
+				t.Fatalf("realloc %d: %v", i, err)
+			}
+			order = append(order, idx)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 6; i++ {
+		if first[i] != Index(i) {
+			t.Fatalf("fresh allocation %d got block %d, want %d", i, first[i], i)
+		}
+	}
+	// LIFO recycling: the two frees come back newest-first, then a fresh
+	// block from the monotonic frontier.
+	if first[6] != first[4] || first[7] != first[1] || first[8] != Index(6) {
+		t.Fatalf("recycle order %v, want [%d %d 6]", first[6:], first[4], first[1])
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("allocation order diverged at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := NewStore(8)
+	var idxs []Index
+	for i := 0; i < 4; i++ {
+		idx, _ := s.Alloc(0)
+		s.Data(idx)[0] = byte('a' + i)
+		idxs = append(idxs, idx)
+	}
+	s.Free(idxs[2], 0) // freed blocks remain materialized and visited
+
+	var seen []Index
+	var firstBytes []byte
+	s.Range(func(idx Index, data []byte) bool {
+		seen = append(seen, idx)
+		firstBytes = append(firstBytes, data[0])
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("Range visited %d blocks, want 4", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != Index(i) {
+			t.Fatalf("Range order %v, want ascending from 0", seen)
+		}
+	}
+	if string(firstBytes) != "abcd" {
+		t.Fatalf("Range bytes %q, want %q", firstBytes, "abcd")
+	}
+
+	// Early stop.
+	n := 0
+	s.Range(func(Index, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false: %d visits, want 1", n)
+	}
+
+	// Never-allocated tail is not visited.
+	empty := NewStore(4)
+	empty.Range(func(Index, []byte) bool {
+		t.Fatal("Range on empty store visited a block")
+		return false
+	})
+}
+
 func TestPropertyAllocFreeBalance(t *testing.T) {
 	f := func(ops []bool, hint uint64) bool {
 		s := NewStore(32)

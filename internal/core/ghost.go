@@ -142,6 +142,10 @@ type Descriptor struct {
 	// that unreachable anyway; the help-set exclusion keeps it so under
 	// every variant), and Ending with it still set is a ViolCross leak.
 	crossPending bool
+	// jwait is the durability wait of the Aop's journal record (set at
+	// linearize when a Journal sink is configured), handed to the
+	// operation through Session.JournalWait after its End.
+	jwait func() error
 }
 
 func (d *Descriptor) isRename() bool { return d.op == spec.OpRename }

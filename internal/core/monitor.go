@@ -83,6 +83,24 @@ type Config struct {
 	// shutdown). It runs under the monitor's internal lock: it must not
 	// call back into the Monitor or Session API.
 	OnViolation func(Violation)
+	// Journal, when set, receives every successfully executed mutating
+	// Aop at the instant it runs (see AopJournal). Usually wired by
+	// atomfs.WithJournal via SetJournal rather than set here.
+	Journal AopJournal
+}
+
+// AopJournal is a durable sink for executed Aops — internal/wal.Log,
+// wired through atomfs.WithJournal. AppendAop is called under the
+// monitor's atomic block at the instant a mutating Aop executes on the
+// abstract state, so journal order IS linearization order by
+// construction — including Aops executed at an external LP (a rename's
+// linothers, a cross-volume HelpCommit), which a call-site hook in the
+// file system would record out of order. AppendAop must not block on
+// I/O durability; it returns a wait closure (nil when nothing was
+// journaled) that the operation calls after releasing its locks to
+// block until the record is durable.
+type AopJournal interface {
+	AppendAop(op spec.Op, args spec.Args) func() error
 }
 
 // Monitor is the CRL-H runtime verifier.
@@ -176,6 +194,14 @@ func NewMonitor(cfg Config) *Monitor {
 func (m *Monitor) AttachView(v View) {
 	m.mu.Lock()
 	m.view = v
+	m.mu.Unlock()
+}
+
+// SetJournal wires the Aop journal sink (see AopJournal); the file
+// system calls this at construction when built WithJournal.
+func (m *Monitor) SetJournal(j AopJournal) {
+	m.mu.Lock()
+	m.cfg.Journal = j
 	m.mu.Unlock()
 }
 
@@ -787,6 +813,22 @@ func (s *Session) End(concrete spec.Ret) {
 	}
 }
 
+// JournalWait hands over the durability wait of the session's journaled
+// Aop, or nil when nothing was journaled (no Journal sink, a read, a
+// failed or aborted Aop). Called by the file system after End, with no
+// locks held: the wait may flush the device (group commit) and block.
+func (s *Session) JournalWait() func() error {
+	if s == nil {
+		return nil
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := s.d.jwait
+	s.d.jwait = nil
+	return w
+}
+
 // linearize executes d's Aop on the abstract state and marks it done.
 // helper is the thread performing the linearization (== d.tid at a fixed
 // LP). Caller holds m.mu.
@@ -805,6 +847,12 @@ func (m *Monitor) linearize(d *Descriptor, helper uint64) {
 	d.ret = ret
 	d.helper = helper
 	d.effects = effects
+	if j := m.cfg.Journal; j != nil && ret.Err == nil && d.op.Mutates() {
+		// The LP commit point is the journal append point: the record is
+		// appended here, in linearization order, and the operation picks
+		// up the durability wait after its unlocks (JournalWait).
+		d.jwait = j.AppendAop(d.op, d.args)
+	}
 	m.stats.Linearized++
 	if o := m.obs; o != nil {
 		o.linearized.Inc(d.tid)
@@ -912,6 +960,17 @@ func (m *Monitor) checkRelationLocked() error {
 	rolled := spec.Rollback(m.afs, effects)
 	locked := m.view.LockedInodes()
 	return compareRelaxed(rolled, concrete, locked)
+}
+
+// CompareStates checks the abstraction relation between an abstract and
+// a concrete state directly — the same name-based lockstep walk the
+// monitor runs at Quiesce, exposed for callers that hold both states
+// outside a live monitor. Journal recovery is the canonical user: the
+// replayed abstract state on one side, a concrete file system rebuilt
+// from it on the other, with no inodes locked (lockedCon nil) because a
+// recovered system is quiescent by construction.
+func CompareStates(abs, con *spec.AFS, lockedCon map[spec.Inum]bool) error {
+	return compareRelaxed(abs, con, lockedCon)
 }
 
 // compareRelaxed walks the abstract (rolled-back) and concrete trees in

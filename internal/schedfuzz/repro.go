@@ -36,7 +36,13 @@ type Repro struct {
 	// Cross replays the seed against the two-volume namespace
 	// (ExecuteCross) instead of a single FS.
 	Cross bool
-	RNG   int64
+	// Journal replays the seed as a crash schedule (ExecuteCrash):
+	// thread 0 is the sequential program, CkptEvery the checkpoint
+	// cadence, Crash the journal byte offset at which the device dies.
+	Journal   bool
+	CkptEvery int
+	Crash     int64
+	RNG       int64
 	// Expect is the failure signature the replay must reproduce
 	// (RunResult.Signature); empty means "expect a clean run".
 	Expect string
@@ -52,8 +58,13 @@ func (r *Repro) Options() Options {
 
 // Replay executes the repro and checks the outcome against Expect.
 // The RunResult is returned in both cases; err is non-nil exactly when
-// the signature diverges.
+// the signature diverges. Journal repros run through ExecuteCrash and
+// return a nil RunResult — use ReplayCrash for the crash-run detail.
 func (r *Repro) Replay() (*RunResult, error) {
+	if r.Journal {
+		_, err := r.ReplayCrash()
+		return nil, err
+	}
 	exec := Execute
 	if r.Cross {
 		exec = ExecuteCross
@@ -61,6 +72,24 @@ func (r *Repro) Replay() (*RunResult, error) {
 	res := exec(r.Seed, r.Options())
 	if got := res.Signature(); got != r.Expect {
 		return res, fmt.Errorf("schedfuzz: replay signature %q, repro expects %q", got, r.Expect)
+	}
+	return res, nil
+}
+
+// ReplayCrash executes a journal repro as a crash schedule and checks
+// the verdict against Expect.
+func (r *Repro) ReplayCrash() (*CrashResult, error) {
+	if !r.Journal {
+		return nil, fmt.Errorf("schedfuzz: not a journal repro")
+	}
+	var prog []trace.Entry
+	if len(r.Seed.Threads) > 0 {
+		prog = r.Seed.Threads[0]
+	}
+	res := ExecuteCrash(CrashSeed{Prog: prog, CkptEvery: r.CkptEvery, Crash: r.Crash})
+	if got := res.Signature(); got != r.Expect {
+		return res, fmt.Errorf("schedfuzz: crash replay signature %q, repro expects %q: %s",
+			got, r.Expect, res.Detail)
 	}
 	return res, nil
 }
@@ -95,6 +124,11 @@ func WriteRepro(w io.Writer, r *Repro) error {
 	fmt.Fprintf(bw, "unsafe %s\n", onoff(r.Unsafe))
 	if r.Cross {
 		fmt.Fprintf(bw, "cross on\n")
+	}
+	if r.Journal {
+		fmt.Fprintf(bw, "journal on\n")
+		fmt.Fprintf(bw, "ckpt %d\n", r.CkptEvery)
+		fmt.Fprintf(bw, "crash %d\n", r.Crash)
 	}
 	fmt.Fprintf(bw, "rng %d\n", r.RNG)
 	if r.Expect != "" {
@@ -153,9 +187,9 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 			default:
 				return nil, fail("unknown mode %q", rest)
 			}
-		case "fastpath", "prefix", "epoch", "unsafe", "cross":
-			// Older repros predate the prefix, epoch and cross directives;
-			// absence means off.
+		case "fastpath", "prefix", "epoch", "unsafe", "cross", "journal":
+			// Older repros predate the prefix, epoch, cross and journal
+			// directives; absence means off.
 			on := rest == "on"
 			if !on && rest != "off" {
 				return nil, fail("%s wants on|off, got %q", dir, rest)
@@ -169,9 +203,23 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 				r.Seed.Epoch = on
 			case "cross":
 				r.Cross = on
+			case "journal":
+				r.Journal = on
 			default:
 				r.Unsafe = on
 			}
+		case "ckpt":
+			v, err := strconv.Atoi(rest)
+			if err != nil || v < 0 {
+				return nil, fail("bad ckpt %q", rest)
+			}
+			r.CkptEvery = v
+		case "crash":
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fail("bad crash offset %q", rest)
+			}
+			r.Crash = v
 		case "rng":
 			v, err := strconv.ParseInt(rest, 10, 64)
 			if err != nil {

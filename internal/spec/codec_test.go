@@ -1,0 +1,156 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randSubTree(r *rand.Rand, depth int) *SubTree {
+	if depth == 0 || r.Intn(3) == 0 {
+		t := &SubTree{Kind: KindFile}
+		if n := r.Intn(20); n > 0 {
+			t.Data = make([]byte, n)
+			r.Read(t.Data)
+		}
+		return t
+	}
+	t := &SubTree{Kind: KindDir, Children: map[string]*SubTree{}}
+	for i := r.Intn(4); i > 0; i-- {
+		name := string(rune('a' + r.Intn(6)))
+		t.Children[name] = randSubTree(r, depth-1)
+	}
+	return t
+}
+
+func subTreeEqual(a, b *SubTree) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Kind != b.Kind || !bytes.Equal(a.Data, b.Data) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for name, ac := range a.Children {
+		if !subTreeEqual(ac, b.Children[name]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubTreeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		orig := randSubTree(r, 3)
+		enc := AppendSubTree(nil, orig)
+		dec, rest, err := DecodeSubTree(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode left %d bytes", len(rest))
+		}
+		if !subTreeEqual(orig, dec) {
+			t.Fatalf("roundtrip mismatch:\n%+v\n%+v", orig, dec)
+		}
+		// Deterministic: re-encoding the decode is byte-identical.
+		if !bytes.Equal(enc, AppendSubTree(nil, dec)) {
+			t.Fatal("re-encode not byte-identical")
+		}
+	}
+}
+
+func TestSubTreeNil(t *testing.T) {
+	enc := AppendSubTree(nil, nil)
+	dec, rest, err := DecodeSubTree(enc)
+	if err != nil || dec != nil || len(rest) != 0 {
+		t.Fatalf("nil roundtrip: %v %v %d", dec, err, len(rest))
+	}
+}
+
+func TestArgsRoundTrip(t *testing.T) {
+	cases := []Args{
+		{},
+		{Path: "/a/b"},
+		{Path: "/a", Path2: "/b"},
+		{Path: "/f", Off: 4096, Data: []byte("payload")},
+		{Path: "/f", Off: 7, Size: 123},
+		{Path: "/dst", Sub: &SubTree{Kind: KindDir, Children: map[string]*SubTree{
+			"f": {Kind: KindFile, Data: []byte("x")},
+			"d": {Kind: KindDir, Children: map[string]*SubTree{}},
+		}}},
+	}
+	for i, a := range cases {
+		enc := AppendArgs(nil, a)
+		dec, rest, err := DecodeArgs(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d trailing bytes", i, len(rest))
+		}
+		if dec.Path != a.Path || dec.Path2 != a.Path2 || dec.Off != a.Off ||
+			dec.Size != a.Size || !bytes.Equal(dec.Data, a.Data) || !subTreeEqual(dec.Sub, a.Sub) {
+			t.Fatalf("case %d: roundtrip mismatch: %+v vs %+v", i, a, dec)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := AppendArgs(nil, Args{Path: "/a/b/c", Data: []byte("hello"),
+		Sub: &SubTree{Kind: KindDir, Children: map[string]*SubTree{"f": {Kind: KindFile}}}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeArgs(full[:cut]); !errors.Is(err, ErrCodec) {
+			t.Fatalf("cut at %d: err = %v, want ErrCodec", cut, err)
+		}
+	}
+	if _, _, err := DecodeSubTree([]byte{99}); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if _, _, err := DecodeSubTree(nil); !errors.Is(err, ErrCodec) {
+		t.Fatal("empty subtree decode succeeded")
+	}
+}
+
+func TestFromSubTree(t *testing.T) {
+	afs := New()
+	for _, e := range []struct {
+		op   Op
+		args Args
+	}{
+		{OpMkdir, Args{Path: "/d"}},
+		{OpMkdir, Args{Path: "/d/e"}},
+		{OpMknod, Args{Path: "/d/f"}},
+		{OpWrite, Args{Path: "/d/f", Data: []byte("contents")}},
+		{OpMknod, Args{Path: "/top"}},
+	} {
+		if ret, _ := afs.Apply(e.op, e.args); ret.Err != nil {
+			t.Fatalf("%s: %v", e.op, ret.Err)
+		}
+	}
+	rebuilt, err := FromSubTree(afs.Export(afs.Root))
+	if err != nil {
+		t.Fatalf("FromSubTree: %v", err)
+	}
+	if rebuilt.Key() != afs.Key() {
+		t.Fatalf("rebuilt key mismatch:\n%s\n%s", rebuilt.Key(), afs.Key())
+	}
+	if err := rebuilt.GoodAFS(); err != nil {
+		t.Fatalf("rebuilt not well-formed: %v", err)
+	}
+	// The rebuilt state must be live: applying an op must work.
+	if ret, _ := rebuilt.Apply(OpMknod, Args{Path: "/d/e/new"}); ret.Err != nil {
+		t.Fatalf("apply on rebuilt: %v", ret.Err)
+	}
+
+	if _, err := FromSubTree(nil); err == nil {
+		t.Fatal("FromSubTree(nil) succeeded")
+	}
+	if _, err := FromSubTree(&SubTree{Kind: KindFile}); err == nil {
+		t.Fatal("FromSubTree(file) succeeded")
+	}
+}

@@ -1,0 +1,373 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// On-device layout (DESIGN.md §14). All multi-byte integers are
+// little-endian fixed width (the superblock and record headers must be
+// scannable without a varint state machine).
+//
+//	[0,      4096)  superblock slot A
+//	[4096,   8192)  superblock slot B
+//	[8192,   ...)   append stream: records and checkpoint blobs
+//
+// Record:      0xA7 | op u8 | seq u64 | plen u32 | payload | crc u32
+// Checkpoint:  0xC7 | seq u64 | plen u32 | payload | crc u32
+// Superblock:  "AWALSB1\0" | version u64 | ckptOff u64 | ckptLen u64 |
+//              ckptSeq u64 | logStart u64 | crc u32
+//
+// Every crc is IEEE CRC-32 over all preceding bytes of the structure, so
+// a torn write — a prefix of the structure followed by zeros — is
+// detected with overwhelming probability. The superblock is written to
+// alternating slots (slot = version mod 2) and recovery takes the valid
+// slot with the larger version: a crash mid-superblock leaves the other
+// slot intact, so there is always a consistent (checkpoint, logStart)
+// pair to recover from.
+const (
+	sbSlotSize = 4096
+	logBase    = 2 * sbSlotSize
+
+	recMagic  = 0xA7
+	ckptMagic = 0xC7
+
+	recHdrSize  = 1 + 1 + 8 + 4 // magic, op, seq, plen
+	ckptHdrSize = 1 + 8 + 4     // magic, seq, plen
+	crcSize     = 4
+
+	// maxPayload bounds a scanned record's claimed payload so garbage
+	// cannot induce giant allocations during recovery.
+	maxPayload = 1 << 24
+)
+
+var sbMagic = [8]byte{'A', 'W', 'A', 'L', 'S', 'B', '1', 0}
+
+// Config tunes a Log.
+type Config struct {
+	// CheckpointEvery takes a snapshot checkpoint after this many
+	// appended records (0 = only explicit CheckpointNow calls).
+	CheckpointEvery int
+	// NoGroup disables the group-commit batcher: every append flushes the
+	// device inline before returning — the naive per-op durability
+	// baseline the benchmark suite compares against.
+	NoGroup bool
+	// Obs receives journal counters; nil runs unobserved.
+	Obs *obs.Registry
+}
+
+// Log is the append-only operation journal. Appends are serialized by an
+// internal mutex (callers append inside their own critical sections, so
+// conflicting operations are already ordered; the mutex orders the
+// commutative rest); durability waits ride the group-commit batcher.
+type Log struct {
+	dev *Device
+	cfg Config
+
+	mu  sync.Mutex // append/checkpoint section
+	end int64      // next append offset
+	seq uint64     // last assigned record seq
+	// shadow is the journal's own abstract state: every appended record
+	// applied in append order. By construction it equals the replay of
+	// the whole log, which makes checkpoints (encoded from it) correct by
+	// the same argument that makes replay correct. It also arms a cheap
+	// divergence check: a record whose Aop fails against the shadow can
+	// never have succeeded concretely in that order.
+	shadow *spec.AFS
+	// sinceCkpt counts records since the last checkpoint; version is the
+	// next superblock version to write.
+	sinceCkpt int
+	version   uint64
+
+	// Group commit: committers park on cond; one becomes the leader,
+	// flushes the device once, and publishes durableSeq for the batch.
+	// Lock order is strictly mu before cmu — Wait never touches mu while
+	// holding cmu (the leader releases cmu around its seq read and its
+	// flush), which is why broken lives here and not under mu.
+	cmu        sync.Mutex
+	cond       *sync.Cond
+	flushing   bool
+	durableSeq uint64
+	broken     error // sticky first device error (ErrCrashed)
+
+	// Counters (always non-nil; a private registry when Config.Obs is).
+	cAppends *obs.Counter
+	cCommits *obs.Counter
+	cBatched *obs.Counter
+	cCkpts   *obs.Counter
+	cTruncBl *obs.Counter
+	hBatch   *obs.Histogram
+}
+
+// NewLog formats a fresh journal on dev (any prior contents are ignored;
+// use Recover to read them first).
+func NewLog(dev *Device, cfg Config) *Log {
+	l := &Log{
+		dev:    dev,
+		cfg:    cfg,
+		end:    logBase,
+		shadow: spec.New(),
+	}
+	l.cond = sync.NewCond(&l.cmu)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	l.cAppends = reg.Counter("wal_appends_total")
+	l.cCommits = reg.Counter("wal_commits_total")
+	l.cBatched = reg.Counter("wal_batched_records_total")
+	l.cCkpts = reg.Counter("wal_checkpoints_total")
+	l.cTruncBl = reg.Counter("wal_truncated_blocks_total")
+	l.hBatch = reg.Histogram("wal_batch_records")
+	return l
+}
+
+// Ticket is one append's claim on durability: Wait blocks until a flush
+// covering the record has completed (possibly performed by this caller
+// as the batch leader) and returns nil, or returns ErrCrashed if the
+// device died first.
+type Ticket struct {
+	l   *Log
+	seq uint64
+}
+
+// Append journals one committed operation and returns its durability
+// ticket. It MUST be called at the operation's linearization point,
+// while the operation still holds the locks that ordered it against
+// conflicting operations: that is what makes journal order a valid
+// linearization order (see DESIGN.md §14). The payload is serialized
+// immediately, so argument buffers may be reused after return.
+func (l *Log) Append(op spec.Op, args spec.Args) (Ticket, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.Broken(); err != nil {
+		return Ticket{}, err
+	}
+	if ret, _ := l.shadow.Apply(op, args); ret.Err != nil {
+		// The caller's concrete operation succeeded; the same Aop failing
+		// against the shadow means the journal's order diverged from the
+		// linearization order — a bug worth failing loudly over.
+		return Ticket{}, fmt.Errorf("wal: shadow divergence at seq %d: %s %s: %w",
+			l.seq+1, op, args.String(), ret.Err)
+	}
+	l.seq++
+	rec := encodeRecord(op, l.seq, args)
+	if err := l.dev.WriteAt(l.end, rec); err != nil {
+		l.fail(err)
+		return Ticket{}, err
+	}
+	l.end += int64(len(rec))
+	l.cAppends.Inc(0)
+	t := Ticket{l: l, seq: l.seq}
+	l.sinceCkpt++
+	if l.cfg.NoGroup {
+		if err := l.dev.Sync(); err != nil {
+			l.fail(err)
+			return Ticket{}, err
+		}
+		l.cCommits.Inc(0)
+		l.cBatched.Inc(0)
+		l.hBatch.Observe(0, 1)
+		l.setDurable(l.seq)
+	}
+	if l.cfg.CheckpointEvery > 0 && l.sinceCkpt >= l.cfg.CheckpointEvery {
+		if err := l.checkpointLocked(); err != nil {
+			l.fail(err)
+			return Ticket{}, err
+		}
+	}
+	return t, nil
+}
+
+func (l *Log) setDurable(seq uint64) {
+	l.cmu.Lock()
+	if seq > l.durableSeq {
+		l.durableSeq = seq
+	}
+	l.cmu.Unlock()
+	l.cond.Broadcast()
+}
+
+// fail latches the first device error and wakes every parked waiter.
+func (l *Log) fail(err error) {
+	l.cmu.Lock()
+	if l.broken == nil {
+		l.broken = err
+	}
+	l.cmu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Wait blocks until the record is durable. Concurrent waiters coalesce:
+// the first to arrive becomes the flush leader, syncs the device once,
+// and the whole batch — every record appended before the leader's cut —
+// is published together. Late arrivals whose record the in-flight flush
+// does not cover wait for the next round and one of them leads it.
+func (t Ticket) Wait() error {
+	l := t.l
+	if l == nil {
+		return nil // zero Ticket: journaling disabled
+	}
+	l.cmu.Lock()
+	for {
+		if l.durableSeq >= t.seq {
+			l.cmu.Unlock()
+			return nil
+		}
+		if l.broken != nil {
+			err := l.broken
+			l.cmu.Unlock()
+			return err
+		}
+		if l.flushing {
+			l.cond.Wait()
+			continue
+		}
+		// Leader: flush once for everything appended so far.
+		l.flushing = true
+		prev := l.durableSeq
+		l.cmu.Unlock()
+		l.mu.Lock()
+		cut := l.seq // t.seq <= cut: our record was appended before Wait
+		l.mu.Unlock()
+		err := l.dev.Sync()
+		l.cmu.Lock()
+		l.flushing = false
+		if err != nil {
+			if l.broken == nil {
+				l.broken = err
+			}
+			l.cmu.Unlock()
+			l.cond.Broadcast()
+			return err
+		}
+		if cut > l.durableSeq {
+			l.durableSeq = cut
+		}
+		batch := int64(cut) - int64(prev)
+		l.cmu.Unlock()
+		l.cond.Broadcast()
+		l.cCommits.Inc(0)
+		if batch > 0 {
+			l.cBatched.Add(0, uint64(batch))
+			l.hBatch.Observe(0, batch)
+		}
+		return nil
+	}
+}
+
+// CheckpointNow takes a snapshot checkpoint immediately.
+func (l *Log) CheckpointNow() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.Broken(); err != nil {
+		return err
+	}
+	if err := l.checkpointLocked(); err != nil {
+		l.fail(err)
+		return err
+	}
+	return nil
+}
+
+// checkpointLocked writes the shadow snapshot into the append stream,
+// seals it with a superblock flip, and physically truncates the log
+// prefix it supersedes. Called with l.mu held.
+//
+// Crash safety: the blob is written and synced BEFORE the superblock
+// that points at it, and the superblock goes to the slot the current
+// generation is not using. A crash anywhere in between leaves the old
+// superblock pointing at the old checkpoint and old logStart — and the
+// bytes of the half-written new blob sit past the old log's records,
+// where the replay scan stops at the first non-record byte.
+func (l *Log) checkpointLocked() error {
+	payload := spec.AppendSubTree(nil, l.shadow.Export(l.shadow.Root))
+	blob := make([]byte, 0, ckptHdrSize+len(payload)+crcSize)
+	blob = append(blob, ckptMagic)
+	blob = binary.LittleEndian.AppendUint64(blob, l.seq)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(payload)))
+	blob = append(blob, payload...)
+	blob = binary.LittleEndian.AppendUint32(blob, crc32.ChecksumIEEE(blob))
+
+	ckptOff := l.end
+	if err := l.dev.WriteAt(ckptOff, blob); err != nil {
+		return err
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.end = ckptOff + int64(len(blob))
+
+	l.version++
+	sb := make([]byte, 0, len(sbMagic)+5*8+crcSize)
+	sb = append(sb, sbMagic[:]...)
+	sb = binary.LittleEndian.AppendUint64(sb, l.version)
+	sb = binary.LittleEndian.AppendUint64(sb, uint64(ckptOff))
+	sb = binary.LittleEndian.AppendUint64(sb, uint64(len(blob)))
+	sb = binary.LittleEndian.AppendUint64(sb, l.seq)
+	sb = binary.LittleEndian.AppendUint64(sb, uint64(l.end))
+	sb = binary.LittleEndian.AppendUint32(sb, crc32.ChecksumIEEE(sb))
+	slot := int64(l.version%2) * sbSlotSize
+	if err := l.dev.WriteAt(slot, sb); err != nil {
+		return err
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	// The checkpoint seals every record before it; their storage — and
+	// the previous checkpoint's — is reclaimable. The superblock slots
+	// below logBase are never truncated.
+	l.cTruncBl.Add(0, uint64(l.dev.TruncateRange(logBase, ckptOff)))
+	l.sinceCkpt = 0
+	l.cCkpts.Inc(0)
+	// A checkpoint makes everything up to its cut durable.
+	l.setDurable(l.seq)
+	return nil
+}
+
+// LastSeq returns the seq of the last appended record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// DurableSeq returns the seq up to which records are known durable
+// (covered by a completed flush).
+func (l *Log) DurableSeq() uint64 {
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	return l.durableSeq
+}
+
+// Broken returns the sticky device error, if any (ErrCrashed after an
+// armed crash point fired).
+func (l *Log) Broken() error {
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	return l.broken
+}
+
+// ShadowKey returns the canonical key of the journal's shadow state —
+// what a full replay of the log must reproduce.
+func (l *Log) ShadowKey() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shadow.Key()
+}
+
+func encodeRecord(op spec.Op, seq uint64, args spec.Args) []byte {
+	payload := spec.AppendArgs(nil, args)
+	rec := make([]byte, 0, recHdrSize+len(payload)+crcSize)
+	rec = append(rec, recMagic, byte(op))
+	rec = binary.LittleEndian.AppendUint64(rec, seq)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	return rec
+}
