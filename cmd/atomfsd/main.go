@@ -85,6 +85,7 @@ func main() {
 	journal := flag.Bool("journal", false, "write-ahead journal per volume with recovery verify on shutdown (implies -monitor)")
 	journalCkpt := flag.Int("journal-ckpt", 256, "journal checkpoint cadence in records")
 	journalBlocks := flag.Int("journal-blocks", 1<<16, "journal device size in 4KiB blocks")
+	noCoalesce := flag.Bool("no-coalesce", false, "one vectored write per reply frame (baseline for the coalescing win; DESIGN.md s15)")
 	flag.Parse()
 
 	if *journal && !*monitored {
@@ -177,6 +178,7 @@ func main() {
 	}
 	srv := fuse.NewServer(fs)
 	srv.SetObs(reg)
+	srv.SetCoalesce(!*noCoalesce)
 	if *quota != "" {
 		for _, ent := range strings.Split(*quota, ",") {
 			tenant, budget, ok := strings.Cut(strings.TrimSpace(ent), "=")

@@ -9,6 +9,7 @@
 //	write <path> <txt> overwrite a file with text
 //	append <path> <txt>
 //	cat <path>         print a file
+//	readv <path> <off:len> ...  scattered extents, one round trip remote
 //	mv <src> <dst>     rename
 //	rm <path>          unlink a file
 //	rmdir <path>       remove an empty directory
@@ -25,8 +26,8 @@
 package main
 
 import (
-	"context"
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -126,7 +127,7 @@ func (sh *shell) exec(line string) bool {
 	case "exit", "quit":
 		return false
 	case "help":
-		fmt.Fprintln(sh.out, "ls tree mkdir touch write append cat mv rm rmdir stat save load help exit")
+		fmt.Fprintln(sh.out, "ls tree mkdir touch write append cat readv mv rm rmdir stat save load help exit")
 	case "ls":
 		path := "/"
 		if len(args) > 0 {
@@ -202,6 +203,38 @@ func (sh *shell) exec(line string) bool {
 				break
 			}
 			fmt.Fprintf(sh.out, "%s\n", data)
+		}
+	case "readv":
+		// readv <path> <off:len> [off:len ...] — scattered extents in one
+		// wire round trip when the FS is a remote mount (fuse.Client);
+		// local file systems serve the extents with sequential reads.
+		if need(2) {
+			offs := make([]int64, 0, len(args)-1)
+			dsts := make([][]byte, 0, len(args)-1)
+			bad := false
+			for _, ext := range args[1:] {
+				var off int64
+				var size int
+				if _, err := fmt.Sscanf(ext, "%d:%d", &off, &size); err != nil || off < 0 || size < 0 {
+					fmt.Fprintf(sh.out, "readv: bad extent %q (want off:len)\n", ext)
+					sh.failed = true
+					bad = true
+					break
+				}
+				offs = append(offs, off)
+				dsts = append(dsts, make([]byte, size))
+			}
+			if bad {
+				break
+			}
+			ns, err := readvExtents(sh.fs, args[0], offs, dsts)
+			if err != nil {
+				fail(err)
+				break
+			}
+			for i := range offs {
+				fmt.Fprintf(sh.out, "[%d:%d] %d bytes: %s\n", offs[i], len(dsts[i]), ns[i], dsts[i][:ns[i]])
+			}
 		}
 	case "mv":
 		if need(2) {
@@ -307,4 +340,24 @@ func join(dir, name string) string {
 		return "/" + name
 	}
 	return dir + "/" + name
+}
+
+// readvExtents fetches scattered extents of one file: a single wire
+// round trip when fs supports vectored reads (fuse.Client), sequential
+// fsapi.Read calls otherwise.
+func readvExtents(fs fsapi.FS, path string, offs []int64, dsts [][]byte) ([]int, error) {
+	if rv, ok := fs.(interface {
+		Readv(ctx context.Context, path string, offs []int64, dsts [][]byte) ([]int, error)
+	}); ok {
+		return rv.Readv(ctx, path, offs, dsts)
+	}
+	ns := make([]int, len(offs))
+	for i := range offs {
+		n, err := fs.Read(ctx, path, offs[i], dsts[i])
+		if err != nil {
+			return nil, err
+		}
+		ns[i] = n
+	}
+	return ns, nil
 }

@@ -100,3 +100,18 @@ func TestShellWriteCreates(t *testing.T) {
 		t.Fatalf("write did not auto-create:\n%s", out)
 	}
 }
+
+func TestShellReadv(t *testing.T) {
+	out, failed := runScript(t, "write /f abcdefghij; readv /f 0:3 7:5 2:0")
+	if failed {
+		t.Fatalf("script failed:\n%s", out)
+	}
+	for _, want := range []string{"[0:3] 3 bytes: abc", "[7:5] 3 bytes: hij", "[2:0] 0 bytes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if out, failed := runScript(t, "write /f abc; readv /f nonsense"); !failed || !strings.Contains(out, "bad extent") {
+		t.Errorf("bad extent spec not rejected:\n%s", out)
+	}
+}

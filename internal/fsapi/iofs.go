@@ -1,0 +1,217 @@
+package fsapi
+
+// IOFS adapts an FS to the standard library's read-only io/fs.FS view,
+// so generic tooling — testing/fstest.TestFS conformance, fs.WalkDir,
+// fs.Glob, template loading, http.FS — runs unmodified against any file
+// system in this repository, local or over the wire. The adapter carries
+// the context the FS methods need: io/fs has no per-call context, so the
+// one captured at construction bounds every operation issued through the
+// returned value.
+
+import (
+	"context"
+	"errors"
+	"io"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"time"
+
+	"repro/internal/fserr"
+	"repro/internal/spec"
+)
+
+// IOFS is the io/fs.FS view of an FS. It also implements fs.ReadDirFS;
+// directories opened through it implement fs.ReadDirFile.
+type IOFS struct {
+	fs  FS
+	ctx context.Context
+}
+
+// NewIOFS wraps fs as an io/fs.FS. ctx bounds every operation made
+// through the adapter.
+func NewIOFS(ctx context.Context, fs FS) *IOFS { return &IOFS{fs: fs, ctx: ctx} }
+
+// abs maps an io/fs name (slash-separated, no leading slash, "." for the
+// root) to the leading-slash form FS methods take.
+func abs(name string) string {
+	if name == "." {
+		return "/"
+	}
+	return "/" + name
+}
+
+// pathErr wraps an FS error as a *fs.PathError, translating the fserr
+// sentinels that have io/fs equivalents so errors.Is(err, fs.ErrNotExist)
+// and friends work.
+func pathErr(op, name string, err error) error {
+	switch {
+	case errors.Is(err, fserr.ErrNotExist):
+		err = iofs.ErrNotExist
+	case errors.Is(err, fserr.ErrExist):
+		err = iofs.ErrExist
+	case errors.Is(err, fserr.ErrInvalid):
+		err = iofs.ErrInvalid
+	}
+	return &iofs.PathError{Op: op, Path: name, Err: err}
+}
+
+// Open opens the named file or directory for reading.
+func (f *IOFS) Open(name string) (iofs.File, error) {
+	if !iofs.ValidPath(name) {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: iofs.ErrInvalid}
+	}
+	info, err := f.fs.Stat(f.ctx, abs(name))
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	fi := fileInfo{name: path.Base(name), info: info}
+	if info.Kind == spec.KindDir {
+		return &ioDir{fsys: f, name: name, fi: fi}, nil
+	}
+	return &ioFile{fsys: f, name: name, fi: fi}, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (f *IOFS) ReadDir(name string) ([]iofs.DirEntry, error) {
+	if !iofs.ValidPath(name) {
+		return nil, &iofs.PathError{Op: "readdir", Path: name, Err: iofs.ErrInvalid}
+	}
+	return f.entries(name)
+}
+
+// entries lists name's children as DirEntries in lexical order. A child
+// unlinked between the listing and its stat is skipped — the snapshot
+// io/fs promises is per-call, not cross-call.
+func (f *IOFS) entries(name string) ([]iofs.DirEntry, error) {
+	names, err := f.fs.Readdir(f.ctx, abs(name))
+	if err != nil {
+		return nil, pathErr("readdir", name, err)
+	}
+	sort.Strings(names) // io/fs requires lexical order; FS does not promise one
+	out := make([]iofs.DirEntry, 0, len(names))
+	for _, n := range names {
+		child := n
+		if name != "." {
+			child = name + "/" + n
+		}
+		info, err := f.fs.Stat(f.ctx, abs(child))
+		if err != nil {
+			if errors.Is(err, fserr.ErrNotExist) {
+				continue
+			}
+			return nil, pathErr("readdir", child, err)
+		}
+		out = append(out, dirEntry{fileInfo{name: n, info: info}})
+	}
+	return out, nil
+}
+
+// fileInfo implements fs.FileInfo over an Info. The repository's file
+// systems track no permissions or times (the paper's interface has
+// neither), so modes are synthetic read-only bits and ModTime is zero.
+type fileInfo struct {
+	name string
+	info Info
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return fi.info.Size }
+func (fi fileInfo) Mode() iofs.FileMode {
+	if fi.info.Kind == spec.KindDir {
+		return iofs.ModeDir | 0o555
+	}
+	return 0o444
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.info.Kind == spec.KindDir }
+func (fi fileInfo) Sys() any           { return nil }
+
+type dirEntry struct{ fi fileInfo }
+
+func (d dirEntry) Name() string                 { return d.fi.name }
+func (d dirEntry) IsDir() bool                  { return d.fi.IsDir() }
+func (d dirEntry) Type() iofs.FileMode          { return d.fi.Mode().Type() }
+func (d dirEntry) Info() (iofs.FileInfo, error) { return d.fi, nil }
+
+// ioFile is an open regular file: a cursor over FS.Read.
+type ioFile struct {
+	fsys *IOFS
+	name string
+	fi   fileInfo
+	off  int64
+}
+
+func (f *ioFile) Stat() (iofs.FileInfo, error) { return f.fi, nil }
+func (f *ioFile) Close() error                 { return nil }
+
+func (f *ioFile) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := f.fsys.fs.Read(f.fsys.ctx, abs(f.name), f.off, p)
+	if err != nil {
+		return 0, pathErr("read", f.name, err)
+	}
+	f.off += int64(n)
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt: FS.Read is already positional.
+func (f *ioFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, &iofs.PathError{Op: "read", Path: f.name, Err: iofs.ErrInvalid}
+	}
+	n, err := f.fsys.fs.Read(f.fsys.ctx, abs(f.name), off, p)
+	if err != nil {
+		return 0, pathErr("read", f.name, err)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// ioDir is an open directory implementing fs.ReadDirFile. The listing is
+// fetched once, on first need, and paged out by ReadDir.
+type ioDir struct {
+	fsys    *IOFS
+	name    string
+	fi      fileInfo
+	entries []iofs.DirEntry
+	listed  bool
+	pos     int
+}
+
+func (d *ioDir) Stat() (iofs.FileInfo, error) { return d.fi, nil }
+func (d *ioDir) Close() error                 { return nil }
+
+func (d *ioDir) Read(p []byte) (int, error) {
+	return 0, &iofs.PathError{Op: "read", Path: d.name, Err: errors.New("is a directory")}
+}
+
+func (d *ioDir) ReadDir(n int) ([]iofs.DirEntry, error) {
+	if !d.listed {
+		ents, err := d.fsys.entries(d.name)
+		if err != nil {
+			return nil, err
+		}
+		d.entries, d.listed = ents, true
+	}
+	rest := d.entries[d.pos:]
+	if n <= 0 {
+		d.pos = len(d.entries)
+		return rest, nil
+	}
+	if len(rest) == 0 {
+		return nil, io.EOF
+	}
+	if n > len(rest) {
+		n = len(rest)
+	}
+	d.pos += n
+	return rest[:n:n], nil
+}

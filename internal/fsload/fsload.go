@@ -1,0 +1,286 @@
+// Package fsload is an open-loop load generator for fsapi.FS targets
+// (DESIGN.md §15). Closed-loop benchmarks — N workers, each issuing its
+// next request when the previous one returns — cannot see queueing
+// collapse: when the server slows down, a closed loop slows its own
+// offered load in lockstep and the latency curve stays flat. An open
+// loop schedules arrivals from a Poisson process at a fixed offered
+// rate regardless of how the system is keeping up, and measures each
+// operation's latency from its SCHEDULED arrival time, so time spent
+// waiting behind a backlog counts. Past the saturation knee the backlog
+// grows without bound and the tail explodes — exactly the behaviour an
+// overloaded file server shows real clients and the figure the net
+// bench suite gates on.
+package fsload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op is one operation issued by the generator. i is the arrival's index
+// (for picking paths/offsets); implementations must be safe for
+// concurrent calls.
+type Op func(ctx context.Context, i int) error
+
+// Config parameterizes one fixed-rate run.
+type Config struct {
+	// Rate is the offered load in operations per second.
+	Rate float64
+	// Duration bounds how long arrivals are generated (completion may
+	// run slightly longer to drain).
+	Duration time.Duration
+	// MaxOutstanding caps concurrently executing operations (0 means
+	// 1024). The cap models a finite client population: past it,
+	// arrivals keep their scheduled timestamps and queue for a slot, so
+	// the wait still lands in the measured latency.
+	MaxOutstanding int
+	// Seed feeds the arrival process; runs with equal seeds draw
+	// identical arrival schedules.
+	Seed int64
+	// DisableGC turns the garbage collector off for the duration of the
+	// run (one forced collection before, re-enabled after). On a
+	// single-CPU host a concurrent mark cycle freezes every goroutine
+	// for several milliseconds — two orders of magnitude above the wire
+	// RTT — so with the collector on, the p99.9 of ANY cell measures the
+	// Go runtime, not the file server. Heap growth over a cell is
+	// bounded by rate x duration x a few hundred bytes per op.
+	DisableGC bool
+	// Pacers splits arrival generation across this many independent
+	// Poisson processes (0 means 4). Superposing independent Poisson
+	// streams is EXACTLY Poisson at the summed rate, so this changes
+	// nothing statistically — but it shrinks the timer-quantization
+	// artifact by the same factor: one pacer sleeping through a
+	// millisecond of timer overshoot wakes to dump rate x 1ms arrivals in
+	// a single burst, while K pacers dump K bursts a Kth the size at
+	// uncorrelated instants, which is far closer to the Poisson process
+	// the run claims to offer.
+	Pacers int
+}
+
+// Result summarizes one fixed-rate run.
+type Result struct {
+	Offered float64 // ops/sec requested (nominal Poisson rate)
+	// Arrived is the rate actually scheduled: arrivals divided by the
+	// generation window. It differs from Offered only by Poisson sampling
+	// noise, and is the fair baseline for the saturation test (short runs
+	// can draw 15% fewer arrivals than nominal by chance).
+	Arrived  float64
+	Achieved float64 // ops/sec completed (errors included)
+
+	Ops    int
+	Errors int
+
+	P50, P99, P999, Max time.Duration
+}
+
+// Saturated reports whether the run kept up with the load actually
+// offered: every arrival completes eventually (the generator drains), so
+// falling behind shows up as the run stretching past its generation
+// window and Achieved dropping below Arrived. The first rate that fails
+// this is past the knee.
+func (r Result) Saturated() bool { return r.Achieved < 0.95*r.Arrived }
+
+// arrival is one scheduled operation: its intended start instant and its
+// index. It travels to the worker pool by value — the generator allocates
+// nothing per arrival, so the measurement apparatus does not feed the
+// garbage collector whose pauses it is trying to observe.
+type arrival struct {
+	at  time.Time
+	idx int
+}
+
+// Run offers Poisson arrivals of op at cfg.Rate for cfg.Duration and
+// reports completion-latency quantiles measured from each arrival's
+// scheduled time.
+//
+// Structure: cfg.Pacers pacer goroutines each walk an independent
+// Poisson schedule at a share of the rate (superposition — see
+// Config.Pacers) and feed a fixed pool of MaxOutstanding workers through
+// a deep channel. When every worker is busy, arrivals queue in the
+// channel with their scheduled timestamps intact, so the wait for a free
+// worker — the open-loop backlog — lands in the measured latency. Sleep
+// overshoot in a pacer (around a millisecond on small hosts) delays
+// dispatch but never shifts the schedule: the pacer catches up by
+// issuing everything already due in a burst, which keeps the offered
+// RATE exact at the cost of some extra burstiness — a strictly harsher
+// arrival process, never a flattering one.
+func Run(ctx context.Context, op Op, cfg Config) Result {
+	maxOut := cfg.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = 1024
+	}
+	pacers := cfg.Pacers
+	if pacers <= 0 {
+		pacers = 4
+	}
+	if cfg.DisableGC {
+		runtime.GC()
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	}
+	queue := make(chan arrival, 1<<16)
+	var wg sync.WaitGroup
+	// Per-worker sample slices: no lock, no cross-worker false sharing on
+	// the hot append.
+	workerLats := make([][]time.Duration, maxOut)
+	workerErrs := make([]int, maxOut)
+	for w := 0; w < maxOut; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for a := range queue {
+				err := op(ctx, a.idx)
+				workerLats[w] = append(workerLats[w], time.Since(a.at))
+				if err != nil {
+					workerErrs[w]++
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var pwg sync.WaitGroup
+	for p := 0; p < pacers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)))
+			next := start
+			n := 0
+			for {
+				gap := time.Duration(rng.ExpFloat64() / (cfg.Rate / float64(pacers)) * float64(time.Second))
+				next = next.Add(gap)
+				if next.After(deadline) {
+					break
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				if ctx.Err() != nil {
+					break
+				}
+				// Arrival indices interleave across pacers so path/offset
+				// choices stay spread the way a single stream's would.
+				queue <- arrival{at: next, idx: n*pacers + p}
+				n++
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var latencies []time.Duration
+	errs := 0
+	for w := range workerLats {
+		latencies = append(latencies, workerLats[w]...)
+		errs += workerErrs[w]
+	}
+	res := Result{
+		Offered: cfg.Rate,
+		Ops:     len(latencies),
+		Errors:  errs,
+	}
+	if cfg.Duration > 0 {
+		res.Arrived = float64(len(latencies)) / cfg.Duration.Seconds()
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(len(latencies)) / elapsed.Seconds()
+	}
+	res.P50, res.P99, res.P999, res.Max = quantiles(latencies)
+	return res
+}
+
+// RunMedian runs `runs` back-to-back sub-cells at the same rate and
+// returns the one with the median p99.9 — a robust tail estimator for
+// noisy hosts. A shared or small machine freezes every goroutine for
+// 5-30ms every few seconds (hypervisor steal, co-tenant bursts); one
+// such freeze inside a cell lifts its p99.9 to the freeze length no
+// matter what the file server did, so a single-cell tail gate measures
+// the host's worst hiccup. The median sub-cell discards the corrupted
+// minority while remaining an honest, complete open-loop run — every
+// quantile reported comes from ONE contiguous cell, not a stitched
+// distribution. Sub-cells draw distinct arrival schedules (Seed+k).
+func RunMedian(ctx context.Context, op Op, cfg Config, runs int) Result {
+	if runs <= 1 {
+		return Run(ctx, op, cfg)
+	}
+	results := make([]Result, 0, runs)
+	for k := 0; k < runs; k++ {
+		sub := cfg
+		sub.Seed = cfg.Seed + int64(k)
+		results = append(results, Run(ctx, op, sub))
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].P999 < results[j].P999 })
+	return results[len(results)/2]
+}
+
+// Sweep runs op at each offered rate in turn and stops early once a rate
+// saturates badly (achieved under half of offered) — past that point
+// every higher rate only digs the backlog deeper.
+func Sweep(ctx context.Context, op Op, rates []float64, base Config) []Result {
+	var out []Result
+	for _, r := range rates {
+		cfg := base
+		cfg.Rate = r
+		res := Run(ctx, op, cfg)
+		out = append(out, res)
+		if res.Achieved < 0.5*res.Offered {
+			break
+		}
+	}
+	return out
+}
+
+// Knee returns the index of the highest offered rate that kept up, or -1
+// when even the lowest rate saturated. Keeping up is a throughput AND a
+// latency criterion: achieved must track arrived (Saturated), the median
+// must stay within 3x of the lowest rate's median, and the p99 must stay
+// within the larger of 10x the base median and 2x the base p99. The
+// latency clauses matter because an open-loop system can be bistable
+// near saturation — completing every arrival on average while the
+// backlog oscillates through multi-millisecond excursions — and a
+// "knee" inside that regime would put the below-knee operating point in
+// the collapse zone it is supposed to avoid.
+func Knee(results []Result) int {
+	if len(results) == 0 {
+		return -1
+	}
+	base := results[0]
+	p99Limit := 10 * base.P50
+	if l := 2 * base.P99; l > p99Limit {
+		p99Limit = l
+	}
+	knee := -1
+	for i, r := range results {
+		if !r.Saturated() && r.P50 <= 3*base.P50 && r.P99 <= p99Limit {
+			knee = i
+		}
+	}
+	return knee
+}
+
+// quantiles reports p50/p99/p99.9/max of the sample set.
+func quantiles(lat []time.Duration) (p50, p99, p999, max time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return at(0.50), at(0.99), at(0.999), sorted[len(sorted)-1]
+}

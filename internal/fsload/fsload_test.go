@@ -1,0 +1,98 @@
+package fsload
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// tctx: tests are execution roots.
+var tctx = context.Background()
+
+// TestRunKeepsUp: a fast op under modest offered load completes nearly
+// every scheduled arrival and shows no saturation.
+func TestRunKeepsUp(t *testing.T) {
+	op := func(ctx context.Context, i int) error { return nil }
+	res := Run(tctx, op, Config{Rate: 500, Duration: 400 * time.Millisecond, Seed: 1})
+	if res.Ops < 100 {
+		t.Fatalf("only %d ops completed at 500/s over 400ms", res.Ops)
+	}
+	if res.Saturated() {
+		t.Fatalf("no-op target saturated: offered %.0f achieved %.0f", res.Offered, res.Achieved)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d unexpected errors", res.Errors)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 || res.P999 > res.Max {
+		t.Fatalf("quantiles out of order: %v %v %v %v", res.P50, res.P99, res.P999, res.Max)
+	}
+}
+
+// TestRunDetectsOverload: a single-slot target that needs 5ms per op
+// caps out at ~200 ops/s; offering 2000/s must register as saturated,
+// with the open-loop tail far above the median (the backlog grows for
+// the whole run).
+func TestRunDetectsOverload(t *testing.T) {
+	op := func(ctx context.Context, i int) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}
+	res := Run(tctx, op, Config{
+		Rate: 2000, Duration: 300 * time.Millisecond, MaxOutstanding: 1, Seed: 2,
+	})
+	if !res.Saturated() {
+		t.Fatalf("overloaded target not saturated: offered %.0f achieved %.0f", res.Offered, res.Achieved)
+	}
+	// Open-loop overload makes even the MEDIAN explode: the backlog grows
+	// for the whole run, so typical latency is queueing delay, not the 5ms
+	// service time a closed loop would report.
+	if res.P50 < 50*time.Millisecond {
+		t.Fatalf("open-loop overload should blow up the median: p50=%v", res.P50)
+	}
+}
+
+// TestSweepAndKnee: sweeping a rate ladder over a capacity-limited
+// target places the knee between the rates that kept up and the rates
+// that collapsed, and the sweep stops early once achieved falls under
+// half of offered.
+func TestSweepAndKnee(t *testing.T) {
+	op := func(ctx context.Context, i int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	}
+	// Capacity ~ MaxOutstanding/2ms = 4 slots -> ~2000/s.
+	rates := []float64{200, 500, 8000, 20000}
+	results := Sweep(tctx, op, rates, Config{
+		Duration: 250 * time.Millisecond, MaxOutstanding: 4, Seed: 3,
+	})
+	knee := Knee(results)
+	if knee < 0 || knee > 1 {
+		t.Fatalf("knee index = %d (results %+v), want 0 or 1", knee, results)
+	}
+	if len(results) == len(rates) && results[len(results)-1].Achieved >= 0.5*results[len(results)-1].Offered {
+		t.Fatalf("sweep ran the full ladder without collapsing: %+v", results)
+	}
+}
+
+// TestRunHonorsContext: cancelling the context stops arrival generation
+// promptly.
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(tctx)
+	op := func(ctx context.Context, i int) error { return ctx.Err() }
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	Run(ctx, op, Config{Rate: 100, Duration: 10 * time.Second, Seed: 4})
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Run ignored context cancellation")
+	}
+}
+
+// TestKneeAllSaturated: when every rate collapses, Knee reports -1.
+func TestKneeAllSaturated(t *testing.T) {
+	if k := Knee([]Result{{Offered: 100, Arrived: 100, Achieved: 10}}); k != -1 {
+		t.Fatalf("knee = %d, want -1", k)
+	}
+}

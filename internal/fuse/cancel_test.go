@@ -113,7 +113,7 @@ func TestAdmissionRejectsExpired(t *testing.T) {
 		_, err := client.call(tctx, &request{
 			Op: spec.OpStat, Path: "/slow",
 			TimeoutNs: int64(30 * time.Millisecond),
-		})
+		}, nil)
 		stat <- err
 	}()
 

@@ -1,14 +1,24 @@
 package fuse
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
 
 // FuzzDecodeRequest: arbitrary bytes never panic the request decoder, and
 // whatever decodes successfully re-encodes and re-decodes to the same
 // request.
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add(encodeRequest(&request{ID: 1, Op: 2, Path: "/a", Path2: "/b", Off: 3, Size: 4, Data: []byte("x")}))
+	f.Add(encodeRequest(&request{ID: 7, Op: spec.OpReadv, Path: "/f",
+		Extents: []extent{{Off: 0, Size: 4096}, {Off: 1 << 20, Size: 1}}}))
+	f.Add(encodeRequest(&request{ID: 8, Op: spec.OpReaddirChunk, Path: "/d", Off: 512, Size: MaxDirNames}))
+	f.Add(encodeRequest(&request{ID: 9, Op: 1, Tenant: "t", TimeoutNs: 1e9}))
+	// Malformed chunk shapes: truncated extent table, absurd counts.
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := decodeRequest(data)
 		if err != nil {
@@ -20,8 +30,14 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if again.ID != req.ID || again.Op != req.Op || again.Path != req.Path ||
 			again.Path2 != req.Path2 || again.Off != req.Off || again.Size != req.Size ||
-			string(again.Data) != string(req.Data) {
+			again.Tenant != req.Tenant || again.TimeoutNs != req.TimeoutNs ||
+			string(again.Data) != string(req.Data) || len(again.Extents) != len(req.Extents) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
+		}
+		for i := range req.Extents {
+			if again.Extents[i] != req.Extents[i] {
+				t.Fatalf("extent %d mismatch: %+v vs %+v", i, req.Extents[i], again.Extents[i])
+			}
 		}
 	})
 }
@@ -30,6 +46,12 @@ func FuzzDecodeRequest(f *testing.F) {
 func FuzzDecodeReply(f *testing.F) {
 	body, _ := encodeReply(&reply{ID: 9, Errno: 2, Kind: 1, Size: 8, N: 3, Data: []byte("d"), Names: []string{"n"}})
 	f.Add(body)
+	// Readv reply: size table plus compacted payload.
+	vbody, _ := encodeReply(&reply{ID: 10, Sizes: []int32{4096, 0, 12}, Data: []byte("payloadpayload")})
+	f.Add(vbody)
+	// Readdir chunk reply: names page plus continuation cursor in Size.
+	cbody, _ := encodeReply(&reply{ID: 11, Size: 512, Names: []string{"a", "b", "c"}})
+	f.Add(cbody)
 	f.Add([]byte{0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := decodeReply(data)
@@ -40,8 +62,17 @@ func FuzzDecodeReply(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		if _, err := decodeReply(enc); err != nil {
+		again, err := decodeReply(enc)
+		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Sizes) != len(rep.Sizes) || len(again.Names) != len(rep.Names) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rep, again)
+		}
+		for i := range rep.Sizes {
+			if again.Sizes[i] != rep.Sizes[i] {
+				t.Fatalf("sizes[%d]: %d vs %d", i, rep.Sizes[i], again.Sizes[i])
+			}
 		}
 	})
 }

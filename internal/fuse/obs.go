@@ -15,7 +15,7 @@ import (
 	"repro/internal/spec"
 )
 
-const nOps = int(spec.OpReaddir) + 1
+const nOps = int(spec.OpReadv) + 1
 
 // srvObs bundles the Server's instruments so the hot loop dereferences a
 // single pointer.
@@ -28,12 +28,22 @@ type srvObs struct {
 	queued   *obs.Gauge
 	inflight *obs.Gauge
 	conns    *obs.Gauge
+	// Writer-coalescing instruments: flushes counts vectored writes,
+	// flushedFrames the frames they carried (frames/flush is the batching
+	// ratio the net bench suite reports).
+	flushes       *obs.Counter
+	flushedFrames *obs.Counter
 
 	// Per-tenant instruments, created lazily on first sight of a label
 	// (tenant cardinality is operator-controlled via SetQuota/SetTenant).
 	reg       *obs.Registry
 	tenantMu  sync.Mutex
 	tenantMap map[string]*tenantObs
+
+	// Per-reason rejection counters (wire-cap violations), created lazily;
+	// reason cardinality is fixed by the handler's reject() call sites.
+	rejectMu  sync.Mutex
+	rejectMap map[string]*obs.Counter
 }
 
 // tenantObs bundles one tenant's admission instruments.
@@ -66,15 +76,18 @@ func (p *srvObs) tenant(name string) *tenantObs {
 
 func newSrvObs(reg *obs.Registry) *srvObs {
 	p := &srvObs{
-		reg:       reg,
-		tenantMap: map[string]*tenantObs{},
-		rec:       reg.FlightRecorder(),
-		reqLat:   reg.Histogram("fuse_request_ns"),
-		bytesIn:  reg.Counter("fuse_bytes_read_total"),
-		bytesOut: reg.Counter("fuse_bytes_written_total"),
-		queued:   reg.Gauge("fuse_queued"),
-		inflight: reg.Gauge("fuse_inflight"),
-		conns:    reg.Gauge("fuse_conns"),
+		reg:           reg,
+		tenantMap:     map[string]*tenantObs{},
+		rejectMap:     map[string]*obs.Counter{},
+		rec:           reg.FlightRecorder(),
+		reqLat:        reg.Histogram("fuse_request_ns"),
+		bytesIn:       reg.Counter("fuse_bytes_read_total"),
+		bytesOut:      reg.Counter("fuse_bytes_written_total"),
+		queued:        reg.Gauge("fuse_queued"),
+		inflight:      reg.Gauge("fuse_inflight"),
+		conns:         reg.Gauge("fuse_conns"),
+		flushes:       reg.Counter("fuse_writer_flushes_total"),
+		flushedFrames: reg.Counter("fuse_writer_frames_total"),
 	}
 	for k := spec.Op(0); int(k) < nOps; k++ {
 		p.requests[k] = reg.Counter(`fuse_requests_total{op="` + k.String() + `"}`)
@@ -122,4 +135,30 @@ func (p *srvObs) replyReq(req *request, queuedNs int64, bodyLen int) {
 	p.reqLat.Observe(req.ID, now-queuedNs)
 	p.bytesOut.Add(req.ID, uint64(bodyLen))
 	p.rec.EmitAt(now, req.ID, obs.EvFuseReply, uint8(req.Op), 0, req.ID)
+}
+
+// dropReq closes out a request whose reply never reached the wire (the
+// connection writer refused it: dying connection or expired deadline
+// under backpressure).
+func (p *srvObs) dropReq(req *request) {
+	p.inflight.Dec(req.ID)
+}
+
+// reject counts a wire-cap violation in
+// atomfs_fuse_rejected_total{reason="..."}.
+func (p *srvObs) reject(reason string, id uint64) {
+	p.rejectMu.Lock()
+	c, ok := p.rejectMap[reason]
+	if !ok {
+		c = p.reg.Counter(`atomfs_fuse_rejected_total{reason="` + reason + `"}`)
+		p.rejectMap[reason] = c
+	}
+	p.rejectMu.Unlock()
+	c.Inc(id)
+}
+
+// flush observes one completed vectored write (frameWriter hook).
+func (p *srvObs) flush(frames, bytes int) {
+	p.flushes.Inc(0)
+	p.flushedFrames.Add(0, uint64(frames))
 }

@@ -9,6 +9,15 @@
 // Like FUSE, the server processes requests from one connection
 // concurrently and replies may be delivered out of order; request IDs
 // correlate them. All encoding uses the standard library only.
+//
+// Wire format v2 (DESIGN.md §15): the bulk payload (a write's data, a
+// read reply's bytes) is the LAST field of every message, so an encoder
+// can emit the frame as [header vector][payload vector] without ever
+// copying the payload into the frame buffer, and both ends drain their
+// connection through a single writer goroutine that coalesces queued
+// frames into one vectored net.Buffers write. Requests additionally carry
+// an optional extent list (OpReadv) and replies an optional per-extent
+// size table; both sit in the header, ahead of the payload.
 package fuse
 
 import (
@@ -20,8 +29,32 @@ import (
 	"repro/internal/spec"
 )
 
-// MaxPayload bounds any single request/reply body (64 MiB).
+// MaxPayload bounds any single request/reply frame (64 MiB). This is the
+// transport's framing sanity bound, not the per-operation I/O bound —
+// see MaxIOSize.
 const MaxPayload = 64 << 20
+
+// MaxIOSize caps the data moved by one read, write, or readv request
+// (1 MiB). Before this cap, a single OpRead with Size=MaxPayload forced
+// the server to allocate 64 MiB per request — a hostile or buggy client
+// could run the daemon out of memory with a handful of frames. The
+// client chunks larger reads and writes transparently; the server
+// rejects oversized requests with EINVAL and counts them in
+// atomfs_fuse_rejected_total{reason}.
+const MaxIOSize = 1 << 20
+
+// MaxExtents bounds one OpReadv's extent list.
+const MaxExtents = 256
+
+// MaxDirNames bounds the names in one OpReaddirChunk reply frame, keeping
+// directory listings of any size out of single unbounded frames.
+const MaxDirNames = 512
+
+// extent is one (offset, length) range of an OpReadv request.
+type extent struct {
+	Off  int64
+	Size int32
+}
 
 // request is the wire form of one operation.
 type request struct {
@@ -31,7 +64,6 @@ type request struct {
 	Path2 string
 	Off   int64
 	Size  int32
-	Data  []byte
 	// TimeoutNs is the caller's remaining budget for this request in
 	// nanoseconds; 0 means no deadline. It travels as a relative duration
 	// (not an absolute time) so the two ends need no clock agreement; the
@@ -42,6 +74,16 @@ type request struct {
 	// Tenant labels the request for the server's admission control and
 	// per-tenant accounting; empty means unlabelled (never throttled).
 	Tenant string
+	// Extents is OpReadv's extent list; nil for every other op.
+	Extents []extent
+	// Data is the bulk payload (write bytes). On the server it aliases the
+	// pooled frame buffer the request arrived in; the dispatch loop
+	// releases the frame once the handler returns.
+	Data []byte
+
+	// frame is the pooled buffer Data aliases (server side); released by
+	// the dispatcher after handle() returns.
+	frame []byte
 }
 
 // reply is the wire form of one result.
@@ -51,11 +93,26 @@ type reply struct {
 	Kind  uint8
 	Size  int64
 	N     int32
-	Data  []byte
 	Names []string
+	// Sizes is OpReadv's per-extent byte-count table; the payload holds
+	// the extents' bytes concatenated in order (each extent contributes
+	// exactly Sizes[i] bytes, short reads compact).
+	Sizes []int32
+	// Data is the bulk payload. On the server it typically aliases a
+	// pooled read buffer (released after the vectored write); on the
+	// client it aliases the pooled frame the reply arrived in (released
+	// once the caller has copied out).
+	Data []byte
+
+	// release, when non-nil, returns the pooled payload buffer after the
+	// writer has flushed the frame (server side).
+	release func()
+	// frame is the pooled buffer Data aliases (client side).
+	frame []byte
 }
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed frame in one buffer (slow path used
+// by tests; the data path goes through frameWriter).
 func writeFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxPayload {
 		return fmt.Errorf("fuse: frame too large (%d bytes)", len(body))
@@ -69,7 +126,9 @@ func writeFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// readFrame reads a length-prefixed frame.
+// readFrame reads a length-prefixed frame into a pooled buffer. The
+// caller owns the returned slice and should hand it back with putBuf
+// once nothing aliases it.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -79,8 +138,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxPayload {
 		return nil, fmt.Errorf("fuse: oversized frame (%d bytes)", n)
 	}
-	body := make([]byte, n)
+	body := getBuf(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(body)
 		return nil, err
 	}
 	return body, nil
@@ -145,6 +205,8 @@ func (d *dec) u64() uint64 {
 func (d *dec) i64() int64 { return int64(d.u64()) }
 func (d *dec) i32() int32 { return int32(d.u32()) }
 
+// bytes returns a sub-slice ALIASING the decoder's buffer — callers that
+// outlive the buffer must copy.
 func (d *dec) bytes() []byte {
 	n := d.u32()
 	if d.err != nil || uint64(n) > uint64(len(d.b)) || n > MaxPayload {
@@ -158,18 +220,32 @@ func (d *dec) bytes() []byte {
 
 func (d *dec) str() string { return string(d.bytes()) }
 
-func encodeRequest(r *request) []byte {
-	var e enc
+// appendRequest encodes r's header fields — everything including the
+// payload length, but not the payload bytes themselves — onto b. The
+// payload (r.Data) travels as its own vector right after.
+func appendRequest(b []byte, r *request) []byte {
+	e := enc{b: b}
 	e.u64(r.ID)
 	e.u8(uint8(r.Op))
 	e.str(r.Path)
 	e.str(r.Path2)
 	e.i64(r.Off)
 	e.i32(r.Size)
-	e.bytes(r.Data)
 	e.i64(r.TimeoutNs)
 	e.str(r.Tenant)
+	e.u32(uint32(len(r.Extents)))
+	for _, x := range r.Extents {
+		e.i64(x.Off)
+		e.i32(x.Size)
+	}
+	e.u32(uint32(len(r.Data))) // payload length; bytes follow as their own vector
 	return e.b
+}
+
+// encodeRequest is the contiguous single-buffer form (tests, fuzzing).
+func encodeRequest(r *request) []byte {
+	b := appendRequest(nil, r)
+	return append(b, r.Data...)
 }
 
 func decodeRequest(b []byte) (*request, error) {
@@ -182,35 +258,58 @@ func decodeRequest(b []byte) (*request, error) {
 		Off:   d.i64(),
 		Size:  d.i32(),
 	}
-	r.Data = append([]byte(nil), d.bytes()...)
 	r.TimeoutNs = d.i64()
-	// The tenant label is a suffix field: requests from clients that
-	// predate it simply end here.
-	if d.err == nil && len(d.b) != 0 {
-		r.Tenant = d.str()
+	r.Tenant = d.str()
+	nx := d.u32()
+	if d.err == nil && uint64(nx)*12 > uint64(len(d.b)) {
+		d.fail()
 	}
+	if d.err == nil && nx > 0 {
+		r.Extents = make([]extent, 0, nx)
+		for i := uint32(0); i < nx; i++ {
+			r.Extents = append(r.Extents, extent{Off: d.i64(), Size: d.i32()})
+		}
+	}
+	// Data is the frame's tail; it ALIASES b (the pooled frame) — the
+	// dispatch loop releases the frame after the handler is done with it.
+	r.Data = d.bytes()
 	if d.err == nil && len(d.b) != 0 {
 		d.err = fmt.Errorf("fuse: %d trailing bytes in request", len(d.b))
 	}
 	return r, d.err
 }
 
-func encodeReply(r *reply) ([]byte, error) {
+// appendReply encodes r's header fields (payload length included, payload
+// bytes excluded) onto b; r.Data follows as its own vector.
+func appendReply(b []byte, r *reply) ([]byte, error) {
 	if len(r.Names) > math.MaxInt32 {
 		return nil, fmt.Errorf("fuse: too many names")
 	}
-	var e enc
+	e := enc{b: b}
 	e.u64(r.ID)
 	e.i32(r.Errno)
 	e.u8(r.Kind)
 	e.i64(r.Size)
 	e.i32(r.N)
-	e.bytes(r.Data)
 	e.u32(uint32(len(r.Names)))
 	for _, n := range r.Names {
 		e.str(n)
 	}
+	e.u32(uint32(len(r.Sizes)))
+	for _, s := range r.Sizes {
+		e.i32(s)
+	}
+	e.u32(uint32(len(r.Data)))
 	return e.b, nil
+}
+
+// encodeReply is the contiguous single-buffer form (tests, fuzzing).
+func encodeReply(r *reply) ([]byte, error) {
+	b, err := appendReply(nil, r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, r.Data...), nil
 }
 
 func decodeReply(b []byte) (*reply, error) {
@@ -222,7 +321,6 @@ func decodeReply(b []byte) (*reply, error) {
 		Size:  d.i64(),
 		N:     d.i32(),
 	}
-	r.Data = append([]byte(nil), d.bytes()...)
 	n := d.u32()
 	if d.err == nil && uint64(n) > uint64(len(d.b)) {
 		d.fail()
@@ -233,6 +331,19 @@ func decodeReply(b []byte) (*reply, error) {
 			r.Names = append(r.Names, d.str())
 		}
 	}
+	ns := d.u32()
+	if d.err == nil && uint64(ns)*4 > uint64(len(d.b)) {
+		d.fail()
+	}
+	if d.err == nil && ns > 0 {
+		r.Sizes = make([]int32, 0, ns)
+		for i := uint32(0); i < ns; i++ {
+			r.Sizes = append(r.Sizes, d.i32())
+		}
+	}
+	// Data is the frame's tail, ALIASING b (the pooled frame); the client
+	// releases the frame once the caller has copied the bytes out.
+	r.Data = d.bytes()
 	if d.err == nil && len(d.b) != 0 {
 		d.err = fmt.Errorf("fuse: %d trailing bytes in reply", len(d.b))
 	}

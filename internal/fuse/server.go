@@ -1,10 +1,12 @@
 package fuse
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,6 +19,15 @@ import (
 // on its own goroutine (bounded by a semaphore), matching FUSE's
 // multi-threaded daemon loop, so independent operations proceed in
 // parallel even over one connection.
+//
+// Replies do not contend on a write mutex: every connection owns a
+// bounded reply queue drained by a single writer goroutine that coalesces
+// queued replies into one vectored net.Buffers write (DESIGN.md §15).
+// Read payloads come from size-classed pools and ride the vectored write
+// without ever being copied into a frame buffer; the writer returns them
+// to the pool after the flush. A full reply queue blocks the handler with
+// its request context — backpressure from a slow-reading client feeds the
+// same deadline admission as a slow file system.
 //
 // Context plumbing: every connection gets a context cancelled when the
 // connection (or the server) closes, and every request carrying a wire
@@ -31,6 +42,9 @@ type Server struct {
 	fs fsapi.FS
 	// MaxInflight bounds concurrent requests per connection.
 	maxInflight int
+	// coalesce false degrades the per-connection writer to one write per
+	// frame — the measured baseline for the batching win (SetCoalesce).
+	coalesce bool
 	// obs, when non-nil, instruments the dispatch loop (see SetObs).
 	obs *srvObs
 
@@ -47,8 +61,14 @@ type Server struct {
 
 // NewServer creates a server over fs.
 func NewServer(fs fsapi.FS) *Server {
-	return &Server{fs: fs, maxInflight: 64, conns: map[net.Conn]func(){}}
+	return &Server{fs: fs, maxInflight: 64, coalesce: true, conns: map[net.Conn]func(){}}
 }
+
+// SetCoalesce toggles reply coalescing (on by default). Off, the writer
+// goroutine still serializes replies but issues one vectored write per
+// frame — the per-frame baseline cmd/benchjson's net suite measures the
+// coalescing speedup against. Call before serving.
+func (s *Server) SetCoalesce(on bool) { s.coalesce = on }
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(lis net.Listener) error {
@@ -120,18 +140,29 @@ func (s *Server) ServeConn(conn net.Conn) {
 		p.conns.Inc(0)
 		defer p.conns.Dec(0)
 	}
-	var writeMu sync.Mutex
+	var flushed func(frames, bytes int)
+	if p != nil {
+		flushed = p.flush
+	}
+	w := newFrameWriter(conn, s.coalesce, flushed)
+	defer w.stop()
+	// Buffered reads are the receive half of coalescing: a batch the peer
+	// wrote with one writev drains here in one read syscall instead of
+	// two per frame.
+	br := bufio.NewReaderSize(conn, 64<<10)
 	var inflight sync.WaitGroup
 	sem := make(chan struct{}, s.maxInflight)
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrame(br)
 		if err != nil {
 			break // EOF or broken connection
 		}
 		req, err := decodeRequest(frame)
 		if err != nil {
+			putBuf(frame)
 			break // protocol violation; drop the connection
 		}
+		req.frame = frame
 		// Anchor the wire deadline before the request can queue on the
 		// semaphore: time spent waiting for an inflight slot counts
 		// against the caller's budget, exactly like time spent in FUSE's
@@ -155,15 +186,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 				if p != nil {
 					p.dispatchReq(req)
 				}
-				body, encErr := encodeReply(&reply{ID: req.ID, Errno: fserr.Errno(err)})
-				if encErr == nil {
-					writeMu.Lock()
-					writeFrame(conn, body) //nolint:errcheck // connection teardown is handled by the read loop
-					writeMu.Unlock()
-					if p != nil {
-						p.replyReq(req, queuedNs, len(body))
-					}
-				}
+				s.reply(reqCtx, w, req, &reply{ID: req.ID, Errno: fserr.Errno(err)}, queuedNs)
+				putBuf(req.frame)
 				return
 			}
 			sem <- struct{}{}
@@ -180,30 +204,65 @@ func (s *Server) ServeConn(conn net.Conn) {
 			} else {
 				rep = s.handle(reqCtx, req)
 			}
-			body, err := encodeReply(rep)
-			if err != nil {
-				if p != nil {
-					p.inflight.Dec(req.ID)
-				}
-				return
-			}
-			writeMu.Lock()
-			writeFrame(conn, body) //nolint:errcheck // connection teardown is handled by the read loop
-			writeMu.Unlock()
-			if p != nil {
-				p.replyReq(req, queuedNs, len(body))
-			}
+			// The handler is done with the request's payload; the reply
+			// owns only pooled buffers of its own.
+			putBuf(req.frame)
+			req.frame = nil
+			s.reply(reqCtx, w, req, rep, queuedNs)
 		}()
 	}
 	cancel() // connection gone: abort every in-flight request
 	inflight.Wait()
 }
 
+// reply encodes rep and enqueues it on the connection writer, recording
+// the request's lifecycle with the obs pack. Failures release the reply's
+// pooled buffers and are otherwise ignored: the connection is dying (the
+// read loop handles teardown) or the request's deadline expired while the
+// queue was full (backpressure — the client has already given up).
+func (s *Server) reply(ctx context.Context, w *frameWriter, req *request, rep *reply, queuedNs int64) {
+	p := s.obs
+	f, err := replyFrame(rep)
+	if err != nil {
+		if rep.release != nil {
+			rep.release()
+		}
+		if p != nil {
+			p.inflight.Dec(req.ID)
+		}
+		return
+	}
+	n := len(f.hdr) - 4 + len(f.payload)
+	if err := w.send(ctx, f); err != nil {
+		if p != nil {
+			p.dropReq(req)
+		}
+		return
+	}
+	if p != nil {
+		p.replyReq(req, queuedNs, n)
+	}
+}
+
+// handle dispatches one request to the file system, enforcing the wire
+// I/O caps first: req.Size and req.Data are bounded by MaxIOSize (a
+// single OpRead may no longer demand a MaxPayload-sized allocation), and
+// readv extent lists by MaxExtents/MaxIOSize total. Rejections return
+// EINVAL and count in atomfs_fuse_rejected_total{reason}.
 func (s *Server) handle(ctx context.Context, req *request) *reply {
 	rep := &reply{ID: req.ID}
 	fail := func(err error) *reply {
 		rep.Errno = fserr.Errno(err)
 		return rep
+	}
+	reject := func(reason string) *reply {
+		if p := s.obs; p != nil {
+			p.reject(reason, req.ID)
+		}
+		return fail(fserr.ErrInvalid)
+	}
+	if len(req.Data) > MaxIOSize {
+		return reject("data")
 	}
 	switch req.Op {
 	case spec.OpMknod:
@@ -234,16 +293,20 @@ func (s *Server) handle(ctx context.Context, req *request) *reply {
 		rep.Kind = uint8(info.Kind)
 		rep.Size = info.Size
 	case spec.OpRead:
-		if req.Size < 0 {
-			return fail(fserr.ErrInvalid)
+		if req.Size < 0 || req.Size > MaxIOSize {
+			return reject("size")
 		}
-		dst := make([]byte, req.Size)
+		dst := getBuf(int(req.Size))
 		n, err := s.fs.Read(ctx, req.Path, req.Off, dst)
 		if err != nil {
+			putBuf(dst)
 			return fail(err)
 		}
-		rep.Data = dst[:n:n]
+		rep.Data = dst[:n]
 		rep.N = int32(n)
+		rep.release = func() { putBuf(dst) }
+	case spec.OpReadv:
+		return s.handleReadv(ctx, req, rep, reject)
 	case spec.OpWrite:
 		n, err := s.fs.Write(ctx, req.Path, req.Off, req.Data)
 		if err != nil {
@@ -259,23 +322,108 @@ func (s *Server) handle(ctx context.Context, req *request) *reply {
 		if err != nil {
 			return fail(err)
 		}
+		if len(names) > MaxDirNames {
+			// An unbounded directory no longer fits one frame; the batch
+			// clients never hit this (they paginate), and a legacy-style
+			// whole-directory request on a huge directory is the exact
+			// unbounded-frame case v2 retires.
+			return reject("names")
+		}
 		rep.Names = names
+	case spec.OpReaddirChunk:
+		// Cursor-based pagination: Off is the index into the sorted name
+		// list, Size the page bound (clamped to MaxDirNames). The reply
+		// carries the page in Names and the next cursor in Size, -1 when
+		// the listing is complete. Like POSIX readdir, pagination under
+		// concurrent mutation is best-effort: the cursor indexes whatever
+		// sorted snapshot each page's Readdir produced.
+		if req.Off < 0 {
+			return reject("cursor")
+		}
+		limit := int(req.Size)
+		if limit <= 0 || limit > MaxDirNames {
+			limit = MaxDirNames
+		}
+		names, err := s.fs.Readdir(ctx, req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		start := int(req.Off)
+		if start > len(names) {
+			start = len(names)
+		}
+		end := start + limit
+		if end > len(names) {
+			end = len(names)
+		}
+		rep.Names = names[start:end]
+		if end >= len(names) {
+			rep.Size = -1
+		} else {
+			rep.Size = int64(end)
+		}
 	default:
 		return fail(fserr.ErrInvalid)
 	}
 	return rep
 }
 
+// handleReadv serves a multi-extent read: one pooled buffer holds every
+// extent's bytes back to back (short reads compact), the per-extent
+// counts travel in the reply's size table, and the whole payload rides
+// the vectored write zero-copy.
+func (s *Server) handleReadv(ctx context.Context, req *request, rep *reply, reject func(string) *reply) *reply {
+	if len(req.Extents) == 0 || len(req.Extents) > MaxExtents {
+		return reject("extents")
+	}
+	total := 0
+	for _, x := range req.Extents {
+		if x.Size < 0 || int(x.Size) > MaxIOSize {
+			return reject("extents")
+		}
+		total += int(x.Size)
+		if total > MaxIOSize {
+			return reject("extents")
+		}
+	}
+	buf := getBuf(total)
+	sizes := make([]int32, len(req.Extents))
+	filled := 0
+	for i, x := range req.Extents {
+		n, err := s.fs.Read(ctx, req.Path, x.Off, buf[filled:filled+int(x.Size)])
+		if err != nil {
+			putBuf(buf)
+			rep.Errno = fserr.Errno(err)
+			return rep
+		}
+		// Compact: the next extent starts right after this one's bytes.
+		copy(buf[filled:], buf[filled:filled+n])
+		sizes[i] = int32(n)
+		filled += n
+	}
+	rep.Data = buf[:filled]
+	rep.N = int32(filled)
+	rep.Sizes = sizes
+	rep.release = func() { putBuf(buf) }
+	return rep
+}
+
 // ErrClientClosed is returned by calls on a closed client.
 var ErrClientClosed = errors.New("fuse: client closed")
 
-// Client implements fsapi.FS over a protocol connection.
+// Client implements fsapi.FS over a protocol connection. Requests from
+// concurrent goroutines are enqueued on a single coalescing writer (the
+// mirror of the server's reply path), so a calling storm costs one
+// vectored write per batch instead of one write syscall per call. Reads
+// and writes larger than MaxIOSize are chunked transparently; Readdir
+// paginates with OpReaddirChunk so no listing produces an unbounded
+// frame.
 type Client struct {
 	conn net.Conn
+	w    *frameWriter
 	// tenant labels every request for the server's admission control.
 	tenant string
 
-	writeMu sync.Mutex
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *reply
@@ -288,6 +436,7 @@ var _ fsapi.FS = (*Client)(nil)
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{conn: conn, pending: map[uint64]chan *reply{}, done: make(chan struct{})}
+	c.w = newFrameWriter(conn, true, nil)
 	go c.readLoop()
 	return c
 }
@@ -313,27 +462,39 @@ func (c *Client) Name() string { return "fuse-client" }
 func (c *Client) SetTenant(tenant string) { c.tenant = tenant }
 
 // Close tears down the connection; in-flight calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	// The writer can be stopped as soon as the connection is gone: queued
+	// frames can never be delivered. stop() drains and releases them.
+	c.w.stop()
+	return err
+}
 
 func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
 	var loopErr error
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := readFrame(br)
 		if err != nil {
 			loopErr = err
 			break
 		}
 		rep, err := decodeReply(frame)
 		if err != nil {
+			putBuf(frame)
 			loopErr = err
 			break
 		}
+		rep.frame = frame
 		c.mu.Lock()
 		ch := c.pending[rep.ID]
 		delete(c.pending, rep.ID)
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- rep
+		} else {
+			// Abandoned call (cancelled); nothing will read this reply.
+			putBuf(frame)
 		}
 	}
 	if loopErr == nil || errors.Is(loopErr, io.EOF) {
@@ -355,7 +516,15 @@ func (c *Client) readLoop() {
 // abandons the reply locally (the reply is discarded when it arrives —
 // the wire protocol has no interrupt message, mirroring the fact that a
 // FUSE INTERRUPT is advisory anyway).
-func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
+//
+// data is the request payload; it is copied into a pooled buffer at
+// enqueue time so the caller's slice is never aliased past the call (a
+// cancelled caller may reuse it while the frame is still queued).
+//
+// The returned reply's Data aliases a pooled frame; the caller MUST
+// finish with it and then call rep.done() (methods that return raw
+// results to the user copy first).
+func (c *Client) call(ctx context.Context, req *request, data []byte) (*reply, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -379,13 +548,21 @@ func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, encodeRequest(req))
-	c.writeMu.Unlock()
-	if err != nil {
+	var payload []byte
+	var release func()
+	if len(data) > 0 {
+		buf := getBuf(len(data))
+		copy(buf, data)
+		payload = buf
+		release = func() { putBuf(buf) }
+	}
+	if err := c.w.send(ctx, requestFrame(req, payload, release)); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
+		if errors.Is(err, errWriterClosed) {
+			err = ErrClientClosed
+		}
 		return nil, err
 	}
 	select {
@@ -394,7 +571,9 @@ func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
 			return nil, ErrClientClosed
 		}
 		if rep.Errno != 0 {
-			return rep, fserr.FromErrno(rep.Errno)
+			err := fserr.FromErrno(rep.Errno)
+			rep.done()
+			return nil, err
 		}
 		return rep, nil
 	case <-ctx.Done():
@@ -405,79 +584,195 @@ func (c *Client) call(ctx context.Context, req *request) (*reply, error) {
 	}
 }
 
+// done releases the pooled frame backing the reply's Data. Safe on nil.
+func (r *reply) done() {
+	if r == nil {
+		return
+	}
+	if r.frame != nil {
+		putBuf(r.frame)
+		r.frame = nil
+		r.Data = nil
+	}
+}
+
 // Mknod creates an empty file.
 func (c *Client) Mknod(ctx context.Context, path string) error {
-	_, err := c.call(ctx, &request{Op: spec.OpMknod, Path: path})
+	rep, err := c.call(ctx, &request{Op: spec.OpMknod, Path: path}, nil)
+	rep.done()
 	return err
 }
 
 // Mkdir creates an empty directory.
 func (c *Client) Mkdir(ctx context.Context, path string) error {
-	_, err := c.call(ctx, &request{Op: spec.OpMkdir, Path: path})
+	rep, err := c.call(ctx, &request{Op: spec.OpMkdir, Path: path}, nil)
+	rep.done()
 	return err
 }
 
 // Rmdir removes an empty directory.
 func (c *Client) Rmdir(ctx context.Context, path string) error {
-	_, err := c.call(ctx, &request{Op: spec.OpRmdir, Path: path})
+	rep, err := c.call(ctx, &request{Op: spec.OpRmdir, Path: path}, nil)
+	rep.done()
 	return err
 }
 
 // Unlink removes a file.
 func (c *Client) Unlink(ctx context.Context, path string) error {
-	_, err := c.call(ctx, &request{Op: spec.OpUnlink, Path: path})
+	rep, err := c.call(ctx, &request{Op: spec.OpUnlink, Path: path}, nil)
+	rep.done()
 	return err
 }
 
 // Rename moves src to dst.
 func (c *Client) Rename(ctx context.Context, src, dst string) error {
-	_, err := c.call(ctx, &request{Op: spec.OpRename, Path: src, Path2: dst})
+	rep, err := c.call(ctx, &request{Op: spec.OpRename, Path: src, Path2: dst}, nil)
+	rep.done()
 	return err
 }
 
 // Stat reports an inode's kind and size.
 func (c *Client) Stat(ctx context.Context, path string) (fsapi.Info, error) {
-	rep, err := c.call(ctx, &request{Op: spec.OpStat, Path: path})
+	rep, err := c.call(ctx, &request{Op: spec.OpStat, Path: path}, nil)
 	if err != nil {
 		return fsapi.Info{}, err
 	}
-	return fsapi.Info{Kind: spec.Kind(rep.Kind), Size: rep.Size}, nil
+	info := fsapi.Info{Kind: spec.Kind(rep.Kind), Size: rep.Size}
+	rep.done()
+	return info, nil
 }
 
-// Read fills dst with bytes at off, reporting how many were read.
+// Read fills dst with bytes at off, reporting how many were read. Reads
+// beyond MaxIOSize are split into sequential wire requests; a short chunk
+// ends the read (EOF semantics compose across chunks).
 func (c *Client) Read(ctx context.Context, path string, off int64, dst []byte) (int, error) {
-	rep, err := c.call(ctx, &request{Op: spec.OpRead, Path: path, Off: off, Size: int32(len(dst))})
-	if err != nil {
-		return 0, err
+	total := 0
+	for {
+		chunk := dst[total:]
+		if len(chunk) > MaxIOSize {
+			chunk = chunk[:MaxIOSize]
+		}
+		rep, err := c.call(ctx, &request{Op: spec.OpRead, Path: path, Off: off + int64(total), Size: int32(len(chunk))}, nil)
+		if err != nil {
+			return total, err
+		}
+		n := copy(chunk, rep.Data)
+		rep.done()
+		total += n
+		if n < len(chunk) || total == len(dst) {
+			return total, nil
+		}
 	}
-	return copy(dst, rep.Data), nil
 }
 
-// Write stores data at off.
-func (c *Client) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
-	rep, err := c.call(ctx, &request{Op: spec.OpWrite, Path: path, Off: off, Data: data})
-	if err != nil {
-		return 0, err
+// Readv reads several extents of one file in a single wire round trip,
+// amortizing per-request framing. dsts[i] is filled from offs[i]; the
+// returned counts mirror fsapi.FS.Read's short-read semantics per
+// extent. Every extent must fit MaxIOSize and the extent count
+// MaxExtents, matching the server's caps.
+func (c *Client) Readv(ctx context.Context, path string, offs []int64, dsts [][]byte) ([]int, error) {
+	if len(offs) != len(dsts) {
+		return nil, fserr.ErrInvalid
 	}
-	return int(rep.N), nil
+	if len(offs) == 0 {
+		return nil, nil
+	}
+	exts := make([]extent, len(offs))
+	for i := range offs {
+		exts[i] = extent{Off: offs[i], Size: int32(len(dsts[i]))}
+	}
+	rep, err := c.call(ctx, &request{Op: spec.OpReadv, Path: path, Extents: exts}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.done()
+	if len(rep.Sizes) != len(offs) {
+		return nil, errors.New("fuse: readv reply size-table mismatch")
+	}
+	ns := make([]int, len(offs))
+	data := rep.Data
+	for i, sz := range rep.Sizes {
+		if sz < 0 || int(sz) > len(data) {
+			return nil, errors.New("fuse: readv reply overruns payload")
+		}
+		ns[i] = copy(dsts[i], data[:sz])
+		data = data[sz:]
+	}
+	return ns, nil
+}
+
+// Write stores data at off. Writes beyond MaxIOSize are split into
+// sequential wire requests (each chunk is atomic on the server; the
+// composite is not, exactly like write(2) on a pipe-sized boundary).
+func (c *Client) Write(ctx context.Context, path string, off int64, data []byte) (int, error) {
+	total := 0
+	for {
+		chunk := data[total:]
+		if len(chunk) > MaxIOSize {
+			chunk = chunk[:MaxIOSize]
+		}
+		rep, err := c.call(ctx, &request{Op: spec.OpWrite, Path: path, Off: off + int64(total)}, chunk)
+		if err != nil {
+			return total, err
+		}
+		n := int(rep.N)
+		rep.done()
+		total += n
+		if total == len(data) || n < len(chunk) {
+			return total, nil
+		}
+	}
 }
 
 // Truncate resizes a file.
 func (c *Client) Truncate(ctx context.Context, path string, size int64) error {
-	_, err := c.call(ctx, &request{Op: spec.OpTruncate, Path: path, Off: size})
+	rep, err := c.call(ctx, &request{Op: spec.OpTruncate, Path: path, Off: size}, nil)
+	rep.done()
 	return err
 }
 
-// Readdir lists entries in sorted order.
+// Readdir lists entries in sorted order, paginating over the wire in
+// MaxDirNames-bounded chunks so no directory produces an unbounded
+// frame. Pagination under concurrent mutation is best-effort, like
+// POSIX readdir; the merged listing is re-sorted and deduplicated.
 func (c *Client) Readdir(ctx context.Context, path string) ([]string, error) {
-	rep, err := c.call(ctx, &request{Op: spec.OpReaddir, Path: path})
-	if err != nil {
-		return nil, err
+	names := []string{}
+	cursor := int64(0)
+	pages := 0
+	for {
+		rep, err := c.call(ctx, &request{Op: spec.OpReaddirChunk, Path: path, Off: cursor, Size: MaxDirNames}, nil)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, rep.Names...)
+		next := rep.Size
+		rep.done()
+		if next < 0 {
+			break
+		}
+		if next <= cursor {
+			return nil, errors.New("fuse: readdir cursor did not advance")
+		}
+		cursor = next
+		pages++
 	}
-	if rep.Names == nil {
-		return []string{}, nil
+	if pages > 0 {
+		// Multi-page listings can interleave with mutations; restore the
+		// sorted-unique contract.
+		sort.Strings(names)
+		names = dedupSorted(names)
 	}
-	return rep.Names, nil
+	return names, nil
+}
+
+func dedupSorted(names []string) []string {
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Pipe returns a connected in-process client/server pair over net.Pipe

@@ -104,6 +104,8 @@ func (r *CrashResult) String() string {
 
 // ExecuteCrash runs one crash schedule to completion: program, crash,
 // recovery, verdict. It is deterministic — same seed, same verdict.
+// Like Execute it is a harness execution root with no caller context to
+// inherit from. ctxlint:allow
 func ExecuteCrash(s CrashSeed) *CrashResult {
 	res := &CrashResult{}
 	ctx := context.Background()
@@ -283,11 +285,11 @@ type CrashFuzzConfig struct {
 
 // CrashFailure is a shrunk, replayable crash-schedule finding.
 type CrashFailure struct {
-	Seed           CrashSeed
-	Signature      string
-	Result         *CrashResult
+	Seed            CrashSeed
+	Signature       string
+	Result          *CrashResult
 	OrigOps, MinOps int
-	ShrinkSpent    int
+	ShrinkSpent     int
 }
 
 // Repro packages the failure as a replayable repro file body; the

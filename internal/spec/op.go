@@ -33,6 +33,13 @@ const (
 	// into one rename, and each volume's monitor checks its own half.
 	OpDetach
 	OpAttach
+	// OpReaddirChunk and OpReadv are wire-protocol batch forms (internal/
+	// fuse): a cursor-bounded readdir page and a multi-extent read. They
+	// never reach an FS implementation or the monitor — the dispatch layer
+	// decomposes them into Readdir/Read calls — but they live in the Op
+	// space so per-op accounting and flight-recorder events name them.
+	OpReaddirChunk
+	OpReadv
 )
 
 var opNames = [...]string{
@@ -40,6 +47,7 @@ var opNames = [...]string{
 	OpUnlink: "unlink", OpRename: "rename", OpStat: "stat", OpRead: "read",
 	OpWrite: "write", OpTruncate: "truncate", OpReaddir: "readdir",
 	OpDetach: "detach", OpAttach: "attach",
+	OpReaddirChunk: "readdir-chunk", OpReadv: "readv",
 }
 
 func (o Op) String() string {
@@ -61,10 +69,10 @@ func (o Op) Mutates() bool {
 
 // Args carries the arguments of any operation. Unused fields are zero.
 type Args struct {
-	Path  string // primary path (source path for rename)
-	Path2 string // rename destination
-	Off   int64  // read/write offset; truncate length
-	Size  int    // read length
+	Path  string   // primary path (source path for rename)
+	Path2 string   // rename destination
+	Off   int64    // read/write offset; truncate length
+	Size  int      // read length
 	Data  []byte   // write payload
 	Sub   *SubTree // attach: subtree payload grafted at Path
 }
